@@ -1,0 +1,164 @@
+//! Shared helpers for the experiment binaries: plain-text table
+//! rendering and growth-rate annotation, so every `eN_*` binary prints
+//! the same style of report that EXPERIMENTS.md records.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+use vlsi_sync::theory::GrowthClass;
+
+/// A fixed-column plain-text table writer.
+///
+/// # Examples
+///
+/// ```
+/// use bench::Table;
+///
+/// let mut t = Table::new(&["n", "skew"]);
+/// t.row(&["8", "1.10"]);
+/// t.row(&["16", "1.10"]);
+/// let out = t.render();
+/// assert!(out.contains("skew"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Starts a table with the given column headers.
+    #[must_use]
+    pub fn new(headers: &[&str]) -> Self {
+        Table {
+            headers: headers.iter().map(|s| (*s).to_owned()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header width.
+    pub fn row(&mut self, cells: &[&str]) -> &mut Self {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row width must match header width"
+        );
+        self.rows
+            .push(cells.iter().map(|s| (*s).to_owned()).collect());
+        self
+    }
+
+    /// Renders the table with aligned columns.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for i in 0..cols {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                let cell = &cells[i];
+                line.push_str(cell);
+                line.push_str(&" ".repeat(widths[i] - cell.len()));
+            }
+            line.trim_end().to_owned()
+        };
+        out.push_str(&fmt_row(&self.headers, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (cols - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders and prints to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+}
+
+/// Formats a float with three significant decimals for table cells.
+#[must_use]
+pub fn f(v: f64) -> String {
+    if v == 0.0 {
+        "0".to_owned()
+    } else if v.abs() >= 1000.0 {
+        format!("{v:.0}")
+    } else if v.abs() >= 10.0 {
+        format!("{v:.1}")
+    } else {
+        format!("{v:.3}")
+    }
+}
+
+/// Human label for a growth class.
+#[must_use]
+pub fn growth_label(class: GrowthClass) -> &'static str {
+    match class {
+        GrowthClass::Constant => "O(1)",
+        GrowthClass::Sqrt => "O(sqrt n)",
+        GrowthClass::Linear => "O(n)",
+        GrowthClass::Superlinear => "omega(n)",
+    }
+}
+
+/// Prints an experiment banner.
+pub fn banner(id: &str, title: &str, paper_ref: &str) {
+    println!("==================================================================");
+    println!("{id}: {title}");
+    println!("paper: {paper_ref}");
+    println!("==================================================================");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new(&["a", "bbbb"]);
+        t.row(&["1", "2"]);
+        t.row(&["333", "4"]);
+        let r = t.render();
+        let lines: Vec<&str> = r.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("a"));
+        assert!(lines[2].starts_with("1"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn table_rejects_ragged_rows() {
+        let mut t = Table::new(&["a", "b"]);
+        t.row(&["1"]);
+    }
+
+    #[test]
+    fn float_formatting() {
+        assert_eq!(f(0.0), "0");
+        assert_eq!(f(1.23456), "1.235");
+        assert_eq!(f(42.5), "42.5");
+        assert_eq!(f(12345.0), "12345");
+    }
+
+    #[test]
+    fn growth_labels() {
+        assert_eq!(growth_label(GrowthClass::Constant), "O(1)");
+        assert_eq!(growth_label(GrowthClass::Linear), "O(n)");
+    }
+}

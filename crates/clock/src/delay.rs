@@ -1,0 +1,173 @@
+//! Wire delay models (Section III's derivation).
+//!
+//! The paper derives both skew models from one physical picture: a
+//! clock edge crosses a unit length of wire in time between `m − ε`
+//! and `m + ε`, where `ε` captures variations in electrical
+//! characteristics along clock lines. Two cells at distances `h₁ ≥ h₂`
+//! from their nearest common ancestor can then see skew up to
+//!
+//! ```text
+//! σ = h₁(m + ε) − h₂(m − ε) = m·d + ε·s
+//! ```
+//!
+//! with `d = h₁ − h₂` (difference metric) and `s = h₁ + h₂`
+//! (summation metric), giving `ε·s ≤ σ ≤ (m + ε)·s`.
+//!
+//! [`WireDelayModel`] holds `(m, ε)` and can either produce the
+//! analytic worst case or sample concrete per-edge delay rates for
+//! Monte-Carlo experiments (E1).
+
+use crate::tree::ClockTree;
+use rand::Rng;
+
+/// Per-unit-length wire delay with bounded variation.
+///
+/// # Examples
+///
+/// ```
+/// use clock_tree::delay::WireDelayModel;
+///
+/// let model = WireDelayModel::new(1.0, 0.1);
+/// assert_eq!(model.min_rate(), 0.9);
+/// assert_eq!(model.max_rate(), 1.1);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WireDelayModel {
+    m: f64,
+    epsilon: f64,
+}
+
+impl WireDelayModel {
+    /// Creates a delay model with nominal per-unit delay `m` and
+    /// variation `epsilon`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `m > 0` and `0 ≤ epsilon < m` (a wire cannot have
+    /// zero or negative transit time).
+    #[must_use]
+    pub fn new(m: f64, epsilon: f64) -> Self {
+        assert!(m > 0.0, "nominal unit delay must be positive");
+        assert!(
+            (0.0..m).contains(&epsilon),
+            "variation must satisfy 0 <= epsilon < m (got {epsilon} vs m = {m})"
+        );
+        WireDelayModel { m, epsilon }
+    }
+
+    /// A variation-free model (`ε = 0`): the idealised tuned system of
+    /// the difference model.
+    #[must_use]
+    pub fn exact(m: f64) -> Self {
+        WireDelayModel::new(m, 0.0)
+    }
+
+    /// Nominal per-unit-length delay `m`.
+    #[must_use]
+    pub fn nominal(&self) -> f64 {
+        self.m
+    }
+
+    /// Variation amplitude `ε`.
+    #[must_use]
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    /// Fastest possible per-unit delay, `m − ε`.
+    #[must_use]
+    pub fn min_rate(&self) -> f64 {
+        self.m - self.epsilon
+    }
+
+    /// Slowest possible per-unit delay, `m + ε`.
+    #[must_use]
+    pub fn max_rate(&self) -> f64 {
+        self.m + self.epsilon
+    }
+
+    /// Samples one concrete "fabrication": a per-edge delay rate drawn
+    /// uniformly from `[m − ε, m + ε]`, independently for every tree
+    /// edge. Returns one rate per tree node (the rate of the wire to
+    /// its parent; the root's entry is unused and set to `m`).
+    #[must_use]
+    pub fn sample_rates<R: Rng + ?Sized>(&self, tree: &ClockTree, rng: &mut R) -> Vec<f64> {
+        tree.nodes()
+            .map(|n| {
+                if tree.parent(n).is_none() || self.epsilon == 0.0 {
+                    self.m
+                } else {
+                    rng.gen_range(self.min_rate()..=self.max_rate())
+                }
+            })
+            .collect()
+    }
+}
+
+impl Default for WireDelayModel {
+    /// Unit nominal delay with 10 % variation — the default used by
+    /// the experiments.
+    fn default() -> Self {
+        WireDelayModel::new(1.0, 0.1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::ClockTreeBuilder;
+    use array_layout::geom::Point;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn small_tree() -> ClockTree {
+        let mut b = ClockTreeBuilder::new(Point::origin());
+        let c1 = b.add_child(b.root(), Point::new(3.0, 0.0), None);
+        b.add_child(c1, Point::new(3.0, 4.0), None);
+        b.build()
+    }
+
+    #[test]
+    fn rates_within_band() {
+        let tree = small_tree();
+        let model = WireDelayModel::new(2.0, 0.5);
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            let rates = model.sample_rates(&tree, &mut rng);
+            assert_eq!(rates.len(), tree.node_count());
+            for &r in &rates[1..] {
+                assert!((1.5..=2.5).contains(&r), "rate {r} out of band");
+            }
+        }
+    }
+
+    #[test]
+    fn exact_model_has_no_spread() {
+        let tree = small_tree();
+        let model = WireDelayModel::exact(1.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let rates = model.sample_rates(&tree, &mut rng);
+        assert!(rates.iter().all(|&r| r == 1.0));
+    }
+
+    #[test]
+    fn accessors() {
+        let m = WireDelayModel::new(1.0, 0.25);
+        assert_eq!(m.nominal(), 1.0);
+        assert_eq!(m.epsilon(), 0.25);
+        assert_eq!(m.min_rate(), 0.75);
+        assert_eq!(m.max_rate(), 1.25);
+    }
+
+    #[test]
+    #[should_panic(expected = "epsilon < m")]
+    fn rejects_variation_as_large_as_nominal() {
+        let _ = WireDelayModel::new(1.0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_nonpositive_nominal() {
+        let _ = WireDelayModel::new(0.0, 0.0);
+    }
+}

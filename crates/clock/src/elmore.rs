@@ -1,0 +1,242 @@
+//! Elmore (RC) delay of clock trees: the physics behind A6.
+//!
+//! The paper's introduction notes that "the usual clocking schemes are
+//! also limited in performance by the time needed to drive clock
+//! lines, which will grow as circuit feature size shrinks relative to
+//! total circuit size", and Section I's practical aside mentions "the
+//! tricks that a circuit designer can use to reduce the RC constant of
+//! his clock tree". This module supplies the standard first-order
+//! model: **Elmore delay** on a distributed RC tree —
+//!
+//! ```text
+//! t(leaf) = Σ (over wire segments s on the root→leaf path)
+//!              R(s) · C_downstream(s)
+//! ```
+//!
+//! For an *unbuffered* line of length `L`, Elmore delay grows like
+//! `L²/2` (both R and C grow with length) — strictly worse than A6's
+//! linear speed-of-light bound, which is why long equipotential lines
+//! die first by RC. Inserting buffers every constant distance
+//! restores linear growth in `L` (each segment a constant RC), which
+//! is exactly the repeater trick the paper's buffered trees (A7)
+//! build on — there used to *pipeline*, here merely to drive.
+
+use crate::tree::{ClockTree, NodeId};
+
+/// Per-unit-length electrical parameters of the clock wiring, plus
+/// the load presented by each tree node.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RcParams {
+    /// Wire resistance per unit length.
+    pub r_per_unit: f64,
+    /// Wire capacitance per unit length.
+    pub c_per_unit: f64,
+    /// Lumped load capacitance at every tree node (gate input or
+    /// buffer).
+    pub node_load: f64,
+}
+
+impl RcParams {
+    /// Creates RC parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless all values are positive.
+    #[must_use]
+    pub fn new(r_per_unit: f64, c_per_unit: f64, node_load: f64) -> Self {
+        assert!(
+            r_per_unit > 0.0 && c_per_unit > 0.0 && node_load > 0.0,
+            "RC parameters must be positive"
+        );
+        RcParams {
+            r_per_unit,
+            c_per_unit,
+            node_load,
+        }
+    }
+}
+
+/// Elmore delays from the root to every node of an unbuffered RC
+/// tree.
+///
+/// Each edge is treated as a distributed RC line (its own capacitance
+/// counts at half resistance, per the standard Π-model), and every
+/// node adds `node_load` of lumped capacitance.
+#[derive(Debug, Clone)]
+pub struct ElmoreDelays {
+    delay: Vec<f64>,
+}
+
+impl ElmoreDelays {
+    /// Computes Elmore delays for `tree` under `params`.
+    #[must_use]
+    pub fn compute(tree: &ClockTree, params: RcParams) -> Self {
+        let n = tree.node_count();
+        // Downstream capacitance per node: subtree wire capacitance
+        // plus subtree node loads. Children have larger ids than
+        // parents (builder order), so a reverse scan accumulates.
+        let mut downstream = vec![params.node_load; n];
+        for i in (1..n).rev() {
+            let wire_c = tree.wire_length(NodeId::new(i)) * params.c_per_unit;
+            let parent = tree
+                .parent(NodeId::new(i))
+                .expect("non-root has a parent")
+                .index();
+            downstream[parent] += downstream[i] + wire_c;
+        }
+        // Elmore: walking down, each edge contributes
+        // R_edge · (C_subtree(child) + C_edge/2).
+        let mut delay = vec![0.0f64; n];
+        for i in 1..n {
+            let node = NodeId::new(i);
+            let parent = tree.parent(node).expect("non-root").index();
+            let len = tree.wire_length(node);
+            let r = len * params.r_per_unit;
+            let c_edge = len * params.c_per_unit;
+            delay[i] = delay[parent] + r * (downstream[i] + c_edge / 2.0);
+        }
+        ElmoreDelays { delay }
+    }
+
+    /// Elmore delay from the root to `node`.
+    #[must_use]
+    pub fn at(&self, node: NodeId) -> f64 {
+        self.delay[node.index()]
+    }
+
+    /// The slowest node: the tree's settle time — the τ that an
+    /// equipotential scheme must wait out (A6's physical origin).
+    #[must_use]
+    pub fn max_delay(&self) -> f64 {
+        self.delay.iter().copied().fold(0.0, f64::max)
+    }
+}
+
+/// Elmore settle time of a *buffered* line of length `len` with ideal
+/// buffers (each restoring the signal) every `spacing` units and a
+/// fixed `buffer_delay` each: the repeater trick that converts the
+/// quadratic unbuffered growth back to linear.
+///
+/// # Panics
+///
+/// Panics unless lengths and delays are positive.
+#[must_use]
+pub fn buffered_line_delay(
+    len: f64,
+    spacing: f64,
+    buffer_delay: f64,
+    params: RcParams,
+) -> f64 {
+    assert!(len > 0.0 && spacing > 0.0, "lengths must be positive");
+    assert!(buffer_delay > 0.0, "buffer delay must be positive");
+    let segments = (len / spacing).ceil().max(1.0);
+    let seg_len = len / segments;
+    let seg_rc = (seg_len * params.r_per_unit)
+        * (seg_len * params.c_per_unit / 2.0 + params.node_load);
+    segments * (seg_rc + buffer_delay)
+}
+
+/// Elmore settle time of the same line with no buffers: quadratic in
+/// length.
+///
+/// # Panics
+///
+/// Panics unless `len > 0`.
+#[must_use]
+pub fn unbuffered_line_delay(len: f64, params: RcParams) -> f64 {
+    assert!(len > 0.0, "length must be positive");
+    (len * params.r_per_unit) * (len * params.c_per_unit / 2.0 + params.node_load)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builders::{htree, spine};
+    use array_layout::graph::CommGraph;
+    use array_layout::layout::Layout;
+
+    fn params() -> RcParams {
+        RcParams::new(1.0, 1.0, 0.5)
+    }
+
+    #[test]
+    fn unbuffered_line_grows_quadratically() {
+        let d10 = unbuffered_line_delay(10.0, params());
+        let d100 = unbuffered_line_delay(100.0, params());
+        let ratio = d100 / d10;
+        assert!(
+            (80.0..120.0).contains(&ratio),
+            "expected ~100x for 10x length, got {ratio}"
+        );
+    }
+
+    #[test]
+    fn buffered_line_grows_linearly() {
+        let d10 = buffered_line_delay(10.0, 2.0, 1.0, params());
+        let d100 = buffered_line_delay(100.0, 2.0, 1.0, params());
+        let ratio = d100 / d10;
+        assert!((8.0..12.0).contains(&ratio), "expected ~10x, got {ratio}");
+        // And buffering beats the bare wire for long lines.
+        assert!(d100 < unbuffered_line_delay(100.0, params()));
+    }
+
+    #[test]
+    fn elmore_monotone_down_the_tree() {
+        let comm = CommGraph::mesh(8, 8);
+        let layout = Layout::grid(&comm);
+        let tree = htree(&comm, &layout);
+        let delays = ElmoreDelays::compute(&tree, params());
+        for node in tree.nodes() {
+            if let Some(p) = tree.parent(node) {
+                assert!(
+                    delays.at(node) >= delays.at(p),
+                    "Elmore delay must not decrease toward the leaves"
+                );
+            }
+        }
+        assert!(delays.max_delay() > 0.0);
+    }
+
+    #[test]
+    fn elmore_settle_grows_superlinearly_with_array() {
+        // The equipotential pain: the H-tree's RC settle time grows
+        // faster than its physical depth.
+        let settle = |n: usize| {
+            let comm = CommGraph::mesh(n, n);
+            let layout = Layout::grid(&comm);
+            let tree = htree(&comm, &layout);
+            ElmoreDelays::compute(&tree, params()).max_delay()
+        };
+        let (s8, s16, s32) = (settle(8), settle(16), settle(32));
+        // Physical depth only doubles per step; RC settle must grow
+        // faster than 2x per doubling.
+        assert!(s16 / s8 > 2.5, "{}", s16 / s8);
+        assert!(s32 / s16 > 2.5, "{}", s32 / s16);
+    }
+
+    #[test]
+    fn spine_elmore_matches_line_formula() {
+        // A spine with negligible node loads approximates the bare
+        // line: delay to the far end ~ R·C·L²/2.
+        let comm = CommGraph::linear(64);
+        let layout = Layout::linear_row(&comm);
+        let tree = spine(&comm, &layout);
+        let p = RcParams::new(1.0, 1.0, 1e-9);
+        let delays = ElmoreDelays::compute(&tree, p);
+        let far = tree
+            .node_of_cell(array_layout::graph::CellId::new(63))
+            .expect("attached");
+        let analytic = 63.0f64 * 63.0 / 2.0;
+        let measured = delays.at(far);
+        assert!(
+            (measured / analytic - 1.0).abs() < 0.05,
+            "measured {measured} vs analytic {analytic}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_nonpositive_params() {
+        let _ = RcParams::new(0.0, 1.0, 1.0);
+    }
+}

@@ -1,0 +1,201 @@
+//! Assumption A8 and what happens without it.
+//!
+//! Pipelined clocking (A7) keeps several clock events in flight along
+//! a buffered path. For the events to stay *correctly spaced*, the
+//! paper assumes A8: "the time for a signal to travel on a particular
+//! path through a buffered clock tree is invariant over time". This
+//! module simulates an event train travelling down a buffered path
+//! with (optionally) time-varying per-stage delay jitter:
+//!
+//! * with A8 (zero jitter) the inter-event spacing is preserved
+//!   exactly, at any depth — pipelined clocking works arbitrarily far;
+//! * without A8, spacing error accumulates like a random walk
+//!   (~`√depth · σ`), and beyond some depth the clock train violates
+//!   any fixed timing margin — the failure that motivates Section VI's
+//!   hybrid scheme.
+
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Spacing statistics of a pipelined clock event train at the end of a
+/// buffered path.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpacingStats {
+    /// Smallest spacing between consecutive events at the output.
+    pub min_spacing: f64,
+    /// Largest spacing between consecutive events at the output.
+    pub max_spacing: f64,
+    /// Largest absolute deviation of any output spacing from the
+    /// nominal period.
+    pub max_deviation: f64,
+}
+
+/// Simulates `events` clock events launched with period `period` down
+/// a path of `stages` buffers. Each buffer nominally delays an event
+/// by `stage_delay`; when `jitter_std > 0` every (event, stage) pair
+/// gets an independent Gaussian perturbation — the violation of A8.
+/// Buffers cannot reorder events or pass them closer than
+/// `min_separation` (inertia).
+///
+/// # Panics
+///
+/// Panics unless `stages ≥ 1`, `events ≥ 2`, `period > 0`,
+/// `stage_delay > 0`, `jitter_std ≥ 0`, and
+/// `0 ≤ min_separation < period`.
+#[must_use]
+pub fn propagate_event_train(
+    stages: usize,
+    events: usize,
+    period: f64,
+    stage_delay: f64,
+    jitter_std: f64,
+    min_separation: f64,
+    seed: u64,
+) -> SpacingStats {
+    assert!(stages >= 1, "need at least one stage");
+    assert!(events >= 2, "need at least two events to have a spacing");
+    assert!(period > 0.0 && stage_delay > 0.0, "times must be positive");
+    assert!(jitter_std >= 0.0, "jitter must be non-negative");
+    assert!(
+        (0.0..period).contains(&min_separation),
+        "need 0 <= min_separation < period"
+    );
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    // arrival[j] = time of event j at the current depth.
+    let mut arrival: Vec<f64> = (0..events).map(|j| j as f64 * period).collect();
+    for _ in 0..stages {
+        let mut prev_out = f64::NEG_INFINITY;
+        for t in arrival.iter_mut() {
+            let jitter = if jitter_std > 0.0 {
+                crate::jitter::gaussian(&mut rng, jitter_std)
+            } else {
+                0.0
+            };
+            let mut out = *t + stage_delay + jitter;
+            // Inertia: an event cannot follow its predecessor closer
+            // than the buffer can regenerate.
+            if out < prev_out + min_separation {
+                out = prev_out + min_separation;
+            }
+            prev_out = out;
+            *t = out;
+        }
+    }
+    let mut min_spacing = f64::INFINITY;
+    let mut max_spacing: f64 = 0.0;
+    for w in arrival.windows(2) {
+        let s = w[1] - w[0];
+        min_spacing = min_spacing.min(s);
+        max_spacing = max_spacing.max(s);
+    }
+    let max_deviation = (period - min_spacing).abs().max((max_spacing - period).abs());
+    SpacingStats {
+        min_spacing,
+        max_spacing,
+        max_deviation,
+    }
+}
+
+/// The deepest buffered path (in stages) at which every output spacing
+/// of a `events`-event train stays within `margin` of the period, for
+/// the given jitter. Returns `max_stages` if even the deepest tried
+/// path is fine (the A8 case).
+///
+/// # Panics
+///
+/// As for [`propagate_event_train`], plus `margin > 0`.
+#[must_use]
+pub fn max_reliable_depth(
+    max_stages: usize,
+    events: usize,
+    period: f64,
+    stage_delay: f64,
+    jitter_std: f64,
+    margin: f64,
+    seed: u64,
+) -> usize {
+    assert!(margin > 0.0, "margin must be positive");
+    let mut deepest = 0;
+    for stages in 1..=max_stages {
+        let stats = propagate_event_train(
+            stages,
+            events,
+            period,
+            stage_delay,
+            jitter_std,
+            period * 0.25,
+            seed,
+        );
+        if stats.max_deviation <= margin {
+            deepest = stages;
+        } else {
+            break;
+        }
+    }
+    deepest
+}
+
+/// One zero-mean Gaussian sample (Box–Muller); kept local so the
+/// clock crate does not depend on the simulator crate.
+fn gaussian<R: Rng + ?Sized>(rng: &mut R, std: f64) -> f64 {
+    let u1: f64 = 1.0 - rng.gen::<f64>();
+    let u2: f64 = rng.gen();
+    std * (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn a8_preserves_spacing_exactly_at_any_depth() {
+        for stages in [1usize, 64, 4096] {
+            let stats = propagate_event_train(stages, 16, 10.0, 1.0, 0.0, 2.0, 1);
+            assert!(stats.max_deviation < 1e-9, "stages={stages}: {stats:?}");
+        }
+    }
+
+    #[test]
+    fn jitter_accumulates_with_depth() {
+        let shallow = propagate_event_train(16, 64, 10.0, 1.0, 0.2, 2.0, 3);
+        let deep = propagate_event_train(1024, 64, 10.0, 1.0, 0.2, 2.0, 3);
+        assert!(
+            deep.max_deviation > shallow.max_deviation,
+            "{deep:?} vs {shallow:?}"
+        );
+    }
+
+    #[test]
+    fn deviation_grows_like_sqrt_depth() {
+        // Average over seeds to smooth the estimate.
+        let avg_dev = |stages: usize| -> f64 {
+            (0..24)
+                .map(|seed| {
+                    propagate_event_train(stages, 32, 10.0, 1.0, 0.1, 2.0, seed)
+                        .max_deviation
+                })
+                .sum::<f64>()
+                / 24.0
+        };
+        let (d64, d1024) = (avg_dev(64), avg_dev(1024));
+        let ratio = d1024 / d64;
+        // sqrt(1024/64) = 4; rule out both constant (1) and linear (16).
+        assert!((2.0..8.0).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn reliable_depth_shrinks_with_jitter() {
+        let clean = max_reliable_depth(256, 32, 10.0, 1.0, 0.0, 1.0, 7);
+        let noisy = max_reliable_depth(256, 32, 10.0, 1.0, 0.1, 1.0, 7);
+        assert_eq!(clean, 256, "A8 case should pass every depth");
+        assert!(noisy < 256, "jitter must cap the usable depth");
+        assert!(noisy >= 1);
+    }
+
+    #[test]
+    fn events_never_reorder() {
+        let stats = propagate_event_train(512, 32, 4.0, 1.0, 0.5, 1.0, 11);
+        assert!(stats.min_spacing >= 1.0 - 1e-9, "{stats:?}");
+    }
+}

@@ -1,0 +1,215 @@
+//! Clock period and distribution time (assumptions A5–A7).
+//!
+//! A clocked system may be driven with period `σ + δ + τ` (A5), where
+//! `σ` is the maximum skew between communicating cells, `δ` the
+//! compute-plus-propagate time of a cell, and `τ` the time to
+//! distribute one clocking event on CLK. Two distribution regimes:
+//!
+//! * **Equipotential** (A6): the whole tree settles before the next
+//!   event, so `τ ≥ α · P` with `P` the longest root-to-leaf path —
+//!   the period grows with the layout diameter.
+//! * **Pipelined** (A7): the tree is buffered every constant distance
+//!   and several events travel simultaneously; `τ` is the constant
+//!   delay of one buffer stage plus its output wire — independent of
+//!   array size (given invariance A8).
+
+use crate::tree::ClockTree;
+
+/// How clock events are distributed down the tree.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
+pub enum Distribution {
+    /// Equipotential clocking (A6): the tree is brought to an
+    /// equipotential state between events.
+    Equipotential {
+        /// Proportionality constant relating path length to settle
+        /// time (`τ = α · P`).
+        alpha: f64,
+    },
+    /// Pipelined clocking (A7): buffers every `spacing` length units;
+    /// each stage costs `buffer_delay` plus the wire transit of one
+    /// segment.
+    Pipelined {
+        /// Propagation delay of one buffer.
+        buffer_delay: f64,
+        /// Distance between buffers along the tree wires.
+        spacing: f64,
+        /// Per-unit-length wire delay between buffers.
+        unit_wire_delay: f64,
+    },
+}
+
+impl Distribution {
+    /// The event-distribution time `τ` on `tree` under this regime.
+    ///
+    /// For the equipotential regime this is `α · P` (A6); for the
+    /// pipelined regime it is the delay through one buffer and its
+    /// longest unbuffered wire run (A7) — a constant once the tree's
+    /// edge lengths are bounded by the buffer spacing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if parameters are non-positive.
+    #[must_use]
+    pub fn tau(&self, tree: &ClockTree) -> f64 {
+        match *self {
+            Distribution::Equipotential { alpha } => {
+                assert!(alpha > 0.0, "alpha must be positive");
+                alpha * tree.max_root_distance()
+            }
+            Distribution::Pipelined {
+                buffer_delay,
+                spacing,
+                unit_wire_delay,
+            } => {
+                assert!(buffer_delay > 0.0, "buffer delay must be positive");
+                assert!(spacing > 0.0, "buffer spacing must be positive");
+                assert!(unit_wire_delay > 0.0, "wire delay must be positive");
+                buffer_delay + tree.max_unbuffered_run(spacing) * unit_wire_delay
+            }
+        }
+    }
+}
+
+/// The clock period of assumption A5: `σ + δ + τ`.
+///
+/// The paper notes an exact formula for a given scheme might look like
+/// `max(τ, 2σ + δ)`, but exhibits the same asymptotic growth; we use
+/// the simple sum as the paper does.
+///
+/// # Panics
+///
+/// Panics if any component is negative.
+#[must_use]
+pub fn clock_period(sigma: f64, delta: f64, tau: f64) -> f64 {
+    assert!(
+        sigma >= 0.0 && delta >= 0.0 && tau >= 0.0,
+        "period components must be non-negative (got σ={sigma}, δ={delta}, τ={tau})"
+    );
+    sigma + delta + tau
+}
+
+/// The paper's example of an *exact* period formula for a particular
+/// clocking method: `max(τ, 2σ + δ)`. A5 deliberately uses the simple
+/// sum instead because both "exhibit the same type of growth with
+/// respect to system size"; this function exists so experiments can
+/// verify that equivalence.
+///
+/// # Panics
+///
+/// Panics if any component is negative.
+#[must_use]
+pub fn clock_period_exact_form(sigma: f64, delta: f64, tau: f64) -> f64 {
+    assert!(
+        sigma >= 0.0 && delta >= 0.0 && tau >= 0.0,
+        "period components must be non-negative (got σ={sigma}, δ={delta}, τ={tau})"
+    );
+    tau.max(2.0 * sigma + delta)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builders::{htree, spine};
+    use array_layout::geom::approx_eq;
+    use array_layout::graph::CommGraph;
+    use array_layout::layout::Layout;
+
+    #[test]
+    fn equipotential_tau_grows_with_array() {
+        let alpha = 0.5;
+        let mut prev = 0.0;
+        for n in [4usize, 16, 64] {
+            let comm = CommGraph::mesh(n, n);
+            let layout = Layout::grid(&comm);
+            let tree = htree(&comm, &layout);
+            let tau = Distribution::Equipotential { alpha }.tau(&tree);
+            assert!(tau > prev, "n={n}: tau={tau}");
+            prev = tau;
+        }
+    }
+
+    #[test]
+    fn pipelined_tau_constant_in_array_size() {
+        let dist = Distribution::Pipelined {
+            buffer_delay: 1.0,
+            spacing: 2.0,
+            unit_wire_delay: 1.0,
+        };
+        let mut taus = Vec::new();
+        for n in [8usize, 64, 512] {
+            let comm = CommGraph::linear(n);
+            let layout = Layout::linear_row(&comm);
+            let tree = spine(&comm, &layout);
+            taus.push(dist.tau(&tree));
+        }
+        assert!(approx_eq(taus[0], taus[1]));
+        assert!(approx_eq(taus[1], taus[2]));
+        // One buffer (1.0) plus a ≤2-unit segment at unit wire delay.
+        assert!(taus[0] <= 3.0 + 1e-9);
+    }
+
+    #[test]
+    fn pipelined_tau_bounded_by_spacing() {
+        let comm = CommGraph::mesh(16, 16);
+        let layout = Layout::grid(&comm);
+        let tree = htree(&comm, &layout);
+        let tau = Distribution::Pipelined {
+            buffer_delay: 0.5,
+            spacing: 1.0,
+            unit_wire_delay: 1.0,
+        }
+        .tau(&tree);
+        assert!(tau <= 0.5 + 1.0 + 1e-9, "tau = {tau}");
+    }
+
+    #[test]
+    fn period_is_simple_sum() {
+        assert!(approx_eq(clock_period(1.0, 2.0, 3.0), 6.0));
+        assert!(approx_eq(clock_period(0.0, 0.0, 0.0), 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn period_rejects_negative() {
+        let _ = clock_period(-1.0, 0.0, 0.0);
+    }
+
+    #[test]
+    fn exact_form_same_growth_as_simple_sum() {
+        // The paper's justification for using σ + δ + τ: both
+        // formulas grow the same way. Check on growing meshes where σ
+        // grows (summation H-tree) and τ is constant (pipelined).
+        use crate::skew::SummationModel;
+        let model = SummationModel::from_delay_model(
+            crate::delay::WireDelayModel::new(1.0, 0.1),
+        );
+        let dist = Distribution::Pipelined {
+            buffer_delay: 1.0,
+            spacing: 2.0,
+            unit_wire_delay: 1.0,
+        };
+        let mut simple = Vec::new();
+        let mut exact = Vec::new();
+        for n in [8usize, 16, 32] {
+            let comm = CommGraph::mesh(n, n);
+            let layout = Layout::grid(&comm);
+            let tree = htree(&comm, &layout);
+            let sigma = model.max_skew(&tree, &comm);
+            let tau = dist.tau(&tree);
+            simple.push(clock_period(sigma, 2.0, tau));
+            exact.push(clock_period_exact_form(sigma, 2.0, tau));
+        }
+        // Both roughly double when n doubles.
+        for series in [&simple, &exact] {
+            let r = series[2] / series[1];
+            assert!((1.6..2.4).contains(&r), "growth ratio {r}");
+        }
+    }
+
+    #[test]
+    fn exact_form_picks_max() {
+        assert!(approx_eq(clock_period_exact_form(1.0, 2.0, 10.0), 10.0));
+        assert!(approx_eq(clock_period_exact_form(4.0, 2.0, 3.0), 10.0));
+    }
+}

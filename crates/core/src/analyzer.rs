@@ -1,0 +1,436 @@
+//! The synchronization-scheme spectrum: one API over every scheme the
+//! paper discusses, reporting the achievable clock period `σ + δ + τ`
+//! (A5) for a given array.
+//!
+//! Schemes:
+//!
+//! * [`SyncScheme::GlobalEquipotential`] — conventional clocking; the
+//!   distribution time grows with the layout diameter (A6).
+//! * [`SyncScheme::PipelinedDifference`] — buffered, pipelined clock
+//!   on a delay-tuned (equalized) H-tree under the difference model:
+//!   Theorem 2's constant period.
+//! * [`SyncScheme::PipelinedSummation`] — pipelined clock under the
+//!   robust summation model: constant for one-dimensional arrays
+//!   (Theorem 3, spine tree), `Ω(n)` skew for meshes (Section V-B).
+//! * [`SyncScheme::Hybrid`] — Section VI's clocked elements + local
+//!   handshake network: constant period for any topology.
+//! * [`SyncScheme::FullySelfTimed`] — per-transfer handshake
+//!   everywhere: constant period, highest fixed overhead.
+
+use array_layout::graph::{CommGraph, Topology};
+use array_layout::layout::Layout;
+use clock_tree::builders::{htree, spine};
+use clock_tree::delay::WireDelayModel;
+use clock_tree::period::{clock_period, Distribution};
+use clock_tree::skew::{DifferenceModel, SummationModel};
+use selftimed::handshake::HandshakeLink;
+use selftimed::hybrid::{HybridArray, HybridParams};
+
+/// A synchronization scheme from the paper's spectrum.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
+pub enum SyncScheme {
+    /// Global clock, tree brought to equipotential between events
+    /// (A6): `τ = α · P`.
+    GlobalEquipotential {
+        /// Settle-time constant of A6.
+        alpha: f64,
+    },
+    /// Pipelined global clock on an equalized H-tree, difference
+    /// model (Theorem 2).
+    PipelinedDifference {
+        /// Delay of one clock buffer.
+        buffer_delay: f64,
+        /// Buffer spacing along the tree (A7).
+        spacing: f64,
+    },
+    /// Pipelined global clock under the summation model: spine tree
+    /// for linear arrays (Theorem 3), H-tree otherwise (where
+    /// Section V-B's lower bound applies).
+    PipelinedSummation {
+        /// Delay of one clock buffer.
+        buffer_delay: f64,
+        /// Buffer spacing along the tree (A7).
+        spacing: f64,
+    },
+    /// Section VI's hybrid scheme.
+    Hybrid(HybridParams),
+    /// Fully self-timed: handshake on every transfer.
+    FullySelfTimed {
+        /// The per-link handshake.
+        link: HandshakeLink,
+    },
+}
+
+/// Shared physical parameters for the analysis.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AnalysisParams {
+    /// Per-unit-length wire delay `m` with variation `ε`.
+    pub delay_model: WireDelayModel,
+    /// Cell compute + propagate delay δ (A5).
+    pub delta: f64,
+}
+
+impl Default for AnalysisParams {
+    fn default() -> Self {
+        AnalysisParams {
+            delay_model: WireDelayModel::new(1.0, 0.1),
+            delta: 2.0,
+        }
+    }
+}
+
+/// The A5 decomposition of one scheme's achievable period on one
+/// array.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SchemeReport {
+    /// Human-readable scheme name.
+    pub scheme: &'static str,
+    /// Maximum skew between communicating cells.
+    pub sigma: f64,
+    /// Cell compute + propagate delay.
+    pub delta: f64,
+    /// Event distribution / synchronization time.
+    pub tau: f64,
+    /// The resulting clock period `σ + δ + τ`.
+    pub period: f64,
+}
+
+/// Analyzes one scheme on one laid-out array.
+///
+/// # Panics
+///
+/// Panics if the layout does not match the graph, or the scheme's
+/// parameters are invalid (see the underlying constructors), or a
+/// hybrid analysis is requested for a non-grid topology.
+#[must_use]
+pub fn analyze(
+    comm: &CommGraph,
+    layout: &Layout,
+    scheme: &SyncScheme,
+    params: &AnalysisParams,
+) -> SchemeReport {
+    match *scheme {
+        SyncScheme::GlobalEquipotential { alpha } => {
+            // Delay-tuned tree: skew negligible; the settle time is
+            // what hurts.
+            let tree = htree(comm, layout).equalized();
+            let tau = Distribution::Equipotential { alpha }.tau(&tree);
+            let sigma = 0.0;
+            SchemeReport {
+                scheme: "global-equipotential",
+                sigma,
+                delta: params.delta,
+                tau,
+                period: clock_period(sigma, params.delta, tau),
+            }
+        }
+        SyncScheme::PipelinedDifference {
+            buffer_delay,
+            spacing,
+        } => {
+            let tree = htree(comm, layout).equalized();
+            let dm = DifferenceModel::linear(params.delay_model.nominal());
+            let sigma = dm.max_skew(&tree, comm);
+            let tau = Distribution::Pipelined {
+                buffer_delay,
+                spacing,
+                unit_wire_delay: params.delay_model.nominal(),
+            }
+            .tau(&tree);
+            SchemeReport {
+                scheme: "pipelined-difference",
+                sigma,
+                delta: params.delta,
+                tau,
+                period: clock_period(sigma, params.delta, tau),
+            }
+        }
+        SyncScheme::PipelinedSummation {
+            buffer_delay,
+            spacing,
+        } => {
+            let tree = match comm.topology() {
+                Topology::Linear { .. } => spine(comm, layout),
+                Topology::Ring { .. } => clock_tree::builders::spine_ring(comm, layout),
+                _ => htree(comm, layout),
+            };
+            let sm = SummationModel::from_delay_model(params.delay_model);
+            let sigma = sm.max_skew(&tree, comm);
+            let tau = Distribution::Pipelined {
+                buffer_delay,
+                spacing,
+                unit_wire_delay: params.delay_model.nominal(),
+            }
+            .tau(&tree);
+            SchemeReport {
+                scheme: "pipelined-summation",
+                sigma,
+                delta: params.delta,
+                tau,
+                period: clock_period(sigma, params.delta, tau),
+            }
+        }
+        SyncScheme::Hybrid(hp) => {
+            let (rows, cols) = comm
+                .grid_dims()
+                .expect("hybrid analysis requires a grid-like topology");
+            let h = HybridArray::over_mesh(rows.max(cols), hp);
+            let sigma = h.local_skew();
+            let tau = hp.link.transfer_time() + h.local_distribution_time();
+            SchemeReport {
+                scheme: "hybrid",
+                sigma,
+                delta: hp.cell_delta,
+                tau,
+                period: h.cycle_time(),
+            }
+        }
+        SyncScheme::FullySelfTimed { link } => {
+            let tau = link.transfer_time();
+            SchemeReport {
+                scheme: "fully-self-timed",
+                sigma: 0.0,
+                delta: params.delta,
+                tau,
+                period: clock_period(0.0, params.delta, tau),
+            }
+        }
+    }
+}
+
+/// Sweeps a scheme over square meshes of the given side lengths and
+/// returns `(sides, periods)` ready for growth classification.
+///
+/// # Panics
+///
+/// As for [`analyze`].
+#[must_use]
+pub fn mesh_period_sweep(
+    scheme: &SyncScheme,
+    sides: &[usize],
+    params: &AnalysisParams,
+) -> (Vec<f64>, Vec<f64>) {
+    let xs: Vec<f64> = sides.iter().map(|&n| n as f64).collect();
+    let ys = sides
+        .iter()
+        .map(|&n| {
+            let comm = CommGraph::mesh(n, n);
+            let layout = Layout::grid(&comm);
+            analyze(&comm, &layout, scheme, params).period
+        })
+        .collect();
+    (xs, ys)
+}
+
+/// Sweeps a scheme over folded rings of the given sizes and returns
+/// `(sizes, periods)`.
+///
+/// # Panics
+///
+/// As for [`analyze`]; ring sizes must be at least 3.
+#[must_use]
+pub fn ring_period_sweep(
+    scheme: &SyncScheme,
+    sizes: &[usize],
+    params: &AnalysisParams,
+) -> (Vec<f64>, Vec<f64>) {
+    let xs: Vec<f64> = sizes.iter().map(|&n| n as f64).collect();
+    let ys = sizes
+        .iter()
+        .map(|&n| {
+            let comm = CommGraph::ring(n);
+            let layout = Layout::folded_ring(&comm);
+            analyze(&comm, &layout, scheme, params).period
+        })
+        .collect();
+    (xs, ys)
+}
+
+/// Sweeps a scheme over linear arrays of the given lengths and
+/// returns `(lengths, periods)`.
+///
+/// # Panics
+///
+/// As for [`analyze`].
+#[must_use]
+pub fn linear_period_sweep(
+    scheme: &SyncScheme,
+    lengths: &[usize],
+    params: &AnalysisParams,
+) -> (Vec<f64>, Vec<f64>) {
+    let xs: Vec<f64> = lengths.iter().map(|&n| n as f64).collect();
+    let ys = lengths
+        .iter()
+        .map(|&n| {
+            let comm = CommGraph::linear(n);
+            let layout = Layout::linear_row(&comm);
+            analyze(&comm, &layout, scheme, params).period
+        })
+        .collect();
+    (xs, ys)
+}
+
+/// Finds the smallest mesh side (among `sides`, ascending) at which
+/// `challenger` achieves a strictly shorter period than `incumbent` —
+/// the crossover the paper predicts as systems grow ("clock
+/// distribution problems crop up in any technology as systems grow").
+///
+/// Returns `None` if the challenger never wins in the range.
+///
+/// # Panics
+///
+/// As for [`analyze`]; also panics if `sides` is not ascending.
+#[must_use]
+pub fn mesh_crossover(
+    incumbent: &SyncScheme,
+    challenger: &SyncScheme,
+    sides: &[usize],
+    params: &AnalysisParams,
+) -> Option<usize> {
+    assert!(
+        sides.windows(2).all(|w| w[0] < w[1]),
+        "sides must be strictly ascending"
+    );
+    for &n in sides {
+        let comm = CommGraph::mesh(n, n);
+        let layout = Layout::grid(&comm);
+        let inc = analyze(&comm, &layout, incumbent, params).period;
+        let cha = analyze(&comm, &layout, challenger, params).period;
+        if cha < inc {
+            return Some(n);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::theory::{classify_growth, GrowthClass};
+    use selftimed::handshake::Protocol;
+
+    fn params() -> AnalysisParams {
+        AnalysisParams::default()
+    }
+
+    fn hybrid_params() -> HybridParams {
+        HybridParams::new(
+            4,
+            2.0,
+            1.0,
+            0.1,
+            HandshakeLink::new(1.0, 0.5, Protocol::TwoPhase),
+        )
+    }
+
+    const SIDES: [usize; 4] = [4, 8, 16, 32];
+    const LENGTHS: [usize; 4] = [8, 32, 128, 512];
+
+    #[test]
+    fn equipotential_period_grows_linearly_on_meshes() {
+        let scheme = SyncScheme::GlobalEquipotential { alpha: 1.0 };
+        let (xs, ys) = mesh_period_sweep(&scheme, &SIDES, &params());
+        assert_eq!(classify_growth(&xs, &ys), GrowthClass::Linear);
+    }
+
+    #[test]
+    fn pipelined_difference_constant_on_meshes() {
+        let scheme = SyncScheme::PipelinedDifference {
+            buffer_delay: 1.0,
+            spacing: 2.0,
+        };
+        let (xs, ys) = mesh_period_sweep(&scheme, &SIDES, &params());
+        assert_eq!(classify_growth(&xs, &ys), GrowthClass::Constant);
+        // σ = 0 on an equalized tree.
+        let comm = CommGraph::mesh(8, 8);
+        let layout = Layout::grid(&comm);
+        let r = analyze(&comm, &layout, &scheme, &params());
+        assert!(r.sigma.abs() < 1e-9);
+    }
+
+    #[test]
+    fn pipelined_summation_constant_on_rings_too() {
+        let scheme = SyncScheme::PipelinedSummation {
+            buffer_delay: 1.0,
+            spacing: 2.0,
+        };
+        let (xs, ys) = ring_period_sweep(&scheme, &[8, 32, 128, 512], &params());
+        assert_eq!(classify_growth(&xs, &ys), GrowthClass::Constant);
+    }
+
+    #[test]
+    fn pipelined_summation_constant_on_linear_but_linear_on_meshes() {
+        let scheme = SyncScheme::PipelinedSummation {
+            buffer_delay: 1.0,
+            spacing: 2.0,
+        };
+        let (lx, ly) = linear_period_sweep(&scheme, &LENGTHS, &params());
+        assert_eq!(classify_growth(&lx, &ly), GrowthClass::Constant);
+        let (mx, my) = mesh_period_sweep(&scheme, &SIDES, &params());
+        // Dominated by σ = Θ(n) on meshes.
+        assert_eq!(classify_growth(&mx, &my), GrowthClass::Linear);
+    }
+
+    #[test]
+    fn hybrid_constant_on_meshes() {
+        let scheme = SyncScheme::Hybrid(hybrid_params());
+        let (xs, ys) = mesh_period_sweep(&scheme, &SIDES, &params());
+        assert_eq!(classify_growth(&xs, &ys), GrowthClass::Constant);
+    }
+
+    #[test]
+    fn fully_self_timed_constant_everywhere() {
+        let scheme = SyncScheme::FullySelfTimed {
+            link: HandshakeLink::new(1.0, 0.5, Protocol::TwoPhase),
+        };
+        let (xs, ys) = mesh_period_sweep(&scheme, &SIDES, &params());
+        assert_eq!(classify_growth(&xs, &ys), GrowthClass::Constant);
+    }
+
+    #[test]
+    fn hybrid_beats_equipotential_on_large_meshes() {
+        let p = params();
+        let comm = CommGraph::mesh(64, 64);
+        let layout = Layout::grid(&comm);
+        let hybrid = analyze(&comm, &layout, &SyncScheme::Hybrid(hybrid_params()), &p);
+        let equi = analyze(
+            &comm,
+            &layout,
+            &SyncScheme::GlobalEquipotential { alpha: 1.0 },
+            &p,
+        );
+        assert!(hybrid.period < equi.period);
+    }
+
+    #[test]
+    fn crossover_found_where_growth_overtakes() {
+        let p = params();
+        let equi = SyncScheme::GlobalEquipotential { alpha: 1.0 };
+        let hybrid = SyncScheme::Hybrid(hybrid_params());
+        // Equipotential period ≈ n + 1 + δ (9.0 at n = 8); hybrid is a
+        // flat 9.3: the hybrid first wins at n = 16.
+        let cross = mesh_crossover(&equi, &hybrid, &[4, 8, 16, 32], &p);
+        assert_eq!(cross, Some(16));
+        // The reverse never crosses in this range.
+        assert_eq!(mesh_crossover(&hybrid, &equi, &[16, 32], &p), None);
+    }
+
+    #[test]
+    fn report_fields_consistent() {
+        let p = params();
+        let comm = CommGraph::linear(32);
+        let layout = Layout::linear_row(&comm);
+        let r = analyze(
+            &comm,
+            &layout,
+            &SyncScheme::PipelinedSummation {
+                buffer_delay: 1.0,
+                spacing: 2.0,
+            },
+            &p,
+        );
+        assert!((r.period - (r.sigma + r.delta + r.tau)).abs() < 1e-9);
+        assert_eq!(r.scheme, "pipelined-summation");
+    }
+}

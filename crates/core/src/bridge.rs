@@ -1,0 +1,295 @@
+//! Bridge between clock-tree analysis and systolic execution: turn a
+//! clock tree's physical arrival times into a per-cell clock schedule
+//! and run real algorithms under it.
+//!
+//! This is where the paper's theory becomes observable behaviour: a
+//! spine-clocked FIR filter computes the same outputs as the ideal
+//! lock-step machine, while an aggressively skewed schedule corrupts
+//! transfers — and stretching the period per A5 repairs exactly the
+//! setup failures, never the hold races.
+
+use array_layout::graph::CommGraph;
+use clock_tree::delay::WireDelayModel;
+use clock_tree::skew::ArrivalTimes;
+use clock_tree::tree::ClockTree;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use systolic::timing::{CellTiming, ClockSchedule, HoldRaceError};
+
+/// Builds a [`ClockSchedule`] from one sampled fabrication of the
+/// tree's wire delays: each cell's offset is its clock arrival time.
+///
+/// # Panics
+///
+/// Panics if some cell of `comm` is not attached to the tree or
+/// `period` is not positive.
+#[must_use]
+pub fn sampled_schedule(
+    tree: &ClockTree,
+    comm: &CommGraph,
+    model: WireDelayModel,
+    period: f64,
+    seed: u64,
+) -> ClockSchedule {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let rates = model.sample_rates(tree, &mut rng);
+    let arrivals = ArrivalTimes::from_rates(tree, &rates);
+    let offsets = comm
+        .cells()
+        .map(|c| arrivals.at_cell(tree, c))
+        .collect();
+    ClockSchedule::new(offsets, period)
+}
+
+/// Builds the *worst-case* schedule implied by the delay band: each
+/// cell's offset is its slowest possible arrival (`(m + ε) ·` root
+/// distance). Conservative for setup analysis.
+///
+/// # Panics
+///
+/// Panics if some cell of `comm` is not attached to the tree or
+/// `period` is not positive.
+#[must_use]
+pub fn worst_case_schedule(
+    tree: &ClockTree,
+    comm: &CommGraph,
+    model: WireDelayModel,
+    period: f64,
+) -> ClockSchedule {
+    let offsets = comm
+        .cells()
+        .map(|c| {
+            let node = tree.node_of_cell(c).expect("cell attached to tree");
+            tree.root_distance(node) * model.max_rate()
+        })
+        .collect();
+    ClockSchedule::new(offsets, period)
+}
+
+/// Builds the per-cell clock schedule of a Section VI hybrid array: a
+/// grid-like COMM graph is partitioned into `element_size ×
+/// element_size` elements, each clocked from its own local node at the
+/// element centre; a cell's offset is its rectilinear distance from
+/// that node times the worst-case wire rate, plus a per-element
+/// alignment error bounded by `sync_margin` (what the handshake
+/// network guarantees).
+///
+/// Offsets therefore repeat per element: the schedule's maximum
+/// communicating skew is bounded by the element geometry and
+/// `sync_margin`, **independent of the array size** — which is the
+/// whole point of the scheme.
+///
+/// # Panics
+///
+/// Panics unless `comm` is grid-like, `element_size > 0`,
+/// `sync_margin ≥ 0`, and `period > 0`.
+#[must_use]
+pub fn hybrid_schedule(
+    comm: &CommGraph,
+    element_size: usize,
+    model: WireDelayModel,
+    sync_margin: f64,
+    period: f64,
+    seed: u64,
+) -> ClockSchedule {
+    assert!(element_size > 0, "element size must be positive");
+    assert!(sync_margin >= 0.0, "sync margin must be non-negative");
+    let (rows, cols) = comm
+        .grid_dims()
+        .expect("hybrid schedule requires a grid-like topology");
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    // Per-element alignment error, fixed per element (the residual
+    // phase difference the handshake network leaves).
+    let e_rows = rows.div_ceil(element_size);
+    let e_cols = cols.div_ceil(element_size);
+    let align: Vec<f64> = (0..e_rows * e_cols)
+        .map(|_| {
+            if sync_margin > 0.0 {
+                rand::Rng::gen_range(&mut rng, 0.0..sync_margin)
+            } else {
+                0.0
+            }
+        })
+        .collect();
+    let center = (element_size as f64 - 1.0) / 2.0;
+    let offsets = (0..rows * cols)
+        .map(|id| {
+            let (r, c) = (id / cols, id % cols);
+            let (er, ec) = (r / element_size, c / element_size);
+            let (lr, lc) = (
+                (r % element_size) as f64 - center,
+                (c % element_size) as f64 - center,
+            );
+            let local = (lr.abs() + lc.abs()) * model.max_rate();
+            align[er * e_cols + ec] + local
+        })
+        .collect();
+    ClockSchedule::new(offsets, period)
+}
+
+/// The minimum safe period (A5's `σ + δ + τ` made concrete) for
+/// running an array clocked by `tree` with the given register timing,
+/// using worst-case arrival offsets.
+///
+/// # Errors
+///
+/// Returns [`HoldRaceError`] if some pair of communicating cells has a
+/// skew so large that no period is safe (the failure mode that calls
+/// for delay padding or the hybrid scheme).
+///
+/// # Panics
+///
+/// Panics if some cell of `comm` is not attached to the tree.
+pub fn safe_period_for_tree(
+    tree: &ClockTree,
+    comm: &CommGraph,
+    model: WireDelayModel,
+    timing: CellTiming,
+) -> Result<f64, HoldRaceError> {
+    let offsets: Vec<f64> = comm
+        .cells()
+        .map(|c| {
+            let node = tree.node_of_cell(c).expect("cell attached to tree");
+            tree.root_distance(node) * model.max_rate()
+        })
+        .collect();
+    systolic::timing::min_safe_period(comm, &offsets, timing)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use array_layout::layout::Layout;
+    use clock_tree::builders::{htree, spine};
+    use systolic::algorithms::fir::SystolicFir;
+    use systolic::timing::SkewedExecutor;
+
+    fn timing() -> CellTiming {
+        // Generous launch delay so small skews never race.
+        CellTiming::new(1.0, 2.0, 0.3, 0.2)
+    }
+
+    #[test]
+    fn spine_clocked_fir_matches_ideal() {
+        let weights = [2, -1, 3];
+        let xs = [1, 4, 2, 8, 5, 7];
+        let expected = SystolicFir::reference(&weights, &xs);
+
+        let mut fir = SystolicFir::new(&weights, &xs);
+        let comm = fir.comm().clone();
+        let layout = Layout::linear_row(&comm);
+        let tree = spine(&comm, &layout);
+        let model = WireDelayModel::new(0.1, 0.05);
+        let period = safe_period_for_tree(&tree, &comm, model, timing())
+            .expect("spine skew is tiny: no race");
+        let schedule = worst_case_schedule(&tree, &comm, model, period);
+        let mut exec = SkewedExecutor::new(&comm, &schedule, timing());
+        assert!(exec.is_faithful());
+        let cycles = fir.cycles_needed();
+        exec.run(&mut fir, cycles);
+        assert_eq!(fir.outputs(), expected);
+    }
+
+    #[test]
+    fn excessive_skew_corrupts_fir() {
+        let weights = [2, -1, 3];
+        let xs = [1, 4, 2, 8, 5, 7];
+        let expected = SystolicFir::reference(&weights, &xs);
+
+        let mut fir = SystolicFir::new(&weights, &xs);
+        let comm = fir.comm().clone();
+        // Hand-build a pathological schedule: the middle cell's clock
+        // arrives absurdly late.
+        let schedule = ClockSchedule::new(vec![0.0, 50.0, 0.0], 100.0);
+        let mut exec = SkewedExecutor::new(&comm, &schedule, timing());
+        assert!(!exec.is_faithful());
+        let cycles = fir.cycles_needed();
+        exec.run(&mut fir, cycles);
+        assert_ne!(fir.outputs(), expected, "corruption must be visible");
+    }
+
+    #[test]
+    fn hybrid_schedule_skew_independent_of_size() {
+        let model = WireDelayModel::new(0.05, 0.01);
+        let mut skews = Vec::new();
+        for n in [8usize, 16, 32] {
+            let comm = array_layout::graph::CommGraph::mesh(n, n);
+            let schedule = hybrid_schedule(&comm, 4, model, 0.1, 10.0, 3);
+            skews.push(schedule.max_comm_skew(&comm));
+        }
+        // Bounded by element geometry + margin, same bound at any n.
+        for &s in &skews {
+            assert!(s <= 4.0 * 0.06 + 0.1 + 1e-9, "skew {s}");
+        }
+        assert!((skews[0] - skews[2]).abs() < 0.2, "{skews:?}");
+    }
+
+    #[test]
+    fn hybrid_clocked_matmul_faithful_on_large_mesh() {
+        // A mesh too skewed for a global pipelined tree still runs
+        // correctly under the hybrid schedule.
+        let n = 8;
+        let a: Vec<Vec<i64>> = (0..n)
+            .map(|i| (0..n).map(|j| ((i * 3 + j) % 7) as i64 - 3).collect())
+            .collect();
+        let b: Vec<Vec<i64>> = (0..n)
+            .map(|i| (0..n).map(|j| ((i + j * 5) % 11) as i64 - 5).collect())
+            .collect();
+        let mut mm = systolic::algorithms::matmul::SystolicMatMul::new(&a, &b);
+        let comm = mm.comm().clone();
+        let model = WireDelayModel::new(0.05, 0.01);
+        let schedule = hybrid_schedule(&comm, 4, model, 0.05, 3.0, 1);
+        let mut exec = SkewedExecutor::new(&comm, &schedule, timing());
+        assert!(exec.is_faithful(), "hybrid schedule must be race-free");
+        let cycles = mm.cycles_needed();
+        exec.run(&mut mm, cycles);
+        assert_eq!(
+            mm.product(),
+            systolic::algorithms::matmul::SystolicMatMul::reference(&a, &b)
+        );
+    }
+
+    #[test]
+    fn sampled_schedule_offsets_within_band() {
+        let comm = array_layout::graph::CommGraph::mesh(4, 4);
+        let layout = Layout::grid(&comm);
+        let tree = htree(&comm, &layout);
+        let model = WireDelayModel::new(1.0, 0.2);
+        let schedule = sampled_schedule(&tree, &comm, model, 10.0, 9);
+        let worst = worst_case_schedule(&tree, &comm, model, 10.0);
+        for c in comm.cells() {
+            let i = c.index();
+            assert!(schedule.offset(i) <= worst.offset(i) + 1e-9);
+            assert!(schedule.offset(i) >= 0.0);
+        }
+    }
+
+    #[test]
+    fn fabrication_variation_costs_htree_more_than_spine() {
+        // On a linear array, the spine keeps communicating cells one
+        // unit apart on the tree, while the H-tree's middle pair meets
+        // at the root (Fig. 3(a) vs Fig. 4(b)). Under sampled ε
+        // variation the H-tree therefore needs a longer safe period —
+        // Section V-A's motivation for the spine.
+        let comm = array_layout::graph::CommGraph::linear(64);
+        let layout = Layout::linear_row(&comm);
+        let spine_tree = spine(&comm, &layout);
+        let htree_tree = htree(&comm, &layout);
+        let model = WireDelayModel::new(0.05, 0.01);
+        let worst_over_seeds = |tree: &clock_tree::tree::ClockTree| -> f64 {
+            (0..10)
+                .map(|seed| {
+                    let schedule = sampled_schedule(tree, &comm, model, 1000.0, seed);
+                    systolic::timing::min_safe_period(&comm, schedule.offsets(), timing())
+                        .expect("skews are far below the race threshold")
+                })
+                .fold(0.0, f64::max)
+        };
+        let t_spine = worst_over_seeds(&spine_tree);
+        let t_htree = worst_over_seeds(&htree_tree);
+        assert!(
+            t_htree > t_spine,
+            "htree {t_htree} should exceed spine {t_spine}"
+        );
+    }
+}

@@ -1,0 +1,121 @@
+//! Small statistics helpers: Gaussian sampling (Box–Muller) and
+//! summary statistics.
+//!
+//! The Section VII analysis assumes per-inverter-pair rise/fall
+//! discrepancies that are "normally distributed with a mean of zero
+//! and variance V"; `rand` alone provides only uniform sampling, so we
+//! carry our own Box–Muller transform rather than pull in another
+//! dependency.
+
+use rand::Rng;
+
+/// Draws one sample from a normal distribution with the given mean and
+/// standard deviation, via the Box–Muller transform.
+///
+/// # Panics
+///
+/// Panics if `std_dev` is negative.
+///
+/// # Examples
+///
+/// ```
+/// use rand::SeedableRng;
+/// let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(1);
+/// let x = desim::stats::sample_normal(&mut rng, 0.0, 1.0);
+/// assert!(x.is_finite());
+/// ```
+pub fn sample_normal<R: Rng + ?Sized>(rng: &mut R, mean: f64, std_dev: f64) -> f64 {
+    assert!(std_dev >= 0.0, "standard deviation must be non-negative");
+    if std_dev == 0.0 {
+        return mean;
+    }
+    // Box–Muller: u1 in (0, 1] avoids ln(0).
+    let u1: f64 = 1.0 - rng.gen::<f64>();
+    let u2: f64 = rng.gen();
+    let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+    mean + std_dev * z
+}
+
+/// Mean and (population) standard deviation of a sample.
+///
+/// Returns `(0.0, 0.0)` for an empty slice.
+#[must_use]
+pub fn mean_std(samples: &[f64]) -> (f64, f64) {
+    if samples.is_empty() {
+        return (0.0, 0.0);
+    }
+    let n = samples.len() as f64;
+    let mean = samples.iter().sum::<f64>() / n;
+    let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n;
+    (mean, var.sqrt())
+}
+
+/// Least-squares slope and intercept of `y` against `x`.
+///
+/// Used by experiments to classify growth rates (constant vs. linear
+/// vs. √n). Returns `(slope, intercept)`.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length or have fewer than two
+/// points, or if all `x` are identical.
+#[must_use]
+pub fn linear_fit(x: &[f64], y: &[f64]) -> (f64, f64) {
+    assert_eq!(x.len(), y.len(), "x and y must have equal length");
+    assert!(x.len() >= 2, "need at least two points");
+    let n = x.len() as f64;
+    let mx = x.iter().sum::<f64>() / n;
+    let my = y.iter().sum::<f64>() / n;
+    let sxx: f64 = x.iter().map(|v| (v - mx).powi(2)).sum();
+    assert!(sxx > 0.0, "x values must not all be identical");
+    let sxy: f64 = x.iter().zip(y).map(|(a, b)| (a - mx) * (b - my)).sum();
+    let slope = sxy / sxx;
+    (slope, my - slope * mx)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn normal_sample_statistics() {
+        let mut rng = ChaCha8Rng::seed_from_u64(42);
+        let samples: Vec<f64> = (0..20_000)
+            .map(|_| sample_normal(&mut rng, 5.0, 2.0))
+            .collect();
+        let (mean, std) = mean_std(&samples);
+        assert!((mean - 5.0).abs() < 0.1, "mean {mean}");
+        assert!((std - 2.0).abs() < 0.1, "std {std}");
+    }
+
+    #[test]
+    fn zero_std_returns_mean() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        assert_eq!(sample_normal(&mut rng, 3.5, 0.0), 3.5);
+    }
+
+    #[test]
+    fn mean_std_of_constants() {
+        let (m, s) = mean_std(&[2.0, 2.0, 2.0]);
+        assert_eq!(m, 2.0);
+        assert_eq!(s, 0.0);
+        assert_eq!(mean_std(&[]), (0.0, 0.0));
+    }
+
+    #[test]
+    fn linear_fit_recovers_line() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let y = [3.0, 5.0, 7.0, 9.0];
+        let (slope, intercept) = linear_fit(&x, &y);
+        assert!((slope - 2.0).abs() < 1e-9);
+        assert!((intercept - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn linear_fit_checks_lengths() {
+        let _ = linear_fit(&[1.0], &[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,174 @@
+//! Simulation time: integer picoseconds.
+//!
+//! Using an integer time base keeps the simulator deterministic —
+//! event ordering never depends on floating-point rounding — and
+//! picosecond resolution is fine enough for the nanosecond-scale gate
+//! delays of the Section VII experiment.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Mul, Sub};
+
+/// A point in (or duration of) simulation time, in picoseconds.
+///
+/// # Examples
+///
+/// ```
+/// use desim::time::SimTime;
+///
+/// let t = SimTime::from_ns(2) + SimTime::from_ps(500);
+/// assert_eq!(t.as_ps(), 2500);
+/// assert_eq!(format!("{t}"), "2.500ns");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct SimTime(u64);
+
+impl SimTime {
+    /// Time zero.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Creates a time from picoseconds.
+    #[must_use]
+    pub fn from_ps(ps: u64) -> Self {
+        SimTime(ps)
+    }
+
+    /// Creates a time from nanoseconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics on overflow (more than ~213 days of simulated time).
+    #[must_use]
+    pub fn from_ns(ns: u64) -> Self {
+        SimTime(ns.checked_mul(1_000).expect("SimTime overflow"))
+    }
+
+    /// Creates a time from microseconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics on overflow.
+    #[must_use]
+    pub fn from_us(us: u64) -> Self {
+        SimTime(us.checked_mul(1_000_000).expect("SimTime overflow"))
+    }
+
+    /// The raw picosecond count.
+    #[must_use]
+    pub fn as_ps(self) -> u64 {
+        self.0
+    }
+
+    /// The time in nanoseconds, truncated.
+    #[must_use]
+    pub fn as_ns(self) -> u64 {
+        self.0 / 1_000
+    }
+
+    /// The time as a floating-point nanosecond count.
+    #[must_use]
+    pub fn as_ns_f64(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+
+    /// Saturating subtraction.
+    #[must_use]
+    pub fn saturating_sub(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Absolute difference between two times.
+    #[must_use]
+    pub fn abs_diff(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0.abs_diff(rhs.0))
+    }
+}
+
+impl Add for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0.checked_add(rhs.0).expect("SimTime overflow"))
+    }
+}
+
+impl AddAssign for SimTime {
+    fn add_assign(&mut self, rhs: SimTime) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for SimTime {
+    type Output = SimTime;
+    /// # Panics
+    ///
+    /// Panics if `rhs > self`; use [`SimTime::saturating_sub`] when
+    /// underflow is expected.
+    fn sub(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0.checked_sub(rhs.0).expect("SimTime underflow"))
+    }
+}
+
+impl Mul<u64> for SimTime {
+    type Output = SimTime;
+    fn mul(self, rhs: u64) -> SimTime {
+        SimTime(self.0.checked_mul(rhs).expect("SimTime overflow"))
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1_000_000 && self.0.is_multiple_of(1_000) {
+            write!(f, "{}.{:03}us", self.0 / 1_000_000, (self.0 / 1_000) % 1_000)
+        } else if self.0 >= 1_000 {
+            write!(f, "{}.{:03}ns", self.0 / 1_000, self.0 % 1_000)
+        } else {
+            write!(f, "{}ps", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions() {
+        assert_eq!(SimTime::from_ns(3).as_ps(), 3_000);
+        assert_eq!(SimTime::from_us(2).as_ns(), 2_000);
+        assert_eq!(SimTime::from_ps(1500).as_ns(), 1);
+        assert_eq!(SimTime::from_ps(1500).as_ns_f64(), 1.5);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = SimTime::from_ps(100);
+        let b = SimTime::from_ps(30);
+        assert_eq!((a + b).as_ps(), 130);
+        assert_eq!((a - b).as_ps(), 70);
+        assert_eq!((a * 3).as_ps(), 300);
+        assert_eq!(b.saturating_sub(a), SimTime::ZERO);
+        assert_eq!(a.abs_diff(b).as_ps(), 70);
+        assert_eq!(b.abs_diff(a).as_ps(), 70);
+        let mut c = a;
+        c += b;
+        assert_eq!(c.as_ps(), 130);
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn subtraction_underflow_panics() {
+        let _ = SimTime::from_ps(1) - SimTime::from_ps(2);
+    }
+
+    #[test]
+    fn display_picks_unit() {
+        assert_eq!(format!("{}", SimTime::from_ps(42)), "42ps");
+        assert_eq!(format!("{}", SimTime::from_ps(2500)), "2.500ns");
+        assert_eq!(format!("{}", SimTime::from_us(34)), "34.000us");
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(SimTime::from_ns(1) < SimTime::from_ns(2));
+        assert_eq!(SimTime::default(), SimTime::ZERO);
+    }
+}

@@ -1,0 +1,146 @@
+//! Value-change-dump (VCD) export of watched nets, for inspecting
+//! simulated waveforms in standard viewers (GTKWave etc.).
+//!
+//! Only nets that were [`watch`](crate::engine::Simulator::watch)ed
+//! carry a trace; pass the ones you want dumped together with display
+//! names.
+
+use crate::engine::{NetId, Simulator};
+
+/// Renders the recorded transitions of the given `(net, name)` pairs
+/// as a VCD document with 1 ps timescale.
+///
+/// Nets that were never watched (or never changed) appear with their
+/// initial value only.
+///
+/// # Panics
+///
+/// Panics if two nets are given the same display name, or a name is
+/// empty or contains whitespace.
+///
+/// # Examples
+///
+/// ```
+/// use desim::prelude::*;
+///
+/// let mut sim = Simulator::new();
+/// let a = sim.add_net();
+/// let b = sim.add_net();
+/// sim.add_buffer(a, b, SimTime::from_ps(5), SimTime::from_ps(5));
+/// sim.watch(a);
+/// sim.watch(b);
+/// sim.schedule_input(a, SimTime::from_ps(10), true);
+/// sim.run_until(SimTime::from_ps(100));
+/// let vcd = desim::vcd::export_vcd(&sim, &[(a, "a"), (b, "b")]);
+/// assert!(vcd.contains("$var wire 1"));
+/// assert!(vcd.contains("#10"));
+/// ```
+#[must_use]
+pub fn export_vcd(sim: &Simulator, nets: &[(NetId, &str)]) -> String {
+    let mut seen = std::collections::HashSet::new();
+    for (_, name) in nets {
+        assert!(
+            !name.is_empty() && !name.contains(char::is_whitespace),
+            "invalid VCD signal name {name:?}"
+        );
+        assert!(seen.insert(*name), "duplicate VCD signal name {name:?}");
+    }
+    let mut out = String::new();
+    out.push_str("$timescale 1ps $end\n$scope module top $end\n");
+    // VCD id chars: printable ASCII starting at '!'.
+    let id_of = |i: usize| -> char {
+        char::from_u32(33 + i as u32).expect("few enough signals for single-char ids")
+    };
+    for (i, (_, name)) in nets.iter().enumerate() {
+        out.push_str(&format!("$var wire 1 {} {} $end\n", id_of(i), name));
+    }
+    out.push_str("$upscope $end\n$enddefinitions $end\n");
+    // Initial values: a net's first recorded transition tells us what
+    // it became; its initial value is the complement when a trace
+    // exists, otherwise the current value.
+    out.push_str("$dumpvars\n");
+    for (i, &(net, _)) in nets.iter().enumerate() {
+        let initial = match sim.transitions(net).first() {
+            Some(&(_, first_value)) => !first_value,
+            None => sim.value(net),
+        };
+        out.push_str(&format!("{}{}\n", u8::from(initial), id_of(i)));
+    }
+    out.push_str("$end\n");
+    // Merge all transitions, time-ordered (stable by net order).
+    let mut events: Vec<(u64, usize, bool)> = Vec::new();
+    for (i, &(net, _)) in nets.iter().enumerate() {
+        for &(t, v) in sim.transitions(net) {
+            events.push((t.as_ps(), i, v));
+        }
+    }
+    events.sort_by_key(|&(t, i, _)| (t, i));
+    let mut last_time = None;
+    for (t, i, v) in events {
+        if last_time != Some(t) {
+            out.push_str(&format!("#{t}\n"));
+            last_time = Some(t);
+        }
+        out.push_str(&format!("{}{}\n", u8::from(v), id_of(i)));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimTime;
+
+    fn ps(v: u64) -> SimTime {
+        SimTime::from_ps(v)
+    }
+
+    #[test]
+    fn exports_header_and_events() {
+        let mut sim = Simulator::new();
+        let a = sim.add_net();
+        let b = sim.add_net();
+        sim.add_inverter(a, b, ps(20), ps(20));
+        sim.watch(a);
+        sim.watch(b);
+        sim.schedule_input(a, ps(100), true);
+        sim.schedule_input(a, ps(200), false);
+        sim.run_until(ps(1_000));
+        let vcd = export_vcd(&sim, &[(a, "req"), (b, "req_n")]);
+        assert!(vcd.starts_with("$timescale 1ps $end"));
+        assert!(vcd.contains("$var wire 1 ! req $end"));
+        assert!(vcd.contains("$var wire 1 \" req_n $end"));
+        // Initial dump: a starts 0, b starts 1 (inverter of low input).
+        assert!(vcd.contains("$dumpvars\n0!\n1\"\n$end"));
+        // Events at 100, 120, 200, 220.
+        for t in [100, 120, 200, 220] {
+            assert!(vcd.contains(&format!("#{t}\n")), "missing #{t}:\n{vcd}");
+        }
+    }
+
+    #[test]
+    fn unwatched_net_dumps_current_value_only() {
+        let mut sim = Simulator::new();
+        let a = sim.add_net();
+        let vcd = export_vcd(&sim, &[(a, "idle")]);
+        assert!(vcd.contains("0!"));
+        assert!(!vcd.contains('#'));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate VCD signal name")]
+    fn rejects_duplicate_names() {
+        let mut sim = Simulator::new();
+        let a = sim.add_net();
+        let b = sim.add_net();
+        let _ = export_vcd(&sim, &[(a, "x"), (b, "x")]);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid VCD signal name")]
+    fn rejects_whitespace_names() {
+        let mut sim = Simulator::new();
+        let a = sim.add_net();
+        let _ = export_vcd(&sim, &[(a, "bad name")]);
+    }
+}

@@ -1,0 +1,748 @@
+//! Communication graphs (paper assumption A1).
+//!
+//! An *ideally synchronized processor array* is defined by a directed
+//! graph `COMM` laid out in the plane: nodes are cells, each directed
+//! edge is a wire that carries one data item from source to target per
+//! system cycle. Two cells joined by an edge are *communicating cells* —
+//! the pairs whose clock skew the paper's models bound.
+//!
+//! This module provides the graph itself plus the standard array
+//! topologies the paper discusses: one-dimensional (linear) arrays,
+//! square meshes, hexagonal arrays (Fig. 3), and complete binary trees
+//! (Section VIII's tree machines).
+
+use std::collections::VecDeque;
+use std::fmt;
+
+/// Identifier of one cell (node) in a [`CommGraph`].
+///
+/// Ids are dense indices in `0..node_count()`, so they can be used
+/// directly to index per-cell side tables.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CellId(usize);
+
+impl CellId {
+    /// Creates a cell id from a raw index.
+    #[must_use]
+    pub fn new(index: usize) -> Self {
+        CellId(index)
+    }
+
+    /// The raw dense index of this cell.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for CellId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+/// One directed communication edge: a wire from `src` to `dst`
+/// carrying a data item every cycle (assumption A1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CommEdge {
+    /// Sending cell.
+    pub src: CellId,
+    /// Receiving cell.
+    pub dst: CellId,
+}
+
+impl CommEdge {
+    /// Creates an edge from `src` to `dst`.
+    #[must_use]
+    pub fn new(src: CellId, dst: CellId) -> Self {
+        CommEdge { src, dst }
+    }
+}
+
+/// Which standard array family a graph was built as.
+///
+/// Generators record their family so that layout constructors and
+/// experiment harnesses can check they are being applied to the
+/// topology they were designed for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum Topology {
+    /// One-dimensional array of `n` cells with bidirectional
+    /// neighbour links (Fig. 4(a)).
+    Linear {
+        /// Number of cells.
+        n: usize,
+    },
+    /// Linear array closed into a cycle.
+    Ring {
+        /// Number of cells.
+        n: usize,
+    },
+    /// Two-dimensional `rows × cols` mesh with 4-neighbour links
+    /// (the `n × n` array of Section V-B).
+    Mesh {
+        /// Number of rows.
+        rows: usize,
+        /// Number of columns.
+        cols: usize,
+    },
+    /// Mesh with wrap-around links in both dimensions.
+    Torus {
+        /// Number of rows.
+        rows: usize,
+        /// Number of columns.
+        cols: usize,
+    },
+    /// Hexagonal array: mesh plus one diagonal per cell, giving six
+    /// neighbours in the interior (Fig. 3(c)).
+    Hex {
+        /// Number of rows.
+        rows: usize,
+        /// Number of columns.
+        cols: usize,
+    },
+    /// Complete binary tree with `levels` levels (Section VIII).
+    BinaryTree {
+        /// Number of levels; a tree with `levels = k` has `2^k - 1` nodes.
+        levels: usize,
+    },
+    /// Anything assembled through [`CommGraphBuilder`].
+    Custom,
+}
+
+/// Directed communication graph of a processor array (assumption A1).
+///
+/// # Examples
+///
+/// ```
+/// use array_layout::graph::CommGraph;
+///
+/// let mesh = CommGraph::mesh(4, 4);
+/// assert_eq!(mesh.node_count(), 16);
+/// // 4 rows × 3 horizontal links + 3 × 4 vertical links, both directions:
+/// assert_eq!(mesh.edge_count(), 2 * (4 * 3 + 3 * 4));
+/// assert!(mesh.is_connected());
+/// ```
+#[derive(Debug, Clone)]
+pub struct CommGraph {
+    nodes: usize,
+    edges: Vec<CommEdge>,
+    out_adj: Vec<Vec<usize>>,
+    in_adj: Vec<Vec<usize>>,
+    topology: Topology,
+}
+
+impl CommGraph {
+    fn with_capacity(nodes: usize, topology: Topology) -> Self {
+        CommGraph {
+            nodes,
+            edges: Vec::new(),
+            out_adj: vec![Vec::new(); nodes],
+            in_adj: vec![Vec::new(); nodes],
+            topology,
+        }
+    }
+
+    fn push_edge(&mut self, src: usize, dst: usize) {
+        debug_assert!(src < self.nodes && dst < self.nodes && src != dst);
+        let idx = self.edges.len();
+        self.edges.push(CommEdge::new(CellId(src), CellId(dst)));
+        self.out_adj[src].push(idx);
+        self.in_adj[dst].push(idx);
+    }
+
+    fn push_bidir(&mut self, a: usize, b: usize) {
+        self.push_edge(a, b);
+        self.push_edge(b, a);
+    }
+
+    /// Builds a one-dimensional array of `n` cells, each linked in both
+    /// directions with its neighbours (Fig. 4(a)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    #[must_use]
+    pub fn linear(n: usize) -> Self {
+        assert!(n > 0, "a linear array needs at least one cell");
+        let mut g = CommGraph::with_capacity(n, Topology::Linear { n });
+        for i in 0..n.saturating_sub(1) {
+            g.push_bidir(i, i + 1);
+        }
+        g
+    }
+
+    /// Builds a ring of `n` cells.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 3`; smaller rings degenerate into a linear array
+    /// or a multi-edge.
+    #[must_use]
+    pub fn ring(n: usize) -> Self {
+        assert!(n >= 3, "a ring needs at least three cells, got {n}");
+        let mut g = CommGraph::with_capacity(n, Topology::Ring { n });
+        for i in 0..n {
+            g.push_bidir(i, (i + 1) % n);
+        }
+        g
+    }
+
+    /// Builds a `rows × cols` mesh with 4-neighbour bidirectional links.
+    ///
+    /// Cell `(r, c)` has id `r * cols + c`; see [`CommGraph::grid_id`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows == 0` or `cols == 0`.
+    #[must_use]
+    pub fn mesh(rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "mesh dimensions must be positive");
+        let mut g = CommGraph::with_capacity(rows * cols, Topology::Mesh { rows, cols });
+        g.add_grid_links(rows, cols, false);
+        g
+    }
+
+    /// Builds a `rows × cols` torus (mesh with wrap-around links).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is smaller than 3 (wrap-around links
+    /// would duplicate mesh links).
+    #[must_use]
+    pub fn torus(rows: usize, cols: usize) -> Self {
+        assert!(
+            rows >= 3 && cols >= 3,
+            "torus dimensions must be at least 3, got {rows}x{cols}"
+        );
+        let mut g = CommGraph::with_capacity(rows * cols, Topology::Torus { rows, cols });
+        g.add_grid_links(rows, cols, false);
+        for r in 0..rows {
+            g.push_bidir(r * cols + (cols - 1), r * cols);
+        }
+        for c in 0..cols {
+            g.push_bidir((rows - 1) * cols + c, c);
+        }
+        g
+    }
+
+    /// Builds a hexagonal `rows × cols` array: a mesh plus the
+    /// north-east diagonal, giving interior cells six neighbours
+    /// (Fig. 3(c)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows == 0` or `cols == 0`.
+    #[must_use]
+    pub fn hex(rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "hex dimensions must be positive");
+        let mut g = CommGraph::with_capacity(rows * cols, Topology::Hex { rows, cols });
+        g.add_grid_links(rows, cols, true);
+        g
+    }
+
+    fn add_grid_links(&mut self, rows: usize, cols: usize, diagonal: bool) {
+        for r in 0..rows {
+            for c in 0..cols {
+                let id = r * cols + c;
+                if c + 1 < cols {
+                    self.push_bidir(id, id + 1);
+                }
+                if r + 1 < rows {
+                    self.push_bidir(id, id + cols);
+                }
+                if diagonal && r + 1 < rows && c + 1 < cols {
+                    self.push_bidir(id, id + cols + 1);
+                }
+            }
+        }
+    }
+
+    /// Builds a complete binary tree with `levels` levels
+    /// (`2^levels - 1` nodes), edges in both directions — the COMM
+    /// graph of Section VIII's tree machines.
+    ///
+    /// Node 0 is the root; node `i` has children `2i + 1` and `2i + 2`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `levels == 0` or if the node count would overflow.
+    #[must_use]
+    pub fn complete_binary_tree(levels: usize) -> Self {
+        assert!(levels > 0, "a tree needs at least one level");
+        let nodes = (1_usize
+            .checked_shl(levels as u32)
+            .expect("tree too large"))
+            - 1;
+        let mut g = CommGraph::with_capacity(nodes, Topology::BinaryTree { levels });
+        for i in 0..nodes {
+            for child in [2 * i + 1, 2 * i + 2] {
+                if child < nodes {
+                    g.push_bidir(i, child);
+                }
+            }
+        }
+        g
+    }
+
+    /// Id of the cell at grid position `(row, col)` for grid-like
+    /// topologies (mesh, torus, hex).
+    ///
+    /// # Panics
+    ///
+    /// Panics if this graph is not grid-like or the position is out of
+    /// bounds.
+    #[must_use]
+    pub fn grid_id(&self, row: usize, col: usize) -> CellId {
+        let (rows, cols) = self.grid_dims().expect("grid_id on a non-grid topology");
+        assert!(row < rows && col < cols, "grid position out of bounds");
+        CellId(row * cols + col)
+    }
+
+    /// `(rows, cols)` for grid-like topologies, `None` otherwise.
+    #[must_use]
+    pub fn grid_dims(&self) -> Option<(usize, usize)> {
+        match self.topology {
+            Topology::Mesh { rows, cols }
+            | Topology::Torus { rows, cols }
+            | Topology::Hex { rows, cols } => Some((rows, cols)),
+            Topology::Linear { n } | Topology::Ring { n } => Some((1, n)),
+            _ => None,
+        }
+    }
+
+    /// The topology family this graph was generated as.
+    #[must_use]
+    pub fn topology(&self) -> Topology {
+        self.topology
+    }
+
+    /// Number of cells.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.nodes
+    }
+
+    /// Number of directed edges.
+    #[must_use]
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// All cells, in id order.
+    pub fn cells(&self) -> impl Iterator<Item = CellId> + '_ {
+        (0..self.nodes).map(CellId)
+    }
+
+    /// All directed edges, in insertion order.
+    #[must_use]
+    pub fn edges(&self) -> &[CommEdge] {
+        &self.edges
+    }
+
+    /// Every unordered pair of communicating cells, deduplicated:
+    /// the pairs whose skew the paper's models bound.
+    #[must_use]
+    pub fn communicating_pairs(&self) -> Vec<(CellId, CellId)> {
+        let mut pairs: Vec<(CellId, CellId)> = self
+            .edges
+            .iter()
+            .map(|e| {
+                if e.src <= e.dst {
+                    (e.src, e.dst)
+                } else {
+                    (e.dst, e.src)
+                }
+            })
+            .collect();
+        pairs.sort_unstable();
+        pairs.dedup();
+        pairs
+    }
+
+    /// Indices (into [`CommGraph::edges`]) of the edges leaving `cell`,
+    /// in insertion order. Systolic executors use these as the cell's
+    /// output-port order.
+    #[must_use]
+    pub fn out_edge_ids(&self, cell: CellId) -> &[usize] {
+        &self.out_adj[cell.index()]
+    }
+
+    /// Indices (into [`CommGraph::edges`]) of the edges entering
+    /// `cell`, in insertion order — the cell's input-port order.
+    #[must_use]
+    pub fn in_edge_ids(&self, cell: CellId) -> &[usize] {
+        &self.in_adj[cell.index()]
+    }
+
+    /// Cells reachable from `cell` over one outgoing edge.
+    pub fn out_neighbors(&self, cell: CellId) -> impl Iterator<Item = CellId> + '_ {
+        self.out_adj[cell.index()].iter().map(|&e| self.edges[e].dst)
+    }
+
+    /// Cells with an edge into `cell`.
+    pub fn in_neighbors(&self, cell: CellId) -> impl Iterator<Item = CellId> + '_ {
+        self.in_adj[cell.index()].iter().map(|&e| self.edges[e].src)
+    }
+
+    /// Neighbours of `cell` ignoring edge direction, deduplicated.
+    #[must_use]
+    pub fn undirected_neighbors(&self, cell: CellId) -> Vec<CellId> {
+        let mut ns: Vec<CellId> = self
+            .out_neighbors(cell)
+            .chain(self.in_neighbors(cell))
+            .collect();
+        ns.sort_unstable();
+        ns.dedup();
+        ns
+    }
+
+    /// Undirected degree of `cell` (number of distinct neighbours).
+    #[must_use]
+    pub fn degree(&self, cell: CellId) -> usize {
+        self.undirected_neighbors(cell).len()
+    }
+
+    /// Subdivides every directed edge `e` into `regs[e] + 1` hops by
+    /// inserting `regs[e]` relay cells — the Section VIII pipeline
+    /// registers that "in effect just make wires thicker".
+    ///
+    /// Original cells keep their ids (and their relative port order);
+    /// relay cells are appended after them. Each relay has exactly one
+    /// in-edge and one out-edge.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `regs.len() != self.edge_count()`.
+    #[must_use]
+    pub fn subdivided(&self, regs: &[usize]) -> SubdividedComm {
+        assert_eq!(
+            regs.len(),
+            self.edge_count(),
+            "one register count per directed edge required"
+        );
+        let originals = self.node_count();
+        let total_relays: usize = regs.iter().sum();
+        let mut g = CommGraph::with_capacity(originals + total_relays, Topology::Custom);
+        let mut relay_of = vec![None; originals + total_relays];
+        let mut next_relay = originals;
+        for (e, (edge, &k)) in self.edges.iter().zip(regs).enumerate() {
+            let mut from = edge.src.index();
+            for pos in 0..k {
+                relay_of[next_relay] = Some((e, pos));
+                g.push_edge(from, next_relay);
+                from = next_relay;
+                next_relay += 1;
+            }
+            g.push_edge(from, edge.dst.index());
+        }
+        SubdividedComm {
+            graph: g,
+            original_cells: originals,
+            relay_of,
+        }
+    }
+
+    /// Breadth-first hop distances from `start`, ignoring edge
+    /// direction. Unreachable cells report `usize::MAX`.
+    #[must_use]
+    pub fn bfs_distances(&self, start: CellId) -> Vec<usize> {
+        let mut dist = vec![usize::MAX; self.nodes];
+        let mut queue = VecDeque::new();
+        dist[start.index()] = 0;
+        queue.push_back(start);
+        while let Some(u) = queue.pop_front() {
+            let du = dist[u.index()];
+            for v in self.undirected_neighbors(u) {
+                if dist[v.index()] == usize::MAX {
+                    dist[v.index()] = du + 1;
+                    queue.push_back(v);
+                }
+            }
+        }
+        dist
+    }
+
+    /// Returns `true` when the graph is connected (ignoring direction).
+    #[must_use]
+    pub fn is_connected(&self) -> bool {
+        if self.nodes == 0 {
+            return true;
+        }
+        self.bfs_distances(CellId(0))
+            .iter()
+            .all(|&d| d != usize::MAX)
+    }
+}
+
+/// A communication graph with pipeline relay cells inserted on its
+/// edges (Section VIII), plus the bookkeeping to tell originals from
+/// relays.
+#[derive(Debug, Clone)]
+pub struct SubdividedComm {
+    /// The subdivided graph (original cells first, relays appended).
+    pub graph: CommGraph,
+    /// Number of original cells (ids `0..original_cells`).
+    pub original_cells: usize,
+    /// For each cell id: `Some((original_edge, position))` when the
+    /// cell is the `position`-th relay on that edge, `None` for
+    /// original cells.
+    pub relay_of: Vec<Option<(usize, usize)>>,
+}
+
+impl SubdividedComm {
+    /// Returns `true` when `cell` is a relay inserted by subdivision.
+    #[must_use]
+    pub fn is_relay(&self, cell: CellId) -> bool {
+        self.relay_of
+            .get(cell.index())
+            .copied()
+            .flatten()
+            .is_some()
+    }
+
+    /// Number of relay cells inserted.
+    #[must_use]
+    pub fn relay_count(&self) -> usize {
+        self.graph.node_count() - self.original_cells
+    }
+}
+
+/// Incremental builder for custom communication graphs.
+///
+/// # Examples
+///
+/// ```
+/// use array_layout::graph::{CellId, CommGraphBuilder};
+///
+/// let mut b = CommGraphBuilder::new(3);
+/// b.edge(CellId::new(0), CellId::new(1));
+/// b.bidirectional(CellId::new(1), CellId::new(2));
+/// let g = b.build();
+/// assert_eq!(g.edge_count(), 3);
+/// ```
+#[derive(Debug, Clone)]
+pub struct CommGraphBuilder {
+    graph: CommGraph,
+}
+
+impl CommGraphBuilder {
+    /// Starts a builder for a graph with `nodes` cells and no edges.
+    #[must_use]
+    pub fn new(nodes: usize) -> Self {
+        CommGraphBuilder {
+            graph: CommGraph::with_capacity(nodes, Topology::Custom),
+        }
+    }
+
+    /// Adds one directed edge.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either endpoint is out of range or the edge is a
+    /// self-loop.
+    pub fn edge(&mut self, src: CellId, dst: CellId) -> &mut Self {
+        assert!(
+            src.index() < self.graph.nodes && dst.index() < self.graph.nodes,
+            "edge endpoint out of range"
+        );
+        assert_ne!(src, dst, "self-loops are not meaningful in COMM");
+        self.graph.push_edge(src.index(), dst.index());
+        self
+    }
+
+    /// Adds a pair of directed edges in both directions.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`CommGraphBuilder::edge`].
+    pub fn bidirectional(&mut self, a: CellId, b: CellId) -> &mut Self {
+        self.edge(a, b);
+        self.edge(b, a);
+        self
+    }
+
+    /// Finishes the graph.
+    #[must_use]
+    pub fn build(self) -> CommGraph {
+        self.graph
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_array_structure() {
+        let g = CommGraph::linear(5);
+        assert_eq!(g.node_count(), 5);
+        assert_eq!(g.edge_count(), 8);
+        assert_eq!(g.degree(CellId::new(0)), 1);
+        assert_eq!(g.degree(CellId::new(2)), 2);
+        assert!(g.is_connected());
+        assert_eq!(g.communicating_pairs().len(), 4);
+    }
+
+    #[test]
+    fn linear_single_cell_has_no_edges() {
+        let g = CommGraph::linear(1);
+        assert_eq!(g.node_count(), 1);
+        assert_eq!(g.edge_count(), 0);
+        assert!(g.is_connected());
+    }
+
+    #[test]
+    fn ring_closes_the_loop() {
+        let g = CommGraph::ring(6);
+        assert_eq!(g.edge_count(), 12);
+        for c in g.cells() {
+            assert_eq!(g.degree(c), 2);
+        }
+        let d = g.bfs_distances(CellId::new(0));
+        assert_eq!(d[3], 3);
+        assert_eq!(d[5], 1);
+    }
+
+    #[test]
+    fn mesh_edge_count_and_degrees() {
+        let g = CommGraph::mesh(3, 4);
+        assert_eq!(g.node_count(), 12);
+        assert_eq!(g.edge_count(), 2 * (3 * 3 + 2 * 4));
+        assert_eq!(g.degree(g.grid_id(0, 0)), 2);
+        assert_eq!(g.degree(g.grid_id(1, 1)), 4);
+        assert_eq!(g.degree(g.grid_id(0, 2)), 3);
+    }
+
+    #[test]
+    fn torus_is_regular() {
+        let g = CommGraph::torus(3, 3);
+        for c in g.cells() {
+            assert_eq!(g.degree(c), 4);
+        }
+    }
+
+    #[test]
+    fn hex_interior_has_six_neighbors() {
+        let g = CommGraph::hex(3, 3);
+        assert_eq!(g.degree(g.grid_id(1, 1)), 6);
+        assert_eq!(g.degree(g.grid_id(0, 0)), 3);
+    }
+
+    #[test]
+    fn binary_tree_structure() {
+        let g = CommGraph::complete_binary_tree(4);
+        assert_eq!(g.node_count(), 15);
+        assert_eq!(g.edge_count(), 2 * 14);
+        assert_eq!(g.degree(CellId::new(0)), 2);
+        assert_eq!(g.degree(CellId::new(1)), 3);
+        assert_eq!(g.degree(CellId::new(14)), 1);
+        assert!(g.is_connected());
+    }
+
+    #[test]
+    fn bfs_distances_on_mesh_are_manhattan() {
+        let g = CommGraph::mesh(4, 4);
+        let d = g.bfs_distances(g.grid_id(0, 0));
+        assert_eq!(d[g.grid_id(3, 3).index()], 6);
+        assert_eq!(d[g.grid_id(2, 1).index()], 3);
+    }
+
+    #[test]
+    fn communicating_pairs_deduplicate_bidirectional_links() {
+        let g = CommGraph::mesh(2, 2);
+        assert_eq!(g.edge_count(), 8);
+        assert_eq!(g.communicating_pairs().len(), 4);
+    }
+
+    #[test]
+    fn builder_assembles_custom_graph() {
+        let mut b = CommGraphBuilder::new(4);
+        b.edge(CellId::new(0), CellId::new(1));
+        b.bidirectional(CellId::new(1), CellId::new(2));
+        b.edge(CellId::new(2), CellId::new(3));
+        let g = b.build();
+        assert_eq!(g.topology(), Topology::Custom);
+        assert_eq!(g.edge_count(), 4);
+        assert_eq!(
+            g.out_neighbors(CellId::new(1)).collect::<Vec<_>>(),
+            vec![CellId::new(2)]
+        );
+        assert_eq!(
+            g.in_neighbors(CellId::new(1)).collect::<Vec<_>>(),
+            vec![CellId::new(0), CellId::new(2)]
+        );
+    }
+
+    #[test]
+    fn subdivision_inserts_relays_in_chains() {
+        let g = CommGraph::linear(3); // edges: 0→1, 1→0, 1→2, 2→1
+        let regs = vec![2, 0, 1, 0];
+        let sub = g.subdivided(&regs);
+        assert_eq!(sub.original_cells, 3);
+        assert_eq!(sub.relay_count(), 3);
+        assert_eq!(sub.graph.node_count(), 6);
+        // Edge 0→1 became 0→r→r→1: total directed edges = Σ(k+1).
+        assert_eq!(sub.graph.edge_count(), 3 + 1 + 2 + 1);
+        // Relays have exactly one in and one out edge.
+        for cell in sub.graph.cells() {
+            if sub.is_relay(cell) {
+                assert_eq!(sub.graph.in_edge_ids(cell).len(), 1, "{cell}");
+                assert_eq!(sub.graph.out_edge_ids(cell).len(), 1, "{cell}");
+            }
+        }
+        // Path length 0→…→1 via relays is 3 hops.
+        let d = sub.graph.bfs_distances(CellId::new(0));
+        assert!(sub.graph.is_connected());
+        assert_eq!(d[1], 1, "bidirectional shortcut via the 1→0 edge");
+    }
+
+    #[test]
+    fn subdivision_preserves_original_port_order() {
+        let g = CommGraph::mesh(2, 2);
+        let regs = vec![1; g.edge_count()];
+        let sub = g.subdivided(&regs);
+        for cell in g.cells() {
+            assert_eq!(
+                g.in_edge_ids(cell).len(),
+                sub.graph.in_edge_ids(cell).len(),
+                "{cell}: in-degree must be preserved"
+            );
+            assert_eq!(
+                g.out_edge_ids(cell).len(),
+                sub.graph.out_edge_ids(cell).len(),
+                "{cell}: out-degree must be preserved"
+            );
+        }
+    }
+
+    #[test]
+    fn subdivision_with_zero_registers_is_isomorphic() {
+        let g = CommGraph::linear(4);
+        let sub = g.subdivided(&vec![0; g.edge_count()]);
+        assert_eq!(sub.graph.node_count(), 4);
+        assert_eq!(sub.graph.edge_count(), g.edge_count());
+        assert_eq!(sub.relay_count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "one register count per directed edge")]
+    fn subdivision_checks_plan_length() {
+        let g = CommGraph::linear(3);
+        let _ = g.subdivided(&[1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loops")]
+    fn builder_rejects_self_loop() {
+        let mut b = CommGraphBuilder::new(2);
+        b.edge(CellId::new(1), CellId::new(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn grid_id_checks_bounds() {
+        let g = CommGraph::mesh(2, 2);
+        let _ = g.grid_id(2, 0);
+    }
+}

@@ -1,0 +1,184 @@
+//! A gate-level pair of hybrid elements: Fig. 8's "an element stops
+//! its clock synchronously and has its clock started asynchronously",
+//! implemented as an actual circuit and simulated at the gate level.
+//!
+//! Each element owns a stoppable (gated ring-oscillator) local clock
+//! and a one-bit *phase* register toggled by its own clock. The
+//! synchronization network is two gates:
+//!
+//! ```text
+//! enable_A = XNOR(phase_A, phase_B)   (A ticks when it is not ahead)
+//! enable_B = XOR (phase_A, phase_B)   (B ticks when it is behind)
+//! ```
+//!
+//! A's tick flips `phase_A`, which *synchronously* drops `enable_A`
+//! (the element stops its own clock) and *asynchronously* raises
+//! `enable_B` (the neighbour's clock is started by the handshake).
+//! Ticks therefore alternate A, B, A, B, … in lock step, at a rate set
+//! entirely by local gate delays — the hybrid scheme's constant cycle,
+//! with zero setup/hold violations by construction.
+
+use desim::engine::{GateFn, NetId, Simulator};
+use desim::stoppable_clock::{add_stoppable_clock, StoppableClock};
+use desim::time::SimTime;
+
+/// The two-element gate-level hybrid network.
+#[derive(Debug)]
+pub struct ElementPair {
+    sim: Simulator,
+    phase_a: NetId,
+    phase_b: NetId,
+    clock_a: StoppableClock,
+    clock_b: StoppableClock,
+}
+
+/// Result of running the element pair.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PairRun {
+    /// Tick count of element A (phase transitions).
+    pub ticks_a: usize,
+    /// Tick count of element B.
+    pub ticks_b: usize,
+    /// Mean time between consecutive A-ticks, in picoseconds.
+    pub period_ps: u64,
+    /// Setup/hold violations recorded anywhere in the circuit.
+    pub violations: usize,
+    /// Interleaved tick log: `(time, element)` with `0 = A, 1 = B`.
+    pub log: Vec<(SimTime, u8)>,
+}
+
+impl ElementPair {
+    /// Builds the pair. `half_stages`, `inv_delay`, `nand_delay` size
+    /// each element's ring oscillator; the phase registers get
+    /// generous windows that the protocol must (and does) respect.
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-positive delays (see
+    /// [`add_stoppable_clock`]).
+    #[must_use]
+    pub fn new(half_stages: usize, inv_delay: SimTime, nand_delay: SimTime) -> Self {
+        let mut sim = Simulator::new();
+        let clock_a = add_stoppable_clock(&mut sim, half_stages, inv_delay, nand_delay);
+        let clock_b = add_stoppable_clock(&mut sim, half_stages, inv_delay, nand_delay);
+        // Phase registers: Q toggles every local clock tick
+        // (D = NOT Q).
+        let (phase_a, phase_b) = (sim.add_net(), sim.add_net());
+        let (da, db) = (sim.add_net(), sim.add_net());
+        let reg_delay = SimTime::from_ps(30);
+        let window = SimTime::from_ps(40);
+        sim.add_register(da, clock_a.clk, phase_a, window, window, reg_delay);
+        sim.add_register(db, clock_b.clk, phase_b, window, window, reg_delay);
+        sim.add_inverter(phase_a, da, SimTime::from_ps(20), SimTime::from_ps(20));
+        sim.add_inverter(phase_b, db, SimTime::from_ps(20), SimTime::from_ps(20));
+        // The synchronization network.
+        let gd = SimTime::from_ps(25);
+        sim.add_gate2(GateFn::Xnor, phase_a, phase_b, clock_a.enable, gd, gd);
+        sim.add_gate2(GateFn::Xor, phase_a, phase_b, clock_b.enable, gd, gd);
+        sim.watch(phase_a);
+        sim.watch(phase_b);
+        ElementPair {
+            sim,
+            phase_a,
+            phase_b,
+            clock_a,
+            clock_b,
+        }
+    }
+
+    /// The local ring period of each element's clock.
+    #[must_use]
+    pub fn local_period(&self) -> SimTime {
+        self.clock_a.period
+    }
+
+    /// Runs until `until` and reports tick statistics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the network deadlocks (fewer than two A-ticks).
+    #[must_use]
+    pub fn run(mut self, until: SimTime) -> PairRun {
+        let _ = self.clock_b;
+        self.sim.run_until(until);
+        let a: Vec<SimTime> = self
+            .sim
+            .transitions(self.phase_a)
+            .iter()
+            .map(|&(t, _)| t)
+            .collect();
+        let b: Vec<SimTime> = self
+            .sim
+            .transitions(self.phase_b)
+            .iter()
+            .map(|&(t, _)| t)
+            .collect();
+        assert!(a.len() >= 2, "element pair deadlocked: A ticks {}", a.len());
+        let period_ps =
+            (a.last().expect("non-empty").as_ps() - a[0].as_ps()) / (a.len() as u64 - 1);
+        let mut log: Vec<(SimTime, u8)> = a
+            .iter()
+            .map(|&t| (t, 0u8))
+            .chain(b.iter().map(|&t| (t, 1u8)))
+            .collect();
+        log.sort();
+        PairRun {
+            ticks_a: a.len(),
+            ticks_b: b.len(),
+            period_ps,
+            violations: self.sim.violations().len(),
+            log,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ps(v: u64) -> SimTime {
+        SimTime::from_ps(v)
+    }
+
+    fn run_pair() -> PairRun {
+        ElementPair::new(2, ps(50), ps(80)).run(ps(200_000))
+    }
+
+    #[test]
+    fn elements_tick_in_lock_step() {
+        let run = run_pair();
+        assert!(run.ticks_a > 10, "{run:?}");
+        // Lock step: counts within one of each other.
+        assert!(
+            run.ticks_a.abs_diff(run.ticks_b) <= 1,
+            "A {} vs B {}",
+            run.ticks_a,
+            run.ticks_b
+        );
+        // And strictly alternating, A first.
+        for (i, &(_, who)) in run.log.iter().enumerate() {
+            assert_eq!(who as usize, i % 2, "tick order broke at {i}: {:?}", run.log);
+        }
+    }
+
+    #[test]
+    fn no_timing_violations_by_construction() {
+        let run = run_pair();
+        assert_eq!(run.violations, 0, "{run:?}");
+    }
+
+    #[test]
+    fn pair_rate_constant_over_time() {
+        let short = ElementPair::new(2, ps(50), ps(80)).run(ps(100_000));
+        let long = ElementPair::new(2, ps(50), ps(80)).run(ps(400_000));
+        let ratio = long.period_ps as f64 / short.period_ps as f64;
+        assert!((0.9..1.1).contains(&ratio), "{short:?} vs {long:?}");
+    }
+
+    #[test]
+    fn slower_gates_slow_the_handshake_rate() {
+        let fast = ElementPair::new(2, ps(50), ps(80)).run(ps(300_000));
+        let slow = ElementPair::new(2, ps(150), ps(240)).run(ps(900_000));
+        assert!(slow.period_ps > 2 * fast.period_ps, "{fast:?} vs {slow:?}");
+    }
+}

@@ -1,0 +1,229 @@
+//! Self-timed handshake communication (Section I and reference \[10\]).
+//!
+//! In a self-timed scheme, cells synchronize each data transfer
+//! locally with a request/acknowledge protocol. Its defining property
+//! — the reason the paper considers it at all — is that *the time for
+//! a communication event between two cells is independent of the size
+//! of the entire processor array*: only the local link matters. Its
+//! cost is extra hardware and per-transfer delay.
+//!
+//! [`HandshakeLink`] models one link's transfer cost under two- or
+//! four-phase signalling; [`HandshakeChain`] pushes a token stream
+//! through a chain of self-timed stages and measures latency (grows
+//! with length) versus throughput (does not).
+
+/// Signalling discipline of a handshake link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Protocol {
+    /// Two-phase (transition) signalling: one request transition, one
+    /// acknowledge transition per transfer.
+    TwoPhase,
+    /// Four-phase (return-to-zero) signalling: request and acknowledge
+    /// each rise *and* fall per transfer.
+    FourPhase,
+}
+
+/// One request/acknowledge link between two neighbouring cells.
+///
+/// # Examples
+///
+/// ```
+/// use selftimed::handshake::{HandshakeLink, Protocol};
+///
+/// let link = HandshakeLink::new(1.0, 0.5, Protocol::TwoPhase);
+/// // 2 wire crossings + 1 latch.
+/// assert_eq!(link.transfer_time(), 2.5);
+/// let rz = HandshakeLink::new(1.0, 0.5, Protocol::FourPhase);
+/// // 4 wire crossings + 2 latch events.
+/// assert_eq!(rz.transfer_time(), 5.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HandshakeLink {
+    wire_delay: f64,
+    latch_delay: f64,
+    protocol: Protocol,
+}
+
+impl HandshakeLink {
+    /// Creates a link with the given one-way wire delay and latch
+    /// (control logic) delay.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless both delays are positive.
+    #[must_use]
+    pub fn new(wire_delay: f64, latch_delay: f64, protocol: Protocol) -> Self {
+        assert!(wire_delay > 0.0, "wire delay must be positive");
+        assert!(latch_delay > 0.0, "latch delay must be positive");
+        HandshakeLink {
+            wire_delay,
+            latch_delay,
+            protocol,
+        }
+    }
+
+    /// One-way wire delay of the link.
+    #[must_use]
+    pub fn wire_delay(&self) -> f64 {
+        self.wire_delay
+    }
+
+    /// Latch/control delay per latch event.
+    #[must_use]
+    pub fn latch_delay(&self) -> f64 {
+        self.latch_delay
+    }
+
+    /// The protocol in use.
+    #[must_use]
+    pub fn protocol(&self) -> Protocol {
+        self.protocol
+    }
+
+    /// Time for one complete data transfer across the link.
+    ///
+    /// Crucially, this depends only on the *local* link — never on the
+    /// size of the array (contrast A6's equipotential `τ = α · P`).
+    #[must_use]
+    pub fn transfer_time(&self) -> f64 {
+        match self.protocol {
+            Protocol::TwoPhase => 2.0 * self.wire_delay + self.latch_delay,
+            Protocol::FourPhase => 4.0 * self.wire_delay + 2.0 * self.latch_delay,
+        }
+    }
+}
+
+/// A chain of self-timed stages connected by identical handshake
+/// links: the asynchronous counterpart of a one-dimensional array.
+#[derive(Debug, Clone)]
+pub struct HandshakeChain {
+    stages: usize,
+    link: HandshakeLink,
+    stage_delay: f64,
+}
+
+/// Measurements from pushing a token stream through a
+/// [`HandshakeChain`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChainRun {
+    /// Time for the first token to traverse the whole chain.
+    pub latency: f64,
+    /// Steady-state time between successive tokens emerging.
+    pub period: f64,
+}
+
+impl HandshakeChain {
+    /// Creates a chain of `stages` cells, each with compute time
+    /// `stage_delay`, joined by copies of `link`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `stages > 0` and `stage_delay > 0`.
+    #[must_use]
+    pub fn new(stages: usize, link: HandshakeLink, stage_delay: f64) -> Self {
+        assert!(stages > 0, "need at least one stage");
+        assert!(stage_delay > 0.0, "stage delay must be positive");
+        HandshakeChain {
+            stages,
+            link,
+            stage_delay,
+        }
+    }
+
+    /// Pushes `tokens` through the chain and measures latency and
+    /// steady-state period.
+    ///
+    /// Each stage holds one token at a time; a stage starts a token
+    /// when it has finished its previous one and the upstream transfer
+    /// completes. The transfer pays [`HandshakeLink::transfer_time`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tokens < 2`.
+    #[must_use]
+    pub fn run(&self, tokens: usize) -> ChainRun {
+        assert!(tokens >= 2, "need at least two tokens to measure a period");
+        let step = self.stage_delay + self.link.transfer_time();
+        // completion[i] = completion time of the current token at stage i.
+        let mut completion = vec![0.0f64; self.stages];
+        let mut first_out = 0.0;
+        let mut prev_out = 0.0;
+        let mut period_sum = 0.0;
+        for tok in 0..tokens {
+            let mut upstream_done = 0.0f64;
+            for slot in completion.iter_mut() {
+                let start = upstream_done.max(*slot);
+                *slot = start + step;
+                upstream_done = *slot;
+            }
+            let out = upstream_done;
+            if tok == 0 {
+                first_out = out;
+            } else {
+                period_sum += out - prev_out;
+            }
+            prev_out = out;
+        }
+        ChainRun {
+            latency: first_out,
+            period: period_sum / (tokens - 1) as f64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn link() -> HandshakeLink {
+        HandshakeLink::new(1.0, 0.5, Protocol::TwoPhase)
+    }
+
+    #[test]
+    fn transfer_time_is_local() {
+        // The same link cost regardless of how long the chain is —
+        // the property that motivates self-timing for large arrays.
+        let l = link();
+        assert_eq!(l.transfer_time(), 2.5);
+    }
+
+    #[test]
+    fn four_phase_costs_more() {
+        let two = HandshakeLink::new(1.0, 0.5, Protocol::TwoPhase);
+        let four = HandshakeLink::new(1.0, 0.5, Protocol::FourPhase);
+        assert!(four.transfer_time() > two.transfer_time());
+    }
+
+    #[test]
+    fn latency_grows_with_chain_length() {
+        let short = HandshakeChain::new(4, link(), 1.0).run(10);
+        let long = HandshakeChain::new(64, link(), 1.0).run(10);
+        assert!(long.latency > short.latency);
+        // Latency is stages × (stage + transfer).
+        assert!((short.latency - 4.0 * 3.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn throughput_independent_of_chain_length() {
+        let short = HandshakeChain::new(4, link(), 1.0).run(50);
+        let long = HandshakeChain::new(256, link(), 1.0).run(50);
+        assert!(
+            (short.period - long.period).abs() < 1e-9,
+            "{} vs {}",
+            short.period,
+            long.period
+        );
+    }
+
+    #[test]
+    fn period_is_stage_plus_transfer() {
+        let run = HandshakeChain::new(16, link(), 2.0).run(20);
+        assert!((run.period - (2.0 + 2.5)).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two tokens")]
+    fn run_needs_tokens() {
+        let _ = HandshakeChain::new(2, link(), 1.0).run(1);
+    }
+}

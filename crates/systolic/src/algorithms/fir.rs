@@ -1,0 +1,244 @@
+//! Systolic FIR filter / convolution on a one-dimensional array.
+//!
+//! The motivating workload for one-dimensional systolic arrays (Kung,
+//! *Why Systolic Architectures?*, 1982; cited by the paper as reference \[4\]):
+//! compute `y_j = Σ_k w_k · x_{j+k}` with one cell per weight.
+//!
+//! Design: `x` values stream rightward one cell per cycle, partial
+//! results `y` stream leftward one cell per cycle, with consecutive
+//! items spaced two cycles apart so that every `y` meets every `x` it
+//! needs. Cell `k` holds `w_{K−1−k}` (the weight order is reversed
+//! because a leftward-moving `y` meets the `x` stream back-to-front).
+//!
+//! Timetable (cycle numbers are the cycle a cell *processes* the
+//! item): `x_i` is processed by cell `k` at cycle `2i + k`; `y_j` is
+//! injected at the rightmost cell when `x_j` arrives there (cycle
+//! `2j + K − 1`) and exits complete from cell 0 at cycle
+//! `2j + 2(K−1)`.
+
+use crate::exec::{in_port_from, out_port_to, ArrayAlgorithm, Item};
+use array_layout::graph::{CellId, CommGraph};
+
+/// Systolic FIR filter state: weights, input stream, and collected
+/// outputs.
+///
+/// # Examples
+///
+/// ```
+/// use systolic::algorithms::fir::SystolicFir;
+///
+/// let weights = [1, 2, 3];
+/// let xs = [4, 5, 6, 7, 8];
+/// let outputs = SystolicFir::convolve(&weights, &xs);
+/// // y_0 = 1·4 + 2·5 + 3·6 = 32, etc.
+/// assert_eq!(outputs, vec![32, 38, 44]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SystolicFir {
+    comm: CommGraph,
+    /// Reversed weights: `v[k] = w[K−1−k]`.
+    v: Vec<i64>,
+    xs: Vec<i64>,
+    outputs: Vec<i64>,
+    /// Per cell: input port arriving from the left / right neighbour.
+    left_in: Vec<Option<usize>>,
+    right_in: Vec<Option<usize>>,
+    /// Per cell: output port toward the right / left neighbour.
+    right_out: Vec<Option<usize>>,
+    left_out: Vec<Option<usize>>,
+}
+
+impl SystolicFir {
+    /// Builds the array for the given weights and input stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights` is empty or shorter than 1, or
+    /// `xs.len() < weights.len()` (no full-overlap output exists).
+    #[must_use]
+    pub fn new(weights: &[i64], xs: &[i64]) -> Self {
+        assert!(!weights.is_empty(), "need at least one weight");
+        assert!(
+            xs.len() >= weights.len(),
+            "input shorter than the filter ({} < {})",
+            xs.len(),
+            weights.len()
+        );
+        let k = weights.len();
+        let comm = CommGraph::linear(k);
+        let cell = CellId::new;
+        let left_in = (0..k)
+            .map(|i| i.checked_sub(1).and_then(|l| in_port_from(&comm, cell(i), cell(l))))
+            .collect();
+        let right_in = (0..k)
+            .map(|i| {
+                (i + 1 < k)
+                    .then(|| in_port_from(&comm, cell(i), cell(i + 1)))
+                    .flatten()
+            })
+            .collect();
+        let right_out = (0..k)
+            .map(|i| {
+                (i + 1 < k)
+                    .then(|| out_port_to(&comm, cell(i), cell(i + 1)))
+                    .flatten()
+            })
+            .collect();
+        let left_out = (0..k)
+            .map(|i| i.checked_sub(1).and_then(|l| out_port_to(&comm, cell(i), cell(l))))
+            .collect();
+        SystolicFir {
+            comm,
+            v: weights.iter().rev().copied().collect(),
+            xs: xs.to_vec(),
+            outputs: Vec::new(),
+            left_in,
+            right_in,
+            right_out,
+            left_out,
+        }
+    }
+
+    /// The communication graph (a `K`-cell linear array).
+    #[must_use]
+    pub fn comm(&self) -> &CommGraph {
+        &self.comm
+    }
+
+    /// Number of cycles needed to produce all outputs.
+    #[must_use]
+    pub fn cycles_needed(&self) -> usize {
+        let (n, k) = (self.xs.len(), self.v.len());
+        // Last output y_{n−k} completes at cycle 2(n−k) + 2(k−1);
+        // one extra cycle for the final collection step.
+        2 * (n - k) + 2 * (k - 1) + 2
+    }
+
+    /// Outputs collected so far (`y_0, y_1, …` in order).
+    #[must_use]
+    pub fn outputs(&self) -> &[i64] {
+        &self.outputs
+    }
+
+    /// Convenience: run the whole filter on a fresh ideal executor and
+    /// return all `n − K + 1` outputs.
+    ///
+    /// # Panics
+    ///
+    /// As for [`SystolicFir::new`].
+    #[must_use]
+    pub fn convolve(weights: &[i64], xs: &[i64]) -> Vec<i64> {
+        let mut fir = SystolicFir::new(weights, xs);
+        let mut exec = crate::exec::IdealExecutor::new(&fir.comm().clone());
+        let cycles = fir.cycles_needed();
+        exec.run(&mut fir, cycles);
+        fir.outputs
+    }
+
+    /// Reference implementation: direct convolution.
+    #[must_use]
+    pub fn reference(weights: &[i64], xs: &[i64]) -> Vec<i64> {
+        let k = weights.len();
+        (0..=xs.len() - k)
+            .map(|j| (0..k).map(|m| weights[m] * xs[j + m]).sum())
+            .collect()
+    }
+}
+
+impl ArrayAlgorithm for SystolicFir {
+    fn step_cell(&mut self, cell: CellId, cycle: usize, inputs: &[Item], outputs: &mut [Item]) {
+        let i = cell.index();
+        let k = self.v.len();
+        let n = self.xs.len();
+        // --- gather x (from the left neighbour, or the host at cell 0)
+        let x_in: Option<i64> = if i == 0 {
+            // Host injects x_t at cycle 2t.
+            if cycle.is_multiple_of(2) && cycle / 2 < n {
+                Some(self.xs[cycle / 2])
+            } else {
+                None
+            }
+        } else {
+            self.left_in[i].and_then(|p| inputs[p])
+        };
+        // --- gather y (from the right neighbour, or the host at the
+        // rightmost cell)
+        let y_in: Option<i64> = if i == k - 1 {
+            // Host injects y_j = 0 when x_j reaches this cell: cycle
+            // 2j + K − 1, for j = 0..=n−k.
+            if cycle >= k - 1 && (cycle - (k - 1)).is_multiple_of(2) && (cycle - (k - 1)) / 2 <= n - k
+            {
+                Some(0)
+            } else {
+                None
+            }
+        } else {
+            self.right_in[i].and_then(|p| inputs[p])
+        };
+        // --- compute and route
+        let y_out = match (x_in, y_in) {
+            (Some(x), Some(y)) => Some(y + self.v[i] * x),
+            (None, Some(y)) => Some(y),
+            _ => None,
+        };
+        // x always continues rightward.
+        if let (Some(x), Some(p)) = (x_in, self.right_out[i]) {
+            outputs[p] = Some(x);
+        }
+        // y continues leftward, or is complete at cell 0.
+        if let Some(y) = y_out {
+            if i == 0 {
+                self.outputs.push(y);
+            } else if let Some(p) = self.left_out[i] {
+                outputs[p] = Some(y);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_reference_small() {
+        let w = [1, 2, 3];
+        let x = [4, 5, 6, 7, 8, 9];
+        assert_eq!(SystolicFir::convolve(&w, &x), SystolicFir::reference(&w, &x));
+    }
+
+    #[test]
+    fn single_weight_is_scaling() {
+        let w = [5];
+        let x = [1, 2, 3];
+        assert_eq!(SystolicFir::convolve(&w, &x), vec![5, 10, 15]);
+    }
+
+    #[test]
+    fn exact_length_input_gives_one_output() {
+        let w = [2, 3, 4];
+        let x = [1, 1, 1];
+        assert_eq!(SystolicFir::convolve(&w, &x), vec![9]);
+    }
+
+    #[test]
+    fn negative_values() {
+        let w = [-1, 2];
+        let x = [3, -4, 5];
+        assert_eq!(
+            SystolicFir::convolve(&w, &x),
+            SystolicFir::reference(&w, &x)
+        );
+    }
+
+    #[test]
+    fn reference_is_direct_convolution() {
+        assert_eq!(SystolicFir::reference(&[1, 0], &[7, 8, 9]), vec![7, 8]);
+    }
+
+    #[test]
+    #[should_panic(expected = "input shorter")]
+    fn rejects_short_input() {
+        let _ = SystolicFir::new(&[1, 2, 3], &[1]);
+    }
+}

@@ -1,0 +1,631 @@
+//! Hexagonal systolic matrix multiplication (Kung & Leiserson) — the
+//! workload the Fig. 3(c) hexagonal array exists for.
+//!
+//! Three data streams flow through a hexagonally connected array:
+//! `a_{ik}` northward, `b_{kj}` eastward, and the accumulating
+//! `c_{ij}` south-westward along the diagonal links. The classic
+//! timetable places the meeting of the triple `(i, j, k)` — the
+//! multiply-accumulate `c_{ij} += a_{ik}·b_{kj}` — at cell
+//! `(x, y) = (i−k, j−k)` at cycle `t = i + j + k`:
+//!
+//! * fixing `(i, k)`: `a_{ik}` sits at `(i−k, j−k)` at `i+j+k`, so it
+//!   moves one step in `+y` per cycle;
+//! * fixing `(k, j)`: `b_{kj}` moves `+x` per cycle;
+//! * fixing `(i, j)`: `c_{ij}` moves `(−1, −1)` per cycle — exactly
+//!   the north-east↔south-west diagonal that distinguishes the hex
+//!   array from a mesh.
+//!
+//! A cell is active when `t ≡ x + y (mod 3)` — the famous one-third
+//! utilization of the hexagonal design. A dense `n × n` product uses
+//! the `(2n−1) × (2n−1)` hex array; the design's real target is band
+//! matrices, where the array size depends only on the bandwidths.
+
+use crate::exec::{in_port_from, out_port_to, ArrayAlgorithm, Item};
+use array_layout::graph::{CellId, CommGraph};
+
+/// Hexagonal systolic matrix-multiply state: `C = A · B`, all `n × n`.
+///
+/// # Examples
+///
+/// ```
+/// use systolic::algorithms::hex_matmul::HexMatMul;
+///
+/// let a = vec![vec![1, 2], vec![3, 4]];
+/// let b = vec![vec![5, 6], vec![7, 8]];
+/// assert_eq!(HexMatMul::multiply(&a, &b), vec![vec![19, 22], vec![43, 50]]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct HexMatMul {
+    comm: CommGraph,
+    n: usize,
+    side: usize,
+    a: Vec<Vec<i64>>,
+    b: Vec<Vec<i64>>,
+    c: Vec<Vec<i64>>,
+    /// Per cell: in-port from the south (the `a` stream, moving +y).
+    south_in: Vec<Option<usize>>,
+    /// Per cell: in-port from the west (the `b` stream, moving +x).
+    west_in: Vec<Option<usize>>,
+    /// Per cell: in-port from the north-east diagonal (the `c`
+    /// stream, moving −x,−y).
+    ne_in: Vec<Option<usize>>,
+    north_out: Vec<Option<usize>>,
+    east_out: Vec<Option<usize>>,
+    sw_out: Vec<Option<usize>>,
+}
+
+impl HexMatMul {
+    /// Builds the array for square `a` and `b` of the same size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrices are empty, non-square, or differently
+    /// sized.
+    #[must_use]
+    pub fn new(a: &[Vec<i64>], b: &[Vec<i64>]) -> Self {
+        let n = a.len();
+        assert!(n > 0, "matrices must be non-empty");
+        assert!(
+            a.iter().all(|r| r.len() == n),
+            "A must be square ({n} x {n})"
+        );
+        assert_eq!(b.len(), n, "B must match A's size");
+        assert!(
+            b.iter().all(|r| r.len() == n),
+            "B must be square ({n} x {n})"
+        );
+        let side = 2 * n - 1;
+        let comm = CommGraph::hex(side, side);
+        let cell = |r: usize, c: usize| comm.grid_id(r, c);
+        let mut south_in = Vec::with_capacity(side * side);
+        let mut west_in = Vec::with_capacity(side * side);
+        let mut ne_in = Vec::with_capacity(side * side);
+        let mut north_out = Vec::with_capacity(side * side);
+        let mut east_out = Vec::with_capacity(side * side);
+        let mut sw_out = Vec::with_capacity(side * side);
+        for r in 0..side {
+            for c in 0..side {
+                let here = cell(r, c);
+                south_in.push(
+                    (r > 0).then(|| in_port_from(&comm, here, cell(r - 1, c))).flatten(),
+                );
+                west_in.push(
+                    (c > 0).then(|| in_port_from(&comm, here, cell(r, c - 1))).flatten(),
+                );
+                ne_in.push(
+                    (r + 1 < side && c + 1 < side)
+                        .then(|| in_port_from(&comm, here, cell(r + 1, c + 1)))
+                        .flatten(),
+                );
+                north_out.push(
+                    (r + 1 < side).then(|| out_port_to(&comm, here, cell(r + 1, c))).flatten(),
+                );
+                east_out.push(
+                    (c + 1 < side).then(|| out_port_to(&comm, here, cell(r, c + 1))).flatten(),
+                );
+                sw_out.push(
+                    (r > 0 && c > 0)
+                        .then(|| out_port_to(&comm, here, cell(r - 1, c - 1)))
+                        .flatten(),
+                );
+            }
+        }
+        HexMatMul {
+            comm,
+            n,
+            side,
+            a: a.to_vec(),
+            b: b.to_vec(),
+            c: vec![vec![0; n]; n],
+            south_in,
+            west_in,
+            ne_in,
+            north_out,
+            east_out,
+            sw_out,
+        }
+    }
+
+    /// The communication graph (a `(2n−1) × (2n−1)` hexagonal array).
+    #[must_use]
+    pub fn comm(&self) -> &CommGraph {
+        &self.comm
+    }
+
+    /// Cycles needed for every `c_{ij}` to complete:
+    /// `max t = 2(n−1) + (n−1) + 1` plus a margin.
+    #[must_use]
+    pub fn cycles_needed(&self) -> usize {
+        3 * (self.n - 1) + self.n + 2
+    }
+
+    /// The accumulated product.
+    #[must_use]
+    pub fn product(&self) -> &[Vec<i64>] {
+        &self.c
+    }
+
+    /// Convenience: run to completion on an ideal executor.
+    ///
+    /// # Panics
+    ///
+    /// As for [`HexMatMul::new`].
+    #[must_use]
+    pub fn multiply(a: &[Vec<i64>], b: &[Vec<i64>]) -> Vec<Vec<i64>> {
+        let mut hm = HexMatMul::new(a, b);
+        let mut exec = crate::exec::IdealExecutor::new(&hm.comm().clone());
+        let cycles = hm.cycles_needed();
+        exec.run(&mut hm, cycles);
+        hm.c
+    }
+
+    /// Reference implementation: direct triple loop.
+    #[must_use]
+    pub fn reference(a: &[Vec<i64>], b: &[Vec<i64>]) -> Vec<Vec<i64>> {
+        crate::algorithms::matmul::SystolicMatMul::reference(a, b)
+    }
+
+    /// Decodes the `(i, j, k)` triple meeting at grid cell `(r, c)` at
+    /// cycle `t`, if any: `x = c − (n−1)`, `y = r − (n−1)`,
+    /// `k = (t − x − y)/3`, `i = x + k`, `j = y + k`.
+    fn triple_at(&self, r: usize, c: usize, t: usize) -> Option<(usize, usize, usize)> {
+        let off = self.n as i64 - 1;
+        let x = c as i64 - off;
+        let y = r as i64 - off;
+        let rem = t as i64 - x - y;
+        if rem < 0 || rem % 3 != 0 {
+            return None;
+        }
+        let k = rem / 3;
+        let i = x + k;
+        let j = y + k;
+        let n = self.n as i64;
+        if (0..n).contains(&k) && (0..n).contains(&i) && (0..n).contains(&j) {
+            Some((i as usize, j as usize, k as usize))
+        } else {
+            None
+        }
+    }
+}
+
+impl ArrayAlgorithm for HexMatMul {
+    fn step_cell(&mut self, cell: CellId, cycle: usize, inputs: &[Item], outputs: &mut [Item]) {
+        let idx = cell.index();
+        let (r, c) = (idx / self.side, idx % self.side);
+        let Some((i, j, k)) = self.triple_at(r, c, cycle) else {
+            return;
+        };
+        // Gather the three streams: first meetings are host-injected.
+        let a_val = if j == 0 {
+            self.a[i][k]
+        } else {
+            self.south_in[idx]
+                .and_then(|p| inputs[p])
+                .expect("a-stream token must arrive on schedule")
+        };
+        let b_val = if i == 0 {
+            self.b[k][j]
+        } else {
+            self.west_in[idx]
+                .and_then(|p| inputs[p])
+                .expect("b-stream token must arrive on schedule")
+        };
+        let c_val = if k == 0 {
+            0
+        } else {
+            self.ne_in[idx]
+                .and_then(|p| inputs[p])
+                .expect("c-stream token must arrive on schedule")
+        };
+        let c_new = c_val + a_val * b_val;
+        // Route onward (or retire).
+        if j + 1 < self.n {
+            let p = self.north_out[idx].expect("a-stream has room to move north");
+            outputs[p] = Some(a_val);
+        }
+        if i + 1 < self.n {
+            let p = self.east_out[idx].expect("b-stream has room to move east");
+            outputs[p] = Some(b_val);
+        }
+        if k + 1 < self.n {
+            let p = self.sw_out[idx].expect("c-stream has room to move south-west");
+            outputs[p] = Some(c_new);
+        } else {
+            self.c[i][j] = c_new;
+        }
+    }
+}
+
+/// Band-matrix hexagonal multiply: the configuration Kung & Leiserson
+/// actually designed for. With both operands banded (`a_{ik} = 0`
+/// unless `|i−k| < w`, same for `b`), the meeting coordinates satisfy
+/// `|x|, |y| < w`, so a `(2w−1) × (2w−1)` array multiplies band
+/// matrices of **any** size `n` — the bounded-hardware property that
+/// makes the hex array a practical systolic machine.
+///
+/// # Examples
+///
+/// ```
+/// use systolic::algorithms::hex_matmul::HexBandMatMul;
+///
+/// // Tridiagonal (w = 2) 5×5 matrices on a 3×3 hex array.
+/// let a = HexBandMatMul::band_matrix(5, 2, |i, k| (i + k + 1) as i64);
+/// let b = HexBandMatMul::band_matrix(5, 2, |k, j| (k * 2 + j) as i64 - 3);
+/// let c = HexBandMatMul::multiply(&a, &b, 2);
+/// assert_eq!(c, systolic_reference(&a, &b));
+/// # fn systolic_reference(a: &[Vec<i64>], b: &[Vec<i64>]) -> Vec<Vec<i64>> {
+/// #     systolic::algorithms::matmul::SystolicMatMul::reference(a, b)
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct HexBandMatMul {
+    comm: CommGraph,
+    n: usize,
+    w: usize,
+    side: usize,
+    a: Vec<Vec<i64>>,
+    b: Vec<Vec<i64>>,
+    c: Vec<Vec<i64>>,
+    south_in: Vec<Option<usize>>,
+    west_in: Vec<Option<usize>>,
+    ne_in: Vec<Option<usize>>,
+    north_out: Vec<Option<usize>>,
+    east_out: Vec<Option<usize>>,
+    sw_out: Vec<Option<usize>>,
+}
+
+impl HexBandMatMul {
+    /// Builds a banded `n × n` matrix with half-bandwidth `w`
+    /// (`m[i][j] = f(i, j)` when `|i−j| < w`, else 0) — a convenience
+    /// for constructing test operands.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 ≤ w`.
+    #[must_use]
+    pub fn band_matrix(n: usize, w: usize, f: impl Fn(usize, usize) -> i64) -> Vec<Vec<i64>> {
+        assert!(w >= 1, "bandwidth must be at least 1");
+        (0..n)
+            .map(|i| {
+                (0..n)
+                    .map(|j| if i.abs_diff(j) < w { f(i, j) } else { 0 })
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// Builds the band multiplier for `a · b`, both `n × n` with
+    /// half-bandwidth `w`. The hex array has `(2w−1)²` cells no
+    /// matter how large `n` is.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrices are not square and equal-sized, if
+    /// `w < 1`, or if either matrix has a nonzero entry outside the
+    /// band.
+    #[must_use]
+    pub fn new(a: &[Vec<i64>], b: &[Vec<i64>], w: usize) -> Self {
+        let n = a.len();
+        assert!(n > 0, "matrices must be non-empty");
+        assert!(w >= 1, "bandwidth must be at least 1");
+        assert!(a.iter().all(|r| r.len() == n), "A must be square");
+        assert_eq!(b.len(), n, "B must match A's size");
+        assert!(b.iter().all(|r| r.len() == n), "B must be square");
+        for (name, m) in [("A", a), ("B", b)] {
+            for (i, row) in m.iter().enumerate() {
+                for (j, &v) in row.iter().enumerate() {
+                    assert!(
+                        v == 0 || i.abs_diff(j) < w,
+                        "{name}[{i}][{j}] = {v} lies outside the bandwidth-{w} band"
+                    );
+                }
+            }
+        }
+        let side = 2 * w - 1;
+        let comm = CommGraph::hex(side, side);
+        let cell = |r: usize, c: usize| comm.grid_id(r, c);
+        let mut south_in = Vec::with_capacity(side * side);
+        let mut west_in = Vec::with_capacity(side * side);
+        let mut ne_in = Vec::with_capacity(side * side);
+        let mut north_out = Vec::with_capacity(side * side);
+        let mut east_out = Vec::with_capacity(side * side);
+        let mut sw_out = Vec::with_capacity(side * side);
+        for r in 0..side {
+            for c in 0..side {
+                let here = cell(r, c);
+                south_in.push(
+                    (r > 0).then(|| in_port_from(&comm, here, cell(r - 1, c))).flatten(),
+                );
+                west_in.push(
+                    (c > 0).then(|| in_port_from(&comm, here, cell(r, c - 1))).flatten(),
+                );
+                ne_in.push(
+                    (r + 1 < side && c + 1 < side)
+                        .then(|| in_port_from(&comm, here, cell(r + 1, c + 1)))
+                        .flatten(),
+                );
+                north_out.push(
+                    (r + 1 < side).then(|| out_port_to(&comm, here, cell(r + 1, c))).flatten(),
+                );
+                east_out.push(
+                    (c + 1 < side).then(|| out_port_to(&comm, here, cell(r, c + 1))).flatten(),
+                );
+                sw_out.push(
+                    (r > 0 && c > 0)
+                        .then(|| out_port_to(&comm, here, cell(r - 1, c - 1)))
+                        .flatten(),
+                );
+            }
+        }
+        HexBandMatMul {
+            comm,
+            n,
+            w,
+            side,
+            a: a.to_vec(),
+            b: b.to_vec(),
+            c: vec![vec![0; n]; n],
+            south_in,
+            west_in,
+            ne_in,
+            north_out,
+            east_out,
+            sw_out,
+        }
+    }
+
+    /// The communication graph: a `(2w−1) × (2w−1)` hex array,
+    /// independent of `n`.
+    #[must_use]
+    pub fn comm(&self) -> &CommGraph {
+        &self.comm
+    }
+
+    /// Cycles needed: `max t = (n−1) + (n−1) + (n−1)` plus margin.
+    #[must_use]
+    pub fn cycles_needed(&self) -> usize {
+        3 * self.n + 2
+    }
+
+    /// The accumulated product.
+    #[must_use]
+    pub fn product(&self) -> &[Vec<i64>] {
+        &self.c
+    }
+
+    /// Convenience: run to completion on an ideal executor.
+    ///
+    /// # Panics
+    ///
+    /// As for [`HexBandMatMul::new`].
+    #[must_use]
+    pub fn multiply(a: &[Vec<i64>], b: &[Vec<i64>], w: usize) -> Vec<Vec<i64>> {
+        let mut hm = HexBandMatMul::new(a, b, w);
+        let mut exec = crate::exec::IdealExecutor::new(&hm.comm().clone());
+        let cycles = hm.cycles_needed();
+        exec.run(&mut hm, cycles);
+        hm.c
+    }
+
+    /// The range of `k` contributing to `c_{ij}` within the bands.
+    fn k_range(&self, i: usize, j: usize) -> Option<(usize, usize)> {
+        let w = self.w;
+        let lo = i.max(j).saturating_sub(w - 1);
+        let hi = (i.min(j) + w - 1).min(self.n - 1);
+        (lo <= hi).then_some((lo, hi))
+    }
+
+    /// Decodes the meeting triple at `(r, c)` at cycle `t`, if it is a
+    /// live in-band meeting.
+    fn triple_at(&self, r: usize, c: usize, t: usize) -> Option<(usize, usize, usize)> {
+        let off = self.w as i64 - 1;
+        let x = c as i64 - off;
+        let y = r as i64 - off;
+        let rem = t as i64 - x - y;
+        if rem < 0 || rem % 3 != 0 {
+            return None;
+        }
+        let k = rem / 3;
+        let i = x + k;
+        let j = y + k;
+        let n = self.n as i64;
+        if !((0..n).contains(&k) && (0..n).contains(&i) && (0..n).contains(&j)) {
+            return None;
+        }
+        let (i, j, k) = (i as usize, j as usize, k as usize);
+        // Only meetings inside the band region carry tokens.
+        let (lo, hi) = self.k_range(i, j)?;
+        (lo..=hi).contains(&k).then_some((i, j, k))
+    }
+}
+
+impl ArrayAlgorithm for HexBandMatMul {
+    fn step_cell(&mut self, cell: CellId, cycle: usize, inputs: &[Item], outputs: &mut [Item]) {
+        let idx = cell.index();
+        let (r, c) = (idx / self.side, idx % self.side);
+        let Some((i, j, k)) = self.triple_at(r, c, cycle) else {
+            return;
+        };
+        let w = self.w;
+        // a_{ik}'s first in-band meeting is at the smallest valid j.
+        let a_first_j = k.saturating_sub(w - 1);
+        let b_first_i = k.saturating_sub(w - 1);
+        let (c_lo, c_hi) = self.k_range(i, j).expect("triple implies a live range");
+        let a_val = if j == a_first_j {
+            self.a[i][k]
+        } else {
+            self.south_in[idx]
+                .and_then(|p| inputs[p])
+                .expect("a-stream token must arrive on schedule")
+        };
+        let b_val = if i == b_first_i {
+            self.b[k][j]
+        } else {
+            self.west_in[idx]
+                .and_then(|p| inputs[p])
+                .expect("b-stream token must arrive on schedule")
+        };
+        let c_val = if k == c_lo {
+            0
+        } else {
+            self.ne_in[idx]
+                .and_then(|p| inputs[p])
+                .expect("c-stream token must arrive on schedule")
+        };
+        let c_new = c_val + a_val * b_val;
+        // a_{ik} continues while the next j is still in band and range.
+        if j + 1 < self.n && j < k + w - 1 {
+            let p = self.north_out[idx].expect("a-stream has room to move north");
+            outputs[p] = Some(a_val);
+        }
+        if i + 1 < self.n && i < k + w - 1 {
+            let p = self.east_out[idx].expect("b-stream has room to move east");
+            outputs[p] = Some(b_val);
+        }
+        if k < c_hi {
+            let p = self.sw_out[idx].expect("c-stream has room to move south-west");
+            outputs[p] = Some(c_new);
+        } else {
+            self.c[i][j] = c_new;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_by_one() {
+        assert_eq!(HexMatMul::multiply(&[vec![3]], &[vec![-4]]), vec![vec![-12]]);
+    }
+
+    #[test]
+    fn two_by_two_matches_reference() {
+        let a = vec![vec![1, 2], vec![3, 4]];
+        let b = vec![vec![5, 6], vec![7, 8]];
+        assert_eq!(HexMatMul::multiply(&a, &b), HexMatMul::reference(&a, &b));
+    }
+
+    #[test]
+    fn four_by_four_matches_reference() {
+        let a: Vec<Vec<i64>> = (0..4)
+            .map(|i| (0..4).map(|j| ((i * 4 + j) % 7) as i64 - 3).collect())
+            .collect();
+        let b: Vec<Vec<i64>> = (0..4)
+            .map(|i| (0..4).map(|j| ((i + j * 3) % 5) as i64 - 2).collect())
+            .collect();
+        assert_eq!(HexMatMul::multiply(&a, &b), HexMatMul::reference(&a, &b));
+    }
+
+    #[test]
+    fn identity_passthrough() {
+        let id = vec![vec![1, 0, 0], vec![0, 1, 0], vec![0, 0, 1]];
+        let b = vec![vec![9, 8, 7], vec![6, 5, 4], vec![3, 2, 1]];
+        assert_eq!(HexMatMul::multiply(&id, &b), b);
+    }
+
+    #[test]
+    fn agrees_with_mesh_design() {
+        // Two independent systolic designs computing the same product.
+        let a = vec![vec![2, -1, 3], vec![0, 4, 1], vec![-2, 5, -3]];
+        let b = vec![vec![1, 2, 0], vec![3, -1, 2], vec![4, 0, -2]];
+        assert_eq!(
+            HexMatMul::multiply(&a, &b),
+            crate::algorithms::matmul::SystolicMatMul::multiply(&a, &b)
+        );
+    }
+
+    #[test]
+    fn one_third_utilization() {
+        // A cell is active only when t ≡ x + y (mod 3): count active
+        // (cell, cycle) pairs for n = 3 and verify the density.
+        let a = vec![vec![1; 3]; 3];
+        let hm = HexMatMul::new(&a, &a);
+        let mut active = 0usize;
+        let mut possible = 0usize;
+        for t in 0..hm.cycles_needed() {
+            for r in 0..hm.side {
+                for c in 0..hm.side {
+                    possible += 1;
+                    if hm.triple_at(r, c, t).is_some() {
+                        active += 1;
+                    }
+                }
+            }
+        }
+        let density = active as f64 / possible as f64;
+        assert!(density < 0.34, "hex utilization must be ≤ 1/3: {density}");
+    }
+
+    #[test]
+    #[should_panic(expected = "square")]
+    fn rejects_non_square() {
+        let _ = HexMatMul::new(&[vec![1, 2]], &[vec![1], vec![2]]);
+    }
+
+    // ------------------------- band version -------------------------
+
+    #[test]
+    fn band_tridiagonal_matches_reference() {
+        let a = HexBandMatMul::band_matrix(6, 2, |i, k| (i * 3 + k) as i64 - 4);
+        let b = HexBandMatMul::band_matrix(6, 2, |k, j| (k + j * 2) as i64 - 3);
+        assert_eq!(
+            HexBandMatMul::multiply(&a, &b, 2),
+            HexMatMul::reference(&a, &b)
+        );
+    }
+
+    #[test]
+    fn band_array_size_independent_of_n() {
+        let small = HexBandMatMul::new(
+            &HexBandMatMul::band_matrix(4, 3, |i, j| (i + j) as i64),
+            &HexBandMatMul::band_matrix(4, 3, |i, j| (i * j) as i64 + 1),
+            3,
+        );
+        let large = HexBandMatMul::new(
+            &HexBandMatMul::band_matrix(40, 3, |i, j| (i + j) as i64),
+            &HexBandMatMul::band_matrix(40, 3, |i, j| (i * j) as i64 + 1),
+            3,
+        );
+        assert_eq!(small.comm().node_count(), 25);
+        assert_eq!(
+            small.comm().node_count(),
+            large.comm().node_count(),
+            "band array size must not depend on n"
+        );
+    }
+
+    #[test]
+    fn band_large_n_correct() {
+        let n = 24;
+        let a = HexBandMatMul::band_matrix(n, 3, |i, k| ((i * 7 + k * 3) % 11) as i64 - 5);
+        let b = HexBandMatMul::band_matrix(n, 3, |k, j| ((k * 5 + j) % 9) as i64 - 4);
+        assert_eq!(
+            HexBandMatMul::multiply(&a, &b, 3),
+            HexMatMul::reference(&a, &b)
+        );
+    }
+
+    #[test]
+    fn band_diagonal_only() {
+        // w = 1: pure diagonal matrices on a single cell.
+        let a = HexBandMatMul::band_matrix(5, 1, |i, _| i as i64 + 1);
+        let b = HexBandMatMul::band_matrix(5, 1, |i, _| 2 * i as i64 - 3);
+        let hm = HexBandMatMul::new(&a, &b, 1);
+        assert_eq!(hm.comm().node_count(), 1);
+        assert_eq!(
+            HexBandMatMul::multiply(&a, &b, 1),
+            HexMatMul::reference(&a, &b)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the bandwidth")]
+    fn band_rejects_out_of_band_entries() {
+        let mut a = HexBandMatMul::band_matrix(4, 2, |_, _| 1);
+        a[0][3] = 5;
+        let b = HexBandMatMul::band_matrix(4, 2, |_, _| 1);
+        let _ = HexBandMatMul::new(&a, &b, 2);
+    }
+}

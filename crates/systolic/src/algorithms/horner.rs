@@ -1,0 +1,191 @@
+//! Pipelined polynomial evaluation (Horner's rule) on a linear array.
+//!
+//! Cell `k` holds coefficient `a_{d−k}` (highest degree first); an
+//! evaluation point `x` and its running accumulator flow rightward
+//! together, one cell per cycle, with each cell applying one Horner
+//! step `acc ← acc·x + a`. A new point enters every cycle, so the
+//! array evaluates a degree-`d` polynomial at throughput one point per
+//! cycle with latency `d + 1` — another bounded-I/O linear-array
+//! workload of the kind Section V-A declares ideal for spine clocking.
+//!
+//! The COMM graph uses two parallel rightward channels per neighbour
+//! pair (point and accumulator), exercising the multi-edge capability
+//! of assumption A1's directed-graph model.
+
+use crate::exec::{ArrayAlgorithm, Item};
+use array_layout::graph::{CellId, CommGraph, CommGraphBuilder};
+
+/// Systolic Horner evaluator state.
+///
+/// # Examples
+///
+/// ```
+/// use systolic::algorithms::horner::SystolicHorner;
+///
+/// // p(x) = 2x^2 + 3x + 5
+/// let coeffs = [5, 3, 2];
+/// let points = [0, 1, 2, -1];
+/// assert_eq!(SystolicHorner::evaluate(&coeffs, &points), vec![5, 10, 19, 4]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SystolicHorner {
+    comm: CommGraph,
+    /// Coefficients highest-degree first: `v[k] = a_{d−k}`.
+    v: Vec<i64>,
+    points: Vec<i64>,
+    results: Vec<i64>,
+    /// Per cell: (x-channel, acc-channel) input port indices.
+    in_ports: Vec<Option<(usize, usize)>>,
+    /// Per cell: (x-channel, acc-channel) output port indices.
+    out_ports: Vec<Option<(usize, usize)>>,
+}
+
+impl SystolicHorner {
+    /// Builds the evaluator for coefficients `a_0..a_d` (lowest degree
+    /// first, as a polynomial is usually written down) and a stream of
+    /// evaluation points.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `coeffs` is empty.
+    #[must_use]
+    pub fn new(coeffs: &[i64], points: &[i64]) -> Self {
+        assert!(!coeffs.is_empty(), "need at least one coefficient");
+        let k = coeffs.len();
+        // Two parallel rightward channels per adjacent pair: channel 0
+        // carries the point, channel 1 the accumulator.
+        let mut b = CommGraphBuilder::new(k);
+        for i in 0..k.saturating_sub(1) {
+            b.edge(CellId::new(i), CellId::new(i + 1)); // x channel
+            b.edge(CellId::new(i), CellId::new(i + 1)); // acc channel
+        }
+        let comm = b.build();
+        // Port discovery: each cell's in/out edges were inserted in
+        // (x, acc) order, so ports 0 and 1 are x and acc respectively.
+        let in_ports = (0..k)
+            .map(|i| (i > 0).then_some((0usize, 1usize)))
+            .collect();
+        let out_ports = (0..k)
+            .map(|i| (i + 1 < k).then_some((0usize, 1usize)))
+            .collect();
+        SystolicHorner {
+            comm,
+            v: coeffs.iter().rev().copied().collect(),
+            points: points.to_vec(),
+            results: Vec::new(),
+            in_ports,
+            out_ports,
+        }
+    }
+
+    /// The communication graph (two parallel channels per link).
+    #[must_use]
+    pub fn comm(&self) -> &CommGraph {
+        &self.comm
+    }
+
+    /// Cycles needed to evaluate every point.
+    #[must_use]
+    pub fn cycles_needed(&self) -> usize {
+        self.points.len() + self.v.len() + 1
+    }
+
+    /// Results collected so far, in point order.
+    #[must_use]
+    pub fn results(&self) -> &[i64] {
+        &self.results
+    }
+
+    /// Convenience: evaluate all points on a fresh ideal executor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `coeffs` is empty.
+    #[must_use]
+    pub fn evaluate(coeffs: &[i64], points: &[i64]) -> Vec<i64> {
+        let mut h = SystolicHorner::new(coeffs, points);
+        let mut exec = crate::exec::IdealExecutor::new(&h.comm().clone());
+        let cycles = h.cycles_needed();
+        exec.run(&mut h, cycles);
+        h.results
+    }
+
+    /// Reference implementation: direct Horner evaluation.
+    #[must_use]
+    pub fn reference(coeffs: &[i64], points: &[i64]) -> Vec<i64> {
+        points
+            .iter()
+            .map(|&x| coeffs.iter().rev().fold(0i64, |acc, &a| acc * x + a))
+            .collect()
+    }
+}
+
+impl ArrayAlgorithm for SystolicHorner {
+    fn step_cell(&mut self, cell: CellId, cycle: usize, inputs: &[Item], outputs: &mut [Item]) {
+        let i = cell.index();
+        let (x, acc) = if i == 0 {
+            // Host injects point t at cycle t with a zero accumulator.
+            match self.points.get(cycle) {
+                Some(&x) => (Some(x), Some(0)),
+                None => (None, None),
+            }
+        } else {
+            match self.in_ports[i] {
+                Some((px, pa)) => (inputs[px], inputs[pa]),
+                None => (None, None),
+            }
+        };
+        let (Some(x), Some(acc)) = (x, acc) else {
+            return;
+        };
+        let acc = acc * x + self.v[i];
+        if let Some((px, pa)) = self.out_ports[i] {
+            outputs[px] = Some(x);
+            outputs[pa] = Some(acc);
+        } else {
+            // Last cell: the Horner chain is complete.
+            self.results.push(acc);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_reference() {
+        let coeffs = [1, -2, 0, 3]; // 3x^3 - 2x + 1
+        let points = [-3, -1, 0, 1, 2, 5];
+        assert_eq!(
+            SystolicHorner::evaluate(&coeffs, &points),
+            SystolicHorner::reference(&coeffs, &points)
+        );
+    }
+
+    #[test]
+    fn constant_polynomial() {
+        assert_eq!(SystolicHorner::evaluate(&[7], &[1, 2, 3]), vec![7, 7, 7]);
+    }
+
+    #[test]
+    fn linear_polynomial() {
+        // p(x) = 2x + 1.
+        assert_eq!(
+            SystolicHorner::evaluate(&[1, 2], &[0, 5, -4]),
+            vec![1, 11, -7]
+        );
+    }
+
+    #[test]
+    fn empty_point_stream() {
+        assert_eq!(SystolicHorner::evaluate(&[1, 2, 3], &[]), Vec::<i64>::new());
+    }
+
+    #[test]
+    fn results_in_point_order() {
+        let coeffs = [0, 1]; // p(x) = x
+        let points = [9, 8, 7, 6];
+        assert_eq!(SystolicHorner::evaluate(&coeffs, &points), vec![9, 8, 7, 6]);
+    }
+}

@@ -1,0 +1,231 @@
+//! Systolic matrix multiplication on a two-dimensional mesh.
+//!
+//! The canonical two-dimensional systolic workload — and, per
+//! Section V-B, the kind of array that *cannot* be clocked at constant
+//! period under the summation model as it grows.
+//!
+//! Design ("stationary C"): cell `(i, j)` accumulates `c_ij`; row `i`
+//! of `A` streams eastward through mesh row `i`, staggered `i` cycles;
+//! column `j` of `B` streams southward through mesh column `j`,
+//! staggered `j` cycles. Cell `(i, j)` at cycle `t` multiplies
+//! `a_{i,k}` with `b_{k,j}` where `k = t − i − j`, so products align
+//! and `c_ij = Σ_k a_{ik} b_{kj}` completes after `K + n + m` cycles.
+
+use crate::exec::{in_port_from, out_port_to, ArrayAlgorithm, Item};
+use array_layout::graph::{CellId, CommGraph};
+
+/// Systolic mesh matrix-multiply state: `C = A · B`.
+///
+/// `A` is `n × k`, `B` is `k × m`, the mesh is `n × m`.
+///
+/// # Examples
+///
+/// ```
+/// use systolic::algorithms::matmul::SystolicMatMul;
+///
+/// let a = vec![vec![1, 2], vec![3, 4]];
+/// let b = vec![vec![5, 6], vec![7, 8]];
+/// assert_eq!(
+///     SystolicMatMul::multiply(&a, &b),
+///     vec![vec![19, 22], vec![43, 50]],
+/// );
+/// ```
+#[derive(Debug, Clone)]
+pub struct SystolicMatMul {
+    comm: CommGraph,
+    a: Vec<Vec<i64>>,
+    b: Vec<Vec<i64>>,
+    acc: Vec<Vec<i64>>,
+    rows: usize,
+    cols: usize,
+    inner: usize,
+    west_in: Vec<Option<usize>>,
+    north_in: Vec<Option<usize>>,
+    east_out: Vec<Option<usize>>,
+    south_out: Vec<Option<usize>>,
+}
+
+impl SystolicMatMul {
+    /// Builds the mesh for `a` (`n × k`) and `b` (`k × m`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either matrix is empty or ragged, or the inner
+    /// dimensions disagree.
+    #[must_use]
+    pub fn new(a: &[Vec<i64>], b: &[Vec<i64>]) -> Self {
+        assert!(!a.is_empty() && !a[0].is_empty(), "A must be non-empty");
+        assert!(!b.is_empty() && !b[0].is_empty(), "B must be non-empty");
+        let (n, k) = (a.len(), a[0].len());
+        let m = b[0].len();
+        assert!(a.iter().all(|r| r.len() == k), "A rows must have equal length");
+        assert!(b.iter().all(|r| r.len() == m), "B rows must have equal length");
+        assert_eq!(b.len(), k, "inner dimensions must agree");
+        let comm = CommGraph::mesh(n, m);
+        let port = |r: usize, c: usize, dr: isize, dc: isize, incoming: bool| -> Option<usize> {
+            let nr = r.checked_add_signed(dr)?;
+            let nc = c.checked_add_signed(dc)?;
+            if nr >= n || nc >= m {
+                return None;
+            }
+            let here = comm.grid_id(r, c);
+            let there = comm.grid_id(nr, nc);
+            if incoming {
+                in_port_from(&comm, here, there)
+            } else {
+                out_port_to(&comm, here, there)
+            }
+        };
+        let mut west_in = Vec::with_capacity(n * m);
+        let mut north_in = Vec::with_capacity(n * m);
+        let mut east_out = Vec::with_capacity(n * m);
+        let mut south_out = Vec::with_capacity(n * m);
+        for r in 0..n {
+            for c in 0..m {
+                west_in.push(port(r, c, 0, -1, true));
+                north_in.push(port(r, c, -1, 0, true));
+                east_out.push(port(r, c, 0, 1, false));
+                south_out.push(port(r, c, 1, 0, false));
+            }
+        }
+        SystolicMatMul {
+            comm,
+            a: a.to_vec(),
+            b: b.to_vec(),
+            acc: vec![vec![0; m]; n],
+            rows: n,
+            cols: m,
+            inner: k,
+            west_in,
+            north_in,
+            east_out,
+            south_out,
+        }
+    }
+
+    /// The communication graph (an `n × m` mesh).
+    #[must_use]
+    pub fn comm(&self) -> &CommGraph {
+        &self.comm
+    }
+
+    /// Cycles needed for every accumulator to complete.
+    #[must_use]
+    pub fn cycles_needed(&self) -> usize {
+        self.inner + self.rows + self.cols
+    }
+
+    /// The accumulated product so far.
+    #[must_use]
+    pub fn product(&self) -> &[Vec<i64>] {
+        &self.acc
+    }
+
+    /// Convenience: run to completion on an ideal executor.
+    ///
+    /// # Panics
+    ///
+    /// As for [`SystolicMatMul::new`].
+    #[must_use]
+    pub fn multiply(a: &[Vec<i64>], b: &[Vec<i64>]) -> Vec<Vec<i64>> {
+        let mut mm = SystolicMatMul::new(a, b);
+        let mut exec = crate::exec::IdealExecutor::new(&mm.comm().clone());
+        let cycles = mm.cycles_needed();
+        exec.run(&mut mm, cycles);
+        mm.acc
+    }
+
+    /// Reference implementation: direct triple loop.
+    #[must_use]
+    pub fn reference(a: &[Vec<i64>], b: &[Vec<i64>]) -> Vec<Vec<i64>> {
+        let (n, k, m) = (a.len(), a[0].len(), b[0].len());
+        (0..n)
+            .map(|i| {
+                (0..m)
+                    .map(|j| (0..k).map(|l| a[i][l] * b[l][j]).sum())
+                    .collect()
+            })
+            .collect()
+    }
+}
+
+impl ArrayAlgorithm for SystolicMatMul {
+    fn step_cell(&mut self, cell: CellId, cycle: usize, inputs: &[Item], outputs: &mut [Item]) {
+        let idx = cell.index();
+        let (r, c) = (idx / self.cols, idx % self.cols);
+        // a-operand: from the west neighbour, or injected by the host
+        // at column 0 so that cell (r, 0) sees a_{r,t−r} at cycle t.
+        let a_in: Option<i64> = if c == 0 {
+            cycle
+                .checked_sub(r)
+                .and_then(|k| self.a[r].get(k))
+                .copied()
+        } else {
+            self.west_in[idx].and_then(|p| inputs[p])
+        };
+        // b-operand: from the north neighbour, or injected at row 0.
+        let b_in: Option<i64> = if r == 0 {
+            cycle
+                .checked_sub(c)
+                .and_then(|k| self.b.get(k))
+                .map(|row| row[c])
+        } else {
+            self.north_in[idx].and_then(|p| inputs[p])
+        };
+        if let (Some(a), Some(b)) = (a_in, b_in) {
+            self.acc[r][c] += a * b;
+        }
+        if let (Some(a), Some(p)) = (a_in, self.east_out[idx]) {
+            outputs[p] = Some(a);
+        }
+        if let (Some(b), Some(p)) = (b_in, self.south_out[idx]) {
+            outputs[p] = Some(b);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_by_two() {
+        let a = vec![vec![1, 2], vec![3, 4]];
+        let b = vec![vec![5, 6], vec![7, 8]];
+        assert_eq!(
+            SystolicMatMul::multiply(&a, &b),
+            SystolicMatMul::reference(&a, &b)
+        );
+    }
+
+    #[test]
+    fn rectangular_shapes() {
+        // (3×2) · (2×4) = 3×4.
+        let a = vec![vec![1, -1], vec![2, 0], vec![3, 5]];
+        let b = vec![vec![1, 2, 3, 4], vec![5, 6, 7, 8]];
+        assert_eq!(
+            SystolicMatMul::multiply(&a, &b),
+            SystolicMatMul::reference(&a, &b)
+        );
+    }
+
+    #[test]
+    fn identity_times_anything() {
+        let id = vec![vec![1, 0, 0], vec![0, 1, 0], vec![0, 0, 1]];
+        let b = vec![vec![2, 3, 4], vec![5, 6, 7], vec![8, 9, 10]];
+        assert_eq!(SystolicMatMul::multiply(&id, &b), b);
+    }
+
+    #[test]
+    fn single_cell_mesh() {
+        let a = vec![vec![2, 3]];
+        let b = vec![vec![4], vec![5]];
+        assert_eq!(SystolicMatMul::multiply(&a, &b), vec![vec![23]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimensions")]
+    fn rejects_dimension_mismatch() {
+        let _ = SystolicMatMul::new(&[vec![1, 2]], &[vec![1, 2]]);
+    }
+}

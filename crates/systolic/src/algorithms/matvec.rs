@@ -1,0 +1,177 @@
+//! Systolic matrix–vector multiplication on a one-dimensional array.
+//!
+//! `y = A·x` with `A` an `n × m` matrix: cell `i` keeps `y_i`
+//! stationary and holds row `i` of `A` in local memory; the vector `x`
+//! streams rightward one cell per cycle. Cell `i` sees `x_t` at cycle
+//! `t + i` and accumulates `A[i][t] · x_t`. After `m + n − 1` cycles
+//! every accumulator is complete.
+//!
+//! This is the classic "results stay, operands move" design with
+//! bounded I/O: only cell 0 talks to the host.
+
+use crate::exec::{in_port_from, out_port_to, ArrayAlgorithm, Item};
+use array_layout::graph::{CellId, CommGraph};
+
+/// Systolic matrix–vector product state.
+///
+/// # Examples
+///
+/// ```
+/// use systolic::algorithms::matvec::SystolicMatVec;
+///
+/// let a = vec![vec![1, 2], vec![3, 4]];
+/// let x = vec![5, 6];
+/// assert_eq!(SystolicMatVec::multiply(&a, &x), vec![17, 39]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SystolicMatVec {
+    comm: CommGraph,
+    a: Vec<Vec<i64>>,
+    x: Vec<i64>,
+    acc: Vec<i64>,
+    left_in: Vec<Option<usize>>,
+    right_out: Vec<Option<usize>>,
+}
+
+impl SystolicMatVec {
+    /// Builds the array for `a` (`n` rows of length `m`) and `x`
+    /// (length `m`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` is empty, ragged, or its row length differs from
+    /// `x.len()`.
+    #[must_use]
+    pub fn new(a: &[Vec<i64>], x: &[i64]) -> Self {
+        assert!(!a.is_empty(), "matrix must have at least one row");
+        let m = a[0].len();
+        assert!(m > 0, "matrix must have at least one column");
+        assert!(
+            a.iter().all(|row| row.len() == m),
+            "matrix rows must have equal length"
+        );
+        assert_eq!(m, x.len(), "matrix width must match vector length");
+        let n = a.len();
+        let comm = CommGraph::linear(n);
+        let cell = CellId::new;
+        let left_in = (0..n)
+            .map(|i| i.checked_sub(1).and_then(|l| in_port_from(&comm, cell(i), cell(l))))
+            .collect();
+        let right_out = (0..n)
+            .map(|i| {
+                (i + 1 < n)
+                    .then(|| out_port_to(&comm, cell(i), cell(i + 1)))
+                    .flatten()
+            })
+            .collect();
+        SystolicMatVec {
+            comm,
+            a: a.to_vec(),
+            x: x.to_vec(),
+            acc: vec![0; n],
+            left_in,
+            right_out,
+        }
+    }
+
+    /// The communication graph (an `n`-cell linear array).
+    #[must_use]
+    pub fn comm(&self) -> &CommGraph {
+        &self.comm
+    }
+
+    /// Cycles needed for all accumulators to complete.
+    #[must_use]
+    pub fn cycles_needed(&self) -> usize {
+        self.x.len() + self.a.len()
+    }
+
+    /// The per-cell accumulators (`y` after enough cycles).
+    #[must_use]
+    pub fn accumulators(&self) -> &[i64] {
+        &self.acc
+    }
+
+    /// Convenience: run to completion on an ideal executor.
+    ///
+    /// # Panics
+    ///
+    /// As for [`SystolicMatVec::new`].
+    #[must_use]
+    pub fn multiply(a: &[Vec<i64>], x: &[i64]) -> Vec<i64> {
+        let mut mv = SystolicMatVec::new(a, x);
+        let mut exec = crate::exec::IdealExecutor::new(&mv.comm().clone());
+        let cycles = mv.cycles_needed();
+        exec.run(&mut mv, cycles);
+        mv.acc
+    }
+
+    /// Reference implementation: direct product.
+    #[must_use]
+    pub fn reference(a: &[Vec<i64>], x: &[i64]) -> Vec<i64> {
+        a.iter()
+            .map(|row| row.iter().zip(x).map(|(&aij, &xj)| aij * xj).sum())
+            .collect()
+    }
+}
+
+impl ArrayAlgorithm for SystolicMatVec {
+    fn step_cell(&mut self, cell: CellId, cycle: usize, inputs: &[Item], outputs: &mut [Item]) {
+        let i = cell.index();
+        let x_in: Option<i64> = if i == 0 {
+            // Host injects x_t at cycle t.
+            self.x.get(cycle).copied()
+        } else {
+            self.left_in[i].and_then(|p| inputs[p])
+        };
+        if let Some(x) = x_in {
+            // x_t reaches cell i at cycle t + i.
+            let t = cycle - i;
+            self.acc[i] += self.a[i][t] * x;
+            if let Some(p) = self.right_out[i] {
+                outputs[p] = Some(x);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_reference() {
+        let a = vec![vec![1, 2, 3], vec![4, 5, 6], vec![7, 8, 9], vec![1, 0, 1]];
+        let x = vec![2, -1, 3];
+        assert_eq!(
+            SystolicMatVec::multiply(&a, &x),
+            SystolicMatVec::reference(&a, &x)
+        );
+    }
+
+    #[test]
+    fn single_cell() {
+        let a = vec![vec![3, 4]];
+        let x = vec![5, 6];
+        assert_eq!(SystolicMatVec::multiply(&a, &x), vec![39]);
+    }
+
+    #[test]
+    fn identity_matrix() {
+        let a = vec![vec![1, 0], vec![0, 1]];
+        let x = vec![9, -2];
+        assert_eq!(SystolicMatVec::multiply(&a, &x), vec![9, -2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn rejects_ragged_matrix() {
+        let _ = SystolicMatVec::new(&[vec![1, 2], vec![3]], &[1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "match vector length")]
+    fn rejects_width_mismatch() {
+        let _ = SystolicMatVec::new(&[vec![1, 2]], &[1, 2, 3]);
+    }
+}

@@ -1,0 +1,358 @@
+//! A systolic priority queue on a linear array (after Leiserson's
+//! systolic data structures): constant-time `insert` and
+//! `extract-min` at the host end, with the sorting work rippling
+//! through the array one cell per cycle.
+//!
+//! Invariants: cell values are non-decreasing left to right, with all
+//! empty cells forming a suffix; the minimum always sits in cell 0.
+//! Operations are issued by the host at cell 0 once every **two**
+//! cycles, which keeps the rightward-moving insert waves and
+//! hole-filling pull waves ordered.
+//!
+//! Channels per neighbour pair: rightward `insert` (displaced value)
+//! and `pull` (hole-propagation request); leftward `reply` (value
+//! filling the hole). A reserved sentinel encodes "empty".
+
+use crate::exec::{ArrayAlgorithm, Item};
+use array_layout::graph::{CellId, CommGraph, CommGraphBuilder};
+use std::collections::VecDeque;
+
+/// Sentinel carried on the reply channel meaning "no value (hole)".
+const HOLE: i64 = i64::MIN;
+
+/// One host-side operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PqOp {
+    /// Insert a value (must not equal the reserved sentinel).
+    Insert(i64),
+    /// Remove and return the minimum, if any.
+    ExtractMin,
+}
+
+/// The systolic priority queue.
+///
+/// # Examples
+///
+/// ```
+/// use systolic::algorithms::priority_queue::{PqOp, SystolicPriorityQueue};
+///
+/// let ops = [
+///     PqOp::Insert(5),
+///     PqOp::Insert(2),
+///     PqOp::Insert(8),
+///     PqOp::ExtractMin,
+///     PqOp::ExtractMin,
+/// ];
+/// let outs = SystolicPriorityQueue::run_ops(4, &ops);
+/// assert_eq!(outs, vec![Some(2), Some(5)]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SystolicPriorityQueue {
+    comm: CommGraph,
+    cells: usize,
+    /// Value held by each cell (`None` = empty).
+    held: Vec<Option<i64>>,
+    ops: VecDeque<PqOp>,
+    outputs: Vec<Option<i64>>,
+}
+
+impl SystolicPriorityQueue {
+    /// Builds a queue of `cells` cells loaded with `ops` to process.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cells == 0`, if more values could be live at once
+    /// than the array can hold, or if an inserted value equals the
+    /// reserved sentinel.
+    #[must_use]
+    pub fn new(cells: usize, ops: &[PqOp]) -> Self {
+        assert!(cells > 0, "need at least one cell");
+        let mut live: i64 = 0;
+        let mut peak: i64 = 0;
+        for op in ops {
+            match op {
+                PqOp::Insert(v) => {
+                    assert_ne!(*v, HOLE, "value collides with the reserved sentinel");
+                    live += 1;
+                }
+                PqOp::ExtractMin => live = (live - 1).max(0),
+            }
+            peak = peak.max(live);
+        }
+        assert!(
+            peak as usize <= cells,
+            "operation sequence needs {peak} cells but the array has {cells}"
+        );
+        // Channels per adjacent pair: rightward insert, rightward
+        // pull, leftward reply — in that insertion order.
+        let mut b = CommGraphBuilder::new(cells);
+        for i in 0..cells - 1 {
+            b.edge(CellId::new(i), CellId::new(i + 1)); // insert
+            b.edge(CellId::new(i), CellId::new(i + 1)); // pull
+            b.edge(CellId::new(i + 1), CellId::new(i)); // reply
+        }
+        SystolicPriorityQueue {
+            comm: b.build(),
+            cells,
+            held: vec![None; cells],
+            ops: ops.iter().copied().collect(),
+            outputs: Vec::new(),
+        }
+    }
+
+    /// The communication graph (three channels per link).
+    #[must_use]
+    pub fn comm(&self) -> &CommGraph {
+        &self.comm
+    }
+
+    /// Cycles needed to process all queued operations and let the
+    /// internal waves settle.
+    #[must_use]
+    pub fn cycles_needed(&self) -> usize {
+        2 * self.ops.len() + 2 * self.cells + 4
+    }
+
+    /// Host-visible outputs, one per `ExtractMin`, in issue order.
+    #[must_use]
+    pub fn outputs(&self) -> &[Option<i64>] {
+        &self.outputs
+    }
+
+    /// Convenience: run an operation sequence to completion and return
+    /// the extract results.
+    ///
+    /// # Panics
+    ///
+    /// As for [`SystolicPriorityQueue::new`].
+    #[must_use]
+    pub fn run_ops(cells: usize, ops: &[PqOp]) -> Vec<Option<i64>> {
+        let mut pq = SystolicPriorityQueue::new(cells, ops);
+        let mut exec = crate::exec::IdealExecutor::new(&pq.comm().clone());
+        let cycles = pq.cycles_needed();
+        exec.run(&mut pq, cycles);
+        pq.outputs
+    }
+
+    /// Port layout per cell, derived from the builder's insertion
+    /// order.
+    ///
+    /// In-ports of cell `i > 0`: `[insert, pull]` from the left
+    /// (plus `[reply]` from the right when `i < cells−1`, appended
+    /// after). Out-ports of cell `i`: `[insert, pull]` rightward
+    /// (when `i < cells−1`), `[reply]` leftward (when `i > 0`).
+    fn ports(&self, i: usize) -> Ports {
+        let has_left = i > 0;
+        let has_right = i + 1 < self.cells;
+        // In-edge insertion order: for cell i, the left pair's
+        // (insert, pull) edges are inserted when processing pair
+        // (i-1, i); the right reply edge when processing pair (i, i+1).
+        // Pairs are processed left to right, so left ports come first.
+        Ports {
+            in_insert: has_left.then_some(0),
+            in_pull: has_left.then_some(1),
+            in_reply: has_right.then_some(if has_left { 2 } else { 0 }),
+            out_insert: has_right.then_some(if has_left { 1 } else { 0 }),
+            out_pull: has_right.then_some(if has_left { 2 } else { 1 }),
+            out_reply: has_left.then_some(0),
+        }
+    }
+}
+
+struct Ports {
+    in_insert: Option<usize>,
+    in_pull: Option<usize>,
+    in_reply: Option<usize>,
+    out_insert: Option<usize>,
+    out_pull: Option<usize>,
+    out_reply: Option<usize>,
+}
+
+impl ArrayAlgorithm for SystolicPriorityQueue {
+    fn step_cell(&mut self, cell: CellId, cycle: usize, inputs: &[Item], outputs: &mut [Item]) {
+        let i = cell.index();
+        let ports = self.ports(i);
+
+        // 1. A reply from the right fills our hole (must be applied
+        //    before any operation arriving this same cycle).
+        if let Some(p) = ports.in_reply {
+            if let Some(v) = inputs[p] {
+                debug_assert!(self.held[i].is_none(), "reply into a full cell");
+                self.held[i] = (v != HOLE).then_some(v);
+            }
+        }
+
+        // 2. Incoming work: either a host op (cell 0, every 2 cycles)
+        //    or a wave from the left.
+        enum Wave {
+            Insert(i64),
+            Pull,
+        }
+        let wave = if i == 0 {
+            if cycle.is_multiple_of(2) {
+                match self.ops.pop_front() {
+                    Some(PqOp::Insert(v)) => Some(Wave::Insert(v)),
+                    Some(PqOp::ExtractMin) => Some(Wave::Pull),
+                    None => None,
+                }
+            } else {
+                None
+            }
+        } else {
+            let ins = ports.in_insert.and_then(|p| inputs[p]);
+            let pull = ports.in_pull.and_then(|p| inputs[p]);
+            debug_assert!(
+                ins.is_none() || pull.is_none(),
+                "waves must stay separated"
+            );
+            match (ins, pull) {
+                (Some(v), None) => Some(Wave::Insert(v)),
+                (None, Some(_)) => Some(Wave::Pull),
+                _ => None,
+            }
+        };
+
+        match wave {
+            Some(Wave::Insert(v)) => match self.held[i] {
+                None => self.held[i] = Some(v),
+                Some(cur) => {
+                    let keep = cur.min(v);
+                    let pass = cur.max(v);
+                    self.held[i] = Some(keep);
+                    match ports.out_insert {
+                        Some(p) => outputs[p] = Some(pass),
+                        None => panic!("insert overflow past the last cell"),
+                    }
+                }
+            },
+            Some(Wave::Pull) => {
+                let value = self.held[i];
+                if i == 0 {
+                    self.outputs.push(value);
+                } else if let Some(p) = ports.out_reply {
+                    outputs[p] = Some(value.unwrap_or(HOLE));
+                }
+                if value.is_some() {
+                    // We gave our value away; pull a replacement.
+                    self.held[i] = None;
+                    if let Some(p) = ports.out_pull {
+                        outputs[p] = Some(1);
+                    }
+                }
+                // An empty cell absorbs the pull: everything to the
+                // right is empty too (suffix invariant).
+            }
+            None => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BinaryHeap;
+
+    /// Replays ops against a std BinaryHeap (min-heap via Reverse).
+    fn reference(ops: &[PqOp]) -> Vec<Option<i64>> {
+        let mut heap = BinaryHeap::new();
+        let mut out = Vec::new();
+        for op in ops {
+            match op {
+                PqOp::Insert(v) => heap.push(std::cmp::Reverse(*v)),
+                PqOp::ExtractMin => out.push(heap.pop().map(|r| r.0)),
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn insert_then_extract_sorted() {
+        let ops: Vec<PqOp> = [5, 3, 9, 1, 7]
+            .iter()
+            .map(|&v| PqOp::Insert(v))
+            .chain(std::iter::repeat_n(PqOp::ExtractMin, 5))
+            .collect();
+        assert_eq!(
+            SystolicPriorityQueue::run_ops(8, &ops),
+            vec![Some(1), Some(3), Some(5), Some(7), Some(9)]
+        );
+    }
+
+    #[test]
+    fn interleaved_ops_match_reference() {
+        let ops = [
+            PqOp::Insert(4),
+            PqOp::Insert(2),
+            PqOp::ExtractMin,
+            PqOp::Insert(6),
+            PqOp::Insert(1),
+            PqOp::ExtractMin,
+            PqOp::ExtractMin,
+            PqOp::Insert(3),
+            PqOp::ExtractMin,
+            PqOp::ExtractMin,
+        ];
+        assert_eq!(
+            SystolicPriorityQueue::run_ops(8, &ops),
+            reference(&ops)
+        );
+    }
+
+    #[test]
+    fn extract_from_empty_returns_none() {
+        let ops = [PqOp::ExtractMin, PqOp::Insert(5), PqOp::ExtractMin, PqOp::ExtractMin];
+        assert_eq!(
+            SystolicPriorityQueue::run_ops(4, &ops),
+            vec![None, Some(5), None]
+        );
+    }
+
+    #[test]
+    fn duplicates_preserved() {
+        let ops = [
+            PqOp::Insert(2),
+            PqOp::Insert(2),
+            PqOp::Insert(2),
+            PqOp::ExtractMin,
+            PqOp::ExtractMin,
+            PqOp::ExtractMin,
+        ];
+        assert_eq!(
+            SystolicPriorityQueue::run_ops(4, &ops),
+            vec![Some(2), Some(2), Some(2)]
+        );
+    }
+
+    #[test]
+    fn randomised_against_reference() {
+        use rand::Rng;
+        use rand::SeedableRng;
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(99);
+        for trial in 0..20 {
+            let mut live = 0usize;
+            let ops: Vec<PqOp> = (0..40)
+                .map(|_| {
+                    if live > 0 && rng.gen_bool(0.45) {
+                        live -= 1;
+                        PqOp::ExtractMin
+                    } else {
+                        live += 1;
+                        PqOp::Insert(rng.gen_range(-100..100))
+                    }
+                })
+                .collect();
+            assert_eq!(
+                SystolicPriorityQueue::run_ops(48, &ops),
+                reference(&ops),
+                "trial {trial}: {ops:?}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "needs")]
+    fn rejects_overflowing_sequence() {
+        let ops = [PqOp::Insert(1), PqOp::Insert(2), PqOp::Insert(3)];
+        let _ = SystolicPriorityQueue::new(2, &ops);
+    }
+}

@@ -1,0 +1,205 @@
+//! Odd–even transposition sort on a one-dimensional array.
+//!
+//! A classic linear-array algorithm with purely neighbour
+//! communication: `n` cells each hold one value; in even phases the
+//! pairs `(0,1), (2,3), …` compare-exchange, in odd phases the pairs
+//! `(1,2), (3,4), …`. After `n` phases the values are sorted.
+//!
+//! Each phase takes two executor cycles: one to ship values to the
+//! partner, one to receive and keep the min (left cell) or max (right
+//! cell). The exchange itself is the lock-step simultaneity that the
+//! paper's synchronization machinery exists to provide.
+
+use crate::exec::{in_port_from, out_port_to, ArrayAlgorithm, Item};
+use array_layout::graph::{CellId, CommGraph};
+
+/// Odd–even transposition sorter state.
+///
+/// # Examples
+///
+/// ```
+/// use systolic::algorithms::sort::OddEvenSorter;
+///
+/// assert_eq!(
+///     OddEvenSorter::sort(&[3, 1, 4, 1, 5, 9, 2, 6]),
+///     vec![1, 1, 2, 3, 4, 5, 6, 9],
+/// );
+/// ```
+#[derive(Debug, Clone)]
+pub struct OddEvenSorter {
+    comm: CommGraph,
+    values: Vec<i64>,
+    left_in: Vec<Option<usize>>,
+    right_in: Vec<Option<usize>>,
+    left_out: Vec<Option<usize>>,
+    right_out: Vec<Option<usize>>,
+}
+
+impl OddEvenSorter {
+    /// Builds a sorter holding `values` (one per cell).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` is empty.
+    #[must_use]
+    pub fn new(values: &[i64]) -> Self {
+        assert!(!values.is_empty(), "need at least one value");
+        let n = values.len();
+        let comm = CommGraph::linear(n);
+        let cell = CellId::new;
+        let left_in = (0..n)
+            .map(|i| i.checked_sub(1).and_then(|l| in_port_from(&comm, cell(i), cell(l))))
+            .collect();
+        let right_in = (0..n)
+            .map(|i| {
+                (i + 1 < n)
+                    .then(|| in_port_from(&comm, cell(i), cell(i + 1)))
+                    .flatten()
+            })
+            .collect();
+        let left_out = (0..n)
+            .map(|i| i.checked_sub(1).and_then(|l| out_port_to(&comm, cell(i), cell(l))))
+            .collect();
+        let right_out = (0..n)
+            .map(|i| {
+                (i + 1 < n)
+                    .then(|| out_port_to(&comm, cell(i), cell(i + 1)))
+                    .flatten()
+            })
+            .collect();
+        OddEvenSorter {
+            comm,
+            values: values.to_vec(),
+            left_in,
+            right_in,
+            left_out,
+            right_out,
+        }
+    }
+
+    /// The communication graph (an `n`-cell linear array).
+    #[must_use]
+    pub fn comm(&self) -> &CommGraph {
+        &self.comm
+    }
+
+    /// Executor cycles needed: `n` phases × 2 cycles.
+    #[must_use]
+    pub fn cycles_needed(&self) -> usize {
+        2 * self.values.len()
+    }
+
+    /// The values currently held by the cells, in cell order.
+    #[must_use]
+    pub fn values(&self) -> &[i64] {
+        &self.values
+    }
+
+    /// In phase `p`, the index of the partner of cell `i`, if any.
+    fn partner(&self, i: usize, phase: usize) -> Option<usize> {
+        let n = self.values.len();
+        let left = if phase.is_multiple_of(2) {
+            // pairs (0,1), (2,3), …
+            i.is_multiple_of(2)
+        } else {
+            // pairs (1,2), (3,4), …
+            i % 2 == 1
+        };
+        let p = if left { i + 1 } else { i.checked_sub(1)? };
+        (p < n).then_some(p)
+    }
+
+    /// Convenience: sort on a fresh ideal executor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` is empty.
+    #[must_use]
+    pub fn sort(values: &[i64]) -> Vec<i64> {
+        let mut sorter = OddEvenSorter::new(values);
+        let mut exec = crate::exec::IdealExecutor::new(&sorter.comm().clone());
+        let cycles = sorter.cycles_needed();
+        exec.run(&mut sorter, cycles);
+        sorter.values
+    }
+}
+
+impl ArrayAlgorithm for OddEvenSorter {
+    fn step_cell(&mut self, cell: CellId, cycle: usize, inputs: &[Item], outputs: &mut [Item]) {
+        let i = cell.index();
+        let phase = cycle / 2;
+        let Some(p) = self.partner(i, phase) else {
+            return; // idle this phase (unpaired boundary cell)
+        };
+        if cycle.is_multiple_of(2) {
+            // Ship my value to the partner.
+            let port = if p > i { self.right_out[i] } else { self.left_out[i] };
+            if let Some(port) = port {
+                outputs[port] = Some(self.values[i]);
+            }
+        } else {
+            // Receive the partner's value; keep min or max by side.
+            let port = if p > i { self.right_in[i] } else { self.left_in[i] };
+            let received = port
+                .and_then(|q| inputs[q])
+                .expect("partner always ships in the previous cycle");
+            self.values[i] = if p > i {
+                self.values[i].min(received)
+            } else {
+                self.values[i].max(received)
+            };
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::seq::SliceRandom;
+    use rand::SeedableRng;
+
+    #[test]
+    fn sorts_small_arrays() {
+        assert_eq!(OddEvenSorter::sort(&[2, 1]), vec![1, 2]);
+        assert_eq!(OddEvenSorter::sort(&[1]), vec![1]);
+        assert_eq!(OddEvenSorter::sort(&[3, 2, 1]), vec![1, 2, 3]);
+        assert_eq!(
+            OddEvenSorter::sort(&[5, 4, 3, 2, 1]),
+            vec![1, 2, 3, 4, 5]
+        );
+    }
+
+    #[test]
+    fn sorts_with_duplicates() {
+        assert_eq!(
+            OddEvenSorter::sort(&[2, 2, 1, 1, 3, 3]),
+            vec![1, 1, 2, 2, 3, 3]
+        );
+    }
+
+    #[test]
+    fn already_sorted_stays_sorted() {
+        let v: Vec<i64> = (0..16).collect();
+        assert_eq!(OddEvenSorter::sort(&v), v);
+    }
+
+    #[test]
+    fn reverse_order_worst_case() {
+        let v: Vec<i64> = (0..20).rev().collect();
+        let mut expected = v.clone();
+        expected.sort_unstable();
+        assert_eq!(OddEvenSorter::sort(&v), expected);
+    }
+
+    #[test]
+    fn random_permutations() {
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(5);
+        for n in [7usize, 12, 33] {
+            let mut v: Vec<i64> = (0..n as i64).collect();
+            v.shuffle(&mut rng);
+            let mut expected = v.clone();
+            expected.sort_unstable();
+            assert_eq!(OddEvenSorter::sort(&v), expected, "n = {n}");
+        }
+    }
+}

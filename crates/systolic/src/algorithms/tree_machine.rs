@@ -1,0 +1,263 @@
+//! The Bentley–Kung tree machine for searching problems.
+//!
+//! Section VIII of the paper points to tree machines (reference \[2\]) as the
+//! interesting case of clocking with *asymptotically growing* wire
+//! delays: an `N`-node planar tree layout must have an edge of length
+//! `Ω(√N / log N)`, but clock events can be distributed along the data
+//! paths, and pipeline registers on long edges give a constant
+//! pipeline interval.
+//!
+//! The machine: leaves hold one key each; membership queries enter at
+//! the root, are broadcast down the tree one level per cycle, answered
+//! at the leaves, and the answers are OR-combined on the way back up.
+//! Latency is `2·(levels − 1) + 1` cycles; throughput is one query per
+//! cycle because the tree is fully pipelined — the property that the
+//! paper's constant-pipeline-interval observation delivers.
+
+use crate::exec::{in_port_from, out_port_to, ArrayAlgorithm, Item};
+use array_layout::graph::{CellId, CommGraph};
+use std::collections::VecDeque;
+
+/// The pipelined tree search machine.
+///
+/// # Examples
+///
+/// ```
+/// use systolic::algorithms::tree_machine::TreeSearchMachine;
+///
+/// let keys = [10, 20, 30, 40];
+/// let queries = [20, 25, 40];
+/// let found = TreeSearchMachine::search(&keys, &queries);
+/// assert_eq!(found, vec![true, false, true]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TreeSearchMachine {
+    comm: CommGraph,
+    levels: usize,
+    /// Key held by each node (only leaves' keys are consulted).
+    leaf_key: Vec<Option<i64>>,
+    queries: VecDeque<i64>,
+    answers: Vec<bool>,
+    /// Per node: ports toward parent and children.
+    up_out: Vec<Option<usize>>,
+    down_out: Vec<[Option<usize>; 2]>,
+    parent_in: Vec<Option<usize>>,
+    child_in: Vec<[Option<usize>; 2]>,
+}
+
+impl TreeSearchMachine {
+    /// Builds a machine whose leaves hold `keys` (must be a power of
+    /// two so the complete binary tree is full), loading `queries` to
+    /// stream through.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `keys` is empty or not a power of two in length.
+    #[must_use]
+    pub fn new(keys: &[i64], queries: &[i64]) -> Self {
+        assert!(!keys.is_empty(), "need at least one key");
+        assert!(
+            keys.len().is_power_of_two(),
+            "leaf count must be a power of two, got {}",
+            keys.len()
+        );
+        let levels = keys.len().trailing_zeros() as usize + 1;
+        let comm = CommGraph::complete_binary_tree(levels);
+        let n = comm.node_count();
+        let first_leaf = n - keys.len();
+        let mut leaf_key = vec![None; n];
+        for (i, &k) in keys.iter().enumerate() {
+            leaf_key[first_leaf + i] = Some(k);
+        }
+        let cell = CellId::new;
+        let parent_of = |i: usize| -> Option<usize> { (i > 0).then(|| (i - 1) / 2) };
+        let mut up_out = Vec::with_capacity(n);
+        let mut down_out = Vec::with_capacity(n);
+        let mut parent_in = Vec::with_capacity(n);
+        let mut child_in = Vec::with_capacity(n);
+        for i in 0..n {
+            up_out.push(parent_of(i).and_then(|p| out_port_to(&comm, cell(i), cell(p))));
+            parent_in.push(parent_of(i).and_then(|p| in_port_from(&comm, cell(i), cell(p))));
+            let kids = [2 * i + 1, 2 * i + 2];
+            down_out.push(kids.map(|k| {
+                (k < n)
+                    .then(|| out_port_to(&comm, cell(i), cell(k)))
+                    .flatten()
+            }));
+            child_in.push(kids.map(|k| {
+                (k < n)
+                    .then(|| in_port_from(&comm, cell(i), cell(k)))
+                    .flatten()
+            }));
+        }
+        TreeSearchMachine {
+            comm,
+            levels,
+            leaf_key,
+            queries: queries.iter().copied().collect(),
+            answers: Vec::new(),
+            up_out,
+            down_out,
+            parent_in,
+            child_in,
+        }
+    }
+
+    /// The communication graph (a complete binary tree).
+    #[must_use]
+    pub fn comm(&self) -> &CommGraph {
+        &self.comm
+    }
+
+    /// Number of tree levels.
+    #[must_use]
+    pub fn levels(&self) -> usize {
+        self.levels
+    }
+
+    /// Answer latency: cycles from injecting a query to collecting its
+    /// answer.
+    #[must_use]
+    pub fn latency(&self) -> usize {
+        2 * (self.levels - 1) + 1
+    }
+
+    /// Cycles to drain `q` queries: latency plus pipeline fill.
+    #[must_use]
+    pub fn cycles_needed(&self, q: usize) -> usize {
+        self.latency() + q + 1
+    }
+
+    /// Answers collected so far, in query order.
+    #[must_use]
+    pub fn answers(&self) -> &[bool] {
+        &self.answers
+    }
+
+    /// Convenience: run all queries to completion on an ideal
+    /// executor and return their membership answers in order.
+    ///
+    /// # Panics
+    ///
+    /// As for [`TreeSearchMachine::new`].
+    #[must_use]
+    pub fn search(keys: &[i64], queries: &[i64]) -> Vec<bool> {
+        let mut machine = TreeSearchMachine::new(keys, queries);
+        let mut exec = crate::exec::IdealExecutor::new(&machine.comm().clone());
+        let cycles = machine.cycles_needed(machine.queries.len());
+        exec.run(&mut machine, cycles);
+        machine.answers
+    }
+
+    fn is_leaf(&self, i: usize) -> bool {
+        2 * i + 1 >= self.comm.node_count()
+    }
+}
+
+impl ArrayAlgorithm for TreeSearchMachine {
+    fn step_cell(&mut self, cell: CellId, _cycle: usize, inputs: &[Item], outputs: &mut [Item]) {
+        let i = cell.index();
+        // --- downward wave: query keys
+        let query: Option<i64> = if i == 0 {
+            self.queries.pop_front()
+        } else {
+            self.parent_in[i].and_then(|p| inputs[p])
+        };
+        if let Some(q) = query {
+            if self.is_leaf(i) {
+                // Answer immediately: 1 = found here, 0 = not.
+                let found = self.leaf_key[i] == Some(q);
+                if let Some(p) = self.up_out[i] {
+                    outputs[p] = Some(i64::from(found));
+                }
+                if i == 0 {
+                    // Degenerate single-node tree.
+                    self.answers.push(found);
+                }
+            } else {
+                for p in self.down_out[i].iter().flatten() {
+                    outputs[*p] = Some(q);
+                }
+            }
+        }
+        // --- upward wave: OR-combined answers
+        if !self.is_leaf(i) {
+            let kids: Vec<i64> = self.child_in[i]
+                .iter()
+                .flatten()
+                .filter_map(|&p| inputs[p])
+                .collect();
+            if !kids.is_empty() {
+                debug_assert_eq!(kids.len(), 2, "complete tree: answers arrive in pairs");
+                let combined = i64::from(kids.iter().any(|&v| v != 0));
+                if i == 0 {
+                    self.answers.push(combined != 0);
+                } else if let Some(p) = self.up_out[i] {
+                    outputs[p] = Some(combined);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn membership_queries() {
+        let keys = [1, 5, 9, 13];
+        let queries = [1, 2, 5, 13, 14];
+        assert_eq!(
+            TreeSearchMachine::search(&keys, &queries),
+            vec![true, false, true, true, false]
+        );
+    }
+
+    #[test]
+    fn single_leaf_tree() {
+        assert_eq!(
+            TreeSearchMachine::search(&[7], &[7, 8]),
+            vec![true, false]
+        );
+    }
+
+    #[test]
+    fn large_tree_pipelines_queries() {
+        let keys: Vec<i64> = (0..64).map(|i| i * 3).collect();
+        let queries: Vec<i64> = (0..100).collect();
+        let answers = TreeSearchMachine::search(&keys, &queries);
+        assert_eq!(answers.len(), 100);
+        for (q, &found) in queries.iter().zip(&answers) {
+            assert_eq!(found, q % 3 == 0 && *q < 192, "query {q}");
+        }
+    }
+
+    #[test]
+    fn latency_grows_with_levels() {
+        let m2 = TreeSearchMachine::new(&[1, 2], &[]);
+        let m16 = TreeSearchMachine::new(&(0..16).collect::<Vec<_>>(), &[]);
+        assert_eq!(m2.levels(), 2);
+        assert_eq!(m16.levels(), 5);
+        assert!(m16.latency() > m2.latency());
+    }
+
+    #[test]
+    fn throughput_one_answer_per_cycle_once_filled() {
+        // With q queries the machine finishes in latency + q + 1
+        // cycles — i.e. after pipeline fill, one answer per cycle.
+        let keys: Vec<i64> = (0..8).collect();
+        let queries: Vec<i64> = (0..32).collect();
+        let mut machine = TreeSearchMachine::new(&keys, &queries);
+        let mut exec = crate::exec::IdealExecutor::new(&machine.comm().clone());
+        let cycles = machine.latency() + 32 + 1;
+        exec.run(&mut machine, cycles);
+        assert_eq!(machine.answers().len(), 32);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_non_power_of_two_leaves() {
+        let _ = TreeSearchMachine::new(&[1, 2, 3], &[]);
+    }
+}

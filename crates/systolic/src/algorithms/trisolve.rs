@@ -1,0 +1,310 @@
+//! Systolic triangular-system solver on a linear array (Kung &
+//! Leiserson's companion design to the band matmul).
+//!
+//! Solves `L·x = b` for a **unit** lower-triangular band matrix `L`
+//! (ones on the diagonal, half-bandwidth `w`): with integer inputs the
+//! solution is integral, keeping the workspace's exact-arithmetic
+//! testing discipline.
+//!
+//! Design (counter-flowing streams, one equation every two cycles —
+//! the same rhythm as the systolic FIR): the running right-hand side
+//! `y_i` enters cell 0 at cycle `2i` and moves rightward one cell per
+//! cycle; solved components `x_j` are produced at the last cell and
+//! move leftward. Cell `q` owns subdiagonal depth `w−1−q`: when `y_i`
+//! passes it (cycle `2i+q`) it meets exactly `x_j` with
+//! `j = i − (w−1) + q` and subtracts `L[i][j]·x_j`. At the last cell
+//! the unit diagonal makes `x_i = y_i`; the solution streams back out
+//! through cell 0. The array has `w` cells — **independent of `n`**,
+//! the bounded-hardware systolic signature.
+
+use crate::exec::{in_port_from, out_port_to, ArrayAlgorithm, Item};
+use array_layout::graph::{CellId, CommGraph, CommGraphBuilder};
+
+/// Systolic solver state for `L·x = b`.
+///
+/// # Examples
+///
+/// ```
+/// use systolic::algorithms::trisolve::SystolicTriSolve;
+///
+/// // L = [[1,0,0],[2,1,0],[0,3,1]] (unit diagonal, bandwidth 2).
+/// let l = vec![vec![1, 0, 0], vec![2, 1, 0], vec![0, 3, 1]];
+/// let b = vec![5, 12, 13];
+/// // x = [5, 2, 7]
+/// assert_eq!(SystolicTriSolve::solve(&l, &b, 2), vec![5, 2, 7]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SystolicTriSolve {
+    comm: CommGraph,
+    n: usize,
+    w: usize,
+    l: Vec<Vec<i64>>,
+    b: Vec<i64>,
+    x: Vec<i64>,
+    right_in: Vec<Option<usize>>,
+    left_in: Vec<Option<usize>>,
+    right_out: Vec<Option<usize>>,
+    left_out: Vec<Option<usize>>,
+}
+
+impl SystolicTriSolve {
+    /// Builds the solver for unit lower-triangular `l` with
+    /// half-bandwidth `w` and right-hand side `b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `l` is not square and matching `b`, is not unit
+    /// lower-triangular, has entries outside the band, or `w < 1`.
+    #[must_use]
+    pub fn new(l: &[Vec<i64>], b: &[i64], w: usize) -> Self {
+        let n = l.len();
+        assert!(n > 0, "system must be non-empty");
+        assert!(w >= 1, "bandwidth must be at least 1");
+        assert!(l.iter().all(|r| r.len() == n), "L must be square");
+        assert_eq!(b.len(), n, "right-hand side must match L");
+        for (i, row) in l.iter().enumerate() {
+            for (j, &v) in row.iter().enumerate() {
+                if i == j {
+                    assert_eq!(v, 1, "L[{i}][{j}] must be 1 (unit diagonal)");
+                } else if j > i {
+                    assert_eq!(v, 0, "L[{i}][{j}] must be 0 (lower triangular)");
+                } else {
+                    assert!(
+                        v == 0 || i - j < w,
+                        "L[{i}][{j}] = {v} lies outside the bandwidth-{w} band"
+                    );
+                }
+            }
+        }
+        // w cells; channel 0 of each link carries y rightward,
+        // channel 1 carries solved x leftward.
+        let cells = w;
+        let mut builder = CommGraphBuilder::new(cells);
+        for i in 0..cells.saturating_sub(1) {
+            builder.edge(CellId::new(i), CellId::new(i + 1));
+            builder.edge(CellId::new(i + 1), CellId::new(i));
+        }
+        let comm = builder.build();
+        let cell = CellId::new;
+        let right_in = (0..cells)
+            .map(|i| {
+                (i + 1 < cells)
+                    .then(|| in_port_from(&comm, cell(i), cell(i + 1)))
+                    .flatten()
+            })
+            .collect();
+        let left_in = (0..cells)
+            .map(|i| i.checked_sub(1).and_then(|p| in_port_from(&comm, cell(i), cell(p))))
+            .collect();
+        let right_out = (0..cells)
+            .map(|i| {
+                (i + 1 < cells)
+                    .then(|| out_port_to(&comm, cell(i), cell(i + 1)))
+                    .flatten()
+            })
+            .collect();
+        let left_out = (0..cells)
+            .map(|i| i.checked_sub(1).and_then(|p| out_port_to(&comm, cell(i), cell(p))))
+            .collect();
+        SystolicTriSolve {
+            comm,
+            n,
+            w,
+            l: l.to_vec(),
+            b: b.to_vec(),
+            x: Vec::new(),
+            right_in,
+            left_in,
+            right_out,
+            left_out,
+        }
+    }
+
+    /// The communication graph (`w` cells, independent of `n`).
+    #[must_use]
+    pub fn comm(&self) -> &CommGraph {
+        &self.comm
+    }
+
+    /// Cycles needed to solve the full system: the last component is
+    /// collected at cycle `2(n−1) + 2(w−1)`.
+    #[must_use]
+    pub fn cycles_needed(&self) -> usize {
+        2 * self.n + 2 * self.w + 2
+    }
+
+    /// The solution components recovered so far, in index order.
+    #[must_use]
+    pub fn solution(&self) -> &[i64] {
+        &self.x
+    }
+
+    /// Convenience: solve on a fresh ideal executor.
+    ///
+    /// # Panics
+    ///
+    /// As for [`SystolicTriSolve::new`].
+    #[must_use]
+    pub fn solve(l: &[Vec<i64>], b: &[i64], w: usize) -> Vec<i64> {
+        let mut ts = SystolicTriSolve::new(l, b, w);
+        let mut exec = crate::exec::IdealExecutor::new(&ts.comm().clone());
+        let cycles = ts.cycles_needed();
+        exec.run(&mut ts, cycles);
+        ts.x
+    }
+
+    /// Reference implementation: forward substitution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensions mismatch.
+    #[must_use]
+    pub fn reference(l: &[Vec<i64>], b: &[i64]) -> Vec<i64> {
+        let n = l.len();
+        assert_eq!(b.len(), n, "dimension mismatch");
+        let mut x = vec![0i64; n];
+        for i in 0..n {
+            let mut rhs = b[i];
+            for j in 0..i {
+                rhs -= l[i][j] * x[j];
+            }
+            x[i] = rhs; // unit diagonal
+        }
+        x
+    }
+}
+
+impl ArrayAlgorithm for SystolicTriSolve {
+    fn step_cell(&mut self, cell: CellId, cycle: usize, inputs: &[Item], outputs: &mut [Item]) {
+        let q = cell.index();
+        let w = self.w;
+        let last = w - 1;
+
+        // --- incoming x (leftward stream), if any.
+        let x_in: Option<i64> = if q == last {
+            None // generated locally below
+        } else {
+            self.right_in[q].and_then(|p| inputs[p])
+        };
+
+        // --- incoming y (rightward stream) or host injection.
+        let y_in: Option<i64> = if q == 0 {
+            if cycle.is_multiple_of(2) && cycle / 2 < self.n {
+                Some(self.b[cycle / 2])
+            } else {
+                None
+            }
+        } else {
+            self.left_in[q].and_then(|p| inputs[p])
+        };
+
+        // --- produce/propagate x.
+        let mut x_here: Option<i64> = x_in;
+        if let Some(y) = y_in {
+            // Which equation is passing: y_i at cell q at cycle 2i+q.
+            debug_assert_eq!((cycle - q) % 2, 0, "y stream off schedule");
+            let i = (cycle - q) / 2;
+            if q == last {
+                // Depth 0 = the unit diagonal: every subdiagonal term
+                // was subtracted on the way here, so the equation
+                // completes: x_i = y.
+                let _ = i;
+                x_here = Some(y);
+            } else {
+                // Subtract this cell's subdiagonal term, if its paired
+                // x exists (early equations have none).
+                let depth = last - q;
+                let mut y = y;
+                if let Some(x) = x_in {
+                    let j = (i as i64) - (depth as i64);
+                    debug_assert!(j >= 0, "x token paired with too-early equation");
+                    let j = j as usize;
+                    y -= self.l[i][j] * x;
+                }
+                let p = self.right_out[q].expect("non-last cell has a right link");
+                outputs[p] = Some(y);
+            }
+        }
+
+        // --- route x onward (leftward) or collect at the host.
+        if let Some(x) = x_here {
+            if q == 0 {
+                self.x.push(x);
+            } else {
+                let p = self.left_out[q].expect("non-host cell has a left link");
+                outputs[p] = Some(x);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+    use rand::SeedableRng;
+
+    fn random_system(n: usize, w: usize, seed: u64) -> (Vec<Vec<i64>>, Vec<i64>) {
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+        let mut l = vec![vec![0i64; n]; n];
+        for (i, row) in l.iter_mut().enumerate() {
+            row[i] = 1;
+            for v in row.iter_mut().take(i).skip(i.saturating_sub(w - 1)) {
+                *v = rng.gen_range(-4..=4);
+            }
+        }
+        let b: Vec<i64> = (0..n).map(|_| rng.gen_range(-20..=20)).collect();
+        (l, b)
+    }
+
+    #[test]
+    fn doc_example() {
+        let l = vec![vec![1, 0, 0], vec![2, 1, 0], vec![0, 3, 1]];
+        let b = vec![5, 12, 13];
+        assert_eq!(SystolicTriSolve::solve(&l, &b, 2), vec![5, 2, 7]);
+    }
+
+    #[test]
+    fn identity_returns_rhs() {
+        let l = vec![vec![1, 0], vec![0, 1]];
+        let b = vec![-4, 9];
+        assert_eq!(SystolicTriSolve::solve(&l, &b, 1), b);
+    }
+
+    #[test]
+    fn matches_reference_various_bandwidths() {
+        for (n, w, seed) in [(6usize, 2usize, 1u64), (8, 3, 2), (12, 4, 3), (10, 1, 4), (9, 5, 5)] {
+            let (l, b) = random_system(n, w, seed);
+            assert_eq!(
+                SystolicTriSolve::solve(&l, &b, w),
+                SystolicTriSolve::reference(&l, &b),
+                "n={n}, w={w}"
+            );
+        }
+    }
+
+    #[test]
+    fn array_size_is_bandwidth_not_n() {
+        let (l, b) = random_system(50, 3, 9);
+        let ts = SystolicTriSolve::new(&l, &b, 3);
+        assert_eq!(ts.comm().node_count(), 3);
+        assert_eq!(
+            SystolicTriSolve::solve(&l, &b, 3),
+            SystolicTriSolve::reference(&l, &b)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "unit diagonal")]
+    fn rejects_non_unit_diagonal() {
+        let l = vec![vec![2, 0], vec![1, 1]];
+        let _ = SystolicTriSolve::new(&l, &[1, 2], 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "lower triangular")]
+    fn rejects_upper_entries() {
+        let l = vec![vec![1, 5], vec![1, 1]];
+        let _ = SystolicTriSolve::new(&l, &[1, 2], 2);
+    }
+}

@@ -1,0 +1,234 @@
+//! The self-timing speed-advantage analysis from Section I.
+//!
+//! The paper argues that self-timed arrays rarely beat clocked ones on
+//! speed, because the throughput along a `k`-cell path is limited by
+//! the slowest computation on it, and the probability that *some* cell
+//! on the path does a worst-case computation is `1 − p^k → 1`
+//! (argument 2 of Section I).
+//!
+//! [`PipelineModel`] simulates a `k`-stage self-timed pipeline whose
+//! stages take a fast time with probability `p` and a slow (worst
+//! case) time otherwise, using the asynchronous dataflow recurrence
+//! `t[i][j] = max(t[i−1][j], t[i][j−1]) + d[i][j]`. The measured
+//! steady-state period is compared against the clocked array's
+//! worst-case period.
+
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// A `k`-stage pipeline with two-point stage-delay distribution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PipelineModel {
+    /// Number of pipeline stages (cells on the path).
+    pub stages: usize,
+    /// Fast (typical) stage delay.
+    pub fast: f64,
+    /// Slow (worst-case) stage delay.
+    pub slow: f64,
+    /// Probability that a given cell's computation is *not* worst
+    /// case (the paper's `p`).
+    pub p_fast: f64,
+    /// Extra per-wave handshake cost of the self-timed implementation
+    /// (the paper's "extra hardware and delay in each cell"). Zero by
+    /// default.
+    pub handshake_overhead: f64,
+}
+
+/// Result of simulating one self-timed run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ThroughputSample {
+    /// Mean inter-completion time at the pipeline's output.
+    pub self_timed_period: f64,
+    /// The clocked array's period (worst-case stage delay).
+    pub clocked_period: f64,
+}
+
+impl ThroughputSample {
+    /// Self-timed speed advantage over the clocked design
+    /// (`≥ 1`; → 1 as arrays grow, per the paper).
+    #[must_use]
+    pub fn advantage(&self) -> f64 {
+        self.clocked_period / self.self_timed_period
+    }
+}
+
+impl PipelineModel {
+    /// Creates a model.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `stages > 0`, `0 < fast ≤ slow`, and
+    /// `0 ≤ p_fast ≤ 1`.
+    #[must_use]
+    pub fn new(stages: usize, fast: f64, slow: f64, p_fast: f64) -> Self {
+        assert!(stages > 0, "need at least one stage");
+        assert!(0.0 < fast && fast <= slow, "need 0 < fast <= slow");
+        assert!((0.0..=1.0).contains(&p_fast), "p_fast must be in [0, 1]");
+        PipelineModel {
+            stages,
+            fast,
+            slow,
+            p_fast,
+            handshake_overhead: 0.0,
+        }
+    }
+
+    /// Adds a per-wave handshake cost to the self-timed side — the
+    /// paper's observation that self-timing "can be costly in terms of
+    /// extra hardware and delay in each cell".
+    ///
+    /// # Panics
+    ///
+    /// Panics if `overhead` is negative.
+    #[must_use]
+    pub fn with_handshake_overhead(mut self, overhead: f64) -> Self {
+        assert!(overhead >= 0.0, "overhead must be non-negative");
+        self.handshake_overhead = overhead;
+        self
+    }
+
+    /// Probability that a `k`-cell path contains at least one
+    /// worst-case computation for a single item: `1 − p^k`
+    /// (the paper's formula).
+    #[must_use]
+    pub fn worst_case_path_probability(&self) -> f64 {
+        1.0 - self.p_fast.powi(self.stages as i32)
+    }
+
+    /// Simulates `waves` lock-step-equivalent computation waves
+    /// through the self-timed array and returns measured periods.
+    ///
+    /// Systolic arrays are *coupled*: data flows in both directions
+    /// (the FIR array's `x` rightward and `y` leftward), so cell `i`
+    /// cannot start wave `w` before its **neighbours** finish wave
+    /// `w − 1`:
+    ///
+    /// ```text
+    /// t[i][w] = max(t[i−1][w−1], t[i][w−1], t[i+1][w−1]) + d[i][w]
+    /// ```
+    ///
+    /// Slowness therefore propagates spatially, and the long-run wave
+    /// period climbs toward the worst-case delay as the array grows —
+    /// the paper's argument 2. Delays are re-drawn per cell per wave
+    /// (data-dependent computation time); the period is measured over
+    /// the steady-state second half of the run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `waves < 4`.
+    #[must_use]
+    pub fn simulate(&self, waves: usize, seed: u64) -> ThroughputSample {
+        assert!(waves >= 4, "need a few waves to measure steady state");
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let k = self.stages;
+        let mut prev = vec![0.0f64; k];
+        let mut cur = vec![0.0f64; k];
+        let mut finish_times = Vec::with_capacity(waves);
+        for _ in 0..waves {
+            for i in 0..k {
+                let d = self.handshake_overhead
+                    + if rng.gen::<f64>() < self.p_fast {
+                        self.fast
+                    } else {
+                        self.slow
+                    };
+                let mut ready = prev[i];
+                if i > 0 {
+                    ready = ready.max(prev[i - 1]);
+                }
+                if i + 1 < k {
+                    ready = ready.max(prev[i + 1]);
+                }
+                cur[i] = ready + d;
+            }
+            // The wave is delivered to the host when the boundary cell
+            // finishes (outputs leave at cell 0 in the FIR design).
+            finish_times.push(cur[0]);
+            std::mem::swap(&mut prev, &mut cur);
+        }
+        let half = waves / 2;
+        let steady = &finish_times[half..];
+        let span = steady.last().expect("non-empty") - finish_times[half - 1];
+        let self_timed_period = span / steady.len() as f64;
+        ThroughputSample {
+            self_timed_period,
+            clocked_period: self.slow,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formula_matches_paper() {
+        let m = PipelineModel::new(10, 1.0, 2.0, 0.9);
+        let q = m.worst_case_path_probability();
+        assert!((q - (1.0 - 0.9f64.powi(10))).abs() < 1e-12);
+    }
+
+    #[test]
+    fn all_fast_runs_at_fast_period() {
+        let m = PipelineModel::new(8, 1.0, 3.0, 1.0);
+        let s = m.simulate(200, 1);
+        assert!((s.self_timed_period - 1.0).abs() < 1e-9);
+        assert!((s.advantage() - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn all_slow_runs_at_worst_case() {
+        let m = PipelineModel::new(8, 1.0, 3.0, 0.0);
+        let s = m.simulate(200, 1);
+        assert!((s.self_timed_period - 3.0).abs() < 1e-9);
+        assert!((s.advantage() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn advantage_shrinks_as_pipeline_grows() {
+        // The paper's argument 2: longer paths are more likely to
+        // contain a worst-case computation, so the self-timed
+        // advantage decays toward 1.
+        let adv = |k: usize| {
+            PipelineModel::new(k, 1.0, 2.0, 0.9)
+                .simulate(600, 7)
+                .advantage()
+        };
+        let (a1, a16, a256) = (adv(1), adv(16), adv(256));
+        assert!(a1 > a16, "a1 {a1} vs a16 {a16}");
+        assert!(a16 > a256 + 0.02, "a16 {a16} vs a256 {a256}");
+        assert!(a256 < 1.4, "advantage should have mostly decayed: {a256}");
+        assert!(a1 > 1.5, "short pipelines should show advantage: {a1}");
+    }
+
+    #[test]
+    fn handshake_overhead_erases_remaining_advantage() {
+        // The paper's conclusion: with realistic handshake cost the
+        // large-array self-timed advantage disappears entirely.
+        let plain = PipelineModel::new(256, 1.0, 2.0, 0.9).simulate(600, 7);
+        let costly = PipelineModel::new(256, 1.0, 2.0, 0.9)
+            .with_handshake_overhead(0.5)
+            .simulate(600, 7);
+        assert!(plain.advantage() > 1.0);
+        assert!(
+            costly.advantage() <= 1.05,
+            "advantage with overhead: {}",
+            costly.advantage()
+        );
+    }
+
+    #[test]
+    fn advantage_at_least_one() {
+        for k in [2usize, 5, 50] {
+            let s = PipelineModel::new(k, 1.0, 4.0, 0.5).simulate(200, k as u64);
+            assert!(s.advantage() >= 1.0 - 1e-9, "k={k}: {}", s.advantage());
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let m = PipelineModel::new(12, 1.0, 2.0, 0.8);
+        assert_eq!(m.simulate(100, 3), m.simulate(100, 3));
+    }
+}

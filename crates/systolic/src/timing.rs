@@ -1,0 +1,467 @@
+//! Skew-aware execution: what clock skew *does* to an array.
+//!
+//! The paper's central practical claim is that skew between
+//! communicating cells causes synchronization failure unless the
+//! clock period is stretched (A5) — and that some failures (races)
+//! cannot be fixed by any period. This module makes that concrete
+//! with standard single-phase edge-triggered timing. For an edge
+//! `u → v`, with clock arrival offsets `o_u`, `o_v`, period `T`,
+//! output delay in `[δ_min, δ_max]`, and register windows
+//! `setup`/`hold`:
+//!
+//! * **Setup constraint** — data launched at `u`'s edge must arrive
+//!   before `v`'s *next* edge: `T ≥ (o_u − o_v) + δ_max + setup`.
+//!   Violations are fixed by lowering the clock rate — the paper's
+//!   "avoided by lowering clock rates".
+//! * **Hold constraint** — fresh data must not overrun `v`'s capture
+//!   of the old value at the *same* edge:
+//!   `o_v − o_u ≤ δ_min − hold`. This is independent of `T`: no
+//!   slowdown helps; only delay padding (`δ_min`) does — the paper's
+//!   "and/or adding delay to circuits".
+//!
+//! [`SkewedExecutor`] runs an [`ArrayAlgorithm`] under a
+//! [`ClockSchedule`], corrupting exactly the transfers whose
+//! constraints fail, so experiments can check outputs against the
+//! ideal lock-step run.
+
+use crate::exec::{ArrayAlgorithm, Item};
+use array_layout::graph::CommGraph;
+use std::fmt;
+
+/// Deterministic corruption applied to a value that loses a hold race
+/// (modelling a metastable/garbage capture).
+pub const CORRUPTION_MASK: i64 = 0x5A5A_5A5A;
+
+/// Per-cell register and logic timing, in the same time units as the
+/// clock schedule.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CellTiming {
+    /// Minimum clock-to-output plus wire delay.
+    pub delta_min: f64,
+    /// Maximum clock-to-output plus wire delay (the δ of A5).
+    pub delta_max: f64,
+    /// Register setup window.
+    pub setup: f64,
+    /// Register hold window.
+    pub hold: f64,
+}
+
+impl CellTiming {
+    /// Creates a timing spec.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 ≤ delta_min ≤ delta_max` and windows are
+    /// non-negative.
+    #[must_use]
+    pub fn new(delta_min: f64, delta_max: f64, setup: f64, hold: f64) -> Self {
+        assert!(
+            0.0 <= delta_min && delta_min <= delta_max,
+            "need 0 <= delta_min <= delta_max"
+        );
+        assert!(setup >= 0.0 && hold >= 0.0, "windows must be non-negative");
+        CellTiming {
+            delta_min,
+            delta_max,
+            setup,
+            hold,
+        }
+    }
+}
+
+/// Clock arrival offsets for each cell, plus the clock period.
+///
+/// Offsets typically come from a clock tree's arrival-time analysis;
+/// any per-cell phase profile is accepted.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClockSchedule {
+    offsets: Vec<f64>,
+    period: f64,
+}
+
+impl ClockSchedule {
+    /// Creates a schedule from explicit offsets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period` is not positive or any offset is negative.
+    #[must_use]
+    pub fn new(offsets: Vec<f64>, period: f64) -> Self {
+        assert!(period > 0.0, "period must be positive");
+        assert!(
+            offsets.iter().all(|&o| o >= 0.0),
+            "offsets must be non-negative"
+        );
+        ClockSchedule { offsets, period }
+    }
+
+    /// The zero-skew schedule for `n` cells.
+    #[must_use]
+    pub fn uniform(n: usize, period: f64) -> Self {
+        ClockSchedule::new(vec![0.0; n], period)
+    }
+
+    /// Clock arrival offset of cell `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[must_use]
+    pub fn offset(&self, i: usize) -> f64 {
+        self.offsets[i]
+    }
+
+    /// All offsets, indexed by cell.
+    #[must_use]
+    pub fn offsets(&self) -> &[f64] {
+        &self.offsets
+    }
+
+    /// The clock period.
+    #[must_use]
+    pub fn period(&self) -> f64 {
+        self.period
+    }
+
+    /// Largest offset difference between any two communicating cells:
+    /// the measured σ of this schedule.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the graph references cells beyond the offset table.
+    #[must_use]
+    pub fn max_comm_skew(&self, comm: &CommGraph) -> f64 {
+        comm.communicating_pairs()
+            .into_iter()
+            .map(|(a, b)| (self.offsets[a.index()] - self.offsets[b.index()]).abs())
+            .fold(0.0, f64::max)
+    }
+}
+
+/// Outcome of the timing analysis for one directed edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransferStatus {
+    /// Both constraints met: data transfers faithfully.
+    Clean,
+    /// Setup failed: the receiver samples before the new data lands
+    /// (sees the stale previous value). Curable by a longer period.
+    SetupViolation,
+    /// Hold failed: the new data overruns the capture of the old
+    /// (race). *Not* curable by any period.
+    HoldViolation,
+}
+
+/// Classifies every directed edge of `comm` under the given schedule
+/// and timing.
+///
+/// A hold violation takes precedence over a setup violation on the
+/// same edge (the race corrupts the captured value regardless).
+///
+/// # Panics
+///
+/// Panics if the schedule covers fewer cells than the graph.
+#[must_use]
+pub fn classify_edges(
+    comm: &CommGraph,
+    schedule: &ClockSchedule,
+    timing: CellTiming,
+) -> Vec<TransferStatus> {
+    assert!(
+        schedule.offsets().len() >= comm.node_count(),
+        "schedule must cover every cell"
+    );
+    comm.edges()
+        .iter()
+        .map(|e| {
+            let (ou, ov) = (
+                schedule.offset(e.src.index()),
+                schedule.offset(e.dst.index()),
+            );
+            if ov - ou > timing.delta_min - timing.hold {
+                TransferStatus::HoldViolation
+            } else if schedule.period() < (ou - ov) + timing.delta_max + timing.setup {
+                TransferStatus::SetupViolation
+            } else {
+                TransferStatus::Clean
+            }
+        })
+        .collect()
+}
+
+/// Error returned by [`min_safe_period`] when some edge has a hold
+/// race that no clock period can fix.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HoldRaceError {
+    /// Index of the racing edge.
+    pub edge: usize,
+    /// The skew `o_v − o_u` on that edge.
+    pub skew: f64,
+}
+
+impl fmt::Display for HoldRaceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "edge {} has a hold race (receiver lags sender by {}): no clock period can fix it",
+            self.edge, self.skew
+        )
+    }
+}
+
+impl std::error::Error for HoldRaceError {}
+
+/// The minimum clock period at which every transfer is clean — the
+/// concrete instance of A5's `σ + δ + τ` for this schedule — or the
+/// hold race that makes no period safe.
+///
+/// # Errors
+///
+/// Returns [`HoldRaceError`] for the first edge whose hold constraint
+/// fails.
+///
+/// # Panics
+///
+/// Panics if the offsets cover fewer cells than the graph.
+pub fn min_safe_period(
+    comm: &CommGraph,
+    offsets: &[f64],
+    timing: CellTiming,
+) -> Result<f64, HoldRaceError> {
+    assert!(
+        offsets.len() >= comm.node_count(),
+        "offsets must cover every cell"
+    );
+    let mut t_min = 0.0f64;
+    for (idx, e) in comm.edges().iter().enumerate() {
+        let (ou, ov) = (offsets[e.src.index()], offsets[e.dst.index()]);
+        if ov - ou > timing.delta_min - timing.hold {
+            return Err(HoldRaceError {
+                edge: idx,
+                skew: ov - ou,
+            });
+        }
+        t_min = t_min.max((ou - ov) + timing.delta_max + timing.setup);
+    }
+    Ok(t_min)
+}
+
+/// Lock-step executor that applies the skew-induced faults of a
+/// [`ClockSchedule`] to every transfer.
+///
+/// Clean edges behave exactly as in
+/// [`IdealExecutor`](crate::exec::IdealExecutor); setup-violated edges
+/// deliver the *previous* cycle's value (stale sample); hold-violated
+/// edges deliver a deterministically corrupted value.
+#[derive(Debug, Clone)]
+pub struct SkewedExecutor {
+    comm: CommGraph,
+    status: Vec<TransferStatus>,
+    edge_regs: Vec<Item>,
+    edge_regs_prev: Vec<Item>,
+    cycle: usize,
+}
+
+impl SkewedExecutor {
+    /// Creates an executor for `comm` under `schedule` and `timing`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the schedule covers fewer cells than the graph.
+    #[must_use]
+    pub fn new(comm: &CommGraph, schedule: &ClockSchedule, timing: CellTiming) -> Self {
+        let status = classify_edges(comm, schedule, timing);
+        SkewedExecutor {
+            status,
+            edge_regs: vec![None; comm.edge_count()],
+            edge_regs_prev: vec![None; comm.edge_count()],
+            comm: comm.clone(),
+            cycle: 0,
+        }
+    }
+
+    /// Per-edge transfer statuses.
+    #[must_use]
+    pub fn statuses(&self) -> &[TransferStatus] {
+        &self.status
+    }
+
+    /// Returns `true` when every edge transfers cleanly (execution
+    /// will match the ideal executor exactly).
+    #[must_use]
+    pub fn is_faithful(&self) -> bool {
+        self.status.iter().all(|&s| s == TransferStatus::Clean)
+    }
+
+    /// Runs one cycle, applying per-edge fault semantics.
+    pub fn cycle<A: ArrayAlgorithm>(&mut self, alg: &mut A) {
+        let mut next = vec![None; self.edge_regs.len()];
+        let mut inputs = Vec::new();
+        let mut outputs = Vec::new();
+        for cell in self.comm.cells() {
+            inputs.clear();
+            for &e in self.comm.in_edge_ids(cell) {
+                let v = match self.status[e] {
+                    TransferStatus::Clean => self.edge_regs[e],
+                    TransferStatus::SetupViolation => self.edge_regs_prev[e],
+                    TransferStatus::HoldViolation => {
+                        self.edge_regs[e].map(|v| v ^ CORRUPTION_MASK)
+                    }
+                };
+                inputs.push(v);
+            }
+            let out_ids = self.comm.out_edge_ids(cell);
+            outputs.clear();
+            outputs.resize(out_ids.len(), None);
+            alg.step_cell(cell, self.cycle, &inputs, &mut outputs);
+            for (&e, &v) in out_ids.iter().zip(outputs.iter()) {
+                next[e] = v;
+            }
+        }
+        self.edge_regs_prev = std::mem::replace(&mut self.edge_regs, next);
+        self.cycle += 1;
+    }
+
+    /// Runs `n` cycles.
+    pub fn run<A: ArrayAlgorithm>(&mut self, alg: &mut A, n: usize) {
+        for _ in 0..n {
+            self.cycle(alg);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use array_layout::graph::CellId;
+
+    fn timing() -> CellTiming {
+        CellTiming::new(0.2, 1.0, 0.3, 0.1)
+    }
+
+    /// Relay: cell i forwards its input (from the left) rightward.
+    struct Relay;
+    impl ArrayAlgorithm for Relay {
+        fn step_cell(&mut self, cell: CellId, _t: usize, inp: &[Item], out: &mut [Item]) {
+            // On a linear array, forward the value coming from the
+            // left neighbour to the right neighbour.
+            let from_left = inp.iter().copied().flatten().next();
+            if let Some(slot) = out.iter_mut().last() {
+                let _ = cell;
+                *slot = from_left;
+            }
+        }
+    }
+
+    #[test]
+    fn zero_skew_is_faithful() {
+        let comm = CommGraph::linear(4);
+        let schedule = ClockSchedule::uniform(4, 2.0);
+        let exec = SkewedExecutor::new(&comm, &schedule, timing());
+        assert!(exec.is_faithful());
+    }
+
+    #[test]
+    fn min_safe_period_matches_a5_shape() {
+        // Offsets rising by 0.05 per cell: receiver-late edges need a
+        // longer period; receiver-early edges risk hold.
+        let comm = CommGraph::linear(3);
+        let offsets = vec![0.0, 0.05, 0.10];
+        let t = min_safe_period(&comm, &offsets, timing()).expect("no race");
+        // Worst setup edge is right-to-left (sender later than
+        // receiver by 0.05): T ≥ 0.05 + 1.0 + 0.3.
+        assert!((t - 1.35).abs() < 1e-9, "t = {t}");
+    }
+
+    #[test]
+    fn hold_race_not_fixable_by_period() {
+        // Receiver's clock lags the sender's by more than
+        // delta_min − hold = 0.1: a race.
+        let comm = CommGraph::linear(2);
+        let offsets = vec![0.0, 0.5];
+        let err = min_safe_period(&comm, &offsets, timing()).unwrap_err();
+        assert!(err.skew > 0.0);
+        // And the classifier flags exactly the 0→1 edge.
+        let schedule = ClockSchedule::new(offsets, 100.0);
+        let status = classify_edges(&comm, &schedule, timing());
+        assert_eq!(status[0], TransferStatus::HoldViolation);
+        // The reverse edge (1→0) has negative skew: clean given a
+        // large period.
+        assert_eq!(status[1], TransferStatus::Clean);
+    }
+
+    #[test]
+    fn setup_violation_cured_by_longer_period() {
+        let comm = CommGraph::linear(2);
+        let offsets = vec![0.1, 0.0];
+        let fast = ClockSchedule::new(offsets.clone(), 1.0);
+        let slow = ClockSchedule::new(offsets, 2.0);
+        let status_fast = classify_edges(&comm, &fast, timing());
+        let status_slow = classify_edges(&comm, &slow, timing());
+        // Edge 0→1: sender clocked 0.1 late → needs T ≥ 1.4.
+        assert_eq!(status_fast[0], TransferStatus::SetupViolation);
+        assert_eq!(status_slow[0], TransferStatus::Clean);
+    }
+
+    #[test]
+    fn skewed_run_with_clean_edges_matches_ideal() {
+        let comm = CommGraph::linear(4);
+        let schedule = ClockSchedule::uniform(4, 2.0);
+        let mut skewed = SkewedExecutor::new(&comm, &schedule, timing());
+        let mut ideal = crate::exec::IdealExecutor::new(&comm);
+        skewed.edge_regs[0] = Some(42);
+        ideal.inject(0, Some(42));
+        let mut a1 = Relay;
+        let mut a2 = Relay;
+        for _ in 0..5 {
+            skewed.cycle(&mut a1);
+            ideal.cycle(&mut a2);
+            for e in 0..comm.edge_count() {
+                assert_eq!(skewed.edge_regs[e], ideal.edge_value(e));
+            }
+        }
+    }
+
+    #[test]
+    fn hold_fault_corrupts_data() {
+        let comm = CommGraph::linear(2);
+        // Cell 1 clocked far too late: 0→1 races.
+        let schedule = ClockSchedule::new(vec![0.0, 5.0], 100.0);
+        let mut exec = SkewedExecutor::new(&comm, &schedule, timing());
+        assert!(!exec.is_faithful());
+        exec.edge_regs[0] = Some(7);
+        let mut alg = Relay;
+        exec.cycle(&mut alg);
+        // Cell 1 received 7 ^ MASK and forwarded it (to cell 0; its
+        // only out-edge).
+        assert_eq!(exec.edge_regs[1], Some(7 ^ CORRUPTION_MASK));
+    }
+
+    #[test]
+    fn setup_fault_delivers_stale_value() {
+        let comm = CommGraph::linear(2);
+        // Sender clocked late, period too short: stale sampling.
+        let schedule = ClockSchedule::new(vec![1.0, 0.0], 1.0);
+        let mut exec = SkewedExecutor::new(&comm, &schedule, timing());
+        assert_eq!(exec.statuses()[0], TransferStatus::SetupViolation);
+        let mut alg = Relay;
+        exec.edge_regs[0] = Some(1);
+        exec.cycle(&mut alg); // cell 1 sees prev (None), forwards None
+        assert_eq!(exec.edge_regs[1], None);
+        exec.edge_regs[0] = Some(2);
+        exec.cycle(&mut alg); // now prev = Some(1): one cycle behind
+        assert_eq!(exec.edge_regs[1], Some(1));
+    }
+
+    #[test]
+    fn max_comm_skew_reports_largest_gap() {
+        let comm = CommGraph::linear(3);
+        let schedule = ClockSchedule::new(vec![0.0, 0.4, 0.1], 10.0);
+        assert!((schedule.max_comm_skew(&comm) - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "period must be positive")]
+    fn schedule_rejects_zero_period() {
+        let _ = ClockSchedule::new(vec![0.0], 0.0);
+    }
+}

@@ -1,0 +1,54 @@
+//! Section VIII's tree machine: a Bentley–Kung search tree in an
+//! H-tree layout, with the clock distributed along the data paths and
+//! pipeline registers keeping the interval constant.
+//!
+//! ```sh
+//! cargo run --example tree_machine
+//! ```
+
+use vlsi_sync_repro::prelude::*;
+
+fn main() {
+    // 64 leaves holding even numbers; queries 0..50.
+    let keys: Vec<i64> = (0..64).map(|i| 2 * i).collect();
+    let queries: Vec<i64> = (0..50).collect();
+    let machine = TreeSearchMachine::new(&keys, &queries);
+    let comm = machine.comm().clone();
+    println!(
+        "tree machine: {} levels, {} nodes, latency {} cycles, 1 query/cycle throughput",
+        machine.levels(),
+        comm.node_count(),
+        machine.latency()
+    );
+
+    // H-tree layout: O(N) area, Θ(√N) root edges.
+    let layout = Layout::htree_tree(&comm);
+    println!(
+        "H-tree layout: area {:.0} for {} nodes, longest wire {:.1} (~sqrt(N) = {:.1})",
+        layout.area(),
+        comm.node_count(),
+        layout.max_wire_length(),
+        (comm.node_count() as f64).sqrt()
+    );
+
+    // Clock along the data paths: skew between communicating cells is
+    // exactly the wire delay they already pay for data.
+    let clk = mirror_tree(&comm, &layout);
+    let model = SummationModel::from_delay_model(WireDelayModel::new(1.0, 0.1));
+    println!(
+        "clock-along-data-paths: max communicating skew {:.2}, pipeline registers (spacing 2): {}",
+        model.max_skew(&clk, &comm),
+        clk.buffer_count(2.0)
+    );
+
+    // Run the pipelined search.
+    let answers = TreeSearchMachine::search(&keys, &queries);
+    let hits: Vec<i64> = queries
+        .iter()
+        .zip(&answers)
+        .filter(|(_, &found)| found)
+        .map(|(&q, _)| q)
+        .collect();
+    println!("queries answered: {}; members found: {hits:?}", answers.len());
+    assert!(hits.iter().all(|q| q % 2 == 0));
+}

@@ -1,0 +1,143 @@
+//! End-to-end: clock trees driving real systolic computations — the
+//! functional consequences of the paper's timing theory.
+//!
+//! Safe schedules derived from real clock trees reproduce the ideal
+//! lock-step results exactly; schedules violating the A5 period or
+//! carrying hold races corrupt them; stretching the period per A5
+//! repairs setup failures but never hold races.
+
+use vlsi_sync_repro::prelude::*;
+
+fn timing() -> CellTiming {
+    CellTiming::new(1.0, 2.0, 0.3, 0.2)
+}
+
+#[test]
+fn spine_clocked_sort_matches_ideal() {
+    let values: Vec<i64> = (0..24).map(|i| (i * 13) % 29 - 14).collect();
+    let mut sorter = OddEvenSorter::new(&values);
+    let comm = sorter.comm().clone();
+    let layout = Layout::linear_row(&comm);
+    let clk = spine(&comm, &layout);
+    let delays = WireDelayModel::new(0.1, 0.02);
+    let period = safe_period_for_tree(&clk, &comm, delays, timing()).expect("no race");
+    let schedule = worst_case_schedule(&clk, &comm, delays, period);
+    let mut exec = SkewedExecutor::new(&comm, &schedule, timing());
+    assert!(exec.is_faithful());
+    let cycles = sorter.cycles_needed();
+    exec.run(&mut sorter, cycles);
+    let mut expected = values;
+    expected.sort_unstable();
+    assert_eq!(sorter.values(), expected);
+}
+
+#[test]
+fn htree_clocked_matmul_matches_ideal() {
+    let n = 6;
+    let a: Vec<Vec<i64>> = (0..n)
+        .map(|i| (0..n).map(|j| ((i + 2 * j) % 9) as i64 - 4).collect())
+        .collect();
+    let b: Vec<Vec<i64>> = (0..n)
+        .map(|i| (0..n).map(|j| ((i * j + 1) % 5) as i64 - 2).collect())
+        .collect();
+    let mut mm = SystolicMatMul::new(&a, &b);
+    let comm = mm.comm().clone();
+    let layout = Layout::grid(&comm);
+    let clk = htree(&comm, &layout).equalized();
+    let delays = WireDelayModel::new(0.05, 0.01);
+    let period = safe_period_for_tree(&clk, &comm, delays, timing()).expect("no race");
+    let schedule = worst_case_schedule(&clk, &comm, delays, period);
+    let mut exec = SkewedExecutor::new(&comm, &schedule, timing());
+    assert!(exec.is_faithful());
+    let cycles = mm.cycles_needed();
+    exec.run(&mut mm, cycles);
+    assert_eq!(mm.product(), SystolicMatMul::reference(&a, &b));
+}
+
+#[test]
+fn too_short_period_breaks_the_computation_and_a5_fixes_it() {
+    let weights = [1, 2, 3, 4];
+    let xs: Vec<i64> = (0..20).map(|i| i % 7 - 3).collect();
+    let expected = SystolicFir::reference(&weights, &xs);
+
+    // A schedule whose sender clocks lag: needs a long period.
+    let offsets = vec![0.6, 0.4, 0.2, 0.0];
+    let comm = SystolicFir::new(&weights, &xs).comm().clone();
+    let needed = min_safe_period(&comm, &offsets, timing()).expect("no race");
+
+    // Run below the A5 period: setup failures corrupt the output.
+    let mut fir_fast = SystolicFir::new(&weights, &xs);
+    let fast = ClockSchedule::new(offsets.clone(), needed - 0.2);
+    let mut exec_fast = SkewedExecutor::new(&comm, &fast, timing());
+    assert!(!exec_fast.is_faithful());
+    let cycles = fir_fast.cycles_needed();
+    exec_fast.run(&mut fir_fast, cycles);
+    assert_ne!(fir_fast.outputs(), expected);
+
+    // At the A5 period: clean.
+    let mut fir_ok = SystolicFir::new(&weights, &xs);
+    let ok = ClockSchedule::new(offsets, needed);
+    let mut exec_ok = SkewedExecutor::new(&comm, &ok, timing());
+    assert!(exec_ok.is_faithful());
+    let cycles = fir_ok.cycles_needed();
+    exec_ok.run(&mut fir_ok, cycles);
+    assert_eq!(fir_ok.outputs(), expected);
+}
+
+#[test]
+fn hold_race_cannot_be_fixed_by_any_period() {
+    // Receiver clocked much later than sender: hold race on the
+    // forward edge. min_safe_period refuses; even a huge period still
+    // classifies the edge as racing.
+    let comm = CommGraph::linear(3);
+    let offsets = vec![0.0, 2.0, 4.0];
+    let err = min_safe_period(&comm, &offsets, timing()).unwrap_err();
+    assert!(err.skew >= 2.0);
+    let huge = ClockSchedule::new(offsets, 1_000.0);
+    let statuses = classify_edges(&comm, &huge, timing());
+    assert!(statuses.contains(&TransferStatus::HoldViolation));
+
+    // The paper's fix: add delay to the circuits (raise delta_min).
+    let padded = CellTiming::new(5.0, 6.0, 0.3, 0.2);
+    let period = min_safe_period(&comm, &[0.0, 2.0, 4.0], padded).expect("padding fixes races");
+    assert!(period > 0.0);
+}
+
+#[test]
+fn tree_machine_under_mirror_clock_is_faithful() {
+    let keys: Vec<i64> = (0..16).map(|i| 3 * i).collect();
+    let queries: Vec<i64> = (0..30).collect();
+    let expected = TreeSearchMachine::search(&keys, &queries);
+
+    let mut machine = TreeSearchMachine::new(&keys, &queries);
+    let comm = machine.comm().clone();
+    let layout = Layout::htree_tree(&comm);
+    let clk = mirror_tree(&comm, &layout);
+    // Scale wire delays down so the skew between parent and child
+    // stays below the hold threshold (the paper's bounded-delay δ
+    // assumption on tree edges after pipelining).
+    let delays = WireDelayModel::new(0.05, 0.01);
+    let period = safe_period_for_tree(&clk, &comm, delays, timing()).expect("no race");
+    let schedule = worst_case_schedule(&clk, &comm, delays, period);
+    let mut exec = SkewedExecutor::new(&comm, &schedule, timing());
+    assert!(exec.is_faithful());
+    let cycles = machine.cycles_needed(queries.len());
+    exec.run(&mut machine, cycles);
+    assert_eq!(machine.answers(), expected);
+}
+
+#[test]
+fn matvec_under_uniform_clock() {
+    let a: Vec<Vec<i64>> = (0..5)
+        .map(|i| (0..7).map(|j| ((i * 7 + j) % 13) as i64 - 6).collect())
+        .collect();
+    let x: Vec<i64> = (0..7).map(|i| i - 3).collect();
+    let mut mv = SystolicMatVec::new(&a, &x);
+    let comm = mv.comm().clone();
+    let schedule = ClockSchedule::uniform(comm.node_count(), 3.0);
+    let mut exec = SkewedExecutor::new(&comm, &schedule, timing());
+    assert!(exec.is_faithful());
+    let cycles = mv.cycles_needed();
+    exec.run(&mut mv, cycles);
+    assert_eq!(mv.accumulators(), SystolicMatVec::reference(&a, &x));
+}

@@ -1,0 +1,188 @@
+//! End-to-end checks of the paper's theorem-level claims, spanning
+//! the layout, clock, and core crates: the assertions behind
+//! experiments E2, E3, E4, and E9.
+
+use vlsi_sync_repro::prelude::*;
+
+const DELAYS: f64 = 1.0;
+const EPS: f64 = 0.1;
+
+fn delay_model() -> WireDelayModel {
+    WireDelayModel::new(DELAYS, EPS)
+}
+
+#[test]
+fn theorem2_constant_period_for_all_three_families() {
+    let dm = DifferenceModel::linear(DELAYS);
+    let dist = Distribution::Pipelined {
+        buffer_delay: 1.0,
+        spacing: 2.0,
+        unit_wire_delay: DELAYS,
+    };
+    for family in 0..3 {
+        let mut periods = Vec::new();
+        // Start at k=8: below that the tree's longest edge is shorter
+        // than the buffer spacing, so τ is still climbing to its
+        // (constant) asymptote.
+        for k in [8usize, 16, 32] {
+            let comm = match family {
+                0 => CommGraph::linear(k * k),
+                1 => CommGraph::mesh(k, k),
+                _ => CommGraph::hex(k, k),
+            };
+            let layout = if family == 0 {
+                Layout::comb(&comm, k)
+            } else {
+                Layout::grid(&comm)
+            };
+            let tree = htree(&comm, &layout).equalized();
+            let sigma = dm.max_skew(&tree, &comm);
+            assert!(sigma.abs() < 1e-9, "equalized tree must have zero d-skew");
+            periods.push(clock_period(sigma, 2.0, dist.tau(&tree)));
+        }
+        for w in periods.windows(2) {
+            assert!(
+                (w[0] - w[1]).abs() < 1e-9,
+                "family {family}: period changed with size: {periods:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn theorem2_applies_to_skinny_arrays_via_embedding() {
+    // The full Theorem 2 pipeline: a 2×k mesh (unbounded aspect ratio
+    // as k grows) is folded into a near-square grid (the
+    // Aleliunas–Rosenberg step), H-tree clocked, and delay-tuned —
+    // yielding zero difference-model skew and a constant period.
+    let dm = DifferenceModel::linear(DELAYS);
+    let dist = Distribution::Pipelined {
+        buffer_delay: 1.0,
+        spacing: 2.0,
+        unit_wire_delay: DELAYS,
+    };
+    let mut periods = Vec::new();
+    for k in [32usize, 128, 512] {
+        let comm = CommGraph::mesh(2, k);
+        let embedding = GridEmbedding::fold(2, k);
+        let layout = embedding.apply(&comm);
+        assert!(layout.aspect_ratio() <= 4.0, "k={k}: embedding failed");
+        let tree = htree(&comm, &layout).equalized();
+        let sigma = dm.max_skew(&tree, &comm);
+        assert!(sigma.abs() < 1e-9, "k={k}");
+        periods.push(clock_period(sigma, 2.0, dist.tau(&tree)));
+    }
+    assert!(
+        (periods[0] - periods[2]).abs() < 1e-9,
+        "period grew with the skinny array: {periods:?}"
+    );
+}
+
+#[test]
+fn theorem3_spine_constant_for_all_linear_layouts() {
+    let model = SummationModel::from_delay_model(delay_model());
+    for n in [16usize, 128, 1024] {
+        let comm = CommGraph::linear(n);
+        for layout in [
+            Layout::linear_row(&comm),
+            Layout::folded_linear(&comm),
+            Layout::comb(&comm, (n as f64).sqrt().max(1.0) as usize),
+        ] {
+            let tree = spine(&comm, &layout);
+            let skew = model.max_skew(&tree, &comm);
+            // Neighbour tree distance ≤ 2 in every layout (fold costs ≤ 2).
+            assert!(
+                skew <= model.pair_upper(&tree, CellId::new(0), CellId::new(0)) + 2.0 * 1.1 + 1e-9,
+                "n={n}: skew {skew}"
+            );
+            assert!(skew <= 2.2 + 1e-9, "n={n}: skew {skew} not constant");
+        }
+    }
+}
+
+#[test]
+fn section5b_every_strategy_grows_linearly_on_meshes() {
+    let model = SummationModel::from_delay_model(delay_model());
+    let sides = [4usize, 8, 16, 32];
+    let mut best = Vec::new();
+    for &n in &sides {
+        let comm = CommGraph::mesh(n, n);
+        let layout = Layout::grid(&comm);
+        let candidates = [
+            htree(&comm, &layout),
+            htree(&comm, &layout).equalized(),
+            serpentine(&comm, &layout),
+            comb_tree(&comm, &layout),
+        ];
+        let min_skew = candidates
+            .iter()
+            .map(|t| model.max_guaranteed_skew(t, &comm))
+            .fold(f64::INFINITY, f64::min);
+        assert!(
+            min_skew >= mesh_skew_lower_bound(n, model.beta()),
+            "n={n}: strategy beat the lower bound"
+        );
+        best.push(min_skew);
+    }
+    let xs: Vec<f64> = sides.iter().map(|&n| n as f64).collect();
+    let class = classify_growth(&xs, &best);
+    assert!(
+        class == GrowthClass::Linear || class == GrowthClass::Superlinear,
+        "best-strategy skew must grow linearly, got {class:?}"
+    );
+}
+
+#[test]
+fn theorem6_low_bisection_graphs_escape_the_bound() {
+    // A binary-tree COMM graph (bisection width 1) can keep
+    // communicating-pair skew bounded by its longest edge even as N
+    // grows — no Ω(n) forcing as on the mesh.
+    let model = SummationModel::from_delay_model(delay_model());
+    for levels in [4usize, 6, 8] {
+        let comm = CommGraph::complete_binary_tree(levels);
+        let layout = Layout::htree_tree(&comm);
+        let clk = mirror_tree(&comm, &layout);
+        let measured = model.max_guaranteed_skew(&clk, &comm);
+        // Skew equals β × longest layout edge (clock follows data).
+        let longest = layout.max_wire_length();
+        assert!(
+            (measured - model.beta() * longest).abs() < 1e-9,
+            "levels={levels}"
+        );
+        let bound = theorem6_bound_for(&comm, model.beta()).expect("known width");
+        assert!(measured >= bound, "levels={levels}");
+    }
+}
+
+#[test]
+fn a6_vs_a7_distribution_times() {
+    let pipelined = Distribution::Pipelined {
+        buffer_delay: 1.0,
+        spacing: 2.0,
+        unit_wire_delay: 1.0,
+    };
+    let mut equi_prev = 0.0;
+    for n in [8usize, 16, 32] {
+        let comm = CommGraph::mesh(n, n);
+        let layout = Layout::grid(&comm);
+        let tree = htree(&comm, &layout);
+        let equi = Distribution::Equipotential { alpha: 1.0 }.tau(&tree);
+        let pipe = pipelined.tau(&tree);
+        assert!(equi > equi_prev, "equipotential tau must grow");
+        assert!(pipe <= 3.0 + 1e-9, "pipelined tau must stay constant");
+        equi_prev = equi;
+    }
+}
+
+#[test]
+fn circle_certificate_consistent_on_various_sizes() {
+    let model = SummationModel::from_delay_model(delay_model());
+    for n in [6usize, 10, 16] {
+        let comm = CommGraph::mesh(n, n);
+        let layout = Layout::grid(&comm);
+        let tree = htree(&comm, &layout);
+        let cert = circle_certificate(&comm, &layout, &tree, &model);
+        assert!(cert.sigma >= mesh_skew_lower_bound(n, model.beta()), "n={n}");
+        assert!(cert.radius * model.beta() <= cert.sigma + 1e-9);
+    }
+}
