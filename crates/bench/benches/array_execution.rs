@@ -1,76 +1,51 @@
-//! Criterion benchmarks for lock-step and skew-aware execution of the
+//! Microbenchmarks for lock-step and skew-aware execution of the
 //! systolic algorithms.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use bench::timing::{bench, group};
 use systolic::prelude::*;
 
-fn bench_fir(c: &mut Criterion) {
+fn main() {
     let weights: Vec<i64> = (1..=16).collect();
     let xs: Vec<i64> = (0..512).map(|i| (i * 7 % 23) - 11).collect();
-    c.bench_function("fir_systolic_16taps_512samples", |b| {
-        b.iter(|| SystolicFir::convolve(&weights, &xs));
+    bench("fir_systolic_16taps_512samples", || {
+        SystolicFir::convolve(&weights, &xs)
     });
-    c.bench_function("fir_reference_16taps_512samples", |b| {
-        b.iter(|| SystolicFir::reference(&weights, &xs));
+    bench("fir_reference_16taps_512samples", || {
+        SystolicFir::reference(&weights, &xs)
     });
-}
 
-fn bench_matmul(c: &mut Criterion) {
-    let mut group = c.benchmark_group("matmul_systolic");
+    group("matmul_systolic");
     for n in [8usize, 16, 32] {
         let a: Vec<Vec<i64>> = (0..n)
             .map(|i| (0..n).map(|j| ((i * j) % 7) as i64 - 3).collect())
             .collect();
         let bm = a.clone();
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
-            b.iter(|| SystolicMatMul::multiply(&a, &bm));
+        bench(&format!("matmul_systolic/{n}"), || {
+            SystolicMatMul::multiply(&a, &bm)
         });
     }
-    group.finish();
-}
 
-fn bench_skewed_executor(c: &mut Criterion) {
-    let weights: Vec<i64> = (1..=8).collect();
-    let xs: Vec<i64> = (0..256).map(|i| i % 17).collect();
-    let fir = SystolicFir::new(&weights, &xs);
+    let w8: Vec<i64> = (1..=8).collect();
+    let xs256: Vec<i64> = (0..256).map(|i| i % 17).collect();
+    let fir = SystolicFir::new(&w8, &xs256);
     let comm = fir.comm().clone();
     let timing = CellTiming::new(1.0, 2.0, 0.3, 0.2);
     let schedule = ClockSchedule::uniform(comm.node_count(), 3.0);
-    c.bench_function("skewed_executor_fir_8taps_256samples", |b| {
-        b.iter(|| {
-            let mut f = SystolicFir::new(&weights, &xs);
-            let mut exec = SkewedExecutor::new(&comm, &schedule, timing);
-            let cycles = f.cycles_needed();
-            exec.run(&mut f, cycles);
-            f.outputs().len()
-        });
+    bench("skewed_executor_fir_8taps_256samples", || {
+        let mut f = SystolicFir::new(&w8, &xs256);
+        let mut exec = SkewedExecutor::new(&comm, &schedule, timing);
+        let cycles = f.cycles_needed();
+        exec.run(&mut f, cycles);
+        f.outputs().len()
     });
-}
 
-fn bench_sort(c: &mut Criterion) {
     let values: Vec<i64> = (0..128).rev().collect();
-    c.bench_function("odd_even_sort_128", |b| {
-        b.iter(|| OddEvenSorter::sort(&values));
-    });
-}
+    bench("odd_even_sort_128", || OddEvenSorter::sort(&values));
 
-fn bench_hex_matmul(c: &mut Criterion) {
     let n = 8;
     let a: Vec<Vec<i64>> = (0..n)
         .map(|i| (0..n).map(|j| ((i * j + 3) % 9) as i64 - 4).collect())
         .collect();
     let bm = a.clone();
-    c.bench_function("hex_matmul_8x8", |b| {
-        b.iter(|| HexMatMul::multiply(&a, &bm));
-    });
+    bench("hex_matmul_8x8", || HexMatMul::multiply(&a, &bm));
 }
-
-criterion_group!(
-    benches,
-    bench_fir,
-    bench_matmul,
-    bench_skewed_executor,
-    bench_sort,
-    bench_hex_matmul
-);
-criterion_main!(benches);

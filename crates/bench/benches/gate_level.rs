@@ -1,66 +1,45 @@
-//! Criterion benchmarks for the gate-level machinery: the clocked
-//! shift chain, the stoppable clock, Elmore analysis, and the general
+//! Microbenchmarks for the gate-level machinery: the clocked shift
+//! chain, the stoppable clock, Elmore analysis, and the general
 //! self-timed dataflow executor.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use bench::timing::{bench, group};
 use desim::prelude::*;
 
-fn bench_clocked_chain(c: &mut Criterion) {
+fn main() {
     let spec = ClockedChainSpec::default_chain();
     let period = analytic_min_period(spec) + SimTime::from_ps(100);
-    c.bench_function("clocked_chain_8_regs_16_cycles", |b| {
-        b.iter(|| run_chain(spec, period, 16));
+    bench("clocked_chain_8_regs_16_cycles", || {
+        run_chain(spec, period, 16)
     });
-}
 
-fn bench_stoppable_clock(c: &mut Criterion) {
-    c.bench_function("stoppable_clock_100k_ps", |b| {
-        b.iter(|| {
-            let mut sim = Simulator::new();
-            let clock = add_stoppable_clock(
-                &mut sim,
-                2,
-                SimTime::from_ps(50),
-                SimTime::from_ps(80),
-            );
-            sim.schedule_input(clock.enable, SimTime::from_ps(100), true);
-            sim.run_until(SimTime::from_ps(100_000));
-            sim.transitions(clock.clk).len()
-        });
+    bench("stoppable_clock_100k_ps", || {
+        let mut sim = Simulator::new();
+        let clock = add_stoppable_clock(&mut sim, 2, SimTime::from_ps(50), SimTime::from_ps(80));
+        sim.schedule_input(clock.enable, SimTime::from_ps(100), true);
+        sim.run_until(SimTime::from_ps(100_000));
+        sim.transitions(clock.clk).len()
     });
-}
 
-fn bench_elmore(c: &mut Criterion) {
-    use array_layout::prelude::*;
-    use clock_tree::prelude::*;
-    let mut group = c.benchmark_group("elmore_htree");
-    for n in [16usize, 32, 64] {
-        let comm = CommGraph::mesh(n, n);
-        let layout = Layout::grid(&comm);
-        let tree = htree(&comm, &layout);
-        let params = RcParams::new(1.0, 1.0, 0.5);
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
-            b.iter(|| ElmoreDelays::compute(&tree, params).max_delay());
-        });
+    {
+        use array_layout::prelude::*;
+        use clock_tree::prelude::*;
+        group("elmore_htree");
+        for n in [16usize, 32, 64] {
+            let comm = CommGraph::mesh(n, n);
+            let layout = Layout::grid(&comm);
+            let tree = htree(&comm, &layout);
+            let params = RcParams::new(1.0, 1.0, 0.5);
+            bench(&format!("elmore_htree/{n}"), || {
+                ElmoreDelays::compute(&tree, params).max_delay()
+            });
+        }
     }
-    group.finish();
-}
 
-fn bench_dataflow(c: &mut Criterion) {
-    use array_layout::prelude::*;
-    use selftimed::prelude::*;
-    let comm = CommGraph::mesh(16, 16);
-    let arr = SelfTimedArray::new(&comm, 1.0, 2.0, 0.9, 0.1);
-    c.bench_function("selftimed_dataflow_mesh16_300_waves", |b| {
-        b.iter(|| arr.simulate(300, 7));
-    });
+    {
+        use array_layout::prelude::*;
+        use selftimed::prelude::*;
+        let comm = CommGraph::mesh(16, 16);
+        let arr = SelfTimedArray::new(&comm, 1.0, 2.0, 0.9, 0.1);
+        bench("selftimed_dataflow_mesh16_300_waves", || arr.simulate(300, 7));
+    }
 }
-
-criterion_group!(
-    benches,
-    bench_clocked_chain,
-    bench_stoppable_clock,
-    bench_elmore,
-    bench_dataflow
-);
-criterion_main!(benches);

@@ -1,65 +1,42 @@
-//! Criterion benchmarks for the hybrid-scheme wave simulation and the
+//! Microbenchmarks for the hybrid-scheme wave simulation and the
 //! self-timed throughput model (experiments E5 and E7).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use bench::timing::{bench, group};
 use selftimed::prelude::*;
 use systolic::prelude::*;
 
-fn bench_hybrid_waves(c: &mut Criterion) {
+fn main() {
     let link = HandshakeLink::new(1.0, 0.5, Protocol::TwoPhase);
     let params = HybridParams::new(4, 2.0, 1.0, 0.1, link);
-    let mut group = c.benchmark_group("hybrid_simulate_100_waves");
+    group("hybrid_simulate_100_waves");
     for n in [16usize, 64, 256] {
         let h = HybridArray::over_mesh(n, params);
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
-            b.iter(|| h.simulate_period(100, 0.3, 1));
+        bench(&format!("hybrid_simulate_100_waves/{n}"), || {
+            h.simulate_period(100, 0.3, 1)
         });
     }
-    group.finish();
-}
 
-fn bench_selftimed_waves(c: &mut Criterion) {
-    let mut group = c.benchmark_group("selftimed_600_waves");
+    group("selftimed_600_waves");
     for k in [16usize, 256] {
         let m = PipelineModel::new(k, 1.0, 2.0, 0.9);
-        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, _| {
-            b.iter(|| m.simulate(600, 7));
-        });
+        bench(&format!("selftimed_600_waves/{k}"), || m.simulate(600, 7));
     }
-    group.finish();
-}
 
-fn bench_handshake_chain(c: &mut Criterion) {
-    let link = HandshakeLink::new(1.0, 0.5, Protocol::TwoPhase);
     let chain = HandshakeChain::new(256, link, 1.0);
-    c.bench_function("handshake_chain_256_stages_50_tokens", |b| {
-        b.iter(|| chain.run(50));
-    });
-}
+    bench("handshake_chain_256_stages_50_tokens", || chain.run(50));
 
-fn bench_muller_pipeline(c: &mut Criterion) {
-    use desim::prelude::*;
-    c.bench_function("muller_pipeline_32_stages_gate_level", |b| {
-        b.iter(|| {
+    {
+        use desim::prelude::*;
+        bench("muller_pipeline_32_stages_gate_level", || {
             MullerPipeline::new(32, SimTime::from_ps(100), SimTime::from_ps(50))
                 .run(SimTime::from_ps(100_000))
         });
-    });
-}
+    }
 
-fn bench_jitter_train(c: &mut Criterion) {
-    use clock_tree::prelude::*;
-    c.bench_function("a8_jitter_train_1024_stages_64_events", |b| {
-        b.iter(|| propagate_event_train(1024, 64, 10.0, 1.0, 0.1, 2.0, 1));
-    });
+    {
+        use clock_tree::prelude::*;
+        bench("a8_jitter_train_1024_stages_64_events", || {
+            propagate_event_train(1024, 64, 10.0, 1.0, 0.1, 2.0, 1)
+        });
+    }
 }
-
-criterion_group!(
-    benches,
-    bench_hybrid_waves,
-    bench_selftimed_waves,
-    bench_handshake_chain,
-    bench_muller_pipeline,
-    bench_jitter_train
-);
-criterion_main!(benches);

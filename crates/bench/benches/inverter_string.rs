@@ -1,8 +1,8 @@
-//! Criterion benchmarks for the discrete-event simulator driving
+//! Microbenchmarks for the discrete-event simulator driving
 //! experiment E6: settling an inverter string and streaming a
 //! pipelined clock through it.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use bench::timing::{bench, group};
 use desim::prelude::*;
 
 fn spec(stages: usize) -> InverterStringSpec {
@@ -15,30 +15,24 @@ fn spec(stages: usize) -> InverterStringSpec {
     }
 }
 
-fn bench_equipotential(c: &mut Criterion) {
-    let mut group = c.benchmark_group("equipotential_settle");
+fn main() {
+    group("equipotential_settle");
     for stages in [256usize, 1024] {
         let chip = InverterString::fabricate(spec(stages));
-        group.bench_with_input(BenchmarkId::from_parameter(stages), &stages, |b, _| {
-            b.iter(|| chip.equipotential_cycle());
+        bench(&format!("equipotential_settle/{stages}"), || {
+            chip.equipotential_cycle()
         });
     }
-    group.finish();
-}
 
-fn bench_pipelined_survival(c: &mut Criterion) {
-    let mut group = c.benchmark_group("pipelined_clock_6_cycles");
+    group("pipelined_clock_6_cycles");
     for stages in [256usize, 1024] {
         let chip = InverterString::fabricate(spec(stages));
         let period = chip.min_pipelined_period(6);
-        group.bench_with_input(BenchmarkId::from_parameter(stages), &stages, |b, _| {
-            b.iter(|| chip.pipelined_clock_survives(period, 6));
+        bench(&format!("pipelined_clock_6_cycles/{stages}"), || {
+            chip.pipelined_clock_survives(period, 6)
         });
     }
-    group.finish();
-}
 
-fn bench_one_shot_survival(c: &mut Criterion) {
     let chip = OneShotString::fabricate(OneShotStringSpec {
         stages: 512,
         base_delay: SimTime::from_ps(1_000),
@@ -47,15 +41,7 @@ fn bench_one_shot_survival(c: &mut Criterion) {
         seed: 1,
     });
     let period = chip.min_period(6);
-    c.bench_function("one_shot_clock_512_stages_6_cycles", |b| {
-        b.iter(|| chip.clock_survives(period, 6));
+    bench("one_shot_clock_512_stages_6_cycles", || {
+        chip.clock_survives(period, 6)
     });
 }
-
-criterion_group!(
-    benches,
-    bench_equipotential,
-    bench_pipelined_survival,
-    bench_one_shot_survival
-);
-criterion_main!(benches);

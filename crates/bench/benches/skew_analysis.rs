@@ -1,56 +1,41 @@
-//! Criterion benchmarks for the skew-analysis machinery that
-//! experiments E1–E4 exercise: analytic worst-case skew over all
-//! communicating pairs, and Monte-Carlo fabrication sampling.
+//! Microbenchmarks for the skew-analysis machinery that experiments
+//! E1–E4 exercise: analytic worst-case skew over all communicating
+//! pairs, and Monte-Carlo fabrication sampling.
 
 use array_layout::prelude::*;
+use bench::timing::{bench, group};
 use clock_tree::prelude::*;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
+use sim_runtime::SimRng;
 
-fn bench_worst_case_skew(c: &mut Criterion) {
-    let mut group = c.benchmark_group("worst_case_skew_mesh");
+fn main() {
+    group("worst_case_skew_mesh");
     for n in [8usize, 16, 32] {
         let comm = CommGraph::mesh(n, n);
         let layout = Layout::grid(&comm);
         let tree = htree(&comm, &layout);
         let model = WireDelayModel::new(1.0, 0.1);
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
-            b.iter(|| max_worst_case_skew(&tree, &comm, model));
+        bench(&format!("worst_case_skew_mesh/{n}"), || {
+            max_worst_case_skew(&tree, &comm, model)
         });
     }
-    group.finish();
-}
 
-fn bench_monte_carlo(c: &mut Criterion) {
-    let mut group = c.benchmark_group("monte_carlo_skew_100_samples");
+    group("monte_carlo_skew_100_samples");
     for n in [8usize, 16] {
         let comm = CommGraph::mesh(n, n);
         let layout = Layout::grid(&comm);
         let tree = htree(&comm, &layout);
         let model = WireDelayModel::new(1.0, 0.1);
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
-            let mut rng = ChaCha8Rng::seed_from_u64(1);
-            b.iter(|| monte_carlo_skew(&tree, &comm, model, 100, &mut rng));
+        let mut rng = SimRng::seed_from_u64(1);
+        bench(&format!("monte_carlo_skew_100_samples/{n}"), || {
+            monte_carlo_skew(&tree, &comm, model, 100, &mut rng)
         });
     }
-    group.finish();
-}
 
-fn bench_summation_model(c: &mut Criterion) {
     let comm = CommGraph::linear(1024);
     let layout = Layout::linear_row(&comm);
     let tree = spine(&comm, &layout);
     let model = SummationModel::from_delay_model(WireDelayModel::new(1.0, 0.1));
-    c.bench_function("summation_max_skew_linear_1024", |b| {
-        b.iter(|| model.max_skew(&tree, &comm));
+    bench("summation_max_skew_linear_1024", || {
+        model.max_skew(&tree, &comm)
     });
 }
-
-criterion_group!(
-    benches,
-    bench_worst_case_skew,
-    bench_monte_carlo,
-    bench_summation_model
-);
-criterion_main!(benches);

@@ -1,57 +1,30 @@
-//! Criterion benchmarks for clock-tree construction: H-tree recursive
+//! Microbenchmarks for clock-tree construction: H-tree recursive
 //! bisection, Lemma-1 equalization, spines, and the Lemma 5 separator.
 
 use array_layout::prelude::*;
+use bench::timing::{bench, group};
 use clock_tree::prelude::*;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
-fn bench_htree_construction(c: &mut Criterion) {
-    let mut group = c.benchmark_group("htree_build_mesh");
+fn main() {
+    group("htree_build_mesh");
     for n in [8usize, 16, 32, 64] {
         let comm = CommGraph::mesh(n, n);
         let layout = Layout::grid(&comm);
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
-            b.iter(|| htree(&comm, &layout));
-        });
+        bench(&format!("htree_build_mesh/{n}"), || htree(&comm, &layout));
     }
-    group.finish();
-}
 
-fn bench_equalize(c: &mut Criterion) {
     let comm = CommGraph::mesh(32, 32);
     let layout = Layout::grid(&comm);
     let tree = htree(&comm, &layout);
-    c.bench_function("equalize_htree_32x32", |b| {
-        b.iter(|| tree.equalized());
-    });
-}
+    bench("equalize_htree_32x32", || tree.equalized());
 
-fn bench_spine(c: &mut Criterion) {
-    let comm = CommGraph::linear(4096);
-    let layout = Layout::linear_row(&comm);
-    c.bench_function("spine_build_linear_4096", |b| {
-        b.iter(|| spine(&comm, &layout));
-    });
-}
+    let line = CommGraph::linear(4096);
+    let line_layout = Layout::linear_row(&line);
+    bench("spine_build_linear_4096", || spine(&line, &line_layout));
 
-fn bench_separator(c: &mut Criterion) {
-    let comm = CommGraph::mesh(32, 32);
-    let layout = Layout::grid(&comm);
-    let tree = htree(&comm, &layout);
     let marked: Vec<NodeId> = comm
         .cells()
         .map(|cell| tree.node_of_cell(cell).expect("attached"))
         .collect();
-    c.bench_function("lemma5_separator_mesh_32x32", |b| {
-        b.iter(|| tree.separator_edge(&marked));
-    });
+    bench("lemma5_separator_mesh_32x32", || tree.separator_edge(&marked));
 }
-
-criterion_group!(
-    benches,
-    bench_htree_construction,
-    bench_equalize,
-    bench_spine,
-    bench_separator
-);
-criterion_main!(benches);

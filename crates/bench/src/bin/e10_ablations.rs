@@ -13,102 +13,10 @@
 //! 5. **A8 jitter**: without delay invariance, pipelined clock event
 //!    spacing degrades ~√depth, capping the usable tree depth — the
 //!    case for the hybrid scheme.
-
-use array_layout::prelude::*;
-use bench::{banner, f, Table};
-use clock_tree::prelude::*;
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
-use selftimed::prelude::*;
+//!
+//! The experiment body lives in `bench::experiments::E10`; this
+//! binary is the shared CLI wrapper (`--trials/--seed/--threads/--fast`).
 
 fn main() {
-    banner("E10", "design ablations", "A7/A8, Sections V-VII");
-
-    // ------------------------------------------------ 1. buffer spacing
-    println!("\n[1] buffer spacing on a 32x32 mesh H-tree (A7):");
-    let comm = CommGraph::mesh(32, 32);
-    let layout = Layout::grid(&comm);
-    let tree = htree(&comm, &layout);
-    let mut t1 = Table::new(&["spacing", "buffers", "tau (pipelined)"]);
-    for spacing in [0.5, 1.0, 2.0, 4.0, 8.0] {
-        let dist = Distribution::Pipelined {
-            buffer_delay: 1.0,
-            spacing,
-            unit_wire_delay: 1.0,
-        };
-        t1.row(&[
-            &f(spacing),
-            &tree.buffer_count(spacing).to_string(),
-            &f(dist.tau(&tree)),
-        ]);
-    }
-    t1.print();
-    println!("=> sparser buffers: fewer gates, longer unbuffered runs, larger tau.");
-
-    // ------------------------------------------------ 2. hybrid element size
-    println!("\n[2] hybrid element size on a 64x64 mesh (Section VI):");
-    let link = HandshakeLink::new(1.0, 0.5, Protocol::TwoPhase);
-    let mut t2 = Table::new(&["element", "elements", "local skew", "cycle time"]);
-    for e in [1usize, 2, 4, 8, 16, 32, 64] {
-        let params = HybridParams::new(e, 2.0, 1.0, 0.1, link);
-        let h = HybridArray::over_mesh(64, params);
-        t2.row(&[
-            &format!("{e}x{e}"),
-            &h.element_count().to_string(),
-            &f(h.local_skew()),
-            &f(h.cycle_time()),
-        ]);
-    }
-    t2.print();
-    println!("=> small elements are handshake-bound; large ones re-grow the local clock:");
-    println!("   the bounded-size element of Fig. 8 sits at the sweet spot.");
-
-    // ------------------------------------------------ 3. analytic vs sampled
-    println!("\n[3] worst-case interval vs Monte-Carlo skew (16x16 H-tree, 2000 samples):");
-    let comm16 = CommGraph::mesh(16, 16);
-    let layout16 = Layout::grid(&comm16);
-    let tree16 = htree(&comm16, &layout16);
-    let mut t3 = Table::new(&["epsilon", "analytic worst", "sampled max", "ratio"]);
-    for eps in [0.05, 0.1, 0.2, 0.4] {
-        let model = WireDelayModel::new(1.0, eps);
-        let analytic = max_worst_case_skew(&tree16, &comm16, model);
-        let mut rng = ChaCha8Rng::seed_from_u64(5);
-        let sampled = monte_carlo_skew(&tree16, &comm16, model, 2000, &mut rng).max_skew;
-        t3.row(&[
-            &f(eps),
-            &f(analytic),
-            &f(sampled),
-            &format!("{:.2}", analytic / sampled),
-        ]);
-    }
-    t3.print();
-    println!("=> the analytic bound is safe but 1.3-2x conservative: independent per-edge");
-    println!("   draws rarely align at the extremes simultaneously.");
-
-    // ------------------------------------------------ 4. spine vs htree on 1-D
-    println!("\n[4] spine vs H-tree on a 256-cell linear array, both skew models:");
-    let line = CommGraph::linear(256);
-    let line_layout = Layout::linear_row(&line);
-    let spine_t = spine(&line, &line_layout);
-    let htree_t = htree(&line, &line_layout);
-    let dm = DifferenceModel::linear(1.0);
-    let sm = SummationModel::from_delay_model(WireDelayModel::new(1.0, 0.1));
-    let mut t4 = Table::new(&["tree", "difference-model skew", "summation-model skew"]);
-    t4.row(&["spine", &f(dm.max_skew(&spine_t, &line)), &f(sm.max_skew(&spine_t, &line))]);
-    t4.row(&["htree", &f(dm.max_skew(&htree_t, &line)), &f(sm.max_skew(&htree_t, &line))]);
-    t4.print();
-    println!("=> under the tunable difference model the H-tree wins (d = 0); under the");
-    println!("   robust summation model it loses badly — the Fig. 3(a)/Fig. 4(b) story.");
-
-    // ------------------------------------------------ 5. A8 jitter
-    println!("\n[5] pipelined event-train integrity without A8 (period 10, margin 1):");
-    let mut t5 = Table::new(&["jitter std", "max reliable depth (<=4096 stages)"]);
-    for jitter in [0.0, 0.05, 0.1, 0.2, 0.4] {
-        let depth = max_reliable_depth(4096, 32, 10.0, 1.0, jitter, 1.0, 9);
-        t5.row(&[&f(jitter), &depth.to_string()]);
-    }
-    t5.print();
-    println!("=> with A8 (zero jitter) any depth works; without it the usable depth");
-    println!("   collapses — \"in the absence of the invariance condition A8 … pipelined");
-    println!("   clocking fails\" and the hybrid scheme of Section VI takes over.");
+    sim_runtime::run_cli(&bench::experiments::E10);
 }

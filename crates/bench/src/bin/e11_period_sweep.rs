@@ -14,82 +14,10 @@
 //! The failure rate collapses to zero exactly at the analytic
 //! threshold, and padding δ_min converts racing fabrications into
 //! clean ones: both of the paper's remedies, quantified.
-
-use array_layout::prelude::*;
-use bench::{banner, f, Table};
-use clock_tree::prelude::*;
-use systolic::prelude::*;
-use vlsi_sync::prelude::*;
+//!
+//! The experiment body lives in `bench::experiments::E11`; this
+//! binary is the shared CLI wrapper (`--trials/--seed/--threads/--fast`).
 
 fn main() {
-    banner(
-        "E11",
-        "functional failure rate vs clock period",
-        "Section I remedies: lower the rate / add delay",
-    );
-    let weights = [3, -1, 4, 1, -5, 9, 2, -6];
-    let xs: Vec<i64> = (0..30).map(|i| (i * i) % 19 - 9).collect();
-    let expected = SystolicFir::reference(&weights, &xs);
-
-    let comm = SystolicFir::new(&weights, &xs).comm().clone();
-    let layout = Layout::linear_row(&comm);
-    // The Fig. 3(a) H-tree on a line: the *wrong* tree under the
-    // summation model, so fabrications actually produce visible skew.
-    let tree = htree(&comm, &layout);
-    let delays = WireDelayModel::new(0.25, 0.12);
-    let timing = CellTiming::new(1.0, 2.0, 0.3, 0.2);
-    let fabrications = 60;
-
-    // The analytic worst-case threshold over all fabrications.
-    let worst_sigma = max_worst_case_skew(&tree, &comm, delays);
-    let threshold = worst_sigma + timing.delta_max + timing.setup;
-    println!("worst-case skew {} -> analytic safe period {}", f(worst_sigma), f(threshold));
-    println!();
-
-    let mut table = Table::new(&["period / threshold", "wrong-output rate", "hold races"]);
-    for frac in [0.55, 0.7, 0.85, 1.0, 1.15] {
-        let period = threshold * frac;
-        let mut wrong = 0usize;
-        let mut races = 0usize;
-        for seed in 0..fabrications {
-            let schedule = sampled_schedule(&tree, &comm, delays, period, seed);
-            let statuses = classify_edges(&comm, &schedule, timing);
-            if statuses.contains(&TransferStatus::HoldViolation) {
-                races += 1;
-            }
-            let mut fir = SystolicFir::new(&weights, &xs);
-            let mut exec = SkewedExecutor::new(&comm, &schedule, timing);
-            let cycles = fir.cycles_needed();
-            exec.run(&mut fir, cycles);
-            if fir.outputs() != expected {
-                wrong += 1;
-            }
-        }
-        table.row(&[
-            &format!("{frac:.2}"),
-            &format!("{:.0}%", 100.0 * wrong as f64 / fabrications as f64),
-            &races.to_string(),
-        ]);
-        if frac >= 1.0 {
-            assert_eq!(wrong, 0, "at/above the threshold every fabrication is clean");
-        }
-    }
-    table.print();
-
-    // The other remedy: a fabrication with a manufactured hold race,
-    // fixed by delay padding rather than by any period.
-    println!();
-    let raced = ClockSchedule::new(
-        (0..comm.node_count()).map(|i| i as f64 * 1.5).collect(),
-        1_000.0,
-    );
-    let before = classify_edges(&comm, &raced, timing);
-    let padded_timing = CellTiming::new(12.0, 13.0, 0.3, 0.2);
-    let after = classify_edges(&comm, &raced, padded_timing);
-    let races_before = before.iter().filter(|&&s| s == TransferStatus::HoldViolation).count();
-    let races_after = after.iter().filter(|&&s| s == TransferStatus::HoldViolation).count();
-    println!("hold races on a badly skewed schedule: {races_before} before padding, {races_after} after raising delta_min");
-    assert!(races_before > 0);
-    assert_eq!(races_after, 0);
-    println!("\ncheck: failure rate collapses at sigma+delta+setup; padding kills races  [OK]");
+    sim_runtime::run_cli(&bench::experiments::E11);
 }

@@ -11,71 +11,10 @@
 //! on trees where the difference metric dominates (unequal root
 //! distances) and trees where the summation metric dominates
 //! (equalized paths).
-
-use array_layout::prelude::*;
-use bench::{banner, f, Table};
-use clock_tree::prelude::*;
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
+//!
+//! The experiment body lives in `bench::experiments::E1`; this
+//! binary is the shared CLI wrapper (`--trials/--seed/--threads/--fast`).
 
 fn main() {
-    banner(
-        "E1",
-        "difference vs summation skew models",
-        "Section III, Figs. 1-2",
-    );
-    let model = WireDelayModel::new(1.0, 0.1);
-    let mut rng = ChaCha8Rng::seed_from_u64(1);
-
-    let mut table = Table::new(&[
-        "tree", "pair", "d", "s", "beta*s (lower)", "observed max", "m*d+eps*s (worst)",
-        "(m+eps)*s (cap)",
-    ]);
-
-    // Case A: spine on a linear array — neighbouring pairs, d = s = 1.
-    let comm = CommGraph::linear(32);
-    let layout = Layout::linear_row(&comm);
-    let spine_tree = spine(&comm, &layout);
-    // Case B: H-tree on the same array — the middle pair meets at the
-    // root, s large, d ~ 0.
-    let htree_tree = htree(&comm, &layout);
-
-    let cases: [(&str, &ClockTree, CellId, CellId); 3] = [
-        ("spine", &spine_tree, CellId::new(15), CellId::new(16)),
-        ("htree", &htree_tree, CellId::new(15), CellId::new(16)),
-        ("htree", &htree_tree, CellId::new(0), CellId::new(1)),
-    ];
-
-    for (name, tree, a, b) in cases {
-        let d = tree.difference_distance(a, b);
-        let s = tree.summation_distance(a, b);
-        let worst = worst_case_skew(tree, model, a, b);
-        let lower = achievable_skew_lower_bound(tree, model, a, b);
-        let cap = model.max_rate() * s;
-        let mut observed: f64 = 0.0;
-        for _ in 0..20_000 {
-            let rates = model.sample_rates(tree, &mut rng);
-            let arr = ArrivalTimes::from_rates(tree, &rates);
-            observed = observed.max(arr.skew(tree, a, b));
-        }
-        assert!(observed <= worst + 1e-9, "observed exceeded analytic worst case");
-        assert!(worst <= cap + 1e-9, "worst case exceeded (m+eps)*s cap");
-        table.row(&[
-            name,
-            &format!("({},{})", a.index(), b.index()),
-            &f(d),
-            &f(s),
-            &f(lower),
-            &f(observed),
-            &f(worst),
-            &f(cap),
-        ]);
-    }
-    table.print();
-    println!();
-    println!("check: observed <= m*d + eps*s <= (m+eps)*s on every pair  [OK]");
-    println!(
-        "note: the spine keeps s at the cell pitch; the H-tree's middle pair pays s = {}",
-        f(htree_tree.summation_distance(CellId::new(15), CellId::new(16)))
-    );
+    sim_runtime::run_cli(&bench::experiments::E1);
 }

@@ -9,67 +9,10 @@
 //! * the clock period `σ + δ + τ` is **constant** (Theorem 2);
 //! * the clock tree's wire area stays within a constant factor of the
 //!   layout area (Lemma 1).
-
-use array_layout::prelude::*;
-use bench::{banner, f, growth_label, Table};
-use clock_tree::prelude::*;
-use vlsi_sync::prelude::*;
+//!
+//! The experiment body lives in `bench::experiments::E2`; this
+//! binary is the shared CLI wrapper (`--trials/--seed/--threads/--fast`).
 
 fn main() {
-    banner(
-        "E2",
-        "H-tree clocking under the difference model",
-        "Fig. 3, Lemma 1, Theorem 2",
-    );
-    let m = 1.0;
-    let delta = 2.0;
-    let dist = Distribution::Pipelined {
-        buffer_delay: 1.0,
-        spacing: 2.0,
-        unit_wire_delay: m,
-    };
-    let dm = DifferenceModel::linear(m);
-
-    for family in ["linear", "square", "hex"] {
-        let mut table = Table::new(&["n(cells)", "max d", "sigma=f(d)", "tau", "period", "tree wire / layout area"]);
-        let mut xs = Vec::new();
-        let mut ys = Vec::new();
-        for k in [4usize, 8, 16, 32] {
-            let comm = match family {
-                "linear" => CommGraph::linear(k * k),
-                "square" => CommGraph::mesh(k, k),
-                _ => CommGraph::hex(k, k),
-            };
-            let layout = match family {
-                "linear" => Layout::comb(&comm, k), // bounded aspect ratio
-                _ => Layout::grid(&comm),
-            };
-            let tree = htree(&comm, &layout).equalized();
-            let max_d = comm
-                .communicating_pairs()
-                .into_iter()
-                .map(|(a, b)| tree.difference_distance(a, b))
-                .fold(0.0, f64::max);
-            let sigma = dm.max_skew(&tree, &comm);
-            let tau = dist.tau(&tree);
-            let period = clock_period(sigma, delta, tau);
-            let ratio = tree.total_wire_length() / layout.area();
-            table.row(&[
-                &format!("{}", comm.node_count()),
-                &f(max_d),
-                &f(sigma),
-                &f(tau),
-                &f(period),
-                &f(ratio),
-            ]);
-            xs.push(comm.node_count() as f64);
-            ys.push(period);
-        }
-        println!("\n[{family} array, Lemma-1-tuned H-tree]");
-        table.print();
-        let class = classify_growth(&xs, &ys);
-        println!("period growth: {}  (paper: O(1), Theorem 2)", growth_label(class));
-        assert_eq!(class, GrowthClass::Constant, "{family}: Theorem 2 violated");
-    }
-    println!("\ncheck: constant period for all three families  [OK]");
+    sim_runtime::run_cli(&bench::experiments::E2);
 }

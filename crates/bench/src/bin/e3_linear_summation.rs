@@ -7,62 +7,10 @@
 //! while the H-tree of Fig. 3(a), fine under the difference model,
 //! has skew that **grows** under the summation model (the middle
 //! cells' tree path passes through the root).
-
-use array_layout::prelude::*;
-use bench::{banner, f, growth_label, Table};
-use clock_tree::prelude::*;
-use vlsi_sync::prelude::*;
+//!
+//! The experiment body lives in `bench::experiments::E3`; this
+//! binary is the shared CLI wrapper (`--trials/--seed/--threads/--fast`).
 
 fn main() {
-    banner(
-        "E3",
-        "spine clocking of one-dimensional arrays",
-        "Figs. 4-6, Theorem 3",
-    );
-    let model = SummationModel::from_delay_model(WireDelayModel::new(1.0, 0.1));
-    let sizes = [16usize, 64, 256, 1024];
-
-    let mut table = Table::new(&[
-        "n", "spine/straight", "spine/folded", "spine/comb", "htree/straight (Fig 3a)",
-    ]);
-    let mut htree_curve = Vec::new();
-    let mut spine_curve = Vec::new();
-    for &n in &sizes {
-        let comm = CommGraph::linear(n);
-        let straight = Layout::linear_row(&comm);
-        let folded = Layout::folded_linear(&comm);
-        let comb_layout = Layout::comb(&comm, (n as f64).sqrt() as usize);
-        let s_straight = model.max_skew(&spine(&comm, &straight), &comm);
-        let s_folded = model.max_skew(&spine(&comm, &folded), &comm);
-        let s_comb = model.max_skew(&spine(&comm, &comb_layout), &comm);
-        let s_htree = model.max_skew(&htree(&comm, &straight), &comm);
-        table.row(&[
-            &n.to_string(),
-            &f(s_straight),
-            &f(s_folded),
-            &f(s_comb),
-            &f(s_htree),
-        ]);
-        spine_curve.push(s_straight);
-        htree_curve.push(s_htree);
-    }
-    table.print();
-
-    let xs: Vec<f64> = sizes.iter().map(|&n| n as f64).collect();
-    let spine_class = classify_growth(&xs, &spine_curve);
-    let htree_class = classify_growth(&xs, &htree_curve);
-    println!();
-    println!(
-        "spine skew growth: {}   (paper: O(1), Theorem 3)",
-        growth_label(spine_class)
-    );
-    println!(
-        "htree skew growth: {}   (paper: grows with n, Section V intro)",
-        growth_label(htree_class)
-    );
-    assert_eq!(spine_class, GrowthClass::Constant, "Theorem 3 violated");
-    assert_ne!(htree_class, GrowthClass::Constant, "H-tree should not be constant");
-    println!("\ncheck: spine constant, H-tree growing  [OK]");
-    println!("=> one-dimensional arrays are clockable at a size-independent period");
-    println!("   with modular, expandable cell design (Section V-A).");
+    sim_runtime::run_cli(&bench::experiments::E3);
 }

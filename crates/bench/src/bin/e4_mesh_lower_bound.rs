@@ -8,131 +8,10 @@
 //! stays above the circle-argument lower bound, and — per Theorem 6's
 //! generalization — collapses to a constant on a low-bisection-width
 //! COMM graph (a binary tree with clock along the data paths).
-
-use array_layout::prelude::*;
-use bench::{banner, f, growth_label, Table};
-use clock_tree::prelude::*;
-use vlsi_sync::prelude::*;
+//!
+//! The experiment body lives in `bench::experiments::E4`; this
+//! binary is the shared CLI wrapper (`--trials/--seed/--threads/--fast`).
 
 fn main() {
-    banner(
-        "E4",
-        "no constant-skew clocking of n x n arrays (summation model)",
-        "Section V-B, Lemmas 4-5, Theorem 6",
-    );
-    let model = SummationModel::from_delay_model(WireDelayModel::new(1.0, 0.1));
-    let sides = [4usize, 8, 16, 32];
-
-    let mut table = Table::new(&[
-        "n", "htree", "htree tuned", "serpentine", "comb tree", "best", "lower bound",
-    ]);
-    let mut best_curve = Vec::new();
-    for &n in &sides {
-        let comm = CommGraph::mesh(n, n);
-        let layout = Layout::grid(&comm);
-        let strategies: [(&str, ClockTree); 4] = [
-            ("htree", htree(&comm, &layout)),
-            ("tuned", htree(&comm, &layout).equalized()),
-            ("serp", serpentine(&comm, &layout)),
-            ("comb", comb_tree(&comm, &layout)),
-        ];
-        let skews: Vec<f64> = strategies
-            .iter()
-            .map(|(_, t)| model.max_guaranteed_skew(t, &comm))
-            .collect();
-        let best = skews.iter().copied().fold(f64::INFINITY, f64::min);
-        let bound = mesh_skew_lower_bound(n, model.beta());
-        assert!(
-            best >= bound,
-            "n={n}: some strategy beat the theoretical lower bound"
-        );
-        table.row(&[
-            &n.to_string(),
-            &f(skews[0]),
-            &f(skews[1]),
-            &f(skews[2]),
-            &f(skews[3]),
-            &f(best),
-            &f(bound),
-        ]);
-        best_curve.push(best);
-    }
-    table.print();
-
-    let xs: Vec<f64> = sides.iter().map(|&n| n as f64).collect();
-    let class = classify_growth(&xs, &best_curve);
-    println!();
-    println!(
-        "best-strategy guaranteed skew growth: {}  (paper: Omega(n))",
-        growth_label(class)
-    );
-    assert!(
-        class == GrowthClass::Linear || class == GrowthClass::Superlinear,
-        "Section V-B violated: {class:?}"
-    );
-
-    // Circle-argument certificate on the largest mesh.
-    let n = *sides.last().expect("non-empty");
-    let comm = CommGraph::mesh(n, n);
-    let layout = Layout::grid(&comm);
-    let tree = htree(&comm, &layout);
-    let cert = circle_certificate(&comm, &layout, &tree, &model);
-    println!();
-    println!(
-        "circle certificate (n={n}): sigma={}, radius={}, cells inside={} ({} branch)",
-        f(cert.sigma),
-        f(cert.radius),
-        cert.cells_inside,
-        if cert.area_branch { "area" } else { "cut" },
-    );
-
-    // Theorem 6 upward: a torus has bisection width 2n (every cut
-    // crosses the wrap), so its lower bound doubles the mesh's — and
-    // measured skew obeys it.
-    println!();
-    let mut torus_table = Table::new(&["n", "W (torus)", "Thm6 bound", "measured htree skew"]);
-    for n in [4usize, 8, 16] {
-        let comm = CommGraph::torus(n, n);
-        let layout = Layout::grid(&comm);
-        let tree = htree(&comm, &layout);
-        let measured = model.max_guaranteed_skew(&tree, &comm);
-        let w = known_bisection_width(&comm).expect("known");
-        let bound = theorem6_lower_bound(w, model.beta());
-        assert!(measured >= bound, "torus n={n}");
-        torus_table.row(&[
-            &n.to_string(),
-            &w.to_string(),
-            &f(bound),
-            &f(measured),
-        ]);
-    }
-    torus_table.print();
-
-    // Theorem 6 downward: a binary-tree COMM graph has bisection
-    // width 1, and clock-along-data-paths achieves constant skew on
-    // communicating pairs.
-    println!();
-    let mut t2 = Table::new(&["tree levels", "N", "bisection W", "Thm6 bound", "measured skew (mirror clock)"]);
-    for levels in [4usize, 6, 8, 10] {
-        let comm = CommGraph::complete_binary_tree(levels);
-        let layout = Layout::htree_tree(&comm);
-        let clk = mirror_tree(&comm, &layout);
-        let measured = model.max_guaranteed_skew(&clk, &comm);
-        let w = known_bisection_width(&comm).expect("known");
-        let bound = theorem6_lower_bound(w, model.beta());
-        t2.row(&[
-            &levels.to_string(),
-            &comm.node_count().to_string(),
-            &w.to_string(),
-            &f(bound),
-            &f(measured),
-        ]);
-    }
-    t2.print();
-    println!(
-        "note: tree COMM skew grows only with the longest tree edge (O(sqrt N) in the\n\
-         layout) on the *data* path, which Section VIII absorbs with pipeline registers;\n\
-         the Theorem 6 lower bound (W = 1) does not force growth, unlike the mesh."
-    );
-    println!("\ncheck: every strategy Omega(n) on meshes, bound respected  [OK]");
+    sim_runtime::run_cli(&bench::experiments::E4);
 }

@@ -12,103 +12,10 @@
 //!
 //! and verifies the stoppable-clock property: zero metastability
 //! failures versus a conventional synchronizer's nonzero rate.
-
-use bench::{banner, f, growth_label, Table};
-use selftimed::prelude::*;
-use vlsi_sync::prelude::*;
+//!
+//! The experiment body lives in `bench::experiments::E5`; this
+//! binary is the shared CLI wrapper (`--trials/--seed/--threads/--fast`).
 
 fn main() {
-    banner("E5", "hybrid synchronization", "Section VI, Fig. 8");
-    let params = AnalysisParams::default();
-    let link = HandshakeLink::new(1.0, 0.5, Protocol::TwoPhase);
-    let hybrid_params = HybridParams::new(4, params.delta, 1.0, 0.1, link);
-    let schemes = [
-        SyncScheme::GlobalEquipotential { alpha: 1.0 },
-        SyncScheme::PipelinedSummation {
-            buffer_delay: 1.0,
-            spacing: 2.0,
-        },
-        SyncScheme::Hybrid(hybrid_params),
-        SyncScheme::FullySelfTimed { link },
-    ];
-    let sides = [8usize, 16, 32, 64, 128];
-
-    let mut table = Table::new(&["n", "equipotential", "pipelined(summ.)", "hybrid", "self-timed"]);
-    let mut curves: Vec<Vec<f64>> = vec![Vec::new(); schemes.len()];
-    for &n in &sides {
-        let comm = array_layout::prelude::CommGraph::mesh(n, n);
-        let layout = array_layout::prelude::Layout::grid(&comm);
-        let periods: Vec<f64> = schemes
-            .iter()
-            .map(|s| analyze(&comm, &layout, s, &params).period)
-            .collect();
-        for (curve, &p) in curves.iter_mut().zip(&periods) {
-            curve.push(p);
-        }
-        table.row(&[
-            &n.to_string(),
-            &f(periods[0]),
-            &f(periods[1]),
-            &f(periods[2]),
-            &f(periods[3]),
-        ]);
-    }
-    table.print();
-
-    let xs: Vec<f64> = sides.iter().map(|&n| n as f64).collect();
-    let names = ["equipotential", "pipelined(summation)", "hybrid", "self-timed"];
-    let expected = [
-        GrowthClass::Linear,
-        GrowthClass::Linear,
-        GrowthClass::Constant,
-        GrowthClass::Constant,
-    ];
-    println!();
-    for ((name, curve), want) in names.iter().zip(&curves).zip(&expected) {
-        let class = classify_growth(&xs, curve);
-        println!("{name:>22}: {}", growth_label(class));
-        assert_eq!(class, *want, "{name} growth unexpected");
-    }
-
-    // Wave-accurate hybrid simulation with jitter: the period stays
-    // bounded as the array grows.
-    println!();
-    let mut sim_table = Table::new(&["n", "analytic cycle", "simulated (jitter 0.3)"]);
-    for &n in &[16usize, 64, 256] {
-        let h = HybridArray::over_mesh(n, hybrid_params);
-        sim_table.row(&[
-            &n.to_string(),
-            &f(h.cycle_time()),
-            &f(h.simulate_period(200, 0.3, 42)),
-        ]);
-    }
-    sim_table.print();
-
-    // Gate-level proof of the Fig. 8 discipline: two elements with
-    // stoppable ring-oscillator clocks, synchronized by two gates.
-    use desim::time::SimTime;
-    let pair = ElementPair::new(2, SimTime::from_ps(50), SimTime::from_ps(80));
-    let local_period = pair.local_period();
-    let run = pair.run(SimTime::from_ps(300_000));
-    println!();
-    println!("gate-level element pair (ring period {local_period}):");
-    println!(
-        "  ticks A/B: {}/{} (lock step), handshake cycle {} ps, timing violations: {}",
-        run.ticks_a, run.ticks_b, run.period_ps, run.violations
-    );
-    assert_eq!(run.violations, 0);
-    assert!(run.ticks_a.abs_diff(run.ticks_b) <= 1);
-
-    // Metastability: stoppable clock vs naive synchronizer.
-    let meta = MetastabilityModel::new(0.05, 0.5);
-    let events = 1_000_000;
-    let naive = meta.count_naive_failures(events, 10.0, 7);
-    let stoppable = meta.count_stoppable_clock_failures(events);
-    println!();
-    println!("metastable captures over {events} async events:");
-    println!("  naive free-running synchronizer : {naive}");
-    println!("  hybrid stoppable clock          : {stoppable}");
-    assert!(naive > 0);
-    assert_eq!(stoppable, 0);
-    println!("\ncheck: hybrid constant cycle, zero metastability  [OK]");
+    sim_runtime::run_cli(&bench::experiments::E5);
 }

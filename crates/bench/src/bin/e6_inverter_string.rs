@@ -11,131 +11,10 @@
 //! * with zero design bias, the accumulated rise/fall discrepancy
 //!   across fabricated chips scales like √n (the paper's yield
 //!   analysis), not like n.
-
-use bench::{banner, f, Table};
-use desim::prelude::*;
+//!
+//! The experiment body lives in `bench::experiments::E6`; this
+//! binary is the shared CLI wrapper (`--trials/--seed/--threads/--fast`).
 
 fn main() {
-    banner("E6", "pipelined clocking of a 2048-inverter string", "Section VII");
-
-    // --- the paper's chip -------------------------------------------------
-    let chip = InverterString::fabricate(InverterStringSpec::paper_chip(1));
-    let result = chip.run(6);
-    println!("simulated paper chip (2048 stages, falling-edge design bias):");
-    println!(
-        "  equipotential cycle : {}   (paper: ~34 us)",
-        result.equipotential_cycle
-    );
-    println!(
-        "  pipelined cycle     : {}   (paper: ~500 ns)",
-        result.pipelined_cycle
-    );
-    println!(
-        "  speedup             : {:.1}x (paper: 68x)",
-        result.speedup()
-    );
-    assert!(result.speedup() > 40.0 && result.speedup() < 100.0);
-
-    // --- speedup vs length -------------------------------------------------
-    println!();
-    let mut table = Table::new(&["stages", "equipotential", "pipelined", "speedup"]);
-    let mut speedups = Vec::new();
-    for stages in [256usize, 512, 1024, 2048] {
-        let spec = InverterStringSpec {
-            stages,
-            ..InverterStringSpec::paper_chip(1)
-        };
-        let r = InverterString::fabricate(spec).run(6);
-        table.row(&[
-            &stages.to_string(),
-            &r.equipotential_cycle.to_string(),
-            &r.pipelined_cycle.to_string(),
-            &format!("{:.1}x", r.speedup()),
-        ]);
-        speedups.push(r.speedup());
-    }
-    table.print();
-    let (lo, hi) = speedups
-        .iter()
-        .fold((f64::INFINITY, 0.0f64), |(lo, hi), &s| (lo.min(s), hi.max(s)));
-    println!("speedup spread across lengths: {:.1}x .. {:.1}x (paper: constant 68x)", lo, hi);
-    assert!(hi / lo < 1.6, "speedup should be roughly length-independent");
-
-    // --- sqrt(n) yield analysis for unbiased designs -----------------------
-    println!();
-    println!("unbiased design: accumulated rise/fall discrepancy across 40 fabricated");
-    println!("chips per length (std dev, ps) — the paper predicts sqrt(n) growth:");
-    let mut yield_table = Table::new(&["stages", "std of accumulated discrepancy", "ratio vs half"]);
-    let mut prev_std: Option<f64> = None;
-    for stages in [256usize, 512, 1024, 2048] {
-        let samples: Vec<f64> = (0..40)
-            .map(|seed| {
-                let spec = InverterStringSpec {
-                    stages,
-                    bias_ps: 0,
-                    discrepancy_std_ps: 40.0,
-                    base_delay: SimTime::from_ps(8_000),
-                    seed,
-                };
-                InverterString::fabricate(spec).pulse_width_change_ps() as f64
-            })
-            .collect();
-        let (_, std) = mean_std(&samples);
-        let ratio = prev_std.map_or_else(|| "-".to_owned(), |p| format!("{:.2}", std / p));
-        yield_table.row(&[&stages.to_string(), &f(std), &ratio]);
-        prev_std = Some(std);
-    }
-    yield_table.print();
-    println!("expected ratio per doubling: sqrt(2) = 1.41 (vs 2.0 for linear growth)");
-
-    // --- yield vs length at a fixed period ----------------------------------
-    println!();
-    println!("yield analysis (\"if a fixed yield … is desired, chips with a discrepancy");
-    println!("sum proportional to sqrt(n) must be accepted\"): fraction of 24 unbiased");
-    println!("chips whose pipelined clock works at a fixed 4 ns period:");
-    let mut yield_curve = Table::new(&["stages", "yield at 4ns"]);
-    for stages in [16usize, 64, 256, 1024] {
-        let y = fabrication_yield(
-            InverterStringSpec {
-                stages,
-                base_delay: SimTime::from_ps(1_000),
-                bias_ps: 0,
-                discrepancy_std_ps: 120.0,
-                seed: 0,
-            },
-            24,
-            SimTime::from_ps(4_000),
-            3,
-        );
-        yield_curve.row(&[&stages.to_string(), &format!("{:.0}%", 100.0 * y)]);
-    }
-    yield_curve.print();
-
-    // --- the paper's proposed fix: one-shot pulse buffers ------------------
-    println!();
-    println!("the paper's fix — one-shot pulse generators (\"respond only to rising");
-    println!("edges … generate [their] own falling edges\"):");
-    let mut fix_table = Table::new(&[
-        "stages", "biased inverter min period", "one-shot min period (width 400ps)",
-    ]);
-    for stages in [256usize, 1024, 2048] {
-        let inv = InverterString::fabricate(InverterStringSpec {
-            stages,
-            ..InverterStringSpec::paper_chip(1)
-        })
-        .min_pipelined_period(4);
-        let os = OneShotString::fabricate(OneShotStringSpec {
-            stages,
-            base_delay: SimTime::from_ps(8_000),
-            delay_std_ps: 200.0,
-            pulse_width: SimTime::from_ps(400),
-            seed: 1,
-        })
-        .min_period(4);
-        fix_table.row(&[&stages.to_string(), &inv.to_string(), &os.to_string()]);
-    }
-    fix_table.print();
-    println!("=> pulse regeneration stops the accumulation: the one-shot string's rate");
-    println!("   is set by the wired-in pulse width alone, at any length.");
-    println!("\ncheck: ~68x speedup, constant across lengths, sqrt(n) discrepancy  [OK]");
+    sim_runtime::run_cli(&bench::experiments::E6);
 }

@@ -13,75 +13,10 @@
 //! over a worst-case-clocked array decays as the array grows, and a
 //! realistic per-transfer handshake cost erases what remains — the
 //! paper's conclusion that clocking is preferable for regular arrays.
-
-use bench::{banner, f, Table};
-use systolic::prelude::*;
+//!
+//! The experiment body lives in `bench::experiments::E7`; this
+//! binary is the shared CLI wrapper (`--trials/--seed/--threads/--fast`).
 
 fn main() {
-    banner(
-        "E7",
-        "self-timed speed advantage vanishes in large arrays",
-        "Section I, argument 2",
-    );
-    let (fast, slow, p) = (1.0, 2.0, 0.9);
-    println!("cell model: fast={fast}, slow(worst)={slow}, P(not worst)={p}\n");
-
-    let mut table = Table::new(&[
-        "k (cells)",
-        "1 - p^k",
-        "self-timed period",
-        "advantage vs clocked",
-        "advantage w/ handshake 0.5",
-    ]);
-    let mut prev_adv = f64::INFINITY;
-    for k in [1usize, 4, 16, 64, 256] {
-        let model = PipelineModel::new(k, fast, slow, p);
-        let sample = model.simulate(600, 7);
-        let with_overhead = PipelineModel::new(k, fast, slow, p)
-            .with_handshake_overhead(0.5)
-            .simulate(600, 7);
-        table.row(&[
-            &k.to_string(),
-            &f(model.worst_case_path_probability()),
-            &f(sample.self_timed_period),
-            &format!("{:.2}x", sample.advantage()),
-            &format!("{:.2}x", with_overhead.advantage()),
-        ]);
-        assert!(
-            sample.advantage() <= prev_adv + 0.05,
-            "advantage should not grow with k"
-        );
-        prev_adv = sample.advantage();
-    }
-    table.print();
-
-    // Topology comparison: coupling degree accelerates the decay.
-    println!();
-    println!("same cell budget (64 cells), different topologies (self-timed period,");
-    println!("handshake-free; clocked worst case = 2.0):");
-    let mut topo = Table::new(&["topology", "period", "advantage"]);
-    use array_layout::prelude::CommGraph;
-    use selftimed::prelude::SelfTimedArray;
-    for (name, comm) in [
-        ("linear 64", CommGraph::linear(64)),
-        ("mesh 8x8", CommGraph::mesh(8, 8)),
-        ("hex 8x8", CommGraph::hex(8, 8)),
-        ("tree (63)", CommGraph::complete_binary_tree(6)),
-    ] {
-        let arr = SelfTimedArray::new(&comm, fast, slow, p, 0.0);
-        let s = arr.simulate(600, 7);
-        topo.row(&[
-            name,
-            &f(s.period),
-            &format!("{:.2}x", arr.clocked_period() / s.period),
-        ]);
-    }
-    topo.print();
-
-    println!();
-    println!("1 - p^k -> 1: nearly every wave of a large array contains a worst-case cell.");
-    println!("With handshake overhead the self-timed design is no faster than clocking --");
-    println!("the paper's conclusion: \"clocking is generally preferable to self-timing");
-    println!("in the synchronization of highly regular arrays.\"");
-    println!("\ncheck: advantage decays with k and dies under handshake cost  [OK]");
+    sim_runtime::run_cli(&bench::experiments::E7);
 }

@@ -12,84 +12,10 @@
 //! clock-skew = data-delay alignment under the mirror clock, register
 //! counts for bounded-wire pipelining, and functional correctness of
 //! the pipelined Bentley–Kung search machine at one query per cycle.
-
-use array_layout::prelude::*;
-use bench::{banner, f, Table};
-use clock_tree::prelude::*;
-use vlsi_sync::prelude::*;
-use systolic::prelude::*;
+//!
+//! The experiment body lives in `bench::experiments::E8`; this
+//! binary is the shared CLI wrapper (`--trials/--seed/--threads/--fast`).
 
 fn main() {
-    banner("E8", "tree machines, clock along data paths", "Section VIII");
-    let model = SummationModel::from_delay_model(WireDelayModel::new(1.0, 0.1));
-
-    let mut table = Table::new(&[
-        "levels", "N", "area/N", "longest edge", "sqrt(N)", "max comm skew",
-        "pipeline regs (spacing 2)", "latency (cycles)",
-    ]);
-    let mut areas = Vec::new();
-    let mut edges = Vec::new();
-    let mut ns = Vec::new();
-    for levels in [3usize, 5, 7, 9] {
-        let comm = CommGraph::complete_binary_tree(levels);
-        let layout = Layout::htree_tree(&comm);
-        let clk = mirror_tree(&comm, &layout);
-        let n = comm.node_count() as f64;
-        let area_ratio = layout.area() / n;
-        let longest = layout.max_wire_length();
-        let skew = model.max_skew(&clk, &comm);
-        // Pipeline registers: one per `spacing` length units on every
-        // edge — the paper's "registers … in effect just make wires
-        // thicker" (constant area factor).
-        let regs = clk.buffer_count(2.0);
-        let machine = TreeSearchMachine::new(
-            &(0..(1_i64 << (levels - 1))).collect::<Vec<_>>(),
-            &[],
-        );
-        table.row(&[
-            &levels.to_string(),
-            &format!("{}", comm.node_count()),
-            &f(area_ratio),
-            &f(longest),
-            &f(n.sqrt()),
-            &f(skew),
-            &regs.to_string(),
-            &machine.latency().to_string(),
-        ]);
-        areas.push(area_ratio);
-        edges.push(longest);
-        ns.push(n);
-    }
-    table.print();
-
-    // Area stays O(N): the per-node ratio is bounded.
-    let area_class = classify_growth(&ns, &areas);
-    println!();
-    println!(
-        "area per node growth: {}  (paper: O(N) total area)",
-        bench::growth_label(area_class)
-    );
-    assert_eq!(area_class, GrowthClass::Constant);
-    // Longest edge grows ~ sqrt(N).
-    let edge_class = classify_growth(&ns, &edges);
-    println!(
-        "longest edge growth : {}  (paper: Theta(sqrt N) near the root)",
-        bench::growth_label(edge_class)
-    );
-    assert_eq!(edge_class, GrowthClass::Sqrt);
-
-    // Functional check: the pipelined machine answers one query per
-    // cycle after fill — the constant pipeline interval.
-    let keys: Vec<i64> = (0..64).map(|i| 2 * i).collect();
-    let queries: Vec<i64> = (0..100).collect();
-    let answers = TreeSearchMachine::search(&keys, &queries);
-    let hits = answers.iter().filter(|&&a| a).count();
-    println!();
-    println!(
-        "search machine: {} queries pipelined, {} hits (expected 50), 1 query/cycle",
-        queries.len(),
-        hits
-    );
-    assert_eq!(hits, 50);
-    println!("\ncheck: O(N) area, sqrt(N) edges, constant pipeline interval  [OK]");
+    sim_runtime::run_cli(&bench::experiments::E8);
 }

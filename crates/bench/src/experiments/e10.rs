@@ -1,0 +1,169 @@
+//! E10 — ablations over the design choices the reproduction makes,
+//! with the A8-violation study that motivates Section VI.
+//!
+//! 1. **Buffer spacing** (A7): the pipelined distribution step is
+//!    `buffer + spacing·wire`; sparser buffers trade area for period.
+//! 2. **Hybrid element size**: cycle time vs element granularity —
+//!    small elements pay handshake overhead per few cells, huge
+//!    elements re-grow local distribution and skew.
+//! 3. **Worst-case interval vs Monte-Carlo skew**: how conservative is
+//!    the analytic `m·d + ε·s` against sampled fabrications (the
+//!    sampling fans out over [`sim_runtime::ParallelSweep`]).
+//! 4. **Spine vs H-tree on one-dimensional arrays**: difference model
+//!    says H-tree is perfect; summation model reverses the verdict.
+//! 5. **A8 jitter**: without delay invariance, pipelined clock event
+//!    spacing degrades ~√depth, capping the usable tree depth — the
+//!    case for the hybrid scheme.
+
+use crate::{f, Table};
+use array_layout::prelude::*;
+use clock_tree::prelude::*;
+use selftimed::prelude::*;
+use sim_runtime::{rline, ExpConfig, Experiment, Report, SimRng};
+
+/// See the module docs.
+#[derive(Debug)]
+pub struct E10;
+
+impl Experiment for E10 {
+    fn name(&self) -> &'static str {
+        "e10"
+    }
+    fn title(&self) -> &'static str {
+        "design ablations"
+    }
+    fn paper_ref(&self) -> &'static str {
+        "A7/A8, Sections V-VII"
+    }
+
+    fn run(&self, cfg: &ExpConfig, _rng: &mut SimRng) -> Report {
+        let mut r = Report::new();
+
+        // ------------------------------------------------ 1. buffer spacing
+        rline!(r);
+        rline!(r, "[1] buffer spacing on a 32x32 mesh H-tree (A7):");
+        let comm = CommGraph::mesh(32, 32);
+        let layout = Layout::grid(&comm);
+        let tree = htree(&comm, &layout);
+        let mut t1 = Table::new(&["spacing", "buffers", "tau (pipelined)"]);
+        for spacing in [0.5, 1.0, 2.0, 4.0, 8.0] {
+            let dist = Distribution::Pipelined {
+                buffer_delay: 1.0,
+                spacing,
+                unit_wire_delay: 1.0,
+            };
+            t1.row(&[
+                &f(spacing),
+                &tree.buffer_count(spacing).to_string(),
+                &f(dist.tau(&tree)),
+            ]);
+        }
+        r.text(t1.render());
+        rline!(r, "=> sparser buffers: fewer gates, longer unbuffered runs, larger tau.");
+
+        // ------------------------------------------------ 2. hybrid element size
+        rline!(r);
+        rline!(r, "[2] hybrid element size on a 64x64 mesh (Section VI):");
+        let link = HandshakeLink::new(1.0, 0.5, Protocol::TwoPhase);
+        let mut t2 = Table::new(&["element", "elements", "local skew", "cycle time"]);
+        for e in [1usize, 2, 4, 8, 16, 32, 64] {
+            let params = HybridParams::new(e, 2.0, 1.0, 0.1, link);
+            let h = HybridArray::over_mesh(64, params);
+            t2.row(&[
+                &format!("{e}x{e}"),
+                &h.element_count().to_string(),
+                &f(h.local_skew()),
+                &f(h.cycle_time()),
+            ]);
+        }
+        r.text(t2.render());
+        rline!(r, "=> small elements are handshake-bound; large ones re-grow the local clock:");
+        rline!(r, "   the bounded-size element of Fig. 8 sits at the sweet spot.");
+
+        // ------------------------------------------------ 3. analytic vs sampled
+        let samples = cfg.trials_or(2_000);
+        rline!(r);
+        rline!(
+            r,
+            "[3] worst-case interval vs Monte-Carlo skew (16x16 H-tree, {samples} samples):"
+        );
+        let comm16 = CommGraph::mesh(16, 16);
+        let layout16 = Layout::grid(&comm16);
+        let tree16 = htree(&comm16, &layout16);
+        let sweep = cfg.sweep();
+        let mut t3 = Table::new(&["epsilon", "analytic worst", "sampled max", "ratio"]);
+        for (idx, eps) in [0.05, 0.1, 0.2, 0.4].into_iter().enumerate() {
+            let model = WireDelayModel::new(1.0, eps);
+            let analytic = max_worst_case_skew(&tree16, &comm16, model);
+            let sampled = monte_carlo_skew_par(
+                &tree16,
+                &comm16,
+                model,
+                samples,
+                cfg.seed.wrapping_add(idx as u64),
+                &sweep,
+            )
+            .max_skew;
+            t3.row(&[
+                &f(eps),
+                &f(analytic),
+                &f(sampled),
+                &format!("{:.2}", analytic / sampled),
+            ]);
+        }
+        r.text(t3.render());
+        rline!(r, "=> the analytic bound is safe but 1.3-2x conservative: independent per-edge");
+        rline!(r, "   draws rarely align at the extremes simultaneously.");
+
+        // ------------------------------------------------ 4. spine vs htree on 1-D
+        rline!(r);
+        rline!(r, "[4] spine vs H-tree on a 256-cell linear array, both skew models:");
+        let line = CommGraph::linear(256);
+        let line_layout = Layout::linear_row(&line);
+        let spine_t = spine(&line, &line_layout);
+        let htree_t = htree(&line, &line_layout);
+        let dm = DifferenceModel::linear(1.0);
+        let sm = SummationModel::from_delay_model(WireDelayModel::new(1.0, 0.1));
+        let mut t4 = Table::new(&["tree", "difference-model skew", "summation-model skew"]);
+        t4.row(&[
+            "spine",
+            &f(dm.max_skew(&spine_t, &line)),
+            &f(sm.max_skew(&spine_t, &line)),
+        ]);
+        t4.row(&[
+            "htree",
+            &f(dm.max_skew(&htree_t, &line)),
+            &f(sm.max_skew(&htree_t, &line)),
+        ]);
+        r.text(t4.render());
+        rline!(r, "=> under the tunable difference model the H-tree wins (d = 0); under the");
+        rline!(r, "   robust summation model it loses badly — the Fig. 3(a)/Fig. 4(b) story.");
+
+        // ------------------------------------------------ 5. A8 jitter
+        let max_depth = cfg.size(4096, 1024);
+        rline!(r);
+        rline!(
+            r,
+            "[5] pipelined event-train integrity without A8 (period 10, margin 1):"
+        );
+        let depth_hdr = format!("max reliable depth (<={max_depth} stages)");
+        let mut t5 = Table::new(&["jitter std", &depth_hdr]);
+        for jitter in [0.0, 0.05, 0.1, 0.2, 0.4] {
+            let depth = max_reliable_depth(
+                max_depth,
+                32,
+                10.0,
+                1.0,
+                jitter,
+                1.0,
+                cfg.seed.wrapping_add(8),
+            );
+            t5.row(&[&f(jitter), &depth.to_string()]);
+        }
+        r.text(t5.render());
+        rline!(r, "=> with A8 (zero jitter) any depth works; without it the usable depth");
+        rline!(r, "   collapses — \"in the absence of the invariance condition A8 … pipelined");
+        rline!(r, "   clocking fails\" and the hybrid scheme of Section VI takes over.");
+        r
+    }
+}

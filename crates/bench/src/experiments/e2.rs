@@ -1,0 +1,98 @@
+//! E2 — Fig. 3, Lemma 1, Theorem 2: H-tree clocking under the
+//! difference model.
+//!
+//! For linear, square, and hexagonal arrays, builds the H-tree clock
+//! (delay-tuned per Lemma 1), and shows that as the array grows:
+//!
+//! * all cells are equidistant from the root → the difference metric
+//!   `d` is 0 for every communicating pair → max skew `f(d)` is 0;
+//! * the clock period `σ + δ + τ` is **constant** (Theorem 2);
+//! * the clock tree's wire area stays within a constant factor of the
+//!   layout area (Lemma 1).
+
+use crate::{f, growth_label, Table};
+use array_layout::prelude::*;
+use clock_tree::prelude::*;
+use sim_runtime::{rline, ExpConfig, Experiment, Report, SimRng};
+use vlsi_sync::prelude::*;
+
+/// See the module docs.
+#[derive(Debug)]
+pub struct E2;
+
+impl Experiment for E2 {
+    fn name(&self) -> &'static str {
+        "e2"
+    }
+    fn title(&self) -> &'static str {
+        "H-tree clocking under the difference model"
+    }
+    fn paper_ref(&self) -> &'static str {
+        "Fig. 3, Lemma 1, Theorem 2"
+    }
+
+    fn run(&self, cfg: &ExpConfig, _rng: &mut SimRng) -> Report {
+        let mut r = Report::new();
+        let m = 1.0;
+        let delta = 2.0;
+        let dist = Distribution::Pipelined {
+            buffer_delay: 1.0,
+            spacing: 2.0,
+            unit_wire_delay: m,
+        };
+        let dm = DifferenceModel::linear(m);
+        let ks: &[usize] = if cfg.fast { &[4, 8, 16] } else { &[4, 8, 16, 32] };
+
+        for family in ["linear", "square", "hex"] {
+            let mut table = Table::new(&[
+                "n(cells)", "max d", "sigma=f(d)", "tau", "period", "tree wire / layout area",
+            ]);
+            let mut xs = Vec::new();
+            let mut ys = Vec::new();
+            for &k in ks {
+                let comm = match family {
+                    "linear" => CommGraph::linear(k * k),
+                    "square" => CommGraph::mesh(k, k),
+                    _ => CommGraph::hex(k, k),
+                };
+                let layout = match family {
+                    "linear" => Layout::comb(&comm, k), // bounded aspect ratio
+                    _ => Layout::grid(&comm),
+                };
+                let tree = htree(&comm, &layout).equalized();
+                let max_d = comm
+                    .communicating_pairs()
+                    .into_iter()
+                    .map(|(a, b)| tree.difference_distance(a, b))
+                    .fold(0.0, f64::max);
+                let sigma = dm.max_skew(&tree, &comm);
+                let tau = dist.tau(&tree);
+                let period = clock_period(sigma, delta, tau);
+                let ratio = tree.total_wire_length() / layout.area();
+                table.row(&[
+                    &format!("{}", comm.node_count()),
+                    &f(max_d),
+                    &f(sigma),
+                    &f(tau),
+                    &f(period),
+                    &f(ratio),
+                ]);
+                xs.push(comm.node_count() as f64);
+                ys.push(period);
+            }
+            rline!(r);
+            rline!(r, "[{family} array, Lemma-1-tuned H-tree]");
+            r.text(table.render());
+            let class = classify_growth(&xs, &ys);
+            rline!(
+                r,
+                "period growth: {}  (paper: O(1), Theorem 2)",
+                growth_label(class)
+            );
+            assert_eq!(class, GrowthClass::Constant, "{family}: Theorem 2 violated");
+        }
+        rline!(r);
+        rline!(r, "check: constant period for all three families  [OK]");
+        r
+    }
+}

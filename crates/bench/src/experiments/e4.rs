@@ -1,0 +1,153 @@
+//! E4 — Section V-B, Lemmas 4–5, Theorem 6: the two-dimensional lower
+//! bound.
+//!
+//! For `n × n` meshes, tries *every* clock-tree strategy in the
+//! library — H-tree, delay-tuned H-tree, serpentine spine, comb tree —
+//! and shows that the guaranteed skew (`β · s` on the worst
+//! communicating pair, assumption A11) grows `Ω(n)` for all of them,
+//! stays above the circle-argument lower bound, and — per Theorem 6's
+//! generalization — collapses to a constant on a low-bisection-width
+//! COMM graph (a binary tree with clock along the data paths).
+
+use crate::{f, growth_label, Table};
+use array_layout::prelude::*;
+use clock_tree::prelude::*;
+use sim_runtime::{rline, ExpConfig, Experiment, Report, SimRng};
+use vlsi_sync::prelude::*;
+
+/// See the module docs.
+#[derive(Debug)]
+pub struct E4;
+
+impl Experiment for E4 {
+    fn name(&self) -> &'static str {
+        "e4"
+    }
+    fn title(&self) -> &'static str {
+        "no constant-skew clocking of n x n arrays (summation model)"
+    }
+    fn paper_ref(&self) -> &'static str {
+        "Section V-B, Lemmas 4-5, Theorem 6"
+    }
+
+    fn run(&self, cfg: &ExpConfig, _rng: &mut SimRng) -> Report {
+        let mut r = Report::new();
+        let model = SummationModel::from_delay_model(WireDelayModel::new(1.0, 0.1));
+        let sides: &[usize] = if cfg.fast { &[4, 8, 16] } else { &[4, 8, 16, 32] };
+
+        let mut table = Table::new(&[
+            "n", "htree", "htree tuned", "serpentine", "comb tree", "best", "lower bound",
+        ]);
+        let mut best_curve = Vec::new();
+        for &n in sides {
+            let comm = CommGraph::mesh(n, n);
+            let layout = Layout::grid(&comm);
+            let strategies: [(&str, ClockTree); 4] = [
+                ("htree", htree(&comm, &layout)),
+                ("tuned", htree(&comm, &layout).equalized()),
+                ("serp", serpentine(&comm, &layout)),
+                ("comb", comb_tree(&comm, &layout)),
+            ];
+            let skews: Vec<f64> = strategies
+                .iter()
+                .map(|(_, t)| model.max_guaranteed_skew(t, &comm))
+                .collect();
+            let best = skews.iter().copied().fold(f64::INFINITY, f64::min);
+            let bound = mesh_skew_lower_bound(n, model.beta());
+            assert!(
+                best >= bound,
+                "n={n}: some strategy beat the theoretical lower bound"
+            );
+            table.row(&[
+                &n.to_string(),
+                &f(skews[0]),
+                &f(skews[1]),
+                &f(skews[2]),
+                &f(skews[3]),
+                &f(best),
+                &f(bound),
+            ]);
+            best_curve.push(best);
+        }
+        r.text(table.render());
+
+        let xs: Vec<f64> = sides.iter().map(|&n| n as f64).collect();
+        let class = classify_growth(&xs, &best_curve);
+        rline!(r);
+        rline!(
+            r,
+            "best-strategy guaranteed skew growth: {}  (paper: Omega(n))",
+            growth_label(class)
+        );
+        assert!(
+            class == GrowthClass::Linear || class == GrowthClass::Superlinear,
+            "Section V-B violated: {class:?}"
+        );
+
+        // Circle-argument certificate on the largest mesh.
+        let n = *sides.last().expect("non-empty");
+        let comm = CommGraph::mesh(n, n);
+        let layout = Layout::grid(&comm);
+        let tree = htree(&comm, &layout);
+        let cert = circle_certificate(&comm, &layout, &tree, &model);
+        rline!(r);
+        rline!(
+            r,
+            "circle certificate (n={n}): sigma={}, radius={}, cells inside={} ({} branch)",
+            f(cert.sigma),
+            f(cert.radius),
+            cert.cells_inside,
+            if cert.area_branch { "area" } else { "cut" },
+        );
+
+        // Theorem 6 upward: a torus has bisection width 2n (every cut
+        // crosses the wrap), so its lower bound doubles the mesh's — and
+        // measured skew obeys it.
+        rline!(r);
+        let mut torus_table = Table::new(&["n", "W (torus)", "Thm6 bound", "measured htree skew"]);
+        for n in [4usize, 8, 16] {
+            let comm = CommGraph::torus(n, n);
+            let layout = Layout::grid(&comm);
+            let tree = htree(&comm, &layout);
+            let measured = model.max_guaranteed_skew(&tree, &comm);
+            let w = known_bisection_width(&comm).expect("known");
+            let bound = theorem6_lower_bound(w, model.beta());
+            assert!(measured >= bound, "torus n={n}");
+            torus_table.row(&[&n.to_string(), &w.to_string(), &f(bound), &f(measured)]);
+        }
+        r.text(torus_table.render());
+
+        // Theorem 6 downward: a binary-tree COMM graph has bisection
+        // width 1, and clock-along-data-paths achieves constant skew on
+        // communicating pairs.
+        rline!(r);
+        let mut t2 = Table::new(&[
+            "tree levels", "N", "bisection W", "Thm6 bound", "measured skew (mirror clock)",
+        ]);
+        for levels in [4usize, 6, 8, 10] {
+            let comm = CommGraph::complete_binary_tree(levels);
+            let layout = Layout::htree_tree(&comm);
+            let clk = mirror_tree(&comm, &layout);
+            let measured = model.max_guaranteed_skew(&clk, &comm);
+            let w = known_bisection_width(&comm).expect("known");
+            let bound = theorem6_lower_bound(w, model.beta());
+            t2.row(&[
+                &levels.to_string(),
+                &comm.node_count().to_string(),
+                &w.to_string(),
+                &f(bound),
+                &f(measured),
+            ]);
+        }
+        r.text(t2.render());
+        rline!(
+            r,
+            "note: tree COMM skew grows only with the longest tree edge (O(sqrt N) in the\n\
+             layout) on the *data* path, which Section VIII absorbs with pipeline registers;\n\
+             the Theorem 6 lower bound (W = 1) does not force growth, unlike the mesh."
+        );
+        rline!(r);
+        rline!(r, "check: every strategy Omega(n) on meshes, bound respected  [OK]");
+        r
+    }
+}

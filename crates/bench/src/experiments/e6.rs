@@ -1,0 +1,187 @@
+//! E6 — Section VII: the 2048-inverter pipelined-clocking experiment.
+//!
+//! Reproduces the paper's chip trial in simulation:
+//!
+//! * the paper's chip: equipotential cycle ≈ 34 µs, pipelined cycle
+//!   ≈ 500 ns, speedup ≈ 68× — our simulated chip should land in the
+//!   same regime;
+//! * speedup roughly constant across string lengths (the paper:
+//!   "a similar inverter string of any length could be clocked 68
+//!   times faster");
+//! * with zero design bias, the accumulated rise/fall discrepancy
+//!   across fabricated chips scales like √n (the paper's yield
+//!   analysis), not like n. The per-chip fabrications fan out over
+//!   [`sim_runtime::ParallelSweep`].
+
+use crate::{f, Table};
+use desim::prelude::*;
+use sim_runtime::{rline, ExpConfig, Experiment, Report, SimRng};
+
+/// See the module docs.
+#[derive(Debug)]
+pub struct E6;
+
+impl Experiment for E6 {
+    fn name(&self) -> &'static str {
+        "e6"
+    }
+    fn title(&self) -> &'static str {
+        "pipelined clocking of a 2048-inverter string"
+    }
+    fn paper_ref(&self) -> &'static str {
+        "Section VII"
+    }
+
+    fn run(&self, cfg: &ExpConfig, _rng: &mut SimRng) -> Report {
+        let mut r = Report::new();
+        let sweep = cfg.sweep();
+
+        // --- the paper's chip ------------------------------------------------
+        // Fabrication seed 1 is "the" chip of Section VII throughout
+        // the repo's docs; --seed varies the fleet sweeps below.
+        let chip = InverterString::fabricate(InverterStringSpec::paper_chip(1));
+        let result = chip.run(6);
+        rline!(r, "simulated paper chip (2048 stages, falling-edge design bias):");
+        rline!(
+            r,
+            "  equipotential cycle : {}   (paper: ~34 us)",
+            result.equipotential_cycle
+        );
+        rline!(
+            r,
+            "  pipelined cycle     : {}   (paper: ~500 ns)",
+            result.pipelined_cycle
+        );
+        rline!(r, "  speedup             : {:.1}x (paper: 68x)", result.speedup());
+        assert!(result.speedup() > 40.0 && result.speedup() < 100.0);
+
+        // --- speedup vs length -------------------------------------------------
+        rline!(r);
+        let mut table = Table::new(&["stages", "equipotential", "pipelined", "speedup"]);
+        let lengths: &[usize] = if cfg.fast {
+            &[256, 512, 1024]
+        } else {
+            &[256, 512, 1024, 2048]
+        };
+        let mut speedups = Vec::new();
+        for &stages in lengths {
+            let spec = InverterStringSpec {
+                stages,
+                ..InverterStringSpec::paper_chip(1)
+            };
+            let res = InverterString::fabricate(spec).run(6);
+            table.row(&[
+                &stages.to_string(),
+                &res.equipotential_cycle.to_string(),
+                &res.pipelined_cycle.to_string(),
+                &format!("{:.1}x", res.speedup()),
+            ]);
+            speedups.push(res.speedup());
+        }
+        r.text(table.render());
+        let (lo, hi) = speedups
+            .iter()
+            .fold((f64::INFINITY, 0.0f64), |(lo, hi), &s| (lo.min(s), hi.max(s)));
+        rline!(
+            r,
+            "speedup spread across lengths: {lo:.1}x .. {hi:.1}x (paper: constant 68x)"
+        );
+        assert!(hi / lo < 1.6, "speedup should be roughly length-independent");
+
+        // --- sqrt(n) yield analysis for unbiased designs -----------------------
+        let fab_chips = cfg.size(40, 12);
+        rline!(r);
+        rline!(
+            r,
+            "unbiased design: accumulated rise/fall discrepancy across {fab_chips} fabricated"
+        );
+        rline!(r, "chips per length (std dev, ps) — the paper predicts sqrt(n) growth:");
+        let mut yield_table =
+            Table::new(&["stages", "std of accumulated discrepancy", "ratio vs half"]);
+        let mut prev_std: Option<f64> = None;
+        for &stages in lengths {
+            // Chip i is always fabricated from seed i, so the sweep's
+            // worker count never changes the sample.
+            let samples: Vec<f64> = sweep.run(fab_chips, cfg.seed, |i, _rng| {
+                let spec = InverterStringSpec {
+                    stages,
+                    bias_ps: 0,
+                    discrepancy_std_ps: 40.0,
+                    base_delay: SimTime::from_ps(8_000),
+                    seed: i as u64,
+                };
+                InverterString::fabricate(spec).pulse_width_change_ps() as f64
+            });
+            let (_, std) = mean_std(&samples);
+            let ratio = prev_std.map_or_else(|| "-".to_owned(), |p| format!("{:.2}", std / p));
+            yield_table.row(&[&stages.to_string(), &f(std), &ratio]);
+            prev_std = Some(std);
+        }
+        r.text(yield_table.render());
+        rline!(r, "expected ratio per doubling: sqrt(2) = 1.41 (vs 2.0 for linear growth)");
+
+        // --- yield vs length at a fixed period ----------------------------------
+        let yield_chips = cfg.trials_or(24);
+        rline!(r);
+        rline!(r, "yield analysis (\"if a fixed yield … is desired, chips with a discrepancy");
+        rline!(
+            r,
+            "sum proportional to sqrt(n) must be accepted\"): fraction of {yield_chips} unbiased"
+        );
+        rline!(r, "chips whose pipelined clock works at a fixed 4 ns period:");
+        let mut yield_curve = Table::new(&["stages", "yield at 4ns"]);
+        let yield_stages: &[usize] = if cfg.fast {
+            &[16, 64, 256]
+        } else {
+            &[16, 64, 256, 1024]
+        };
+        for &stages in yield_stages {
+            let y = fabrication_yield_par(
+                InverterStringSpec {
+                    stages,
+                    base_delay: SimTime::from_ps(1_000),
+                    bias_ps: 0,
+                    discrepancy_std_ps: 120.0,
+                    seed: 0,
+                },
+                yield_chips,
+                SimTime::from_ps(4_000),
+                3,
+                &sweep,
+            );
+            yield_curve.row(&[&stages.to_string(), &format!("{:.0}%", 100.0 * y)]);
+        }
+        r.text(yield_curve.render());
+
+        // --- the paper's proposed fix: one-shot pulse buffers ------------------
+        rline!(r);
+        rline!(r, "the paper's fix — one-shot pulse generators (\"respond only to rising");
+        rline!(r, "edges … generate [their] own falling edges\"):");
+        let mut fix_table = Table::new(&[
+            "stages", "biased inverter min period", "one-shot min period (width 400ps)",
+        ]);
+        let fix_stages: &[usize] = if cfg.fast { &[256, 1024] } else { &[256, 1024, 2048] };
+        for &stages in fix_stages {
+            let inv = InverterString::fabricate(InverterStringSpec {
+                stages,
+                ..InverterStringSpec::paper_chip(1)
+            })
+            .min_pipelined_period(4);
+            let os = OneShotString::fabricate(OneShotStringSpec {
+                stages,
+                base_delay: SimTime::from_ps(8_000),
+                delay_std_ps: 200.0,
+                pulse_width: SimTime::from_ps(400),
+                seed: 1,
+            })
+            .min_period(4);
+            fix_table.row(&[&stages.to_string(), &inv.to_string(), &os.to_string()]);
+        }
+        r.text(fix_table.render());
+        rline!(r, "=> pulse regeneration stops the accumulation: the one-shot string's rate");
+        rline!(r, "   is set by the wired-in pulse width alone, at any length.");
+        rline!(r);
+        rline!(r, "check: ~68x speedup, constant across lengths, sqrt(n) discrepancy  [OK]");
+        r
+    }
+}

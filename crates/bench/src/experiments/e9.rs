@@ -1,0 +1,115 @@
+//! E9 — Assumptions A5–A7: equipotential distribution time grows with
+//! the layout diameter; pipelined distribution time does not.
+//!
+//! For meshes and linear arrays: `τ_equipotential = α·P` with `P` the
+//! longest root-to-leaf clock path (A6) grows with the array, while
+//! `τ_pipelined` — one buffer plus one wire segment (A7) — is a
+//! constant set by the buffer spacing. This is the gap that makes
+//! pipelined clocking worth its assumptions.
+
+use crate::{f, growth_label, Table};
+use array_layout::prelude::*;
+use clock_tree::prelude::*;
+use sim_runtime::{rline, ExpConfig, Experiment, Report, SimRng};
+use vlsi_sync::prelude::*;
+
+/// See the module docs.
+#[derive(Debug)]
+pub struct E9;
+
+impl Experiment for E9 {
+    fn name(&self) -> &'static str {
+        "e9"
+    }
+    fn title(&self) -> &'static str {
+        "equipotential vs pipelined clock distribution time"
+    }
+    fn paper_ref(&self) -> &'static str {
+        "Assumptions A5-A7"
+    }
+
+    fn run(&self, cfg: &ExpConfig, _rng: &mut SimRng) -> Report {
+        let mut r = Report::new();
+        let alpha = 1.0;
+        let pipelined = Distribution::Pipelined {
+            buffer_delay: 1.0,
+            spacing: 2.0,
+            unit_wire_delay: 1.0,
+        };
+        let ks: &[usize] = if cfg.fast {
+            &[4, 8, 16, 32]
+        } else {
+            &[4, 8, 16, 32, 64]
+        };
+
+        for family in ["mesh", "linear"] {
+            let mut table = Table::new(&[
+                "cells", "P (longest path)", "tau equipotential", "tau pipelined",
+            ]);
+            let mut xs = Vec::new();
+            let (mut equi, mut pipe) = (Vec::new(), Vec::new());
+            for &k in ks {
+                let (comm, layout) = if family == "mesh" {
+                    let c = CommGraph::mesh(k, k);
+                    let l = Layout::grid(&c);
+                    (c, l)
+                } else {
+                    let c = CommGraph::linear(k * k);
+                    let l = Layout::linear_row(&c);
+                    (c, l)
+                };
+                let tree = if family == "mesh" {
+                    htree(&comm, &layout)
+                } else {
+                    spine(&comm, &layout)
+                };
+                let te = Distribution::Equipotential { alpha }.tau(&tree);
+                let tp = pipelined.tau(&tree);
+                table.row(&[
+                    &comm.node_count().to_string(),
+                    &f(tree.max_root_distance()),
+                    &f(te),
+                    &f(tp),
+                ]);
+                xs.push(comm.node_count() as f64);
+                equi.push(te);
+                pipe.push(tp);
+            }
+            rline!(r);
+            rline!(r, "[{family}]");
+            r.text(table.render());
+            let ce = classify_growth(&xs, &equi);
+            let cp = classify_growth(&xs, &pipe);
+            rline!(
+                r,
+                "tau equipotential: {}  |  tau pipelined: {}",
+                growth_label(ce),
+                growth_label(cp)
+            );
+            assert_ne!(ce, GrowthClass::Constant, "{family}: A6 should grow");
+            assert_eq!(cp, GrowthClass::Constant, "{family}: A7 should be constant");
+        }
+        // The physical origin of the pain: RC (Elmore) settle time of an
+        // unbuffered clock line is *quadratic* in its length — strictly
+        // worse than A6's linear speed-of-light abstraction — and
+        // repeaters restore linearity (the paper's "tricks … to reduce
+        // the RC constant of his clock tree").
+        rline!(r);
+        rline!(r, "[RC reality behind A6: Elmore settle time of one clock line]");
+        let rc = RcParams::new(1.0, 1.0, 0.5);
+        let mut rc_table = Table::new(&["length", "unbuffered (RC)", "buffered every 2"]);
+        for len in [8.0, 16.0, 32.0, 64.0, 128.0] {
+            rc_table.row(&[
+                &f(len),
+                &f(unbuffered_line_delay(len, rc)),
+                &f(buffered_line_delay(len, 2.0, 1.0, rc)),
+            ]);
+        }
+        r.text(rc_table.render());
+        rline!(r, "=> unbuffered grows ~L^2, buffered ~L: equipotential clocking of large");
+        rline!(r, "   arrays dies by RC before it dies by the speed of light.");
+        rline!(r);
+        rline!(r, "check: tau grows under A6, constant under A7  [OK]");
+        r
+    }
+}

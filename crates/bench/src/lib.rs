@@ -1,9 +1,16 @@
-//! Shared helpers for the experiment binaries: plain-text table
-//! rendering and growth-rate annotation, so every `eN_*` binary prints
-//! the same style of report that EXPERIMENTS.md records.
+//! Shared helpers for the experiment binaries — plain-text table
+//! rendering and growth-rate annotation — plus the [`experiments`]
+//! module, where every `eN` experiment body lives as a
+//! [`sim_runtime::Experiment`] implementation. The `eN_*` binaries are
+//! one-line wrappers over [`registry`] entries.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
+
+pub mod experiments;
+pub mod timing;
+
+pub use experiments::registry;
 
 use vlsi_sync::theory::GrowthClass;
 
@@ -24,6 +31,12 @@ use vlsi_sync::theory::GrowthClass;
 pub struct Table {
     headers: Vec<String>,
     rows: Vec<Vec<String>>,
+}
+
+/// Display width of a cell: characters, not bytes, so multi-byte
+/// UTF-8 content (`µs`, `σ`, `Ω`) does not misalign columns.
+fn cell_width(s: &str) -> usize {
+    s.chars().count()
 }
 
 impl Table {
@@ -52,14 +65,18 @@ impl Table {
         self
     }
 
-    /// Renders the table with aligned columns.
+    /// Renders the table with aligned columns. A table with no
+    /// columns renders as an empty string.
     #[must_use]
     pub fn render(&self) -> String {
         let cols = self.headers.len();
-        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        if cols == 0 {
+            return String::new();
+        }
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| cell_width(h)).collect();
         for row in &self.rows {
             for (w, cell) in widths.iter_mut().zip(row) {
-                *w = (*w).max(cell.len());
+                *w = (*w).max(cell_width(cell));
             }
         }
         let mut out = String::new();
@@ -71,7 +88,7 @@ impl Table {
                 }
                 let cell = &cells[i];
                 line.push_str(cell);
-                line.push_str(&" ".repeat(widths[i] - cell.len()));
+                line.push_str(&" ".repeat(widths[i] - cell_width(cell)));
             }
             line.trim_end().to_owned()
         };
@@ -146,6 +163,60 @@ mod tests {
     fn table_rejects_ragged_rows() {
         let mut t = Table::new(&["a", "b"]);
         t.row(&["1"]);
+    }
+
+    #[test]
+    fn empty_table_renders_without_panicking() {
+        // Zero columns used to underflow `cols - 1` in the separator.
+        let t = Table::new(&[]);
+        assert_eq!(t.render(), "");
+    }
+
+    #[test]
+    fn headers_only_table_renders_header_and_rule() {
+        let t = Table::new(&["x", "y"]);
+        let r = t.render();
+        let lines: Vec<&str> = r.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(lines[0], "x  y");
+        assert_eq!(lines[1], "----");
+    }
+
+    #[test]
+    fn single_column_table() {
+        let mut t = Table::new(&["value"]);
+        t.row(&["1"]);
+        t.row(&["123456789"]);
+        let r = t.render();
+        let lines: Vec<&str> = r.lines().collect();
+        assert_eq!(lines[1], "-".repeat(9));
+        assert_eq!(lines[3], "123456789");
+    }
+
+    #[test]
+    fn multibyte_cells_align_by_chars_not_bytes() {
+        // "34 µs" is 6 bytes but 5 chars; byte-based widths used to
+        // pad the separator and sibling cells one column too wide.
+        let mut t = Table::new(&["cycle", "unit"]);
+        t.row(&["34 µs", "x"]);
+        t.row(&["500ns", "y"]);
+        let r = t.render();
+        let lines: Vec<&str> = r.lines().collect();
+        // Both data rows align: the second column starts at the same
+        // char offset in each line.
+        let col = |line: &str| line.chars().count() - 1;
+        assert_eq!(col(lines[2]), col(lines[3]), "{r}");
+        // Separator length matches char-width sum: 5 + 4 + 2.
+        assert_eq!(lines[1].chars().count(), 11);
+    }
+
+    #[test]
+    fn multibyte_header_does_not_overpad() {
+        let mut t = Table::new(&["σ_max", "n"]);
+        t.row(&["1.000", "8"]);
+        let r = t.render();
+        let lines: Vec<&str> = r.lines().collect();
+        assert_eq!(lines[0].chars().count(), lines[2].chars().count());
     }
 
     #[test]

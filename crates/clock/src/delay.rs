@@ -18,7 +18,7 @@
 //! Monte-Carlo experiments (E1).
 
 use crate::tree::ClockTree;
-use rand::Rng;
+use sim_runtime::Rng;
 
 /// Per-unit-length wire delay with bounded variation.
 ///
@@ -91,7 +91,7 @@ impl WireDelayModel {
     /// edge. Returns one rate per tree node (the rate of the wire to
     /// its parent; the root's entry is unused and set to `m`).
     #[must_use]
-    pub fn sample_rates<R: Rng + ?Sized>(&self, tree: &ClockTree, rng: &mut R) -> Vec<f64> {
+    pub fn sample_rates<R: Rng>(&self, tree: &ClockTree, rng: &mut R) -> Vec<f64> {
         tree.nodes()
             .map(|n| {
                 if tree.parent(n).is_none() || self.epsilon == 0.0 {
@@ -117,8 +117,7 @@ mod tests {
     use super::*;
     use crate::tree::ClockTreeBuilder;
     use array_layout::geom::Point;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use sim_runtime::SimRng;
 
     fn small_tree() -> ClockTree {
         let mut b = ClockTreeBuilder::new(Point::origin());
@@ -131,7 +130,7 @@ mod tests {
     fn rates_within_band() {
         let tree = small_tree();
         let model = WireDelayModel::new(2.0, 0.5);
-        let mut rng = StdRng::seed_from_u64(7);
+        let mut rng = SimRng::seed_from_u64(7);
         for _ in 0..100 {
             let rates = model.sample_rates(&tree, &mut rng);
             assert_eq!(rates.len(), tree.node_count());
@@ -145,7 +144,7 @@ mod tests {
     fn exact_model_has_no_spread() {
         let tree = small_tree();
         let model = WireDelayModel::exact(1.0);
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = SimRng::seed_from_u64(1);
         let rates = model.sample_rates(&tree, &mut rng);
         assert!(rates.iter().all(|&r| r == 1.0));
     }

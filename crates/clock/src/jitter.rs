@@ -14,9 +14,7 @@
 //!   any fixed timing margin — the failure that motivates Section VI's
 //!   hybrid scheme.
 
-use rand::Rng;
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
+use sim_runtime::{Rng, SimRng};
 
 /// Spacing statistics of a pipelined clock event train at the end of a
 /// buffered path.
@@ -61,7 +59,7 @@ pub fn propagate_event_train(
         (0.0..period).contains(&min_separation),
         "need 0 <= min_separation < period"
     );
-    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut rng = SimRng::seed_from_u64(seed);
     // arrival[j] = time of event j at the current depth.
     let mut arrival: Vec<f64> = (0..events).map(|j| j as f64 * period).collect();
     for _ in 0..stages {
@@ -138,9 +136,9 @@ pub fn max_reliable_depth(
 
 /// One zero-mean Gaussian sample (Box–Muller); kept local so the
 /// clock crate does not depend on the simulator crate.
-fn gaussian<R: Rng + ?Sized>(rng: &mut R, std: f64) -> f64 {
-    let u1: f64 = 1.0 - rng.gen::<f64>();
-    let u2: f64 = rng.gen();
+fn gaussian<R: Rng>(rng: &mut R, std: f64) -> f64 {
+    let u1: f64 = 1.0 - rng.gen_f64();
+    let u2: f64 = rng.gen_f64();
     std * (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
 }
 

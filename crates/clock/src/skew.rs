@@ -19,7 +19,7 @@
 use crate::delay::WireDelayModel;
 use crate::tree::{ClockTree, NodeId};
 use array_layout::graph::{CellId, CommGraph};
-use rand::Rng;
+use sim_runtime::{ParallelSweep, Rng};
 
 /// Clock arrival time at every tree node for one concrete assignment
 /// of per-edge delays.
@@ -300,7 +300,7 @@ pub struct SkewSample {
 ///
 /// Panics if `samples == 0` or some cell of `comm` is not attached.
 #[must_use]
-pub fn monte_carlo_skew<R: Rng + ?Sized>(
+pub fn monte_carlo_skew<R: Rng>(
     tree: &ClockTree,
     comm: &CommGraph,
     model: WireDelayModel,
@@ -315,6 +315,53 @@ pub fn monte_carlo_skew<R: Rng + ?Sized>(
         let arrivals = ArrivalTimes::from_rates(tree, &rates);
         for (slot, &(a, b)) in per_pair_max.iter_mut().zip(&pairs) {
             let s = arrivals.skew(tree, a, b);
+            if s > *slot {
+                *slot = s;
+            }
+        }
+    }
+    let max_skew = per_pair_max.iter().copied().fold(0.0, f64::max);
+    let mean_pair_skew = if pairs.is_empty() {
+        0.0
+    } else {
+        per_pair_max.iter().sum::<f64>() / pairs.len() as f64
+    };
+    SkewSample {
+        max_skew,
+        mean_pair_skew,
+    }
+}
+
+/// Parallel variant of [`monte_carlo_skew`] for the E1 fabrication
+/// sweep: samples fan out across a [`ParallelSweep`], each fabrication
+/// drawing from its own per-trial stream, so the result depends only
+/// on `seed` — never on the worker count.
+///
+/// # Panics
+///
+/// Panics if `samples == 0` or some cell of `comm` is not attached.
+#[must_use]
+pub fn monte_carlo_skew_par(
+    tree: &ClockTree,
+    comm: &CommGraph,
+    model: WireDelayModel,
+    samples: usize,
+    seed: u64,
+    sweep: &ParallelSweep,
+) -> SkewSample {
+    assert!(samples > 0, "at least one sample required");
+    let pairs = comm.communicating_pairs();
+    let per_sample: Vec<Vec<f64>> = sweep.run(samples, seed, |_i, rng| {
+        let rates = model.sample_rates(tree, rng);
+        let arrivals = ArrivalTimes::from_rates(tree, &rates);
+        pairs
+            .iter()
+            .map(|&(a, b)| arrivals.skew(tree, a, b))
+            .collect()
+    });
+    let mut per_pair_max = vec![0.0f64; pairs.len()];
+    for skews in &per_sample {
+        for (slot, &s) in per_pair_max.iter_mut().zip(skews) {
             if s > *slot {
                 *slot = s;
             }
@@ -355,8 +402,7 @@ mod tests {
     use super::*;
     use crate::tree::ClockTreeBuilder;
     use array_layout::geom::{approx_eq, Point};
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use sim_runtime::SimRng;
 
     /// Root with two leaves at distances 3 and 5.
     fn two_leaf_tree() -> ClockTree {
@@ -390,7 +436,7 @@ mod tests {
         let t = two_leaf_tree();
         let comm = pair_comm();
         let m = WireDelayModel::new(1.0, 0.2);
-        let mut rng = StdRng::seed_from_u64(11);
+        let mut rng = SimRng::seed_from_u64(11);
         let sample = monte_carlo_skew(&t, &comm, m, 500, &mut rng);
         let wc = max_worst_case_skew(&t, &comm, m);
         assert!(sample.max_skew <= wc + 1e-9, "{} > {}", sample.max_skew, wc);
@@ -401,10 +447,28 @@ mod tests {
     }
 
     #[test]
+    fn parallel_monte_carlo_is_thread_count_invariant() {
+        let t = two_leaf_tree();
+        let comm = pair_comm();
+        let m = WireDelayModel::new(1.0, 0.2);
+        let base = monte_carlo_skew_par(&t, &comm, m, 300, 11, &ParallelSweep::new(1));
+        for threads in [2, 4] {
+            let par =
+                monte_carlo_skew_par(&t, &comm, m, 300, 11, &ParallelSweep::new(threads));
+            assert_eq!(base.max_skew.to_bits(), par.max_skew.to_bits());
+            assert_eq!(base.mean_pair_skew.to_bits(), par.mean_pair_skew.to_bits());
+        }
+        // And it still respects the analytic envelope.
+        let wc = max_worst_case_skew(&t, &comm, m);
+        assert!(base.max_skew <= wc + 1e-9);
+        assert!(base.max_skew >= 0.6 * wc);
+    }
+
+    #[test]
     fn exact_model_skew_is_pure_difference() {
         let t = two_leaf_tree();
         let m = WireDelayModel::exact(2.0);
-        let rates = m.sample_rates(&t, &mut StdRng::seed_from_u64(0));
+        let rates = m.sample_rates(&t, &mut SimRng::seed_from_u64(0));
         let arr = ArrivalTimes::from_rates(&t, &rates);
         // Arrival difference = m · (5 − 3) = 4 exactly.
         assert!(approx_eq(arr.skew(&t, CellId::new(0), CellId::new(1)), 4.0));
@@ -446,7 +510,7 @@ mod tests {
     fn equalized_tree_has_zero_difference_skew() {
         let t = two_leaf_tree().equalized();
         let m = WireDelayModel::exact(1.0);
-        let rates = m.sample_rates(&t, &mut StdRng::seed_from_u64(0));
+        let rates = m.sample_rates(&t, &mut SimRng::seed_from_u64(0));
         let arr = ArrivalTimes::from_rates(&t, &rates);
         assert!(approx_eq(arr.skew(&t, CellId::new(0), CellId::new(1)), 0.0));
     }

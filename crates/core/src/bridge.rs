@@ -12,8 +12,7 @@ use array_layout::graph::CommGraph;
 use clock_tree::delay::WireDelayModel;
 use clock_tree::skew::ArrivalTimes;
 use clock_tree::tree::ClockTree;
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
+use sim_runtime::SimRng;
 use systolic::timing::{CellTiming, ClockSchedule, HoldRaceError};
 
 /// Builds a [`ClockSchedule`] from one sampled fabrication of the
@@ -31,7 +30,7 @@ pub fn sampled_schedule(
     period: f64,
     seed: u64,
 ) -> ClockSchedule {
-    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut rng = SimRng::seed_from_u64(seed);
     let rates = model.sample_rates(tree, &mut rng);
     let arrivals = ArrivalTimes::from_rates(tree, &rates);
     let offsets = comm
@@ -97,7 +96,7 @@ pub fn hybrid_schedule(
     let (rows, cols) = comm
         .grid_dims()
         .expect("hybrid schedule requires a grid-like topology");
-    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut rng = SimRng::seed_from_u64(seed);
     // Per-element alignment error, fixed per element (the residual
     // phase difference the handshake network leaves).
     let e_rows = rows.div_ceil(element_size);
@@ -105,7 +104,7 @@ pub fn hybrid_schedule(
     let align: Vec<f64> = (0..e_rows * e_cols)
         .map(|_| {
             if sync_margin > 0.0 {
-                rand::Rng::gen_range(&mut rng, 0.0..sync_margin)
+                sim_runtime::Rng::gen_range(&mut rng, 0.0..sync_margin)
             } else {
                 0.0
             }

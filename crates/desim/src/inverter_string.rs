@@ -23,8 +23,7 @@
 use crate::engine::{NetId, Simulator};
 use crate::stats::sample_normal;
 use crate::time::SimTime;
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
+use sim_runtime::{ParallelSweep, SimRng};
 
 /// Parameters of one simulated inverter-string chip.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -93,7 +92,7 @@ impl InverterStringSpec {
     /// string at essentially the same speed").
     #[must_use]
     fn sample_delays(&self) -> Vec<(SimTime, SimTime)> {
-        let mut rng = ChaCha8Rng::seed_from_u64(self.seed);
+        let mut rng = SimRng::seed_from_u64(self.seed);
         let base = self.base_delay.as_ps() as f64;
         let half_bias = self.bias_ps as f64 / 2.0;
         (0..self.stages)
@@ -139,6 +138,35 @@ pub fn fabrication_yield(
                 .pipelined_clock_survives(period, cycles)
         })
         .count();
+    working as f64 / chips as f64
+}
+
+/// Parallel variant of [`fabrication_yield`] for the E6 sweep: chips
+/// fan out across a [`ParallelSweep`]. Chip `i` is always fabricated
+/// from seed `i`, exactly as in the sequential version, so this
+/// returns a value bit-identical to [`fabrication_yield`] for every
+/// worker count.
+///
+/// # Panics
+///
+/// Panics if `chips == 0` or the spec/period are invalid (see
+/// [`InverterString::pipelined_clock_survives`]).
+#[must_use]
+pub fn fabrication_yield_par(
+    spec: InverterStringSpec,
+    chips: usize,
+    period: SimTime,
+    cycles: usize,
+    sweep: &ParallelSweep,
+) -> f64 {
+    assert!(chips > 0, "need at least one chip");
+    let working = sweep.count(chips, spec.seed, |i, _rng| {
+        InverterString::fabricate(InverterStringSpec {
+            seed: i as u64,
+            ..spec
+        })
+        .pipelined_clock_survives(period, cycles)
+    });
     working as f64 / chips as f64
 }
 
@@ -468,6 +496,28 @@ mod tests {
         let y_loose = fabrication_yield(spec, 24, SimTime::from_ps(8_000), 3);
         assert!(y_loose >= y_tight, "{y_loose} vs {y_tight}");
         assert!(y_loose >= 0.9, "a generous period should pass ~all chips");
+    }
+
+    #[test]
+    fn parallel_yield_matches_sequential_exactly() {
+        let spec = InverterStringSpec {
+            stages: 48,
+            base_delay: SimTime::from_ps(1_000),
+            bias_ps: 0,
+            discrepancy_std_ps: 120.0,
+            seed: 0,
+        };
+        let period = SimTime::from_ps(2_800);
+        let sequential = fabrication_yield(spec, 20, period, 3);
+        for threads in [1, 2, 4] {
+            let par =
+                fabrication_yield_par(spec, 20, period, 3, &ParallelSweep::new(threads));
+            assert_eq!(
+                sequential.to_bits(),
+                par.to_bits(),
+                "threads {threads} diverged"
+            );
+        }
     }
 
     #[test]

@@ -49,7 +49,8 @@ pub mod prelude {
     pub use crate::clocked_chain::{analytic_min_period, run_chain, ChainOutcome, ClockedChainSpec};
     pub use crate::engine::{GateFn, NetId, Simulator, StillActiveError, TimingViolation, ViolationKind};
     pub use crate::inverter_string::{
-        fabrication_yield, InverterString, InverterStringResult, InverterStringSpec,
+        fabrication_yield, fabrication_yield_par, InverterString, InverterStringResult,
+        InverterStringSpec,
     };
     pub use crate::muller::{MullerPipeline, MullerRun};
     pub use crate::one_shot_string::{OneShotString, OneShotStringSpec};

@@ -20,8 +20,7 @@
 use crate::engine::{NetId, Simulator};
 use crate::stats::sample_normal;
 use crate::time::SimTime;
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
+use sim_runtime::SimRng;
 
 /// Parameters of a one-shot-buffered clock string.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -61,7 +60,7 @@ impl OneShotString {
             "delays must be positive"
         );
         assert!(spec.delay_std_ps >= 0.0, "variation must be non-negative");
-        let mut rng = ChaCha8Rng::seed_from_u64(spec.seed);
+        let mut rng = SimRng::seed_from_u64(spec.seed);
         let base = spec.base_delay.as_ps() as f64;
         let delays = (0..spec.stages)
             .map(|_| {

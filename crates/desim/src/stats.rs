@@ -7,7 +7,7 @@
 //! carry our own Box–Muller transform rather than pull in another
 //! dependency.
 
-use rand::Rng;
+use sim_runtime::Rng;
 
 /// Draws one sample from a normal distribution with the given mean and
 /// standard deviation, via the Box–Muller transform.
@@ -19,19 +19,19 @@ use rand::Rng;
 /// # Examples
 ///
 /// ```
-/// use rand::SeedableRng;
-/// let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(1);
+/// use sim_runtime::SimRng;
+/// let mut rng = SimRng::seed_from_u64(1);
 /// let x = desim::stats::sample_normal(&mut rng, 0.0, 1.0);
 /// assert!(x.is_finite());
 /// ```
-pub fn sample_normal<R: Rng + ?Sized>(rng: &mut R, mean: f64, std_dev: f64) -> f64 {
+pub fn sample_normal<R: Rng>(rng: &mut R, mean: f64, std_dev: f64) -> f64 {
     assert!(std_dev >= 0.0, "standard deviation must be non-negative");
     if std_dev == 0.0 {
         return mean;
     }
     // Box–Muller: u1 in (0, 1] avoids ln(0).
-    let u1: f64 = 1.0 - rng.gen::<f64>();
-    let u2: f64 = rng.gen();
+    let u1: f64 = 1.0 - rng.gen_f64();
+    let u2: f64 = rng.gen_f64();
     let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
     mean + std_dev * z
 }
@@ -76,12 +76,11 @@ pub fn linear_fit(x: &[f64], y: &[f64]) -> (f64, f64) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
-    use rand_chacha::ChaCha8Rng;
-
+    use sim_runtime::SimRng;
+    
     #[test]
     fn normal_sample_statistics() {
-        let mut rng = ChaCha8Rng::seed_from_u64(42);
+        let mut rng = SimRng::seed_from_u64(42);
         let samples: Vec<f64> = (0..20_000)
             .map(|_| sample_normal(&mut rng, 5.0, 2.0))
             .collect();
@@ -92,7 +91,7 @@ mod tests {
 
     #[test]
     fn zero_std_returns_mean() {
-        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let mut rng = SimRng::seed_from_u64(0);
         assert_eq!(sample_normal(&mut rng, 3.5, 0.0), 3.5);
     }
 

@@ -16,9 +16,7 @@
 //!   arbitrary graph (the true minimum is NP-hard).
 
 use crate::graph::{CellId, CommGraph, Topology};
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
+use sim_runtime::{SimRng, SliceRandom};
 
 /// Closed-form minimum bisection width of the standard topologies,
 /// counting undirected communication links.
@@ -115,7 +113,7 @@ pub fn estimate_bisection(comm: &CommGraph, restarts: usize, seed: u64) -> Bisec
         };
     }
     let pairs = comm.communicating_pairs();
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SimRng::seed_from_u64(seed);
     let mut best: Option<Bisection> = None;
     for _ in 0..restarts.max(1) {
         let candidate = local_search(comm, &pairs, &mut rng);
@@ -146,7 +144,7 @@ fn cut_of(side: &[bool], pairs: &[(CellId, CellId)]) -> usize {
 fn local_search(
     comm: &CommGraph,
     pairs: &[(CellId, CellId)],
-    rng: &mut StdRng,
+    rng: &mut SimRng,
 ) -> Bisection {
     let n = comm.node_count();
     // Random balanced start.

@@ -1,0 +1,409 @@
+//! The experiment harness behind the `e1`–`e11` binaries.
+//!
+//! Each binary used to carry its own copy-pasted `main` scaffolding;
+//! now an experiment is a type implementing [`Experiment`] that builds
+//! a [`Report`], and the binary is one call to [`run_cli`]. The shared
+//! CLI surface is:
+//!
+//! ```text
+//! --trials N    override the experiment's Monte-Carlo trial count
+//! --seed S      root RNG seed (default 1)
+//! --threads T   worker threads for ParallelSweep loops (default:
+//!               SIM_THREADS, else all cores)
+//! --fast        reduced sizes/trials for smoke tests and CI
+//! ```
+//!
+//! Reports are plain strings built deterministically, which is what
+//! lets `tests/determinism.rs` assert that `--threads 1` and
+//! `--threads 8` produce byte-identical output.
+
+use crate::rng::SimRng;
+use crate::sweep::ParallelSweep;
+use std::fmt;
+
+/// Shared run configuration parsed from the experiment CLI.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExpConfig {
+    /// Monte-Carlo trial count override; `None` → the experiment's
+    /// default.
+    pub trials: Option<usize>,
+    /// Root seed for every random stream in the experiment.
+    pub seed: u64,
+    /// Worker-thread count for [`ParallelSweep`] loops (`0` → all
+    /// available cores).
+    pub threads: usize,
+    /// Run at reduced sizes/trials (smoke-test mode).
+    pub fast: bool,
+}
+
+impl Default for ExpConfig {
+    fn default() -> Self {
+        ExpConfig {
+            trials: None,
+            seed: 1,
+            threads: ParallelSweep::from_env().threads(),
+            fast: false,
+        }
+    }
+}
+
+impl ExpConfig {
+    /// The default configuration with `--fast` set — what the e2e
+    /// suite runs every experiment under.
+    #[must_use]
+    pub fn fast() -> Self {
+        ExpConfig {
+            fast: true,
+            ..ExpConfig::default()
+        }
+    }
+
+    /// Parses the shared flags from an argument iterator (binary name
+    /// already stripped).
+    ///
+    /// # Errors
+    ///
+    /// Returns a usage message on an unknown flag or a malformed
+    /// value; returns the help text as the error when `--help` is
+    /// present.
+    pub fn from_args<I: IntoIterator<Item = String>>(args: I) -> Result<Self, String> {
+        let mut cfg = ExpConfig::default();
+        let mut it = args.into_iter();
+        let parse = |name: &str, v: Option<String>| -> Result<u64, String> {
+            v.and_then(|s| s.parse::<u64>().ok())
+                .ok_or_else(|| format!("{name} needs a non-negative integer argument"))
+        };
+        while let Some(arg) = it.next() {
+            match arg.as_str() {
+                "--trials" => cfg.trials = Some(parse("--trials", it.next())? as usize),
+                "--seed" => cfg.seed = parse("--seed", it.next())?,
+                "--threads" => cfg.threads = parse("--threads", it.next())? as usize,
+                "--fast" => cfg.fast = true,
+                "--help" | "-h" => return Err(USAGE.to_owned()),
+                other => return Err(format!("unknown argument `{other}`\n{USAGE}")),
+            }
+        }
+        Ok(cfg)
+    }
+
+    /// The configured trial count, or `default` when `--trials` was
+    /// not given; `--fast` quarters the default (floor 8).
+    #[must_use]
+    pub fn trials_or(&self, default: usize) -> usize {
+        match self.trials {
+            Some(t) => t.max(1),
+            None if self.fast => (default / 4).max(8).min(default),
+            None => default,
+        }
+    }
+
+    /// Picks a problem size: `full` normally, `fast` under `--fast`.
+    #[must_use]
+    pub fn size(&self, full: usize, fast: usize) -> usize {
+        if self.fast {
+            fast
+        } else {
+            full
+        }
+    }
+
+    /// The sweep executor this configuration prescribes.
+    #[must_use]
+    pub fn sweep(&self) -> ParallelSweep {
+        ParallelSweep::new(self.threads)
+    }
+
+    /// The root RNG this configuration prescribes.
+    #[must_use]
+    pub fn rng(&self) -> SimRng {
+        SimRng::seed_from_u64(self.seed)
+    }
+}
+
+const USAGE: &str = "usage: <experiment> [--trials N] [--seed S] [--threads T] [--fast]";
+
+/// A deterministic plain-text experiment report.
+///
+/// Building output into a `Report` (instead of printing as you go) is
+/// what makes experiments byte-comparable across thread counts.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Report {
+    buf: String,
+}
+
+impl Report {
+    /// An empty report.
+    #[must_use]
+    pub fn new() -> Self {
+        Report::default()
+    }
+
+    /// Appends one line (a trailing newline is added).
+    pub fn line(&mut self, s: impl AsRef<str>) {
+        self.buf.push_str(s.as_ref());
+        self.buf.push('\n');
+    }
+
+    /// Appends an empty line.
+    pub fn blank(&mut self) {
+        self.buf.push('\n');
+    }
+
+    /// Appends pre-rendered text verbatim (e.g. a rendered table,
+    /// which already ends in a newline).
+    pub fn text(&mut self, s: impl AsRef<str>) {
+        self.buf.push_str(s.as_ref());
+    }
+
+    /// The report body.
+    #[must_use]
+    pub fn as_str(&self) -> &str {
+        &self.buf
+    }
+}
+
+impl fmt::Display for Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.buf)
+    }
+}
+
+/// Appends one formatted line to a [`Report`] — the drop-in
+/// replacement for `println!` in migrated experiment bodies.
+///
+/// ```
+/// use sim_runtime::{rline, Report};
+///
+/// let mut r = Report::new();
+/// rline!(r, "skew = {:.3}", 1.5);
+/// rline!(r);
+/// assert_eq!(r.as_str(), "skew = 1.500\n\n");
+/// ```
+#[macro_export]
+macro_rules! rline {
+    ($r:expr) => {
+        $r.blank()
+    };
+    ($r:expr, $($t:tt)*) => {
+        $r.line(format!($($t)*))
+    };
+}
+
+/// One reproducible experiment: a name, the paper claim it checks,
+/// and a deterministic `run`.
+pub trait Experiment: Sync {
+    /// Short id: the registry key and binary stem, e.g. `"e1"`.
+    fn name(&self) -> &'static str;
+    /// One-line human title.
+    fn title(&self) -> &'static str;
+    /// Where in the paper the claim lives.
+    fn paper_ref(&self) -> &'static str;
+    /// Runs the experiment under `cfg`, drawing any sequential
+    /// randomness from `rng` (parallel loops derive per-trial streams
+    /// from `cfg.seed` via [`ParallelSweep`]).
+    ///
+    /// Must be deterministic in `(cfg.trials, cfg.seed, cfg.fast)` —
+    /// and in particular independent of `cfg.threads`.
+    fn run(&self, cfg: &ExpConfig, rng: &mut SimRng) -> Report;
+}
+
+/// A name-keyed collection of experiments (the `e1`–`e11` table the
+/// e2e suite iterates).
+#[derive(Default)]
+pub struct Registry {
+    entries: Vec<Box<dyn Experiment>>,
+}
+
+impl fmt::Debug for Registry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Registry")
+            .field("names", &self.names())
+            .finish()
+    }
+}
+
+impl Registry {
+    /// An empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// Adds an experiment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the name is already registered.
+    pub fn register(&mut self, exp: Box<dyn Experiment>) -> &mut Self {
+        assert!(
+            self.get(exp.name()).is_none(),
+            "duplicate experiment name `{}`",
+            exp.name()
+        );
+        self.entries.push(exp);
+        self
+    }
+
+    /// Looks an experiment up by name.
+    #[must_use]
+    pub fn get(&self, name: &str) -> Option<&dyn Experiment> {
+        self.entries
+            .iter()
+            .find(|e| e.name() == name)
+            .map(Box::as_ref)
+    }
+
+    /// Registered names, in registration order.
+    #[must_use]
+    pub fn names(&self) -> Vec<&'static str> {
+        self.entries.iter().map(|e| e.name()).collect()
+    }
+
+    /// Iterates the experiments in registration order.
+    pub fn iter(&self) -> impl Iterator<Item = &dyn Experiment> {
+        self.entries.iter().map(Box::as_ref)
+    }
+
+    /// Number of registered experiments.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the registry is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// The shared `main` of every experiment binary: parse the CLI, print
+/// the banner, run, print the report.
+///
+/// Exits with status 2 on a CLI error (or after printing `--help`).
+pub fn run_experiment(exp: &dyn Experiment, cfg: &ExpConfig) -> Report {
+    exp.run(cfg, &mut cfg.rng())
+}
+
+/// Parses `std::env::args`, runs `exp`, and prints banner + report to
+/// stdout. This is the entire body of each `eN_*` binary.
+pub fn run_cli(exp: &dyn Experiment) {
+    let cfg = match ExpConfig::from_args(std::env::args().skip(1)) {
+        Ok(cfg) => cfg,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    };
+    println!("==================================================================");
+    println!("{}: {}", exp.name().to_uppercase(), exp.title());
+    println!("paper: {}", exp.paper_ref());
+    // The banner deliberately omits the thread count: stdout must be
+    // byte-identical for any --threads value, and threads never affect
+    // the numbers.
+    println!(
+        "config: seed={}{}{}",
+        cfg.seed,
+        cfg.trials.map_or(String::new(), |t| format!(" trials={t}")),
+        if cfg.fast { " fast" } else { "" },
+    );
+    println!("==================================================================");
+    print!("{}", run_experiment(exp, &cfg));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Dummy;
+    impl Experiment for Dummy {
+        fn name(&self) -> &'static str {
+            "dummy"
+        }
+        fn title(&self) -> &'static str {
+            "dummy experiment"
+        }
+        fn paper_ref(&self) -> &'static str {
+            "nowhere"
+        }
+        fn run(&self, cfg: &ExpConfig, rng: &mut SimRng) -> Report {
+            let mut r = Report::new();
+            let total: u64 = cfg
+                .sweep()
+                .run(cfg.trials_or(16), cfg.seed, |_i, rng| {
+                    crate::rng::Rng::next_u64(rng) % 100
+                })
+                .into_iter()
+                .sum();
+            rline!(r, "total {total} (seq draw {})", crate::rng::Rng::next_u64(rng) % 7);
+            r
+        }
+    }
+
+    #[test]
+    fn args_parse_round_trip() {
+        let cfg = ExpConfig::from_args(
+            ["--trials", "50", "--seed", "9", "--threads", "3", "--fast"]
+                .map(String::from),
+        )
+        .expect("valid args");
+        assert_eq!(cfg.trials, Some(50));
+        assert_eq!(cfg.seed, 9);
+        assert_eq!(cfg.threads, 3);
+        assert!(cfg.fast);
+    }
+
+    #[test]
+    fn bad_args_are_errors() {
+        assert!(ExpConfig::from_args(["--bogus".to_owned()]).is_err());
+        assert!(ExpConfig::from_args(["--trials".to_owned()]).is_err());
+        assert!(
+            ExpConfig::from_args(["--seed".to_owned(), "x".to_owned()]).is_err()
+        );
+        assert!(ExpConfig::from_args(["--help".to_owned()]).is_err());
+    }
+
+    #[test]
+    fn trials_or_honours_fast_and_override() {
+        let mut cfg = ExpConfig::default();
+        assert_eq!(cfg.trials_or(1000), 1000);
+        cfg.fast = true;
+        assert_eq!(cfg.trials_or(1000), 250);
+        assert_eq!(cfg.trials_or(4), 4, "fast never raises the count");
+        cfg.trials = Some(7);
+        assert_eq!(cfg.trials_or(1000), 7);
+        assert_eq!(cfg.size(100, 10), 10);
+    }
+
+    #[test]
+    fn report_is_byte_stable_across_threads() {
+        let exp = Dummy;
+        let run = |threads: usize| {
+            let cfg = ExpConfig {
+                threads,
+                ..ExpConfig::default()
+            };
+            run_experiment(&exp, &cfg).to_string()
+        };
+        assert_eq!(run(1), run(4));
+    }
+
+    #[test]
+    fn registry_lookup_and_order() {
+        let mut reg = Registry::new();
+        reg.register(Box::new(Dummy));
+        assert_eq!(reg.names(), vec!["dummy"]);
+        assert!(reg.get("dummy").is_some());
+        assert!(reg.get("missing").is_none());
+        assert_eq!(reg.len(), 1);
+        assert!(!reg.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate")]
+    fn registry_rejects_duplicates() {
+        let mut reg = Registry::new();
+        reg.register(Box::new(Dummy));
+        reg.register(Box::new(Dummy));
+    }
+}

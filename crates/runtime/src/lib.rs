@@ -1,0 +1,63 @@
+//! Zero-dependency simulation runtime for the Fisher–Kung
+//! reproduction.
+//!
+//! Every Monte-Carlo experiment in the workspace — the Section III
+//! skew sampling (E1), the Section VII fabrication-yield curves (E6),
+//! the metastability trials behind the hybrid scheme (E5) — is a loop
+//! over *independent* trials. This crate provides the three pieces
+//! such loops need, with no crates.io dependencies so the tier-1 gate
+//! (`cargo build --release && cargo test -q`) runs fully offline:
+//!
+//! * [`rng`] — a seedable, splittable PRNG ([`SimRng`]:
+//!   SplitMix64-seeded xoshiro256++) behind a small [`Rng`] trait
+//!   whose surface (`gen_f64`, `gen_bool`, `gen_range`, `shuffle`)
+//!   mirrors the `rand` call sites it replaced;
+//! * [`dist`] — Gaussian (Box–Muller) and uniform-interval sampling
+//!   on top of any [`Rng`];
+//! * [`sweep`] — [`ParallelSweep`], a `std::thread::scope` executor
+//!   that fans N independent trials across worker threads with
+//!   per-trial child seeds, so results are **bit-identical regardless
+//!   of thread count** (`SIM_THREADS=1` reproduces `SIM_THREADS=8`);
+//! * [`experiment`] — the [`Experiment`] trait, [`ExpConfig`]
+//!   (`--trials/--seed/--threads/--fast`), [`Report`], and the
+//!   [`Registry`] the `e1`–`e11` binaries plug into.
+//!
+//! # Examples
+//!
+//! ```
+//! use sim_runtime::{ParallelSweep, Rng, SimRng};
+//!
+//! // A deterministic 1000-trial Monte-Carlo estimate of pi, identical
+//! // for any worker count.
+//! let hits = |threads: usize| -> usize {
+//!     ParallelSweep::new(threads)
+//!         .run(1000, 42, |_trial, rng| {
+//!             let (x, y) = (rng.gen_f64(), rng.gen_f64());
+//!             usize::from(x * x + y * y <= 1.0)
+//!         })
+//!         .into_iter()
+//!         .sum()
+//! };
+//! assert_eq!(hits(1), hits(8));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod dist;
+pub mod experiment;
+pub mod rng;
+pub mod sweep;
+
+pub use dist::{sample_normal, Gaussian};
+pub use experiment::{run_cli, run_experiment, ExpConfig, Experiment, Registry, Report};
+pub use rng::{Rng, SampleRange, SimRng, SliceRandom, SplitMix64};
+pub use sweep::ParallelSweep;
+
+/// One-stop imports for experiment code.
+pub mod prelude {
+    pub use crate::dist::{sample_normal, Gaussian};
+    pub use crate::experiment::{run_cli, run_experiment, ExpConfig, Experiment, Registry, Report};
+    pub use crate::rng::{Rng, SimRng, SliceRandom};
+    pub use crate::sweep::ParallelSweep;
+}

@@ -1,0 +1,210 @@
+//! [`ParallelSweep`]: the deterministic parallel Monte-Carlo executor.
+//!
+//! Every heavyweight experiment loop in the workspace — skew
+//! fabrications (E1), chip yield (E6), metastability trials (E5) — has
+//! the same shape: N independent trials, each needing its own random
+//! stream, results combined afterwards. `ParallelSweep` fans those
+//! trials across `std::thread::scope` workers. Trial `i` always runs
+//! on the RNG [`SimRng::for_trial`]`(seed, i)`, which depends only on
+//! the root seed and the trial index, so the result vector is
+//! **bit-identical for any worker count** — `SIM_THREADS=1` reproduces
+//! `SIM_THREADS=8` exactly. Parallelism changes wall-clock time, never
+//! results.
+
+use crate::rng::SimRng;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Name of the environment variable that picks the default worker
+/// count (`0` or unset → all available cores).
+pub const THREADS_ENV: &str = "SIM_THREADS";
+
+/// A deterministic fan-out executor for independent trials.
+///
+/// # Examples
+///
+/// ```
+/// use sim_runtime::{ParallelSweep, Rng};
+///
+/// let sweep = ParallelSweep::new(4);
+/// let sums: Vec<u64> = sweep.run(100, 7, |_i, rng| rng.next_u64() % 10);
+/// // Identical to the single-threaded run.
+/// assert_eq!(sums, ParallelSweep::new(1).run(100, 7, |_i, rng| rng.next_u64() % 10));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParallelSweep {
+    threads: usize,
+}
+
+impl ParallelSweep {
+    /// Creates a sweep with a fixed worker count (`0` → one worker per
+    /// available core).
+    #[must_use]
+    pub fn new(threads: usize) -> Self {
+        let threads = if threads == 0 {
+            available_cores()
+        } else {
+            threads
+        };
+        ParallelSweep { threads }
+    }
+
+    /// Creates a sweep sized from the `SIM_THREADS` environment
+    /// variable, falling back to all available cores when unset,
+    /// empty, `0`, or unparseable.
+    #[must_use]
+    pub fn from_env() -> Self {
+        let threads = std::env::var(THREADS_ENV)
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .unwrap_or(0);
+        ParallelSweep::new(threads)
+    }
+
+    /// The worker count this sweep will use.
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs `trials` independent trials of `f` and returns their
+    /// results in trial order.
+    ///
+    /// Trial `i` receives `(i, &mut SimRng::for_trial(seed, i))`; the
+    /// trial-to-worker assignment is dynamic (an atomic cursor, so
+    /// uneven trial costs balance), but since no trial's RNG depends
+    /// on that assignment the output is identical for every thread
+    /// count.
+    pub fn run<T, F>(&self, trials: usize, seed: u64, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize, &mut SimRng) -> T + Sync,
+    {
+        let workers = self.threads.min(trials.max(1));
+        if workers <= 1 {
+            return (0..trials)
+                .map(|i| f(i, &mut SimRng::for_trial(seed, i as u64)))
+                .collect();
+        }
+        let next = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<T>>> =
+            (0..trials).map(|_| Mutex::new(None)).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= trials {
+                        break;
+                    }
+                    let out = f(i, &mut SimRng::for_trial(seed, i as u64));
+                    *slots[i].lock().expect("slot lock poisoned") = Some(out);
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("slot lock poisoned")
+                    .expect("every trial index below `trials` was claimed")
+            })
+            .collect()
+    }
+
+    /// Runs `trials` trials and counts those for which `pred` returns
+    /// `true` — the common yield/failure-rate reduction.
+    pub fn count<F>(&self, trials: usize, seed: u64, pred: F) -> usize
+    where
+        F: Fn(usize, &mut SimRng) -> bool + Sync,
+    {
+        self.run(trials, seed, pred)
+            .into_iter()
+            .filter(|&hit| hit)
+            .count()
+    }
+}
+
+impl Default for ParallelSweep {
+    /// [`ParallelSweep::from_env`].
+    fn default() -> Self {
+        ParallelSweep::from_env()
+    }
+}
+
+/// Worker count of the host (`available_parallelism`, floor 1).
+#[must_use]
+pub fn available_cores() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Rng;
+
+    fn trial_sum(_i: usize, rng: &mut SimRng) -> u64 {
+        (0..32).map(|_| rng.next_u64() % 1000).sum()
+    }
+
+    #[test]
+    fn results_identical_across_thread_counts() {
+        let baseline = ParallelSweep::new(1).run(200, 99, trial_sum);
+        for threads in [2, 3, 4, 8] {
+            let par = ParallelSweep::new(threads).run(200, 99, trial_sum);
+            assert_eq!(baseline, par, "thread count {threads} diverged");
+        }
+    }
+
+    #[test]
+    fn results_are_in_trial_order() {
+        let out = ParallelSweep::new(4).run(64, 0, |i, _rng| i);
+        assert_eq!(out, (0..64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn zero_trials_is_empty() {
+        let out: Vec<u64> = ParallelSweep::new(4).run(0, 1, trial_sum);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = ParallelSweep::new(2).run(32, 1, trial_sum);
+        let b = ParallelSweep::new(2).run(32, 2, trial_sum);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn count_matches_run() {
+        let sweep = ParallelSweep::new(3);
+        let even = sweep.count(500, 5, |_i, rng| rng.next_u64() % 2 == 0);
+        let ratio = even as f64 / 500.0;
+        assert!((ratio - 0.5).abs() < 0.1, "ratio {ratio}");
+        assert_eq!(
+            even,
+            ParallelSweep::new(1).count(500, 5, |_i, rng| rng.next_u64() % 2 == 0)
+        );
+    }
+
+    #[test]
+    fn zero_thread_request_resolves_to_cores() {
+        assert!(ParallelSweep::new(0).threads() >= 1);
+        assert!(ParallelSweep::from_env().threads() >= 1);
+    }
+
+    #[test]
+    fn uneven_trial_costs_still_deterministic() {
+        // Trials with wildly different workloads exercise the dynamic
+        // scheduler's work stealing.
+        let cost = |i: usize, rng: &mut SimRng| -> u64 {
+            let reps = if i % 7 == 0 { 2_000 } else { 10 };
+            (0..reps).map(|_| rng.next_u64() & 0xFF).sum()
+        };
+        assert_eq!(
+            ParallelSweep::new(1).run(101, 13, cost),
+            ParallelSweep::new(5).run(101, 13, cost)
+        );
+    }
+}

@@ -19,9 +19,7 @@
 
 use array_layout::graph::{CellId, CommGraph};
 use desim::stats::mean_std;
-use rand::Rng;
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
+use sim_runtime::{Rng, SimRng};
 
 /// A self-timed array over an arbitrary communication graph.
 #[derive(Debug, Clone)]
@@ -97,7 +95,7 @@ impl SelfTimedArray {
                     .collect()
             })
             .collect();
-        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut rng = SimRng::seed_from_u64(seed);
         let mut prev = vec![0.0f64; n];
         let mut cur = vec![0.0f64; n];
         let mut wave_ends = Vec::with_capacity(waves);
@@ -107,7 +105,7 @@ impl SelfTimedArray {
                 for &u in &neighbors[v] {
                     ready = ready.max(prev[u] + self.handshake);
                 }
-                let d = if rng.gen::<f64>() < self.p_fast {
+                let d = if rng.gen_f64() < self.p_fast {
                     self.fast
                 } else {
                     self.slow

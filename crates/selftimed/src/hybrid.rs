@@ -17,8 +17,7 @@
 
 use crate::handshake::HandshakeLink;
 use desim::stats::sample_normal;
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
+use sim_runtime::SimRng;
 
 /// Parameters of a hybrid-synchronized array.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -176,7 +175,7 @@ impl HybridArray {
         assert!(jitter_std >= 0.0, "jitter must be non-negative");
         let side = self.elements_per_side;
         let base = self.cycle_time();
-        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut rng = SimRng::seed_from_u64(seed);
         let mut prev = vec![0.0f64; side * side];
         let mut cur = vec![0.0f64; side * side];
         let mut completions = Vec::with_capacity(waves);

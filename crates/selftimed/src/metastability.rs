@@ -12,9 +12,7 @@
 //! [`MetastabilityModel`] provides the standard exponential-resolution
 //! model and Monte-Carlo counters for both disciplines.
 
-use rand::Rng;
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
+use sim_runtime::{ParallelSweep, Rng, SimRng};
 
 /// Exponential-resolution metastability model: an event landing
 /// within `window` of a sampling edge goes metastable, and a
@@ -78,7 +76,7 @@ impl MetastabilityModel {
     #[must_use]
     pub fn count_naive_failures(&self, events: usize, period: f64, seed: u64) -> usize {
         assert!(period > self.window, "period must exceed the window");
-        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut rng = SimRng::seed_from_u64(seed);
         (0..events)
             .filter(|_| {
                 let phase: f64 = rng.gen_range(0.0..period);
@@ -86,6 +84,44 @@ impl MetastabilityModel {
                 dist_to_edge < self.window / 2.0
             })
             .count()
+    }
+
+    /// Parallel variant of [`count_naive_failures`] for the E5 sweep:
+    /// events are split into fixed chunks of 8192 that fan out across
+    /// a [`ParallelSweep`], each chunk drawing from its own per-trial
+    /// stream. The count depends only on `seed` — never on the worker
+    /// count. (The stream differs from the sequential counter's, so
+    /// the two counts agree in rate, not bit-for-bit.)
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `period > window`.
+    ///
+    /// [`count_naive_failures`]: MetastabilityModel::count_naive_failures
+    #[must_use]
+    pub fn count_naive_failures_par(
+        &self,
+        events: usize,
+        period: f64,
+        seed: u64,
+        sweep: &ParallelSweep,
+    ) -> usize {
+        assert!(period > self.window, "period must exceed the window");
+        const CHUNK: usize = 8192;
+        let chunks = events.div_ceil(CHUNK);
+        sweep
+            .run(chunks, seed, |i, rng| {
+                let n = CHUNK.min(events - i * CHUNK);
+                (0..n)
+                    .filter(|_| {
+                        let phase: f64 = rng.gen_range(0.0..period);
+                        let dist_to_edge = phase.min(period - phase);
+                        dist_to_edge < self.window / 2.0
+                    })
+                    .count()
+            })
+            .into_iter()
+            .sum()
     }
 
     /// The stoppable-clock discipline of the hybrid scheme: the clock
@@ -133,6 +169,24 @@ mod tests {
         assert_eq!(m.count_stoppable_clock_failures(1_000_000), 0);
         // While naive sampling of the same traffic does fail.
         assert!(m.count_naive_failures(1_000_000, 10.0, 4) > 0);
+    }
+
+    #[test]
+    fn parallel_naive_count_is_thread_count_invariant() {
+        let m = MetastabilityModel::new(0.2, 0.5);
+        let events = 100_000; // spans several 8192-event chunks
+        let base = m.count_naive_failures_par(events, 10.0, 3, &ParallelSweep::new(1));
+        for threads in [2, 4] {
+            assert_eq!(
+                base,
+                m.count_naive_failures_par(events, 10.0, 3, &ParallelSweep::new(threads)),
+                "threads {threads} diverged"
+            );
+        }
+        // Same expected rate as the sequential counter.
+        let expected = events as f64 * 0.2 / 10.0;
+        let ratio = base as f64 / expected;
+        assert!((0.85..1.15).contains(&ratio), "ratio {ratio}");
     }
 
     #[test]

@@ -325,9 +325,9 @@ mod tests {
 
     #[test]
     fn randomised_against_reference() {
-        use rand::Rng;
-        use rand::SeedableRng;
-        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(99);
+        use sim_runtime::Rng;
+        use sim_runtime::SimRng;
+        let mut rng = SimRng::seed_from_u64(99);
         for trial in 0..20 {
             let mut live = 0usize;
             let ops: Vec<PqOp> = (0..40)

@@ -155,8 +155,7 @@ impl ArrayAlgorithm for OddEvenSorter {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::seq::SliceRandom;
-    use rand::SeedableRng;
+    use sim_runtime::{SimRng, SliceRandom};
 
     #[test]
     fn sorts_small_arrays() {
@@ -193,7 +192,7 @@ mod tests {
 
     #[test]
     fn random_permutations() {
-        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(5);
+        let mut rng = SimRng::seed_from_u64(5);
         for n in [7usize, 12, 33] {
             let mut v: Vec<i64> = (0..n as i64).collect();
             v.shuffle(&mut rng);

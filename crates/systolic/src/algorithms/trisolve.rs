@@ -241,11 +241,10 @@ impl ArrayAlgorithm for SystolicTriSolve {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::Rng;
-    use rand::SeedableRng;
+    use sim_runtime::{Rng, SimRng};
 
     fn random_system(n: usize, w: usize, seed: u64) -> (Vec<Vec<i64>>, Vec<i64>) {
-        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+        let mut rng = SimRng::seed_from_u64(seed);
         let mut l = vec![vec![0i64; n]; n];
         for (i, row) in l.iter_mut().enumerate() {
             row[i] = 1;

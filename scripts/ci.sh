@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Tier-1 gate for the workspace. Must pass on a machine with NO network
+# access: the workspace has zero crates.io dependencies, so every step
+# runs with --offline.
+#
+# Usage: scripts/ci.sh [--heavy]
+#   --heavy   additionally run the slow randomized property suite
+#             (tests/props.rs, feature `heavy-tests`)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+HEAVY=0
+for arg in "$@"; do
+    case "$arg" in
+        --heavy) HEAVY=1 ;;
+        *) echo "unknown argument: $arg" >&2; exit 2 ;;
+    esac
+done
+
+run() {
+    echo "==> $*"
+    "$@"
+}
+
+run cargo build --release --offline --workspace
+run cargo test -q --offline --workspace
+run cargo clippy --offline --workspace --all-targets -- -D warnings
+
+if [ "$HEAVY" = 1 ]; then
+    run cargo test -q --offline --features heavy-tests --test props
+fi
+
+echo "==> tier-1 gate passed"

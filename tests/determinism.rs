@@ -1,0 +1,57 @@
+//! The tentpole guarantee of the runtime rework: experiment reports
+//! are **byte-identical for any worker count**. Every Monte-Carlo loop
+//! derives trial `i`'s stream from `(seed, i)` alone, so
+//! `--threads 1` and `--threads 4` must produce the same bytes — and
+//! a different `--seed` must not.
+//!
+//! Runs the three sweep-heavy experiments (E1 skew fabrications, E5
+//! metastability events, E6 chip yield) in `--fast` mode.
+
+use sim_runtime::{run_experiment, ExpConfig, Experiment};
+
+fn report(exp: &dyn Experiment, threads: usize, seed: u64) -> String {
+    let cfg = ExpConfig {
+        threads,
+        seed,
+        ..ExpConfig::fast()
+    };
+    run_experiment(exp, &cfg).to_string()
+}
+
+fn assert_thread_count_invariant(exp: &dyn Experiment) {
+    let base = report(exp, 1, 1);
+    assert!(!base.is_empty(), "{} produced an empty report", exp.name());
+    for threads in [2, 4] {
+        assert_eq!(
+            base,
+            report(exp, threads, 1),
+            "{}: threads=1 vs threads={threads} reports diverged",
+            exp.name()
+        );
+    }
+}
+
+#[test]
+fn e1_skew_monte_carlo_identical_across_thread_counts() {
+    assert_thread_count_invariant(&bench::experiments::E1);
+}
+
+#[test]
+fn e5_metastability_identical_across_thread_counts() {
+    assert_thread_count_invariant(&bench::experiments::E5);
+}
+
+#[test]
+fn e6_fabrication_yield_identical_across_thread_counts() {
+    assert_thread_count_invariant(&bench::experiments::E6);
+}
+
+#[test]
+fn different_seed_changes_the_e1_report() {
+    let exp = &bench::experiments::E1;
+    assert_ne!(
+        report(exp, 1, 1),
+        report(exp, 1, 2),
+        "the seed must actually steer the Monte-Carlo streams"
+    );
+}

@@ -1,9 +1,31 @@
-//! End-to-end checks of the remaining experiment claims: the
-//! Section VII inverter-string trial (E6), the self-timed advantage
-//! analysis (E7), and the hybrid scheme comparison (E5) — at sizes
-//! small enough for the test suite.
+//! End-to-end checks of the experiment claims: every registered
+//! experiment binary run through its `--fast` path, plus direct
+//! library-level checks of the Section VII inverter-string trial (E6),
+//! the self-timed advantage analysis (E7), and the hybrid scheme
+//! comparison (E5) — at sizes small enough for the test suite.
 
 use vlsi_sync_repro::prelude::*;
+
+/// Drives every experiment exactly as `eN --fast` does. Each report
+/// must render non-empty and mention its paper reference, so a broken
+/// migration of any binary fails here rather than only at `cargo run`.
+#[test]
+fn every_registered_experiment_runs_fast() {
+    use sim_runtime::{run_experiment, ExpConfig};
+    let registry = bench::registry();
+    assert_eq!(
+        registry.names(),
+        ["e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11"]
+    );
+    for exp in registry.iter() {
+        let report = run_experiment(exp, &ExpConfig::fast());
+        assert!(
+            !report.as_str().trim().is_empty(),
+            "{} produced an empty --fast report",
+            exp.name()
+        );
+    }
+}
 
 #[test]
 fn inverter_string_speedup_regime() {
