@@ -1,0 +1,205 @@
+//! `bench_regress` — run every experiment, snapshot its JSON report,
+//! and diff against the committed baselines.
+//!
+//! ```text
+//! bench_regress [--fast] [--seed S] [--threads T] [--trials N]
+//!               [--only e3,e7] [--out DIR] [--baselines DIR]
+//!               [--update] [--wall-tol PCT]
+//! ```
+//!
+//! For each selected experiment the binary runs it silently, writes
+//! `BENCH_<name>.json` under `--out` (default `target/bench`), and
+//! diffs the report against `--baselines/BENCH_<name>.json` (default
+//! `baselines/`) with [`bench::regress::diff_reports`]: deterministic
+//! sections must match exactly; the volatile `run` section must match
+//! structurally, and `--wall-tol PCT` additionally demands its numbers
+//! stay within a percentage band of the baseline (off by default — a
+//! loaded CI box makes individual trial timings arbitrarily slow). Any
+//! drift — or a missing baseline — prints the offending JSON paths and
+//! makes the process exit 1. `--update` instead rewrites the baselines
+//! from the current run (the way the committed files were produced;
+//! see `scripts/bench.sh`).
+
+use bench::regress::diff_reports;
+use sim_observe::{parse, SpanTimer};
+use sim_runtime::{json_full, run_experiment, ExpConfig, RunInfo};
+use std::path::PathBuf;
+
+const USAGE: &str = "usage: bench_regress [--fast] [--seed S] [--threads T] [--trials N] \
+[--only NAMES] [--out DIR] [--baselines DIR] [--update] [--wall-tol PCT]";
+
+struct Opts {
+    cfg: ExpConfig,
+    only: Option<Vec<String>>,
+    out: PathBuf,
+    baselines: PathBuf,
+    update: bool,
+    wall_tol_pct: Option<f64>,
+}
+
+fn parse_opts<I: IntoIterator<Item = String>>(args: I) -> Result<Opts, String> {
+    let mut opts = Opts {
+        cfg: ExpConfig::default(),
+        only: None,
+        out: PathBuf::from("target/bench"),
+        baselines: PathBuf::from("baselines"),
+        update: false,
+        wall_tol_pct: None,
+    };
+    let mut it = args.into_iter();
+    let value = |name: &str, v: Option<String>| -> Result<String, String> {
+        v.ok_or_else(|| format!("{name} needs an argument\n{USAGE}"))
+    };
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--fast" => opts.cfg.fast = true,
+            "--seed" => {
+                opts.cfg.seed = value("--seed", it.next())?
+                    .parse()
+                    .map_err(|_| "--seed needs a non-negative integer".to_owned())?;
+            }
+            "--threads" => {
+                opts.cfg.threads = value("--threads", it.next())?
+                    .parse()
+                    .map_err(|_| "--threads needs a non-negative integer".to_owned())?;
+            }
+            "--trials" => {
+                let t: usize = value("--trials", it.next())?
+                    .parse()
+                    .map_err(|_| "--trials needs a non-negative integer".to_owned())?;
+                opts.cfg.trials = Some(t);
+            }
+            "--only" => {
+                let list = value("--only", it.next())?;
+                opts.only =
+                    Some(list.split(',').map(|s| s.trim().to_owned()).collect());
+            }
+            "--out" => opts.out = PathBuf::from(value("--out", it.next())?),
+            "--baselines" => {
+                opts.baselines = PathBuf::from(value("--baselines", it.next())?);
+            }
+            "--update" => opts.update = true,
+            "--wall-tol" => {
+                let tol: f64 = value("--wall-tol", it.next())?
+                    .parse()
+                    .map_err(|_| "--wall-tol needs a percentage".to_owned())?;
+                opts.wall_tol_pct = Some(tol);
+            }
+            "--help" | "-h" => return Err(USAGE.to_owned()),
+            other => return Err(format!("unknown argument `{other}`\n{USAGE}")),
+        }
+    }
+    Ok(opts)
+}
+
+fn snapshot_name(exp_name: &str) -> String {
+    format!("BENCH_{exp_name}.json")
+}
+
+fn check_one(
+    registry: &sim_runtime::Registry,
+    name: &str,
+    opts: &Opts,
+) -> Result<bool, String> {
+    let exp = registry
+        .get(name)
+        .ok_or_else(|| format!("unknown experiment `{name}`"))?;
+    let timer = SpanTimer::start();
+    let report = run_experiment(exp, &opts.cfg);
+    let run = RunInfo {
+        threads: opts.cfg.sweep().threads(),
+        wall_ms: timer.elapsed_ms(),
+    };
+    let doc = json_full(exp, &opts.cfg, &report, &run);
+    let rendered = doc.to_pretty();
+
+    let out_path = opts.out.join(snapshot_name(name));
+    std::fs::write(&out_path, &rendered)
+        .map_err(|e| format!("cannot write {}: {e}", out_path.display()))?;
+
+    let base_path = opts.baselines.join(snapshot_name(name));
+    if opts.update {
+        std::fs::write(&base_path, &rendered)
+            .map_err(|e| format!("cannot write {}: {e}", base_path.display()))?;
+        println!("{name}: baseline updated ({})", base_path.display());
+        return Ok(true);
+    }
+    let baseline_text = match std::fs::read_to_string(&base_path) {
+        Ok(text) => text,
+        Err(_) => {
+            eprintln!(
+                "{name}: no baseline at {} (run with --update to create it)",
+                base_path.display()
+            );
+            return Ok(false);
+        }
+    };
+    let baseline = parse(&baseline_text)
+        .map_err(|e| format!("{}: baseline is not valid JSON: {e:?}", base_path.display()))?;
+    let drifts = diff_reports(&baseline, &doc, opts.wall_tol_pct);
+    if drifts.is_empty() {
+        println!("{name}: ok ({:.0} ms)", run.wall_ms);
+        Ok(true)
+    } else {
+        eprintln!("{name}: {} drift(s) vs {}:", drifts.len(), base_path.display());
+        for d in &drifts {
+            eprintln!("  {d}");
+        }
+        Ok(false)
+    }
+}
+
+fn main() {
+    let opts = match parse_opts(std::env::args().skip(1)) {
+        Ok(opts) => opts,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    };
+    if let Err(e) = std::fs::create_dir_all(&opts.out) {
+        eprintln!("cannot create {}: {e}", opts.out.display());
+        std::process::exit(1);
+    }
+    if opts.update {
+        if let Err(e) = std::fs::create_dir_all(&opts.baselines) {
+            eprintln!("cannot create {}: {e}", opts.baselines.display());
+            std::process::exit(1);
+        }
+    }
+
+    let registry = bench::registry();
+    let names: Vec<String> = match &opts.only {
+        Some(list) => list.clone(),
+        None => registry.names().iter().map(|&n| n.to_owned()).collect(),
+    };
+
+    let mut failures = 0usize;
+    for name in &names {
+        match check_one(&registry, name, &opts) {
+            Ok(true) => {}
+            Ok(false) => failures += 1,
+            Err(msg) => {
+                eprintln!("{msg}");
+                failures += 1;
+            }
+        }
+    }
+    if failures > 0 {
+        eprintln!(
+            "bench_regress: {failures}/{} experiment(s) drifted from {}",
+            names.len(),
+            opts.baselines.display()
+        );
+        std::process::exit(1);
+    }
+    let band = match opts.wall_tol_pct {
+        Some(tol) => format!("wall tolerance ±{tol}%"),
+        None => "wall clock unchecked".to_owned(),
+    };
+    println!(
+        "bench_regress: {} experiment(s) match {} ({band})",
+        names.len(),
+        opts.baselines.display(),
+    );
+}

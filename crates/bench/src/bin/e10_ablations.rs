@@ -15,8 +15,8 @@
 //!    case for the hybrid scheme.
 //!
 //! The experiment body lives in `bench::experiments::E10`; this
-//! binary is the shared CLI wrapper (`--trials/--seed/--threads/--fast`).
+//! binary is the shared CLI wrapper (see `--help` for the flags).
 
 fn main() {
-    sim_runtime::run_cli(&bench::experiments::E10);
+    sim_runtime::run_cli_in(&bench::registry(), "e10");
 }

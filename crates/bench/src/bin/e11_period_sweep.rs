@@ -16,8 +16,8 @@
 //! clean ones: both of the paper's remedies, quantified.
 //!
 //! The experiment body lives in `bench::experiments::E11`; this
-//! binary is the shared CLI wrapper (`--trials/--seed/--threads/--fast`).
+//! binary is the shared CLI wrapper (see `--help` for the flags).
 
 fn main() {
-    sim_runtime::run_cli(&bench::experiments::E11);
+    sim_runtime::run_cli_in(&bench::registry(), "e11");
 }

@@ -13,8 +13,8 @@
 //! (equalized paths).
 //!
 //! The experiment body lives in `bench::experiments::E1`; this
-//! binary is the shared CLI wrapper (`--trials/--seed/--threads/--fast`).
+//! binary is the shared CLI wrapper (see `--help` for the flags).
 
 fn main() {
-    sim_runtime::run_cli(&bench::experiments::E1);
+    sim_runtime::run_cli_in(&bench::registry(), "e1");
 }

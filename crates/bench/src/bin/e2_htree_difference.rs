@@ -11,8 +11,8 @@
 //!   layout area (Lemma 1).
 //!
 //! The experiment body lives in `bench::experiments::E2`; this
-//! binary is the shared CLI wrapper (`--trials/--seed/--threads/--fast`).
+//! binary is the shared CLI wrapper (see `--help` for the flags).
 
 fn main() {
-    sim_runtime::run_cli(&bench::experiments::E2);
+    sim_runtime::run_cli_in(&bench::registry(), "e2");
 }

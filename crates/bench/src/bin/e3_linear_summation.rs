@@ -9,8 +9,8 @@
 //! cells' tree path passes through the root).
 //!
 //! The experiment body lives in `bench::experiments::E3`; this
-//! binary is the shared CLI wrapper (`--trials/--seed/--threads/--fast`).
+//! binary is the shared CLI wrapper (see `--help` for the flags).
 
 fn main() {
-    sim_runtime::run_cli(&bench::experiments::E3);
+    sim_runtime::run_cli_in(&bench::registry(), "e3");
 }

@@ -10,8 +10,8 @@
 //! COMM graph (a binary tree with clock along the data paths).
 //!
 //! The experiment body lives in `bench::experiments::E4`; this
-//! binary is the shared CLI wrapper (`--trials/--seed/--threads/--fast`).
+//! binary is the shared CLI wrapper (see `--help` for the flags).
 
 fn main() {
-    sim_runtime::run_cli(&bench::experiments::E4);
+    sim_runtime::run_cli_in(&bench::registry(), "e4");
 }

@@ -14,8 +14,8 @@
 //! failures versus a conventional synchronizer's nonzero rate.
 //!
 //! The experiment body lives in `bench::experiments::E5`; this
-//! binary is the shared CLI wrapper (`--trials/--seed/--threads/--fast`).
+//! binary is the shared CLI wrapper (see `--help` for the flags).
 
 fn main() {
-    sim_runtime::run_cli(&bench::experiments::E5);
+    sim_runtime::run_cli_in(&bench::registry(), "e5");
 }

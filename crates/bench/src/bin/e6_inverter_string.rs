@@ -13,8 +13,8 @@
 //!   analysis), not like n.
 //!
 //! The experiment body lives in `bench::experiments::E6`; this
-//! binary is the shared CLI wrapper (`--trials/--seed/--threads/--fast`).
+//! binary is the shared CLI wrapper (see `--help` for the flags).
 
 fn main() {
-    sim_runtime::run_cli(&bench::experiments::E6);
+    sim_runtime::run_cli_in(&bench::registry(), "e6");
 }

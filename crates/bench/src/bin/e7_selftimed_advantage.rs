@@ -15,8 +15,8 @@
 //! paper's conclusion that clocking is preferable for regular arrays.
 //!
 //! The experiment body lives in `bench::experiments::E7`; this
-//! binary is the shared CLI wrapper (`--trials/--seed/--threads/--fast`).
+//! binary is the shared CLI wrapper (see `--help` for the flags).
 
 fn main() {
-    sim_runtime::run_cli(&bench::experiments::E7);
+    sim_runtime::run_cli_in(&bench::registry(), "e7");
 }

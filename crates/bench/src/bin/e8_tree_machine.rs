@@ -14,8 +14,8 @@
 //! the pipelined Bentley–Kung search machine at one query per cycle.
 //!
 //! The experiment body lives in `bench::experiments::E8`; this
-//! binary is the shared CLI wrapper (`--trials/--seed/--threads/--fast`).
+//! binary is the shared CLI wrapper (see `--help` for the flags).
 
 fn main() {
-    sim_runtime::run_cli(&bench::experiments::E8);
+    sim_runtime::run_cli_in(&bench::registry(), "e8");
 }

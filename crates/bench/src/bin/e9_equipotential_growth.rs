@@ -8,8 +8,8 @@
 //! pipelined clocking worth its assumptions.
 //!
 //! The experiment body lives in `bench::experiments::E9`; this
-//! binary is the shared CLI wrapper (`--trials/--seed/--threads/--fast`).
+//! binary is the shared CLI wrapper (see `--help` for the flags).
 
 fn main() {
-    sim_runtime::run_cli(&bench::experiments::E9);
+    sim_runtime::run_cli_in(&bench::registry(), "e9");
 }

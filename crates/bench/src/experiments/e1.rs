@@ -34,7 +34,7 @@ impl Experiment for E1 {
     }
 
     fn run(&self, cfg: &ExpConfig, _rng: &mut SimRng) -> Report {
-        let mut r = Report::new();
+        let mut r = cfg.report();
         let model = WireDelayModel::new(1.0, 0.1);
         let samples = cfg.trials_or(20_000);
         let sweep = cfg.sweep();
@@ -64,14 +64,16 @@ impl Experiment for E1 {
             let worst = worst_case_skew(tree, model, a, b);
             let lower = achievable_skew_lower_bound(tree, model, a, b);
             let cap = model.max_rate() * s;
-            let observed = sweep
-                .run(samples, cfg.seed.wrapping_add(idx as u64), |_i, rng| {
+            let (skews, sweep_stats) =
+                sweep.run_timed(samples, cfg.seed.wrapping_add(idx as u64), |_i, rng| {
                     let rates = model.sample_rates(tree, rng);
                     let arr = ArrivalTimes::from_rates(tree, &rates);
                     arr.skew(tree, a, b)
-                })
-                .into_iter()
-                .fold(0.0f64, f64::max);
+                });
+            r.record_sweep(&format!("case{idx}_{name}"), sweep_stats);
+            let observed = skews.into_iter().fold(0.0f64, f64::max);
+            r.metrics_mut()
+                .gauge(&format!("e1.case{idx}.observed_max_skew"), observed);
             assert!(
                 observed <= worst + 1e-9,
                 "observed exceeded analytic worst case"
@@ -88,7 +90,7 @@ impl Experiment for E1 {
                 &f(cap),
             ]);
         }
-        r.text(table.render());
+        r.table("skew_models", &table);
         rline!(r);
         rline!(r, "check: observed <= m*d + eps*s <= (m+eps)*s on every pair  [OK]");
         rline!(

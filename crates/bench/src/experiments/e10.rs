@@ -37,7 +37,7 @@ impl Experiment for E10 {
     }
 
     fn run(&self, cfg: &ExpConfig, _rng: &mut SimRng) -> Report {
-        let mut r = Report::new();
+        let mut r = cfg.report();
 
         // ------------------------------------------------ 1. buffer spacing
         rline!(r);
@@ -58,7 +58,7 @@ impl Experiment for E10 {
                 &f(dist.tau(&tree)),
             ]);
         }
-        r.text(t1.render());
+        r.table("buffer_spacing", &t1);
         rline!(r, "=> sparser buffers: fewer gates, longer unbuffered runs, larger tau.");
 
         // ------------------------------------------------ 2. hybrid element size
@@ -76,7 +76,7 @@ impl Experiment for E10 {
                 &f(h.cycle_time()),
             ]);
         }
-        r.text(t2.render());
+        r.table("hybrid_element_size", &t2);
         rline!(r, "=> small elements are handshake-bound; large ones re-grow the local clock:");
         rline!(r, "   the bounded-size element of Fig. 8 sits at the sweet spot.");
 
@@ -111,7 +111,7 @@ impl Experiment for E10 {
                 &format!("{:.2}", analytic / sampled),
             ]);
         }
-        r.text(t3.render());
+        r.table("analytic_vs_sampled", &t3);
         rline!(r, "=> the analytic bound is safe but 1.3-2x conservative: independent per-edge");
         rline!(r, "   draws rarely align at the extremes simultaneously.");
 
@@ -135,7 +135,7 @@ impl Experiment for E10 {
             &f(dm.max_skew(&htree_t, &line)),
             &f(sm.max_skew(&htree_t, &line)),
         ]);
-        r.text(t4.render());
+        r.table("spine_vs_htree_1d", &t4);
         rline!(r, "=> under the tunable difference model the H-tree wins (d = 0); under the");
         rline!(r, "   robust summation model it loses badly — the Fig. 3(a)/Fig. 4(b) story.");
 
@@ -160,7 +160,7 @@ impl Experiment for E10 {
             );
             t5.row(&[&f(jitter), &depth.to_string()]);
         }
-        r.text(t5.render());
+        r.table("a8_jitter", &t5);
         rline!(r, "=> with A8 (zero jitter) any depth works; without it the usable depth");
         rline!(r, "   collapses — \"in the absence of the invariance condition A8 … pipelined");
         rline!(r, "   clocking fails\" and the hybrid scheme of Section VI takes over.");

@@ -40,7 +40,7 @@ impl Experiment for E11 {
     }
 
     fn run(&self, cfg: &ExpConfig, _rng: &mut SimRng) -> Report {
-        let mut r = Report::new();
+        let mut r = cfg.report();
         let weights = [3, -1, 4, 1, -5, 9, 2, -6];
         let xs: Vec<i64> = (0..30).map(|i| (i * i) % 19 - 9).collect();
         let expected = SystolicFir::reference(&weights, &xs);
@@ -72,7 +72,7 @@ impl Experiment for E11 {
             // Fabrication i always uses schedule seed i (matching the
             // sequential sweep of old), so the worker count never
             // changes the tally.
-            let outcomes = sweep.run(fabrications, cfg.seed, |i, _rng| {
+            let (outcomes, sweep_stats) = sweep.run_timed(fabrications, cfg.seed, |i, _rng| {
                 let schedule = sampled_schedule(&tree, &comm, delays, period, i as u64);
                 let statuses = classify_edges(&comm, &schedule, timing);
                 let raced = statuses.contains(&TransferStatus::HoldViolation);
@@ -82,6 +82,7 @@ impl Experiment for E11 {
                 exec.run(&mut fir, cycles);
                 (fir.outputs() != expected, raced)
             });
+            r.record_sweep(&format!("fabrications_{frac:.2}"), sweep_stats);
             let wrong = outcomes.iter().filter(|&&(w, _)| w).count();
             let races = outcomes.iter().filter(|&&(_, x)| x).count();
             table.row(&[
@@ -93,7 +94,7 @@ impl Experiment for E11 {
                 assert_eq!(wrong, 0, "at/above the threshold every fabrication is clean");
             }
         }
-        r.text(table.render());
+        r.table("failure_vs_period", &table);
 
         // The other remedy: a fabrication with a manufactured hold race,
         // fixed by delay padding rather than by any period.

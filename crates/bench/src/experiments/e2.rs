@@ -32,7 +32,7 @@ impl Experiment for E2 {
     }
 
     fn run(&self, cfg: &ExpConfig, _rng: &mut SimRng) -> Report {
-        let mut r = Report::new();
+        let mut r = cfg.report();
         let m = 1.0;
         let delta = 2.0;
         let dist = Distribution::Pipelined {
@@ -82,7 +82,7 @@ impl Experiment for E2 {
             }
             rline!(r);
             rline!(r, "[{family} array, Lemma-1-tuned H-tree]");
-            r.text(table.render());
+            r.table(family, &table);
             let class = classify_growth(&xs, &ys);
             rline!(
                 r,

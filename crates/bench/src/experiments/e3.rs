@@ -30,7 +30,7 @@ impl Experiment for E3 {
     }
 
     fn run(&self, cfg: &ExpConfig, _rng: &mut SimRng) -> Report {
-        let mut r = Report::new();
+        let mut r = cfg.report();
         let model = SummationModel::from_delay_model(WireDelayModel::new(1.0, 0.1));
         let sizes: &[usize] = if cfg.fast {
             &[16, 64, 256]
@@ -62,7 +62,7 @@ impl Experiment for E3 {
             spine_curve.push(s_straight);
             htree_curve.push(s_htree);
         }
-        r.text(table.render());
+        r.table("spine_vs_htree", &table);
 
         let xs: Vec<f64> = sizes.iter().map(|&n| n as f64).collect();
         let spine_class = classify_growth(&xs, &spine_curve);

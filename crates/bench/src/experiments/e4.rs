@@ -31,7 +31,7 @@ impl Experiment for E4 {
     }
 
     fn run(&self, cfg: &ExpConfig, _rng: &mut SimRng) -> Report {
-        let mut r = Report::new();
+        let mut r = cfg.report();
         let model = SummationModel::from_delay_model(WireDelayModel::new(1.0, 0.1));
         let sides: &[usize] = if cfg.fast { &[4, 8, 16] } else { &[4, 8, 16, 32] };
 
@@ -69,7 +69,7 @@ impl Experiment for E4 {
             ]);
             best_curve.push(best);
         }
-        r.text(table.render());
+        r.table("mesh_strategies", &table);
 
         let xs: Vec<f64> = sides.iter().map(|&n| n as f64).collect();
         let class = classify_growth(&xs, &best_curve);
@@ -115,7 +115,7 @@ impl Experiment for E4 {
             assert!(measured >= bound, "torus n={n}");
             torus_table.row(&[&n.to_string(), &w.to_string(), &f(bound), &f(measured)]);
         }
-        r.text(torus_table.render());
+        r.table("torus_thm6", &torus_table);
 
         // Theorem 6 downward: a binary-tree COMM graph has bisection
         // width 1, and clock-along-data-paths achieves constant skew on
@@ -139,7 +139,7 @@ impl Experiment for E4 {
                 &f(measured),
             ]);
         }
-        r.text(t2.render());
+        r.table("tree_comm_thm6", &t2);
         rline!(
             r,
             "note: tree COMM skew grows only with the longest tree edge (O(sqrt N) in the\n\

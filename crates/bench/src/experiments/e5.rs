@@ -36,7 +36,7 @@ impl Experiment for E5 {
     }
 
     fn run(&self, cfg: &ExpConfig, _rng: &mut SimRng) -> Report {
-        let mut r = Report::new();
+        let mut r = cfg.report();
         let params = AnalysisParams::default();
         let link = HandshakeLink::new(1.0, 0.5, Protocol::TwoPhase);
         let hybrid_params = HybridParams::new(4, params.delta, 1.0, 0.1, link);
@@ -76,7 +76,7 @@ impl Experiment for E5 {
                 &f(periods[3]),
             ]);
         }
-        r.text(table.render());
+        r.table("period_vs_n", &table);
 
         let xs: Vec<f64> = sides.iter().map(|&n| n as f64).collect();
         let names = ["equipotential", "pipelined(summation)", "hybrid", "self-timed"];
@@ -107,7 +107,7 @@ impl Experiment for E5 {
                 &f(h.simulate_period(waves, 0.3, cfg.seed.wrapping_add(41))),
             ]);
         }
-        r.text(sim_table.render());
+        r.table("hybrid_simulated", &sim_table);
 
         // Gate-level proof of the Fig. 8 discipline: two elements with
         // stoppable ring-oscillator clocks, synchronized by two gates.
@@ -134,6 +134,8 @@ impl Experiment for E5 {
         let events = cfg.trials_or(1_000_000);
         let naive = meta.count_naive_failures_par(events, 10.0, cfg.seed, &cfg.sweep());
         let stoppable = meta.count_stoppable_clock_failures(events);
+        r.metrics_mut().add("e5.naive_failures", naive as u64);
+        r.metrics_mut().add("e5.stoppable_failures", stoppable as u64);
         rline!(r);
         rline!(r, "metastable captures over {events} async events:");
         rline!(r, "  naive free-running synchronizer : {naive}");

@@ -33,7 +33,7 @@ impl Experiment for E6 {
     }
 
     fn run(&self, cfg: &ExpConfig, _rng: &mut SimRng) -> Report {
-        let mut r = Report::new();
+        let mut r = cfg.report();
         let sweep = cfg.sweep();
 
         // --- the paper's chip ------------------------------------------------
@@ -64,6 +64,7 @@ impl Experiment for E6 {
             &[256, 512, 1024, 2048]
         };
         let mut speedups = Vec::new();
+        let mut last_chip: Option<(InverterStringSpec, SimTime)> = None;
         for &stages in lengths {
             let spec = InverterStringSpec {
                 stages,
@@ -77,8 +78,27 @@ impl Experiment for E6 {
                 &format!("{:.1}x", res.speedup()),
             ]);
             speedups.push(res.speedup());
+            last_chip = Some((spec, res.pipelined_cycle));
         }
-        r.text(table.render());
+        r.table("speedup_vs_length", &table);
+
+        // Engine telemetry (and the --vcd dump): re-run the longest
+        // chip's pipelined clock train at a comfortable 2x its minimum
+        // period, with taps along the string.
+        let (wave_spec, wave_period) = last_chip.expect("lengths non-empty");
+        let wave_chip = InverterString::fabricate(wave_spec);
+        let (wave_sim, taps) = wave_chip.waveform(wave_period * 2, 6, 8);
+        wave_sim.record_metrics(r.metrics_mut(), "e6.engine");
+        if let Some(path) = &cfg.vcd {
+            let named: Vec<(NetId, &str)> =
+                taps.iter().map(|(n, s)| (*n, s.as_str())).collect();
+            match std::fs::write(path, export_vcd(&wave_sim, &named)) {
+                // Stderr: stdout must stay byte-identical with and
+                // without --vcd.
+                Ok(()) => eprintln!("vcd waveform: {path}"),
+                Err(err) => eprintln!("failed to write VCD to `{path}`: {err}"),
+            }
+        }
         let (lo, hi) = speedups
             .iter()
             .fold((f64::INFINITY, 0.0f64), |(lo, hi), &s| (lo.min(s), hi.max(s)));
@@ -102,7 +122,7 @@ impl Experiment for E6 {
         for &stages in lengths {
             // Chip i is always fabricated from seed i, so the sweep's
             // worker count never changes the sample.
-            let samples: Vec<f64> = sweep.run(fab_chips, cfg.seed, |i, _rng| {
+            let (samples, fab_stats) = sweep.run_timed(fab_chips, cfg.seed, |i, _rng| {
                 let spec = InverterStringSpec {
                     stages,
                     bias_ps: 0,
@@ -112,12 +132,13 @@ impl Experiment for E6 {
                 };
                 InverterString::fabricate(spec).pulse_width_change_ps() as f64
             });
+            r.record_sweep(&format!("discrepancy_{stages}"), fab_stats);
             let (_, std) = mean_std(&samples);
             let ratio = prev_std.map_or_else(|| "-".to_owned(), |p| format!("{:.2}", std / p));
             yield_table.row(&[&stages.to_string(), &f(std), &ratio]);
             prev_std = Some(std);
         }
-        r.text(yield_table.render());
+        r.table("sqrt_discrepancy", &yield_table);
         rline!(r, "expected ratio per doubling: sqrt(2) = 1.41 (vs 2.0 for linear growth)");
 
         // --- yield vs length at a fixed period ----------------------------------
@@ -151,7 +172,7 @@ impl Experiment for E6 {
             );
             yield_curve.row(&[&stages.to_string(), &format!("{:.0}%", 100.0 * y)]);
         }
-        r.text(yield_curve.render());
+        r.table("yield_curve", &yield_curve);
 
         // --- the paper's proposed fix: one-shot pulse buffers ------------------
         rline!(r);
@@ -177,7 +198,7 @@ impl Experiment for E6 {
             .min_period(4);
             fix_table.row(&[&stages.to_string(), &inv.to_string(), &os.to_string()]);
         }
-        r.text(fix_table.render());
+        r.table("one_shot_fix", &fix_table);
         rline!(r, "=> pulse regeneration stops the accumulation: the one-shot string's rate");
         rline!(r, "   is set by the wired-in pulse width alone, at any length.");
         rline!(r);

@@ -34,7 +34,7 @@ impl Experiment for E7 {
     }
 
     fn run(&self, cfg: &ExpConfig, _rng: &mut SimRng) -> Report {
-        let mut r = Report::new();
+        let mut r = cfg.report();
         let (fast, slow, p) = (1.0, 2.0, 0.9);
         let waves = cfg.size(600, 300);
         let seed = cfg.seed.wrapping_add(6);
@@ -68,7 +68,7 @@ impl Experiment for E7 {
             );
             prev_adv = sample.advantage();
         }
-        r.text(table.render());
+        r.table("advantage_vs_k", &table);
 
         // Topology comparison: coupling degree accelerates the decay.
         rline!(r);
@@ -91,7 +91,7 @@ impl Experiment for E7 {
                 &format!("{:.2}x", arr.clocked_period() / s.period),
             ]);
         }
-        r.text(topo.render());
+        r.table("topologies", &topo);
 
         rline!(r);
         rline!(r, "1 - p^k -> 1: nearly every wave of a large array contains a worst-case cell.");

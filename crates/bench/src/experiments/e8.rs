@@ -36,7 +36,7 @@ impl Experiment for E8 {
     }
 
     fn run(&self, cfg: &ExpConfig, _rng: &mut SimRng) -> Report {
-        let mut r = Report::new();
+        let mut r = cfg.report();
         let model = SummationModel::from_delay_model(WireDelayModel::new(1.0, 0.1));
         let level_list: &[usize] = if cfg.fast { &[3, 5, 7] } else { &[3, 5, 7, 9] };
 
@@ -75,7 +75,7 @@ impl Experiment for E8 {
             edges.push(longest);
             ns.push(n);
         }
-        r.text(table.render());
+        r.table("htree_scaling", &table);
 
         // Area stays O(N): the per-node ratio is bounded.
         let area_class = classify_growth(&ns, &areas);

@@ -29,7 +29,7 @@ impl Experiment for E9 {
     }
 
     fn run(&self, cfg: &ExpConfig, _rng: &mut SimRng) -> Report {
-        let mut r = Report::new();
+        let mut r = cfg.report();
         let alpha = 1.0;
         let pipelined = Distribution::Pipelined {
             buffer_delay: 1.0,
@@ -77,7 +77,7 @@ impl Experiment for E9 {
             }
             rline!(r);
             rline!(r, "[{family}]");
-            r.text(table.render());
+            r.table(family, &table);
             let ce = classify_growth(&xs, &equi);
             let cp = classify_growth(&xs, &pipe);
             rline!(
@@ -105,7 +105,7 @@ impl Experiment for E9 {
                 &f(buffered_line_delay(len, 2.0, 1.0, rc)),
             ]);
         }
-        r.text(rc_table.render());
+        r.table("rc_reality", &rc_table);
         rline!(r, "=> unbuffered grows ~L^2, buffered ~L: equipotential clocking of large");
         rline!(r, "   arrays dies by RC before it dies by the speed of light.");
         rline!(r);

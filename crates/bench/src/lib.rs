@@ -1,113 +1,24 @@
-//! Shared helpers for the experiment binaries — plain-text table
-//! rendering and growth-rate annotation — plus the [`experiments`]
-//! module, where every `eN` experiment body lives as a
-//! [`sim_runtime::Experiment`] implementation. The `eN_*` binaries are
-//! one-line wrappers over [`registry`] entries.
+//! Shared helpers for the experiment binaries — float formatting and
+//! growth-rate annotation — plus the [`experiments`] module, where
+//! every `eN` experiment body lives as a [`sim_runtime::Experiment`]
+//! implementation. The `eN_*` binaries are one-line wrappers over
+//! [`registry`] entries.
+//!
+//! The plain-text [`Table`] writer now lives in `sim-runtime` (so
+//! [`sim_runtime::Report`] can capture tables structurally for the
+//! `--json` output); it is re-exported here for compatibility.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 pub mod experiments;
+pub mod regress;
 pub mod timing;
 
 pub use experiments::registry;
+pub use sim_runtime::Table;
 
 use vlsi_sync::theory::GrowthClass;
-
-/// A fixed-column plain-text table writer.
-///
-/// # Examples
-///
-/// ```
-/// use bench::Table;
-///
-/// let mut t = Table::new(&["n", "skew"]);
-/// t.row(&["8", "1.10"]);
-/// t.row(&["16", "1.10"]);
-/// let out = t.render();
-/// assert!(out.contains("skew"));
-/// ```
-#[derive(Debug, Clone)]
-pub struct Table {
-    headers: Vec<String>,
-    rows: Vec<Vec<String>>,
-}
-
-/// Display width of a cell: characters, not bytes, so multi-byte
-/// UTF-8 content (`µs`, `σ`, `Ω`) does not misalign columns.
-fn cell_width(s: &str) -> usize {
-    s.chars().count()
-}
-
-impl Table {
-    /// Starts a table with the given column headers.
-    #[must_use]
-    pub fn new(headers: &[&str]) -> Self {
-        Table {
-            headers: headers.iter().map(|s| (*s).to_owned()).collect(),
-            rows: Vec::new(),
-        }
-    }
-
-    /// Appends one row.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the row width differs from the header width.
-    pub fn row(&mut self, cells: &[&str]) -> &mut Self {
-        assert_eq!(
-            cells.len(),
-            self.headers.len(),
-            "row width must match header width"
-        );
-        self.rows
-            .push(cells.iter().map(|s| (*s).to_owned()).collect());
-        self
-    }
-
-    /// Renders the table with aligned columns. A table with no
-    /// columns renders as an empty string.
-    #[must_use]
-    pub fn render(&self) -> String {
-        let cols = self.headers.len();
-        if cols == 0 {
-            return String::new();
-        }
-        let mut widths: Vec<usize> = self.headers.iter().map(|h| cell_width(h)).collect();
-        for row in &self.rows {
-            for (w, cell) in widths.iter_mut().zip(row) {
-                *w = (*w).max(cell_width(cell));
-            }
-        }
-        let mut out = String::new();
-        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
-            let mut line = String::new();
-            for i in 0..cols {
-                if i > 0 {
-                    line.push_str("  ");
-                }
-                let cell = &cells[i];
-                line.push_str(cell);
-                line.push_str(&" ".repeat(widths[i] - cell_width(cell)));
-            }
-            line.trim_end().to_owned()
-        };
-        out.push_str(&fmt_row(&self.headers, &widths));
-        out.push('\n');
-        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (cols - 1)));
-        out.push('\n');
-        for row in &self.rows {
-            out.push_str(&fmt_row(row, &widths));
-            out.push('\n');
-        }
-        out
-    }
-
-    /// Renders and prints to stdout.
-    pub fn print(&self) {
-        print!("{}", self.render());
-    }
-}
 
 /// Formats a float with three significant decimals for table cells.
 #[must_use]
@@ -134,90 +45,9 @@ pub fn growth_label(class: GrowthClass) -> &'static str {
     }
 }
 
-/// Prints an experiment banner.
-pub fn banner(id: &str, title: &str, paper_ref: &str) {
-    println!("==================================================================");
-    println!("{id}: {title}");
-    println!("paper: {paper_ref}");
-    println!("==================================================================");
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    fn table_renders_aligned() {
-        let mut t = Table::new(&["a", "bbbb"]);
-        t.row(&["1", "2"]);
-        t.row(&["333", "4"]);
-        let r = t.render();
-        let lines: Vec<&str> = r.lines().collect();
-        assert_eq!(lines.len(), 4);
-        assert!(lines[0].starts_with("a"));
-        assert!(lines[2].starts_with("1"));
-    }
-
-    #[test]
-    #[should_panic(expected = "row width")]
-    fn table_rejects_ragged_rows() {
-        let mut t = Table::new(&["a", "b"]);
-        t.row(&["1"]);
-    }
-
-    #[test]
-    fn empty_table_renders_without_panicking() {
-        // Zero columns used to underflow `cols - 1` in the separator.
-        let t = Table::new(&[]);
-        assert_eq!(t.render(), "");
-    }
-
-    #[test]
-    fn headers_only_table_renders_header_and_rule() {
-        let t = Table::new(&["x", "y"]);
-        let r = t.render();
-        let lines: Vec<&str> = r.lines().collect();
-        assert_eq!(lines.len(), 2);
-        assert_eq!(lines[0], "x  y");
-        assert_eq!(lines[1], "----");
-    }
-
-    #[test]
-    fn single_column_table() {
-        let mut t = Table::new(&["value"]);
-        t.row(&["1"]);
-        t.row(&["123456789"]);
-        let r = t.render();
-        let lines: Vec<&str> = r.lines().collect();
-        assert_eq!(lines[1], "-".repeat(9));
-        assert_eq!(lines[3], "123456789");
-    }
-
-    #[test]
-    fn multibyte_cells_align_by_chars_not_bytes() {
-        // "34 µs" is 6 bytes but 5 chars; byte-based widths used to
-        // pad the separator and sibling cells one column too wide.
-        let mut t = Table::new(&["cycle", "unit"]);
-        t.row(&["34 µs", "x"]);
-        t.row(&["500ns", "y"]);
-        let r = t.render();
-        let lines: Vec<&str> = r.lines().collect();
-        // Both data rows align: the second column starts at the same
-        // char offset in each line.
-        let col = |line: &str| line.chars().count() - 1;
-        assert_eq!(col(lines[2]), col(lines[3]), "{r}");
-        // Separator length matches char-width sum: 5 + 4 + 2.
-        assert_eq!(lines[1].chars().count(), 11);
-    }
-
-    #[test]
-    fn multibyte_header_does_not_overpad() {
-        let mut t = Table::new(&["σ_max", "n"]);
-        t.row(&["1.000", "8"]);
-        let r = t.render();
-        let lines: Vec<&str> = r.lines().collect();
-        assert_eq!(lines[0].chars().count(), lines[2].chars().count());
-    }
 
     #[test]
     fn float_formatting() {
@@ -231,5 +61,12 @@ mod tests {
     fn growth_labels() {
         assert_eq!(growth_label(GrowthClass::Constant), "O(1)");
         assert_eq!(growth_label(GrowthClass::Linear), "O(n)");
+    }
+
+    #[test]
+    fn table_reexport_still_works() {
+        let mut t = Table::new(&["a"]);
+        t.row(&["1"]);
+        assert!(t.render().contains('1'));
     }
 }

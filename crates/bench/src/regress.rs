@@ -1,0 +1,301 @@
+//! Regression diffing of experiment JSON reports against committed
+//! baselines — the engine behind the `bench_regress` binary and
+//! `scripts/bench.sh`.
+//!
+//! A report (see [`sim_runtime::json_full`]) has two kinds of content:
+//!
+//! * the **deterministic core** — schema, config, tables, metrics and
+//!   the rendered text — which depends only on `(seed, trials, fast)`
+//!   and must match a committed baseline **exactly**, bit for bit;
+//! * the **volatile `run` section** — thread count, wall-clock times,
+//!   per-worker sweep statistics — which varies run to run and machine
+//!   to machine, and is compared *structurally* (a sweep disappearing
+//!   or a number turning into a string is drift, its value is not);
+//!   an optional percentage band tightens this into a perf gate.
+//!
+//! [`diff_reports`] walks both trees and returns every [`Drift`] with
+//! a JSON path (`$.metrics.e5.naive_failures` style), so a CI failure
+//! names the exact value that moved.
+
+use sim_observe::Json;
+
+/// One observed divergence between a baseline and a current report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Drift {
+    /// JSON path of the diverging value, rooted at `$`.
+    pub path: String,
+    /// Human-readable `expected … got …` description.
+    pub detail: String,
+}
+
+impl std::fmt::Display for Drift {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.path, self.detail)
+    }
+}
+
+/// Diffs a current experiment report against its baseline.
+///
+/// Everything outside the top-level `run` object must be exactly equal
+/// (deterministic core). Inside `run`, structure still has to match —
+/// keys line up, numbers stay numbers, strings match exactly — but
+/// numeric *values* are volatile. By default they are not compared at
+/// all: a single descheduled trial inflates a `trial_ns.max` by
+/// hundreds of x, so no percentage band survives a loaded CI box.
+/// Passing `wall_tol_pct = Some(t)` arms the band: each volatile
+/// number must then lie within `t` percent of its baseline (relative
+/// to the baseline value, with an absolute floor of 1 so near-zero
+/// timings do not trip on noise) — the opt-in perf gate for a quiet
+/// machine. Per-worker arrays may change length either way, since
+/// worker counts follow `--threads` and the machine.
+#[must_use]
+pub fn diff_reports(baseline: &Json, current: &Json, wall_tol_pct: Option<f64>) -> Vec<Drift> {
+    let mut drifts = Vec::new();
+    diff_value(baseline, current, "$", false, wall_tol_pct, &mut drifts);
+    drifts
+}
+
+/// Renders a value compactly for drift messages, truncated so one bad
+/// table does not flood the CI log.
+fn brief(v: &Json) -> String {
+    let s = v.to_compact();
+    match s.char_indices().nth(80) {
+        Some((i, _)) => format!("{}...", &s[..i]),
+        None => s,
+    }
+}
+
+fn type_name(v: &Json) -> &'static str {
+    match v {
+        Json::Null => "null",
+        Json::Bool(_) => "bool",
+        Json::Int(_) | Json::UInt(_) | Json::Float(_) => "number",
+        Json::Str(_) => "string",
+        Json::Array(_) => "array",
+        Json::Object(_) => "object",
+    }
+}
+
+/// Whether `cur` lies within `tol_pct` percent of `base`. Baselines
+/// smaller than 1 get an absolute floor of 1, so a 0.2 ms baseline
+/// does not demand sub-millisecond reproducibility.
+fn within_band(base: f64, cur: f64, tol_pct: f64) -> bool {
+    (cur - base).abs() <= base.abs().max(1.0) * tol_pct / 100.0
+}
+
+fn diff_value(
+    base: &Json,
+    cur: &Json,
+    path: &str,
+    volatile: bool,
+    tol_pct: Option<f64>,
+    out: &mut Vec<Drift>,
+) {
+    match (base, cur) {
+        (Json::Object(b), Json::Object(c)) => {
+            for (k, bv) in b {
+                let child = format!("{path}.{k}");
+                match cur.get(k) {
+                    None => out.push(Drift {
+                        path: child,
+                        detail: "key present in baseline, missing in current".to_owned(),
+                    }),
+                    Some(cv) => {
+                        // The top-level `run` object roots the volatile
+                        // subtree; volatility is sticky below it.
+                        let vol = volatile || (path == "$" && k == "run");
+                        diff_value(bv, cv, &child, vol, tol_pct, out);
+                    }
+                }
+            }
+            for (k, _) in c {
+                if base.get(k).is_none() {
+                    out.push(Drift {
+                        path: format!("{path}.{k}"),
+                        detail: "key missing in baseline, present in current".to_owned(),
+                    });
+                }
+            }
+        }
+        (Json::Array(b), Json::Array(c)) => {
+            if b.len() != c.len() {
+                // Volatile arrays are the per-worker vectors; their
+                // length is the worker count, free to differ.
+                if !volatile {
+                    out.push(Drift {
+                        path: path.to_owned(),
+                        detail: format!("array length {} vs {}", b.len(), c.len()),
+                    });
+                }
+                return;
+            }
+            for (i, (bv, cv)) in b.iter().zip(c).enumerate() {
+                diff_value(bv, cv, &format!("{path}[{i}]"), volatile, tol_pct, out);
+            }
+        }
+        _ => {
+            if volatile {
+                if let (Some(bn), Some(cn)) = (base.as_f64(), cur.as_f64()) {
+                    if let Some(tol) = tol_pct {
+                        if !within_band(bn, cn, tol) {
+                            out.push(Drift {
+                                path: path.to_owned(),
+                                detail: format!(
+                                    "outside ±{tol}% wall-clock band: baseline {bn}, current {cn}"
+                                ),
+                            });
+                        }
+                    }
+                    return;
+                }
+            }
+            if base != cur {
+                out.push(Drift {
+                    path: path.to_owned(),
+                    detail: if type_name(base) == type_name(cur) {
+                        format!("expected {}, got {}", brief(base), brief(cur))
+                    } else {
+                        format!(
+                            "type changed: {} {} vs {} {}",
+                            type_name(base),
+                            brief(base),
+                            type_name(cur),
+                            brief(cur)
+                        )
+                    },
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_observe::parse;
+
+    fn doc(run_wall: f64, metric: u64, workers: &[u64]) -> Json {
+        Json::obj(vec![
+            ("schema", Json::Str("vlsi-sync/experiment-report".into())),
+            ("metrics", Json::obj(vec![("e.count", Json::UInt(metric))])),
+            (
+                "run",
+                Json::obj(vec![
+                    ("wall_ms", Json::Float(run_wall)),
+                    (
+                        "worker_trials",
+                        Json::Array(workers.iter().map(|&w| Json::UInt(w)).collect()),
+                    ),
+                ]),
+            ),
+        ])
+    }
+
+    #[test]
+    fn identical_reports_have_no_drift() {
+        let a = doc(10.0, 42, &[5, 5]);
+        assert!(diff_reports(&a, &a.clone(), None).is_empty());
+        assert!(diff_reports(&a, &a.clone(), Some(10.0)).is_empty());
+    }
+
+    #[test]
+    fn deterministic_drift_is_exact_and_named_by_path() {
+        let a = doc(10.0, 42, &[5, 5]);
+        let b = doc(10.0, 43, &[5, 5]);
+        let drifts = diff_reports(&a, &b, None);
+        assert_eq!(drifts.len(), 1);
+        assert_eq!(drifts[0].path, "$.metrics.e.count");
+        assert!(drifts[0].detail.contains("42"), "{}", drifts[0].detail);
+    }
+
+    #[test]
+    fn wall_clock_is_free_by_default_and_banded_on_request() {
+        let a = doc(10.0, 42, &[5, 5]);
+        let slow = doc(80.0, 42, &[5, 5]);
+        // Default: run-section numbers are structural only.
+        assert!(diff_reports(&a, &slow, None).is_empty());
+        // Armed band: 8x is outside ±50%, inside ±1000%.
+        assert!(diff_reports(&a, &slow, Some(1000.0)).is_empty());
+        let drifts = diff_reports(&a, &slow, Some(50.0));
+        assert_eq!(drifts.len(), 1);
+        assert_eq!(drifts[0].path, "$.run.wall_ms");
+    }
+
+    #[test]
+    fn volatile_number_must_still_be_a_number() {
+        let a = doc(10.0, 42, &[5, 5]);
+        let mut b = a.clone();
+        if let Json::Object(pairs) = &mut b {
+            if let Some(Json::Object(run)) = pairs
+                .iter_mut()
+                .find(|(k, _)| k == "run")
+                .map(|(_, v)| v)
+            {
+                run[0].1 = Json::Str("fast".into());
+            }
+        }
+        let drifts = diff_reports(&a, &b, None);
+        assert_eq!(drifts.len(), 1);
+        assert_eq!(drifts[0].path, "$.run.wall_ms");
+        assert!(drifts[0].detail.contains("type changed"));
+    }
+
+    #[test]
+    fn worker_vectors_may_change_length_but_core_arrays_may_not() {
+        let a = doc(10.0, 42, &[5, 5]);
+        let b = doc(10.0, 42, &[4, 3, 3]);
+        assert!(diff_reports(&a, &b, None).is_empty());
+        assert!(diff_reports(&a, &b, Some(1000.0)).is_empty());
+
+        let core_a = Json::obj(vec![(
+            "rows",
+            Json::Array(vec![Json::UInt(1), Json::UInt(2)]),
+        )]);
+        let core_b = Json::obj(vec![("rows", Json::Array(vec![Json::UInt(1)]))]);
+        let drifts = diff_reports(&core_a, &core_b, None);
+        assert_eq!(drifts.len(), 1);
+        assert_eq!(drifts[0].path, "$.rows");
+        assert!(drifts[0].detail.contains("length"));
+    }
+
+    #[test]
+    fn missing_and_extra_keys_are_drift_even_under_run() {
+        let a = doc(10.0, 42, &[5]);
+        let mut stripped = a.clone();
+        if let Json::Object(pairs) = &mut stripped {
+            if let Some(Json::Object(run)) = pairs
+                .iter_mut()
+                .find(|(k, _)| k == "run")
+                .map(|(_, v)| v)
+            {
+                run.retain(|(k, _)| k != "worker_trials");
+            }
+        }
+        let drifts = diff_reports(&a, &stripped, None);
+        assert_eq!(drifts.len(), 1);
+        assert_eq!(drifts[0].path, "$.run.worker_trials");
+        assert!(drifts[0].detail.contains("missing in current"));
+
+        let drifts = diff_reports(&stripped, &a, None);
+        assert_eq!(drifts.len(), 1);
+        assert!(drifts[0].detail.contains("missing in baseline"));
+    }
+
+    #[test]
+    fn type_changes_are_reported_as_such() {
+        let a = Json::obj(vec![("x", Json::UInt(1))]);
+        let b = Json::obj(vec![("x", Json::Str("1".into()))]);
+        let drifts = diff_reports(&a, &b, None);
+        assert_eq!(drifts.len(), 1);
+        assert!(drifts[0].detail.contains("type changed"));
+    }
+
+    #[test]
+    fn drift_survives_a_serialize_parse_round_trip() {
+        let a = doc(10.0, 42, &[5, 5]);
+        let b = doc(10.0, 99, &[5, 5]);
+        let a2 = parse(&a.to_pretty()).expect("baseline parses");
+        let b2 = parse(&b.to_pretty()).expect("current parses");
+        assert_eq!(diff_reports(&a, &b, None), diff_reports(&a2, &b2, None));
+    }
+}

@@ -1,0 +1,129 @@
+//! End-to-end test of the `bench_regress` binary: baseline creation
+//! with `--update`, a clean re-run, and a loud non-zero exit when a
+//! deterministic value in the committed baseline no longer matches.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn regress(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_bench_regress"))
+        .args(args)
+        .output()
+        .expect("bench_regress spawns")
+}
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "bench_regress_it_{tag}_{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    dir
+}
+
+fn common_args<'a>(bl: &'a str, out: &'a str) -> Vec<&'a str> {
+    vec![
+        "--fast",
+        "--only",
+        "e3",
+        "--seed",
+        "1",
+        "--baselines",
+        bl,
+        "--out",
+        out,
+    ]
+}
+
+#[test]
+fn gate_passes_clean_and_fails_on_tampered_baseline() {
+    let dir = scratch_dir("gate");
+    let bl = dir.join("baselines");
+    let out = dir.join("out");
+    std::fs::create_dir_all(&bl).unwrap();
+    let (bl_s, out_s) = (bl.to_str().unwrap(), out.to_str().unwrap());
+
+    // 1. No baseline yet: the gate must fail, not silently pass.
+    let missing = regress(&common_args(bl_s, out_s));
+    assert!(
+        !missing.status.success(),
+        "missing baseline must be a failure: {}",
+        String::from_utf8_lossy(&missing.stderr)
+    );
+
+    // 2. --update creates the baseline …
+    let mut update_args = common_args(bl_s, out_s);
+    update_args.push("--update");
+    let update = regress(&update_args);
+    assert!(
+        update.status.success(),
+        "--update failed: {}",
+        String::from_utf8_lossy(&update.stderr)
+    );
+    let baseline_path = bl.join("BENCH_e3.json");
+    assert!(baseline_path.exists());
+
+    // … and the snapshot lands under --out too.
+    assert!(out.join("BENCH_e3.json").exists());
+
+    // 3. A clean re-run against the fresh baseline passes.
+    let clean = regress(&common_args(bl_s, out_s));
+    assert!(
+        clean.status.success(),
+        "clean run drifted: {}",
+        String::from_utf8_lossy(&clean.stderr)
+    );
+
+    // 4. Tamper with a deterministic value: `"seed": 1` → `"seed": 2`
+    //    in the config section. The gate must exit non-zero and name
+    //    the JSON path.
+    tamper(&baseline_path, "\"seed\": 1", "\"seed\": 2");
+    let drifted = regress(&common_args(bl_s, out_s));
+    assert!(
+        !drifted.status.success(),
+        "tampered baseline must fail the gate"
+    );
+    let stderr = String::from_utf8_lossy(&drifted.stderr);
+    assert!(
+        stderr.contains("$.config.seed"),
+        "drift should name the JSON path, got:\n{stderr}"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn seed_flag_reaches_the_report() {
+    let dir = scratch_dir("seed");
+    let bl = dir.join("baselines");
+    let out = dir.join("out");
+    std::fs::create_dir_all(&bl).unwrap();
+    let (bl_s, out_s) = (bl.to_str().unwrap(), out.to_str().unwrap());
+
+    let mut update_args = common_args(bl_s, out_s);
+    update_args.push("--update");
+    assert!(regress(&update_args).status.success());
+
+    // Re-checking under a different seed is deterministic drift (the
+    // whole report changes, config.seed included).
+    let mut other_seed = common_args(bl_s, out_s);
+    other_seed[4] = "7";
+    let drifted = regress(&other_seed);
+    assert!(
+        !drifted.status.success(),
+        "a different --seed must not match the seed-1 baseline"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+fn tamper(path: &Path, from: &str, to: &str) {
+    let text = std::fs::read_to_string(path).expect("baseline readable");
+    assert!(
+        text.contains(from),
+        "expected `{from}` in {}",
+        path.display()
+    );
+    std::fs::write(path, text.replace(from, to)).expect("baseline writable");
+}

@@ -205,6 +205,49 @@ impl fmt::Display for StillActiveError {
 
 impl std::error::Error for StillActiveError {}
 
+/// Cumulative event-loop counters of one [`Simulator`].
+///
+/// Maintained as plain `u64` fields bumped inline on the event path —
+/// no atomics, no locks, no allocation — so instrumentation costs a
+/// handful of register increments per event. Snapshot with
+/// [`Simulator::stats`]; export into a metric registry with
+/// [`Simulator::record_metrics`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Events pushed into the queue (including ones later cancelled).
+    pub events_scheduled: u64,
+    /// Events popped and applied as real net changes.
+    pub events_processed: u64,
+    /// Inertial cancellations: conflicting schedules that invalidated
+    /// the in-flight events of a net (a swallowed pulse bumps this).
+    pub cancellations: u64,
+    /// Events popped but discarded as stale (cancelled generation) or
+    /// redundant (no value change).
+    pub dead_events: u64,
+    /// High-water mark of the event queue.
+    pub peak_queue_depth: u64,
+}
+
+impl EngineStats {
+    /// Writes the counters into `metrics` under
+    /// `{prefix}.events_scheduled`, `{prefix}.events_processed`,
+    /// `{prefix}.cancellations`, `{prefix}.dead_events`, and
+    /// `{prefix}.peak_queue_depth`. Adds, so stats from several
+    /// simulators aggregate under one prefix.
+    pub fn record(&self, metrics: &mut sim_observe::Metrics, prefix: &str) {
+        metrics.add(&format!("{prefix}.events_scheduled"), self.events_scheduled);
+        metrics.add(&format!("{prefix}.events_processed"), self.events_processed);
+        metrics.add(&format!("{prefix}.cancellations"), self.cancellations);
+        metrics.add(&format!("{prefix}.dead_events"), self.dead_events);
+        // Peak depth aggregates as a max, not a sum.
+        let key = format!("{prefix}.peak_queue_depth");
+        let prev = metrics.counter(&key);
+        if self.peak_queue_depth > prev {
+            metrics.add(&key, self.peak_queue_depth - prev);
+        }
+    }
+}
+
 /// A deterministic event-driven simulator for gate-level circuits.
 ///
 /// # Examples
@@ -233,6 +276,7 @@ pub struct Simulator {
     now: SimTime,
     seq: u64,
     violations: Vec<TimingViolation>,
+    stats: EngineStats,
 }
 
 impl Simulator {
@@ -536,6 +580,7 @@ impl Simulator {
         if conflict {
             // Cancel everything in flight for this net.
             state.gen += 1;
+            self.stats.cancellations += 1;
             if value == state.value {
                 // Net settles at its current value; nothing to apply.
                 state.scheduled_value = state.value;
@@ -554,6 +599,11 @@ impl Simulator {
             value,
             gen,
         }));
+        self.stats.events_scheduled += 1;
+        let depth = self.queue.len() as u64;
+        if depth > self.stats.peak_queue_depth {
+            self.stats.peak_queue_depth = depth;
+        }
     }
 
     /// Current simulated time.
@@ -578,6 +628,20 @@ impl Simulator {
     #[must_use]
     pub fn pending_events(&self) -> usize {
         self.queue.len()
+    }
+
+    /// Snapshot of the cumulative event-loop counters.
+    #[must_use]
+    pub fn stats(&self) -> EngineStats {
+        self.stats
+    }
+
+    /// Exports this simulator's counters into `metrics` under
+    /// `{prefix}.*` (see [`EngineStats::record`]) and its simulated
+    /// time into the `{prefix}.sim_time_ps` counter.
+    pub fn record_metrics(&self, metrics: &mut sim_observe::Metrics, prefix: &str) {
+        self.stats.record(metrics, prefix);
+        metrics.add(&format!("{prefix}.sim_time_ps"), self.now.as_ps());
     }
 
     /// Runs until the queue is empty or the next event lies beyond
@@ -617,8 +681,10 @@ impl Simulator {
         self.now = ev.time;
         let state = &mut self.nets[ev.net.index()];
         if ev.gen != state.gen || state.value == ev.value {
+            self.stats.dead_events += 1;
             return; // cancelled or redundant
         }
+        self.stats.events_processed += 1;
         state.value = ev.value;
         state.last_change_time = ev.time;
         if let Some(trace) = &mut state.trace {
@@ -1007,6 +1073,56 @@ mod tests {
         sim.run_to_quiescence(ps(100_000)).expect("settles");
         // Slow chain arrives at 1000 + 800; C fires 10 later.
         assert_eq!(sim.transitions(q), &[(ps(1810), true)]);
+    }
+
+    #[test]
+    fn stats_count_processed_and_cancelled_events() {
+        // Wide pulse through a buffer: 2 input events + 2 output
+        // events, all processed, nothing cancelled.
+        let mut sim = Simulator::new();
+        let a = sim.add_net();
+        let b = sim.add_net();
+        sim.add_buffer(a, b, ps(400), ps(100));
+        sim.schedule_input(a, ps(1000), true);
+        sim.schedule_input(a, ps(1500), false);
+        sim.run_to_quiescence(ps(10_000)).expect("settles");
+        let s = sim.stats();
+        assert_eq!(s.events_processed, 4);
+        assert_eq!(s.cancellations, 0);
+        assert_eq!(s.events_scheduled, s.events_processed + s.dead_events);
+        assert!(s.peak_queue_depth >= 1);
+
+        // Narrow pulse: the swallowed output shows up as an inertial
+        // cancellation, and the cancelled rise dies in the queue.
+        let mut sim = Simulator::new();
+        let a = sim.add_net();
+        let b = sim.add_net();
+        sim.add_buffer(a, b, ps(400), ps(100));
+        sim.schedule_input(a, ps(1000), true);
+        sim.schedule_input(a, ps(1200), false);
+        sim.run_to_quiescence(ps(10_000)).expect("settles");
+        let s = sim.stats();
+        assert!(s.cancellations >= 1, "swallowed pulse cancels: {s:?}");
+        assert!(s.dead_events >= 1, "cancelled event dies in queue: {s:?}");
+        assert_eq!(s.events_scheduled, s.events_processed + s.dead_events);
+    }
+
+    #[test]
+    fn record_metrics_exports_counters() {
+        let mut sim = Simulator::new();
+        let a = sim.add_net();
+        let b = sim.add_net();
+        sim.add_buffer(a, b, ps(100), ps(100));
+        sim.schedule_input(a, ps(1000), true);
+        sim.run_to_quiescence(ps(10_000)).expect("settles");
+        let mut m = sim_observe::Metrics::new();
+        sim.record_metrics(&mut m, "engine");
+        assert_eq!(m.counter("engine.events_processed"), 2);
+        assert_eq!(m.counter("engine.sim_time_ps"), 1100);
+        // Peak depth merges as a max across simulators.
+        let peak = m.counter("engine.peak_queue_depth");
+        sim.stats().record(&mut m, "engine");
+        assert_eq!(m.counter("engine.peak_queue_depth"), peak);
     }
 
     #[test]

@@ -350,6 +350,59 @@ impl InverterString {
         hi
     }
 
+    /// Runs a pipelined clock of the given `period` for `cycles`
+    /// cycles with `taps` evenly spaced nets along the string watched,
+    /// and returns the finished simulator together with `(net, name)`
+    /// pairs ready for [`crate::vcd::export_vcd`] — the machinery
+    /// behind the `e6` binary's `--vcd` flag.
+    ///
+    /// The first tap is always the clock input (named `clk_in`), the
+    /// last is the far end of the string; intermediate taps are named
+    /// `stage_<k>` after their stage index. `taps` is clamped to
+    /// `[2, stages + 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period < 2` ps or `cycles == 0`.
+    #[must_use]
+    pub fn waveform(
+        &self,
+        period: SimTime,
+        cycles: usize,
+        taps: usize,
+    ) -> (Simulator, Vec<(NetId, String)>) {
+        assert!(period.as_ps() >= 2, "period too small");
+        assert!(cycles > 0, "need at least one cycle");
+        let mut sim = Simulator::new();
+        let input = sim.add_net();
+        let mut nets = vec![input];
+        let mut prev = input;
+        for &(rise, fall) in &self.delays {
+            let out = sim.add_net();
+            sim.add_inverter(prev, out, rise, fall);
+            nets.push(out);
+            prev = out;
+        }
+        let taps = taps.clamp(2, nets.len());
+        let mut signals = Vec::with_capacity(taps);
+        for k in 0..taps {
+            let idx = k * (nets.len() - 1) / (taps - 1);
+            let name = if idx == 0 {
+                "clk_in".to_owned()
+            } else {
+                format!("stage_{idx}")
+            };
+            sim.watch(nets[idx]);
+            signals.push((nets[idx], name));
+        }
+        let high = SimTime::from_ps(period.as_ps() / 2);
+        sim.schedule_clock(input, SimTime::from_ps(10), period, high, cycles);
+        let limit = period * (cycles as u64 + 4)
+            + self.spec.base_delay * (4 * self.spec.stages as u64 + 16);
+        sim.run_to_quiescence(limit).expect("chain settles");
+        (sim, signals)
+    }
+
     /// Runs the full experiment: equipotential cycle and minimum
     /// pipelined cycle.
     #[must_use]
@@ -543,6 +596,26 @@ mod tests {
             assert!(!chip
                 .pipelined_clock_survives(SimTime::from_ps(min.as_ps() - 2), 4));
         }
+    }
+
+    #[test]
+    fn waveform_taps_span_the_string() {
+        let chip = InverterString::fabricate(quick_spec(32, 0, 0.0, 1));
+        let period = chip.min_pipelined_period(3) * 2;
+        let (sim, signals) = chip.waveform(period, 3, 5);
+        assert_eq!(signals.len(), 5);
+        assert_eq!(signals[0].1, "clk_in");
+        assert_eq!(signals.last().expect("taps").1, "stage_32");
+        // Every tap carries the full clock train: 2 transitions/cycle.
+        for (net, name) in &signals {
+            assert_eq!(sim.transitions(*net).len(), 6, "tap {name}");
+        }
+        // And the result feeds straight into the VCD exporter.
+        let named: Vec<(NetId, &str)> =
+            signals.iter().map(|(n, s)| (*n, s.as_str())).collect();
+        let vcd = crate::vcd::export_vcd(&sim, &named);
+        assert!(vcd.contains("$var wire 1 ! clk_in $end"));
+        assert!(sim.stats().events_processed > 0);
     }
 
     #[test]

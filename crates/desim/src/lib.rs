@@ -47,7 +47,9 @@ pub mod time;
 /// Convenient re-exports of the crate's primary items.
 pub mod prelude {
     pub use crate::clocked_chain::{analytic_min_period, run_chain, ChainOutcome, ClockedChainSpec};
-    pub use crate::engine::{GateFn, NetId, Simulator, StillActiveError, TimingViolation, ViolationKind};
+    pub use crate::engine::{
+        EngineStats, GateFn, NetId, Simulator, StillActiveError, TimingViolation, ViolationKind,
+    };
     pub use crate::inverter_string::{
         fabrication_yield, fabrication_yield_par, InverterString, InverterStringResult,
         InverterStringSpec,

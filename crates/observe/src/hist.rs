@@ -1,0 +1,292 @@
+//! [`LogHistogram`]: a fixed-memory log-scale histogram for latency-
+//! and count-shaped data.
+//!
+//! Values are bucketed HdrHistogram-style: exact below 16, then 16
+//! linear sub-buckets per power of two, giving a worst-case relative
+//! error of 1/16 ≈ 6.25 % across the full `u64` range with a constant
+//! 976-slot table. Recording is a bounds-check plus one add — cheap
+//! enough for per-trial timings — and merging two histograms is a
+//! element-wise sum, which is what lets per-worker histograms combine
+//! into one deterministic summary.
+
+use crate::json::Json;
+
+/// Sub-buckets per power of two (and the exact-value threshold).
+const SUBS: u64 = 16;
+/// Total bucket count: 16 exact + 16 per magnitude 4..=63.
+const BUCKETS: usize = (SUBS as usize) * 61;
+
+/// A log-scale histogram over `u64` samples with exact count/min/max/
+/// sum and ≈6 % quantiles.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LogHistogram {
+    counts: Vec<u64>,
+    total: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        LogHistogram::new()
+    }
+}
+
+/// Bucket index of a value.
+fn index_of(v: u64) -> usize {
+    if v < SUBS {
+        v as usize
+    } else {
+        let m = 63 - v.leading_zeros() as usize; // magnitude, >= 4
+        let sub = ((v >> (m - 4)) & (SUBS - 1)) as usize;
+        (m - 3) * SUBS as usize + sub
+    }
+}
+
+/// Lower bound (representative value) of a bucket.
+fn bound_of(index: usize) -> u64 {
+    let subs = SUBS as usize;
+    if index < subs {
+        index as u64
+    } else {
+        let m = index / subs + 3;
+        let sub = (index % subs) as u64;
+        (SUBS + sub) << (m - 4)
+    }
+}
+
+impl LogHistogram {
+    /// An empty histogram.
+    #[must_use]
+    pub fn new() -> Self {
+        LogHistogram {
+            counts: vec![0; BUCKETS],
+            total: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, v: u64) {
+        self.counts[index_of(v)] += 1;
+        self.total += 1;
+        self.sum += u128::from(v);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Adds every sample of `other` into `self`.
+    pub fn merge(&mut self, other: &LogHistogram) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.total += other.total;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of recorded samples.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Smallest recorded sample (`None` when empty). Exact.
+    #[must_use]
+    pub fn min(&self) -> Option<u64> {
+        (self.total > 0).then_some(self.min)
+    }
+
+    /// Largest recorded sample (`None` when empty). Exact.
+    #[must_use]
+    pub fn max(&self) -> Option<u64> {
+        (self.total > 0).then_some(self.max)
+    }
+
+    /// Mean of the recorded samples (`None` when empty). Exact (the
+    /// sum is held in 128 bits).
+    #[must_use]
+    pub fn mean(&self) -> Option<f64> {
+        (self.total > 0).then(|| self.sum as f64 / self.total as f64)
+    }
+
+    /// The `q`-quantile (`q` in `[0, 100]`) as the lower bound of the
+    /// bucket holding that rank — within 6.25 % of the true sample,
+    /// clamped to the exact min/max. `None` when empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 100]`.
+    #[must_use]
+    pub fn percentile(&self, q: f64) -> Option<u64> {
+        assert!((0.0..=100.0).contains(&q), "quantile out of range: {q}");
+        if self.total == 0 {
+            return None;
+        }
+        // Rank of the target sample, 1-based, ceil so p100 = last.
+        let rank = ((q / 100.0) * self.total as f64).ceil().max(1.0) as u64;
+        let last_nonempty = self
+            .counts
+            .iter()
+            .rposition(|&c| c > 0)
+            .expect("non-empty histogram has a non-empty bucket");
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                // The highest occupied bucket reports the exact max —
+                // its lower bound can sit well below the recorded top.
+                if i == last_nonempty {
+                    return Some(self.max);
+                }
+                return Some(bound_of(i).clamp(self.min, self.max));
+            }
+        }
+        Some(self.max)
+    }
+
+    /// Median (see [`LogHistogram::percentile`]).
+    #[must_use]
+    pub fn p50(&self) -> Option<u64> {
+        self.percentile(50.0)
+    }
+
+    /// 95th percentile.
+    #[must_use]
+    pub fn p95(&self) -> Option<u64> {
+        self.percentile(95.0)
+    }
+
+    /// 99th percentile.
+    #[must_use]
+    pub fn p99(&self) -> Option<u64> {
+        self.percentile(99.0)
+    }
+
+    /// Summary object: `count`, and when non-empty `min`/`mean`/`p50`/
+    /// `p95`/`p99`/`max`.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        let mut pairs = vec![("count".to_owned(), Json::UInt(self.total))];
+        if self.total > 0 {
+            pairs.push(("min".to_owned(), Json::UInt(self.min)));
+            pairs.push((
+                "mean".to_owned(),
+                Json::Float(self.mean().unwrap_or(0.0)),
+            ));
+            for (name, q) in [("p50", 50.0), ("p95", 95.0), ("p99", 99.0)] {
+                pairs.push((
+                    name.to_owned(),
+                    Json::UInt(self.percentile(q).unwrap_or(0)),
+                ));
+            }
+            pairs.push(("max".to_owned(), Json::UInt(self.max)));
+        }
+        Json::Object(pairs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_has_no_percentiles() {
+        let h = LogHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.p50(), None);
+        assert_eq!(h.min(), None);
+        assert_eq!(h.max(), None);
+        assert_eq!(h.mean(), None);
+        assert_eq!(h.to_json().to_compact(), r#"{"count":0}"#);
+    }
+
+    #[test]
+    fn single_sample_dominates_every_percentile() {
+        let mut h = LogHistogram::new();
+        h.record(42);
+        assert_eq!(h.count(), 1);
+        for q in [0.0, 50.0, 95.0, 99.0, 100.0] {
+            assert_eq!(h.percentile(q), Some(42), "q={q}");
+        }
+        assert_eq!(h.mean(), Some(42.0));
+    }
+
+    #[test]
+    fn small_values_are_exact() {
+        let mut h = LogHistogram::new();
+        for v in 0..16 {
+            h.record(v);
+        }
+        assert_eq!(h.percentile(0.0), Some(0));
+        assert_eq!(h.p50(), Some(7));
+        assert_eq!(h.percentile(100.0), Some(15));
+    }
+
+    #[test]
+    fn saturating_extremes_do_not_overflow() {
+        let mut h = LogHistogram::new();
+        h.record(u64::MAX);
+        h.record(u64::MAX);
+        h.record(0);
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.max(), Some(u64::MAX));
+        assert_eq!(h.min(), Some(0));
+        // p99 lands in the top bucket, clamped to the exact max.
+        assert_eq!(h.p99(), Some(u64::MAX));
+    }
+
+    #[test]
+    fn percentiles_within_relative_error_bound() {
+        let mut h = LogHistogram::new();
+        for v in 1..=10_000u64 {
+            h.record(v);
+        }
+        for (q, expect) in [(50.0, 5_000.0), (95.0, 9_500.0), (99.0, 9_900.0)] {
+            let got = h.percentile(q).unwrap() as f64;
+            let rel = (got - expect).abs() / expect;
+            assert!(rel <= 1.0 / 16.0 + 1e-9, "q={q}: got {got}, rel {rel}");
+        }
+    }
+
+    #[test]
+    fn merge_equals_recording_everything_in_one() {
+        let mut a = LogHistogram::new();
+        let mut b = LogHistogram::new();
+        let mut whole = LogHistogram::new();
+        for v in 0..500u64 {
+            let v = v * 37 % 1013;
+            if v % 2 == 0 {
+                a.record(v);
+            } else {
+                b.record(v);
+            }
+            whole.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, whole);
+    }
+
+    #[test]
+    fn bucket_bounds_are_consistent() {
+        for v in [0, 1, 15, 16, 17, 42, 63, 64, 1000, 1 << 20, u64::MAX] {
+            let idx = index_of(v);
+            let lo = bound_of(idx);
+            assert!(lo <= v, "bound {lo} above value {v}");
+            // The next bucket starts above v.
+            if idx + 1 < BUCKETS {
+                assert!(bound_of(idx + 1) > v, "value {v} beyond bucket {idx}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile out of range")]
+    fn quantile_out_of_range_panics() {
+        let _ = LogHistogram::new().percentile(101.0);
+    }
+}

@@ -1,0 +1,639 @@
+//! A hand-rolled, deterministic JSON value type, serializer, and
+//! parser.
+//!
+//! The workspace is zero-dependency by policy (the tier-1 gate builds
+//! offline), so instead of serde this module provides the minimal
+//! machinery the experiment reports and the regression gate need:
+//!
+//! * [`Json`] — a value tree whose objects are **ordered** pair lists,
+//!   so serialization order is exactly insertion order and two
+//!   identically built reports serialize to identical bytes;
+//! * [`Json::to_compact`] / [`Json::to_pretty`] — deterministic
+//!   writers (numbers use Rust's shortest round-trip float formatting,
+//!   which is platform-independent);
+//! * [`parse`] — a small recursive-descent parser, used by the
+//!   round-trip tests and by `bench_regress` to load committed
+//!   baselines.
+//!
+//! Non-finite floats have no JSON representation; they serialize as
+//! `null` (and the tests pin that behaviour).
+
+use std::fmt::Write as _;
+
+/// A JSON value with insertion-ordered objects.
+#[derive(Debug, Clone)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A signed integer (negative numbers parse to this).
+    Int(i64),
+    /// An unsigned integer (non-negative numbers parse to this).
+    UInt(u64),
+    /// A finite double. Non-finite values serialize as `null`.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Array(Vec<Json>),
+    /// An object: insertion-ordered `(key, value)` pairs.
+    Object(Vec<(String, Json)>),
+}
+
+impl PartialEq for Json {
+    /// Structural equality; `Int`/`UInt` compare by numeric value so a
+    /// serialized-then-parsed tree equals its source.
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (Json::Null, Json::Null) => true,
+            (Json::Bool(a), Json::Bool(b)) => a == b,
+            (Json::Int(a), Json::Int(b)) => a == b,
+            (Json::UInt(a), Json::UInt(b)) => a == b,
+            (Json::Int(a), Json::UInt(b)) | (Json::UInt(b), Json::Int(a)) => {
+                u64::try_from(*a).is_ok_and(|a| a == *b)
+            }
+            (Json::Float(a), Json::Float(b)) => a == b,
+            (Json::Str(a), Json::Str(b)) => a == b,
+            (Json::Array(a), Json::Array(b)) => a == b,
+            (Json::Object(a), Json::Object(b)) => a == b,
+            _ => false,
+        }
+    }
+}
+
+impl Json {
+    /// Builds an object from `(key, value)` pairs, preserving order.
+    #[must_use]
+    pub fn obj<K: Into<String>>(pairs: Vec<(K, Json)>) -> Json {
+        Json::Object(pairs.into_iter().map(|(k, v)| (k.into(), v)).collect())
+    }
+
+    /// Looks a key up in an object; `None` for other variants.
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Object(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload as f64, if this is any number.
+    #[must_use]
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Int(v) => Some(*v as f64),
+            Json::UInt(v) => Some(*v as f64),
+            Json::Float(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The object pairs, if this is an object.
+    #[must_use]
+    pub fn as_object(&self) -> Option<&[(String, Json)]> {
+        match self {
+            Json::Object(pairs) => Some(pairs),
+            _ => None,
+        }
+    }
+
+    /// Serializes without whitespace.
+    #[must_use]
+    pub fn to_compact(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, None, 0);
+        out
+    }
+
+    /// Serializes with two-space indentation and a trailing newline —
+    /// the format of the committed baseline and `BENCH_*.json` files.
+    #[must_use]
+    pub fn to_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, Some(2), 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: Option<usize>, depth: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Int(v) => {
+                let _ = write!(out, "{v}");
+            }
+            Json::UInt(v) => {
+                let _ = write!(out, "{v}");
+            }
+            Json::Float(v) => out.push_str(&fmt_f64(*v)),
+            Json::Str(s) => write_escaped(out, s),
+            Json::Array(items) => {
+                write_seq(out, indent, depth, items.len(), '[', ']', |out, i| {
+                    items[i].write(out, indent, depth + 1);
+                });
+            }
+            Json::Object(pairs) => {
+                write_seq(out, indent, depth, pairs.len(), '{', '}', |out, i| {
+                    let (k, v) = &pairs[i];
+                    write_escaped(out, k);
+                    out.push(':');
+                    if indent.is_some() {
+                        out.push(' ');
+                    }
+                    v.write(out, indent, depth + 1);
+                });
+            }
+        }
+    }
+}
+
+fn write_seq(
+    out: &mut String,
+    indent: Option<usize>,
+    depth: usize,
+    len: usize,
+    open: char,
+    close: char,
+    mut item: impl FnMut(&mut String, usize),
+) {
+    out.push(open);
+    if len == 0 {
+        out.push(close);
+        return;
+    }
+    for i in 0..len {
+        if i > 0 {
+            out.push(',');
+        }
+        if let Some(step) = indent {
+            out.push('\n');
+            out.push_str(&" ".repeat(step * (depth + 1)));
+        }
+        item(out, i);
+    }
+    if let Some(step) = indent {
+        out.push('\n');
+        out.push_str(&" ".repeat(step * depth));
+    }
+    out.push(close);
+}
+
+/// Deterministic float formatting: non-finite values have no JSON
+/// representation and render as `null`; integral values keep one
+/// decimal (`1.0`, not `1`) so they round-trip back to floats; all
+/// other values use Rust's shortest round-trip representation.
+#[must_use]
+pub fn fmt_f64(v: f64) -> String {
+    if !v.is_finite() {
+        "null".to_owned()
+    } else if v == v.trunc() && v.abs() < 1.0e15 {
+        format!("{v:.1}")
+    } else {
+        format!("{v}")
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl From<bool> for Json {
+    fn from(v: bool) -> Self {
+        Json::Bool(v)
+    }
+}
+impl From<u64> for Json {
+    fn from(v: u64) -> Self {
+        Json::UInt(v)
+    }
+}
+impl From<usize> for Json {
+    fn from(v: usize) -> Self {
+        Json::UInt(v as u64)
+    }
+}
+impl From<i64> for Json {
+    fn from(v: i64) -> Self {
+        Json::Int(v)
+    }
+}
+impl From<f64> for Json {
+    fn from(v: f64) -> Self {
+        Json::Float(v)
+    }
+}
+impl From<&str> for Json {
+    fn from(v: &str) -> Self {
+        Json::Str(v.to_owned())
+    }
+}
+impl From<String> for Json {
+    fn from(v: String) -> Self {
+        Json::Str(v)
+    }
+}
+impl<T: Into<Json>> From<Vec<T>> for Json {
+    fn from(v: Vec<T>) -> Self {
+        Json::Array(v.into_iter().map(Into::into).collect())
+    }
+}
+
+/// A parse failure: what went wrong and the byte offset it happened
+/// at.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    /// Human description of the failure.
+    pub message: String,
+    /// Byte offset into the input.
+    pub offset: usize,
+}
+
+impl std::fmt::Display for JsonError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "JSON parse error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+/// Parses a JSON document (one value plus surrounding whitespace).
+///
+/// # Errors
+///
+/// Returns a [`JsonError`] with the failing byte offset on malformed
+/// input or trailing garbage.
+pub fn parse(input: &str) -> Result<Json, JsonError> {
+    let mut p = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let value = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing characters after value"));
+    }
+    Ok(value)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn err(&self, message: &str) -> JsonError {
+        JsonError {
+            message: message.to_owned(),
+            offset: self.pos,
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, expected: u8) -> Result<(), JsonError> {
+        if self.peek() == Some(expected) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected `{}`", expected as char)))
+        }
+    }
+
+    fn eat_literal(&mut self, lit: &str, value: Json) -> Result<Json, JsonError> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(value)
+        } else {
+            Err(self.err(&format!("expected `{lit}`")))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, JsonError> {
+        match self.peek() {
+            Some(b'n') => self.eat_literal("null", Json::Null),
+            Some(b't') => self.eat_literal("true", Json::Bool(true)),
+            Some(b'f') => self.eat_literal("false", Json::Bool(false)),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            _ => Err(self.err("expected a JSON value")),
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, JsonError> {
+        self.eat(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Array(items));
+                }
+                _ => return Err(self.err("expected `,` or `]`")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, JsonError> {
+        self.eat(b'{')?;
+        let mut pairs = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Object(pairs));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.eat(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            pairs.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Object(pairs));
+                }
+                _ => return Err(self.err("expected `,` or `}`")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            let Some(b) = self.peek() else {
+                return Err(self.err("unterminated string"));
+            };
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let Some(esc) = self.peek() else {
+                        return Err(self.err("unterminated escape"));
+                    };
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{08}'),
+                        b'f' => out.push('\u{0c}'),
+                        b'u' => {
+                            let hi = self.hex4()?;
+                            let c = if (0xD800..0xDC00).contains(&hi) {
+                                // Surrogate pair: expect \uXXXX low half.
+                                self.eat(b'\\')?;
+                                self.eat(b'u')?;
+                                let lo = self.hex4()?;
+                                if !(0xDC00..0xE000).contains(&lo) {
+                                    return Err(self.err("invalid low surrogate"));
+                                }
+                                let code =
+                                    0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00);
+                                char::from_u32(code)
+                            } else {
+                                char::from_u32(hi)
+                            };
+                            out.push(c.ok_or_else(|| self.err("invalid \\u escape"))?);
+                        }
+                        _ => return Err(self.err("unknown escape")),
+                    }
+                }
+                b if b < 0x20 => return Err(self.err("control character in string")),
+                b if b < 0x80 => out.push(b as char),
+                _ => {
+                    // Multi-byte UTF-8: the input is a &str, so the
+                    // sequence is valid; copy it through.
+                    let start = self.pos - 1;
+                    let len = utf8_len(b);
+                    self.pos = start + len;
+                    let s = std::str::from_utf8(&self.bytes[start..self.pos])
+                        .map_err(|_| self.err("invalid UTF-8"))?;
+                    out.push_str(s);
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, JsonError> {
+        let end = self.pos + 4;
+        if end > self.bytes.len() {
+            return Err(self.err("truncated \\u escape"));
+        }
+        let s = std::str::from_utf8(&self.bytes[self.pos..end])
+            .map_err(|_| self.err("invalid \\u escape"))?;
+        let v = u32::from_str_radix(s, 16).map_err(|_| self.err("invalid \\u escape"))?;
+        self.pos = end;
+        Ok(v)
+    }
+
+    fn number(&mut self) -> Result<Json, JsonError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("invalid number"))?;
+        if is_float {
+            let v: f64 = text.parse().map_err(|_| self.err("invalid number"))?;
+            if !v.is_finite() {
+                return Err(self.err("number out of range"));
+            }
+            Ok(Json::Float(v))
+        } else if let Ok(v) = text.parse::<u64>() {
+            Ok(Json::UInt(v))
+        } else if let Ok(v) = text.parse::<i64>() {
+            Ok(Json::Int(v))
+        } else {
+            // Integer literal wider than 64 bits: fall back to f64.
+            let v: f64 = text.parse().map_err(|_| self.err("invalid number"))?;
+            Ok(Json::Float(v))
+        }
+    }
+}
+
+fn utf8_len(first: u8) -> usize {
+    match first {
+        0xC0..=0xDF => 2,
+        0xE0..=0xEF => 3,
+        _ => 4,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escaping_covers_quotes_backslashes_and_controls() {
+        let j = Json::from("a\"b\\c\nd\te\u{01}f");
+        assert_eq!(j.to_compact(), r#""a\"b\\c\nd\te\u0001f""#);
+    }
+
+    #[test]
+    fn non_finite_floats_serialize_as_null() {
+        assert_eq!(Json::Float(f64::NAN).to_compact(), "null");
+        assert_eq!(Json::Float(f64::INFINITY).to_compact(), "null");
+        assert_eq!(Json::Float(f64::NEG_INFINITY).to_compact(), "null");
+    }
+
+    #[test]
+    fn integral_floats_keep_a_decimal_point() {
+        assert_eq!(Json::Float(1.0).to_compact(), "1.0");
+        assert_eq!(Json::Float(-3.0).to_compact(), "-3.0");
+        assert_eq!(Json::Float(0.5).to_compact(), "0.5");
+        assert_eq!(Json::Float(1.1).to_compact(), "1.1");
+    }
+
+    #[test]
+    fn object_order_is_insertion_order() {
+        let j = Json::obj(vec![("z", Json::from(1u64)), ("a", Json::from(2u64))]);
+        assert_eq!(j.to_compact(), r#"{"z":1,"a":2}"#);
+    }
+
+    #[test]
+    fn round_trip_through_the_parser() {
+        let j = Json::obj(vec![
+            ("name", Json::from("e1 µ-bench \"quoted\"")),
+            ("count", Json::from(12u64)),
+            ("neg", Json::from(-5i64)),
+            ("ratio", Json::from(0.125)),
+            ("whole", Json::from(68.0)),
+            ("ok", Json::from(true)),
+            ("none", Json::Null),
+            ("rows", Json::Array(vec![Json::from("a"), Json::from(2u64)])),
+            ("empty_obj", Json::obj::<String>(vec![])),
+            ("empty_arr", Json::Array(vec![])),
+        ]);
+        for text in [j.to_compact(), j.to_pretty()] {
+            let back = parse(&text).expect("parses");
+            assert_eq!(back, j, "round-trip diverged for {text}");
+        }
+    }
+
+    #[test]
+    fn serialize_parse_serialize_is_idempotent() {
+        let j = Json::obj(vec![
+            ("pi", Json::from(std::f64::consts::PI)),
+            ("big", Json::from(u64::MAX)),
+            ("text", Json::from("line1\nline2")),
+        ]);
+        let once = j.to_pretty();
+        let twice = parse(&once).expect("parses").to_pretty();
+        assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn parser_handles_unicode_escapes() {
+        assert_eq!(parse(r#""µs""#).unwrap(), Json::from("µs"));
+        assert_eq!(parse(r#""😀""#).unwrap(), Json::from("😀"));
+        assert_eq!(parse("\"µs raw\"").unwrap(), Json::from("µs raw"));
+    }
+
+    #[test]
+    fn parser_rejects_garbage() {
+        assert!(parse("").is_err());
+        assert!(parse("{").is_err());
+        assert!(parse("[1,]").is_err());
+        assert!(parse("{\"a\" 1}").is_err());
+        assert!(parse("true false").is_err());
+        assert!(parse("\"unterminated").is_err());
+        let err = parse("nul").unwrap_err();
+        assert!(err.to_string().contains("byte 0"));
+    }
+
+    #[test]
+    fn numbers_parse_to_natural_variants() {
+        assert_eq!(parse("42").unwrap(), Json::UInt(42));
+        assert_eq!(parse("-42").unwrap(), Json::Int(-42));
+        assert_eq!(parse("4.5").unwrap(), Json::Float(4.5));
+        assert_eq!(parse("1e3").unwrap(), Json::Float(1000.0));
+        assert_eq!(
+            parse("18446744073709551615").unwrap(),
+            Json::UInt(u64::MAX)
+        );
+    }
+
+    #[test]
+    fn int_and_uint_compare_by_value() {
+        assert_eq!(Json::Int(7), Json::UInt(7));
+        assert_ne!(Json::Int(-7), Json::UInt(7));
+    }
+
+    #[test]
+    fn get_and_accessors() {
+        let j = Json::obj(vec![("k", Json::from("v")), ("n", Json::from(2u64))]);
+        assert_eq!(j.get("k").and_then(Json::as_str), Some("v"));
+        assert_eq!(j.get("n").and_then(Json::as_f64), Some(2.0));
+        assert!(j.get("missing").is_none());
+        assert!(Json::Null.get("k").is_none());
+    }
+}

@@ -1,0 +1,97 @@
+//! Monotonic span timers over `std::time::Instant`.
+//!
+//! Wall-clock numbers are *volatile* telemetry: they belong in the
+//! `run` section of a JSON report (and are compared with percentage
+//! bands, never exactly). The types here make the measuring side
+//! one-liners.
+
+use crate::metrics::Metrics;
+use std::time::{Duration, Instant};
+
+/// A started monotonic span.
+///
+/// # Examples
+///
+/// ```
+/// use sim_observe::SpanTimer;
+///
+/// let span = SpanTimer::start();
+/// let out = (0..1000u64).sum::<u64>();
+/// assert!(out > 0);
+/// assert!(span.elapsed().as_nanos() > 0);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct SpanTimer {
+    start: Instant,
+}
+
+impl SpanTimer {
+    /// Starts a span now.
+    #[must_use]
+    pub fn start() -> Self {
+        SpanTimer {
+            start: Instant::now(),
+        }
+    }
+
+    /// Time elapsed since the span started.
+    #[must_use]
+    pub fn elapsed(&self) -> Duration {
+        self.start.elapsed()
+    }
+
+    /// Elapsed time in (fractional) milliseconds.
+    #[must_use]
+    pub fn elapsed_ms(&self) -> f64 {
+        self.elapsed().as_secs_f64() * 1e3
+    }
+
+    /// Ends the span, recording its nanosecond length into the named
+    /// histogram of `metrics`; returns the duration.
+    pub fn stop_into(self, metrics: &mut Metrics, name: &str) -> Duration {
+        let d = self.elapsed();
+        metrics.observe(name, duration_ns(d));
+        d
+    }
+}
+
+/// A duration as saturating nanoseconds (histograms take `u64`).
+#[must_use]
+pub fn duration_ns(d: Duration) -> u64 {
+    u64::try_from(d.as_nanos()).unwrap_or(u64::MAX)
+}
+
+/// Runs `f`, returning its result and how long it took.
+pub fn timed<T>(f: impl FnOnce() -> T) -> (T, Duration) {
+    let span = SpanTimer::start();
+    let out = f();
+    (out, span.elapsed())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_records_into_metrics() {
+        let mut m = Metrics::new();
+        let span = SpanTimer::start();
+        std::hint::black_box((0..10_000u64).sum::<u64>());
+        let d = span.stop_into(&mut m, "work_ns");
+        assert!(d.as_nanos() > 0);
+        assert_eq!(m.hist("work_ns").unwrap().count(), 1);
+    }
+
+    #[test]
+    fn timed_returns_result_and_duration() {
+        let (v, d) = timed(|| 7u32);
+        assert_eq!(v, 7);
+        assert!(d.as_nanos() < u128::from(u64::MAX));
+    }
+
+    #[test]
+    fn duration_ns_saturates() {
+        assert_eq!(duration_ns(Duration::from_nanos(5)), 5);
+        assert_eq!(duration_ns(Duration::MAX), u64::MAX);
+    }
+}

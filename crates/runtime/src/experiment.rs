@@ -2,8 +2,8 @@
 //!
 //! Each binary used to carry its own copy-pasted `main` scaffolding;
 //! now an experiment is a type implementing [`Experiment`] that builds
-//! a [`Report`], and the binary is one call to [`run_cli`]. The shared
-//! CLI surface is:
+//! a [`Report`], and the binary is one call to [`run_cli_in`]. The
+//! shared CLI surface is:
 //!
 //! ```text
 //! --trials N    override the experiment's Monte-Carlo trial count
@@ -11,14 +11,23 @@
 //! --threads T   worker threads for ParallelSweep loops (default:
 //!               SIM_THREADS, else all cores)
 //! --fast        reduced sizes/trials for smoke tests and CI
+//! --json PATH   also write the structured JSON report to PATH
+//! --vcd PATH    dump a VCD waveform (experiments that support it)
+//! --list        list the registered experiments and exit
 //! ```
 //!
-//! Reports are plain strings built deterministically, which is what
-//! lets `tests/determinism.rs` assert that `--threads 1` and
-//! `--threads 8` produce byte-identical output.
+//! Reports are built deterministically — the text and the
+//! deterministic JSON core depend only on `(seed, trials, fast)`,
+//! never on `--threads` — which is what lets `tests/determinism.rs`
+//! assert byte-identical output across thread counts. Under the CLI
+//! the report *streams*: each line is printed the moment the
+//! experiment appends it, and the very same bytes are captured once
+//! for the `--json` view, so the two can never diverge.
 
+use crate::report::{json_full, Report, RunInfo};
 use crate::rng::SimRng;
 use crate::sweep::ParallelSweep;
+use sim_observe::SpanTimer;
 use std::fmt;
 
 /// Shared run configuration parsed from the experiment CLI.
@@ -34,6 +43,17 @@ pub struct ExpConfig {
     pub threads: usize,
     /// Run at reduced sizes/trials (smoke-test mode).
     pub fast: bool,
+    /// Where to write the structured JSON report (`--json PATH`).
+    pub json: Option<String>,
+    /// Where to write a VCD waveform dump (`--vcd PATH`); honoured by
+    /// experiments that drive the event simulator, ignored elsewhere.
+    pub vcd: Option<String>,
+    /// List registered experiments instead of running (`--list`).
+    pub list: bool,
+    /// Tee report output to stdout as it is built. Set by the CLI
+    /// driver, never from flags: library callers and tests want the
+    /// silent default.
+    pub stream: bool,
 }
 
 impl Default for ExpConfig {
@@ -43,6 +63,10 @@ impl Default for ExpConfig {
             seed: 1,
             threads: ParallelSweep::from_env().threads(),
             fast: false,
+            json: None,
+            vcd: None,
+            list: false,
+            stream: false,
         }
     }
 }
@@ -73,12 +97,19 @@ impl ExpConfig {
             v.and_then(|s| s.parse::<u64>().ok())
                 .ok_or_else(|| format!("{name} needs a non-negative integer argument"))
         };
+        let path = |name: &str, v: Option<String>| -> Result<String, String> {
+            v.filter(|s| !s.is_empty())
+                .ok_or_else(|| format!("{name} needs a file path argument"))
+        };
         while let Some(arg) = it.next() {
             match arg.as_str() {
                 "--trials" => cfg.trials = Some(parse("--trials", it.next())? as usize),
                 "--seed" => cfg.seed = parse("--seed", it.next())?,
                 "--threads" => cfg.threads = parse("--threads", it.next())? as usize,
                 "--fast" => cfg.fast = true,
+                "--json" => cfg.json = Some(path("--json", it.next())?),
+                "--vcd" => cfg.vcd = Some(path("--vcd", it.next())?),
+                "--list" => cfg.list = true,
                 "--help" | "-h" => return Err(USAGE.to_owned()),
                 other => return Err(format!("unknown argument `{other}`\n{USAGE}")),
             }
@@ -118,55 +149,21 @@ impl ExpConfig {
     pub fn rng(&self) -> SimRng {
         SimRng::seed_from_u64(self.seed)
     }
-}
 
-const USAGE: &str = "usage: <experiment> [--trials N] [--seed S] [--threads T] [--fast]";
-
-/// A deterministic plain-text experiment report.
-///
-/// Building output into a `Report` (instead of printing as you go) is
-/// what makes experiments byte-comparable across thread counts.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
-pub struct Report {
-    buf: String,
-}
-
-impl Report {
-    /// An empty report.
+    /// A fresh report honouring this configuration's streaming mode —
+    /// the first line of every migrated experiment body.
     #[must_use]
-    pub fn new() -> Self {
-        Report::default()
-    }
-
-    /// Appends one line (a trailing newline is added).
-    pub fn line(&mut self, s: impl AsRef<str>) {
-        self.buf.push_str(s.as_ref());
-        self.buf.push('\n');
-    }
-
-    /// Appends an empty line.
-    pub fn blank(&mut self) {
-        self.buf.push('\n');
-    }
-
-    /// Appends pre-rendered text verbatim (e.g. a rendered table,
-    /// which already ends in a newline).
-    pub fn text(&mut self, s: impl AsRef<str>) {
-        self.buf.push_str(s.as_ref());
-    }
-
-    /// The report body.
-    #[must_use]
-    pub fn as_str(&self) -> &str {
-        &self.buf
+    pub fn report(&self) -> Report {
+        if self.stream {
+            Report::streaming()
+        } else {
+            Report::new()
+        }
     }
 }
 
-impl fmt::Display for Report {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(&self.buf)
-    }
-}
+const USAGE: &str = "usage: <experiment> [--trials N] [--seed S] [--threads T] [--fast] \
+[--json PATH] [--vcd PATH] [--list]";
 
 /// Appends one formatted line to a [`Report`] — the drop-in
 /// replacement for `println!` in migrated experiment bodies.
@@ -203,7 +200,9 @@ pub trait Experiment: Sync {
     /// from `cfg.seed` via [`ParallelSweep`]).
     ///
     /// Must be deterministic in `(cfg.trials, cfg.seed, cfg.fast)` —
-    /// and in particular independent of `cfg.threads`.
+    /// and in particular independent of `cfg.threads`. Wall-clock
+    /// telemetry goes through [`Report::record_sweep`], which the
+    /// deterministic report sections exclude.
     fn run(&self, cfg: &ExpConfig, rng: &mut SimRng) -> Report;
 }
 
@@ -275,40 +274,159 @@ impl Registry {
     pub fn is_empty(&self) -> bool {
         self.entries.is_empty()
     }
+
+    /// One line per experiment — `name  title  [paper ref]` — in
+    /// registration order; what `--list` prints.
+    #[must_use]
+    pub fn listing(&self) -> String {
+        let mut out = String::new();
+        for exp in self.iter() {
+            out.push_str(&listing_line(exp));
+            out.push('\n');
+        }
+        out
+    }
 }
 
-/// The shared `main` of every experiment binary: parse the CLI, print
-/// the banner, run, print the report.
-///
-/// Exits with status 2 on a CLI error (or after printing `--help`).
+/// One `--list` line: `name  title  [paper ref]`.
+fn listing_line(exp: &dyn Experiment) -> String {
+    format!(
+        "{:<4} {:<52} [{}]",
+        exp.name(),
+        exp.title(),
+        exp.paper_ref()
+    )
+}
+
+/// Runs `exp` under `cfg` with the prescribed root RNG, returning its
+/// report. The library-facing entry point; the binaries wrap it in
+/// [`run_cli_in`].
 pub fn run_experiment(exp: &dyn Experiment, cfg: &ExpConfig) -> Report {
     exp.run(cfg, &mut cfg.rng())
 }
 
-/// Parses `std::env::args`, runs `exp`, and prints banner + report to
-/// stdout. This is the entire body of each `eN_*` binary.
-pub fn run_cli(exp: &dyn Experiment) {
-    let cfg = match ExpConfig::from_args(std::env::args().skip(1)) {
-        Ok(cfg) => cfg,
-        Err(msg) => {
-            eprintln!("{msg}");
-            std::process::exit(2);
-        }
-    };
-    println!("==================================================================");
-    println!("{}: {}", exp.name().to_uppercase(), exp.title());
-    println!("paper: {}", exp.paper_ref());
+fn banner(exp: &dyn Experiment, cfg: &ExpConfig) -> String {
     // The banner deliberately omits the thread count: stdout must be
     // byte-identical for any --threads value, and threads never affect
     // the numbers.
-    println!(
-        "config: seed={}{}{}",
+    format!(
+        "==================================================================\n\
+         {}: {}\n\
+         paper: {}\n\
+         config: seed={}{}{}\n\
+         ==================================================================\n",
+        exp.name().to_uppercase(),
+        exp.title(),
+        exp.paper_ref(),
         cfg.seed,
         cfg.trials.map_or(String::new(), |t| format!(" trials={t}")),
         if cfg.fast { " fast" } else { "" },
+    )
+}
+
+/// The shared CLI driver: parse `args`, handle `--list`, run `name`
+/// out of `exps`, stream banner + report to stdout, honour `--json`.
+/// Returns the process exit code instead of exiting, so tests can
+/// call it.
+fn cli_main<I: IntoIterator<Item = String>>(
+    exps: &[&dyn Experiment],
+    name: &str,
+    args: I,
+) -> i32 {
+    let mut cfg = match ExpConfig::from_args(args) {
+        Ok(cfg) => cfg,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return 2;
+        }
+    };
+    if cfg.list {
+        for exp in exps {
+            println!("{}", listing_line(*exp));
+        }
+        return 0;
+    }
+    let Some(exp) = exps.iter().copied().find(|e| e.name() == name) else {
+        eprintln!("unknown experiment `{name}`");
+        return 2;
+    };
+    cfg.stream = true;
+    print!("{}", banner(exp, &cfg));
+    let timer = SpanTimer::start();
+    let report = run_experiment(exp, &cfg);
+    let wall_ms = timer.elapsed_ms();
+    if !report.is_streaming() {
+        // An experiment not yet migrated to `cfg.report()` built a
+        // silent report; print it once here.
+        print!("{report}");
+    }
+    if let Some(path) = &cfg.json {
+        let run = RunInfo {
+            threads: cfg.sweep().threads(),
+            wall_ms,
+        };
+        let doc = json_full(exp, &cfg, &report, &run);
+        if let Err(err) = std::fs::write(path, doc.to_pretty()) {
+            eprintln!("failed to write JSON report to `{path}`: {err}");
+            return 1;
+        }
+        // Stderr, so stdout stays byte-identical with and without
+        // --json.
+        eprintln!("json report: {path}");
+    }
+    0
+}
+
+/// Parses `std::env::args`, runs `exp`, and streams banner + report to
+/// stdout. Kept for single-experiment binaries without a registry;
+/// `--list` shows just this experiment.
+///
+/// Exits with status 2 on a CLI error (or after printing `--help`).
+pub fn run_cli(exp: &dyn Experiment) {
+    let code = cli_main(&[exp], exp.name(), std::env::args().skip(1));
+    if code != 0 {
+        std::process::exit(code);
+    }
+}
+
+/// The entire `main` of every `eN` binary: like [`run_cli`], but
+/// `--list` enumerates the whole `registry`, not just this binary's
+/// experiment.
+///
+/// # Panics
+///
+/// Panics if `name` is not registered — a build-time wiring bug in
+/// the binary, not a user error.
+///
+/// Exits with status 2 on a CLI error (or after printing `--help`),
+/// status 1 when a requested artifact (e.g. the `--json` file) cannot
+/// be written.
+pub fn run_cli_in(registry: &Registry, name: &str) {
+    let code = run_cli_args(registry, name, std::env::args().skip(1));
+    if code != 0 {
+        std::process::exit(code);
+    }
+}
+
+/// Like [`run_cli_in`], but takes the argument list explicitly and
+/// returns the exit code instead of exiting — the entry point for
+/// front-end binaries that pick the experiment from their own argv
+/// (and for tests).
+///
+/// # Panics
+///
+/// Panics if `name` is not registered.
+pub fn run_cli_args<I: IntoIterator<Item = String>>(
+    registry: &Registry,
+    name: &str,
+    args: I,
+) -> i32 {
+    assert!(
+        registry.get(name).is_some(),
+        "binary wired to unregistered experiment `{name}`"
     );
-    println!("==================================================================");
-    print!("{}", run_experiment(exp, &cfg));
+    let exps: Vec<&dyn Experiment> = registry.iter().collect();
+    cli_main(&exps, name, args)
 }
 
 #[cfg(test)]
@@ -327,7 +445,7 @@ mod tests {
             "nowhere"
         }
         fn run(&self, cfg: &ExpConfig, rng: &mut SimRng) -> Report {
-            let mut r = Report::new();
+            let mut r = cfg.report();
             let total: u64 = cfg
                 .sweep()
                 .run(cfg.trials_or(16), cfg.seed, |_i, rng| {
@@ -351,6 +469,21 @@ mod tests {
         assert_eq!(cfg.seed, 9);
         assert_eq!(cfg.threads, 3);
         assert!(cfg.fast);
+        assert_eq!(cfg.json, None);
+        assert_eq!(cfg.vcd, None);
+        assert!(!cfg.list);
+        assert!(!cfg.stream);
+    }
+
+    #[test]
+    fn json_vcd_list_flags_parse() {
+        let cfg = ExpConfig::from_args(
+            ["--json", "out.json", "--vcd", "wave.vcd", "--list"].map(String::from),
+        )
+        .expect("valid args");
+        assert_eq!(cfg.json.as_deref(), Some("out.json"));
+        assert_eq!(cfg.vcd.as_deref(), Some("wave.vcd"));
+        assert!(cfg.list);
     }
 
     #[test]
@@ -360,6 +493,8 @@ mod tests {
         assert!(
             ExpConfig::from_args(["--seed".to_owned(), "x".to_owned()]).is_err()
         );
+        assert!(ExpConfig::from_args(["--json".to_owned()]).is_err());
+        assert!(ExpConfig::from_args(["--vcd".to_owned()]).is_err());
         assert!(ExpConfig::from_args(["--help".to_owned()]).is_err());
     }
 
@@ -389,6 +524,17 @@ mod tests {
     }
 
     #[test]
+    fn cfg_report_defaults_to_silent() {
+        let cfg = ExpConfig::default();
+        assert!(!cfg.report().is_streaming());
+        let cfg = ExpConfig {
+            stream: true,
+            ..ExpConfig::default()
+        };
+        assert!(cfg.report().is_streaming());
+    }
+
+    #[test]
     fn registry_lookup_and_order() {
         let mut reg = Registry::new();
         reg.register(Box::new(Dummy));
@@ -397,6 +543,17 @@ mod tests {
         assert!(reg.get("missing").is_none());
         assert_eq!(reg.len(), 1);
         assert!(!reg.is_empty());
+    }
+
+    #[test]
+    fn registry_listing_is_one_line_per_experiment() {
+        let mut reg = Registry::new();
+        reg.register(Box::new(Dummy));
+        let listing = reg.listing();
+        assert_eq!(listing.lines().count(), 1);
+        assert!(listing.starts_with("dummy"));
+        assert!(listing.contains("dummy experiment"));
+        assert!(listing.contains("[nowhere]"));
     }
 
     #[test]

@@ -19,8 +19,13 @@
 //!   per-trial child seeds, so results are **bit-identical regardless
 //!   of thread count** (`SIM_THREADS=1` reproduces `SIM_THREADS=8`);
 //! * [`experiment`] — the [`Experiment`] trait, [`ExpConfig`]
-//!   (`--trials/--seed/--threads/--fast`), [`Report`], and the
-//!   [`Registry`] the `e1`–`e11` binaries plug into.
+//!   (`--trials/--seed/--threads/--fast/--json/--vcd/--list`), and
+//!   the [`Registry`] the `e1`–`e11` binaries plug into;
+//! * [`report`] — [`Report`] (streaming text + structured tables +
+//!   [`sim_observe::Metrics`]) and the versioned JSON report
+//!   ([`json_core`]/[`json_full`]) behind `--json`;
+//! * [`table`] — the fixed-column plain-text [`Table`] writer reports
+//!   capture both textually and structurally.
 //!
 //! # Examples
 //!
@@ -46,18 +51,31 @@
 
 pub mod dist;
 pub mod experiment;
+pub mod report;
 pub mod rng;
 pub mod sweep;
+pub mod table;
 
 pub use dist::{sample_normal, Gaussian};
-pub use experiment::{run_cli, run_experiment, ExpConfig, Experiment, Registry, Report};
+pub use experiment::{
+    run_cli, run_cli_args, run_cli_in, run_experiment, ExpConfig, Experiment, Registry,
+};
+pub use report::{
+    json_core, json_full, Report, RunInfo, TableSection, REPORT_SCHEMA,
+    REPORT_SCHEMA_VERSION,
+};
 pub use rng::{Rng, SampleRange, SimRng, SliceRandom, SplitMix64};
-pub use sweep::ParallelSweep;
+pub use sweep::{ParallelSweep, SweepStats};
+pub use table::Table;
 
 /// One-stop imports for experiment code.
 pub mod prelude {
     pub use crate::dist::{sample_normal, Gaussian};
-    pub use crate::experiment::{run_cli, run_experiment, ExpConfig, Experiment, Registry, Report};
+    pub use crate::experiment::{
+        run_cli, run_cli_args, run_cli_in, run_experiment, ExpConfig, Experiment, Registry,
+    };
+    pub use crate::report::{json_core, json_full, Report, RunInfo};
     pub use crate::rng::{Rng, SimRng, SliceRandom};
-    pub use crate::sweep::ParallelSweep;
+    pub use crate::sweep::{ParallelSweep, SweepStats};
+    pub use crate::table::Table;
 }

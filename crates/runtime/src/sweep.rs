@@ -12,8 +12,10 @@
 //! results.
 
 use crate::rng::SimRng;
+use sim_observe::{duration_ns, Json, LogHistogram};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+use std::time::{Duration, Instant};
 
 /// Name of the environment variable that picks the default worker
 /// count (`0` or unset → all available cores).
@@ -111,6 +113,123 @@ impl ParallelSweep {
             .collect()
     }
 
+    /// Like [`ParallelSweep::run`], but also measures wall-clock
+    /// telemetry: total sweep time, per-worker busy time and trial
+    /// counts, and a log-scale histogram of per-trial latencies.
+    ///
+    /// The **results** are produced exactly as in `run` (same per-trial
+    /// RNG derivation, same trial order), so they stay bit-identical
+    /// for any worker count; only the [`SweepStats`] — which are
+    /// volatile by nature — depend on scheduling. Timing overhead is
+    /// two `Instant::now` calls plus one histogram add per trial,
+    /// accumulated in worker-local state and merged once per worker.
+    pub fn run_timed<T, F>(&self, trials: usize, seed: u64, f: F) -> (Vec<T>, SweepStats)
+    where
+        T: Send,
+        F: Fn(usize, &mut SimRng) -> T + Sync,
+    {
+        let workers = self.threads.min(trials.max(1));
+        let sweep_start = Instant::now();
+        if workers <= 1 {
+            let mut hist = LogHistogram::new();
+            let mut busy = Duration::ZERO;
+            let out: Vec<T> = (0..trials)
+                .map(|i| {
+                    let t0 = Instant::now();
+                    let v = f(i, &mut SimRng::for_trial(seed, i as u64));
+                    let dt = t0.elapsed();
+                    busy += dt;
+                    hist.record(duration_ns(dt));
+                    v
+                })
+                .collect();
+            let stats = SweepStats {
+                trials,
+                workers: 1,
+                wall: sweep_start.elapsed(),
+                worker_trials: vec![trials],
+                worker_busy: vec![busy],
+                trial_ns: hist,
+            };
+            return (out, stats);
+        }
+        let next = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<T>>> =
+            (0..trials).map(|_| Mutex::new(None)).collect();
+        struct WorkerLocal {
+            trials: usize,
+            busy: Duration,
+            hist: LogHistogram,
+        }
+        let locals: Vec<Mutex<WorkerLocal>> = (0..workers)
+            .map(|_| {
+                Mutex::new(WorkerLocal {
+                    trials: 0,
+                    busy: Duration::ZERO,
+                    hist: LogHistogram::new(),
+                })
+            })
+            .collect();
+        std::thread::scope(|scope| {
+            for w in 0..workers {
+                let locals = &locals;
+                let next = &next;
+                let slots = &slots;
+                let f = &f;
+                scope.spawn(move || {
+                    let mut done = 0usize;
+                    let mut busy = Duration::ZERO;
+                    let mut hist = LogHistogram::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= trials {
+                            break;
+                        }
+                        let t0 = Instant::now();
+                        let out = f(i, &mut SimRng::for_trial(seed, i as u64));
+                        let dt = t0.elapsed();
+                        done += 1;
+                        busy += dt;
+                        hist.record(duration_ns(dt));
+                        *slots[i].lock().expect("slot lock poisoned") = Some(out);
+                    }
+                    // One merge per worker, after its loop: the trial
+                    // hot path never touches a shared lock.
+                    let mut local = locals[w].lock().expect("local lock poisoned");
+                    local.trials = done;
+                    local.busy = busy;
+                    local.hist = hist;
+                });
+            }
+        });
+        let out: Vec<T> = slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("slot lock poisoned")
+                    .expect("every trial index below `trials` was claimed")
+            })
+            .collect();
+        let mut worker_trials = Vec::with_capacity(workers);
+        let mut worker_busy = Vec::with_capacity(workers);
+        let mut trial_ns = LogHistogram::new();
+        for local in locals {
+            let local = local.into_inner().expect("local lock poisoned");
+            worker_trials.push(local.trials);
+            worker_busy.push(local.busy);
+            trial_ns.merge(&local.hist);
+        }
+        let stats = SweepStats {
+            trials,
+            workers,
+            wall: sweep_start.elapsed(),
+            worker_trials,
+            worker_busy,
+            trial_ns,
+        };
+        (out, stats)
+    }
+
     /// Runs `trials` trials and counts those for which `pred` returns
     /// `true` — the common yield/failure-rate reduction.
     pub fn count<F>(&self, trials: usize, seed: u64, pred: F) -> usize
@@ -137,6 +256,86 @@ pub fn available_cores() -> usize {
     std::thread::available_parallelism()
         .map(std::num::NonZeroUsize::get)
         .unwrap_or(1)
+}
+
+/// Wall-clock telemetry of one [`ParallelSweep::run_timed`] call.
+///
+/// Everything here is **volatile** — it varies run to run and machine
+/// to machine — so it belongs in the `run` section of a JSON report,
+/// never in the deterministic core.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepStats {
+    /// Trials executed.
+    pub trials: usize,
+    /// Workers the sweep actually used (≤ the configured thread
+    /// count; a sweep never spawns more workers than trials).
+    pub workers: usize,
+    /// Wall-clock time of the whole sweep.
+    pub wall: Duration,
+    /// Trials completed by each worker.
+    pub worker_trials: Vec<usize>,
+    /// Busy time (sum of trial durations) of each worker.
+    pub worker_busy: Vec<Duration>,
+    /// Log-scale histogram of per-trial latencies, in nanoseconds.
+    pub trial_ns: LogHistogram,
+}
+
+impl SweepStats {
+    /// Completed trials per wall-clock second (0 for an instant sweep).
+    #[must_use]
+    pub fn items_per_sec(&self) -> f64 {
+        let secs = self.wall.as_secs_f64();
+        if secs > 0.0 {
+            self.trials as f64 / secs
+        } else {
+            0.0
+        }
+    }
+
+    /// Mean worker utilization in `[0, 1]`: total busy time over
+    /// `workers × wall`. Low values mean workers idled at the tail of
+    /// an unbalanced sweep.
+    #[must_use]
+    pub fn utilization(&self) -> f64 {
+        let denom = self.workers as f64 * self.wall.as_secs_f64();
+        if denom > 0.0 {
+            let busy: f64 = self.worker_busy.iter().map(Duration::as_secs_f64).sum();
+            (busy / denom).min(1.0)
+        } else {
+            0.0
+        }
+    }
+
+    /// JSON summary for the `run` section of an experiment report.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("trials", Json::UInt(self.trials as u64)),
+            ("workers", Json::UInt(self.workers as u64)),
+            ("wall_ms", Json::Float(self.wall.as_secs_f64() * 1e3)),
+            ("items_per_sec", Json::Float(self.items_per_sec())),
+            ("utilization", Json::Float(self.utilization())),
+            ("trial_ns", self.trial_ns.to_json()),
+            (
+                "worker_trials",
+                Json::Array(
+                    self.worker_trials
+                        .iter()
+                        .map(|&t| Json::UInt(t as u64))
+                        .collect(),
+                ),
+            ),
+            (
+                "worker_busy_ms",
+                Json::Array(
+                    self.worker_busy
+                        .iter()
+                        .map(|d| Json::Float(d.as_secs_f64() * 1e3))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
 }
 
 #[cfg(test)]
@@ -195,11 +394,48 @@ mod tests {
     }
 
     #[test]
+    fn run_timed_matches_run_results() {
+        for threads in [1, 3] {
+            let sweep = ParallelSweep::new(threads);
+            let plain = sweep.run(120, 7, trial_sum);
+            let (timed, stats) = sweep.run_timed(120, 7, trial_sum);
+            assert_eq!(plain, timed, "threads {threads}");
+            assert_eq!(stats.trials, 120);
+            assert_eq!(stats.workers, threads);
+            assert_eq!(stats.worker_trials.iter().sum::<usize>(), 120);
+            assert_eq!(stats.worker_trials.len(), threads);
+            assert_eq!(stats.worker_busy.len(), threads);
+            assert_eq!(stats.trial_ns.count(), 120);
+        }
+    }
+
+    #[test]
+    fn run_timed_zero_trials() {
+        let (out, stats): (Vec<u64>, _) = ParallelSweep::new(4).run_timed(0, 1, trial_sum);
+        assert!(out.is_empty());
+        assert_eq!(stats.trials, 0);
+        assert_eq!(stats.workers, 1, "no work collapses to one worker");
+        assert_eq!(stats.items_per_sec(), 0.0);
+    }
+
+    #[test]
+    fn sweep_stats_json_shape() {
+        let (_, stats) = ParallelSweep::new(2).run_timed(16, 3, trial_sum);
+        let j = stats.to_json();
+        assert_eq!(j.get("trials"), Some(&Json::UInt(16)));
+        assert_eq!(j.get("workers"), Some(&Json::UInt(2)));
+        assert!(j.get("wall_ms").and_then(Json::as_f64).is_some());
+        assert!(j.get("trial_ns").and_then(|h| h.get("p99")).is_some());
+        let util = stats.utilization();
+        assert!((0.0..=1.0).contains(&util), "utilization {util}");
+    }
+
+    #[test]
     fn uneven_trial_costs_still_deterministic() {
         // Trials with wildly different workloads exercise the dynamic
         // scheduler's work stealing.
         let cost = |i: usize, rng: &mut SimRng| -> u64 {
-            let reps = if i % 7 == 0 { 2_000 } else { 10 };
+            let reps = if i.is_multiple_of(7) { 2_000 } else { 10 };
             (0..reps).map(|_| rng.next_u64() & 0xFF).sum()
         };
         assert_eq!(

@@ -25,6 +25,10 @@ run() {
 run cargo build --release --offline --workspace
 run cargo test -q --offline --workspace
 run cargo clippy --offline --workspace --all-targets -- -D warnings
+# Metric regression gate: every experiment's JSON report vs the
+# committed baselines (deterministic sections exact, run section
+# structural — wall-clock banding is opt-in via --wall-tol).
+run target/release/bench_regress --fast --out target/bench --baselines baselines
 
 if [ "$HEAVY" = 1 ]; then
     run cargo test -q --offline --features heavy-tests --test props

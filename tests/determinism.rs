@@ -5,9 +5,13 @@
 //! a different `--seed` must not.
 //!
 //! Runs the three sweep-heavy experiments (E1 skew fabrications, E5
-//! metastability events, E6 chip yield) in `--fast` mode.
+//! metastability events, E6 chip yield) in `--fast` mode, then extends
+//! the same guarantee to the **structured JSON reports**: the
+//! deterministic core emitted by `--json` must be byte-identical for
+//! `--threads 1/2/4` across all eleven experiments (only the `run`
+//! section — wall clock, worker stats — may differ).
 
-use sim_runtime::{run_experiment, ExpConfig, Experiment};
+use sim_runtime::{json_core, json_full, run_experiment, ExpConfig, Experiment, RunInfo};
 
 fn report(exp: &dyn Experiment, threads: usize, seed: u64) -> String {
     let cfg = ExpConfig {
@@ -44,6 +48,61 @@ fn e5_metastability_identical_across_thread_counts() {
 #[test]
 fn e6_fabrication_yield_identical_across_thread_counts() {
     assert_thread_count_invariant(&bench::experiments::E6);
+}
+
+/// The deterministic JSON core (everything `--json` writes except the
+/// volatile `run` section), pretty-printed — the bytes the regression
+/// gate compares against committed baselines.
+fn json_core_doc(exp: &dyn Experiment, threads: usize, seed: u64) -> String {
+    let cfg = ExpConfig {
+        threads,
+        seed,
+        ..ExpConfig::fast()
+    };
+    let report = run_experiment(exp, &cfg);
+    json_core(exp, &cfg, &report).to_pretty()
+}
+
+#[test]
+fn json_core_identical_across_thread_counts_for_every_experiment() {
+    let registry = bench::registry();
+    for exp in registry.iter() {
+        let base = json_core_doc(exp, 1, 1);
+        assert!(
+            base.contains("\"schema\": \"vlsi-sync/experiment-report\""),
+            "{}: core is missing the schema marker",
+            exp.name()
+        );
+        for threads in [2, 4] {
+            assert_eq!(
+                base,
+                json_core_doc(exp, threads, 1),
+                "{}: JSON core diverged between threads=1 and threads={threads}",
+                exp.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn json_full_only_adds_the_run_section() {
+    let exp = &bench::experiments::E3;
+    let cfg = ExpConfig::fast();
+    let report = run_experiment(exp, &cfg);
+    let run = RunInfo {
+        threads: 4,
+        wall_ms: 12.5,
+    };
+    let core = json_core(exp, &cfg, &report);
+    let full = json_full(exp, &cfg, &report, &run);
+    let pairs = full.as_object().expect("report is an object");
+    let stripped: Vec<_> = pairs.iter().filter(|(k, _)| k != "run").cloned().collect();
+    assert_eq!(
+        sim_observe::Json::Object(stripped),
+        core,
+        "full report must be the core plus exactly the run section"
+    );
+    assert!(full.get("run").is_some());
 }
 
 #[test]
