@@ -15,10 +15,11 @@
 //!    spacing degrades ~√depth, capping the usable tree depth — the
 //!    case for the hybrid scheme.
 
-use crate::{f, Table};
+use crate::{f, skew_sample_event, Table};
 use array_layout::prelude::*;
 use clock_tree::prelude::*;
 use selftimed::prelude::*;
+use sim_observe::TraceBuf;
 use sim_runtime::{rline, ExpConfig, Experiment, Report, SimRng};
 
 /// See the module docs.
@@ -34,6 +35,9 @@ impl Experiment for E10 {
     }
     fn paper_ref(&self) -> &'static str {
         "A7/A8, Sections V-VII"
+    }
+    fn approx_ms(&self) -> u64 {
+        330
     }
 
     fn run(&self, cfg: &ExpConfig, _rng: &mut SimRng) -> Report {
@@ -91,10 +95,27 @@ impl Experiment for E10 {
         let layout16 = Layout::grid(&comm16);
         let tree16 = htree(&comm16, &layout16);
         let sweep = cfg.sweep();
+        let mut skew_buf = cfg.tracing().then(|| TraceBuf::new(64));
         let mut t3 = Table::new(&["epsilon", "analytic worst", "sampled max", "ratio"]);
         for (idx, eps) in [0.05, 0.1, 0.2, 0.4].into_iter().enumerate() {
             let model = WireDelayModel::new(1.0, eps);
             let analytic = max_worst_case_skew(&tree16, &comm16, model);
+            if let Some(buf) = skew_buf.as_mut() {
+                // Per-epsilon causal attribution: the analytically worst
+                // pair of the 16x16 H-tree, under one sampled fabrication.
+                let (a, b) = comm16
+                    .communicating_pairs()
+                    .into_iter()
+                    .max_by(|&(a, b), &(c, d)| {
+                        worst_case_skew(&tree16, model, a, b)
+                            .partial_cmp(&worst_case_skew(&tree16, model, c, d))
+                            .expect("finite skew")
+                    })
+                    .expect("mesh has pairs");
+                let mut rng = SimRng::for_trial(cfg.seed.wrapping_add(idx as u64), 0);
+                let rates = model.sample_rates(&tree16, &mut rng);
+                buf.record(skew_sample_event(0, &attribute_skew(&tree16, &rates, a, b)));
+            }
             let sampled = monte_carlo_skew_par(
                 &tree16,
                 &comm16,
@@ -110,6 +131,9 @@ impl Experiment for E10 {
                 &f(sampled),
                 &format!("{:.2}", analytic / sampled),
             ]);
+        }
+        if let Some(buf) = skew_buf {
+            r.trace_mut().add_track("skew", buf);
         }
         r.table("analytic_vs_sampled", &t3);
         rline!(r, "=> the analytic bound is safe but 1.3-2x conservative: independent per-edge");

@@ -38,6 +38,9 @@ impl Experiment for E11 {
     fn paper_ref(&self) -> &'static str {
         "Section I remedies: lower the rate / add delay"
     }
+    fn approx_ms(&self) -> u64 {
+        8
+    }
 
     fn run(&self, cfg: &ExpConfig, _rng: &mut SimRng) -> Report {
         let mut r = cfg.report();
@@ -67,12 +70,23 @@ impl Experiment for E11 {
         rline!(r);
 
         let mut table = Table::new(&["period / threshold", "wrong-output rate", "hold races"]);
-        for frac in [0.55, 0.7, 0.85, 1.0, 1.15] {
+        let mut clk_buf = cfg.tracing().then(|| sim_observe::TraceBuf::new(32));
+        for (step, frac) in [0.55, 0.7, 0.85, 1.0, 1.15].into_iter().enumerate() {
             let period = threshold * frac;
+            if let Some(buf) = clk_buf.as_mut() {
+                // The swept clock period as trace time: one edge per
+                // setting, crossing the analytic threshold at frac 1.0.
+                buf.record(sim_observe::TraceEvent::ClockEdge {
+                    t_ps: sim_observe::ps_from_units(period),
+                    signal: "swept_period".to_owned(),
+                    rising: step % 2 == 0,
+                    phase: 0,
+                });
+            }
             // Fabrication i always uses schedule seed i (matching the
             // sequential sweep of old), so the worker count never
             // changes the tally.
-            let (outcomes, sweep_stats) = sweep.run_timed(fabrications, cfg.seed, |i, _rng| {
+            let fab = |i: usize, _rng: &mut SimRng| {
                 let schedule = sampled_schedule(&tree, &comm, delays, period, i as u64);
                 let statuses = classify_edges(&comm, &schedule, timing);
                 let raced = statuses.contains(&TransferStatus::HoldViolation);
@@ -81,7 +95,14 @@ impl Experiment for E11 {
                 let cycles = fir.cycles_needed();
                 exec.run(&mut fir, cycles);
                 (fir.outputs() != expected, raced)
-            });
+            };
+            let (outcomes, sweep_stats) = if cfg.tracing() {
+                let (v, stats, spans) = sweep.run_timed_traced(fabrications, cfg.seed, fab);
+                r.record_sweep_trace(&format!("sweep/fabrications_{frac:.2}"), &spans);
+                (v, stats)
+            } else {
+                sweep.run_timed(fabrications, cfg.seed, fab)
+            };
             r.record_sweep(&format!("fabrications_{frac:.2}"), sweep_stats);
             let wrong = outcomes.iter().filter(|&&(w, _)| w).count();
             let races = outcomes.iter().filter(|&&(_, x)| x).count();
@@ -93,6 +114,9 @@ impl Experiment for E11 {
             if frac >= 1.0 {
                 assert_eq!(wrong, 0, "at/above the threshold every fabrication is clean");
             }
+        }
+        if let Some(buf) = clk_buf {
+            r.trace_mut().add_track("clock", buf);
         }
         r.table("failure_vs_period", &table);
 

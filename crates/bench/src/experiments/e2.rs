@@ -10,9 +10,10 @@
 //! * the clock tree's wire area stays within a constant factor of the
 //!   layout area (Lemma 1).
 
-use crate::{f, growth_label, Table};
+use crate::{f, growth_label, skew_sample_event, Table};
 use array_layout::prelude::*;
 use clock_tree::prelude::*;
+use sim_observe::TraceBuf;
 use sim_runtime::{rline, ExpConfig, Experiment, Report, SimRng};
 use vlsi_sync::prelude::*;
 
@@ -30,9 +31,13 @@ impl Experiment for E2 {
     fn paper_ref(&self) -> &'static str {
         "Fig. 3, Lemma 1, Theorem 2"
     }
+    fn approx_ms(&self) -> u64 {
+        10
+    }
 
     fn run(&self, cfg: &ExpConfig, _rng: &mut SimRng) -> Report {
         let mut r = cfg.report();
+        let mut skew_buf = cfg.tracing().then(|| TraceBuf::new(64));
         let m = 1.0;
         let delta = 2.0;
         let dist = Distribution::Pipelined {
@@ -60,6 +65,29 @@ impl Experiment for E2 {
                     _ => Layout::grid(&comm),
                 };
                 let tree = htree(&comm, &layout).equalized();
+                if let Some(buf) = skew_buf.as_mut() {
+                    if Some(&k) == ks.last() {
+                        // The H-tree keeps d = 0, so nominal skew is zero;
+                        // what fabrication variation can still produce is
+                        // the epsilon term over the path symmetric
+                        // difference. Attribute the pair with the largest
+                        // exposure (the root-crossing pair) under one
+                        // sampled fabrication.
+                        let wdm = WireDelayModel::new(m, 0.1);
+                        let (a, b) = comm
+                            .communicating_pairs()
+                            .into_iter()
+                            .max_by(|&(a, b), &(c, d2)| {
+                                tree.summation_distance(a, b)
+                                    .partial_cmp(&tree.summation_distance(c, d2))
+                                    .expect("finite distance")
+                            })
+                            .expect("array has communicating pairs");
+                        let rates =
+                            wdm.sample_rates(&tree, &mut SimRng::for_trial(cfg.seed, 0));
+                        buf.record(skew_sample_event(0, &attribute_skew(&tree, &rates, a, b)));
+                    }
+                }
                 let max_d = comm
                     .communicating_pairs()
                     .into_iter()
@@ -90,6 +118,9 @@ impl Experiment for E2 {
                 growth_label(class)
             );
             assert_eq!(class, GrowthClass::Constant, "{family}: Theorem 2 violated");
+        }
+        if let Some(buf) = skew_buf {
+            r.trace_mut().add_track("skew", buf);
         }
         rline!(r);
         rline!(r, "check: constant period for all three families  [OK]");

@@ -8,9 +8,10 @@
 //! has skew that **grows** under the summation model (the middle
 //! cells' tree path passes through the root).
 
-use crate::{f, growth_label, Table};
+use crate::{f, growth_label, skew_sample_event, Table};
 use array_layout::prelude::*;
 use clock_tree::prelude::*;
+use sim_observe::TraceBuf;
 use sim_runtime::{rline, ExpConfig, Experiment, Report, SimRng};
 use vlsi_sync::prelude::*;
 
@@ -28,10 +29,15 @@ impl Experiment for E3 {
     fn paper_ref(&self) -> &'static str {
         "Figs. 4-6, Theorem 3"
     }
+    fn approx_ms(&self) -> u64 {
+        8
+    }
 
     fn run(&self, cfg: &ExpConfig, _rng: &mut SimRng) -> Report {
         let mut r = cfg.report();
-        let model = SummationModel::from_delay_model(WireDelayModel::new(1.0, 0.1));
+        let mut skew_buf = cfg.tracing().then(|| TraceBuf::new(64));
+        let wdm = WireDelayModel::new(1.0, 0.1);
+        let model = SummationModel::from_delay_model(wdm);
         let sizes: &[usize] = if cfg.fast {
             &[16, 64, 256]
         } else {
@@ -61,6 +67,31 @@ impl Experiment for E3 {
             ]);
             spine_curve.push(s_straight);
             htree_curve.push(s_htree);
+            if let Some(buf) = skew_buf.as_mut() {
+                if Some(&n) == sizes.last() {
+                    // At the largest array, attribute the worst summation
+                    // pair of each clock under one sampled fabrication —
+                    // the spine's path stays short, the H-tree's crosses
+                    // the root.
+                    for tree in [&spine(&comm, &straight), &htree(&comm, &straight)] {
+                        let (a, b) = comm
+                            .communicating_pairs()
+                            .into_iter()
+                            .max_by(|&(a, b), &(c, d)| {
+                                tree.summation_distance(a, b)
+                                    .partial_cmp(&tree.summation_distance(c, d))
+                                    .expect("finite distance")
+                            })
+                            .expect("linear array has pairs");
+                        let rates =
+                            wdm.sample_rates(tree, &mut SimRng::for_trial(cfg.seed, 0));
+                        buf.record(skew_sample_event(0, &attribute_skew(tree, &rates, a, b)));
+                    }
+                }
+            }
+        }
+        if let Some(buf) = skew_buf {
+            r.trace_mut().add_track("skew", buf);
         }
         r.table("spine_vs_htree", &table);
 

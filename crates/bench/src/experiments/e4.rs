@@ -9,9 +9,10 @@
 //! generalization — collapses to a constant on a low-bisection-width
 //! COMM graph (a binary tree with clock along the data paths).
 
-use crate::{f, growth_label, Table};
+use crate::{f, growth_label, skew_sample_event, Table};
 use array_layout::prelude::*;
 use clock_tree::prelude::*;
+use sim_observe::TraceBuf;
 use sim_runtime::{rline, ExpConfig, Experiment, Report, SimRng};
 use vlsi_sync::prelude::*;
 
@@ -29,10 +30,14 @@ impl Experiment for E4 {
     fn paper_ref(&self) -> &'static str {
         "Section V-B, Lemmas 4-5, Theorem 6"
     }
+    fn approx_ms(&self) -> u64 {
+        9
+    }
 
     fn run(&self, cfg: &ExpConfig, _rng: &mut SimRng) -> Report {
         let mut r = cfg.report();
-        let model = SummationModel::from_delay_model(WireDelayModel::new(1.0, 0.1));
+        let wdm = WireDelayModel::new(1.0, 0.1);
+        let model = SummationModel::from_delay_model(wdm);
         let sides: &[usize] = if cfg.fast { &[4, 8, 16] } else { &[4, 8, 16, 32] };
 
         let mut table = Table::new(&[
@@ -89,6 +94,23 @@ impl Experiment for E4 {
         let comm = CommGraph::mesh(n, n);
         let layout = Layout::grid(&comm);
         let tree = htree(&comm, &layout);
+        if cfg.tracing() {
+            // Attribute the worst communicating pair of the largest mesh
+            // H-tree under one sampled fabrication — the Omega(n) path.
+            let mut buf = TraceBuf::new(16);
+            let (a, b) = comm
+                .communicating_pairs()
+                .into_iter()
+                .max_by(|&(a, b), &(c, d)| {
+                    tree.summation_distance(a, b)
+                        .partial_cmp(&tree.summation_distance(c, d))
+                        .expect("finite distance")
+                })
+                .expect("mesh has pairs");
+            let rates = wdm.sample_rates(&tree, &mut SimRng::for_trial(cfg.seed, 0));
+            buf.record(skew_sample_event(0, &attribute_skew(&tree, &rates, a, b)));
+            r.trace_mut().add_track("skew", buf);
+        }
         let cert = circle_certificate(&comm, &layout, &tree, &model);
         rline!(r);
         rline!(

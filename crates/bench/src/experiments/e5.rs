@@ -17,6 +17,7 @@
 
 use crate::{f, growth_label, Table};
 use selftimed::prelude::*;
+use sim_observe::TraceBuf;
 use sim_runtime::{rline, ExpConfig, Experiment, Report, SimRng};
 use vlsi_sync::prelude::*;
 
@@ -33,6 +34,9 @@ impl Experiment for E5 {
     }
     fn paper_ref(&self) -> &'static str {
         "Section VI, Fig. 8"
+    }
+    fn approx_ms(&self) -> u64 {
+        80
     }
 
     fn run(&self, cfg: &ExpConfig, _rng: &mut SimRng) -> Report {
@@ -109,12 +113,40 @@ impl Experiment for E5 {
         }
         r.table("hybrid_simulated", &sim_table);
 
+        // The Fig. 8 handshake itself, transition by transition: a short
+        // chain over this experiment's link, traced at the protocol level.
+        if cfg.tracing() {
+            let mut hs = TraceBuf::new(1024);
+            let chain = HandshakeChain::new(4, link, 1.0);
+            let _ = chain.run_traced(6, &mut hs);
+            r.trace_mut().add_track("handshake", hs);
+        }
+
         // Gate-level proof of the Fig. 8 discipline: two elements with
         // stoppable ring-oscillator clocks, synchronized by two gates.
         use desim::time::SimTime;
-        let pair = ElementPair::new(2, SimTime::from_ps(50), SimTime::from_ps(80));
+        let mut pair = ElementPair::new(2, SimTime::from_ps(50), SimTime::from_ps(80));
+        if cfg.tracing() {
+            pair.enable_trace(1 << 15);
+        }
         let local_period = pair.local_period();
-        let run = pair.run(SimTime::from_ps(cfg.size(300_000, 100_000) as u64));
+        let (run, mut pair_sim, pair_signals) =
+            pair.run_capture(SimTime::from_ps(cfg.size(300_000, 100_000) as u64));
+        if let Some(path) = &cfg.vcd {
+            let mut w = desim::vcd::VcdWriter::new();
+            for &(net, name) in &pair_signals {
+                w.add_net(&pair_sim, net, name);
+            }
+            match std::fs::write(path, w.render()) {
+                // Stderr: stdout must stay byte-identical with and
+                // without --vcd.
+                Ok(()) => eprintln!("vcd waveform: {path}"),
+                Err(err) => eprintln!("failed to write VCD to `{path}`: {err}"),
+            }
+        }
+        if let Some(buf) = pair_sim.take_trace() {
+            r.trace_mut().add_track("engine", buf);
+        }
         rline!(r);
         rline!(r, "gate-level element pair (ring period {local_period}):");
         rline!(

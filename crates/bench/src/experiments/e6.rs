@@ -31,6 +31,9 @@ impl Experiment for E6 {
     fn paper_ref(&self) -> &'static str {
         "Section VII"
     }
+    fn approx_ms(&self) -> u64 {
+        140
+    }
 
     fn run(&self, cfg: &ExpConfig, _rng: &mut SimRng) -> Report {
         let mut r = cfg.report();
@@ -87,7 +90,11 @@ impl Experiment for E6 {
         // period, with taps along the string.
         let (wave_spec, wave_period) = last_chip.expect("lengths non-empty");
         let wave_chip = InverterString::fabricate(wave_spec);
-        let (wave_sim, taps) = wave_chip.waveform(wave_period * 2, 6, 8);
+        let (mut wave_sim, taps) = if cfg.tracing() {
+            wave_chip.waveform_traced(wave_period * 2, 6, 8, 1 << 16)
+        } else {
+            wave_chip.waveform(wave_period * 2, 6, 8)
+        };
         wave_sim.record_metrics(r.metrics_mut(), "e6.engine");
         if let Some(path) = &cfg.vcd {
             let named: Vec<(NetId, &str)> =
@@ -98,6 +105,9 @@ impl Experiment for E6 {
                 Ok(()) => eprintln!("vcd waveform: {path}"),
                 Err(err) => eprintln!("failed to write VCD to `{path}`: {err}"),
             }
+        }
+        if let Some(buf) = wave_sim.take_trace() {
+            r.trace_mut().add_track("engine", buf);
         }
         let (lo, hi) = speedups
             .iter()
@@ -122,7 +132,7 @@ impl Experiment for E6 {
         for &stages in lengths {
             // Chip i is always fabricated from seed i, so the sweep's
             // worker count never changes the sample.
-            let (samples, fab_stats) = sweep.run_timed(fab_chips, cfg.seed, |i, _rng| {
+            let fab = |i: usize, _rng: &mut SimRng| {
                 let spec = InverterStringSpec {
                     stages,
                     bias_ps: 0,
@@ -131,7 +141,14 @@ impl Experiment for E6 {
                     seed: i as u64,
                 };
                 InverterString::fabricate(spec).pulse_width_change_ps() as f64
-            });
+            };
+            let (samples, fab_stats) = if cfg.tracing() {
+                let (v, stats, spans) = sweep.run_timed_traced(fab_chips, cfg.seed, fab);
+                r.record_sweep_trace(&format!("sweep/discrepancy_{stages}"), &spans);
+                (v, stats)
+            } else {
+                sweep.run_timed(fab_chips, cfg.seed, fab)
+            };
             r.record_sweep(&format!("discrepancy_{stages}"), fab_stats);
             let (_, std) = mean_std(&samples);
             let ratio = prev_std.map_or_else(|| "-".to_owned(), |p| format!("{:.2}", std / p));

@@ -32,6 +32,9 @@ impl Experiment for E7 {
     fn paper_ref(&self) -> &'static str {
         "Section I, argument 2"
     }
+    fn approx_ms(&self) -> u64 {
+        7
+    }
 
     fn run(&self, cfg: &ExpConfig, _rng: &mut SimRng) -> Report {
         let mut r = cfg.report();
@@ -69,6 +72,17 @@ impl Experiment for E7 {
             prev_adv = sample.advantage();
         }
         r.table("advantage_vs_k", &table);
+
+        if cfg.tracing() {
+            // The 0.5 handshake overhead charged above, decomposed into
+            // actual protocol transitions: a two-phase link with
+            // 2w + l = 0.5 per transfer, traced over a short chain.
+            use selftimed::prelude::{HandshakeChain, HandshakeLink, Protocol};
+            let mut hs = sim_observe::TraceBuf::new(256);
+            let link = HandshakeLink::new(0.2, 0.1, Protocol::TwoPhase);
+            let _ = HandshakeChain::new(4, link, 1.0).run_traced(6, &mut hs);
+            r.trace_mut().add_track("handshake", hs);
+        }
 
         // Topology comparison: coupling degree accelerates the decay.
         rline!(r);

@@ -16,6 +16,7 @@
 use crate::{f, growth_label, Table};
 use array_layout::prelude::*;
 use clock_tree::prelude::*;
+use sim_observe::{ps_from_units, TraceBuf, TraceEvent};
 use sim_runtime::{rline, ExpConfig, Experiment, Report, SimRng};
 use systolic::prelude::*;
 use vlsi_sync::prelude::*;
@@ -33,6 +34,9 @@ impl Experiment for E8 {
     }
     fn paper_ref(&self) -> &'static str {
         "Section VIII"
+    }
+    fn approx_ms(&self) -> u64 {
+        5
     }
 
     fn run(&self, cfg: &ExpConfig, _rng: &mut SimRng) -> Report {
@@ -76,6 +80,55 @@ impl Experiment for E8 {
             ns.push(n);
         }
         r.table("htree_scaling", &table);
+
+        // Clock taps per tree level of the largest machine, under the
+        // mirror clock at nominal rate: the clock edge reaches level l
+        // exactly when the data does (skew tracks data delay). Feeds
+        // both the --vcd dump and the --trace clock track.
+        if cfg.tracing() || cfg.vcd.is_some() {
+            let levels = *level_list.last().expect("non-empty");
+            let comm = CommGraph::complete_binary_tree(levels);
+            let layout = Layout::htree_tree(&comm);
+            let clk = mirror_tree(&comm, &layout);
+            let arr = ArrivalTimes::from_rates(&clk, &vec![1.0; clk.node_count()]);
+            let taps: Vec<(u64, String)> = (0..levels)
+                .map(|l| {
+                    let cell = CellId::new((1_usize << l) - 1);
+                    (ps_from_units(arr.at_cell(&clk, cell)), format!("level{l}"))
+                })
+                .collect();
+            if let Some(path) = &cfg.vcd {
+                let mut w = desim::vcd::VcdWriter::new();
+                for (t, name) in &taps {
+                    w.add_signal(name, false, [(*t, true), (*t + 500, false)]);
+                }
+                match std::fs::write(path, w.render()) {
+                    // Stderr: stdout must stay byte-identical with and
+                    // without --vcd.
+                    Ok(()) => eprintln!("vcd waveform: {path}"),
+                    Err(err) => eprintln!("failed to write VCD to `{path}`: {err}"),
+                }
+            }
+            if cfg.tracing() {
+                let mut edges: Vec<(u64, String, bool)> = taps
+                    .iter()
+                    .flat_map(|(t, name)| {
+                        [(*t, name.clone(), true), (*t + 500, name.clone(), false)]
+                    })
+                    .collect();
+                edges.sort_by(|x, y| (x.0, &x.1).cmp(&(y.0, &y.1)));
+                let mut clk_buf = TraceBuf::new(128);
+                for (t_ps, signal, rising) in edges {
+                    clk_buf.record(TraceEvent::ClockEdge {
+                        t_ps,
+                        signal,
+                        rising,
+                        phase: 0,
+                    });
+                }
+                r.trace_mut().add_track("clock", clk_buf);
+            }
+        }
 
         // Area stays O(N): the per-node ratio is bounded.
         let area_class = classify_growth(&ns, &areas);

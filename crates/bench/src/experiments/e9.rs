@@ -27,6 +27,9 @@ impl Experiment for E9 {
     fn paper_ref(&self) -> &'static str {
         "Assumptions A5-A7"
     }
+    fn approx_ms(&self) -> u64 {
+        11
+    }
 
     fn run(&self, cfg: &ExpConfig, _rng: &mut SimRng) -> Report {
         let mut r = cfg.report();
@@ -46,6 +49,7 @@ impl Experiment for E9 {
             let mut table = Table::new(&[
                 "cells", "P (longest path)", "tau equipotential", "tau pipelined",
             ]);
+            let mut clk_buf = cfg.tracing().then(|| sim_observe::TraceBuf::new(64));
             let mut xs = Vec::new();
             let (mut equi, mut pipe) = (Vec::new(), Vec::new());
             for &k in ks {
@@ -65,6 +69,16 @@ impl Experiment for E9 {
                 };
                 let te = Distribution::Equipotential { alpha }.tau(&tree);
                 let tp = pipelined.tau(&tree);
+                if let Some(buf) = clk_buf.as_mut() {
+                    // One edge per array size at tau_equipotential: the
+                    // A6 settle time stretching as the array grows.
+                    buf.record(sim_observe::TraceEvent::ClockEdge {
+                        t_ps: sim_observe::ps_from_units(te),
+                        signal: "tau_equipotential".to_owned(),
+                        rising: equi.len() % 2 == 0,
+                        phase: 0,
+                    });
+                }
                 table.row(&[
                     &comm.node_count().to_string(),
                     &f(tree.max_root_distance()),
@@ -74,6 +88,9 @@ impl Experiment for E9 {
                 xs.push(comm.node_count() as f64);
                 equi.push(te);
                 pipe.push(tp);
+            }
+            if let Some(buf) = clk_buf.take() {
+                r.trace_mut().add_track(&format!("clock/{family}"), buf);
             }
             rline!(r);
             rline!(r, "[{family}]");

@@ -45,6 +45,30 @@ pub fn growth_label(class: GrowthClass) -> &'static str {
     }
 }
 
+/// Converts a causal skew attribution
+/// ([`clock_tree::skew::SkewBreakdown`]) into a `sim-trace`
+/// [`sim_observe::TraceEvent::SkewSample`] carrying the per-edge path
+/// decomposition (1 model time unit = 1 ns of trace time).
+#[must_use]
+pub fn skew_sample_event(
+    t_ps: u64,
+    b: &clock_tree::skew::SkewBreakdown,
+) -> sim_observe::TraceEvent {
+    sim_observe::TraceEvent::SkewSample {
+        t_ps,
+        pair: format!("cells({},{})", b.a.index(), b.b.index()),
+        skew_ps: sim_observe::ps_from_units(b.magnitude()),
+        path: b
+            .edges
+            .iter()
+            .map(|e| sim_observe::PathStep {
+                edge: e.edge.clone(),
+                delta_ps: (e.delta * 1000.0).round() as i64,
+            })
+            .collect(),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -83,6 +83,108 @@ impl ArrivalTimes {
     }
 }
 
+/// One tree edge's signed contribution to a pair's skew — the unit of
+/// causal attribution ([`attribute_skew`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct EdgeContribution {
+    /// The node the edge leads into (the edge is `parent(node) → node`).
+    pub node: NodeId,
+    /// Edge label `n<parent>>n<node>`, stable for reports and traces.
+    pub edge: String,
+    /// Signed delay contribution: positive along `a`'s root-to-leaf
+    /// path, negative along `b`'s (the common prefix cancels and is
+    /// omitted).
+    pub delta: f64,
+}
+
+/// The causal decomposition of one skew observation: which edges of
+/// the two root-to-leaf paths produced it, and by how much.
+///
+/// Skew between `a` and `b` is the difference of their arrival times,
+/// and arrival time is the sum of per-edge delays down the tree — so
+/// the skew decomposes exactly over the *symmetric difference* of the
+/// two paths (everything above the LCA cancels). `signed_skew` is
+/// `arrival(a) − arrival(b)`; the magnitude is what
+/// [`ArrivalTimes::skew`] reports.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SkewBreakdown {
+    /// First cell of the pair.
+    pub a: CellId,
+    /// Second cell of the pair.
+    pub b: CellId,
+    /// `arrival(a) − arrival(b)` (sum of all edge contributions).
+    pub signed_skew: f64,
+    /// Per-edge contributions: `a`'s path below the LCA in
+    /// root-to-leaf order, then `b`'s.
+    pub edges: Vec<EdgeContribution>,
+}
+
+impl SkewBreakdown {
+    /// The skew magnitude, `|signed_skew|`.
+    #[must_use]
+    pub fn magnitude(&self) -> f64 {
+        self.signed_skew.abs()
+    }
+
+    /// The single edge contributing the largest absolute delay — where
+    /// to look first when chasing a worst-case sample.
+    #[must_use]
+    pub fn dominant_edge(&self) -> Option<&EdgeContribution> {
+        self.edges.iter().max_by(|x, y| {
+            x.delta
+                .abs()
+                .partial_cmp(&y.delta.abs())
+                .expect("finite contributions")
+        })
+    }
+}
+
+/// Attributes the skew between `a` and `b` under the per-edge delay
+/// `rates` to individual tree edges (see [`SkewBreakdown`]).
+///
+/// # Panics
+///
+/// Panics if either cell is not attached to the tree or
+/// `rates.len() != tree.node_count()`.
+#[must_use]
+pub fn attribute_skew(tree: &ClockTree, rates: &[f64], a: CellId, b: CellId) -> SkewBreakdown {
+    assert_eq!(
+        rates.len(),
+        tree.node_count(),
+        "one rate per tree node required"
+    );
+    let node_of = |cell: CellId| {
+        tree.node_of_cell(cell)
+            .unwrap_or_else(|| panic!("cell {cell} not attached to the clock tree"))
+    };
+    let (na, nb) = (node_of(a), node_of(b));
+    let lca = tree.lca(na, nb);
+    let side = |leaf: NodeId, sign: f64| -> Vec<EdgeContribution> {
+        let mut path = Vec::new();
+        let mut n = leaf;
+        while n != lca {
+            let p = tree.parent(n).expect("lca is an ancestor");
+            path.push(EdgeContribution {
+                node: n,
+                edge: format!("n{}>n{}", p.index(), n.index()),
+                delta: sign * tree.wire_length(n) * rates[n.index()],
+            });
+            n = p;
+        }
+        path.reverse(); // root-to-leaf order reads like the tree
+        path
+    };
+    let mut edges = side(na, 1.0);
+    edges.extend(side(nb, -1.0));
+    let signed_skew = edges.iter().map(|e| e.delta).sum();
+    SkewBreakdown {
+        a,
+        b,
+        signed_skew,
+        edges,
+    }
+}
+
 /// Analytic worst-case skew between two cells over all fabrications in
 /// the delay band: `m·d + ε·s` (Section III).
 ///
@@ -429,6 +531,30 @@ mod tests {
             achievable_skew_lower_bound(&t, m, CellId::new(0), CellId::new(1)),
             0.8
         ));
+    }
+
+    #[test]
+    fn attribution_decomposes_the_skew_exactly() {
+        let t = two_leaf_tree();
+        // Distinct rates per node so the sides differ: node order is
+        // root(0), left leaf(1), right leaf(2).
+        let rates = vec![0.0, 1.5, 0.5];
+        let (a, b) = (CellId::new(0), CellId::new(1));
+        let bd = attribute_skew(&t, &rates, a, b);
+        let arrivals = ArrivalTimes::from_rates(&t, &rates);
+        // arrival(a) = 3·1.5 = 4.5, arrival(b) = 5·0.5 = 2.5.
+        assert!(approx_eq(bd.signed_skew, 2.0));
+        assert!(approx_eq(bd.magnitude(), arrivals.skew(&t, a, b)));
+        assert_eq!(bd.edges.len(), 2, "one edge per side below the LCA");
+        assert!(approx_eq(bd.edges[0].delta, 4.5));
+        assert!(approx_eq(bd.edges[1].delta, -2.5));
+        assert_eq!(bd.edges[0].edge, "n0>n1");
+        assert_eq!(bd.edges[1].edge, "n0>n2");
+        let dom = bd.dominant_edge().expect("non-empty path");
+        assert_eq!(dom.edge, "n0>n1", "the long-pole edge is named");
+        // Swapping the pair negates the signed skew.
+        let swapped = attribute_skew(&t, &rates, b, a);
+        assert!(approx_eq(swapped.signed_skew, -2.0));
     }
 
     #[test]

@@ -21,6 +21,7 @@
 //! number break all ties.
 
 use crate::time::SimTime;
+use sim_observe::{TraceBuf, TraceEvent};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::fmt;
@@ -277,6 +278,13 @@ pub struct Simulator {
     seq: u64,
     violations: Vec<TimingViolation>,
     stats: EngineStats,
+    /// Clock-marked nets: `(net, signal name, phase)`. Consulted only
+    /// on the traced path.
+    clock_marks: Vec<(NetId, String, u8)>,
+    /// Event-lifecycle trace ring. `None` (the default) keeps the hot
+    /// path to a single branch per call site — no allocation, no
+    /// atomics.
+    trace: Option<Box<TraceBuf>>,
 }
 
 impl Simulator {
@@ -529,6 +537,38 @@ impl Simulator {
             .unwrap_or(&[])
     }
 
+    /// Starts recording the event lifecycle (schedules, firings,
+    /// inertial cancellations, marked clock edges) into a bounded
+    /// ring of at most `capacity` events; retrieve it with
+    /// [`Simulator::take_trace`]. When tracing is off — the default —
+    /// every hook is a single branch on an `Option`: no allocation,
+    /// no atomics.
+    pub fn enable_trace(&mut self, capacity: usize) {
+        self.trace = Some(Box::new(TraceBuf::new(capacity)));
+    }
+
+    /// Whether event tracing is enabled.
+    #[must_use]
+    pub fn trace_enabled(&self) -> bool {
+        self.trace.is_some()
+    }
+
+    /// Marks `net` as a clock signal: when tracing is enabled, each of
+    /// its transitions additionally records a `ClockEdge` event under
+    /// `signal`, tagged with `phase` (0 or 1 for a two-phase
+    /// discipline).
+    pub fn mark_clock(&mut self, net: NetId, signal: &str, phase: u8) {
+        self.check_net(net);
+        self.clock_marks.retain(|(n, _, _)| *n != net);
+        self.clock_marks.push((net, signal.to_owned(), phase));
+    }
+
+    /// Takes the recorded event trace, leaving tracing disabled.
+    /// Returns `None` when tracing was never enabled.
+    pub fn take_trace(&mut self) -> Option<TraceBuf> {
+        self.trace.take().map(|b| *b)
+    }
+
     /// Schedules an externally driven change of `net` to `value` at
     /// absolute time `t`.
     ///
@@ -581,6 +621,13 @@ impl Simulator {
             // Cancel everything in flight for this net.
             state.gen += 1;
             self.stats.cancellations += 1;
+            if let Some(tr) = &mut self.trace {
+                tr.record(TraceEvent::EventCancelled {
+                    t_ps: self.now.as_ps(),
+                    net: net.index() as u32,
+                });
+            }
+            let state = &mut self.nets[net.index()];
             if value == state.value {
                 // Net settles at its current value; nothing to apply.
                 state.scheduled_value = state.value;
@@ -588,6 +635,7 @@ impl Simulator {
                 return;
             }
         }
+        let state = &mut self.nets[net.index()];
         state.scheduled_value = value;
         state.last_event_time = t;
         let gen = state.gen;
@@ -600,6 +648,14 @@ impl Simulator {
             gen,
         }));
         self.stats.events_scheduled += 1;
+        if let Some(tr) = &mut self.trace {
+            tr.record(TraceEvent::EventScheduled {
+                t_ps: self.now.as_ps(),
+                fire_ps: t.as_ps(),
+                net: net.index() as u32,
+                value,
+            });
+        }
         let depth = self.queue.len() as u64;
         if depth > self.stats.peak_queue_depth {
             self.stats.peak_queue_depth = depth;
@@ -689,6 +745,23 @@ impl Simulator {
         state.last_change_time = ev.time;
         if let Some(trace) = &mut state.trace {
             trace.push((ev.time, ev.value));
+        }
+        if let Some(tr) = &mut self.trace {
+            tr.record(TraceEvent::EventFired {
+                t_ps: ev.time.as_ps(),
+                net: ev.net.index() as u32,
+                value: ev.value,
+            });
+            if let Some((_, signal, phase)) =
+                self.clock_marks.iter().find(|(n, _, _)| *n == ev.net)
+            {
+                tr.record(TraceEvent::ClockEdge {
+                    t_ps: ev.time.as_ps(),
+                    signal: signal.clone(),
+                    rising: ev.value,
+                    phase: *phase,
+                });
+            }
         }
         // React sinks. Temporarily take the list to avoid aliasing
         // `self` (the sink set never changes during simulation).
@@ -829,6 +902,67 @@ mod tests {
 
     fn ps(v: u64) -> SimTime {
         SimTime::from_ps(v)
+    }
+
+    /// A small circuit exercising schedules, firings, and inertial
+    /// cancellations: an inverter driven by a pulse narrower than its
+    /// delay plus a free-running clock. `trace` enables event tracing
+    /// *before* any stimulus, so the recorded lifecycle is complete.
+    fn traced_fixture(trace: bool) -> (Simulator, NetId, NetId) {
+        let mut sim = Simulator::new();
+        let clk = sim.add_net();
+        let a = sim.add_net();
+        let b = sim.add_net();
+        sim.add_inverter(a, b, ps(100), ps(100));
+        sim.watch(b);
+        if trace {
+            sim.enable_trace(1 << 12);
+            sim.mark_clock(clk, "clk", 0);
+        }
+        sim.schedule_clock(clk, ps(50), ps(400), ps(200), 4);
+        sim.schedule_input(a, ps(300), true);
+        // Narrow pulse: swallowed by the inverter's inertial window.
+        sim.schedule_input(a, ps(600), false);
+        sim.schedule_input(a, ps(640), true);
+        (sim, clk, b)
+    }
+
+    #[test]
+    fn tracing_does_not_change_behavior() {
+        let (mut plain, _, b_plain) = traced_fixture(false);
+        plain.run_until(ps(5_000));
+        let (mut traced, _, b_traced) = traced_fixture(true);
+        assert!(traced.trace_enabled());
+        traced.run_until(ps(5_000));
+        assert_eq!(plain.stats(), traced.stats());
+        assert_eq!(plain.transitions(b_plain), traced.transitions(b_traced));
+        assert_eq!(plain.now(), traced.now());
+    }
+
+    #[test]
+    fn trace_records_the_event_lifecycle() {
+        let (mut sim, _, _) = traced_fixture(true);
+        sim.run_until(ps(5_000));
+        let stats = sim.stats();
+        let buf = sim.take_trace().expect("tracing was enabled");
+        assert!(!sim.trace_enabled(), "take_trace disables tracing");
+        let (events, dropped) = buf.into_ordered();
+        assert_eq!(dropped, 0);
+        let count = |kind: &str| events.iter().filter(|e| e.kind() == kind).count() as u64;
+        assert_eq!(count("event_scheduled"), stats.events_scheduled);
+        assert_eq!(count("event_fired"), stats.events_processed);
+        assert_eq!(count("event_cancelled"), stats.cancellations);
+        // 4 clock cycles, marked: 8 clock edges.
+        assert_eq!(count("clock_edge"), 8);
+        // The engine timeline satisfies the offline checker.
+        let mut trace = sim_observe::Trace::new();
+        let mut buf2 = sim_observe::TraceBuf::new(events.len());
+        for ev in events {
+            buf2.record(ev);
+        }
+        trace.add_track("engine", buf2);
+        let check = sim_observe::check_trace(&trace);
+        assert!(check.is_ok(), "{:?}", check.violations);
     }
 
     #[test]

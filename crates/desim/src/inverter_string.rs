@@ -371,6 +371,36 @@ impl InverterString {
         cycles: usize,
         taps: usize,
     ) -> (Simulator, Vec<(NetId, String)>) {
+        self.waveform_impl(period, cycles, taps, None)
+    }
+
+    /// Like [`InverterString::waveform`], but with event-lifecycle
+    /// tracing enabled on the simulator before the clock train starts
+    /// (ring capacity `trace_capacity`), with the clock input marked as
+    /// phase-0 `clk_in`. Retrieve the ring from the returned simulator
+    /// with [`Simulator::take_trace`].
+    ///
+    /// # Panics
+    ///
+    /// As for [`InverterString::waveform`].
+    #[must_use]
+    pub fn waveform_traced(
+        &self,
+        period: SimTime,
+        cycles: usize,
+        taps: usize,
+        trace_capacity: usize,
+    ) -> (Simulator, Vec<(NetId, String)>) {
+        self.waveform_impl(period, cycles, taps, Some(trace_capacity))
+    }
+
+    fn waveform_impl(
+        &self,
+        period: SimTime,
+        cycles: usize,
+        taps: usize,
+        trace_capacity: Option<usize>,
+    ) -> (Simulator, Vec<(NetId, String)>) {
         assert!(period.as_ps() >= 2, "period too small");
         assert!(cycles > 0, "need at least one cycle");
         let mut sim = Simulator::new();
@@ -394,6 +424,10 @@ impl InverterString {
             };
             sim.watch(nets[idx]);
             signals.push((nets[idx], name));
+        }
+        if let Some(capacity) = trace_capacity {
+            sim.enable_trace(capacity);
+            sim.mark_clock(input, "clk_in", 0);
         }
         let high = SimTime::from_ps(period.as_ps() / 2);
         sim.schedule_clock(input, SimTime::from_ps(10), period, high, cycles);

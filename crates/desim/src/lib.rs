@@ -59,5 +59,5 @@ pub mod prelude {
     pub use crate::stats::{linear_fit, mean_std, sample_normal};
     pub use crate::time::SimTime;
     pub use crate::stoppable_clock::{add_stoppable_clock, StoppableClock};
-    pub use crate::vcd::export_vcd;
+    pub use crate::vcd::{export_vcd, VcdWriter};
 }

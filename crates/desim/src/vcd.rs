@@ -1,17 +1,158 @@
-//! Value-change-dump (VCD) export of watched nets, for inspecting
-//! simulated waveforms in standard viewers (GTKWave etc.).
+//! Value-change-dump (VCD) export, for inspecting waveforms in
+//! standard viewers (GTKWave etc.).
 //!
-//! Only nets that were [`watch`](crate::engine::Simulator::watch)ed
-//! carry a trace; pass the ones you want dumped together with display
-//! names.
+//! Two layers:
+//!
+//! * [`VcdWriter`] — a general signal-registration API: any source can
+//!   contribute `(name, initial value, transitions)` triples, so
+//!   analytic models (e.g. clock-tap arrival times computed from a
+//!   tree, with no event simulator behind them) dump waveforms next to
+//!   simulated nets.
+//! * [`export_vcd`] — the original convenience wrapper: dump watched
+//!   nets of a [`Simulator`] directly.
 
 use crate::engine::{NetId, Simulator};
 
-/// Renders the recorded transitions of the given `(net, name)` pairs
-/// as a VCD document with 1 ps timescale.
+/// One registered VCD signal: display name, initial value, and
+/// `(time_ps, new_value)` transitions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct VcdSignal {
+    name: String,
+    initial: bool,
+    transitions: Vec<(u64, bool)>,
+}
+
+/// Builds a VCD document (1 ps timescale) from registered signals.
 ///
-/// Nets that were never watched (or never changed) appear with their
-/// initial value only.
+/// # Examples
+///
+/// Dumping a synthetic signal with no simulator behind it:
+///
+/// ```
+/// use desim::vcd::VcdWriter;
+///
+/// let mut w = VcdWriter::new();
+/// w.add_signal("tap0", false, [(100, true), (600, false)]);
+/// let vcd = w.render();
+/// assert!(vcd.contains("$var wire 1 ! tap0 $end"));
+/// assert!(vcd.contains("#100"));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct VcdWriter {
+    signals: Vec<VcdSignal>,
+}
+
+impl VcdWriter {
+    /// An empty writer.
+    #[must_use]
+    pub fn new() -> Self {
+        VcdWriter::default()
+    }
+
+    /// Registers one signal from raw transitions (`time_ps`,
+    /// `new_value`), e.g. synthesized from an analytic model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is empty, contains whitespace, or duplicates a
+    /// registered signal.
+    pub fn add_signal(
+        &mut self,
+        name: &str,
+        initial: bool,
+        transitions: impl IntoIterator<Item = (u64, bool)>,
+    ) {
+        assert!(
+            !name.is_empty() && !name.contains(char::is_whitespace),
+            "invalid VCD signal name {name:?}"
+        );
+        assert!(
+            self.signals.iter().all(|s| s.name != name),
+            "duplicate VCD signal name {name:?}"
+        );
+        self.signals.push(VcdSignal {
+            name: name.to_owned(),
+            initial,
+            transitions: transitions.into_iter().collect(),
+        });
+    }
+
+    /// Registers a simulator net under `name`, using its recorded
+    /// transitions (see [`Simulator::watch`]). A net that was never
+    /// watched (or never changed) appears with its initial value only.
+    /// The initial value is inferred as the complement of the first
+    /// recorded transition when one exists, else the net's current
+    /// value.
+    ///
+    /// # Panics
+    ///
+    /// As for [`VcdWriter::add_signal`].
+    pub fn add_net(&mut self, sim: &Simulator, net: NetId, name: &str) {
+        let transitions: Vec<(u64, bool)> = sim
+            .transitions(net)
+            .iter()
+            .map(|&(t, v)| (t.as_ps(), v))
+            .collect();
+        let initial = match transitions.first() {
+            Some(&(_, first_value)) => !first_value,
+            None => sim.value(net),
+        };
+        self.add_signal(name, initial, transitions);
+    }
+
+    /// Number of registered signals.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.signals.len()
+    }
+
+    /// Whether no signal has been registered.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.signals.is_empty()
+    }
+
+    /// Renders the VCD document.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str("$timescale 1ps $end\n$scope module top $end\n");
+        // VCD id chars: printable ASCII starting at '!'.
+        let id_of = |i: usize| -> char {
+            char::from_u32(33 + i as u32).expect("few enough signals for single-char ids")
+        };
+        for (i, sig) in self.signals.iter().enumerate() {
+            out.push_str(&format!("$var wire 1 {} {} $end\n", id_of(i), sig.name));
+        }
+        out.push_str("$upscope $end\n$enddefinitions $end\n");
+        out.push_str("$dumpvars\n");
+        for (i, sig) in self.signals.iter().enumerate() {
+            out.push_str(&format!("{}{}\n", u8::from(sig.initial), id_of(i)));
+        }
+        out.push_str("$end\n");
+        // Merge all transitions, time-ordered (stable by signal order).
+        let mut events: Vec<(u64, usize, bool)> = Vec::new();
+        for (i, sig) in self.signals.iter().enumerate() {
+            for &(t, v) in &sig.transitions {
+                events.push((t, i, v));
+            }
+        }
+        events.sort_by_key(|&(t, i, _)| (t, i));
+        let mut last_time = None;
+        for (t, i, v) in events {
+            if last_time != Some(t) {
+                out.push_str(&format!("#{t}\n"));
+                last_time = Some(t);
+            }
+            out.push_str(&format!("{}{}\n", u8::from(v), id_of(i)));
+        }
+        out
+    }
+}
+
+/// Renders the recorded transitions of the given `(net, name)` pairs
+/// as a VCD document with 1 ps timescale — the [`VcdWriter`]
+/// convenience wrapper for pure-simulator dumps.
 ///
 /// # Panics
 ///
@@ -37,53 +178,11 @@ use crate::engine::{NetId, Simulator};
 /// ```
 #[must_use]
 pub fn export_vcd(sim: &Simulator, nets: &[(NetId, &str)]) -> String {
-    let mut seen = std::collections::HashSet::new();
-    for (_, name) in nets {
-        assert!(
-            !name.is_empty() && !name.contains(char::is_whitespace),
-            "invalid VCD signal name {name:?}"
-        );
-        assert!(seen.insert(*name), "duplicate VCD signal name {name:?}");
+    let mut w = VcdWriter::new();
+    for &(net, name) in nets {
+        w.add_net(sim, net, name);
     }
-    let mut out = String::new();
-    out.push_str("$timescale 1ps $end\n$scope module top $end\n");
-    // VCD id chars: printable ASCII starting at '!'.
-    let id_of = |i: usize| -> char {
-        char::from_u32(33 + i as u32).expect("few enough signals for single-char ids")
-    };
-    for (i, (_, name)) in nets.iter().enumerate() {
-        out.push_str(&format!("$var wire 1 {} {} $end\n", id_of(i), name));
-    }
-    out.push_str("$upscope $end\n$enddefinitions $end\n");
-    // Initial values: a net's first recorded transition tells us what
-    // it became; its initial value is the complement when a trace
-    // exists, otherwise the current value.
-    out.push_str("$dumpvars\n");
-    for (i, &(net, _)) in nets.iter().enumerate() {
-        let initial = match sim.transitions(net).first() {
-            Some(&(_, first_value)) => !first_value,
-            None => sim.value(net),
-        };
-        out.push_str(&format!("{}{}\n", u8::from(initial), id_of(i)));
-    }
-    out.push_str("$end\n");
-    // Merge all transitions, time-ordered (stable by net order).
-    let mut events: Vec<(u64, usize, bool)> = Vec::new();
-    for (i, &(net, _)) in nets.iter().enumerate() {
-        for &(t, v) in sim.transitions(net) {
-            events.push((t.as_ps(), i, v));
-        }
-    }
-    events.sort_by_key(|&(t, i, _)| (t, i));
-    let mut last_time = None;
-    for (t, i, v) in events {
-        if last_time != Some(t) {
-            out.push_str(&format!("#{t}\n"));
-            last_time = Some(t);
-        }
-        out.push_str(&format!("{}{}\n", u8::from(v), id_of(i)));
-    }
-    out
+    w.render()
 }
 
 #[cfg(test)]
@@ -125,6 +224,25 @@ mod tests {
         let vcd = export_vcd(&sim, &[(a, "idle")]);
         assert!(vcd.contains("0!"));
         assert!(!vcd.contains('#'));
+    }
+
+    #[test]
+    fn synthetic_signals_mix_with_simulated_nets() {
+        let mut sim = Simulator::new();
+        let a = sim.add_net();
+        sim.watch(a);
+        sim.schedule_input(a, ps(50), true);
+        sim.run_until(ps(100));
+        let mut w = VcdWriter::new();
+        w.add_net(&sim, a, "real");
+        w.add_signal("model", false, [(10, true), (90, false)]);
+        assert_eq!(w.len(), 2);
+        assert!(!w.is_empty());
+        let vcd = w.render();
+        for needle in ["$var wire 1 ! real $end", "$var wire 1 \" model $end", "#10", "#50", "#90"]
+        {
+            assert!(vcd.contains(needle), "missing {needle}:\n{vcd}");
+        }
     }
 
     #[test]

@@ -19,6 +19,12 @@
 //!   sorted-key snapshots.
 //! * [`timer`] — [`SpanTimer`] monotonic spans for the volatile
 //!   (wall-clock) side of a report.
+//! * [`trace`] + [`check`] — `sim-trace`: typed per-event tracing into
+//!   bounded ring buffers ([`TraceBuf`] → [`Trace`]), exported as
+//!   Chrome/Perfetto trace-event JSON or a deterministic text form,
+//!   plus an offline checker ([`check_trace`]) validating clock
+//!   non-overlap (A4), handshake ordering (Section VI), and monotone
+//!   event time.
 //!
 //! Hot-path discipline: nothing here belongs *inside* an event loop.
 //! Hot code keeps plain local `u64` counters (see
@@ -43,20 +49,28 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod check;
 pub mod hist;
 pub mod json;
 pub mod metrics;
 pub mod timer;
+pub mod trace;
 
+pub use check::{check_trace, CheckReport, Violation};
 pub use hist::LogHistogram;
 pub use json::{fmt_f64, parse, Json, JsonError};
 pub use metrics::Metrics;
 pub use timer::{duration_ns, timed, SpanTimer};
+pub use trace::{
+    ps_from_units, PathStep, Trace, TraceBuf, TraceEvent, WallSpan, DEFAULT_TRACE_CAPACITY,
+};
 
 /// One-stop imports for instrumented code.
 pub mod prelude {
+    pub use crate::check::{check_trace, CheckReport, Violation};
     pub use crate::hist::LogHistogram;
     pub use crate::json::{parse, Json, JsonError};
     pub use crate::metrics::Metrics;
     pub use crate::timer::{duration_ns, timed, SpanTimer};
+    pub use crate::trace::{ps_from_units, PathStep, Trace, TraceBuf, TraceEvent, WallSpan};
 }

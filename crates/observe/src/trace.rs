@@ -1,0 +1,1015 @@
+//! `sim-trace`: typed, deterministic event tracing.
+//!
+//! Aggregate metrics (counters, histograms) answer *how much*; a trace
+//! answers *where and when*. This module is the workspace's trace
+//! substrate: hot code records [`TraceEvent`]s into a bounded
+//! [`TraceBuf`] ring (plain `Vec`, no locks, no atomics — one buffer
+//! per worker, merged once, the same discipline as
+//! `ParallelSweep::run_timed`), and a finished run assembles the
+//! buffers into a [`Trace`] of named tracks plus volatile wall-clock
+//! [`WallSpan`]s.
+//!
+//! Two export formats:
+//!
+//! * [`Trace::to_text`] — a compact deterministic text form covering
+//!   only the sim-time content. Byte-identical across `--threads`
+//!   values at a fixed seed (wall spans are excluded), which is what
+//!   `tests/determinism.rs` pins.
+//! * [`Trace::to_perfetto`] — Chrome/Perfetto trace-event JSON built
+//!   on [`crate::json`] (still zero-dep). Open the file in
+//!   `ui.perfetto.dev`. Sim-time events land under the `sim-time`
+//!   process, wall-clock sweep spans under `wall-time`. The document
+//!   round-trips: [`Trace::from_perfetto`] reconstructs the exact
+//!   trace, and re-serializing yields byte-identical JSON.
+//!
+//! Sim times are `u64` picoseconds (`t_ps`); abstract `f64` time
+//! domains scale by 1000 before recording. Wall times are `u64`
+//! nanoseconds relative to an arbitrary per-run epoch.
+
+use crate::json::Json;
+use std::collections::HashMap;
+
+/// Default [`TraceBuf`] capacity: bounds memory at roughly a few MiB
+/// per track even for event-heavy simulations.
+pub const DEFAULT_TRACE_CAPACITY: usize = 1 << 16;
+
+/// One signed per-edge delay contribution along a clock-tree path —
+/// the payload that turns a worst-case skew number into a causal
+/// attribution (which edges produced it).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PathStep {
+    /// Edge label, e.g. `root>n3` (the tree edge into node `n3`).
+    pub edge: String,
+    /// Signed delay contribution in picoseconds: positive along the
+    /// first leaf's path, negative along the second's (the common
+    /// prefix cancels).
+    pub delta_ps: i64,
+}
+
+/// A typed trace event stamped with sim time (`t_ps`, picoseconds).
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceEvent {
+    /// A clock signal edge. `phase` distinguishes the two phases of a
+    /// two-phase discipline (assumption A4); single-phase clocks use 0.
+    ClockEdge {
+        /// Sim time of the edge, picoseconds.
+        t_ps: u64,
+        /// Signal name.
+        signal: String,
+        /// Rising (`true`) or falling edge.
+        rising: bool,
+        /// Clock phase index (0 or 1).
+        phase: u8,
+    },
+    /// The event engine scheduled a net change for the future.
+    EventScheduled {
+        /// Sim time at which the schedule call happened.
+        t_ps: u64,
+        /// Sim time the change is due to fire.
+        fire_ps: u64,
+        /// Net index.
+        net: u32,
+        /// Scheduled value.
+        value: bool,
+    },
+    /// A scheduled net change fired (the net actually toggled).
+    EventFired {
+        /// Sim time of the transition.
+        t_ps: u64,
+        /// Net index.
+        net: u32,
+        /// New value.
+        value: bool,
+    },
+    /// A pending net change was cancelled (inertial-delay pulse
+    /// swallowing).
+    EventCancelled {
+        /// Sim time of the cancelling schedule call.
+        t_ps: u64,
+        /// Net index.
+        net: u32,
+    },
+    /// A handshake request transition on a named link.
+    HandshakeReq {
+        /// Sim time of the transition.
+        t_ps: u64,
+        /// Link name.
+        link: String,
+        /// Asserting (`true`) or deasserting transition.
+        rising: bool,
+    },
+    /// A handshake acknowledge transition on a named link.
+    HandshakeAck {
+        /// Sim time of the transition.
+        t_ps: u64,
+        /// Link name.
+        link: String,
+        /// Asserting (`true`) or deasserting transition.
+        rising: bool,
+    },
+    /// One observed skew sample, with the per-edge path attribution
+    /// that produced it.
+    SkewSample {
+        /// Sim time of the sample (0 for static analyses).
+        t_ps: u64,
+        /// The cell pair, e.g. `cells(3,12)`.
+        pair: String,
+        /// The skew magnitude, picoseconds.
+        skew_ps: u64,
+        /// Signed per-edge contributions over the symmetric difference
+        /// of the two root-to-leaf paths.
+        path: Vec<PathStep>,
+    },
+    /// Start of a named sim-time span.
+    SpanBegin {
+        /// Sim time the span opens.
+        t_ps: u64,
+        /// Span name.
+        name: String,
+    },
+    /// End of the innermost open span with this name.
+    SpanEnd {
+        /// Sim time the span closes.
+        t_ps: u64,
+        /// Span name (must match the open span).
+        name: String,
+    },
+}
+
+impl TraceEvent {
+    /// The event's sim-time stamp, picoseconds.
+    #[must_use]
+    pub fn t_ps(&self) -> u64 {
+        match self {
+            TraceEvent::ClockEdge { t_ps, .. }
+            | TraceEvent::EventScheduled { t_ps, .. }
+            | TraceEvent::EventFired { t_ps, .. }
+            | TraceEvent::EventCancelled { t_ps, .. }
+            | TraceEvent::HandshakeReq { t_ps, .. }
+            | TraceEvent::HandshakeAck { t_ps, .. }
+            | TraceEvent::SkewSample { t_ps, .. }
+            | TraceEvent::SpanBegin { t_ps, .. }
+            | TraceEvent::SpanEnd { t_ps, .. } => *t_ps,
+        }
+    }
+
+    /// Stable kind tag (also the Perfetto event name for instants).
+    #[must_use]
+    pub fn kind(&self) -> &'static str {
+        match self {
+            TraceEvent::ClockEdge { .. } => "clock_edge",
+            TraceEvent::EventScheduled { .. } => "event_scheduled",
+            TraceEvent::EventFired { .. } => "event_fired",
+            TraceEvent::EventCancelled { .. } => "event_cancelled",
+            TraceEvent::HandshakeReq { .. } => "handshake_req",
+            TraceEvent::HandshakeAck { .. } => "handshake_ack",
+            TraceEvent::SkewSample { .. } => "skew_sample",
+            TraceEvent::SpanBegin { .. } => "span_begin",
+            TraceEvent::SpanEnd { .. } => "span_end",
+        }
+    }
+
+    /// One deterministic text line (no trailing newline) — the unit of
+    /// [`Trace::to_text`].
+    #[must_use]
+    pub fn to_text(&self) -> String {
+        let b = |v: bool| u8::from(v);
+        match self {
+            TraceEvent::ClockEdge {
+                t_ps,
+                signal,
+                rising,
+                phase,
+            } => format!(
+                "clock_edge t={t_ps} signal={signal} rising={} phase={phase}",
+                b(*rising)
+            ),
+            TraceEvent::EventScheduled {
+                t_ps,
+                fire_ps,
+                net,
+                value,
+            } => format!(
+                "event_scheduled t={t_ps} fire={fire_ps} net={net} value={}",
+                b(*value)
+            ),
+            TraceEvent::EventFired { t_ps, net, value } => {
+                format!("event_fired t={t_ps} net={net} value={}", b(*value))
+            }
+            TraceEvent::EventCancelled { t_ps, net } => {
+                format!("event_cancelled t={t_ps} net={net}")
+            }
+            TraceEvent::HandshakeReq { t_ps, link, rising } => {
+                format!("handshake_req t={t_ps} link={link} rising={}", b(*rising))
+            }
+            TraceEvent::HandshakeAck { t_ps, link, rising } => {
+                format!("handshake_ack t={t_ps} link={link} rising={}", b(*rising))
+            }
+            TraceEvent::SkewSample {
+                t_ps,
+                pair,
+                skew_ps,
+                path,
+            } => {
+                let steps: Vec<String> = path
+                    .iter()
+                    .map(|s| format!("{}:{:+}", s.edge, s.delta_ps))
+                    .collect();
+                format!(
+                    "skew_sample t={t_ps} pair={pair} skew={skew_ps} path={}",
+                    if steps.is_empty() {
+                        "-".to_owned()
+                    } else {
+                        steps.join(",")
+                    }
+                )
+            }
+            TraceEvent::SpanBegin { t_ps, name } => {
+                format!("span_begin t={t_ps} name={name}")
+            }
+            TraceEvent::SpanEnd { t_ps, name } => {
+                format!("span_end t={t_ps} name={name}")
+            }
+        }
+    }
+}
+
+/// A bounded single-owner ring buffer of trace events: the hot-path
+/// collector. Recording never allocates once the ring is full — the
+/// oldest event is overwritten and counted in [`TraceBuf::dropped`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceBuf {
+    events: Vec<TraceEvent>,
+    head: usize,
+    cap: usize,
+    dropped: u64,
+}
+
+impl Default for TraceBuf {
+    fn default() -> Self {
+        TraceBuf::new(DEFAULT_TRACE_CAPACITY)
+    }
+}
+
+impl TraceBuf {
+    /// An empty ring holding at most `capacity` events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "trace buffer capacity must be positive");
+        TraceBuf {
+            events: Vec::new(),
+            head: 0,
+            cap: capacity,
+            dropped: 0,
+        }
+    }
+
+    /// Records one event, overwriting the oldest when full.
+    pub fn record(&mut self, ev: TraceEvent) {
+        if self.events.len() < self.cap {
+            self.events.push(ev);
+        } else {
+            self.events[self.head] = ev;
+            self.head = (self.head + 1) % self.cap;
+            self.dropped += 1;
+        }
+    }
+
+    /// Number of retained events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether nothing has been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Events overwritten after the ring filled.
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Consumes the ring, returning the retained events oldest-first
+    /// plus the overwrite count.
+    #[must_use]
+    pub fn into_ordered(mut self) -> (Vec<TraceEvent>, u64) {
+        self.events.rotate_left(self.head);
+        (self.events, self.dropped)
+    }
+}
+
+/// One named sequence of sim-time events (a Perfetto thread under the
+/// `sim-time` process).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Track {
+    /// Track name, e.g. `e6.engine`.
+    pub name: String,
+    /// Events overwritten by the collecting ring before the merge.
+    pub dropped: u64,
+    /// Retained events, oldest first.
+    pub events: Vec<TraceEvent>,
+}
+
+/// One wall-clock span (a Perfetto complete event under the
+/// `wall-time` process). Volatile: excluded from [`Trace::to_text`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WallSpan {
+    /// Wall track name, e.g. `e6.yield/w0` (sweep worker 0).
+    pub track: String,
+    /// Span label, e.g. `trial 17`.
+    pub name: String,
+    /// Start offset from the run's epoch, nanoseconds.
+    pub start_ns: u64,
+    /// Duration, nanoseconds.
+    pub dur_ns: u64,
+}
+
+/// A complete run trace: deterministic sim-time tracks plus volatile
+/// wall-clock spans.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Trace {
+    tracks: Vec<Track>,
+    wall: Vec<WallSpan>,
+}
+
+impl Trace {
+    /// An empty trace.
+    #[must_use]
+    pub fn new() -> Self {
+        Trace::default()
+    }
+
+    /// Whether the trace holds no events and no wall spans.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.tracks.is_empty() && self.wall.is_empty()
+    }
+
+    /// Merges a collector ring into the trace as the track `name`. If
+    /// the track already exists (e.g. per-worker buffers merged once
+    /// after a sweep), the events are appended and the drop counts
+    /// added.
+    pub fn add_track(&mut self, name: &str, buf: TraceBuf) {
+        let (events, dropped) = buf.into_ordered();
+        if let Some(t) = self.tracks.iter_mut().find(|t| t.name == name) {
+            t.events.extend(events);
+            t.dropped += dropped;
+        } else {
+            self.tracks.push(Track {
+                name: name.to_owned(),
+                dropped,
+                events,
+            });
+        }
+    }
+
+    /// Records one volatile wall-clock span.
+    pub fn add_wall_span(&mut self, track: &str, name: &str, start_ns: u64, dur_ns: u64) {
+        self.wall.push(WallSpan {
+            track: track.to_owned(),
+            name: name.to_owned(),
+            start_ns,
+            dur_ns,
+        });
+    }
+
+    /// The sim-time tracks, in insertion order.
+    #[must_use]
+    pub fn tracks(&self) -> &[Track] {
+        &self.tracks
+    }
+
+    /// Looks a track up by name.
+    #[must_use]
+    pub fn track(&self, name: &str) -> Option<&Track> {
+        self.tracks.iter().find(|t| t.name == name)
+    }
+
+    /// The wall-clock spans, in insertion order.
+    #[must_use]
+    pub fn wall_spans(&self) -> &[WallSpan] {
+        &self.wall
+    }
+
+    /// Total sim-time events across all tracks.
+    #[must_use]
+    pub fn event_count(&self) -> usize {
+        self.tracks.iter().map(|t| t.events.len()).sum()
+    }
+
+    /// Tracks sorted by name — the canonical export order (insertion
+    /// order could depend on instrumentation wiring; names are stable).
+    fn sorted_tracks(&self) -> Vec<&Track> {
+        let mut ts: Vec<&Track> = self.tracks.iter().collect();
+        ts.sort_by(|a, b| a.name.cmp(&b.name));
+        ts
+    }
+
+    /// The compact deterministic text form: sim-time tracks only
+    /// (sorted by name), one line per event. Byte-identical across
+    /// `--threads` values at a fixed seed.
+    #[must_use]
+    pub fn to_text(&self) -> String {
+        let mut out = String::from("# sim-trace v1\n");
+        for t in self.sorted_tracks() {
+            out.push_str(&format!(
+                "track {} events={} dropped={}\n",
+                t.name,
+                t.events.len(),
+                t.dropped
+            ));
+            for ev in &t.events {
+                out.push_str("  ");
+                out.push_str(&ev.to_text());
+                out.push('\n');
+            }
+        }
+        out
+    }
+
+    /// Serializes to Chrome/Perfetto trace-event JSON ("open in
+    /// `ui.perfetto.dev`"). `ts` is microseconds per the format; the
+    /// exact integer timestamps ride along in `args` so
+    /// [`Trace::from_perfetto`] reconstructs the trace losslessly and
+    /// re-serialization is byte-identical.
+    #[must_use]
+    pub fn to_perfetto(&self) -> Json {
+        let mut events: Vec<Json> = vec![
+            meta_event("process_name", SIM_PID, 0, vec![("name", Json::from("sim-time"))]),
+            meta_event(
+                "process_name",
+                WALL_PID,
+                0,
+                vec![("name", Json::from("wall-time"))],
+            ),
+        ];
+        let tracks = self.sorted_tracks();
+        for (i, t) in tracks.iter().enumerate() {
+            let tid = i as u64 + 1;
+            events.push(meta_event(
+                "thread_name",
+                SIM_PID,
+                tid,
+                vec![
+                    ("name", Json::from(t.name.as_str())),
+                    ("dropped", Json::UInt(t.dropped)),
+                ],
+            ));
+        }
+        for (i, t) in tracks.iter().enumerate() {
+            let tid = i as u64 + 1;
+            for ev in &t.events {
+                events.push(sim_event_json(ev, tid));
+            }
+        }
+        // Wall tracks get tids in first-appearance order — stable
+        // because `wall` is serialized (and re-parsed) in list order.
+        let mut wall_tids: Vec<&str> = Vec::new();
+        for s in &self.wall {
+            if !wall_tids.contains(&s.track.as_str()) {
+                wall_tids.push(&s.track);
+            }
+        }
+        for (i, name) in wall_tids.iter().enumerate() {
+            events.push(meta_event(
+                "thread_name",
+                WALL_PID,
+                i as u64 + 1,
+                vec![("name", Json::from(*name))],
+            ));
+        }
+        for s in &self.wall {
+            let tid = wall_tids.iter().position(|n| *n == s.track).unwrap() as u64 + 1;
+            events.push(Json::obj(vec![
+                ("name", Json::from(s.name.as_str())),
+                ("ph", Json::from("X")),
+                ("ts", Json::Float(s.start_ns as f64 / 1e3)),
+                ("dur", Json::Float(s.dur_ns as f64 / 1e3)),
+                ("pid", Json::UInt(WALL_PID)),
+                ("tid", Json::UInt(tid)),
+                (
+                    "args",
+                    Json::obj(vec![
+                        ("start_ns", Json::UInt(s.start_ns)),
+                        ("dur_ns", Json::UInt(s.dur_ns)),
+                    ]),
+                ),
+            ]));
+        }
+        Json::obj(vec![
+            ("displayTimeUnit", Json::from("ns")),
+            (
+                "otherData",
+                Json::obj(vec![
+                    ("generator", Json::from("sim-trace")),
+                    ("schema_version", Json::UInt(1)),
+                ]),
+            ),
+            ("traceEvents", Json::Array(events)),
+        ])
+    }
+
+    /// Reconstructs a trace from a document produced by
+    /// [`Trace::to_perfetto`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed record — an
+    /// unknown event name, a missing field, or a document that is not
+    /// trace-event JSON.
+    pub fn from_perfetto(doc: &Json) -> Result<Trace, String> {
+        let events = match doc.get("traceEvents") {
+            Some(Json::Array(items)) => items,
+            _ => return Err("missing traceEvents array".to_owned()),
+        };
+        let mut trace = Trace::new();
+        // tid → track name, per process.
+        let mut sim_tracks: HashMap<u64, String> = HashMap::new();
+        let mut wall_tracks: HashMap<u64, String> = HashMap::new();
+        for ev in events {
+            let name = req_str(ev, "name")?;
+            let ph = req_str(ev, "ph")?;
+            let pid = req_u64(ev, "pid")?;
+            let tid = req_u64(ev, "tid")?;
+            let args = ev.get("args");
+            match (ph, name) {
+                ("M", "process_name") => {}
+                ("M", "thread_name") => {
+                    let args = args.ok_or("thread_name metadata without args")?;
+                    let tname = args
+                        .get("name")
+                        .and_then(Json::as_str)
+                        .ok_or("thread_name metadata without a name")?
+                        .to_owned();
+                    if pid == SIM_PID {
+                        let dropped =
+                            args.get("dropped").and_then(as_u64).unwrap_or(0);
+                        sim_tracks.insert(tid, tname.clone());
+                        trace.tracks.push(Track {
+                            name: tname,
+                            dropped,
+                            events: Vec::new(),
+                        });
+                    } else {
+                        wall_tracks.insert(tid, tname);
+                    }
+                }
+                ("X", _) if pid == WALL_PID => {
+                    let track = wall_tracks
+                        .get(&tid)
+                        .ok_or("wall span on an undeclared track")?
+                        .clone();
+                    let args = args.ok_or("wall span without args")?;
+                    trace.wall.push(WallSpan {
+                        track,
+                        name: name.to_owned(),
+                        start_ns: req_arg_u64(args, "start_ns")?,
+                        dur_ns: req_arg_u64(args, "dur_ns")?,
+                    });
+                }
+                _ if pid == SIM_PID => {
+                    let tname = sim_tracks
+                        .get(&tid)
+                        .ok_or("sim event on an undeclared track")?
+                        .clone();
+                    let parsed = sim_event_from_json(name, ph, args)?;
+                    trace
+                        .tracks
+                        .iter_mut()
+                        .find(|t| t.name == tname)
+                        .expect("track registered above")
+                        .events
+                        .push(parsed);
+                }
+                (ph, name) => {
+                    return Err(format!("unrecognized trace record `{name}` (ph `{ph}`)"))
+                }
+            }
+        }
+        Ok(trace)
+    }
+}
+
+const SIM_PID: u64 = 1;
+const WALL_PID: u64 = 2;
+
+fn meta_event(name: &str, pid: u64, tid: u64, args: Vec<(&str, Json)>) -> Json {
+    Json::obj(vec![
+        ("name", Json::from(name)),
+        ("ph", Json::from("M")),
+        ("pid", Json::UInt(pid)),
+        ("tid", Json::UInt(tid)),
+        ("args", Json::obj(args)),
+    ])
+}
+
+fn ts_us(t_ps: u64) -> Json {
+    // Chrome trace `ts` is microseconds; 1 ps = 1e-6 µs.
+    Json::Float(t_ps as f64 / 1e6)
+}
+
+/// One sim-time event as a Perfetto record. Instants use `ph:"i"`,
+/// spans `ph:"B"`/`"E"` so Perfetto nests them; `args` carries the
+/// exact typed payload for lossless reconstruction.
+fn sim_event_json(ev: &TraceEvent, tid: u64) -> Json {
+    let (name, ph, mut args): (&str, &str, Vec<(&str, Json)>) = match ev {
+        TraceEvent::ClockEdge {
+            signal,
+            rising,
+            phase,
+            ..
+        } => (
+            ev.kind(),
+            "i",
+            vec![
+                ("signal", Json::from(signal.as_str())),
+                ("rising", Json::Bool(*rising)),
+                ("phase", Json::UInt(u64::from(*phase))),
+            ],
+        ),
+        TraceEvent::EventScheduled {
+            fire_ps,
+            net,
+            value,
+            ..
+        } => (
+            ev.kind(),
+            "i",
+            vec![
+                ("fire_ps", Json::UInt(*fire_ps)),
+                ("net", Json::UInt(u64::from(*net))),
+                ("value", Json::Bool(*value)),
+            ],
+        ),
+        TraceEvent::EventFired { net, value, .. } => (
+            ev.kind(),
+            "i",
+            vec![
+                ("net", Json::UInt(u64::from(*net))),
+                ("value", Json::Bool(*value)),
+            ],
+        ),
+        TraceEvent::EventCancelled { net, .. } => {
+            (ev.kind(), "i", vec![("net", Json::UInt(u64::from(*net)))])
+        }
+        TraceEvent::HandshakeReq { link, rising, .. }
+        | TraceEvent::HandshakeAck { link, rising, .. } => (
+            ev.kind(),
+            "i",
+            vec![
+                ("link", Json::from(link.as_str())),
+                ("rising", Json::Bool(*rising)),
+            ],
+        ),
+        TraceEvent::SkewSample {
+            pair,
+            skew_ps,
+            path,
+            ..
+        } => (
+            ev.kind(),
+            "i",
+            vec![
+                ("pair", Json::from(pair.as_str())),
+                ("skew_ps", Json::UInt(*skew_ps)),
+                (
+                    "path",
+                    Json::Array(
+                        path.iter()
+                            .map(|s| {
+                                Json::obj(vec![
+                                    ("edge", Json::from(s.edge.as_str())),
+                                    ("delta_ps", Json::Int(s.delta_ps)),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+            ],
+        ),
+        TraceEvent::SpanBegin { name, .. } => (name.as_str(), "B", vec![]),
+        TraceEvent::SpanEnd { name, .. } => (name.as_str(), "E", vec![]),
+    };
+    args.push(("t_ps", Json::UInt(ev.t_ps())));
+    let mut pairs = vec![
+        ("name", Json::from(name)),
+        ("ph", Json::from(ph)),
+        ("ts", ts_us(ev.t_ps())),
+        ("pid", Json::UInt(SIM_PID)),
+        ("tid", Json::UInt(tid)),
+    ];
+    if ph == "i" {
+        // Thread-scoped instant marker.
+        pairs.push(("s", Json::from("t")));
+    }
+    pairs.push(("args", Json::obj(args)));
+    Json::obj(pairs)
+}
+
+fn sim_event_from_json(
+    name: &str,
+    ph: &str,
+    args: Option<&Json>,
+) -> Result<TraceEvent, String> {
+    let args = args.ok_or_else(|| format!("sim event `{name}` without args"))?;
+    let t_ps = req_arg_u64(args, "t_ps")?;
+    match ph {
+        "B" => {
+            return Ok(TraceEvent::SpanBegin {
+                t_ps,
+                name: name.to_owned(),
+            })
+        }
+        "E" => {
+            return Ok(TraceEvent::SpanEnd {
+                t_ps,
+                name: name.to_owned(),
+            })
+        }
+        _ => {}
+    }
+    let rising = |field: &str| -> Result<bool, String> { req_arg_bool(args, field) };
+    Ok(match name {
+        "clock_edge" => TraceEvent::ClockEdge {
+            t_ps,
+            signal: req_arg_str(args, "signal")?,
+            rising: rising("rising")?,
+            phase: req_arg_u64(args, "phase")? as u8,
+        },
+        "event_scheduled" => TraceEvent::EventScheduled {
+            t_ps,
+            fire_ps: req_arg_u64(args, "fire_ps")?,
+            net: req_arg_u64(args, "net")? as u32,
+            value: rising("value")?,
+        },
+        "event_fired" => TraceEvent::EventFired {
+            t_ps,
+            net: req_arg_u64(args, "net")? as u32,
+            value: rising("value")?,
+        },
+        "event_cancelled" => TraceEvent::EventCancelled {
+            t_ps,
+            net: req_arg_u64(args, "net")? as u32,
+        },
+        "handshake_req" => TraceEvent::HandshakeReq {
+            t_ps,
+            link: req_arg_str(args, "link")?,
+            rising: rising("rising")?,
+        },
+        "handshake_ack" => TraceEvent::HandshakeAck {
+            t_ps,
+            link: req_arg_str(args, "link")?,
+            rising: rising("rising")?,
+        },
+        "skew_sample" => {
+            let path = match args.get("path") {
+                Some(Json::Array(items)) => items
+                    .iter()
+                    .map(|s| {
+                        Ok(PathStep {
+                            edge: req_arg_str(s, "edge")?,
+                            delta_ps: s
+                                .get("delta_ps")
+                                .and_then(as_i64)
+                                .ok_or("path step without delta_ps")?,
+                        })
+                    })
+                    .collect::<Result<Vec<_>, String>>()?,
+                _ => return Err("skew_sample without a path array".to_owned()),
+            };
+            TraceEvent::SkewSample {
+                t_ps,
+                pair: req_arg_str(args, "pair")?,
+                skew_ps: req_arg_u64(args, "skew_ps")?,
+                path,
+            }
+        }
+        other => return Err(format!("unknown sim event kind `{other}`")),
+    })
+}
+
+fn as_u64(j: &Json) -> Option<u64> {
+    match j {
+        Json::UInt(v) => Some(*v),
+        Json::Int(v) if *v >= 0 => Some(*v as u64),
+        _ => None,
+    }
+}
+
+fn as_i64(j: &Json) -> Option<i64> {
+    match j {
+        Json::UInt(v) => i64::try_from(*v).ok(),
+        Json::Int(v) => Some(*v),
+        _ => None,
+    }
+}
+
+fn req_str<'a>(ev: &'a Json, field: &str) -> Result<&'a str, String> {
+    ev.get(field)
+        .and_then(Json::as_str)
+        .ok_or_else(|| format!("trace record missing string field `{field}`"))
+}
+
+fn req_u64(ev: &Json, field: &str) -> Result<u64, String> {
+    ev.get(field)
+        .and_then(as_u64)
+        .ok_or_else(|| format!("trace record missing integer field `{field}`"))
+}
+
+fn req_arg_u64(args: &Json, field: &str) -> Result<u64, String> {
+    args.get(field)
+        .and_then(as_u64)
+        .ok_or_else(|| format!("event args missing integer field `{field}`"))
+}
+
+fn req_arg_str(args: &Json, field: &str) -> Result<String, String> {
+    args.get(field)
+        .and_then(Json::as_str)
+        .map(str::to_owned)
+        .ok_or_else(|| format!("event args missing string field `{field}`"))
+}
+
+fn req_arg_bool(args: &Json, field: &str) -> Result<bool, String> {
+    match args.get(field) {
+        Some(Json::Bool(v)) => Ok(*v),
+        _ => Err(format!("event args missing boolean field `{field}`")),
+    }
+}
+
+/// Converts an abstract `f64` time (arbitrary units, 1 unit = 1 ns) to
+/// trace picoseconds — the shared convention for the analytic models
+/// (`clock`, `selftimed`) whose delays are unitless floats.
+#[must_use]
+pub fn ps_from_units(t: f64) -> u64 {
+    if t <= 0.0 || !t.is_finite() {
+        return 0;
+    }
+    // Round half-up for determinism across platforms.
+    (t * 1000.0 + 0.5) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_trace() -> Trace {
+        let mut buf = TraceBuf::new(16);
+        buf.record(TraceEvent::ClockEdge {
+            t_ps: 0,
+            signal: "phi0".into(),
+            rising: true,
+            phase: 0,
+        });
+        buf.record(TraceEvent::EventScheduled {
+            t_ps: 0,
+            fire_ps: 100,
+            net: 3,
+            value: true,
+        });
+        buf.record(TraceEvent::EventFired {
+            t_ps: 100,
+            net: 3,
+            value: true,
+        });
+        buf.record(TraceEvent::SpanBegin {
+            t_ps: 100,
+            name: "settle".into(),
+        });
+        buf.record(TraceEvent::SpanEnd {
+            t_ps: 250,
+            name: "settle".into(),
+        });
+        let mut t = Trace::new();
+        t.add_track("engine", buf);
+        let mut hs = TraceBuf::new(8);
+        hs.record(TraceEvent::HandshakeReq {
+            t_ps: 10,
+            link: "l0".into(),
+            rising: true,
+        });
+        hs.record(TraceEvent::HandshakeAck {
+            t_ps: 30,
+            link: "l0".into(),
+            rising: true,
+        });
+        hs.record(TraceEvent::SkewSample {
+            t_ps: 0,
+            pair: "cells(0,3)".into(),
+            skew_ps: 420,
+            path: vec![
+                PathStep {
+                    edge: "root>n1".into(),
+                    delta_ps: 500,
+                },
+                PathStep {
+                    edge: "root>n2".into(),
+                    delta_ps: -80,
+                },
+            ],
+        });
+        t.add_track("handshake", hs);
+        t.add_wall_span("sweep/w0", "trial 0", 1000, 250);
+        t.add_wall_span("sweep/w1", "trial 1", 1100, 300);
+        t
+    }
+
+    #[test]
+    fn ring_buffer_bounds_memory_and_keeps_newest() {
+        let mut buf = TraceBuf::new(3);
+        for i in 0..5u64 {
+            buf.record(TraceEvent::EventCancelled {
+                t_ps: i,
+                net: i as u32,
+            });
+        }
+        assert_eq!(buf.len(), 3);
+        assert_eq!(buf.dropped(), 2);
+        let (events, dropped) = buf.into_ordered();
+        assert_eq!(dropped, 2);
+        let times: Vec<u64> = events.iter().map(TraceEvent::t_ps).collect();
+        assert_eq!(times, [2, 3, 4], "oldest events overwritten, order kept");
+    }
+
+    #[test]
+    fn text_form_is_deterministic_and_excludes_wall_spans() {
+        let t = sample_trace();
+        let text = t.to_text();
+        assert_eq!(text, sample_trace().to_text());
+        assert!(text.starts_with("# sim-trace v1\n"));
+        assert!(text.contains("track engine events=5 dropped=0"));
+        assert!(text.contains("skew_sample t=0 pair=cells(0,3) skew=420 path=root>n1:+500,root>n2:-80"));
+        assert!(!text.contains("trial 0"), "wall spans are volatile");
+    }
+
+    #[test]
+    fn perfetto_round_trips_byte_identically() {
+        let t = sample_trace();
+        let doc = t.to_perfetto();
+        let bytes = doc.to_compact();
+        let reparsed = crate::json::parse(&bytes).expect("valid JSON");
+        let rebuilt = Trace::from_perfetto(&reparsed).expect("valid trace doc");
+        assert_eq!(rebuilt.to_perfetto().to_compact(), bytes);
+        assert_eq!(rebuilt.to_text(), t.to_text());
+        assert_eq!(rebuilt.wall_spans(), t.wall_spans());
+    }
+
+    #[test]
+    fn perfetto_has_trace_event_shape() {
+        let doc = sample_trace().to_perfetto();
+        let events = match doc.get("traceEvents") {
+            Some(Json::Array(items)) => items,
+            _ => panic!("traceEvents array"),
+        };
+        assert!(events.len() > 8);
+        for ev in events {
+            assert!(ev.get("ph").and_then(Json::as_str).is_some());
+            assert!(ev.get("pid").is_some() && ev.get("tid").is_some());
+        }
+    }
+
+    #[test]
+    fn from_perfetto_rejects_malformed_documents() {
+        assert!(Trace::from_perfetto(&Json::Null).is_err());
+        let doc = Json::obj(vec![(
+            "traceEvents",
+            Json::Array(vec![Json::obj(vec![
+                ("name", Json::from("mystery")),
+                ("ph", Json::from("i")),
+                ("pid", Json::UInt(1)),
+                ("tid", Json::UInt(1)),
+            ])]),
+        )]);
+        assert!(Trace::from_perfetto(&doc).is_err());
+    }
+
+    #[test]
+    fn merging_into_an_existing_track_appends() {
+        let mut t = Trace::new();
+        let mut a = TraceBuf::new(4);
+        a.record(TraceEvent::EventCancelled { t_ps: 1, net: 0 });
+        let mut b = TraceBuf::new(4);
+        b.record(TraceEvent::EventCancelled { t_ps: 2, net: 1 });
+        t.add_track("x", a);
+        t.add_track("x", b);
+        assert_eq!(t.tracks().len(), 1);
+        assert_eq!(t.track("x").unwrap().events.len(), 2);
+        assert_eq!(t.event_count(), 2);
+    }
+
+    #[test]
+    fn unit_conversion_rounds_deterministically() {
+        assert_eq!(ps_from_units(1.5), 1500);
+        assert_eq!(ps_from_units(0.0004), 0);
+        assert_eq!(ps_from_units(0.0006), 1);
+        assert_eq!(ps_from_units(-3.0), 0);
+        assert_eq!(ps_from_units(f64::NAN), 0);
+    }
+}

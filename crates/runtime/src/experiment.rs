@@ -13,6 +13,9 @@
 //! --fast        reduced sizes/trials for smoke tests and CI
 //! --json PATH   also write the structured JSON report to PATH
 //! --vcd PATH    dump a VCD waveform (experiments that support it)
+//! --trace PATH  export the sim-trace: Perfetto JSON at PATH, the
+//!               deterministic text form at PATH.txt, then run the
+//!               invariant checker (exit 1 on a violation)
 //! --list        list the registered experiments and exit
 //! ```
 //!
@@ -48,6 +51,11 @@ pub struct ExpConfig {
     /// Where to write a VCD waveform dump (`--vcd PATH`); honoured by
     /// experiments that drive the event simulator, ignored elsewhere.
     pub vcd: Option<String>,
+    /// Where to write the `sim-trace` export (`--trace PATH`):
+    /// Perfetto trace-event JSON at `PATH`, the deterministic text
+    /// form at `PATH.txt`, with the invariant checker run on the
+    /// collected trace.
+    pub trace: Option<String>,
     /// List registered experiments instead of running (`--list`).
     pub list: bool,
     /// Tee report output to stdout as it is built. Set by the CLI
@@ -65,6 +73,7 @@ impl Default for ExpConfig {
             fast: false,
             json: None,
             vcd: None,
+            trace: None,
             list: false,
             stream: false,
         }
@@ -109,6 +118,7 @@ impl ExpConfig {
                 "--fast" => cfg.fast = true,
                 "--json" => cfg.json = Some(path("--json", it.next())?),
                 "--vcd" => cfg.vcd = Some(path("--vcd", it.next())?),
+                "--trace" => cfg.trace = Some(path("--trace", it.next())?),
                 "--list" => cfg.list = true,
                 "--help" | "-h" => return Err(USAGE.to_owned()),
                 other => return Err(format!("unknown argument `{other}`\n{USAGE}")),
@@ -160,10 +170,18 @@ impl ExpConfig {
             Report::new()
         }
     }
+
+    /// Whether this run collects a `sim-trace` (`--trace` was given).
+    /// Experiments gate their instrumentation on this so the disabled
+    /// path costs one branch — no allocation, no atomics.
+    #[must_use]
+    pub fn tracing(&self) -> bool {
+        self.trace.is_some()
+    }
 }
 
 const USAGE: &str = "usage: <experiment> [--trials N] [--seed S] [--threads T] [--fast] \
-[--json PATH] [--vcd PATH] [--list]";
+[--json PATH] [--vcd PATH] [--trace PATH] [--list]";
 
 /// Appends one formatted line to a [`Report`] — the drop-in
 /// replacement for `println!` in migrated experiment bodies.
@@ -195,6 +213,12 @@ pub trait Experiment: Sync {
     fn title(&self) -> &'static str;
     /// Where in the paper the claim lives.
     fn paper_ref(&self) -> &'static str;
+    /// Approximate wall-clock time of a full (non-`--fast`) run in
+    /// milliseconds, for the `--list` view; `0` (the default) means
+    /// unmeasured and is not shown.
+    fn approx_ms(&self) -> u64 {
+        0
+    }
     /// Runs the experiment under `cfg`, drawing any sequential
     /// randomness from `rng` (parallel loops derive per-trial streams
     /// from `cfg.seed` via [`ParallelSweep`]).
@@ -280,22 +304,35 @@ impl Registry {
     #[must_use]
     pub fn listing(&self) -> String {
         let mut out = String::new();
+        let mut total_ms = 0;
         for exp in self.iter() {
             out.push_str(&listing_line(exp));
             out.push('\n');
+            total_ms += exp.approx_ms();
+        }
+        if total_ms > 0 {
+            out.push_str(&format!(
+                "approx full run (all of the above, default trials): ~{total_ms}ms\n"
+            ));
         }
         out
     }
 }
 
-/// One `--list` line: `name  title  [paper ref]`.
+/// One `--list` line: `name  title  [paper ref]  ~Nms`, the runtime
+/// suffix appearing only for experiments that declare
+/// [`Experiment::approx_ms`].
 fn listing_line(exp: &dyn Experiment) -> String {
-    format!(
+    let mut line = format!(
         "{:<4} {:<52} [{}]",
         exp.name(),
         exp.title(),
         exp.paper_ref()
-    )
+    );
+    if exp.approx_ms() > 0 {
+        line = format!("{:<72} ~{}ms", line, exp.approx_ms());
+    }
+    line
 }
 
 /// Runs `exp` under `cfg` with the prescribed root RNG, returning its
@@ -374,7 +411,43 @@ fn cli_main<I: IntoIterator<Item = String>>(
         // --json.
         eprintln!("json report: {path}");
     }
+    if let Some(path) = &cfg.trace {
+        return export_trace(&report, path);
+    }
     0
+}
+
+/// Writes the collected trace as Perfetto JSON to `path` and as
+/// deterministic text to `path.txt`, then runs the invariant checker.
+/// All notices go to stderr so stdout stays byte-identical with and
+/// without `--trace`. Returns the exit code: 1 on a write failure or
+/// a checker violation.
+fn export_trace(report: &Report, path: &str) -> i32 {
+    let trace = report.trace();
+    if let Err(err) = std::fs::write(path, trace.to_perfetto().to_pretty()) {
+        eprintln!("failed to write trace to `{path}`: {err}");
+        return 1;
+    }
+    let text_path = format!("{path}.txt");
+    if let Err(err) = std::fs::write(&text_path, trace.to_text()) {
+        eprintln!("failed to write trace text to `{text_path}`: {err}");
+        return 1;
+    }
+    eprintln!(
+        "trace: {path} ({} events, {} wall spans; text: {text_path})",
+        trace.event_count(),
+        trace.wall_spans().len()
+    );
+    let check = sim_observe::check_trace(trace);
+    eprintln!("{}", check.summary());
+    if check.is_ok() {
+        0
+    } else {
+        for v in &check.violations {
+            eprintln!("  {v}");
+        }
+        1
+    }
 }
 
 /// Parses `std::env::args`, runs `exp`, and streams banner + report to
@@ -400,7 +473,7 @@ pub fn run_cli(exp: &dyn Experiment) {
 ///
 /// Exits with status 2 on a CLI error (or after printing `--help`),
 /// status 1 when a requested artifact (e.g. the `--json` file) cannot
-/// be written.
+/// be written or the `--trace` checker finds a violation.
 pub fn run_cli_in(registry: &Registry, name: &str) {
     let code = run_cli_args(registry, name, std::env::args().skip(1));
     if code != 0 {
@@ -476,14 +549,18 @@ mod tests {
     }
 
     #[test]
-    fn json_vcd_list_flags_parse() {
+    fn json_vcd_trace_list_flags_parse() {
         let cfg = ExpConfig::from_args(
-            ["--json", "out.json", "--vcd", "wave.vcd", "--list"].map(String::from),
+            ["--json", "out.json", "--vcd", "wave.vcd", "--trace", "t.json", "--list"]
+                .map(String::from),
         )
         .expect("valid args");
         assert_eq!(cfg.json.as_deref(), Some("out.json"));
         assert_eq!(cfg.vcd.as_deref(), Some("wave.vcd"));
+        assert_eq!(cfg.trace.as_deref(), Some("t.json"));
+        assert!(cfg.tracing());
         assert!(cfg.list);
+        assert!(!ExpConfig::default().tracing());
     }
 
     #[test]
@@ -495,6 +572,7 @@ mod tests {
         );
         assert!(ExpConfig::from_args(["--json".to_owned()]).is_err());
         assert!(ExpConfig::from_args(["--vcd".to_owned()]).is_err());
+        assert!(ExpConfig::from_args(["--trace".to_owned()]).is_err());
         assert!(ExpConfig::from_args(["--help".to_owned()]).is_err());
     }
 
@@ -557,10 +635,82 @@ mod tests {
     }
 
     #[test]
+    fn registry_listing_totals_declared_runtimes() {
+        let mut reg = Registry::new();
+        reg.register(Box::new(Dummy));
+        reg.register(Box::new(Timed));
+        let listing = reg.listing();
+        assert!(listing.contains("approx full run"));
+        assert!(listing.ends_with("~140ms\n"), "{listing:?}");
+    }
+
+    #[test]
     #[should_panic(expected = "duplicate")]
     fn registry_rejects_duplicates() {
         let mut reg = Registry::new();
         reg.register(Box::new(Dummy));
         reg.register(Box::new(Dummy));
+    }
+
+    struct Timed;
+    impl Experiment for Timed {
+        fn name(&self) -> &'static str {
+            "timed"
+        }
+        fn title(&self) -> &'static str {
+            "an experiment with a runtime estimate"
+        }
+        fn paper_ref(&self) -> &'static str {
+            "nowhere"
+        }
+        fn approx_ms(&self) -> u64 {
+            140
+        }
+        fn run(&self, cfg: &ExpConfig, _rng: &mut SimRng) -> Report {
+            let mut r = cfg.report();
+            if cfg.tracing() {
+                let mut buf = sim_observe::TraceBuf::new(16);
+                buf.record(sim_observe::TraceEvent::SpanBegin {
+                    t_ps: 0,
+                    name: "run".into(),
+                });
+                buf.record(sim_observe::TraceEvent::SpanEnd {
+                    t_ps: 10,
+                    name: "run".into(),
+                });
+                r.trace_mut().add_track("engine", buf);
+            }
+            rline!(r, "ok");
+            r
+        }
+    }
+
+    #[test]
+    fn listing_shows_the_runtime_estimate() {
+        assert!(listing_line(&Timed).ends_with("~140ms"));
+        assert!(!listing_line(&Dummy).contains("ms"), "0 means unmeasured");
+    }
+
+    #[test]
+    fn cli_trace_export_writes_both_forms_and_checks() {
+        let dir = std::env::temp_dir();
+        let path = dir.join("sim_runtime_cli_trace_test.json");
+        let path_s = path.to_string_lossy().into_owned();
+        let code = cli_main(
+            &[&Timed as &dyn Experiment],
+            "timed",
+            ["--trace".to_owned(), path_s.clone()],
+        );
+        assert_eq!(code, 0, "checker-clean trace exits 0");
+        let perfetto = std::fs::read_to_string(&path).expect("perfetto file written");
+        let doc = sim_observe::json::parse(&perfetto).expect("valid JSON");
+        let round = sim_observe::Trace::from_perfetto(&doc).expect("round-trips");
+        assert_eq!(round.event_count(), 2);
+        let text =
+            std::fs::read_to_string(format!("{path_s}.txt")).expect("text file written");
+        assert!(text.starts_with("# sim-trace v1"));
+        assert!(text.contains("span_begin t=0 name=run"));
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(format!("{path_s}.txt"));
     }
 }

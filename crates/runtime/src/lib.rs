@@ -19,8 +19,8 @@
 //!   per-trial child seeds, so results are **bit-identical regardless
 //!   of thread count** (`SIM_THREADS=1` reproduces `SIM_THREADS=8`);
 //! * [`experiment`] — the [`Experiment`] trait, [`ExpConfig`]
-//!   (`--trials/--seed/--threads/--fast/--json/--vcd/--list`), and
-//!   the [`Registry`] the `e1`–`e11` binaries plug into;
+//!   (`--trials/--seed/--threads/--fast/--json/--vcd/--trace/--list`),
+//!   and the [`Registry`] the `e1`–`e11` binaries plug into;
 //! * [`report`] — [`Report`] (streaming text + structured tables +
 //!   [`sim_observe::Metrics`]) and the versioned JSON report
 //!   ([`json_core`]/[`json_full`]) behind `--json`;
@@ -65,7 +65,7 @@ pub use report::{
     REPORT_SCHEMA_VERSION,
 };
 pub use rng::{Rng, SampleRange, SimRng, SliceRandom, SplitMix64};
-pub use sweep::{ParallelSweep, SweepStats};
+pub use sweep::{ParallelSweep, SweepStats, TrialSpan};
 pub use table::Table;
 
 /// One-stop imports for experiment code.
@@ -76,6 +76,6 @@ pub mod prelude {
     };
     pub use crate::report::{json_core, json_full, Report, RunInfo};
     pub use crate::rng::{Rng, SimRng, SliceRandom};
-    pub use crate::sweep::{ParallelSweep, SweepStats};
+    pub use crate::sweep::{ParallelSweep, SweepStats, TrialSpan};
     pub use crate::table::Table;
 }

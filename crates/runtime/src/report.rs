@@ -29,9 +29,9 @@
 //! captures the identical bytes exactly once.
 
 use crate::experiment::{ExpConfig, Experiment};
-use crate::sweep::SweepStats;
+use crate::sweep::{SweepStats, TrialSpan};
 use crate::table::Table;
-use sim_observe::{Json, Metrics};
+use sim_observe::{Json, Metrics, Trace};
 use std::fmt;
 
 /// Schema identifier of the JSON experiment report.
@@ -61,6 +61,7 @@ pub struct Report {
     tables: Vec<TableSection>,
     metrics: Metrics,
     sweeps: Vec<(String, SweepStats)>,
+    trace: Trace,
 }
 
 impl Report {
@@ -132,6 +133,36 @@ impl Report {
     /// deterministic core).
     pub fn record_sweep(&mut self, name: &str, stats: SweepStats) {
         self.sweeps.push((name.to_owned(), stats));
+    }
+
+    /// The `sim-trace` document collected by this run (empty unless
+    /// the experiment ran with `--trace`). Never serialized into
+    /// [`json_core`]/[`json_full`] — it is exported separately, and
+    /// its wall-time track is volatile.
+    #[must_use]
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// Mutable access to the trace document — where instrumented
+    /// experiments add their tracks.
+    pub fn trace_mut(&mut self) -> &mut Trace {
+        &mut self.trace
+    }
+
+    /// Records one sweep's per-trial wall-clock spans
+    /// ([`ParallelSweep::run_timed_traced`](crate::ParallelSweep::run_timed_traced))
+    /// as wall-time spans on the trace, one track per worker
+    /// (`{name}/w{worker}`).
+    pub fn record_sweep_trace(&mut self, name: &str, spans: &[TrialSpan]) {
+        for span in spans {
+            self.trace.add_wall_span(
+                &format!("{name}/w{}", span.worker),
+                &format!("trial{}", span.trial),
+                span.start_ns,
+                span.dur_ns,
+            );
+        }
     }
 
     /// The structurally captured tables, in append order.
@@ -416,6 +447,33 @@ mod tests {
                 .and_then(|c| c.get("engine.events")),
             Some(&Json::UInt(42))
         );
+    }
+
+    #[test]
+    fn trace_is_carried_but_never_serialized() {
+        let (cfg, mut report) = sample();
+        let without = json_core(&Fixed, &cfg, &report).to_pretty();
+        let mut buf = sim_observe::TraceBuf::new(8);
+        buf.record(sim_observe::TraceEvent::SpanBegin {
+            t_ps: 0,
+            name: "trial".into(),
+        });
+        report.trace_mut().add_track("engine", buf);
+        report.record_sweep_trace(
+            "sweep",
+            &[crate::sweep::TrialSpan {
+                trial: 0,
+                worker: 1,
+                start_ns: 10,
+                dur_ns: 25,
+            }],
+        );
+        assert_eq!(report.trace().event_count(), 1);
+        assert_eq!(report.trace().wall_spans().len(), 1);
+        assert_eq!(report.trace().wall_spans()[0].track, "sweep/w1");
+        // The JSON views are unchanged: the trace is exported
+        // separately, never embedded.
+        assert_eq!(json_core(&Fixed, &cfg, &report).to_pretty(), without);
     }
 
     #[test]

@@ -128,11 +128,51 @@ impl ParallelSweep {
         T: Send,
         F: Fn(usize, &mut SimRng) -> T + Sync,
     {
+        let (out, stats, _) = self.run_timed_impl(trials, seed, f, false);
+        (out, stats)
+    }
+
+    /// Like [`ParallelSweep::run_timed`], but additionally records one
+    /// [`TrialSpan`] per trial — which worker ran it, when it started
+    /// (relative to the sweep), and how long it took. The spans are the
+    /// raw material of the wall-time track in a `sim-trace` export;
+    /// like [`SweepStats`] they are volatile and must stay out of
+    /// deterministic report sections.
+    ///
+    /// Spans are accumulated in worker-local vectors and merged once
+    /// after the sweep (sorted by trial index), so the trial hot path
+    /// still never touches shared state.
+    pub fn run_timed_traced<T, F>(
+        &self,
+        trials: usize,
+        seed: u64,
+        f: F,
+    ) -> (Vec<T>, SweepStats, Vec<TrialSpan>)
+    where
+        T: Send,
+        F: Fn(usize, &mut SimRng) -> T + Sync,
+    {
+        self.run_timed_impl(trials, seed, f, true)
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn run_timed_impl<T, F>(
+        &self,
+        trials: usize,
+        seed: u64,
+        f: F,
+        collect_spans: bool,
+    ) -> (Vec<T>, SweepStats, Vec<TrialSpan>)
+    where
+        T: Send,
+        F: Fn(usize, &mut SimRng) -> T + Sync,
+    {
         let workers = self.threads.min(trials.max(1));
         let sweep_start = Instant::now();
         if workers <= 1 {
             let mut hist = LogHistogram::new();
             let mut busy = Duration::ZERO;
+            let mut spans = Vec::new();
             let out: Vec<T> = (0..trials)
                 .map(|i| {
                     let t0 = Instant::now();
@@ -140,6 +180,14 @@ impl ParallelSweep {
                     let dt = t0.elapsed();
                     busy += dt;
                     hist.record(duration_ns(dt));
+                    if collect_spans {
+                        spans.push(TrialSpan {
+                            trial: i,
+                            worker: 0,
+                            start_ns: duration_ns(t0.duration_since(sweep_start)),
+                            dur_ns: duration_ns(dt),
+                        });
+                    }
                     v
                 })
                 .collect();
@@ -151,7 +199,7 @@ impl ParallelSweep {
                 worker_busy: vec![busy],
                 trial_ns: hist,
             };
-            return (out, stats);
+            return (out, stats, spans);
         }
         let next = AtomicUsize::new(0);
         let slots: Vec<Mutex<Option<T>>> =
@@ -160,6 +208,7 @@ impl ParallelSweep {
             trials: usize,
             busy: Duration,
             hist: LogHistogram,
+            spans: Vec<TrialSpan>,
         }
         let locals: Vec<Mutex<WorkerLocal>> = (0..workers)
             .map(|_| {
@@ -167,6 +216,7 @@ impl ParallelSweep {
                     trials: 0,
                     busy: Duration::ZERO,
                     hist: LogHistogram::new(),
+                    spans: Vec::new(),
                 })
             })
             .collect();
@@ -180,6 +230,7 @@ impl ParallelSweep {
                     let mut done = 0usize;
                     let mut busy = Duration::ZERO;
                     let mut hist = LogHistogram::new();
+                    let mut spans = Vec::new();
                     loop {
                         let i = next.fetch_add(1, Ordering::Relaxed);
                         if i >= trials {
@@ -191,6 +242,14 @@ impl ParallelSweep {
                         done += 1;
                         busy += dt;
                         hist.record(duration_ns(dt));
+                        if collect_spans {
+                            spans.push(TrialSpan {
+                                trial: i,
+                                worker: w,
+                                start_ns: duration_ns(t0.duration_since(sweep_start)),
+                                dur_ns: duration_ns(dt),
+                            });
+                        }
                         *slots[i].lock().expect("slot lock poisoned") = Some(out);
                     }
                     // One merge per worker, after its loop: the trial
@@ -199,6 +258,7 @@ impl ParallelSweep {
                     local.trials = done;
                     local.busy = busy;
                     local.hist = hist;
+                    local.spans = spans;
                 });
             }
         });
@@ -213,12 +273,15 @@ impl ParallelSweep {
         let mut worker_trials = Vec::with_capacity(workers);
         let mut worker_busy = Vec::with_capacity(workers);
         let mut trial_ns = LogHistogram::new();
+        let mut spans = Vec::new();
         for local in locals {
             let local = local.into_inner().expect("local lock poisoned");
             worker_trials.push(local.trials);
             worker_busy.push(local.busy);
             trial_ns.merge(&local.hist);
+            spans.extend(local.spans);
         }
+        spans.sort_by_key(|s| s.trial);
         let stats = SweepStats {
             trials,
             workers,
@@ -227,7 +290,7 @@ impl ParallelSweep {
             worker_busy,
             trial_ns,
         };
-        (out, stats)
+        (out, stats, spans)
     }
 
     /// Runs `trials` trials and counts those for which `pred` returns
@@ -256,6 +319,22 @@ pub fn available_cores() -> usize {
     std::thread::available_parallelism()
         .map(std::num::NonZeroUsize::get)
         .unwrap_or(1)
+}
+
+/// One trial's wall-clock execution window within a sweep, from
+/// [`ParallelSweep::run_timed_traced`]. All times are nanoseconds
+/// relative to the start of the sweep. Volatile — scheduling decides
+/// which worker runs which trial and when.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TrialSpan {
+    /// Trial index.
+    pub trial: usize,
+    /// Worker that executed the trial.
+    pub worker: usize,
+    /// Start offset from the beginning of the sweep, nanoseconds.
+    pub start_ns: u64,
+    /// Trial duration, nanoseconds.
+    pub dur_ns: u64,
 }
 
 /// Wall-clock telemetry of one [`ParallelSweep::run_timed`] call.
@@ -428,6 +507,22 @@ mod tests {
         assert!(j.get("trial_ns").and_then(|h| h.get("p99")).is_some());
         let util = stats.utilization();
         assert!((0.0..=1.0).contains(&util), "utilization {util}");
+    }
+
+    #[test]
+    fn run_timed_traced_spans_cover_every_trial() {
+        for threads in [1, 4] {
+            let sweep = ParallelSweep::new(threads);
+            let plain = sweep.run(60, 11, trial_sum);
+            let (traced, stats, spans) = sweep.run_timed_traced(60, 11, trial_sum);
+            assert_eq!(plain, traced, "threads {threads}");
+            assert_eq!(stats.trials, 60);
+            assert_eq!(spans.len(), 60, "one span per trial");
+            for (i, span) in spans.iter().enumerate() {
+                assert_eq!(span.trial, i, "spans sorted by trial index");
+                assert!(span.worker < threads);
+            }
+        }
     }
 
     #[test]

@@ -77,6 +77,12 @@ impl ElementPair {
         sim.add_gate2(GateFn::Xor, phase_a, phase_b, clock_b.enable, gd, gd);
         sim.watch(phase_a);
         sim.watch(phase_b);
+        // Also watched for waveform capture (`run_capture`): the local
+        // clocks and their enables tell the whole stop/start story.
+        sim.watch(clock_a.clk);
+        sim.watch(clock_b.clk);
+        sim.watch(clock_a.enable);
+        sim.watch(clock_b.enable);
         ElementPair {
             sim,
             phase_a,
@@ -92,15 +98,51 @@ impl ElementPair {
         self.clock_a.period
     }
 
+    /// Enables event-lifecycle tracing on the underlying simulator
+    /// (see [`Simulator::enable_trace`]) and marks both local clocks,
+    /// so a traced run records `ClockEdge` events for `clk_a`/`clk_b`.
+    /// Call before [`ElementPair::run_capture`]; retrieve the ring
+    /// from the returned simulator with `take_trace`.
+    pub fn enable_trace(&mut self, capacity: usize) {
+        self.sim.enable_trace(capacity);
+        // Both marked phase 0: the local clocks are independent rings,
+        // not a two-phase discipline, so A4 non-overlap does not apply.
+        self.sim.mark_clock(self.clock_a.clk, "clk_a", 0);
+        self.sim.mark_clock(self.clock_b.clk, "clk_b", 0);
+    }
+
     /// Runs until `until` and reports tick statistics.
     ///
     /// # Panics
     ///
     /// Panics if the network deadlocks (fewer than two A-ticks).
     #[must_use]
-    pub fn run(mut self, until: SimTime) -> PairRun {
-        let _ = self.clock_b;
+    pub fn run(self, until: SimTime) -> PairRun {
+        self.run_capture(until).0
+    }
+
+    /// Like [`ElementPair::run`], but also hands back the finished
+    /// simulator together with named signals of interest
+    /// (`clk_a/clk_b`, `enable_a/enable_b`, `phase_a/phase_b`) — what
+    /// a VCD dump or an engine trace wants.
+    ///
+    /// # Panics
+    ///
+    /// As for [`ElementPair::run`].
+    #[must_use]
+    pub fn run_capture(
+        mut self,
+        until: SimTime,
+    ) -> (PairRun, Simulator, Vec<(NetId, &'static str)>) {
         self.sim.run_until(until);
+        let signals = vec![
+            (self.clock_a.clk, "clk_a"),
+            (self.clock_b.clk, "clk_b"),
+            (self.clock_a.enable, "enable_a"),
+            (self.clock_b.enable, "enable_b"),
+            (self.phase_a, "phase_a"),
+            (self.phase_b, "phase_b"),
+        ];
         let a: Vec<SimTime> = self
             .sim
             .transitions(self.phase_a)
@@ -122,13 +164,14 @@ impl ElementPair {
             .chain(b.iter().map(|&t| (t, 1u8)))
             .collect();
         log.sort();
-        PairRun {
+        let run = PairRun {
             ticks_a: a.len(),
             ticks_b: b.len(),
             period_ps,
             violations: self.sim.violations().len(),
             log,
-        }
+        };
+        (run, self.sim, signals)
     }
 }
 
@@ -173,6 +216,27 @@ mod tests {
         let long = ElementPair::new(2, ps(50), ps(80)).run(ps(400_000));
         let ratio = long.period_ps as f64 / short.period_ps as f64;
         assert!((0.9..1.1).contains(&ratio), "{short:?} vs {long:?}");
+    }
+
+    #[test]
+    fn capture_exposes_signals_and_a_checkable_trace() {
+        let mut pair = ElementPair::new(2, ps(50), ps(80));
+        pair.enable_trace(1 << 14);
+        let (run, mut sim, signals) = pair.run_capture(ps(200_000));
+        assert_eq!(run, run_pair(), "capture must not perturb the run");
+        assert_eq!(signals.len(), 6);
+        for &(net, name) in &signals {
+            assert!(
+                !sim.transitions(net).is_empty(),
+                "signal {name} never toggled"
+            );
+        }
+        let buf = sim.take_trace().expect("tracing was enabled");
+        let mut trace = sim_observe::Trace::new();
+        trace.add_track("pair", buf);
+        assert!(trace.event_count() > 0);
+        let report = sim_observe::check_trace(&trace);
+        assert!(report.is_ok(), "{:?}", report.violations);
     }
 
     #[test]

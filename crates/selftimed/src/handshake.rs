@@ -11,6 +11,11 @@
 //! four-phase signalling; [`HandshakeChain`] pushes a token stream
 //! through a chain of self-timed stages and measures latency (grows
 //! with length) versus throughput (does not).
+//! [`HandshakeChain::run_traced`] additionally records every
+//! request/acknowledge transition as `sim-trace` events, which the
+//! offline checker validates against the 4-phase ordering discipline.
+
+use sim_observe::{ps_from_units, TraceBuf, TraceEvent};
 
 /// Signalling discipline of a handshake link.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -142,6 +147,30 @@ impl HandshakeChain {
     /// Panics if `tokens < 2`.
     #[must_use]
     pub fn run(&self, tokens: usize) -> ChainRun {
+        self.run_inner(tokens, None)
+    }
+
+    /// Like [`HandshakeChain::run`], but records every protocol
+    /// transition into `trace`: for each stage's outgoing link
+    /// (`chain.link<i>`), the request/acknowledge transitions of every
+    /// transfer, at the sim times the recurrence implies (1 model time
+    /// unit = 1 ns of trace time). Two-phase links record one
+    /// `Req`/`Ack` pair per transfer, four-phase links the full
+    /// `Req+ → Ack+ → Req− → Ack−` return-to-zero sequence.
+    ///
+    /// Size `trace` to hold all transitions (`tokens × stages × 4`);
+    /// a ring overflow drops the oldest transitions, which can leave a
+    /// transfer's leading request outside the window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tokens < 2`.
+    #[must_use]
+    pub fn run_traced(&self, tokens: usize, trace: &mut TraceBuf) -> ChainRun {
+        self.run_inner(tokens, Some(trace))
+    }
+
+    fn run_inner(&self, tokens: usize, mut trace: Option<&mut TraceBuf>) -> ChainRun {
         assert!(tokens >= 2, "need at least two tokens to measure a period");
         let step = self.stage_delay + self.link.transfer_time();
         // completion[i] = completion time of the current token at stage i.
@@ -151,10 +180,15 @@ impl HandshakeChain {
         let mut period_sum = 0.0;
         for tok in 0..tokens {
             let mut upstream_done = 0.0f64;
-            for slot in completion.iter_mut() {
+            for (i, slot) in completion.iter_mut().enumerate() {
                 let start = upstream_done.max(*slot);
                 *slot = start + step;
                 upstream_done = *slot;
+                if let Some(buf) = trace.as_deref_mut() {
+                    // The stage computes during [start, start+stage_delay],
+                    // then its outgoing transfer occupies the link.
+                    self.record_transfer(buf, i, start + self.stage_delay);
+                }
             }
             let out = upstream_done;
             if tok == 0 {
@@ -167,6 +201,39 @@ impl HandshakeChain {
         ChainRun {
             latency: first_out,
             period: period_sum / (tokens - 1) as f64,
+        }
+    }
+
+    /// Records one transfer's protocol transitions on stage `i`'s
+    /// outgoing link, request asserted at model time `t0`.
+    fn record_transfer(&self, buf: &mut TraceBuf, i: usize, t0: f64) {
+        let link = format!("chain.link{i}");
+        let (w, l) = (self.link.wire_delay(), self.link.latch_delay());
+        let req = |t: f64, rising: bool| TraceEvent::HandshakeReq {
+            t_ps: ps_from_units(t),
+            link: link.clone(),
+            rising,
+        };
+        let ack = |t: f64, rising: bool| TraceEvent::HandshakeAck {
+            t_ps: ps_from_units(t),
+            link: link.clone(),
+            rising,
+        };
+        match self.link.protocol() {
+            Protocol::TwoPhase => {
+                // Req crosses the wire, the latch acts, the Ack answers.
+                buf.record(req(t0, true));
+                buf.record(ack(t0 + w + l, true));
+            }
+            Protocol::FourPhase => {
+                // Return-to-zero: Req+ → Ack+ → Req− → Ack−; the sender
+                // sees the final Ack− one wire crossing later, closing
+                // the 4w + 2l transfer window.
+                buf.record(req(t0, true));
+                buf.record(ack(t0 + w + l, true));
+                buf.record(req(t0 + 2.0 * w + l, false));
+                buf.record(ack(t0 + 3.0 * w + 2.0 * l, false));
+            }
         }
     }
 }
@@ -225,5 +292,29 @@ mod tests {
     #[should_panic(expected = "at least two tokens")]
     fn run_needs_tokens() {
         let _ = HandshakeChain::new(2, link(), 1.0).run(1);
+    }
+
+    #[test]
+    fn traced_run_matches_untraced_and_obeys_the_protocol() {
+        for protocol in [Protocol::TwoPhase, Protocol::FourPhase] {
+            let chain =
+                HandshakeChain::new(4, HandshakeLink::new(1.0, 0.5, protocol), 1.0);
+            let plain = chain.run(6);
+            let mut buf = TraceBuf::new(4096);
+            let traced = chain.run_traced(6, &mut buf);
+            assert_eq!(plain, traced, "{protocol:?}");
+
+            assert_eq!(buf.dropped(), 0);
+            let per_transfer = match protocol {
+                Protocol::TwoPhase => 2,
+                Protocol::FourPhase => 4,
+            };
+            assert_eq!(buf.len(), 6 * 4 * per_transfer, "{protocol:?}");
+
+            let mut trace = sim_observe::Trace::new();
+            trace.add_track("handshake", buf);
+            let report = sim_observe::check_trace(&trace);
+            assert!(report.is_ok(), "{protocol:?}: {:?}", report.violations);
+        }
     }
 }

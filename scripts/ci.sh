@@ -29,6 +29,10 @@ run cargo clippy --offline --workspace --all-targets -- -D warnings
 # committed baselines (deterministic sections exact, run section
 # structural — wall-clock banding is opt-in via --wall-tol).
 run target/release/bench_regress --fast --out target/bench --baselines baselines
+# Trace smoke: one experiment through --trace end to end, then the
+# standalone checker over the exported Perfetto file.
+run target/release/e6_inverter_string --fast --trace target/bench/e6_trace.json
+run target/release/trace_check target/bench/e6_trace.json
 
 if [ "$HEAVY" = 1 ]; then
     run cargo test -q --offline --features heavy-tests --test props

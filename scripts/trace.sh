@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Trace capture driver.
+#
+# Runs one experiment with deterministic event tracing enabled, writes
+# the Perfetto trace-event JSON (plus the byte-stable `.txt` form) under
+# target/trace/, validates it with the invariant checker, and prints
+# the Perfetto import hint. Extra flags forward to the experiment.
+#
+# Usage:
+#   scripts/trace.sh e6                 full run of e6, traced
+#   scripts/trace.sh e2 --fast          any experiment flag forwards
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+if [ $# -lt 1 ]; then
+    echo "usage: scripts/trace.sh e<N> [experiment flags]" >&2
+    exit 2
+fi
+EXP="$1"
+shift
+
+cargo build --release --offline -p bench --bin experiments --bin trace_check
+mkdir -p target/trace
+OUT="target/trace/${EXP}.json"
+target/release/experiments "$EXP" --trace "$OUT" "$@"
+target/release/trace_check "$OUT"
+echo "trace written: $OUT (text: $OUT.txt)"
+echo "open it at https://ui.perfetto.dev -> 'Open trace file'"

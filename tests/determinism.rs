@@ -105,6 +105,58 @@ fn json_full_only_adds_the_run_section() {
     assert!(full.get("run").is_some());
 }
 
+/// The deterministic trace portion (`Trace::to_text`: every sim-time
+/// event, wall spans excluded) at a given worker count. The trace path
+/// is never written here — setting it only turns the collectors on.
+fn trace_text(exp: &dyn Experiment, threads: usize, seed: u64) -> String {
+    let cfg = ExpConfig {
+        threads,
+        seed,
+        trace: Some("unused.json".to_owned()),
+        ..ExpConfig::fast()
+    };
+    run_experiment(exp, &cfg).trace().to_text()
+}
+
+#[test]
+fn trace_text_identical_across_thread_counts_for_every_experiment() {
+    let registry = bench::registry();
+    for exp in registry.iter() {
+        let base = trace_text(exp, 1, 1);
+        assert!(
+            base.starts_with("# sim-trace v1"),
+            "{}: trace text missing header",
+            exp.name()
+        );
+        for threads in [2, 4] {
+            assert_eq!(
+                base,
+                trace_text(exp, threads, 1),
+                "{}: trace text diverged between threads=1 and threads={threads}",
+                exp.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn tracing_never_changes_the_report_bytes() {
+    for exp in [
+        &bench::experiments::E1 as &dyn Experiment,
+        &bench::experiments::E6,
+    ] {
+        let plain = report(exp, 2, 1);
+        let cfg = ExpConfig {
+            threads: 2,
+            seed: 1,
+            trace: Some("unused.json".to_owned()),
+            ..ExpConfig::fast()
+        };
+        let traced = run_experiment(exp, &cfg).to_string();
+        assert_eq!(plain, traced, "{}: --trace leaked into stdout", exp.name());
+    }
+}
+
 #[test]
 fn different_seed_changes_the_e1_report() {
     let exp = &bench::experiments::E1;

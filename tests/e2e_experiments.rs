@@ -27,6 +27,52 @@ fn every_registered_experiment_runs_fast() {
     }
 }
 
+/// The tentpole guarantee of the trace layer, end to end: every
+/// experiment's `--fast` trace passes the invariant checker (two-phase
+/// non-overlap, handshake ordering, monotone per-lane time, schedule
+/// causality, span balance), and the Perfetto export round-trips to
+/// byte-identical JSON.
+#[test]
+fn every_fast_trace_is_checker_clean_and_perfetto_round_trips() {
+    use sim_runtime::{run_experiment, ExpConfig};
+    let registry = bench::registry();
+    for exp in registry.iter() {
+        let cfg = ExpConfig {
+            trace: Some("unused.json".to_owned()),
+            ..ExpConfig::fast()
+        };
+        let report = run_experiment(exp, &cfg);
+        let trace = report.trace();
+        assert!(
+            trace.event_count() > 0,
+            "{}: tracing produced no sim-time events",
+            exp.name()
+        );
+        let check = sim_observe::check_trace(trace);
+        assert!(
+            check.violations.is_empty(),
+            "{}: trace checker found violations: {:?}",
+            exp.name(),
+            check.violations
+        );
+        let perfetto = trace.to_perfetto().to_pretty();
+        let reparsed = sim_observe::json::parse(&perfetto).expect("perfetto JSON parses");
+        let round = sim_observe::Trace::from_perfetto(&reparsed).expect("round-trips");
+        assert_eq!(
+            round.to_perfetto().to_pretty(),
+            perfetto,
+            "{}: Perfetto export is not a fixed point under reparse",
+            exp.name()
+        );
+        assert_eq!(
+            round.to_text(),
+            trace.to_text(),
+            "{}: deterministic text diverged after the round-trip",
+            exp.name()
+        );
+    }
+}
+
 #[test]
 fn inverter_string_speedup_regime() {
     // A scaled-down paper chip (256 stages) must already show a
