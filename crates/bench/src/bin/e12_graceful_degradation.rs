@@ -1,0 +1,7 @@
+//! E12 — graceful degradation under injected faults: the five
+//! synchronization schemes Monte-Carlo-swept over fault rate × array
+//! size, every trial ending in a structured `RunOutcome`.
+
+fn main() {
+    sim_runtime::run_cli_in(&bench::registry(), "e12");
+}

@@ -1,6 +1,6 @@
 //! `experiments` — the registry front-end binary.
 //!
-//! One binary that can run any of the `e1`–`e11` experiments:
+//! One binary that can run any of the `e1`–`e12` experiments:
 //!
 //! ```text
 //! experiments                 list the registered experiments

@@ -1,0 +1,463 @@
+//! E12 — graceful degradation under injected faults, scheme by scheme.
+//!
+//! Sections VI–VII motivate the hybrid scheme partly on robustness
+//! grounds: a global clock is a single point of failure whose
+//! distribution hardware (long wires, buffer chains) must work
+//! perfectly everywhere at once, while self-timed and hybrid arrays
+//! confine each failure to a link that can simply retry.
+//!
+//! This experiment subjects all five synchronization schemes to the
+//! *same* seed-derived fault environment — stuck/transient/delayed
+//! gates, dead or degraded clock buffers, dropped or delayed handshake
+//! transitions — and Monte-Carlo-sweeps fault rate × array size. Every
+//! trial terminates in a structured [`RunOutcome`]; the watchdog demo
+//! up front shows all four classifications on handcrafted gate-level
+//! circuits. Reported per scheme: failure/deadlock/violation
+//! probability and throughput retention (nominal period / degraded
+//! period over surviving trials).
+
+use crate::{f, Table};
+use array_layout::prelude::*;
+use clock_tree::prelude::*;
+use desim::prelude::*;
+use selftimed::prelude::*;
+use sim_faults::{FaultPlan, FaultRates, OutcomeTally, RetryPolicy, RunOutcome};
+use sim_runtime::{rline, ExpConfig, Experiment, Report, SimRng};
+
+/// See the module docs.
+#[derive(Debug)]
+pub struct E12;
+
+const DELTA: f64 = 2.0;
+const M: f64 = 1.0;
+const EPS: f64 = 0.1;
+const SPACING: f64 = 1.0;
+const RATES: [f64; 3] = [0.0, 0.01, 0.05];
+const WAVES: usize = 12;
+const TOKENS: usize = 8;
+
+fn ps(v: u64) -> SimTime {
+    SimTime::from_ps(v)
+}
+
+fn policy() -> RetryPolicy {
+    RetryPolicy::new(3, 5.0)
+}
+
+fn link() -> HandshakeLink {
+    HandshakeLink::new(1.0, 0.5, Protocol::TwoPhase)
+}
+
+fn halt_label(halt: Halt) -> String {
+    match halt {
+        Halt::Quiescent { at } => format!("quiescent @ {at}"),
+        Halt::SimLimit { at } => format!("sim-limit @ {at}"),
+        Halt::EventLimit { at } => format!("event-limit @ {at}"),
+    }
+}
+
+/// Worst arrival-time spread over every clocked cell.
+fn global_skew(tree: &ClockTree, at: &ArrivalTimes) -> f64 {
+    let mut lo = f64::INFINITY;
+    let mut hi = f64::NEG_INFINITY;
+    for c in tree.attached_cells() {
+        let a = at.at_cell(tree, c);
+        lo = lo.min(a);
+        hi = hi.max(a);
+    }
+    if hi >= lo {
+        hi - lo
+    } else {
+        0.0
+    }
+}
+
+/// Worst skew over communicating pairs only (the pipelined discipline).
+fn local_skew(tree: &ClockTree, at: &ArrivalTimes, pairs: &[(CellId, CellId)]) -> f64 {
+    pairs
+        .iter()
+        .map(|&(a, b)| at.skew(tree, a, b))
+        .fold(0.0, f64::max)
+}
+
+/// One globally- or pipeline-clocked scheme under test.
+struct Clocked {
+    tree: ClockTree,
+    dist: Distribution,
+    /// Extra skew (beyond the same-trial nominal) the margin absorbs.
+    slack: f64,
+    /// Use communicating-pair skew instead of global spread.
+    local: bool,
+}
+
+/// A clocked trial: dead buffers silence a subtree (the array loses
+/// cells — counted as a deadlock of the global discipline), degraded
+/// buffers stretch edges. The margin test compares faulted against
+/// nominal skew *under the same sampled wire rates*, so a fault-free
+/// trial always passes and the verdict isolates fault damage.
+fn clocked_trial(
+    s: &Clocked,
+    pairs: &[(CellId, CellId)],
+    wdm: &WireDelayModel,
+    plan: &FaultPlan,
+    rng: &mut SimRng,
+) -> (RunOutcome, f64) {
+    let report = s.tree.with_buffer_faults(plan, SPACING);
+    if report.any_dead() {
+        return (RunOutcome::Deadlock, 0.0);
+    }
+    let rates = wdm.sample_rates(&s.tree, rng);
+    let nominal = ArrivalTimes::from_rates(&s.tree, &rates);
+    let faulted = ArrivalTimes::from_rates(&report.tree, &rates);
+    let (skew_n, skew_f) = if s.local {
+        (
+            local_skew(&s.tree, &nominal, pairs),
+            local_skew(&report.tree, &faulted, pairs),
+        )
+    } else {
+        (
+            global_skew(&s.tree, &nominal),
+            global_skew(&report.tree, &faulted),
+        )
+    };
+    if skew_f - skew_n > s.slack {
+        return (RunOutcome::TimingViolation, 0.0);
+    }
+    let nominal_period = clock_period(skew_n, DELTA, s.dist.tau(&s.tree));
+    let degraded_period = clock_period(skew_f, DELTA, s.dist.tau(&report.tree));
+    (RunOutcome::Ok, nominal_period / degraded_period)
+}
+
+/// Folds per-trial results (panics included) into a tally plus the
+/// mean throughput retention over the surviving trials.
+fn tally_results(results: &[Result<(RunOutcome, f64), String>]) -> (OutcomeTally, f64) {
+    let mut tally = OutcomeTally::new();
+    let mut sum = 0.0;
+    for r in results {
+        match r {
+            Ok((outcome, retention)) => {
+                tally.record(*outcome);
+                if outcome.is_ok() {
+                    sum += retention;
+                }
+            }
+            Err(_) => tally.record_panic(),
+        }
+    }
+    let retention = if tally.ok == 0 {
+        0.0
+    } else {
+        sum / tally.ok as f64
+    };
+    (tally, retention)
+}
+
+/// All four watchdog classifications on handcrafted circuits, plus one
+/// plan-driven injection pass — the "no hangs, ever" contract.
+fn watchdog_demo(r: &mut Report, cfg: &ExpConfig) {
+    let mut table = Table::new(&["scenario", "halt", "outcome"]);
+
+    // Clean inverter chain: quiesces with the workload done.
+    let mut sim = Simulator::new();
+    let nets: Vec<NetId> = (0..5).map(|_| sim.add_net()).collect();
+    for w in nets.windows(2) {
+        sim.add_inverter(w[0], w[1], ps(100), ps(100));
+    }
+    sim.schedule_input(nets[0], ps(500), true);
+    let halt = sim.run_budgeted(RunBudget::new(ps(100_000), 10_000));
+    let outcome = classify_run(&sim, halt, sim.value(nets[4]));
+    assert_eq!(outcome, RunOutcome::Ok);
+    table.row(&["clean inverter chain", &halt_label(halt), outcome.label()]);
+
+    // Stuck rendezvous: the C-element's peer input never rises, the
+    // acknowledge never forms — quiescent with the obligation unmet.
+    let mut sim = Simulator::new();
+    let req = sim.add_net();
+    let peer = sim.add_net();
+    let ack = sim.add_net();
+    sim.add_c_element(req, peer, ack, ps(50));
+    sim.pin_net(peer, false);
+    sim.schedule_input(req, ps(100), true);
+    let halt = sim.run_budgeted(RunBudget::new(ps(1_000_000), 10_000));
+    let outcome = classify_run(&sim, halt, sim.value(ack));
+    assert_eq!(outcome, RunOutcome::Deadlock);
+    table.row(&["stuck rendezvous", &halt_label(halt), outcome.label()]);
+
+    // Data edge inside the register's setup window.
+    let mut sim = Simulator::new();
+    let d = sim.add_net();
+    let clk = sim.add_net();
+    let q = sim.add_net();
+    sim.add_register(d, clk, q, ps(100), ps(100), ps(20));
+    sim.schedule_input(d, ps(470), true);
+    sim.schedule_input(clk, ps(500), true);
+    let halt = sim.run_budgeted(RunBudget::new(ps(100_000), 10_000));
+    let outcome = classify_run(&sim, halt, true);
+    assert_eq!(outcome, RunOutcome::TimingViolation);
+    table.row(&["register setup violation", &halt_label(halt), outcome.label()]);
+
+    // Free-running clock: never quiesces, the event budget trips.
+    let mut sim = Simulator::new();
+    let osc = sim.add_net();
+    sim.schedule_clock(osc, ps(0), ps(1_000), ps(500), 1_000_000);
+    let halt = sim.run_budgeted(RunBudget::new(ps(u64::MAX / 2), 500));
+    let outcome = classify_run(&sim, halt, false);
+    assert_eq!(outcome, RunOutcome::Budget);
+    table.row(&["free-running oscillator", &halt_label(halt), outcome.label()]);
+
+    // Plan-driven injection over a longer chain, traced when asked.
+    let plan = FaultPlan::new(cfg.seed, 0, FaultRates::uniform(0.3));
+    let mut sim = Simulator::new();
+    if cfg.tracing() {
+        sim.enable_trace(1 << 12);
+    }
+    let nets: Vec<NetId> = (0..25).map(|_| sim.add_net()).collect();
+    for w in nets.windows(2) {
+        sim.add_inverter(w[0], w[1], ps(100), ps(100));
+    }
+    let injected = inject_net_faults(&mut sim, &plan, &nets, ps(50_000));
+    assert!(injected > 0, "a 30% plan over 25 nets injects something");
+    sim.schedule_input(nets[0], ps(500), true);
+    let halt = sim.run_budgeted(RunBudget::new(ps(1_000_000), 100_000));
+    let outcome = classify_run(&sim, halt, sim.value(nets[24]));
+    table.row(&[
+        &format!("plan-driven chain ({injected} faults)"),
+        &halt_label(halt),
+        outcome.label(),
+    ]);
+    sim.record_metrics(r.metrics_mut(), "e12.demo");
+    if let Some(buf) = sim.take_trace() {
+        r.trace_mut().add_track("engine", buf);
+    }
+
+    r.table("watchdog_classification", &table);
+}
+
+impl Experiment for E12 {
+    fn name(&self) -> &'static str {
+        "e12"
+    }
+    fn title(&self) -> &'static str {
+        "graceful degradation under injected faults, scheme by scheme"
+    }
+    fn paper_ref(&self) -> &'static str {
+        "Sections VI-VII"
+    }
+    fn approx_ms(&self) -> u64 {
+        140
+    }
+
+    fn run(&self, cfg: &ExpConfig, _rng: &mut SimRng) -> Report {
+        let mut r = cfg.report();
+        rline!(r, "Five schemes face the same seed-derived fault environment:");
+        rline!(r, "stuck/transient/delayed gates, dead or degraded clock buffers,");
+        rline!(r, "dropped or delayed handshake transitions. Soft faults arrive at");
+        rline!(r, "the listed rate; hard faults (stuck gate, dead buffer) at 1/4 of it.");
+        rline!(r);
+
+        watchdog_demo(&mut r, cfg);
+
+        let trials = cfg.trials_or(200);
+        let sizes = cfg.size(3, 2);
+        let ks = &[4usize, 8, 16][..sizes];
+        let wdm = WireDelayModel::new(M, EPS);
+        let sweep = cfg.sweep();
+        let pol = policy();
+
+        rline!(r);
+        rline!(
+            r,
+            "{} trials per cell; retry policy: {} retries, timeout {}; margins",
+            trials,
+            pol.max_retries,
+            f(pol.timeout)
+        );
+        rline!(r, "absorb skew growth of 0.25d (spine), 0.5d (H-tree), 0.75d (pipelined).");
+
+        // success[scheme][rate] for the current size; kept after the
+        // loop for the largest-array ordering check.
+        let scheme_names = [
+            "global-spine",
+            "global-htree",
+            "pipelined-htree",
+            "hybrid",
+            "selftimed",
+        ];
+        let mut success = [[0.0f64; RATES.len()]; 5];
+        for &k in ks {
+            let n = k * k;
+            let comm = CommGraph::linear(n);
+            let row = Layout::linear_row(&comm);
+            let comb = Layout::comb(&comm, k);
+            let spine_tree = spine(&comm, &row);
+            let htree_tree = htree(&comm, &comb).equalized();
+            let pairs = comm.communicating_pairs();
+            let clocked = [
+                Clocked {
+                    tree: spine_tree,
+                    dist: Distribution::Equipotential { alpha: 1.0 },
+                    slack: 0.25 * DELTA,
+                    local: false,
+                },
+                Clocked {
+                    tree: htree_tree.clone(),
+                    dist: Distribution::Equipotential { alpha: 1.0 },
+                    slack: 0.5 * DELTA,
+                    local: false,
+                },
+                Clocked {
+                    tree: htree_tree,
+                    dist: Distribution::Pipelined {
+                        buffer_delay: 1.0,
+                        spacing: SPACING,
+                        unit_wire_delay: M,
+                    },
+                    slack: 0.75 * DELTA,
+                    local: true,
+                },
+            ];
+            let hybrid = HybridArray::over_mesh(k, HybridParams::new(4, DELTA, M, EPS, link()));
+            let chain = HandshakeChain::new(n, link(), 1.0);
+            let clean_period = chain.run(TOKENS).period;
+
+            let mut table = Table::new(&[
+                "scheme",
+                "fault rate",
+                "ok",
+                "timing",
+                "deadlock",
+                "budget",
+                "panicked",
+                "success",
+                "retention",
+            ]);
+            for (ri, &rate) in RATES.iter().enumerate() {
+                let rates_cfg = FaultRates::uniform(rate);
+                let plan_seed =
+                    cfg.seed ^ ((k as u64) << 32) ^ ((ri as u64 + 1) << 8);
+                for (si, name) in scheme_names.iter().enumerate() {
+                    let results = match si {
+                        0..=2 => {
+                            let scheme = &clocked[si];
+                            sweep.run_isolated(trials, plan_seed, |t, rng| {
+                                let plan = FaultPlan::new(plan_seed, t as u64, rates_cfg);
+                                clocked_trial(scheme, &pairs, &wdm, &plan, rng)
+                            })
+                        }
+                        3 => sweep.run_isolated(trials, plan_seed, |t, _rng| {
+                            let plan = FaultPlan::new(plan_seed, t as u64, rates_cfg);
+                            let (outcome, period) =
+                                hybrid.simulate_period_faulty(WAVES, &plan, pol);
+                            let retention = if outcome.is_ok() {
+                                hybrid.cycle_time() / period
+                            } else {
+                                0.0
+                            };
+                            (outcome, retention)
+                        }),
+                        _ => sweep.run_isolated(trials, plan_seed, |t, _rng| {
+                            let plan = FaultPlan::new(plan_seed, t as u64, rates_cfg);
+                            let run = chain.run_faulty(TOKENS, &plan, pol);
+                            let retention = if run.outcome.is_ok() {
+                                clean_period / run.period
+                            } else {
+                                0.0
+                            };
+                            (run.outcome, retention)
+                        }),
+                    };
+                    let (tally, retention) = tally_results(&results);
+                    assert_eq!(
+                        tally.total(),
+                        trials as u64,
+                        "every trial terminates classified"
+                    );
+                    success[si][ri] = tally.success_rate();
+                    table.row(&[
+                        name,
+                        &f(rate),
+                        &tally.ok.to_string(),
+                        &tally.timing.to_string(),
+                        &tally.deadlock.to_string(),
+                        &tally.budget.to_string(),
+                        &tally.panicked.to_string(),
+                        &f(tally.success_rate()),
+                        &(if tally.ok == 0 {
+                            "-".to_string()
+                        } else {
+                            f(retention)
+                        }),
+                    ]);
+                    if k == ks[ks.len() - 1] && ri == RATES.len() - 1 {
+                        r.metrics_mut()
+                            .add(&format!("e12.{name}.failures"), tally.failures());
+                    }
+                }
+            }
+            r.table(&format!("degradation_n{n}"), &table);
+
+            // Fault-free trials always succeed; more faults never help.
+            for (si, per_rate) in success.iter().enumerate() {
+                assert!(
+                    (per_rate[0] - 1.0).abs() < 1e-12,
+                    "{}: rate 0 must be all-ok",
+                    scheme_names[si]
+                );
+                for w in per_rate.windows(2) {
+                    assert!(
+                        w[1] <= w[0] + 0.08,
+                        "{}: success should not grow with the fault rate",
+                        scheme_names[si]
+                    );
+                }
+            }
+        }
+
+        // The paper's robustness argument, quantified: at the largest
+        // array and highest fault rate the handshake-based schemes
+        // strictly out-survive every globally clocked one.
+        if trials >= 20 {
+            let hi = RATES.len() - 1;
+            for survivor in [3usize, 4] {
+                for global in 0..3 {
+                    assert!(
+                        success[survivor][hi] > success[global][hi],
+                        "{} should out-survive {} at peak stress",
+                        scheme_names[survivor],
+                        scheme_names[global]
+                    );
+                }
+            }
+        }
+
+        if cfg.tracing() {
+            // A lossy four-stage chain: dropped requests show up as
+            // fault_injected markers between the retried transitions.
+            let mut hs = sim_observe::TraceBuf::new(1 << 10);
+            let drop_rates = FaultRates {
+                handshake_drop: 0.25,
+                ..FaultRates::none()
+            };
+            let traced = HandshakeChain::new(4, link(), 1.0).run_faulty_traced(
+                6,
+                &FaultPlan::new(cfg.seed, 1, drop_rates),
+                pol,
+                &mut hs,
+            );
+            assert!(traced.outcome.is_ok() || traced.drops > 0);
+            r.trace_mut().add_track("handshake", hs);
+        }
+
+        rline!(r);
+        rline!(r, "The clocked schemes die through their distribution hardware: one");
+        rline!(r, "dead buffer silences a subtree, and degraded buffers eat the skew");
+        rline!(r, "margin -- the failure modes worsen with array size. The hybrid and");
+        rline!(r, "fully self-timed arrays have no global hardware to lose: dropped");
+        rline!(r, "transitions cost retries (throughput), and only retry exhaustion");
+        rline!(r, "deadlocks -- Sections VI-VII's robustness case for local sync.");
+        rline!(r);
+        rline!(r, "check: all four RunOutcome classes demonstrated; success monotone");
+        rline!(r, "in fault rate; hybrid & self-timed out-survive global clocks  [OK]");
+        r
+    }
+}

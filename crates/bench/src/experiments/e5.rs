@@ -137,12 +137,10 @@ impl Experiment for E5 {
             for &(net, name) in &pair_signals {
                 w.add_net(&pair_sim, net, name);
             }
-            match std::fs::write(path, w.render()) {
-                // Stderr: stdout must stay byte-identical with and
-                // without --vcd.
-                Ok(()) => eprintln!("vcd waveform: {path}"),
-                Err(err) => eprintln!("failed to write VCD to `{path}`: {err}"),
-            }
+            // Stderr: stdout must stay byte-identical with and
+            // without --vcd. A failure marks the run so the CLI
+            // driver exits nonzero.
+            sim_runtime::write_artifact("vcd waveform", path, &w.render());
         }
         if let Some(buf) = pair_sim.take_trace() {
             r.trace_mut().add_track("engine", buf);

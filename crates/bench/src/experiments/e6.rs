@@ -99,12 +99,10 @@ impl Experiment for E6 {
         if let Some(path) = &cfg.vcd {
             let named: Vec<(NetId, &str)> =
                 taps.iter().map(|(n, s)| (*n, s.as_str())).collect();
-            match std::fs::write(path, export_vcd(&wave_sim, &named)) {
-                // Stderr: stdout must stay byte-identical with and
-                // without --vcd.
-                Ok(()) => eprintln!("vcd waveform: {path}"),
-                Err(err) => eprintln!("failed to write VCD to `{path}`: {err}"),
-            }
+            // Stderr: stdout must stay byte-identical with and
+            // without --vcd. A failure marks the run so the CLI
+            // driver exits nonzero.
+            sim_runtime::write_artifact("vcd waveform", path, &export_vcd(&wave_sim, &named));
         }
         if let Some(buf) = wave_sim.take_trace() {
             r.trace_mut().add_track("engine", buf);

@@ -102,12 +102,10 @@ impl Experiment for E8 {
                 for (t, name) in &taps {
                     w.add_signal(name, false, [(*t, true), (*t + 500, false)]);
                 }
-                match std::fs::write(path, w.render()) {
-                    // Stderr: stdout must stay byte-identical with and
-                    // without --vcd.
-                    Ok(()) => eprintln!("vcd waveform: {path}"),
-                    Err(err) => eprintln!("failed to write VCD to `{path}`: {err}"),
-                }
+                // Stderr: stdout must stay byte-identical with and
+                // without --vcd. A failure marks the run so the CLI
+                // driver exits nonzero.
+                sim_runtime::write_artifact("vcd waveform", path, &w.render());
             }
             if cfg.tracing() {
                 let mut edges: Vec<(u64, String, bool)> = taps

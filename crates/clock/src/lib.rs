@@ -61,5 +61,5 @@ pub mod prelude {
         ArrivalTimes, DifferenceModel, EdgeContribution, SkewBreakdown, SkewSample,
         SummationModel,
     };
-    pub use crate::tree::{ClockTree, ClockTreeBuilder, NodeId};
+    pub use crate::tree::{BufferFaultReport, ClockTree, ClockTreeBuilder, NodeId};
 }

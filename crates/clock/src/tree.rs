@@ -15,6 +15,7 @@
 
 use array_layout::geom::Point;
 use array_layout::graph::CellId;
+use sim_faults::{BufferFault, FaultPlan};
 use std::fmt;
 
 /// Identifier of one node of a [`ClockTree`].
@@ -339,6 +340,88 @@ impl ClockTree {
         (node, count)
     }
 
+    /// All cells attached at `node` or anywhere below it, sorted.
+    #[must_use]
+    pub fn subtree_cells(&self, node: NodeId) -> Vec<CellId> {
+        let mut cells = Vec::new();
+        let mut stack = vec![node];
+        while let Some(n) = stack.pop() {
+            if let Some(c) = self.cell(n) {
+                cells.push(c);
+            }
+            stack.extend_from_slice(self.children(n));
+        }
+        cells.sort_unstable();
+        cells
+    }
+
+    /// Applies a fault plan's buffer faults to the tree's repeaters
+    /// (assumption A7: a buffer every `spacing` length units along
+    /// every edge, the same convention as [`ClockTree::buffer_count`]).
+    ///
+    /// A **dead** buffer stops the clock cold: every cell attached in
+    /// the subtree hanging off that buffer's edge loses its clock and
+    /// is reported in [`BufferFaultReport::dead_cells`]. A **degraded**
+    /// buffer still propagates but drives its wire run `extra_frac`
+    /// slower, modelled as a stretch of that run (`extra_frac ·
+    /// spacing` added to the edge); the returned tree carries the
+    /// stretches so the existing skew machinery ([`crate::skew`])
+    /// re-attributes the damage with no special cases.
+    ///
+    /// Buffer sites are identified by `(edge child node, slot index)`,
+    /// so the same plan always fails the same buffers regardless of
+    /// query order or thread count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `spacing` is not positive.
+    #[must_use]
+    pub fn with_buffer_faults(&self, plan: &FaultPlan, spacing: f64) -> BufferFaultReport {
+        assert!(spacing > 0.0, "buffer spacing must be positive");
+        let mut out = self.clone();
+        let mut dead_cells = Vec::new();
+        let (mut dead_buffers, mut degraded_buffers) = (0u64, 0u64);
+        if plan.is_enabled() {
+            let mut dead_roots: Vec<NodeId> = Vec::new();
+            for n in self.nodes() {
+                let buffers = (self.wire_length(n) / spacing).floor() as u64;
+                let mut edge_dead = false;
+                let mut stretch = 0.0;
+                for k in 0..buffers {
+                    let site = ((n.index() as u64) << 20) ^ k;
+                    match plan.buffer_fault(site) {
+                        Some(BufferFault::Dead) => {
+                            dead_buffers += 1;
+                            edge_dead = true;
+                        }
+                        Some(BufferFault::Degraded { extra_frac }) => {
+                            degraded_buffers += 1;
+                            stretch += extra_frac * spacing;
+                        }
+                        None => {}
+                    }
+                }
+                if edge_dead {
+                    dead_roots.push(n);
+                } else if stretch > 0.0 {
+                    out.wire_len[n.index()] += stretch;
+                }
+            }
+            for root in dead_roots {
+                dead_cells.extend(self.subtree_cells(root));
+            }
+            dead_cells.sort_unstable();
+            dead_cells.dedup();
+            out.recompute_caches();
+        }
+        BufferFaultReport {
+            tree: out,
+            dead_cells,
+            dead_buffers,
+            degraded_buffers,
+        }
+    }
+
     fn recompute_caches(&mut self) {
         for i in 0..self.positions.len() {
             match self.parent[i] {
@@ -379,6 +462,37 @@ impl ClockTree {
             }
         }
         Ok(())
+    }
+}
+
+/// What a fault plan did to a tree's clock buffers
+/// ([`ClockTree::with_buffer_faults`]).
+#[derive(Debug, Clone)]
+pub struct BufferFaultReport {
+    /// The tree with degraded buffers' wire stretches applied. Dead
+    /// edges are left structurally intact — consult
+    /// [`BufferFaultReport::dead_cells`] for who lost the clock.
+    pub tree: ClockTree,
+    /// Cells below a dead buffer, sorted and deduplicated: they never
+    /// see a clock edge at all.
+    pub dead_cells: Vec<CellId>,
+    /// Number of buffers that failed dead.
+    pub dead_buffers: u64,
+    /// Number of buffers that still work but drive slowly.
+    pub degraded_buffers: u64,
+}
+
+impl BufferFaultReport {
+    /// Whether `cell` lost its clock to a dead buffer.
+    #[must_use]
+    pub fn is_dead(&self, cell: CellId) -> bool {
+        self.dead_cells.binary_search(&cell).is_ok()
+    }
+
+    /// Whether any attached cell lost its clock.
+    #[must_use]
+    pub fn any_dead(&self) -> bool {
+        !self.dead_cells.is_empty()
     }
 }
 
@@ -679,5 +793,82 @@ mod tests {
             t.attached_cells(),
             vec![CellId::new(0), CellId::new(1), CellId::new(2)]
         );
+    }
+
+    #[test]
+    fn subtree_cells_collects_the_hanging_cells() {
+        let t = fixture();
+        // Node `a` clocks cell 2 and its child `a1` clocks cell 0.
+        let a = t.node_of_cell(CellId::new(2)).unwrap();
+        assert_eq!(t.subtree_cells(a), vec![CellId::new(0), CellId::new(2)]);
+        assert_eq!(t.subtree_cells(t.root()), t.attached_cells());
+    }
+
+    #[test]
+    fn disabled_plan_leaves_buffers_untouched() {
+        use sim_faults::FaultPlan;
+        let t = fixture();
+        let r = t.with_buffer_faults(&FaultPlan::disabled(), 1.0);
+        assert!(!r.any_dead());
+        assert_eq!((r.dead_buffers, r.degraded_buffers), (0, 0));
+        for n in t.nodes() {
+            assert!(approx_eq(r.tree.wire_length(n), t.wire_length(n)));
+        }
+    }
+
+    #[test]
+    fn buffer_faults_are_deterministic() {
+        use sim_faults::{FaultPlan, FaultRates};
+        let t = fixture();
+        let plan = FaultPlan::new(11, 3, FaultRates::uniform(0.3));
+        let (a, b) = (t.with_buffer_faults(&plan, 0.5), t.with_buffer_faults(&plan, 0.5));
+        assert_eq!(a.dead_cells, b.dead_cells);
+        assert_eq!(a.dead_buffers, b.dead_buffers);
+        assert_eq!(a.degraded_buffers, b.degraded_buffers);
+        for n in t.nodes() {
+            assert!(approx_eq(a.tree.wire_length(n), b.tree.wire_length(n)));
+        }
+    }
+
+    #[test]
+    fn dead_buffers_kill_their_subtrees() {
+        use sim_faults::{FaultPlan, FaultRates};
+        let t = fixture();
+        let rates = FaultRates {
+            buffer_dead: 1.0,
+            ..FaultRates::none()
+        };
+        let r = t.with_buffer_faults(&FaultPlan::new(5, 0, rates), 1.0);
+        // Every edge carries buffers (all lengths are 2, spacing 1),
+        // so every attached cell sits below a dead buffer.
+        assert_eq!(r.dead_cells, t.attached_cells());
+        assert!(r.is_dead(CellId::new(1)));
+        assert_eq!(r.dead_buffers, t.buffer_count(1.0) as u64);
+    }
+
+    #[test]
+    fn degraded_buffers_stretch_edges_and_reattribute_skew() {
+        use crate::skew::{attribute_skew, ArrivalTimes};
+        use sim_faults::{FaultPlan, FaultRates};
+        let t = fixture();
+        let rates = FaultRates {
+            buffer_degraded: 1.0,
+            degrade_spread: 0.5,
+            ..FaultRates::none()
+        };
+        let r = t.with_buffer_faults(&FaultPlan::new(5, 0, rates), 1.0);
+        assert!(!r.any_dead());
+        assert_eq!(r.degraded_buffers, t.buffer_count(1.0) as u64);
+        assert!(r.tree.max_root_distance() > t.max_root_distance());
+        // The stock skew machinery re-attributes the damage: under
+        // uniform unit rates the pair skew equals the (now nonzero)
+        // difference metric of the faulted tree.
+        let unit = vec![1.0; r.tree.node_count()];
+        let arrivals = ArrivalTimes::from_rates(&r.tree, &unit);
+        let (c0, c1) = (CellId::new(0), CellId::new(1));
+        let skew = arrivals.skew(&r.tree, c0, c1);
+        assert!(approx_eq(skew, r.tree.difference_distance(c0, c1)));
+        let breakdown = attribute_skew(&r.tree, &unit, c0, c1);
+        assert!(approx_eq(breakdown.magnitude(), skew));
     }
 }

@@ -112,6 +112,11 @@ struct NetState {
     /// to the previous one collapse the pulse. Zero for externally
     /// driven nets.
     min_separation: SimTime,
+    /// Stuck-at fault: the net ignores every scheduled change.
+    stuck: bool,
+    /// Delay-fault scale in percent of nominal (100 = healthy): every
+    /// delay scheduled onto this net is stretched or shrunk by it.
+    delay_scale_pct: u32,
     sinks: Vec<usize>,
     trace: Option<Vec<(SimTime, bool)>>,
 }
@@ -227,6 +232,8 @@ pub struct EngineStats {
     pub dead_events: u64,
     /// High-water mark of the event queue.
     pub peak_queue_depth: u64,
+    /// Faults forced into the circuit (stuck-at pins and SEU upsets).
+    pub faults_injected: u64,
 }
 
 impl EngineStats {
@@ -246,7 +253,74 @@ impl EngineStats {
         if self.peak_queue_depth > prev {
             metrics.add(&key, self.peak_queue_depth - prev);
         }
+        // Only fault-injected runs carry the fault counter, so nominal
+        // runs keep their metric set (and committed baselines) intact.
+        if self.faults_injected > 0 {
+            metrics.add(&format!("{prefix}.faults_injected"), self.faults_injected);
+        }
     }
+}
+
+/// Sim-time and event budget of a watchdog-supervised run
+/// ([`Simulator::run_budgeted`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunBudget {
+    /// No event beyond this sim time is processed.
+    pub sim_limit: SimTime,
+    /// Maximum events applied (upsets included) before the watchdog
+    /// halts the run — the livelock guard.
+    pub max_events: u64,
+}
+
+impl RunBudget {
+    /// A budget of `sim_limit` simulated time and `max_events` events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_events` is zero.
+    #[must_use]
+    pub fn new(sim_limit: SimTime, max_events: u64) -> Self {
+        assert!(max_events > 0, "event budget must be positive");
+        RunBudget {
+            sim_limit,
+            max_events,
+        }
+    }
+}
+
+/// How a budgeted run stopped — the watchdog's verdict. Combine with
+/// the caller's completion check via
+/// [`classify_run`](crate::faults::classify_run) to get a
+/// `RunOutcome`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Halt {
+    /// Nothing left to do: the circuit quiesced at `at`. Whether that
+    /// is success or deadlock depends on whether the workload
+    /// finished — the engine cannot know, the caller does.
+    Quiescent {
+        /// Time of the last applied event.
+        at: SimTime,
+    },
+    /// Pending work lies beyond the sim-time budget.
+    SimLimit {
+        /// Time the run stopped at.
+        at: SimTime,
+    },
+    /// The event budget ran out — livelock or runaway oscillation.
+    EventLimit {
+        /// Time the run stopped at.
+        at: SimTime,
+    },
+}
+
+/// Outcome of one [`Simulator::step_once`] attempt.
+enum Step {
+    /// One action (event or upset) was applied.
+    Did,
+    /// Nothing is pending at all.
+    Empty,
+    /// The next pending action lies beyond the given limit.
+    Beyond,
 }
 
 /// A deterministic event-driven simulator for gate-level circuits.
@@ -285,6 +359,11 @@ pub struct Simulator {
     /// path to a single branch per call site — no allocation, no
     /// atomics.
     trace: Option<Box<TraceBuf>>,
+    /// Scheduled SEU upsets, sorted by `(time, net)`; `next_upset`
+    /// indexes the first one not yet applied. Empty in nominal runs —
+    /// the run loops skip the fault path with one length check.
+    upsets: Vec<(SimTime, NetId)>,
+    next_upset: usize,
 }
 
 impl Simulator {
@@ -304,10 +383,19 @@ impl Simulator {
             last_event_time: SimTime::ZERO,
             last_change_time: SimTime::ZERO,
             min_separation: SimTime::ZERO,
+            stuck: false,
+            delay_scale_pct: 100,
             sinks: Vec::new(),
             trace: None,
         });
         id
+    }
+
+    /// Number of nets in the circuit (fault injectors iterate this to
+    /// enumerate candidate sites).
+    #[must_use]
+    pub fn net_count(&self) -> usize {
+        self.nets.len()
     }
 
     /// Adds a non-inverting buffer from `input` to `output`.
@@ -607,10 +695,112 @@ impl Simulator {
         }
     }
 
+    /// Pins `net` to `value` for the rest of the run (stuck-at fault):
+    /// the value is forced immediately, in-flight events for the net
+    /// are cancelled, and every later driver schedule is ignored.
+    pub fn pin_net(&mut self, net: NetId, value: bool) {
+        self.check_net(net);
+        let kind = if value { "stuck_at_1" } else { "stuck_at_0" };
+        self.force_net(net, self.now, value, kind);
+        self.nets[net.index()].stuck = true;
+    }
+
+    /// Schedules one transient (SEU-style) upset: at time `t` the
+    /// net's value flips, cancelling whatever was in flight for it,
+    /// and the circuit reacts to the corrupted value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is in the simulated past.
+    pub fn schedule_upset(&mut self, net: NetId, t: SimTime) {
+        self.check_net(net);
+        assert!(t >= self.now, "cannot schedule an upset in the past");
+        let tail = &self.upsets[self.next_upset..];
+        let pos = tail.partition_point(|&(ut, un)| (ut, un) <= (t, net));
+        self.upsets.insert(self.next_upset + pos, (t, net));
+    }
+
+    /// Applies a delay fault to `net`: every change scheduled onto it
+    /// from now on has its delay scaled to `percent` of nominal.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 <= percent <= 10_000`.
+    pub fn scale_net_delay(&mut self, net: NetId, percent: u32) {
+        self.check_net(net);
+        assert!(
+            (1..=10_000).contains(&percent),
+            "delay scale must be in 1..=10000 percent"
+        );
+        self.nets[net.index()].delay_scale_pct = percent;
+        self.stats.faults_injected += 1;
+        if let Some(tr) = &mut self.trace {
+            tr.record(TraceEvent::FaultInjected {
+                t_ps: self.now.as_ps(),
+                site: net.to_string(),
+                kind: format!("delay_scale_{percent}"),
+            });
+        }
+    }
+
+    /// Forces `net` to `value` right now, outside the normal driver
+    /// path: cancels in-flight events, applies the change, records it
+    /// as an injected fault, and lets the circuit react.
+    fn force_net(&mut self, net: NetId, t: SimTime, value: bool, kind: &str) {
+        if t > self.now {
+            self.now = t;
+        }
+        let now = self.now;
+        self.stats.faults_injected += 1;
+        if let Some(tr) = &mut self.trace {
+            tr.record(TraceEvent::FaultInjected {
+                t_ps: now.as_ps(),
+                site: net.to_string(),
+                kind: kind.to_owned(),
+            });
+        }
+        let state = &mut self.nets[net.index()];
+        state.gen += 1; // kill anything in flight for this net
+        state.scheduled_value = value;
+        state.last_event_time = now;
+        if state.value == value {
+            return;
+        }
+        state.value = value;
+        state.last_change_time = now;
+        if let Some(trace) = &mut state.trace {
+            trace.push((now, value));
+        }
+        if let Some(tr) = &mut self.trace {
+            tr.record(TraceEvent::EventFired {
+                t_ps: now.as_ps(),
+                net: net.index() as u32,
+                value,
+            });
+        }
+        let sinks = std::mem::take(&mut self.nets[net.index()].sinks);
+        for &comp in &sinks {
+            self.react(comp, net, now, value);
+        }
+        self.nets[net.index()].sinks = sinks;
+    }
+
     /// Schedules a net change with inertial-delay semantics: changes
     /// that conflict with pending ones cancel them (narrow pulses are
     /// swallowed).
     fn schedule_change(&mut self, net: NetId, t: SimTime, value: bool) {
+        let state = &mut self.nets[net.index()];
+        // Fault hooks — both compiled to one predictable branch each
+        // on the nominal path (`stuck` false, scale 100).
+        if state.stuck {
+            return;
+        }
+        let t = if state.delay_scale_pct == 100 {
+            t
+        } else {
+            let delta = t.saturating_sub(self.now).as_ps();
+            self.now + SimTime::from_ps((delta * u64::from(state.delay_scale_pct)) / 100)
+        };
         let state = &mut self.nets[net.index()];
         let too_close = state.last_event_time > SimTime::ZERO
             && t < state.last_event_time + state.min_separation;
@@ -700,16 +890,39 @@ impl Simulator {
         metrics.add(&format!("{prefix}.sim_time_ps"), self.now.as_ps());
     }
 
+    /// Applies the earliest pending action (queued event or scheduled
+    /// upset) if it lies at or before `limit`. Upsets win ties: the
+    /// fault strikes before the circuit reacts at the same instant.
+    fn step_once(&mut self, limit: SimTime) -> Step {
+        let next_ev = self.queue.peek().map(|Reverse(e)| e.time);
+        // One cheap length check on the nominal (no-upsets) path.
+        let next_up = if self.next_upset < self.upsets.len() {
+            Some(self.upsets[self.next_upset].0)
+        } else {
+            None
+        };
+        match (next_ev, next_up) {
+            (None, None) => Step::Empty,
+            (ev, Some(ut)) if ut <= limit && ev.is_none_or(|et| ut <= et) => {
+                let (t, net) = self.upsets[self.next_upset];
+                self.next_upset += 1;
+                let flipped = !self.nets[net.index()].value;
+                self.force_net(net, t, flipped, "seu_flip");
+                Step::Did
+            }
+            (Some(et), _) if et <= limit => {
+                let Reverse(ev) = self.queue.pop().expect("peeked");
+                self.apply(ev);
+                Step::Did
+            }
+            _ => Step::Beyond,
+        }
+    }
+
     /// Runs until the queue is empty or the next event lies beyond
     /// `t`; the simulation clock ends at exactly `t`.
     pub fn run_until(&mut self, t: SimTime) {
-        while let Some(Reverse(ev)) = self.queue.peek() {
-            if ev.time > t {
-                break;
-            }
-            let Reverse(ev) = self.queue.pop().expect("peeked");
-            self.apply(ev);
-        }
+        while matches!(self.step_once(t), Step::Did) {}
         if self.now < t {
             self.now = t;
         }
@@ -719,17 +932,36 @@ impl Simulator {
     ///
     /// # Errors
     ///
-    /// Returns [`StillActiveError`] if events remain past the limit
-    /// (the circuit oscillates or is driven forever).
+    /// Returns [`StillActiveError`] if events (or scheduled upsets)
+    /// remain past the limit (the circuit oscillates or is driven
+    /// forever).
     pub fn run_to_quiescence(&mut self, limit: SimTime) -> Result<SimTime, StillActiveError> {
-        while let Some(Reverse(ev)) = self.queue.peek() {
-            if ev.time > limit {
-                return Err(StillActiveError { limit });
+        loop {
+            match self.step_once(limit) {
+                Step::Did => {}
+                Step::Empty => return Ok(self.now),
+                Step::Beyond => return Err(StillActiveError { limit }),
             }
-            let Reverse(ev) = self.queue.pop().expect("peeked");
-            self.apply(ev);
         }
-        Ok(self.now)
+    }
+
+    /// The watchdog-supervised run loop: processes events until the
+    /// circuit quiesces, the sim-time budget is exhausted, or the
+    /// event budget is exhausted — whichever comes first. A
+    /// fault-injected circuit can oscillate forever or stall forever;
+    /// this always terminates with a classified [`Halt`] instead.
+    pub fn run_budgeted(&mut self, budget: RunBudget) -> Halt {
+        let mut applied: u64 = 0;
+        loop {
+            if applied >= budget.max_events {
+                return Halt::EventLimit { at: self.now };
+            }
+            match self.step_once(budget.sim_limit) {
+                Step::Did => applied += 1,
+                Step::Empty => return Halt::Quiescent { at: self.now },
+                Step::Beyond => return Halt::SimLimit { at: self.now },
+            }
+        }
     }
 
     fn apply(&mut self, ev: Event) {

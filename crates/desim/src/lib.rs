@@ -36,6 +36,7 @@
 
 pub mod clocked_chain;
 pub mod engine;
+pub mod faults;
 pub mod inverter_string;
 pub mod muller;
 pub mod one_shot_string;
@@ -48,8 +49,10 @@ pub mod time;
 pub mod prelude {
     pub use crate::clocked_chain::{analytic_min_period, run_chain, ChainOutcome, ClockedChainSpec};
     pub use crate::engine::{
-        EngineStats, GateFn, NetId, Simulator, StillActiveError, TimingViolation, ViolationKind,
+        EngineStats, GateFn, Halt, NetId, RunBudget, Simulator, StillActiveError,
+        TimingViolation, ViolationKind,
     };
+    pub use crate::faults::{classify_run, inject_net_faults};
     pub use crate::inverter_string::{
         fabrication_yield, fabrication_yield_par, InverterString, InverterStringResult,
         InverterStringSpec,

@@ -1,0 +1,45 @@
+//! `sim-faults`: deterministic, seed-derived fault injection.
+//!
+//! Fisher & Kung's argument for hybrid synchronization (Sections V–VI)
+//! is a *robustness* argument: what matters is not how a scheme
+//! behaves nominally but how it degrades when hardware misbehaves.
+//! This crate supplies the misbehavior. A [`FaultPlan`] is a pure
+//! function from `(seed, trial, site)` to an optional fault, covering
+//! the failure modes the paper's schemes are exposed to:
+//!
+//! * stuck-at and transient (SEU-style) upsets on gates and inverters
+//!   ([`GateFault`]);
+//! * delay faults — per-stage delay inflation or deflation
+//!   ([`GateFault::Delay`]);
+//! * dead or degraded clock-tree buffers ([`BufferFault`]);
+//! * dropped or delayed handshake req/ack transitions
+//!   ([`HandshakeFault`]).
+//!
+//! Determinism is the design center: every query hashes the plan's
+//! per-trial stream with the site identity through SplitMix64, so the
+//! answer depends only on `(seed, trial, site)` — never on query
+//! order, thread count, or how many other sites were probed first.
+//! Fault-injected Monte-Carlo sweeps therefore stay byte-identical
+//! across `--threads`, exactly like the nominal ones.
+//!
+//! Injected runs end in a structured [`RunOutcome`] — `Ok`, a timing
+//! violation, a classified deadlock, or an exhausted budget — which
+//! [`OutcomeTally`] aggregates across a sweep. No fault ever turns
+//! into a hang or a panic.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod outcome;
+mod plan;
+
+pub use outcome::{OutcomeTally, RunOutcome};
+pub use plan::{BufferFault, FaultPlan, FaultRates, GateFault, HandshakeFault, RetryPolicy};
+
+/// Common imports: `use sim_faults::prelude::*;`.
+pub mod prelude {
+    pub use crate::outcome::{OutcomeTally, RunOutcome};
+    pub use crate::plan::{
+        BufferFault, FaultPlan, FaultRates, GateFault, HandshakeFault, RetryPolicy,
+    };
+}

@@ -1,0 +1,176 @@
+//! Structured run outcomes: what a fault-injected trial ends in, and
+//! the tally a sweep aggregates them into.
+
+use std::fmt;
+
+/// How one simulated run terminated. The watchdog contract: every
+/// fault-injected run ends in exactly one of these — never a hang,
+/// never a panic that escapes the trial.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RunOutcome {
+    /// Completed its workload with timing intact.
+    Ok,
+    /// Completed or aborted with at least one setup/hold violation —
+    /// the clocked-discipline failure mode (skew exceeded the margin).
+    TimingViolation,
+    /// Quiesced with pending obligations: no events left but the
+    /// workload did not finish — the self-timed failure mode (a lost
+    /// transition nobody resent).
+    Deadlock,
+    /// The sim-time or event budget ran out before quiescence —
+    /// livelock, runaway oscillation, or simply "too slow to count as
+    /// working".
+    Budget,
+}
+
+impl RunOutcome {
+    /// Stable short label (report/JSON vocabulary).
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            RunOutcome::Ok => "ok",
+            RunOutcome::TimingViolation => "timing",
+            RunOutcome::Deadlock => "deadlock",
+            RunOutcome::Budget => "budget",
+        }
+    }
+
+    /// Whether the run counts as a success.
+    #[must_use]
+    pub fn is_ok(&self) -> bool {
+        matches!(self, RunOutcome::Ok)
+    }
+}
+
+impl fmt::Display for RunOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Outcome counts across a sweep, including trials whose panic was
+/// caught by the sweep's isolation layer.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OutcomeTally {
+    /// Trials that finished [`RunOutcome::Ok`].
+    pub ok: u64,
+    /// Trials that ended in [`RunOutcome::TimingViolation`].
+    pub timing: u64,
+    /// Trials that ended in [`RunOutcome::Deadlock`].
+    pub deadlock: u64,
+    /// Trials that ended in [`RunOutcome::Budget`].
+    pub budget: u64,
+    /// Trials that panicked and were isolated by `catch_unwind`.
+    pub panicked: u64,
+}
+
+impl OutcomeTally {
+    /// An empty tally.
+    #[must_use]
+    pub fn new() -> Self {
+        OutcomeTally::default()
+    }
+
+    /// Counts one classified outcome.
+    pub fn record(&mut self, outcome: RunOutcome) {
+        match outcome {
+            RunOutcome::Ok => self.ok += 1,
+            RunOutcome::TimingViolation => self.timing += 1,
+            RunOutcome::Deadlock => self.deadlock += 1,
+            RunOutcome::Budget => self.budget += 1,
+        }
+    }
+
+    /// Counts one trial that panicked instead of returning an outcome.
+    pub fn record_panic(&mut self) {
+        self.panicked += 1;
+    }
+
+    /// Adds another tally into this one (sweep-merge).
+    pub fn merge(&mut self, other: &OutcomeTally) {
+        self.ok += other.ok;
+        self.timing += other.timing;
+        self.deadlock += other.deadlock;
+        self.budget += other.budget;
+        self.panicked += other.panicked;
+    }
+
+    /// Total trials counted.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.ok + self.failures()
+    }
+
+    /// Trials that did not succeed (including panics).
+    #[must_use]
+    pub fn failures(&self) -> u64 {
+        self.timing + self.deadlock + self.budget + self.panicked
+    }
+
+    /// `ok / total`, or 1 for an empty tally (nothing failed).
+    #[must_use]
+    pub fn success_rate(&self) -> f64 {
+        if self.total() == 0 {
+            1.0
+        } else {
+            self.ok as f64 / self.total() as f64
+        }
+    }
+
+    /// Builds a tally from an iterator of classified outcomes.
+    pub fn from_outcomes(outcomes: impl IntoIterator<Item = RunOutcome>) -> Self {
+        let mut tally = OutcomeTally::new();
+        for o in outcomes {
+            tally.record(o);
+        }
+        tally
+    }
+}
+
+impl fmt::Display for OutcomeTally {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "ok={} timing={} deadlock={} budget={} panicked={}",
+            self.ok, self.timing, self.deadlock, self.budget, self.panicked
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tally_counts_and_merges() {
+        let mut a = OutcomeTally::from_outcomes([
+            RunOutcome::Ok,
+            RunOutcome::Ok,
+            RunOutcome::Deadlock,
+            RunOutcome::TimingViolation,
+        ]);
+        let mut b = OutcomeTally::new();
+        b.record(RunOutcome::Budget);
+        b.record_panic();
+        a.merge(&b);
+        assert_eq!(a.total(), 6);
+        assert_eq!(a.failures(), 4);
+        assert_eq!(a.ok, 2);
+        assert!((a.success_rate() - 2.0 / 6.0).abs() < 1e-12);
+        assert_eq!(a.to_string(), "ok=2 timing=1 deadlock=1 budget=1 panicked=1");
+    }
+
+    #[test]
+    fn empty_tally_is_vacuously_successful() {
+        assert_eq!(OutcomeTally::new().success_rate(), 1.0);
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(RunOutcome::Ok.label(), "ok");
+        assert_eq!(RunOutcome::TimingViolation.label(), "timing");
+        assert_eq!(RunOutcome::Deadlock.label(), "deadlock");
+        assert_eq!(RunOutcome::Budget.label(), "budget");
+        assert!(RunOutcome::Ok.is_ok() && !RunOutcome::Budget.is_ok());
+    }
+}

@@ -20,6 +20,12 @@
 //!   `Req+ → Ack+ → Req− → Ack−`).
 //! * **`span-balance`** — `SpanBegin`/`SpanEnd` nest like
 //!   parentheses, with matching names.
+//!
+//! The checker is **fault-aware**: a
+//! [`TraceEvent::FaultInjected`] record naming a handshake link
+//! resets that link's protocol state, so a request retried after a
+//! deliberately dropped transition is not reported as a dropped Ack —
+//! only *unannotated* protocol breaks are violations.
 
 use crate::trace::{Trace, TraceEvent};
 use std::collections::HashMap;
@@ -95,7 +101,10 @@ fn lane_of(ev: &TraceEvent) -> Option<String> {
         TraceEvent::SpanBegin { .. } | TraceEvent::SpanEnd { .. } => {
             Some("span".to_owned())
         }
-        TraceEvent::SkewSample { .. } => None,
+        // Skew samples are static analyses; fault injections are plan
+        // annotations stamped when the fault was *drawn*, which may
+        // precede the events around them. Both are exempt.
+        TraceEvent::SkewSample { .. } | TraceEvent::FaultInjected { .. } => None,
     }
 }
 
@@ -232,6 +241,12 @@ fn check_track(track: &str, events: &[TraceEvent], report: &mut CheckReport) {
                     format!("span `{name}` closed but none is open"),
                 ),
             },
+            TraceEvent::FaultInjected { site, .. } => {
+                // A fault on a handshake link resets its protocol
+                // state: whatever transition was in flight is gone, and
+                // the retry that follows starts a fresh exchange.
+                hs_state.remove(site);
+            }
             TraceEvent::EventFired { .. }
             | TraceEvent::EventCancelled { .. }
             | TraceEvent::SkewSample { .. } => {}
@@ -301,6 +316,28 @@ mod tests {
         assert_eq!(r.violations.len(), 1);
         assert_eq!(r.violations[0].rule, "handshake-order");
         assert!(r.violations[0].detail.contains("dropped Ack"));
+    }
+
+    #[test]
+    fn annotated_fault_drop_resets_the_link_state() {
+        // Same shape as `dropped_ack_is_a_named_violation`, but the
+        // drop is announced by the injector — the retry is legal.
+        let fault = TraceEvent::FaultInjected {
+            t_ps: 15,
+            site: "l".into(),
+            kind: "drop_ack".into(),
+        };
+        let t = trace_of(vec![req(0, true), fault, req(20, true), ack(30, true)]);
+        let r = check_trace(&t);
+        assert!(r.is_ok(), "{:?}", r.violations);
+        // A fault on some *other* site does not excuse this link.
+        let other = TraceEvent::FaultInjected {
+            t_ps: 15,
+            site: "net3".into(),
+            kind: "seu_flip".into(),
+        };
+        let t = trace_of(vec![req(0, true), other, req(20, true)]);
+        assert_eq!(check_trace(&t).violations.len(), 1);
     }
 
     #[test]

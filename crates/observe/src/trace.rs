@@ -120,6 +120,20 @@ pub enum TraceEvent {
         /// of the two root-to-leaf paths.
         path: Vec<PathStep>,
     },
+    /// A fault was injected into the simulated hardware at `site`
+    /// (a net, buffer, or handshake-link name). `kind` is the stable
+    /// fault tag (e.g. `stuck_at_1`, `seu_flip`, `drop_ack`,
+    /// `buffer_dead`). The invariant checker treats handshake-drop
+    /// faults as resetting the affected link's protocol state, so a
+    /// retried request after a dropped acknowledge is not flagged.
+    FaultInjected {
+        /// Sim time of the injection.
+        t_ps: u64,
+        /// Faulted element, e.g. `net7`, `n3/buf2`, `chain.link0`.
+        site: String,
+        /// Stable fault kind tag.
+        kind: String,
+    },
     /// Start of a named sim-time span.
     SpanBegin {
         /// Sim time the span opens.
@@ -148,6 +162,7 @@ impl TraceEvent {
             | TraceEvent::HandshakeReq { t_ps, .. }
             | TraceEvent::HandshakeAck { t_ps, .. }
             | TraceEvent::SkewSample { t_ps, .. }
+            | TraceEvent::FaultInjected { t_ps, .. }
             | TraceEvent::SpanBegin { t_ps, .. }
             | TraceEvent::SpanEnd { t_ps, .. } => *t_ps,
         }
@@ -164,6 +179,7 @@ impl TraceEvent {
             TraceEvent::HandshakeReq { .. } => "handshake_req",
             TraceEvent::HandshakeAck { .. } => "handshake_ack",
             TraceEvent::SkewSample { .. } => "skew_sample",
+            TraceEvent::FaultInjected { .. } => "fault_injected",
             TraceEvent::SpanBegin { .. } => "span_begin",
             TraceEvent::SpanEnd { .. } => "span_end",
         }
@@ -223,6 +239,9 @@ impl TraceEvent {
                         steps.join(",")
                     }
                 )
+            }
+            TraceEvent::FaultInjected { t_ps, site, kind } => {
+                format!("fault_injected t={t_ps} site={site} kind={kind}")
             }
             TraceEvent::SpanBegin { t_ps, name } => {
                 format!("span_begin t={t_ps} name={name}")
@@ -695,6 +714,14 @@ fn sim_event_json(ev: &TraceEvent, tid: u64) -> Json {
                 ),
             ],
         ),
+        TraceEvent::FaultInjected { site, kind, .. } => (
+            ev.kind(),
+            "i",
+            vec![
+                ("site", Json::from(site.as_str())),
+                ("kind", Json::from(kind.as_str())),
+            ],
+        ),
         TraceEvent::SpanBegin { name, .. } => (name.as_str(), "B", vec![]),
         TraceEvent::SpanEnd { name, .. } => (name.as_str(), "E", vec![]),
     };
@@ -792,6 +819,11 @@ fn sim_event_from_json(
                 path,
             }
         }
+        "fault_injected" => TraceEvent::FaultInjected {
+            t_ps,
+            site: req_arg_str(args, "site")?,
+            kind: req_arg_str(args, "kind")?,
+        },
         other => return Err(format!("unknown sim event kind `{other}`")),
     })
 }
@@ -900,6 +932,11 @@ mod tests {
             link: "l0".into(),
             rising: true,
         });
+        hs.record(TraceEvent::FaultInjected {
+            t_ps: 20,
+            site: "l0".into(),
+            kind: "drop_ack".into(),
+        });
         hs.record(TraceEvent::SkewSample {
             t_ps: 0,
             pair: "cells(0,3)".into(),
@@ -946,6 +983,7 @@ mod tests {
         assert!(text.starts_with("# sim-trace v1\n"));
         assert!(text.contains("track engine events=5 dropped=0"));
         assert!(text.contains("skew_sample t=0 pair=cells(0,3) skew=420 path=root>n1:+500,root>n2:-80"));
+        assert!(text.contains("fault_injected t=20 site=l0 kind=drop_ack"));
         assert!(!text.contains("trial 0"), "wall spans are volatile");
     }
 

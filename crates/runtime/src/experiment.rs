@@ -1,4 +1,4 @@
-//! The experiment harness behind the `e1`–`e11` binaries.
+//! The experiment harness behind the `e1`–`e12` binaries.
 //!
 //! Each binary used to carry its own copy-pasted `main` scaffolding;
 //! now an experiment is a type implementing [`Experiment`] that builds
@@ -103,16 +103,23 @@ impl ExpConfig {
         let mut cfg = ExpConfig::default();
         let mut it = args.into_iter();
         let parse = |name: &str, v: Option<String>| -> Result<u64, String> {
-            v.and_then(|s| s.parse::<u64>().ok())
-                .ok_or_else(|| format!("{name} needs a non-negative integer argument"))
+            v.and_then(|s| s.parse::<u64>().ok()).ok_or_else(|| {
+                format!("{name} needs a non-negative integer argument\n{USAGE}")
+            })
         };
         let path = |name: &str, v: Option<String>| -> Result<String, String> {
             v.filter(|s| !s.is_empty())
-                .ok_or_else(|| format!("{name} needs a file path argument"))
+                .ok_or_else(|| format!("{name} needs a file path argument\n{USAGE}"))
         };
         while let Some(arg) = it.next() {
             match arg.as_str() {
-                "--trials" => cfg.trials = Some(parse("--trials", it.next())? as usize),
+                "--trials" => {
+                    let t = parse("--trials", it.next())?;
+                    if t == 0 {
+                        return Err(format!("--trials must be at least 1\n{USAGE}"));
+                    }
+                    cfg.trials = Some(t as usize);
+                }
                 "--seed" => cfg.seed = parse("--seed", it.next())?,
                 "--threads" => cfg.threads = parse("--threads", it.next())? as usize,
                 "--fast" => cfg.fast = true,
@@ -128,7 +135,10 @@ impl ExpConfig {
     }
 
     /// The configured trial count, or `default` when `--trials` was
-    /// not given; `--fast` quarters the default (floor 8).
+    /// not given; `--fast` quarters the default (floor 8). A zero
+    /// override is clamped to one trial ([`ExpConfig::from_args`]
+    /// rejects `--trials 0` before it gets here; the clamp guards
+    /// programmatic construction).
     #[must_use]
     pub fn trials_or(&self, default: usize) -> usize {
         match self.trials {
@@ -183,6 +193,35 @@ impl ExpConfig {
 const USAGE: &str = "usage: <experiment> [--trials N] [--seed S] [--threads T] [--fast] \
 [--json PATH] [--vcd PATH] [--trace PATH] [--list]";
 
+thread_local! {
+    /// Set by [`write_artifact`] on an I/O failure inside an
+    /// experiment body (e.g. a `--vcd` dump), where no exit code can
+    /// be returned; drained by the CLI driver after the run.
+    static ARTIFACT_FAILED: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+/// Writes a user-requested artifact (a `--vcd` dump, say) from inside
+/// an experiment body, reporting the result on stderr so stdout stays
+/// byte-identical with and without the flag. On failure it prints a
+/// uniform `error: …` line and marks the run so the CLI driver exits
+/// nonzero — experiment bodies return a [`Report`], not an exit code.
+pub fn write_artifact(label: &str, path: &str, contents: &str) {
+    match std::fs::write(path, contents) {
+        Ok(()) => eprintln!("{label}: {path}"),
+        Err(err) => {
+            eprintln!("error: failed to write {label} to `{path}`: {err}");
+            ARTIFACT_FAILED.with(|f| f.set(true));
+        }
+    }
+}
+
+/// Drains the thread's artifact-failure flag: true if any
+/// [`write_artifact`] call failed since the last drain.
+#[must_use]
+pub fn take_artifact_failure() -> bool {
+    ARTIFACT_FAILED.with(|f| f.replace(false))
+}
+
 /// Appends one formatted line to a [`Report`] — the drop-in
 /// replacement for `println!` in migrated experiment bodies.
 ///
@@ -230,7 +269,7 @@ pub trait Experiment: Sync {
     fn run(&self, cfg: &ExpConfig, rng: &mut SimRng) -> Report;
 }
 
-/// A name-keyed collection of experiments (the `e1`–`e11` table the
+/// A name-keyed collection of experiments (the `e1`–`e12` table the
 /// e2e suite iterates).
 #[derive(Default)]
 pub struct Registry {
@@ -390,7 +429,9 @@ fn cli_main<I: IntoIterator<Item = String>>(
     cfg.stream = true;
     print!("{}", banner(exp, &cfg));
     let timer = SpanTimer::start();
+    let _ = take_artifact_failure();
     let report = run_experiment(exp, &cfg);
+    let artifact_failed = take_artifact_failure();
     let wall_ms = timer.elapsed_ms();
     if !report.is_streaming() {
         // An experiment not yet migrated to `cfg.report()` built a
@@ -404,7 +445,7 @@ fn cli_main<I: IntoIterator<Item = String>>(
         };
         let doc = json_full(exp, &cfg, &report, &run);
         if let Err(err) = std::fs::write(path, doc.to_pretty()) {
-            eprintln!("failed to write JSON report to `{path}`: {err}");
+            eprintln!("error: failed to write JSON report to `{path}`: {err}");
             return 1;
         }
         // Stderr, so stdout stays byte-identical with and without
@@ -412,9 +453,12 @@ fn cli_main<I: IntoIterator<Item = String>>(
         eprintln!("json report: {path}");
     }
     if let Some(path) = &cfg.trace {
-        return export_trace(&report, path);
+        let code = export_trace(&report, path);
+        if code != 0 {
+            return code;
+        }
     }
-    0
+    i32::from(artifact_failed)
 }
 
 /// Writes the collected trace as Perfetto JSON to `path` and as
@@ -425,12 +469,12 @@ fn cli_main<I: IntoIterator<Item = String>>(
 fn export_trace(report: &Report, path: &str) -> i32 {
     let trace = report.trace();
     if let Err(err) = std::fs::write(path, trace.to_perfetto().to_pretty()) {
-        eprintln!("failed to write trace to `{path}`: {err}");
+        eprintln!("error: failed to write trace to `{path}`: {err}");
         return 1;
     }
     let text_path = format!("{path}.txt");
     if let Err(err) = std::fs::write(&text_path, trace.to_text()) {
-        eprintln!("failed to write trace text to `{text_path}`: {err}");
+        eprintln!("error: failed to write trace text to `{text_path}`: {err}");
         return 1;
     }
     eprintln!(
@@ -574,6 +618,60 @@ mod tests {
         assert!(ExpConfig::from_args(["--vcd".to_owned()]).is_err());
         assert!(ExpConfig::from_args(["--trace".to_owned()]).is_err());
         assert!(ExpConfig::from_args(["--help".to_owned()]).is_err());
+    }
+
+    #[test]
+    fn zero_negative_and_garbage_numerics_are_rejected_with_usage() {
+        for bad in [
+            vec!["--trials", "0"],
+            vec!["--trials", "-3"],
+            vec!["--trials", "lots"],
+            vec!["--seed", "1.5"],
+            vec!["--threads", "-1"],
+            vec!["--no-such-flag"],
+        ] {
+            let err = ExpConfig::from_args(bad.iter().map(|s| (*s).to_owned()))
+                .expect_err(&format!("{bad:?} must be rejected"));
+            assert!(err.contains("usage:"), "{bad:?} error lacks usage: {err}");
+        }
+        let err = ExpConfig::from_args(["--trials".to_owned(), "0".to_owned()])
+            .expect_err("zero trials");
+        assert!(err.contains("--trials must be at least 1"));
+    }
+
+    struct ArtifactExp;
+    impl Experiment for ArtifactExp {
+        fn name(&self) -> &'static str {
+            "artifact"
+        }
+        fn title(&self) -> &'static str {
+            "writes a vcd artifact"
+        }
+        fn paper_ref(&self) -> &'static str {
+            "nowhere"
+        }
+        fn run(&self, cfg: &ExpConfig, _rng: &mut SimRng) -> Report {
+            let mut r = cfg.report();
+            if let Some(path) = &cfg.vcd {
+                write_artifact("vcd waveform", path, "$dumpvars\n");
+            }
+            rline!(r, "ok");
+            r
+        }
+    }
+
+    #[test]
+    fn failed_artifact_write_fails_the_cli_run() {
+        let exps: &[&dyn Experiment] = &[&ArtifactExp];
+        let bad = "/nonexistent-dir-sim-runtime/x.vcd".to_owned();
+        let code = cli_main(exps, "artifact", ["--vcd".to_owned(), bad]);
+        assert_eq!(code, 1, "a lost --vcd artifact must fail the run");
+        // The flag is drained: a following clean run exits 0.
+        let good = std::env::temp_dir().join("sim_runtime_artifact_test.vcd");
+        let good_s = good.to_string_lossy().into_owned();
+        let code = cli_main(exps, "artifact", ["--vcd".to_owned(), good_s]);
+        assert_eq!(code, 0);
+        let _ = std::fs::remove_file(&good);
     }
 
     #[test]

@@ -20,7 +20,7 @@
 //!   of thread count** (`SIM_THREADS=1` reproduces `SIM_THREADS=8`);
 //! * [`experiment`] — the [`Experiment`] trait, [`ExpConfig`]
 //!   (`--trials/--seed/--threads/--fast/--json/--vcd/--trace/--list`),
-//!   and the [`Registry`] the `e1`–`e11` binaries plug into;
+//!   and the [`Registry`] the `e1`–`e12` binaries plug into;
 //! * [`report`] — [`Report`] (streaming text + structured tables +
 //!   [`sim_observe::Metrics`]) and the versioned JSON report
 //!   ([`json_core`]/[`json_full`]) behind `--json`;
@@ -58,24 +58,26 @@ pub mod table;
 
 pub use dist::{sample_normal, Gaussian};
 pub use experiment::{
-    run_cli, run_cli_args, run_cli_in, run_experiment, ExpConfig, Experiment, Registry,
+    run_cli, run_cli_args, run_cli_in, run_experiment, take_artifact_failure,
+    write_artifact, ExpConfig, Experiment, Registry,
 };
 pub use report::{
     json_core, json_full, Report, RunInfo, TableSection, REPORT_SCHEMA,
     REPORT_SCHEMA_VERSION,
 };
 pub use rng::{Rng, SampleRange, SimRng, SliceRandom, SplitMix64};
-pub use sweep::{ParallelSweep, SweepStats, TrialSpan};
+pub use sweep::{panic_message, ParallelSweep, SweepStats, TrialSpan};
 pub use table::Table;
 
 /// One-stop imports for experiment code.
 pub mod prelude {
     pub use crate::dist::{sample_normal, Gaussian};
     pub use crate::experiment::{
-        run_cli, run_cli_args, run_cli_in, run_experiment, ExpConfig, Experiment, Registry,
+        run_cli, run_cli_args, run_cli_in, run_experiment, take_artifact_failure,
+        write_artifact, ExpConfig, Experiment, Registry,
     };
     pub use crate::report::{json_core, json_full, Report, RunInfo};
     pub use crate::rng::{Rng, SimRng, SliceRandom};
-    pub use crate::sweep::{ParallelSweep, SweepStats, TrialSpan};
+    pub use crate::sweep::{panic_message, ParallelSweep, SweepStats, TrialSpan};
     pub use crate::table::Table;
 }

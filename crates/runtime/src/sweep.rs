@@ -293,6 +293,28 @@ impl ParallelSweep {
         (out, stats, spans)
     }
 
+    /// Like [`ParallelSweep::run`], but isolates every trial behind
+    /// `catch_unwind`: a panicking trial yields `Err(message)` in its
+    /// slot instead of tearing down the worker (and with it the whole
+    /// sweep). Fault-injection sweeps use this so that one pathological
+    /// trial cannot take out the other N−1 — the sweep always returns
+    /// one classified result per trial.
+    ///
+    /// Trial-to-RNG derivation is identical to `run`, so the `Ok`
+    /// values (and which trials panic) stay bit-identical across
+    /// worker counts. Note the panicking trial still runs the global
+    /// panic hook, so its message may appear on stderr.
+    pub fn run_isolated<T, F>(&self, trials: usize, seed: u64, f: F) -> Vec<Result<T, String>>
+    where
+        T: Send,
+        F: Fn(usize, &mut SimRng) -> T + Sync,
+    {
+        self.run(trials, seed, |i, rng| {
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(i, rng)))
+                .map_err(|payload| panic_message(payload.as_ref()))
+        })
+    }
+
     /// Runs `trials` trials and counts those for which `pred` returns
     /// `true` — the common yield/failure-rate reduction.
     pub fn count<F>(&self, trials: usize, seed: u64, pred: F) -> usize
@@ -310,6 +332,20 @@ impl Default for ParallelSweep {
     /// [`ParallelSweep::from_env`].
     fn default() -> Self {
         ParallelSweep::from_env()
+    }
+}
+
+/// Extracts the human-readable message from a caught panic payload
+/// (`&str` and `String` payloads cover every `panic!`/`assert!` in
+/// practice; anything else reports its opacity).
+#[must_use]
+pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
     }
 }
 
@@ -523,6 +559,40 @@ mod tests {
                 assert!(span.worker < threads);
             }
         }
+    }
+
+    #[test]
+    fn isolated_trials_survive_a_panicking_neighbour() {
+        // Suppress the default panic hook's stderr spew for the
+        // deliberately panicking trials.
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let f = |i: usize, rng: &mut SimRng| -> u64 {
+            assert!(!i.is_multiple_of(5), "trial {i} hit the planted fault");
+            rng.next_u64() % 100
+        };
+        let single = ParallelSweep::new(1).run_isolated(23, 42, f);
+        let multi = ParallelSweep::new(4).run_isolated(23, 42, f);
+        std::panic::set_hook(prev);
+        assert_eq!(single, multi, "isolation preserves determinism");
+        for (i, r) in multi.iter().enumerate() {
+            if i % 5 == 0 {
+                let msg = r.as_ref().expect_err("multiple of 5 panics");
+                assert!(msg.contains("planted fault"), "{msg}");
+            } else {
+                assert!(r.is_ok(), "trial {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn panic_message_extracts_both_payload_shapes() {
+        let s: Box<dyn std::any::Any + Send> = Box::new("literal");
+        assert_eq!(panic_message(s.as_ref()), "literal");
+        let owned: Box<dyn std::any::Any + Send> = Box::new(String::from("formatted 7"));
+        assert_eq!(panic_message(owned.as_ref()), "formatted 7");
+        let odd: Box<dyn std::any::Any + Send> = Box::new(17u32);
+        assert_eq!(panic_message(odd.as_ref()), "non-string panic payload");
     }
 
     #[test]

@@ -15,6 +15,7 @@
 //! request/acknowledge transition as `sim-trace` events, which the
 //! offline checker validates against the 4-phase ordering discipline.
 
+use sim_faults::{FaultPlan, HandshakeFault, RetryPolicy, RunOutcome};
 use sim_observe::{ps_from_units, TraceBuf, TraceEvent};
 
 /// Signalling discipline of a handshake link.
@@ -117,6 +118,26 @@ pub struct ChainRun {
     pub period: f64,
 }
 
+/// Measurements from a lossy-wire run ([`HandshakeChain::run_faulty`]).
+///
+/// On [`RunOutcome::Deadlock`] the timing fields are infinite — the
+/// token never emerged.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultyChainRun {
+    /// How the run terminated: [`RunOutcome::Ok`] if every token made
+    /// it through, [`RunOutcome::Deadlock`] if some transfer exhausted
+    /// its retries (the lost transition was never resent).
+    pub outcome: RunOutcome,
+    /// Time for the first token to traverse the whole chain.
+    pub latency: f64,
+    /// Steady-state time between successive tokens emerging.
+    pub period: f64,
+    /// Request or acknowledge transitions the wires dropped.
+    pub drops: u64,
+    /// Requests re-sent after a timeout.
+    pub retries: u64,
+}
+
 impl HandshakeChain {
     /// Creates a chain of `stages` cells, each with compute time
     /// `stage_delay`, joined by copies of `link`.
@@ -202,6 +223,174 @@ impl HandshakeChain {
             latency: first_out,
             period: period_sum / (tokens - 1) as f64,
         }
+    }
+
+    /// Pushes `tokens` through the chain over lossy wires: each
+    /// transfer attempt may be dropped or slowed by the fault plan
+    /// (domain-separated from the plan's gate and buffer streams).
+    ///
+    /// A dropped request or acknowledge costs the sender
+    /// [`RetryPolicy::timeout`] model-time units before it re-sends; a
+    /// transfer that exhausts [`RetryPolicy::max_retries`] deadlocks
+    /// the chain — reported as a structured
+    /// [`RunOutcome::Deadlock`], never a hang. A delayed transition
+    /// stretches that one transfer by its `extra_frac`.
+    ///
+    /// Transfer attempts draw from per-`(stage, token, attempt)` fault
+    /// streams, so the outcome is identical across thread counts and
+    /// call orders.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tokens < 2`.
+    #[must_use]
+    pub fn run_faulty(
+        &self,
+        tokens: usize,
+        plan: &FaultPlan,
+        policy: RetryPolicy,
+    ) -> FaultyChainRun {
+        self.run_faulty_inner(tokens, plan, policy, None)
+    }
+
+    /// Like [`HandshakeChain::run_faulty`], but records protocol
+    /// transitions and `fault_injected` markers into `trace`. Each
+    /// dropped attempt records its doomed request followed by a
+    /// `fault_injected` event on the same link (`drop_req`/`drop_ack`),
+    /// which tells the offline checker the link resynchronized before
+    /// the retry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tokens < 2`.
+    #[must_use]
+    pub fn run_faulty_traced(
+        &self,
+        tokens: usize,
+        plan: &FaultPlan,
+        policy: RetryPolicy,
+        trace: &mut TraceBuf,
+    ) -> FaultyChainRun {
+        self.run_faulty_inner(tokens, plan, policy, Some(trace))
+    }
+
+    fn run_faulty_inner(
+        &self,
+        tokens: usize,
+        plan: &FaultPlan,
+        policy: RetryPolicy,
+        mut trace: Option<&mut TraceBuf>,
+    ) -> FaultyChainRun {
+        assert!(tokens >= 2, "need at least two tokens to measure a period");
+        if !plan.is_enabled() && trace.is_none() {
+            // Disabled faults cost one branch: the clean recurrence,
+            // no per-attempt loop, no fault-stream queries.
+            let clean = self.run(tokens);
+            return FaultyChainRun {
+                outcome: RunOutcome::Ok,
+                latency: clean.latency,
+                period: clean.period,
+                drops: 0,
+                retries: 0,
+            };
+        }
+        let attempts_per_transfer = u64::from(policy.max_retries) + 1;
+        let mut completion = vec![0.0f64; self.stages];
+        let (mut drops, mut retries) = (0u64, 0u64);
+        let mut first_out = 0.0;
+        let mut prev_out = 0.0;
+        let mut period_sum = 0.0;
+        for tok in 0..tokens {
+            let mut upstream_done = 0.0f64;
+            for (i, slot) in completion.iter_mut().enumerate() {
+                let start = upstream_done.max(*slot);
+                // The stage computes, then fights the lossy link.
+                let mut t = start + self.stage_delay;
+                let mut done = None;
+                for attempt in 0..attempts_per_transfer {
+                    if attempt > 0 {
+                        retries += 1;
+                    }
+                    let key = (tok as u64) * attempts_per_transfer + attempt;
+                    match plan.handshake_fault(i as u64, key) {
+                        Some(fault @ (HandshakeFault::DropReq | HandshakeFault::DropAck)) => {
+                            drops += 1;
+                            if let Some(buf) = trace.as_deref_mut() {
+                                self.record_dropped_attempt(buf, i, t, fault);
+                            }
+                            t += policy.timeout;
+                        }
+                        Some(HandshakeFault::Delay { extra_frac }) => {
+                            if let Some(buf) = trace.as_deref_mut() {
+                                self.record_transfer(buf, i, t);
+                            }
+                            done = Some(t + self.link.transfer_time() * (1.0 + extra_frac));
+                            break;
+                        }
+                        None => {
+                            if let Some(buf) = trace.as_deref_mut() {
+                                self.record_transfer(buf, i, t);
+                            }
+                            done = Some(t + self.link.transfer_time());
+                            break;
+                        }
+                    }
+                }
+                let Some(done_t) = done else {
+                    // Retries exhausted: the transfer is lost for good.
+                    return FaultyChainRun {
+                        outcome: RunOutcome::Deadlock,
+                        latency: f64::INFINITY,
+                        period: f64::INFINITY,
+                        drops,
+                        retries,
+                    };
+                };
+                *slot = done_t;
+                upstream_done = done_t;
+            }
+            let out = upstream_done;
+            if tok == 0 {
+                first_out = out;
+            } else {
+                period_sum += out - prev_out;
+            }
+            prev_out = out;
+        }
+        FaultyChainRun {
+            outcome: RunOutcome::Ok,
+            latency: first_out,
+            period: period_sum / (tokens - 1) as f64,
+            drops,
+            retries,
+        }
+    }
+
+    /// Records a dropped transfer attempt on stage `i`'s link: the
+    /// doomed request, then the fault marker that resets the link.
+    fn record_dropped_attempt(
+        &self,
+        buf: &mut TraceBuf,
+        i: usize,
+        t0: f64,
+        fault: HandshakeFault,
+    ) {
+        let link = format!("chain.link{i}");
+        let kind = match fault {
+            HandshakeFault::DropReq => "drop_req",
+            HandshakeFault::DropAck => "drop_ack",
+            HandshakeFault::Delay { .. } => "hs_delay",
+        };
+        buf.record(TraceEvent::HandshakeReq {
+            t_ps: ps_from_units(t0),
+            link: link.clone(),
+            rising: true,
+        });
+        buf.record(TraceEvent::FaultInjected {
+            t_ps: ps_from_units(t0 + self.link.wire_delay()),
+            site: link,
+            kind: kind.to_string(),
+        });
     }
 
     /// Records one transfer's protocol transitions on stage `i`'s
@@ -292,6 +481,80 @@ mod tests {
     #[should_panic(expected = "at least two tokens")]
     fn run_needs_tokens() {
         let _ = HandshakeChain::new(2, link(), 1.0).run(1);
+    }
+
+    #[test]
+    fn faulty_run_with_disabled_plan_matches_clean_run() {
+        use sim_faults::{FaultPlan, RetryPolicy};
+        let chain = HandshakeChain::new(8, link(), 1.0);
+        let clean = chain.run(12);
+        let faulty = chain.run_faulty(12, &FaultPlan::disabled(), RetryPolicy::new(3, 10.0));
+        assert!(faulty.outcome.is_ok());
+        assert_eq!((faulty.drops, faulty.retries), (0, 0));
+        assert!((faulty.latency - clean.latency).abs() < 1e-9);
+        assert!((faulty.period - clean.period).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dropped_transitions_cost_timeouts_but_recover() {
+        use sim_faults::{FaultPlan, FaultRates, RetryPolicy};
+        let rates = FaultRates {
+            handshake_drop: 0.3,
+            ..FaultRates::none()
+        };
+        let chain = HandshakeChain::new(8, link(), 1.0);
+        let clean = chain.run(12);
+        let plan = FaultPlan::new(3, 0, rates);
+        let faulty = chain.run_faulty(12, &plan, RetryPolicy::new(8, 10.0));
+        assert!(faulty.outcome.is_ok(), "{:?}", faulty.outcome);
+        assert!(faulty.drops > 0, "30% drop rate over 96 transfers");
+        assert_eq!(faulty.retries, faulty.drops, "every drop was retried");
+        assert!(faulty.period > clean.period, "timeouts cost throughput");
+        // Determinism: the same plan reproduces the run exactly.
+        assert_eq!(faulty, chain.run_faulty(12, &plan, RetryPolicy::new(8, 10.0)));
+    }
+
+    #[test]
+    fn exhausted_retries_deadlock_instead_of_hanging() {
+        use sim_faults::{FaultPlan, FaultRates, RetryPolicy, RunOutcome};
+        let rates = FaultRates {
+            handshake_drop: 1.0,
+            ..FaultRates::none()
+        };
+        let chain = HandshakeChain::new(4, link(), 1.0);
+        let run = chain.run_faulty(6, &FaultPlan::new(1, 0, rates), RetryPolicy::new(2, 10.0));
+        assert_eq!(run.outcome, RunOutcome::Deadlock);
+        assert!(run.latency.is_infinite() && run.period.is_infinite());
+        assert_eq!(run.drops, 3, "initial attempt plus two retries, all lost");
+    }
+
+    #[test]
+    fn faulty_trace_passes_the_checker() {
+        use sim_faults::{FaultPlan, FaultRates, RetryPolicy};
+        let rates = FaultRates {
+            handshake_drop: 0.3,
+            ..FaultRates::none()
+        };
+        for protocol in [Protocol::TwoPhase, Protocol::FourPhase] {
+            let chain =
+                HandshakeChain::new(4, HandshakeLink::new(1.0, 0.5, protocol), 1.0);
+            let plan = FaultPlan::new(3, 0, rates);
+            let mut buf = TraceBuf::new(1 << 12);
+            let traced = chain.run_faulty_traced(8, &plan, RetryPolicy::new(8, 10.0), &mut buf);
+            assert_eq!(traced, chain.run_faulty(8, &plan, RetryPolicy::new(8, 10.0)));
+            assert!(traced.drops > 0, "want dropped transitions in the trace");
+            let (events, dropped) = buf.into_ordered();
+            assert_eq!(dropped, 0);
+            assert!(events.iter().any(|e| e.kind() == "fault_injected"));
+            let mut buf = TraceBuf::new(events.len());
+            for ev in events {
+                buf.record(ev);
+            }
+            let mut trace = sim_observe::Trace::new();
+            trace.add_track("handshake", buf);
+            let report = sim_observe::check_trace(&trace);
+            assert!(report.is_ok(), "{protocol:?}: {:?}", report.violations);
+        }
     }
 
     #[test]

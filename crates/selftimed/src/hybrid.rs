@@ -17,6 +17,7 @@
 
 use crate::handshake::HandshakeLink;
 use desim::stats::sample_normal;
+use sim_faults::{FaultPlan, HandshakeFault, RetryPolicy, RunOutcome};
 use sim_runtime::SimRng;
 
 /// Parameters of a hybrid-synchronized array.
@@ -206,6 +207,85 @@ impl HybridArray {
         let half = waves / 2;
         (completions[waves - 1] - completions[half - 1]) / (waves - half) as f64
     }
+
+    /// Wave-accurate simulation over lossy inter-element handshake
+    /// wires: each element's per-wave rendezvous with its neighbours
+    /// may be dropped (costing [`RetryPolicy::timeout`] per re-send)
+    /// or slowed by the fault plan. An element that exhausts its
+    /// retries stalls the whole array — returned as a structured
+    /// [`RunOutcome::Deadlock`] with an infinite period, never a hang.
+    ///
+    /// Jitter is omitted so the run is a pure function of
+    /// `(plan, waves, policy)` — byte-identical across thread counts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `waves < 4`.
+    #[must_use]
+    pub fn simulate_period_faulty(
+        &self,
+        waves: usize,
+        plan: &FaultPlan,
+        policy: RetryPolicy,
+    ) -> (RunOutcome, f64) {
+        assert!(waves >= 4, "need a few waves to measure steady state");
+        let side = self.elements_per_side;
+        let base = self.cycle_time();
+        let attempts_per_wave = u64::from(policy.max_retries) + 1;
+        let mut prev = vec![0.0f64; side * side];
+        let mut cur = vec![0.0f64; side * side];
+        let mut completions = Vec::with_capacity(waves);
+        for w in 0..waves {
+            for r in 0..side {
+                for c in 0..side {
+                    let i = r * side + c;
+                    let mut ready = prev[i];
+                    if r > 0 {
+                        ready = ready.max(prev[i - side]);
+                    }
+                    if r + 1 < side {
+                        ready = ready.max(prev[i + side]);
+                    }
+                    if c > 0 {
+                        ready = ready.max(prev[i - 1]);
+                    }
+                    if c + 1 < side {
+                        ready = ready.max(prev[i + 1]);
+                    }
+                    // The element's rendezvous with its neighbours for
+                    // this wave, over lossy wires.
+                    let mut penalty = 0.0;
+                    let mut synced = false;
+                    for attempt in 0..attempts_per_wave {
+                        let key = (w as u64) * attempts_per_wave + attempt;
+                        match plan.handshake_fault(i as u64, key) {
+                            Some(HandshakeFault::DropReq | HandshakeFault::DropAck) => {
+                                penalty += policy.timeout;
+                            }
+                            Some(HandshakeFault::Delay { extra_frac }) => {
+                                penalty += extra_frac * self.params.link.transfer_time();
+                                synced = true;
+                                break;
+                            }
+                            None => {
+                                synced = true;
+                                break;
+                            }
+                        }
+                    }
+                    if !synced {
+                        return (RunOutcome::Deadlock, f64::INFINITY);
+                    }
+                    cur[i] = ready + base + penalty;
+                }
+            }
+            completions.push(cur.iter().copied().fold(0.0, f64::max));
+            std::mem::swap(&mut prev, &mut cur);
+        }
+        let half = waves / 2;
+        let period = (completions[waves - 1] - completions[half - 1]) / (waves - half) as f64;
+        (RunOutcome::Ok, period)
+    }
 }
 
 #[cfg(test)]
@@ -275,6 +355,44 @@ mod tests {
         // The large array pays a little more coupling penalty, but the
         // ratio stays near 1 (bounded LPP constant, not Θ(n) growth).
         assert!(large / small < 1.25, "{large} vs {small}");
+    }
+
+    #[test]
+    fn faulty_period_degrades_gracefully_and_deterministically() {
+        use sim_faults::{FaultPlan, FaultRates, RetryPolicy, RunOutcome};
+        let h = HybridArray::over_mesh(16, params(4));
+        let clean = h.simulate_period(40, 0.0, 1);
+        // Disabled plan reproduces the clean run.
+        let (outcome, period) =
+            h.simulate_period_faulty(40, &FaultPlan::disabled(), RetryPolicy::new(3, 10.0));
+        assert_eq!(outcome, RunOutcome::Ok);
+        assert!((period - clean).abs() < 1e-9);
+        // Moderate drops recover via retries but cost throughput.
+        let rates = FaultRates {
+            handshake_drop: 0.2,
+            ..FaultRates::none()
+        };
+        let plan = FaultPlan::new(7, 0, rates);
+        let policy = RetryPolicy::new(8, 10.0);
+        let (outcome, degraded) = h.simulate_period_faulty(40, &plan, policy);
+        assert_eq!(outcome, RunOutcome::Ok);
+        assert!(degraded > clean, "{degraded} vs {clean}");
+        assert_eq!(
+            h.simulate_period_faulty(40, &plan, policy),
+            (outcome, degraded)
+        );
+        // Zero retries under certain drops: a classified deadlock.
+        let certain = FaultRates {
+            handshake_drop: 1.0,
+            ..FaultRates::none()
+        };
+        let (outcome, period) = h.simulate_period_faulty(
+            40,
+            &FaultPlan::new(7, 0, certain),
+            RetryPolicy::new(0, 10.0),
+        );
+        assert_eq!(outcome, RunOutcome::Deadlock);
+        assert!(period.is_infinite());
     }
 
     #[test]

@@ -39,7 +39,9 @@ pub mod metastability;
 pub mod prelude {
     pub use crate::dataflow::{SelfTimedArray, WaveStats};
     pub use crate::gate_element::{ElementPair, PairRun};
-    pub use crate::handshake::{ChainRun, HandshakeChain, HandshakeLink, Protocol};
+    pub use crate::handshake::{
+        ChainRun, FaultyChainRun, HandshakeChain, HandshakeLink, Protocol,
+    };
     pub use crate::hybrid::{HybridArray, HybridParams};
     pub use crate::metastability::MetastabilityModel;
 }

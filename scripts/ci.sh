@@ -33,6 +33,11 @@ run target/release/bench_regress --fast --out target/bench --baselines baselines
 # standalone checker over the exported Perfetto file.
 run target/release/e6_inverter_string --fast --trace target/bench/e6_trace.json
 run target/release/trace_check target/bench/e6_trace.json
+# Fault-injection smoke: e12's Monte-Carlo degradation sweep with its
+# in-report asserts, plus its fault-event trace back through the
+# checker (fault_injected markers must keep handshake lanes legal).
+run target/release/e12_graceful_degradation --fast --trace target/bench/e12_trace.json
+run target/release/trace_check target/bench/e12_trace.json
 
 if [ "$HEAVY" = 1 ]; then
     run cargo test -q --offline --features heavy-tests --test props

@@ -8,8 +8,10 @@
 //! metastability events, E6 chip yield) in `--fast` mode, then extends
 //! the same guarantee to the **structured JSON reports**: the
 //! deterministic core emitted by `--json` must be byte-identical for
-//! `--threads 1/2/4` across all eleven experiments (only the `run`
-//! section — wall clock, worker stats — may differ).
+//! `--threads 1/2/4` across all twelve experiments (only the `run`
+//! section — wall clock, worker stats — may differ). E12's
+//! fault-injected sweep gets an explicit pin: seed-derived fault
+//! draws must not depend on which worker executes a trial.
 
 use sim_runtime::{json_core, json_full, run_experiment, ExpConfig, Experiment, RunInfo};
 
@@ -154,6 +156,27 @@ fn tracing_never_changes_the_report_bytes() {
         };
         let traced = run_experiment(exp, &cfg).to_string();
         assert_eq!(plain, traced, "{}: --trace leaked into stdout", exp.name());
+    }
+}
+
+#[test]
+fn e12_fault_injected_report_and_trace_identical_across_thread_counts() {
+    let exp = &bench::experiments::E12;
+    // The stdout report: outcome tallies, retention columns and all.
+    assert_thread_count_invariant(exp);
+    // The trace: fault_injected markers land at identical sim times
+    // regardless of which worker ran the trial that drew them.
+    let base = trace_text(exp, 1, 1);
+    assert!(
+        base.contains("fault_injected"),
+        "e12 trace must carry fault markers"
+    );
+    for threads in [2, 4] {
+        assert_eq!(
+            base,
+            trace_text(exp, threads, 1),
+            "e12: fault-injected trace diverged at threads={threads}"
+        );
     }
 }
 
