@@ -5,6 +5,7 @@
 //! bench_regress [--fast] [--seed S] [--threads T] [--trials N]
 //!               [--only e3,e7] [--out DIR] [--baselines DIR]
 //!               [--update] [--wall-tol PCT]
+//! bench_regress --compare FILE [--baselines DIR] [--update] [--wall-tol PCT]
 //! ```
 //!
 //! For each selected experiment the binary runs it silently, writes
@@ -19,6 +20,13 @@
 //! makes the process exit 1. `--update` instead rewrites the baselines
 //! from the current run (the way the committed files were produced;
 //! see `scripts/bench.sh`).
+//!
+//! `--compare FILE` skips running experiments and instead diffs an
+//! externally produced snapshot — `sim_loadgen --json`'s
+//! `BENCH_serve.json`, say — against `--baselines/<basename of FILE>`
+//! under exactly the same rules (deterministic sections exact, the
+//! top-level `run` section structural). That is how the serving-layer
+//! benchmark rides the same regression gate as the experiments.
 
 use bench::regress::diff_reports;
 use sim_observe::{parse, SpanTimer};
@@ -26,7 +34,8 @@ use sim_runtime::{json_full, run_experiment, ExpConfig, RunInfo};
 use std::path::PathBuf;
 
 const USAGE: &str = "usage: bench_regress [--fast] [--seed S] [--threads T] [--trials N] \
-[--only NAMES] [--out DIR] [--baselines DIR] [--update] [--wall-tol PCT]";
+[--only NAMES] [--out DIR] [--baselines DIR] [--update] [--wall-tol PCT] | \
+bench_regress --compare FILE [--baselines DIR] [--update] [--wall-tol PCT]";
 
 struct Opts {
     cfg: ExpConfig,
@@ -35,6 +44,8 @@ struct Opts {
     baselines: PathBuf,
     update: bool,
     wall_tol_pct: Option<f64>,
+    compare: Option<PathBuf>,
+    help: bool,
 }
 
 fn parse_opts<I: IntoIterator<Item = String>>(args: I) -> Result<Opts, String> {
@@ -45,6 +56,8 @@ fn parse_opts<I: IntoIterator<Item = String>>(args: I) -> Result<Opts, String> {
         baselines: PathBuf::from("baselines"),
         update: false,
         wall_tol_pct: None,
+        compare: None,
+        help: false,
     };
     let mut it = args.into_iter();
     let value = |name: &str, v: Option<String>| -> Result<String, String> {
@@ -85,7 +98,13 @@ fn parse_opts<I: IntoIterator<Item = String>>(args: I) -> Result<Opts, String> {
                     .map_err(|_| "--wall-tol needs a percentage".to_owned())?;
                 opts.wall_tol_pct = Some(tol);
             }
-            "--help" | "-h" => return Err(USAGE.to_owned()),
+            "--compare" => {
+                opts.compare = Some(PathBuf::from(value("--compare", it.next())?));
+            }
+            "--help" | "-h" => {
+                opts.help = true;
+                return Ok(opts);
+            }
             other => return Err(format!("unknown argument `{other}`\n{USAGE}")),
         }
     }
@@ -149,6 +168,81 @@ fn check_one(
     }
 }
 
+/// The `--compare FILE` mode: diff one externally produced snapshot
+/// against `baselines/<basename>`, or install it as the baseline under
+/// `--update`. Returns the process exit code.
+fn compare_file(path: &std::path::Path, opts: &Opts) -> i32 {
+    let Some(file_name) = path.file_name() else {
+        eprintln!("--compare needs a file path, got {}", path.display());
+        return 2;
+    };
+    let current_text = match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("cannot read {}: {e}", path.display());
+            return 2;
+        }
+    };
+    let current = match parse(&current_text) {
+        Ok(doc) => doc,
+        Err(e) => {
+            eprintln!("{}: not valid JSON: {e}", path.display());
+            return 2;
+        }
+    };
+    let base_path = opts.baselines.join(file_name);
+    if opts.update {
+        if let Err(e) = std::fs::create_dir_all(&opts.baselines) {
+            eprintln!("cannot create {}: {e}", opts.baselines.display());
+            return 1;
+        }
+        if let Err(e) = std::fs::write(&base_path, &current_text) {
+            eprintln!("cannot write {}: {e}", base_path.display());
+            return 1;
+        }
+        println!("{}: baseline updated", base_path.display());
+        return 0;
+    }
+    let baseline_text = match std::fs::read_to_string(&base_path) {
+        Ok(text) => text,
+        Err(_) => {
+            eprintln!(
+                "{}: no baseline at {} (run with --update to create it)",
+                path.display(),
+                base_path.display()
+            );
+            return 1;
+        }
+    };
+    let baseline = match parse(&baseline_text) {
+        Ok(doc) => doc,
+        Err(e) => {
+            eprintln!("{}: baseline is not valid JSON: {e}", base_path.display());
+            return 2;
+        }
+    };
+    let drifts = diff_reports(&baseline, &current, opts.wall_tol_pct);
+    if drifts.is_empty() {
+        println!(
+            "{}: matches {}",
+            path.display(),
+            base_path.display()
+        );
+        0
+    } else {
+        eprintln!(
+            "{}: {} drift(s) vs {}:",
+            path.display(),
+            drifts.len(),
+            base_path.display()
+        );
+        for d in &drifts {
+            eprintln!("  {d}");
+        }
+        1
+    }
+}
+
 fn main() {
     let opts = match parse_opts(std::env::args().skip(1)) {
         Ok(opts) => opts,
@@ -157,6 +251,13 @@ fn main() {
             std::process::exit(2);
         }
     };
+    if opts.help {
+        println!("{USAGE}");
+        return;
+    }
+    if let Some(path) = &opts.compare {
+        std::process::exit(compare_file(path, &opts));
+    }
     if let Err(e) = std::fs::create_dir_all(&opts.out) {
         eprintln!("cannot create {}: {e}", opts.out.display());
         std::process::exit(1);

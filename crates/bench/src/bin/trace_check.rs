@@ -14,7 +14,13 @@
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    if args.is_empty() || args[0] == "--help" || args[0] == "-h" {
+    // Workspace convention: --help is a successful run (usage on
+    // stdout, exit 0); a missing operand is a usage error (exit 2).
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        println!("usage: trace_check <trace.json> [more.json ...]");
+        return;
+    }
+    if args.is_empty() {
         eprintln!("usage: trace_check <trace.json> [more.json ...]");
         std::process::exit(2);
     }

@@ -11,9 +11,13 @@
 //! * [`Json::to_compact`] / [`Json::to_pretty`] — deterministic
 //!   writers (numbers use Rust's shortest round-trip float formatting,
 //!   which is platform-independent);
-//! * [`parse`] — a small recursive-descent parser, used by the
-//!   round-trip tests and by `bench_regress` to load committed
-//!   baselines.
+//! * [`parse`] / [`parse_with_limits`] — a small recursive-descent
+//!   parser, used by the round-trip tests, by `bench_regress` to load
+//!   committed baselines, and (under strict [`ParseLimits`]) by the
+//!   `sim-serve` request reader on untrusted network input. Every
+//!   failure mode is a returned [`JsonError`], never a panic: the
+//!   depth limit in particular keeps deeply nested input from
+//!   overflowing the parser's stack.
 //!
 //! Non-finite floats have no JSON representation; they serialize as
 //! `null` (and the tests pin that behaviour).
@@ -282,16 +286,82 @@ impl std::fmt::Display for JsonError {
 
 impl std::error::Error for JsonError {}
 
-/// Parses a JSON document (one value plus surrounding whitespace).
+/// Resource bounds for [`parse_with_limits`].
+///
+/// The parser is recursive, so unbounded nesting depth means unbounded
+/// stack — hostile input like ten thousand `[`s must produce a
+/// [`JsonError`], not a stack overflow. Anything that parses
+/// *network* input (the `sim-serve` request path) must pick explicit
+/// limits; [`ParseLimits::default`] keeps trusted-file parsing
+/// permissive (no byte limit, depth 512) while still bounding the
+/// stack.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParseLimits {
+    /// Maximum input length in bytes (`usize::MAX` → unlimited).
+    pub max_bytes: usize,
+    /// Maximum container nesting depth (arrays + objects). The
+    /// top-level value sits at depth 1.
+    pub max_depth: usize,
+}
+
+impl Default for ParseLimits {
+    fn default() -> Self {
+        ParseLimits {
+            max_bytes: usize::MAX,
+            max_depth: 512,
+        }
+    }
+}
+
+impl ParseLimits {
+    /// Strict bounds for untrusted network input: 64 KiB, depth 16 —
+    /// what the `sim-serve` request reader uses.
+    #[must_use]
+    pub const fn network() -> Self {
+        ParseLimits {
+            max_bytes: 64 * 1024,
+            max_depth: 16,
+        }
+    }
+}
+
+/// Parses a JSON document (one value plus surrounding whitespace)
+/// under [`ParseLimits::default`]: no byte bound, nesting depth 512.
 ///
 /// # Errors
 ///
 /// Returns a [`JsonError`] with the failing byte offset on malformed
 /// input or trailing garbage.
 pub fn parse(input: &str) -> Result<Json, JsonError> {
+    parse_with_limits(input, ParseLimits::default())
+}
+
+/// Parses a JSON document under explicit resource bounds. Every
+/// failure mode — malformed syntax, truncation, out-of-range numbers,
+/// oversized input, excessive nesting — is a returned [`JsonError`],
+/// never a panic or a stack overflow.
+///
+/// # Errors
+///
+/// Returns a [`JsonError`] on malformed input, trailing garbage, an
+/// input longer than `limits.max_bytes`, or nesting deeper than
+/// `limits.max_depth`.
+pub fn parse_with_limits(input: &str, limits: ParseLimits) -> Result<Json, JsonError> {
+    if input.len() > limits.max_bytes {
+        return Err(JsonError {
+            message: format!(
+                "input of {} bytes exceeds the {}-byte limit",
+                input.len(),
+                limits.max_bytes
+            ),
+            offset: 0,
+        });
+    }
     let mut p = Parser {
         bytes: input.as_bytes(),
         pos: 0,
+        depth: 0,
+        max_depth: limits.max_depth,
     };
     p.skip_ws();
     let value = p.value()?;
@@ -305,6 +375,8 @@ pub fn parse(input: &str) -> Result<Json, JsonError> {
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    depth: usize,
+    max_depth: usize,
 }
 
 impl Parser<'_> {
@@ -360,7 +432,29 @@ impl Parser<'_> {
         }
     }
 
+    /// Bumps the container nesting depth on entry to an array or
+    /// object; the recursive parser's stack usage is proportional to
+    /// this, so the limit is what turns a `[[[[…` bomb into an error
+    /// instead of a stack overflow.
+    fn enter(&mut self) -> Result<(), JsonError> {
+        self.depth += 1;
+        if self.depth > self.max_depth {
+            return Err(self.err(&format!(
+                "nesting deeper than the {}-level limit",
+                self.max_depth
+            )));
+        }
+        Ok(())
+    }
+
     fn array(&mut self) -> Result<Json, JsonError> {
+        self.enter()?;
+        let out = self.array_inner();
+        self.depth -= 1;
+        out
+    }
+
+    fn array_inner(&mut self) -> Result<Json, JsonError> {
         self.eat(b'[')?;
         let mut items = Vec::new();
         self.skip_ws();
@@ -384,6 +478,13 @@ impl Parser<'_> {
     }
 
     fn object(&mut self) -> Result<Json, JsonError> {
+        self.enter()?;
+        let out = self.object_inner();
+        self.depth -= 1;
+        out
+    }
+
+    fn object_inner(&mut self) -> Result<Json, JsonError> {
         self.eat(b'{')?;
         let mut pairs = Vec::new();
         self.skip_ws();
@@ -513,8 +614,13 @@ impl Parser<'_> {
         } else if let Ok(v) = text.parse::<i64>() {
             Ok(Json::Int(v))
         } else {
-            // Integer literal wider than 64 bits: fall back to f64.
+            // Integer literal wider than 64 bits: fall back to f64,
+            // which (like the float branch above) must stay finite —
+            // an overflowing literal has no JSON value.
             let v: f64 = text.parse().map_err(|_| self.err("invalid number"))?;
+            if !v.is_finite() {
+                return Err(self.err("number out of range"));
+            }
             Ok(Json::Float(v))
         }
     }

@@ -58,6 +58,8 @@ pub struct ExpConfig {
     pub trace: Option<String>,
     /// List registered experiments instead of running (`--list`).
     pub list: bool,
+    /// Print usage and exit successfully (`--help`/`-h`).
+    pub help: bool,
     /// Tee report output to stdout as it is built. Set by the CLI
     /// driver, never from flags: library callers and tests want the
     /// silent default.
@@ -75,6 +77,7 @@ impl Default for ExpConfig {
             vcd: None,
             trace: None,
             list: false,
+            help: false,
             stream: false,
         }
     }
@@ -97,8 +100,10 @@ impl ExpConfig {
     /// # Errors
     ///
     /// Returns a usage message on an unknown flag or a malformed
-    /// value; returns the help text as the error when `--help` is
-    /// present.
+    /// value. `--help`/`-h` is **not** an error: it sets
+    /// [`ExpConfig::help`] and parsing succeeds, so the CLI driver can
+    /// print usage and exit 0 (the workspace-wide convention: help is
+    /// a successful run, malformed flags exit 2).
     pub fn from_args<I: IntoIterator<Item = String>>(args: I) -> Result<Self, String> {
         let mut cfg = ExpConfig::default();
         let mut it = args.into_iter();
@@ -127,7 +132,10 @@ impl ExpConfig {
                 "--vcd" => cfg.vcd = Some(path("--vcd", it.next())?),
                 "--trace" => cfg.trace = Some(path("--trace", it.next())?),
                 "--list" => cfg.list = true,
-                "--help" | "-h" => return Err(USAGE.to_owned()),
+                "--help" | "-h" => {
+                    cfg.help = true;
+                    return Ok(cfg);
+                }
                 other => return Err(format!("unknown argument `{other}`\n{USAGE}")),
             }
         }
@@ -245,7 +253,13 @@ macro_rules! rline {
 
 /// One reproducible experiment: a name, the paper claim it checks,
 /// and a deterministic `run`.
-pub trait Experiment: Sync {
+///
+/// `Send + Sync` because a [`Registry`] is shared by reference across
+/// sweep workers *and* moved into long-lived serving threads
+/// (`sim-serve` keeps one registry behind an `Arc` for its worker
+/// pool); every experiment is an immutable description, so the bounds
+/// cost nothing.
+pub trait Experiment: Sync + Send {
     /// Short id: the registry key and binary stem, e.g. `"e1"`.
     fn name(&self) -> &'static str;
     /// One-line human title.
@@ -416,6 +430,10 @@ fn cli_main<I: IntoIterator<Item = String>>(
             return 2;
         }
     };
+    if cfg.help {
+        println!("{USAGE}");
+        return 0;
+    }
     if cfg.list {
         for exp in exps {
             println!("{}", listing_line(*exp));
@@ -498,7 +516,8 @@ fn export_trace(report: &Report, path: &str) -> i32 {
 /// stdout. Kept for single-experiment binaries without a registry;
 /// `--list` shows just this experiment.
 ///
-/// Exits with status 2 on a CLI error (or after printing `--help`).
+/// Exits with status 2 on a CLI error; `--help` prints usage and
+/// exits 0.
 pub fn run_cli(exp: &dyn Experiment) {
     let code = cli_main(&[exp], exp.name(), std::env::args().skip(1));
     if code != 0 {
@@ -515,9 +534,10 @@ pub fn run_cli(exp: &dyn Experiment) {
 /// Panics if `name` is not registered — a build-time wiring bug in
 /// the binary, not a user error.
 ///
-/// Exits with status 2 on a CLI error (or after printing `--help`),
-/// status 1 when a requested artifact (e.g. the `--json` file) cannot
-/// be written or the `--trace` checker finds a violation.
+/// Exits with status 2 on a CLI error (`--help` prints usage and
+/// exits 0), status 1 when a requested artifact (e.g. the `--json`
+/// file) cannot be written or the `--trace` checker finds a
+/// violation.
 pub fn run_cli_in(registry: &Registry, name: &str) {
     let code = run_cli_args(registry, name, std::env::args().skip(1));
     if code != 0 {
@@ -617,7 +637,18 @@ mod tests {
         assert!(ExpConfig::from_args(["--json".to_owned()]).is_err());
         assert!(ExpConfig::from_args(["--vcd".to_owned()]).is_err());
         assert!(ExpConfig::from_args(["--trace".to_owned()]).is_err());
-        assert!(ExpConfig::from_args(["--help".to_owned()]).is_err());
+    }
+
+    #[test]
+    fn help_parses_successfully_and_exits_zero() {
+        for flag in ["--help", "-h"] {
+            let cfg = ExpConfig::from_args([flag.to_owned()])
+                .expect("--help is a successful parse");
+            assert!(cfg.help);
+            let code = cli_main(&[&Dummy as &dyn Experiment], "dummy", [flag.to_owned()]);
+            assert_eq!(code, 0, "{flag} must exit 0");
+        }
+        assert!(!ExpConfig::default().help);
     }
 
     #[test]

@@ -1,0 +1,171 @@
+//! `sim_loadgen` — drive a `sim_serve` instance with a seeded request
+//! mix and report throughput and latency.
+//!
+//! ```text
+//! sim_loadgen [--addr HOST:PORT] [--conns N] [--requests N]
+//!             [--hot-ratio F] [--hot-keys N] [--experiments e2,e3]
+//!             [--seed S] [--trials N] [--no-fast] [--json PATH]
+//! ```
+//!
+//! The request plan is a pure function of the flags (see
+//! [`sim_serve::loadgen`]): hot requests repeat seeds from a small
+//! pool and should hit the server's cache; cold requests are unique
+//! and always compute. The run summary goes to stdout; `--json PATH`
+//! additionally writes the `BENCH_serve.json` snapshot whose
+//! `config`/`mix` sections are deterministic (exact-compared by
+//! `bench_regress --compare`) and whose `run` section is volatile.
+//!
+//! Exits 0 when every request was answered (structured `busy` counts
+//! as answered — observing load-shedding is the point), 1 on
+//! connection failure or response errors, 2 on usage errors.
+
+use sim_serve::loadgen::{self, LoadgenConfig};
+use std::net::{SocketAddr, ToSocketAddrs};
+
+const USAGE: &str = "usage: sim_loadgen [--addr HOST:PORT] [--conns N] [--requests N] \
+[--hot-ratio F] [--hot-keys N] [--experiments NAMES] [--seed S] [--trials N] \
+[--no-fast] [--json PATH]";
+
+struct Opts {
+    addr: String,
+    cfg: LoadgenConfig,
+    json: Option<String>,
+    help: bool,
+}
+
+fn parse_opts<I: IntoIterator<Item = String>>(args: I) -> Result<Opts, String> {
+    let mut opts = Opts {
+        addr: "127.0.0.1:7071".to_owned(),
+        cfg: LoadgenConfig::default(),
+        json: None,
+        help: false,
+    };
+    let mut it = args.into_iter();
+    let value = |name: &str, v: Option<String>| -> Result<String, String> {
+        v.ok_or_else(|| format!("{name} needs an argument\n{USAGE}"))
+    };
+    fn num<T: std::str::FromStr>(name: &str, raw: &str) -> Result<T, String> {
+        raw.parse()
+            .map_err(|_| format!("{name} needs a number, got `{raw}`\n{USAGE}"))
+    }
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--addr" => opts.addr = value("--addr", it.next())?,
+            "--conns" => opts.cfg.conns = num("--conns", &value("--conns", it.next())?)?,
+            "--requests" => {
+                opts.cfg.requests = num("--requests", &value("--requests", it.next())?)?;
+            }
+            "--hot-ratio" => {
+                let r: f64 = num("--hot-ratio", &value("--hot-ratio", it.next())?)?;
+                if !(0.0..=1.0).contains(&r) {
+                    return Err(format!("--hot-ratio must be in [0, 1], got {r}\n{USAGE}"));
+                }
+                opts.cfg.hot_ratio = r;
+            }
+            "--hot-keys" => {
+                opts.cfg.hot_keys = num("--hot-keys", &value("--hot-keys", it.next())?)?;
+                if opts.cfg.hot_keys == 0 {
+                    return Err(format!("--hot-keys must be at least 1\n{USAGE}"));
+                }
+            }
+            "--experiments" => {
+                let list = value("--experiments", it.next())?;
+                opts.cfg.experiments =
+                    list.split(',').map(|s| s.trim().to_owned()).collect();
+                if opts.cfg.experiments.iter().any(String::is_empty) {
+                    return Err(format!("--experiments has an empty name\n{USAGE}"));
+                }
+            }
+            "--seed" => opts.cfg.seed = num("--seed", &value("--seed", it.next())?)?,
+            "--trials" => {
+                let t: usize = num("--trials", &value("--trials", it.next())?)?;
+                if t == 0 {
+                    return Err(format!("--trials must be at least 1\n{USAGE}"));
+                }
+                opts.cfg.trials = Some(t);
+            }
+            "--no-fast" => opts.cfg.fast = false,
+            "--json" => opts.json = Some(value("--json", it.next())?),
+            "--help" | "-h" => {
+                opts.help = true;
+                return Ok(opts);
+            }
+            other => return Err(format!("unknown argument `{other}`\n{USAGE}")),
+        }
+    }
+    Ok(opts)
+}
+
+fn resolve(addr: &str) -> Result<SocketAddr, String> {
+    addr.to_socket_addrs()
+        .map_err(|e| format!("cannot resolve `{addr}`: {e}"))?
+        .next()
+        .ok_or_else(|| format!("`{addr}` resolves to no address"))
+}
+
+fn main() {
+    let opts = match parse_opts(std::env::args().skip(1)) {
+        Ok(opts) => opts,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    };
+    if opts.help {
+        println!("{USAGE}");
+        return;
+    }
+    let addr = match resolve(&opts.addr) {
+        Ok(addr) => addr,
+        Err(msg) => {
+            eprintln!("sim_loadgen: {msg}");
+            std::process::exit(2);
+        }
+    };
+    let plan = loadgen::plan(&opts.cfg);
+    let mix = loadgen::summarize(&plan);
+    let result = match loadgen::run(addr, &opts.cfg, &plan) {
+        Ok(result) => result,
+        Err(msg) => {
+            eprintln!("sim_loadgen: {msg}");
+            std::process::exit(1);
+        }
+    };
+    let fmt_ns = |q: Option<u64>| {
+        q.map_or("-".to_owned(), |ns| format!("{:.2}ms", ns as f64 / 1e6))
+    };
+    println!(
+        "sim_loadgen: {} requests over {} conns in {:.0}ms ({:.0} req/s)",
+        opts.cfg.requests,
+        opts.cfg.conns,
+        result.wall_ms,
+        result.ok as f64 / (result.wall_ms / 1e3).max(1e-9),
+    );
+    println!(
+        "  mix: {} hot / {} cold ({} distinct keys)",
+        mix.hot, mix.cold, mix.distinct_keys
+    );
+    println!(
+        "  outcomes: ok={} cache_hits={} coalesced={} busy={} errors={}",
+        result.ok, result.cache_hits, result.coalesced, result.busy, result.errors
+    );
+    println!(
+        "  latency: p50={} p95={} p99={} max={}",
+        fmt_ns(result.latency.p50()),
+        fmt_ns(result.latency.p95()),
+        fmt_ns(result.latency.p99()),
+        fmt_ns(result.latency.max()),
+    );
+    if let Some(path) = &opts.json {
+        let doc = loadgen::bench_json(&opts.cfg, &mix, &result);
+        if let Err(e) = std::fs::write(path, doc.to_pretty()) {
+            eprintln!("sim_loadgen: cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+        println!("  snapshot: {path}");
+    }
+    if result.errors > 0 {
+        eprintln!("sim_loadgen: {} request(s) failed", result.errors);
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,160 @@
+//! `sim_serve` — serve experiment reports over TCP.
+//!
+//! ```text
+//! sim_serve [--addr HOST] [--port P] [--workers N] [--queue N]
+//!           [--cache-bytes N] [--job-threads N] [--job-timeout-secs N]
+//!           [--port-file PATH] [--drain-on-stdin-close]
+//! ```
+//!
+//! Binds `HOST:P` (default `127.0.0.1:7071`; `--port 0` picks an
+//! ephemeral port, which `--port-file` writes out for scripts) and
+//! serves the full experiment registry until a `shutdown` op — or,
+//! with `--drain-on-stdin-close`, until stdin reaches EOF, which is
+//! how a supervising script triggers a graceful drain without
+//! signals. Draining finishes every accepted job before exiting.
+//!
+//! Exit codes follow the workspace convention: 0 on a clean drain,
+//! 1 on runtime failure (bind error), 2 on usage errors; `--help`
+//! prints usage on stdout and exits 0.
+
+use sim_serve::{Engine, EngineConfig, Server};
+use std::io::Read;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::Duration;
+
+const USAGE: &str = "usage: sim_serve [--addr HOST] [--port P] [--workers N] [--queue N] \
+[--cache-bytes N] [--job-threads N] [--job-timeout-secs N] [--port-file PATH] \
+[--drain-on-stdin-close]";
+
+struct Opts {
+    addr: String,
+    port: u16,
+    engine: EngineConfig,
+    port_file: Option<String>,
+    drain_on_stdin_close: bool,
+    help: bool,
+}
+
+fn parse_opts<I: IntoIterator<Item = String>>(args: I) -> Result<Opts, String> {
+    let mut opts = Opts {
+        addr: "127.0.0.1".to_owned(),
+        port: 7071,
+        engine: EngineConfig::default(),
+        port_file: None,
+        drain_on_stdin_close: false,
+        help: false,
+    };
+    let mut it = args.into_iter();
+    let value = |name: &str, v: Option<String>| -> Result<String, String> {
+        v.ok_or_else(|| format!("{name} needs an argument\n{USAGE}"))
+    };
+    fn num<T: std::str::FromStr>(name: &str, raw: &str) -> Result<T, String> {
+        raw.parse()
+            .map_err(|_| format!("{name} needs a non-negative integer, got `{raw}`\n{USAGE}"))
+    }
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--addr" => opts.addr = value("--addr", it.next())?,
+            "--port" => opts.port = num("--port", &value("--port", it.next())?)?,
+            "--workers" => {
+                opts.engine.workers = num("--workers", &value("--workers", it.next())?)?;
+            }
+            "--queue" => {
+                opts.engine.queue_cap = num("--queue", &value("--queue", it.next())?)?;
+            }
+            "--cache-bytes" => {
+                opts.engine.cache_bytes =
+                    num("--cache-bytes", &value("--cache-bytes", it.next())?)?;
+            }
+            "--job-threads" => {
+                opts.engine.job_threads =
+                    num("--job-threads", &value("--job-threads", it.next())?)?;
+            }
+            "--job-timeout-secs" => {
+                let secs: u64 = num(
+                    "--job-timeout-secs",
+                    &value("--job-timeout-secs", it.next())?,
+                )?;
+                opts.engine.job_timeout =
+                    (secs > 0).then(|| Duration::from_secs(secs));
+            }
+            "--port-file" => opts.port_file = Some(value("--port-file", it.next())?),
+            "--drain-on-stdin-close" => opts.drain_on_stdin_close = true,
+            "--help" | "-h" => {
+                opts.help = true;
+                return Ok(opts);
+            }
+            other => return Err(format!("unknown argument `{other}`\n{USAGE}")),
+        }
+    }
+    Ok(opts)
+}
+
+fn main() {
+    let opts = match parse_opts(std::env::args().skip(1)) {
+        Ok(opts) => opts,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    };
+    if opts.help {
+        println!("{USAGE}");
+        return;
+    }
+    let engine = Arc::new(Engine::new(Arc::new(bench::registry()), &opts.engine));
+    let bind_addr = format!("{}:{}", opts.addr, opts.port);
+    let server = match Server::bind(&bind_addr, engine) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("sim_serve: cannot bind {bind_addr}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let addr = match server.local_addr() {
+        Ok(addr) => addr,
+        Err(e) => {
+            eprintln!("sim_serve: cannot resolve the bound address: {e}");
+            std::process::exit(1);
+        }
+    };
+    if let Some(path) = &opts.port_file {
+        if let Err(e) = std::fs::write(path, format!("{}\n", addr.port())) {
+            eprintln!("sim_serve: cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+    }
+    eprintln!(
+        "sim_serve: listening on {addr} ({} workers, queue {}, cache {} bytes, \
+         job timeout {})",
+        opts.engine.workers,
+        opts.engine.queue_cap,
+        opts.engine.cache_bytes,
+        opts.engine
+            .job_timeout
+            .map_or("none".to_owned(), |t| format!("{}s", t.as_secs())),
+    );
+    if opts.drain_on_stdin_close {
+        let stop = server.stop_flag();
+        std::thread::Builder::new()
+            .name("stdin-watch".to_owned())
+            .spawn(move || {
+                // Consume stdin until EOF; the supervising script
+                // holds the write end open for the server's lifetime.
+                let mut sink = [0u8; 1024];
+                let mut stdin = std::io::stdin().lock();
+                while matches!(stdin.read(&mut sink), Ok(n) if n > 0) {}
+                eprintln!("sim_serve: stdin closed, draining");
+                stop.store(true, Ordering::SeqCst);
+            })
+            .expect("spawning the stdin watcher");
+    }
+    match server.serve() {
+        Ok(()) => eprintln!("sim_serve: drained cleanly"),
+        Err(e) => {
+            eprintln!("sim_serve: accept loop failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

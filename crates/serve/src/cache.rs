@@ -1,0 +1,283 @@
+//! Content-addressed result cache with an LRU byte-size bound.
+//!
+//! Entries are keyed by the **full canonical request string** (see
+//! [`crate::request`]), not by its hash — the 16-hex-digit key that
+//! appears in response headers and logs is derived from the same
+//! bytes, so a hash collision can at worst confuse a log reader, never
+//! serve the wrong body. Bodies are `Arc<str>` so a hit hands out a
+//! reference-counted view instead of copying a multi-kilobyte report
+//! under the lock.
+//!
+//! Accounting charges each entry its canonical-key bytes plus its body
+//! bytes. When an insert would push the total past the configured
+//! bound, least-recently-used entries are evicted until it fits; a
+//! single body larger than the whole bound is simply not cached (the
+//! request still succeeds — the cache is an accelerator, not a store
+//! of record). Hits, misses, insertions, and evictions are counted and
+//! surfaced through the server's `stats` op and the observe-style
+//! snapshot in [`Cache::stats_json`].
+
+use sim_observe::Json;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
+
+/// Monotonic counters describing cache behaviour since startup.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups that returned a body.
+    pub hits: u64,
+    /// Lookups that found nothing.
+    pub misses: u64,
+    /// Bodies stored (excludes oversized bodies that were skipped).
+    pub insertions: u64,
+    /// Entries removed to make room.
+    pub evictions: u64,
+    /// Bodies too large to cache at all under the configured bound.
+    pub oversized: u64,
+}
+
+impl CacheStats {
+    /// Hit rate over all lookups so far, 0.0 when none happened.
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+struct Entry {
+    body: Arc<str>,
+    /// Recency stamp; also the key of this entry's slot in the
+    /// `recency` index.
+    tick: u64,
+}
+
+/// The LRU result cache. Not internally synchronized — the server
+/// wraps it in a `Mutex`, and every operation here is O(log n) plus
+/// hashing, so the critical section stays short.
+pub struct Cache {
+    max_bytes: usize,
+    used_bytes: usize,
+    next_tick: u64,
+    entries: HashMap<String, Entry>,
+    /// tick → canonical key, ordered oldest-first. Ticks are unique
+    /// (monotonically assigned), so this is a faithful LRU queue.
+    recency: BTreeMap<u64, String>,
+    stats: CacheStats,
+}
+
+impl std::fmt::Debug for Cache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Cache")
+            .field("max_bytes", &self.max_bytes)
+            .field("used_bytes", &self.used_bytes)
+            .field("entries", &self.entries.len())
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+impl Cache {
+    /// An empty cache bounded to `max_bytes` of key+body payload.
+    #[must_use]
+    pub fn new(max_bytes: usize) -> Self {
+        Cache {
+            max_bytes,
+            used_bytes: 0,
+            next_tick: 0,
+            entries: HashMap::new(),
+            recency: BTreeMap::new(),
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Looks up the body for a canonical request, refreshing its
+    /// recency on a hit.
+    pub fn get(&mut self, canonical: &str) -> Option<Arc<str>> {
+        let tick = self.next_tick;
+        match self.entries.get_mut(canonical) {
+            Some(entry) => {
+                self.stats.hits += 1;
+                self.recency.remove(&entry.tick);
+                entry.tick = tick;
+                self.next_tick += 1;
+                self.recency.insert(tick, canonical.to_owned());
+                Some(Arc::clone(&entry.body))
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Stores a body, evicting least-recently-used entries as needed.
+    /// Replacing an existing key refreshes both body and recency.
+    pub fn insert(&mut self, canonical: &str, body: Arc<str>) {
+        let cost = canonical.len() + body.len();
+        if cost > self.max_bytes {
+            self.stats.oversized += 1;
+            return;
+        }
+        if let Some(old) = self.entries.remove(canonical) {
+            self.recency.remove(&old.tick);
+            self.used_bytes -= canonical.len() + old.body.len();
+        }
+        while self.used_bytes + cost > self.max_bytes {
+            let Some((&oldest_tick, _)) = self.recency.iter().next() else {
+                break;
+            };
+            let key = self
+                .recency
+                .remove(&oldest_tick)
+                .expect("tick was just observed in the recency index");
+            let victim = self
+                .entries
+                .remove(&key)
+                .expect("recency index references a live entry");
+            self.used_bytes -= key.len() + victim.body.len();
+            self.stats.evictions += 1;
+        }
+        let tick = self.next_tick;
+        self.next_tick += 1;
+        self.entries.insert(canonical.to_owned(), Entry { body, tick });
+        self.recency.insert(tick, canonical.to_owned());
+        self.used_bytes += cost;
+        self.stats.insertions += 1;
+    }
+
+    /// Counter snapshot.
+    #[must_use]
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Number of live entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache holds no entries.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Bytes currently charged against the bound.
+    #[must_use]
+    pub fn used_bytes(&self) -> usize {
+        self.used_bytes
+    }
+
+    /// The deterministic-shape JSON snapshot served by the `stats` op:
+    /// fixed fields, insertion-ordered, value-volatile.
+    #[must_use]
+    pub fn stats_json(&self) -> Json {
+        Json::obj(vec![
+            ("entries", Json::from(self.entries.len())),
+            ("used_bytes", Json::from(self.used_bytes)),
+            ("max_bytes", Json::from(self.max_bytes)),
+            ("hits", Json::UInt(self.stats.hits)),
+            ("misses", Json::UInt(self.stats.misses)),
+            ("insertions", Json::UInt(self.stats.insertions)),
+            ("evictions", Json::UInt(self.stats.evictions)),
+            ("oversized", Json::UInt(self.stats.oversized)),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn body(text: &str) -> Arc<str> {
+        Arc::from(text)
+    }
+
+    #[test]
+    fn hit_returns_identical_body_and_counts() {
+        let mut c = Cache::new(1024);
+        assert!(c.get("k1").is_none());
+        c.insert("k1", body("report-one"));
+        let b = c.get("k1").expect("just inserted");
+        assert_eq!(&*b, "report-one");
+        assert_eq!(
+            c.stats(),
+            CacheStats { hits: 1, misses: 1, insertions: 1, ..CacheStats::default() }
+        );
+        assert!((c.stats().hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lru_evicts_oldest_first_and_get_refreshes() {
+        // Keys and bodies are 2+8 = 10 bytes each; bound fits two.
+        let mut c = Cache::new(20);
+        c.insert("k1", body("aaaaaaaa"));
+        c.insert("k2", body("bbbbbbbb"));
+        assert_eq!(c.len(), 2);
+        // Touch k1 so k2 becomes the LRU victim.
+        assert!(c.get("k1").is_some());
+        c.insert("k3", body("cccccccc"));
+        assert_eq!(c.len(), 2);
+        assert!(c.get("k1").is_some(), "refreshed entry survives");
+        assert!(c.get("k2").is_none(), "stale entry was evicted");
+        assert_eq!(c.stats().evictions, 1);
+        assert!(c.used_bytes() <= 20);
+    }
+
+    #[test]
+    fn oversized_bodies_are_skipped_not_stored() {
+        let mut c = Cache::new(8);
+        c.insert("key-longer-than-cap", body("and a very long body too"));
+        assert!(c.is_empty());
+        assert_eq!(c.stats().oversized, 1);
+        assert_eq!(c.stats().insertions, 0);
+    }
+
+    #[test]
+    fn replacing_a_key_adjusts_accounting() {
+        let mut c = Cache::new(64);
+        c.insert("k", body("short"));
+        let before = c.used_bytes();
+        c.insert("k", body("a noticeably longer body"));
+        assert_eq!(c.len(), 1);
+        assert!(c.used_bytes() > before);
+        assert_eq!(&*c.get("k").unwrap(), "a noticeably longer body");
+        assert_eq!(c.stats().evictions, 0, "replacement is not an eviction");
+    }
+
+    #[test]
+    fn eviction_loop_frees_enough_for_large_inserts() {
+        let mut c = Cache::new(35);
+        c.insert("a", body("111111111")); // 10
+        c.insert("b", body("222222222")); // 10
+        c.insert("c", body("333333333")); // 10
+        assert_eq!(c.len(), 3);
+        // 25-byte entry forces out two LRU victims (a then b):
+        // 30 used + 25 > 35, and evicting a alone still leaves 45.
+        c.insert("d", body("444444444444444444444444")); // 1+24 = 25
+        assert!(c.get("d").is_some());
+        assert!(c.get("c").is_some());
+        assert!(c.get("a").is_none());
+        assert!(c.get("b").is_none());
+        assert_eq!(c.stats().evictions, 2);
+        assert!(c.used_bytes() <= 35);
+    }
+
+    #[test]
+    fn stats_json_has_a_fixed_shape() {
+        let mut c = Cache::new(100);
+        c.insert("k", body("v"));
+        let _ = c.get("k");
+        let doc = c.stats_json().to_compact();
+        assert_eq!(
+            doc,
+            r#"{"entries":1,"used_bytes":2,"max_bytes":100,"hits":1,"misses":0,"insertions":1,"evictions":0,"oversized":0}"#
+        );
+    }
+}

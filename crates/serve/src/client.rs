@@ -1,0 +1,99 @@
+//! A small blocking client for the serve protocol, shared by the
+//! load generator, the smoke script (via `sim_loadgen`), and the
+//! server's own tests.
+//!
+//! One [`Client`] owns one TCP connection and drives strict
+//! request/response cycles: write a line, read the header line, read
+//! exactly `header.bytes` body bytes. Response bodies are not
+//! line-framed, so the client buffers raw bytes and slices frames out
+//! by count — the only place a newline is structural is the header.
+
+use crate::proto::{parse_header, Header};
+use std::io::{ErrorKind, Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// Default per-read timeout: generous enough for a cold experiment
+/// run, finite so a wedged server cannot hang a client forever.
+const CLIENT_READ_TIMEOUT: Duration = Duration::from_secs(120);
+
+/// A blocking protocol client over one connection.
+#[derive(Debug)]
+pub struct Client {
+    stream: TcpStream,
+    /// Bytes received but not yet consumed (tail of a read that
+    /// crossed a frame boundary).
+    buf: Vec<u8>,
+}
+
+impl Client {
+    /// Connects and configures timeouts.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection/setup failures.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_read_timeout(Some(CLIENT_READ_TIMEOUT))?;
+        stream.set_nodelay(true)?;
+        Ok(Client { stream, buf: Vec::new() })
+    }
+
+    /// Sends one request line and reads the full response.
+    ///
+    /// Returns the parsed header and the body (empty string when the
+    /// header carries no `bytes`).
+    ///
+    /// # Errors
+    ///
+    /// A message on I/O failure, connection close, or an unparsable
+    /// header.
+    pub fn roundtrip(&mut self, line: &str) -> Result<(Header, String), String> {
+        self.stream
+            .write_all(line.as_bytes())
+            .and_then(|()| self.stream.write_all(b"\n"))
+            .map_err(|e| format!("write failed: {e}"))?;
+        let header_line = self.read_line()?;
+        let header = parse_header(header_line.trim_end())?;
+        let body = if header.bytes > 0 {
+            let raw = self.read_exact_bytes(header.bytes)?;
+            String::from_utf8(raw).map_err(|_| "body is not UTF-8".to_owned())?
+        } else {
+            String::new()
+        };
+        Ok((header, body))
+    }
+
+    fn fill(&mut self) -> Result<(), String> {
+        let mut chunk = [0u8; 8192];
+        loop {
+            match self.stream.read(&mut chunk) {
+                Ok(0) => return Err("server closed the connection".to_owned()),
+                Ok(n) => {
+                    self.buf.extend_from_slice(&chunk[..n]);
+                    return Ok(());
+                }
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(e) => return Err(format!("read failed: {e}")),
+            }
+        }
+    }
+
+    fn read_line(&mut self) -> Result<String, String> {
+        loop {
+            if let Some(nl) = self.buf.iter().position(|&b| b == b'\n') {
+                let line: Vec<u8> = self.buf.drain(..=nl).collect();
+                return String::from_utf8(line)
+                    .map_err(|_| "header is not UTF-8".to_owned());
+            }
+            self.fill()?;
+        }
+    }
+
+    fn read_exact_bytes(&mut self, n: usize) -> Result<Vec<u8>, String> {
+        while self.buf.len() < n {
+            self.fill()?;
+        }
+        Ok(self.buf.drain(..n).collect())
+    }
+}

@@ -1,0 +1,416 @@
+//! Load generator: seeded request mixes, concurrent connections, and
+//! the `BENCH_serve.json` snapshot.
+//!
+//! The request *plan* is a pure function of the configuration: request
+//! `i` draws from `SimRng::for_trial(seed, i)`, choosing a hot request
+//! (seed drawn from a small pool, so repeats hit the cache) with
+//! probability `hot_ratio` and a unique cold request otherwise, plus
+//! an experiment from the configured set. Same config → same plan,
+//! byte for byte — which is why the snapshot's `mix` section (hot and
+//! cold counts, distinct canonical keys) is *exact-compared* by the
+//! regression gate while the measured `run` section (latency, hit
+//! counts, throughput) is only structurally compared: scheduling
+//! decides who hits and who coalesces, the seed decides what is asked.
+//!
+//! Execution fans the plan out round-robin over `conns` concurrent
+//! connections, one thread per connection, each recording latencies in
+//! a local [`LogHistogram`] that is merged at the end. `busy`
+//! responses are counted, not retried — the point of the bench is to
+//! observe the server shedding load, not to hide it.
+
+use crate::client::Client;
+use crate::request::Request;
+use sim_observe::{Json, LogHistogram};
+use sim_runtime::{Rng, SimRng};
+use std::collections::HashSet;
+use std::net::SocketAddr;
+use std::time::Instant;
+
+/// Schema marker for `BENCH_serve.json`.
+pub const BENCH_SCHEMA: &str = "vlsi-sync/serve-bench";
+/// Schema version for `BENCH_serve.json`.
+pub const BENCH_SCHEMA_VERSION: u64 = 1;
+
+/// Cold requests use seeds starting here so they can never collide
+/// with the hot pool (`1..=hot_keys`).
+const COLD_SEED_BASE: u64 = 1_000_000;
+
+/// Load-generation parameters; everything here is part of the
+/// deterministic plan and lands in the snapshot's `config` section.
+#[derive(Debug, Clone)]
+pub struct LoadgenConfig {
+    /// Concurrent connections (threads).
+    pub conns: usize,
+    /// Total requests across all connections.
+    pub requests: usize,
+    /// Probability a request is drawn from the hot pool.
+    pub hot_ratio: f64,
+    /// Size of the hot seed pool.
+    pub hot_keys: u64,
+    /// Experiments to mix over (registry names).
+    pub experiments: Vec<String>,
+    /// Root seed of the plan.
+    pub seed: u64,
+    /// `trials` override sent with every request.
+    pub trials: Option<usize>,
+    /// `params.fast` sent with every request.
+    pub fast: bool,
+}
+
+impl Default for LoadgenConfig {
+    fn default() -> Self {
+        LoadgenConfig {
+            conns: 8,
+            requests: 64,
+            hot_ratio: 0.75,
+            hot_keys: 4,
+            experiments: vec!["e2".to_owned(), "e3".to_owned()],
+            seed: 1,
+            trials: Some(2),
+            fast: true,
+        }
+    }
+}
+
+/// Deterministic summary of a plan: how many hot/cold requests and
+/// how many distinct canonical keys they address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MixSummary {
+    /// Requests drawn from the hot pool.
+    pub hot: u64,
+    /// Unique cold requests.
+    pub cold: u64,
+    /// Distinct canonical request keys in the plan.
+    pub distinct_keys: u64,
+}
+
+/// Builds the deterministic request plan for `cfg`.
+///
+/// # Panics
+///
+/// Panics if `cfg.experiments` is empty or `cfg.hot_keys` is zero.
+#[must_use]
+pub fn plan(cfg: &LoadgenConfig) -> Vec<Request> {
+    assert!(!cfg.experiments.is_empty(), "loadgen needs at least one experiment");
+    assert!(cfg.hot_keys > 0, "loadgen needs a non-empty hot pool");
+    (0..cfg.requests)
+        .map(|i| {
+            let mut rng = SimRng::for_trial(cfg.seed, i as u64);
+            let hot = rng.gen_bool(cfg.hot_ratio);
+            let seed = if hot {
+                1 + rng.gen_u64_below(cfg.hot_keys)
+            } else {
+                COLD_SEED_BASE + i as u64
+            };
+            let name =
+                &cfg.experiments[rng.gen_u64_below(cfg.experiments.len() as u64) as usize];
+            let mut req = Request::new(name);
+            req.seed = seed;
+            req.trials = cfg.trials;
+            req.fast = cfg.fast;
+            req
+        })
+        .collect()
+}
+
+/// Summarizes a plan (pure; exact-compared by the regression gate).
+#[must_use]
+pub fn summarize(plan: &[Request]) -> MixSummary {
+    let mut hot = 0;
+    let mut distinct: HashSet<String> = HashSet::new();
+    for req in plan {
+        if req.seed < COLD_SEED_BASE {
+            hot += 1;
+        }
+        distinct.insert(req.canonical());
+    }
+    MixSummary {
+        hot,
+        cold: plan.len() as u64 - hot,
+        distinct_keys: distinct.len() as u64,
+    }
+}
+
+/// Everything measured while executing a plan (volatile).
+#[derive(Debug)]
+pub struct LoadResult {
+    /// Wall-clock of the whole run in milliseconds.
+    pub wall_ms: f64,
+    /// Successful responses.
+    pub ok: u64,
+    /// Successful responses served from the cache.
+    pub cache_hits: u64,
+    /// Successful responses that coalesced onto another run.
+    pub coalesced: u64,
+    /// Structured `busy` rejections.
+    pub busy: u64,
+    /// Anything else (I/O failures, non-ok statuses).
+    pub errors: u64,
+    /// Per-request latency in nanoseconds.
+    pub latency: LogHistogram,
+}
+
+/// Executes `plan` against `addr` over `cfg.conns` connections.
+///
+/// # Errors
+///
+/// Fails only when a connection cannot be *established*; per-request
+/// failures are tallied in [`LoadResult::errors`].
+pub fn run(addr: SocketAddr, cfg: &LoadgenConfig, plan: &[Request]) -> Result<LoadResult, String> {
+    let conns = cfg.conns.max(1);
+    let started = Instant::now();
+    let mut workers = Vec::new();
+    for c in 0..conns {
+        let mine: Vec<String> = plan
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| i % conns == c)
+            .map(|(_, req)| request_line(req))
+            .collect();
+        workers.push(std::thread::spawn(move || drive_connection(addr, &mine)));
+    }
+    let mut total = LoadResult {
+        wall_ms: 0.0,
+        ok: 0,
+        cache_hits: 0,
+        coalesced: 0,
+        busy: 0,
+        errors: 0,
+        latency: LogHistogram::new(),
+    };
+    let mut connect_failures = Vec::new();
+    for w in workers {
+        match w.join().expect("loadgen connection thread must not panic") {
+            Ok(part) => {
+                total.ok += part.ok;
+                total.cache_hits += part.cache_hits;
+                total.coalesced += part.coalesced;
+                total.busy += part.busy;
+                total.errors += part.errors;
+                total.latency.merge(&part.latency);
+            }
+            Err(e) => connect_failures.push(e),
+        }
+    }
+    if !connect_failures.is_empty() {
+        return Err(format!(
+            "{} connection(s) failed: {}",
+            connect_failures.len(),
+            connect_failures.join("; ")
+        ));
+    }
+    total.wall_ms = started.elapsed().as_secs_f64() * 1e3;
+    Ok(total)
+}
+
+/// The wire line for one planned request (compact, no `op`: `run` is
+/// the default).
+#[must_use]
+pub fn request_line(req: &Request) -> String {
+    Json::obj(vec![
+        ("experiment", Json::from(req.experiment.as_str())),
+        ("seed", Json::UInt(req.seed)),
+        (
+            "trials",
+            req.trials.map_or(Json::Null, |t| Json::UInt(t as u64)),
+        ),
+        ("params", Json::obj(vec![("fast", Json::Bool(req.fast))])),
+    ])
+    .to_compact()
+}
+
+fn drive_connection(addr: SocketAddr, lines: &[String]) -> Result<LoadResult, String> {
+    let mut client =
+        Client::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    let mut out = LoadResult {
+        wall_ms: 0.0,
+        ok: 0,
+        cache_hits: 0,
+        coalesced: 0,
+        busy: 0,
+        errors: 0,
+        latency: LogHistogram::new(),
+    };
+    for line in lines {
+        let t0 = Instant::now();
+        match client.roundtrip(line) {
+            Ok((header, _body)) if header.is_ok() => {
+                out.ok += 1;
+                out.cache_hits += u64::from(header.cached);
+                out.coalesced += u64::from(header.coalesced);
+            }
+            Ok((header, _)) if header.status == "busy" => out.busy += 1,
+            Ok(_) | Err(_) => out.errors += 1,
+        }
+        let ns = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        out.latency.record(ns);
+    }
+    Ok(out)
+}
+
+/// Renders the `BENCH_serve.json` snapshot: a deterministic `config` +
+/// `mix` prefix (exact-compared) and a volatile top-level `run`
+/// section (structurally compared), the same split every experiment
+/// snapshot uses.
+#[must_use]
+pub fn bench_json(cfg: &LoadgenConfig, mix: &MixSummary, result: &LoadResult) -> Json {
+    let secs = (result.wall_ms / 1e3).max(1e-9);
+    Json::obj(vec![
+        ("schema", Json::from(BENCH_SCHEMA)),
+        ("schema_version", Json::UInt(BENCH_SCHEMA_VERSION)),
+        ("bench", Json::from("serve")),
+        (
+            "config",
+            Json::obj(vec![
+                ("conns", Json::from(cfg.conns)),
+                ("requests", Json::from(cfg.requests)),
+                ("hot_ratio", Json::Float(cfg.hot_ratio)),
+                ("hot_keys", Json::UInt(cfg.hot_keys)),
+                (
+                    "experiments",
+                    Json::Array(
+                        cfg.experiments
+                            .iter()
+                            .map(|e| Json::from(e.as_str()))
+                            .collect(),
+                    ),
+                ),
+                ("seed", Json::UInt(cfg.seed)),
+                (
+                    "trials",
+                    cfg.trials.map_or(Json::Null, |t| Json::UInt(t as u64)),
+                ),
+                ("fast", Json::Bool(cfg.fast)),
+            ]),
+        ),
+        (
+            "mix",
+            Json::obj(vec![
+                ("hot", Json::UInt(mix.hot)),
+                ("cold", Json::UInt(mix.cold)),
+                ("distinct_keys", Json::UInt(mix.distinct_keys)),
+            ]),
+        ),
+        (
+            "run",
+            Json::obj(vec![
+                ("wall_ms", Json::Float(result.wall_ms)),
+                ("requests_per_sec", Json::Float(result.ok as f64 / secs)),
+                ("ok", Json::UInt(result.ok)),
+                ("cache_hits", Json::UInt(result.cache_hits)),
+                ("coalesced", Json::UInt(result.coalesced)),
+                ("busy", Json::UInt(result.busy)),
+                ("errors", Json::UInt(result.errors)),
+                ("latency_ns", result.latency.to_json()),
+            ]),
+        ),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plans_are_deterministic_and_seed_sensitive() {
+        let cfg = LoadgenConfig::default();
+        let a = plan(&cfg);
+        let b = plan(&cfg);
+        assert_eq!(a, b, "same config must give the same plan");
+        let shifted = LoadgenConfig { seed: 2, ..cfg };
+        let c = plan(&shifted);
+        assert_ne!(
+            a.iter().map(Request::canonical).collect::<Vec<_>>(),
+            c.iter().map(Request::canonical).collect::<Vec<_>>(),
+            "a different seed must reshuffle the mix"
+        );
+    }
+
+    #[test]
+    fn mix_summary_matches_the_plan_structure() {
+        let cfg = LoadgenConfig {
+            requests: 200,
+            hot_ratio: 0.8,
+            hot_keys: 3,
+            ..LoadgenConfig::default()
+        };
+        let p = plan(&cfg);
+        let mix = summarize(&p);
+        assert_eq!(mix.hot + mix.cold, 200);
+        // 80% hot over 200 draws lands well inside [100, 200).
+        assert!(mix.hot > 100, "hot={}", mix.hot);
+        // Distinct keys: at most hot_keys x experiments hot variants
+        // plus one per cold request.
+        assert!(mix.distinct_keys <= 3 * 2 + mix.cold);
+        assert!(mix.distinct_keys >= mix.cold);
+        // Hot requests draw only from the pool; colds are unique.
+        let mut cold_seeds = HashSet::new();
+        for req in &p {
+            if req.seed < COLD_SEED_BASE {
+                assert!((1..=3).contains(&req.seed));
+            } else {
+                assert!(cold_seeds.insert(req.seed), "cold seeds never repeat");
+            }
+        }
+    }
+
+    #[test]
+    fn all_hot_and_all_cold_extremes() {
+        let all_hot = plan(&LoadgenConfig {
+            hot_ratio: 1.0,
+            requests: 50,
+            ..LoadgenConfig::default()
+        });
+        assert_eq!(summarize(&all_hot).cold, 0);
+        let all_cold = plan(&LoadgenConfig {
+            hot_ratio: 0.0,
+            requests: 50,
+            ..LoadgenConfig::default()
+        });
+        let mix = summarize(&all_cold);
+        assert_eq!(mix.hot, 0);
+        assert_eq!(mix.distinct_keys, 50, "every cold request is unique");
+    }
+
+    #[test]
+    fn request_lines_parse_back_to_the_same_request() {
+        let cfg = LoadgenConfig::default();
+        for req in plan(&cfg).iter().take(8) {
+            let line = request_line(req);
+            let doc = sim_observe::parse(&line).expect("line is valid JSON");
+            let back = Request::from_json(&doc).expect("line is a valid request");
+            assert_eq!(&back, req);
+        }
+    }
+
+    #[test]
+    fn bench_json_has_the_report_split() {
+        let cfg = LoadgenConfig::default();
+        let mix = summarize(&plan(&cfg));
+        let mut result = LoadResult {
+            wall_ms: 12.5,
+            ok: 60,
+            cache_hits: 40,
+            coalesced: 3,
+            busy: 4,
+            errors: 0,
+            latency: LogHistogram::new(),
+        };
+        result.latency.record(1_000);
+        result.latency.record(2_000_000);
+        let doc = bench_json(&cfg, &mix, &result);
+        assert_eq!(doc.get("schema").and_then(Json::as_str), Some(BENCH_SCHEMA));
+        for section in ["config", "mix", "run"] {
+            assert!(doc.get(section).is_some(), "missing {section}");
+        }
+        let run = doc.get("run").unwrap();
+        for field in
+            ["wall_ms", "requests_per_sec", "ok", "cache_hits", "coalesced", "busy", "errors", "latency_ns"]
+        {
+            assert!(run.get(field).is_some(), "missing run.{field}");
+        }
+        // The deterministic prefix re-renders identically.
+        let again = bench_json(&cfg, &mix, &result);
+        assert_eq!(doc.to_pretty(), again.to_pretty());
+    }
+}

@@ -1,0 +1,283 @@
+//! Bounded worker pool with structured overload rejection.
+//!
+//! A fixed set of worker threads pulls jobs off a
+//! [`std::sync::mpsc::sync_channel`] whose capacity is the submission
+//! queue bound. Submission uses `try_send`: when every worker is busy
+//! and the queue is full the caller gets [`SubmitError::Busy`]
+//! *immediately* instead of blocking — the server turns that into the
+//! structured `busy` response, which is how the system sheds load
+//! without unbounded memory growth or convoy buildup.
+//!
+//! Each job runs under `catch_unwind`, so a panicking experiment
+//! poisons neither the worker thread nor the pool; the panic is
+//! counted and the worker moves on. (The engine layer additionally
+//! catches panics itself so it can report them to the waiting client —
+//! the pool's catch is the backstop that keeps the thread alive.)
+//!
+//! [`Pool::shutdown`] closes the channel and joins every worker, which
+//! by `mpsc` semantics first drains all already-queued jobs — this is
+//! the mechanism behind the server's graceful drain.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+/// A unit of work: any `FnOnce` closure, sent to a worker thread.
+pub type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Why a submission was not accepted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitError {
+    /// Workers and queue are both full — shed load now, retry later.
+    Busy,
+    /// The pool is shutting down and accepts no new work.
+    ShuttingDown,
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::Busy => write!(f, "worker pool and queue are full"),
+            SubmitError::ShuttingDown => write!(f, "worker pool is shutting down"),
+        }
+    }
+}
+
+/// Monotonic pool counters (all `Relaxed`: they are reporting, not
+/// synchronization).
+#[derive(Debug, Default)]
+struct Counters {
+    submitted: AtomicU64,
+    rejected_busy: AtomicU64,
+    completed: AtomicU64,
+    panicked: AtomicU64,
+}
+
+/// A point-in-time copy of the pool counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Jobs accepted onto the queue.
+    pub submitted: u64,
+    /// Submissions rejected with [`SubmitError::Busy`].
+    pub rejected_busy: u64,
+    /// Jobs that ran to completion (including ones that panicked).
+    pub completed: u64,
+    /// Jobs whose closure panicked (caught; worker survived).
+    pub panicked: u64,
+}
+
+/// The bounded worker pool.
+#[derive(Debug)]
+pub struct Pool {
+    /// `None` once shutdown has begun.
+    tx: Option<SyncSender<Job>>,
+    workers: Vec<JoinHandle<()>>,
+    counters: Arc<Counters>,
+}
+
+impl Pool {
+    /// Spawns `workers` threads sharing a submission queue of
+    /// `queue_cap` slots. Both are clamped to at least 1.
+    #[must_use]
+    pub fn new(workers: usize, queue_cap: usize) -> Self {
+        let workers = workers.max(1);
+        let (tx, rx) = sync_channel::<Job>(queue_cap.max(1));
+        let rx = Arc::new(Mutex::new(rx));
+        let counters = Arc::new(Counters::default());
+        let handles = (0..workers)
+            .map(|i| {
+                let rx = Arc::clone(&rx);
+                let counters = Arc::clone(&counters);
+                std::thread::Builder::new()
+                    .name(format!("serve-worker-{i}"))
+                    .spawn(move || worker_loop(&rx, &counters))
+                    .expect("spawning a worker thread")
+            })
+            .collect();
+        Pool { tx: Some(tx), workers: handles, counters }
+    }
+
+    /// Offers a job without blocking.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::Busy`] when the queue is full,
+    /// [`SubmitError::ShuttingDown`] after [`Pool::shutdown`] began.
+    pub fn try_submit(&self, job: Job) -> Result<(), SubmitError> {
+        let Some(tx) = &self.tx else {
+            return Err(SubmitError::ShuttingDown);
+        };
+        match tx.try_send(job) {
+            Ok(()) => {
+                self.counters.submitted.fetch_add(1, Ordering::Relaxed);
+                Ok(())
+            }
+            Err(TrySendError::Full(_)) => {
+                self.counters.rejected_busy.fetch_add(1, Ordering::Relaxed);
+                Err(SubmitError::Busy)
+            }
+            Err(TrySendError::Disconnected(_)) => Err(SubmitError::ShuttingDown),
+        }
+    }
+
+    /// Counter snapshot.
+    #[must_use]
+    pub fn stats(&self) -> PoolStats {
+        PoolStats {
+            submitted: self.counters.submitted.load(Ordering::Relaxed),
+            rejected_busy: self.counters.rejected_busy.load(Ordering::Relaxed),
+            completed: self.counters.completed.load(Ordering::Relaxed),
+            panicked: self.counters.panicked.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Closes the queue and joins every worker. Already-queued jobs
+    /// are drained first (mpsc keeps the buffer readable after the
+    /// sender drops), so this is a graceful drain, not an abort.
+    pub fn shutdown(&mut self) {
+        self.tx = None; // dropping the sender closes the channel
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Pool {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn worker_loop(rx: &Mutex<Receiver<Job>>, counters: &Counters) {
+    loop {
+        // Hold the receiver lock only for the dequeue itself, never
+        // while a job runs, so workers pull concurrently.
+        let job = {
+            let guard = rx.lock().expect("receiver mutex");
+            guard.recv()
+        };
+        let Ok(job) = job else { return }; // channel closed: drain done
+        if catch_unwind(AssertUnwindSafe(job)).is_err() {
+            counters.panicked.fetch_add(1, Ordering::Relaxed);
+        }
+        counters.completed.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::sync::mpsc::channel;
+    use std::time::Duration;
+
+    #[test]
+    fn jobs_run_and_complete() {
+        let pool = Pool::new(2, 4);
+        let ran = Arc::new(AtomicUsize::new(0));
+        let (done_tx, done_rx) = channel();
+        for _ in 0..8 {
+            let ran = Arc::clone(&ran);
+            let done = done_tx.clone();
+            // Small queue + blocking submit loop: retry on Busy.
+            loop {
+                let ran2 = Arc::clone(&ran);
+                let done2 = done.clone();
+                match pool.try_submit(Box::new(move || {
+                    ran2.fetch_add(1, Ordering::SeqCst);
+                    let _ = done2.send(());
+                })) {
+                    Ok(()) => break,
+                    Err(SubmitError::Busy) => std::thread::yield_now(),
+                    Err(e) => panic!("unexpected: {e}"),
+                }
+            }
+        }
+        for _ in 0..8 {
+            done_rx
+                .recv_timeout(Duration::from_secs(10))
+                .expect("all jobs complete");
+        }
+        assert_eq!(ran.load(Ordering::SeqCst), 8);
+        assert_eq!(pool.stats().submitted, 8);
+    }
+
+    #[test]
+    fn full_queue_rejects_with_busy() {
+        let pool = Pool::new(1, 1);
+        let (gate_tx, gate_rx) = channel::<()>();
+        let gate_rx = Arc::new(Mutex::new(gate_rx));
+        // One worker + one queue slot = at most 2 gated jobs in the
+        // system (1 if the worker has not dequeued the first yet);
+        // keep offering jobs that block on the gate until the pool
+        // must say Busy.
+        let mut accepted = 0;
+        let mut saw_busy = false;
+        for _ in 0..1000 {
+            let g = Arc::clone(&gate_rx);
+            match pool.try_submit(Box::new(move || {
+                let _ = g.lock().unwrap().recv();
+            })) {
+                Ok(()) => accepted += 1,
+                Err(SubmitError::Busy) => {
+                    saw_busy = true;
+                    break;
+                }
+                Err(e) => panic!("unexpected: {e}"),
+            }
+        }
+        assert!(saw_busy, "a saturated pool must reject with Busy");
+        assert!(
+            (1..=2).contains(&accepted),
+            "1 worker + 1 slot accepted {accepted} blocking jobs"
+        );
+        assert!(pool.stats().rejected_busy >= 1);
+        // Release the gated jobs so shutdown drains cleanly.
+        drop(gate_tx);
+    }
+
+    #[test]
+    fn panicking_job_does_not_kill_the_worker() {
+        let pool = Pool::new(1, 4);
+        let (done_tx, done_rx) = channel();
+        pool.try_submit(Box::new(|| panic!("experiment exploded")))
+            .expect("submit");
+        let done2 = done_tx.clone();
+        pool.try_submit(Box::new(move || {
+            let _ = done2.send(());
+        }))
+        .expect("submit after panic");
+        done_rx
+            .recv_timeout(Duration::from_secs(10))
+            .expect("the worker survived the panic and ran the next job");
+        assert_eq!(pool.stats().panicked, 1);
+    }
+
+    #[test]
+    fn shutdown_drains_queued_jobs() {
+        let mut pool = Pool::new(1, 8);
+        let ran = Arc::new(AtomicUsize::new(0));
+        for _ in 0..5 {
+            let ran = Arc::clone(&ran);
+            loop {
+                let r = Arc::clone(&ran);
+                match pool.try_submit(Box::new(move || {
+                    std::thread::sleep(Duration::from_millis(2));
+                    r.fetch_add(1, Ordering::SeqCst);
+                })) {
+                    Ok(()) => break,
+                    Err(SubmitError::Busy) => std::thread::yield_now(),
+                    Err(e) => panic!("unexpected: {e}"),
+                }
+            }
+        }
+        pool.shutdown();
+        assert_eq!(ran.load(Ordering::SeqCst), 5, "drain runs queued work");
+        assert!(matches!(
+            pool.try_submit(Box::new(|| {})),
+            Err(SubmitError::ShuttingDown)
+        ));
+    }
+}

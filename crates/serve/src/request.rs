@@ -1,0 +1,320 @@
+//! [`Request`]: the normalized experiment request and its content
+//! address.
+//!
+//! Correctness of the whole serving layer hangs on one property:
+//! **semantically identical requests must hash identically**. The
+//! cache, the single-flight table, and the hot/cold split of the load
+//! generator all key on the canonical form produced here, so
+//! normalization happens in exactly one place:
+//!
+//! * absent fields are default-filled (`seed` 1, `trials` null,
+//!   `params.fast` false, `fault_rates` all-defaults), so
+//!   `{"experiment":"e2"}` and `{"experiment":"e2","seed":1}` are the
+//!   same request;
+//! * field order is fixed by [`Request::canonical_json`] regardless of
+//!   the order the client sent them in;
+//! * unknown fields are rejected rather than ignored — a typo like
+//!   `"sead"` must not silently address a different cache entry.
+//!
+//! The content address is the FNV-1a hash of the canonical bytes. The
+//! cache stores full canonical strings and compares them on lookup, so
+//! a hash collision can never serve the wrong body — the hex key is a
+//! compact handle, not a trusted identity.
+
+use sim_faults::FaultRates;
+use sim_observe::Json;
+use sim_runtime::ExpConfig;
+
+/// Version of the request wire schema, embedded in the canonical form
+/// (bump on any incompatible change — old and new requests must not
+/// collide in a shared cache).
+pub const REQUEST_SCHEMA_VERSION: u64 = 1;
+
+/// A validated, default-filled experiment request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Request {
+    /// Registry name of the experiment (`"e1"`…`"e12"`).
+    pub experiment: String,
+    /// Root RNG seed (default 1, matching the CLI).
+    pub seed: u64,
+    /// Monte-Carlo trial override; `None` → the experiment default.
+    pub trials: Option<usize>,
+    /// Reduced-size smoke mode (the CLI's `--fast`).
+    pub fast: bool,
+    /// Fault-injection rate overrides. Normalized and content-hashed;
+    /// the engine currently accepts only the all-default value (e12
+    /// sweeps its fault grid internally) and rejects others with a
+    /// structured error rather than silently ignoring them.
+    pub fault_rates: FaultRates,
+}
+
+impl Request {
+    /// A request for `experiment` with every other field defaulted.
+    #[must_use]
+    pub fn new(experiment: &str) -> Self {
+        Request {
+            experiment: experiment.to_owned(),
+            seed: 1,
+            trials: None,
+            fast: false,
+            fault_rates: FaultRates::none(),
+        }
+    }
+
+    /// Parses and normalizes a request object (the payload of a `run`
+    /// op). Ignores the routing field `op`; rejects every other
+    /// unknown key.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message naming the offending field on
+    /// missing/unknown keys, wrong types, or out-of-range values.
+    pub fn from_json(doc: &Json) -> Result<Self, String> {
+        let pairs = doc
+            .as_object()
+            .ok_or_else(|| "request must be a JSON object".to_owned())?;
+        // First pass: the experiment name (required, and needed before
+        // the defaults make sense).
+        let experiment = pairs
+            .iter()
+            .find(|(k, _)| k == "experiment")
+            .map(|(_, v)| v)
+            .ok_or_else(|| "request is missing the `experiment` field".to_owned())?
+            .as_str()
+            .ok_or_else(|| "`experiment` must be a string".to_owned())?;
+        if experiment.is_empty() {
+            return Err("`experiment` must be a non-empty string".to_owned());
+        }
+        let mut req = Request::new(experiment);
+        for (key, value) in pairs {
+            match key.as_str() {
+                "op" | "experiment" => {}
+                "seed" => req.seed = uint_field("seed", value)?,
+                "trials" => {
+                    req.trials = match value {
+                        Json::Null => None,
+                        _ => {
+                            let t = uint_field("trials", value)?;
+                            if t == 0 {
+                                return Err("`trials` must be at least 1".to_owned());
+                            }
+                            Some(usize::try_from(t).map_err(|_| {
+                                "`trials` exceeds the platform limit".to_owned()
+                            })?)
+                        }
+                    };
+                }
+                "params" => {
+                    let params = value
+                        .as_object()
+                        .ok_or_else(|| "`params` must be a JSON object".to_owned())?;
+                    for (pk, pv) in params {
+                        match (pk.as_str(), pv) {
+                            ("fast", Json::Bool(b)) => req.fast = *b,
+                            ("fast", _) => {
+                                return Err("`params.fast` must be a boolean".to_owned())
+                            }
+                            (other, _) => {
+                                return Err(format!(
+                                    "unknown params field `{other}` (known: fast)"
+                                ))
+                            }
+                        }
+                    }
+                }
+                "fault_rates" => req.fault_rates = FaultRates::from_json(value)?,
+                other => {
+                    return Err(format!(
+                        "unknown request field `{other}` \
+                         (known: experiment, seed, trials, params, fault_rates)"
+                    ))
+                }
+            }
+        }
+        Ok(req)
+    }
+
+    /// The canonical JSON form: schema version first, then every field
+    /// in fixed order with defaults filled in. Two requests are the
+    /// same cache entry iff these trees serialize to the same bytes.
+    #[must_use]
+    pub fn canonical_json(&self) -> Json {
+        Json::obj(vec![
+            ("v", Json::UInt(REQUEST_SCHEMA_VERSION)),
+            ("experiment", Json::from(self.experiment.as_str())),
+            ("seed", Json::UInt(self.seed)),
+            (
+                "trials",
+                self.trials.map_or(Json::Null, |t| Json::UInt(t as u64)),
+            ),
+            ("params", Json::obj(vec![("fast", Json::Bool(self.fast))])),
+            ("fault_rates", self.fault_rates.to_json()),
+        ])
+    }
+
+    /// The canonical compact serialization — the cache's true key.
+    #[must_use]
+    pub fn canonical(&self) -> String {
+        self.canonical_json().to_compact()
+    }
+
+    /// The content address: FNV-1a 64 over the canonical bytes, as 16
+    /// hex digits. Compact handle for logs and response headers; the
+    /// cache always verifies the full canonical string.
+    #[must_use]
+    pub fn key(&self) -> String {
+        format!("{:016x}", fnv1a64(self.canonical().as_bytes()))
+    }
+
+    /// The [`ExpConfig`] this request prescribes. `threads` is the
+    /// server's per-job parallelism — a *volatile* execution detail
+    /// that deliberately does not participate in the canonical form,
+    /// because reports are byte-identical across thread counts.
+    #[must_use]
+    pub fn exp_config(&self, threads: usize) -> ExpConfig {
+        ExpConfig {
+            trials: self.trials,
+            seed: self.seed,
+            threads,
+            fast: self.fast,
+            ..ExpConfig::default()
+        }
+    }
+}
+
+fn uint_field(name: &str, value: &Json) -> Result<u64, String> {
+    match value {
+        Json::UInt(v) => Ok(*v),
+        _ => Err(format!("`{name}` must be a non-negative integer")),
+    }
+}
+
+/// FNV-1a 64-bit: tiny, dependency-free, and plenty for content
+/// addressing when the full key is verified on lookup.
+#[must_use]
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_observe::json::parse;
+
+    fn req(doc: &str) -> Result<Request, String> {
+        Request::from_json(&parse(doc).expect("test doc is valid JSON"))
+    }
+
+    #[test]
+    fn defaults_fill_and_explicit_defaults_normalize_identically() {
+        let minimal = req(r#"{"experiment":"e2"}"#).unwrap();
+        let spelled = req(
+            r#"{"experiment":"e2","seed":1,"trials":null,
+                "params":{"fast":false},"fault_rates":{}}"#,
+        )
+        .unwrap();
+        assert_eq!(minimal, spelled);
+        assert_eq!(minimal.canonical(), spelled.canonical());
+        assert_eq!(minimal.key(), spelled.key());
+    }
+
+    #[test]
+    fn field_order_does_not_matter() {
+        let a = req(r#"{"experiment":"e3","seed":9,"params":{"fast":true}}"#).unwrap();
+        let b = req(r#"{"params":{"fast":true},"seed":9,"experiment":"e3"}"#).unwrap();
+        assert_eq!(a.canonical(), b.canonical());
+        // And spelling out a fault_rates default changes nothing.
+        let c = req(
+            r#"{"experiment":"e3","seed":9,"params":{"fast":true},
+                "fault_rates":{"gate_stuck":0.0}}"#,
+        )
+        .unwrap();
+        assert_eq!(a.canonical(), c.canonical());
+    }
+
+    #[test]
+    fn semantically_different_requests_hash_differently() {
+        let base = req(r#"{"experiment":"e2","seed":42}"#).unwrap();
+        for other in [
+            r#"{"experiment":"e2","seed":43}"#,
+            r#"{"experiment":"e3","seed":42}"#,
+            r#"{"experiment":"e2","seed":42,"trials":5}"#,
+            r#"{"experiment":"e2","seed":42,"params":{"fast":true}}"#,
+            r#"{"experiment":"e2","seed":42,"fault_rates":{"gate_stuck":0.5}}"#,
+        ] {
+            let o = req(other).unwrap();
+            assert_ne!(base.canonical(), o.canonical(), "{other}");
+            assert_ne!(base.key(), o.key(), "{other}");
+        }
+    }
+
+    #[test]
+    fn canonical_form_is_stable_bytes() {
+        let r = req(r#"{"experiment":"e2","seed":42,"params":{"fast":true}}"#).unwrap();
+        assert_eq!(
+            r.canonical(),
+            r#"{"v":1,"experiment":"e2","seed":42,"trials":null,"params":{"fast":true},"fault_rates":{"gate_stuck":0.0,"gate_transient":0.0,"gate_delay":0.0,"delay_spread":0.5,"buffer_dead":0.0,"buffer_degraded":0.0,"degrade_spread":1.0,"handshake_drop":0.0,"handshake_delay":0.0}}"#
+        );
+        // The canonical form is a wire format, not a request: its `v`
+        // marker is rejected if fed straight back in...
+        let err = req(&r.canonical()).unwrap_err();
+        assert!(err.contains("unknown request field `v`"), "{err}");
+        // ...but with the marker stripped it round-trips to an equal
+        // request.
+        let back = req(&r.canonical().replace(r#""v":1,"#, "")).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn malformed_requests_are_rejected_with_field_names() {
+        for (doc, needle) in [
+            (r#"{}"#, "missing the `experiment`"),
+            (r#"{"experiment":""}"#, "non-empty"),
+            (r#"{"experiment":7}"#, "`experiment` must be a string"),
+            (r#"{"experiment":"e2","seed":-1}"#, "`seed` must be"),
+            (r#"{"experiment":"e2","seed":1.5}"#, "`seed` must be"),
+            (r#"{"experiment":"e2","trials":0}"#, "`trials` must be at least 1"),
+            (r#"{"experiment":"e2","trials":"many"}"#, "`trials` must be"),
+            (r#"{"experiment":"e2","params":{"fast":1}}"#, "`params.fast`"),
+            (r#"{"experiment":"e2","params":{"threads":4}}"#, "unknown params field"),
+            (r#"{"experiment":"e2","sead":1}"#, "unknown request field `sead`"),
+            (r#"{"experiment":"e2","fault_rates":{"x":1}}"#, "unknown fault_rates"),
+            (r#"{"experiment":"e2","fault_rates":{"gate_stuck":2.0}}"#, "out of range"),
+            (r#"[1]"#, "must be a JSON object"),
+        ] {
+            let err = req(doc).expect_err(&format!("{doc} must be rejected"));
+            assert!(err.contains(needle), "{doc}: got `{err}`");
+        }
+        // `op` is routing metadata, not an unknown field.
+        assert!(req(r#"{"op":"run","experiment":"e2"}"#).is_ok());
+    }
+
+    #[test]
+    fn exp_config_mirrors_the_request_but_not_threads() {
+        let r = req(r#"{"experiment":"e5","seed":7,"trials":12,"params":{"fast":true}}"#)
+            .unwrap();
+        let cfg = r.exp_config(3);
+        assert_eq!(cfg.seed, 7);
+        assert_eq!(cfg.trials, Some(12));
+        assert!(cfg.fast);
+        assert_eq!(cfg.threads, 3);
+        // threads is volatile: same canonical form for any value.
+        assert_eq!(r.canonical(), r.clone().canonical());
+    }
+
+    #[test]
+    fn fnv_vectors() {
+        // Standard FNV-1a test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
+        let k = Request::new("e1").key();
+        assert_eq!(k.len(), 16);
+        assert!(k.chars().all(|c| c.is_ascii_hexdigit()));
+    }
+}

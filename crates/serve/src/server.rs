@@ -1,0 +1,347 @@
+//! The TCP front end: accept loop, per-connection protocol driver,
+//! and graceful drain.
+//!
+//! The listener runs non-blocking and is polled every 10 ms against a
+//! shared stop flag, so a drain request never races a blocking
+//! `accept`. Each connection gets its own thread (connections are
+//! few and long-lived — the worker pool, not the connection count, is
+//! the concurrency bound) with a short read timeout, which is what
+//! lets an idle connection notice the drain within ~200 ms.
+//!
+//! Drain semantics, triggered by the `shutdown` op or by the binary's
+//! stdin watcher flipping the stop flag:
+//!
+//! 1. the accept loop closes the listener — new connections are
+//!    refused;
+//! 2. connection handlers finish the request they are serving, then
+//!    answer any *further* request with `shutting_down` and close;
+//! 3. the engine's pool is shut down, which drains already-queued
+//!    jobs before joining the workers.
+//!
+//! Nothing in-flight is abandoned: a job that was accepted is
+//! computed, cached, and its waiter answered before the process
+//! exits.
+
+use crate::engine::{Engine, ServeError};
+use crate::proto::{self, Op};
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Longest request line the server will buffer before answering
+/// `malformed` and hanging up — matches the parser's network bound.
+const MAX_LINE_BYTES: usize = 64 * 1024;
+
+/// How long a connection read blocks before re-checking the stop flag.
+const READ_POLL: Duration = Duration::from_millis(200);
+
+/// How long the accept loop sleeps between polls of a quiet listener.
+const ACCEPT_POLL: Duration = Duration::from_millis(10);
+
+/// A bound, not-yet-serving server.
+#[derive(Debug)]
+pub struct Server {
+    listener: TcpListener,
+    engine: Arc<Engine>,
+    stop: Arc<AtomicBool>,
+}
+
+impl Server {
+    /// Binds to `addr` (use port 0 for an ephemeral port, then read
+    /// [`Server::local_addr`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure.
+    pub fn bind(addr: &str, engine: Arc<Engine>) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        Ok(Server {
+            listener,
+            engine,
+            stop: Arc::new(AtomicBool::new(false)),
+        })
+    }
+
+    /// The actually-bound address (resolves ephemeral ports).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the socket query failure.
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// The shared stop flag; setting it from any thread (e.g. a
+    /// stdin-close watcher) begins the graceful drain.
+    #[must_use]
+    pub fn stop_flag(&self) -> Arc<AtomicBool> {
+        Arc::clone(&self.stop)
+    }
+
+    /// The engine this server fronts.
+    #[must_use]
+    pub fn engine(&self) -> Arc<Engine> {
+        Arc::clone(&self.engine)
+    }
+
+    /// Runs the accept loop until the stop flag is set, then drains:
+    /// joins every connection thread and shuts the engine down.
+    ///
+    /// # Errors
+    ///
+    /// Propagates listener configuration failures; per-connection I/O
+    /// errors only end that connection.
+    pub fn serve(self) -> std::io::Result<()> {
+        self.listener.set_nonblocking(true)?;
+        let mut handlers: Vec<std::thread::JoinHandle<()>> = Vec::new();
+        while !self.stop.load(Ordering::SeqCst) {
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    let engine = Arc::clone(&self.engine);
+                    let stop = Arc::clone(&self.stop);
+                    handlers.push(
+                        std::thread::Builder::new()
+                            .name("serve-conn".to_owned())
+                            .spawn(move || handle_connection(stream, &engine, &stop))
+                            .expect("spawning a connection thread"),
+                    );
+                    // Reap finished handlers so the vec stays small on
+                    // long-running servers.
+                    handlers.retain(|h| !h.is_finished());
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                    std::thread::sleep(ACCEPT_POLL);
+                }
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+        // Drain: stop accepting (listener drops at end of scope, but
+        // handlers must finish first), finish in-flight connections,
+        // then drain the pool.
+        for h in handlers {
+            let _ = h.join();
+        }
+        self.engine.shutdown();
+        Ok(())
+    }
+}
+
+/// Drives one connection: read a line, dispatch, write the reply,
+/// repeat until EOF, error, or drain.
+pub fn handle_connection(stream: TcpStream, engine: &Arc<Engine>, stop: &AtomicBool) {
+    let _ = stream.set_read_timeout(Some(READ_POLL));
+    let _ = stream.set_nodelay(true);
+    let mut reader = stream;
+    let mut writer = match reader.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut buf: Vec<u8> = Vec::new();
+    let mut chunk = [0u8; 4096];
+    loop {
+        // Extract complete lines already buffered.
+        while let Some(nl) = buf.iter().position(|&b| b == b'\n') {
+            let line: Vec<u8> = buf.drain(..=nl).collect();
+            let line = String::from_utf8_lossy(&line);
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            if !serve_line(line, engine, stop, &mut writer) {
+                return;
+            }
+        }
+        if buf.len() > MAX_LINE_BYTES {
+            let _ = writer.write_all(
+                proto::error_header("malformed", "request line exceeds 64 KiB")
+                    .as_bytes(),
+            );
+            return;
+        }
+        match reader.read(&mut chunk) {
+            Ok(0) => return, // EOF: client hung up
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e)
+                if e.kind() == ErrorKind::WouldBlock
+                    || e.kind() == ErrorKind::TimedOut =>
+            {
+                // Idle poll tick: if a drain began and nothing is
+                // half-received, hang up so the drain can finish.
+                if stop.load(Ordering::SeqCst) && buf.is_empty() {
+                    return;
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(_) => return,
+        }
+    }
+}
+
+/// Handles one request line. Returns `false` when the connection
+/// should close.
+fn serve_line(
+    line: &str,
+    engine: &Arc<Engine>,
+    stop: &AtomicBool,
+    writer: &mut TcpStream,
+) -> bool {
+    if stop.load(Ordering::SeqCst) {
+        let _ = writer.write_all(
+            proto::error_header("shutting_down", "server is draining").as_bytes(),
+        );
+        return false;
+    }
+    let op = match proto::parse_line(line) {
+        Ok(op) => op,
+        Err(msg) => {
+            // A malformed line is answered but the connection stays
+            // up: framing is intact (we found the newline), so the
+            // peer can correct itself.
+            return writer
+                .write_all(proto::error_header("malformed", &msg).as_bytes())
+                .is_ok();
+        }
+    };
+    match op {
+        Op::Ping => writer.write_all(proto::ok_header("ping").as_bytes()).is_ok(),
+        Op::Stats => {
+            let body = engine.stats_json().to_pretty();
+            writer
+                .write_all(proto::payload_header("stats", body.len()).as_bytes())
+                .and_then(|()| writer.write_all(body.as_bytes()))
+                .is_ok()
+        }
+        Op::Shutdown => {
+            let _ = writer.write_all(proto::ok_header("shutdown").as_bytes());
+            stop.store(true, Ordering::SeqCst);
+            false
+        }
+        Op::Run(req) => match engine.run(&req) {
+            Ok(outcome) => writer
+                .write_all(proto::run_header(&outcome).as_bytes())
+                .and_then(|()| writer.write_all(outcome.body.as_bytes()))
+                .is_ok(),
+            Err(err) => {
+                let ok = writer
+                    .write_all(
+                        proto::error_header(err.status(), &err.to_string()).as_bytes(),
+                    )
+                    .is_ok();
+                // Drain refusals also close the connection.
+                ok && err != ServeError::ShuttingDown
+            }
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::Client;
+    use crate::engine::EngineConfig;
+    use crate::request::Request;
+
+    fn start_server(cfg: &EngineConfig) -> (SocketAddr, Arc<AtomicBool>, std::thread::JoinHandle<()>) {
+        let engine = Arc::new(Engine::new(Arc::new(bench::registry()), cfg));
+        let server = Server::bind("127.0.0.1:0", engine).expect("bind ephemeral");
+        let addr = server.local_addr().expect("addr");
+        let stop = server.stop_flag();
+        let handle = std::thread::spawn(move || server.serve().expect("serve"));
+        (addr, stop, handle)
+    }
+
+    fn fast_line(name: &str, seed: u64) -> String {
+        format!(
+            r#"{{"experiment":"{name}","seed":{seed},"trials":2,"params":{{"fast":true}}}}"#
+        )
+    }
+
+    #[test]
+    fn ping_run_hit_stats_shutdown_over_one_connection() {
+        let (addr, _stop, handle) = start_server(&EngineConfig::default());
+        let mut client = Client::connect(addr).expect("connect");
+
+        let (h, _) = client.roundtrip(r#"{"op":"ping"}"#).expect("ping");
+        assert!(h.is_ok());
+
+        let (h1, body1) = client.roundtrip(&fast_line("e2", 42)).expect("run");
+        assert!(h1.is_ok());
+        assert!(!h1.cached);
+        assert_eq!(body1.len(), h1.bytes);
+
+        let (h2, body2) = client.roundtrip(&fast_line("e2", 42)).expect("rerun");
+        assert!(h2.cached, "identical request must hit the cache");
+        assert_eq!(body1, body2, "hit must be byte-identical");
+        assert_eq!(h1.key, h2.key);
+
+        let (hs, stats) = client.roundtrip(r#"{"op":"stats"}"#).expect("stats");
+        assert!(hs.is_ok());
+        let doc = sim_observe::parse(&stats).expect("stats body is JSON");
+        let hits = doc.get("cache").and_then(|c| c.get("hits"));
+        assert_eq!(hits, Some(&sim_observe::Json::UInt(1)));
+
+        let (hd, _) = client.roundtrip(r#"{"op":"shutdown"}"#).expect("shutdown");
+        assert!(hd.is_ok());
+        handle.join().expect("serve loop exits after shutdown op");
+        assert!(
+            TcpStream::connect(addr).is_err(),
+            "listener must be closed after drain"
+        );
+    }
+
+    #[test]
+    fn served_body_matches_engine_core_bytes() {
+        let (addr, stop, handle) = start_server(&EngineConfig::default());
+        let mut client = Client::connect(addr).expect("connect");
+        let (_, body) = client.roundtrip(&fast_line("e3", 9)).expect("run");
+
+        let req = {
+            let mut r = Request::new("e3");
+            r.seed = 9;
+            r.trials = Some(2);
+            r.fast = true;
+            r
+        };
+        let registry = bench::registry();
+        let exp = registry.get("e3").expect("e3 registered");
+        let cfg = req.exp_config(1);
+        let report = sim_runtime::run_experiment(exp, &cfg);
+        let expected = sim_runtime::json_core(exp, &cfg, &report).to_pretty();
+        assert_eq!(body, expected, "wire body == json_core bytes");
+
+        stop.store(true, Ordering::SeqCst);
+        drop(client);
+        handle.join().expect("drain");
+    }
+
+    #[test]
+    fn malformed_lines_answer_without_closing() {
+        let (addr, stop, handle) = start_server(&EngineConfig::default());
+        let mut client = Client::connect(addr).expect("connect");
+        let (h, _) = client.roundtrip("this is not json").expect("answered");
+        assert_eq!(h.status, "malformed");
+        let (h, _) = client
+            .roundtrip(r#"{"experiment":"nope"}"#)
+            .expect("still answered on the same connection");
+        assert_eq!(h.status, "bad_request");
+        let (h, _) = client.roundtrip(r#"{"op":"ping"}"#).expect("ping");
+        assert!(h.is_ok(), "connection survives malformed traffic");
+
+        stop.store(true, Ordering::SeqCst);
+        drop(client);
+        handle.join().expect("drain");
+    }
+
+    #[test]
+    fn stop_flag_drains_idle_connections() {
+        let (addr, stop, handle) = start_server(&EngineConfig::default());
+        let mut client = Client::connect(addr).expect("connect");
+        let (h, _) = client.roundtrip(r#"{"op":"ping"}"#).expect("ping");
+        assert!(h.is_ok());
+        stop.store(true, Ordering::SeqCst);
+        handle.join().expect("idle connections must not block the drain");
+    }
+}

@@ -38,6 +38,10 @@ run target/release/trace_check target/bench/e6_trace.json
 # checker (fault_injected markers must keep handshake lanes legal).
 run target/release/e12_graceful_degradation --fast --trace target/bench/e12_trace.json
 run target/release/trace_check target/bench/e12_trace.json
+# Serve smoke: sim_serve on an ephemeral port, cold/hot loadgen passes
+# (cache must hit), BENCH_serve.json vs its baseline, clean drain on
+# stdin close.
+run scripts/serve_smoke.sh target/release
 
 if [ "$HEAVY" = 1 ]; then
     run cargo test -q --offline --features heavy-tests --test props

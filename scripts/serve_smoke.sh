@@ -1,0 +1,87 @@
+#!/usr/bin/env bash
+# Serve smoke: boot a sim_serve on an ephemeral port, drive it with
+# sim_loadgen cold then hot, check the cache actually hit, snapshot
+# BENCH_serve.json through the regression gate, and prove the server
+# drains cleanly when its stdin closes.
+#
+# Usage: scripts/serve_smoke.sh [BIN_DIR]
+#   BIN_DIR   directory holding sim_serve/sim_loadgen/bench_regress
+#             (default target/release)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BIN="${1:-target/release}"
+OUT=target/bench
+mkdir -p "$OUT"
+PORT_FILE="$OUT/serve_smoke.port"
+SERVE_LOG="$OUT/serve_smoke.log"
+rm -f "$PORT_FILE"
+
+# A FIFO held open on fd 9 is the server's stdin; closing fd 9 at the
+# end is the graceful-drain trigger (stdin-close, no signals needed).
+FIFO=$(mktemp -u "${TMPDIR:-/tmp}/serve_smoke.XXXXXX.fifo")
+mkfifo "$FIFO"
+"$BIN/sim_serve" --port 0 --port-file "$PORT_FILE" --workers 4 --queue 32 \
+    --drain-on-stdin-close <"$FIFO" 2>"$SERVE_LOG" &
+SERVE_PID=$!
+exec 9>"$FIFO"
+rm -f "$FIFO"
+
+fail() {
+    echo "serve_smoke: $*" >&2
+    sed 's/^/  serve log: /' "$SERVE_LOG" >&2 || true
+    kill "$SERVE_PID" 2>/dev/null || true
+    exit 1
+}
+
+# Wait for the ephemeral port to land in the port file.
+for _ in $(seq 1 100); do
+    [ -s "$PORT_FILE" ] && break
+    kill -0 "$SERVE_PID" 2>/dev/null || fail "server exited before binding"
+    sleep 0.1
+done
+[ -s "$PORT_FILE" ] || fail "server never wrote $PORT_FILE"
+PORT=$(cat "$PORT_FILE")
+ADDR="127.0.0.1:$PORT"
+echo "==> sim_serve up on $ADDR (pid $SERVE_PID)"
+
+# Cold pass: mixed hot/cold plan against an empty cache. 32 conns vs 4
+# workers is the concurrency floor the subsystem promises to sustain.
+echo "==> loadgen cold pass"
+"$BIN/sim_loadgen" --addr "$ADDR" --conns 32 --requests 96 \
+    --hot-ratio 0.75 --hot-keys 3 --experiments e2,e3 --seed 1 --trials 2 \
+    || fail "cold loadgen pass failed"
+
+# Hot pass: identical plan, now warm — and snapshot it for the gate.
+echo "==> loadgen hot pass"
+HOT_OUT=$("$BIN/sim_loadgen" --addr "$ADDR" --conns 32 --requests 96 \
+    --hot-ratio 0.75 --hot-keys 3 --experiments e2,e3 --seed 1 --trials 2 \
+    --json "$OUT/BENCH_serve.json") || fail "hot loadgen pass failed"
+echo "$HOT_OUT"
+
+# The warm pass must actually hit the cache.
+HITS=$(echo "$HOT_OUT" | sed -n 's/.*cache_hits=\([0-9]*\).*/\1/p')
+[ -n "$HITS" ] || fail "could not parse cache_hits from loadgen output"
+[ "$HITS" -gt 0 ] || fail "warm pass recorded zero cache hits"
+echo "==> warm pass hit the cache $HITS times"
+
+# Snapshot through the same regression gate the experiments use:
+# config/mix exact, run structural.
+echo "==> bench_regress --compare BENCH_serve.json"
+"$BIN/bench_regress" --compare "$OUT/BENCH_serve.json" --baselines baselines \
+    || fail "BENCH_serve.json drifted from the committed baseline"
+
+# Graceful drain: close the server's stdin and expect a clean exit.
+echo "==> closing server stdin (graceful drain)"
+exec 9>&-
+for _ in $(seq 1 100); do
+    kill -0 "$SERVE_PID" 2>/dev/null || break
+    sleep 0.1
+done
+if kill -0 "$SERVE_PID" 2>/dev/null; then
+    fail "server did not drain within 10s of stdin close"
+fi
+wait "$SERVE_PID" || fail "server exited nonzero after drain"
+grep -q "drained cleanly" "$SERVE_LOG" || fail "server log is missing the clean-drain marker"
+
+echo "==> serve smoke passed"
