@@ -1,0 +1,157 @@
+//! The shared chain-topology builder: one source of truth for every
+//! linear gate string in the workspace.
+//!
+//! Three experiment harnesses build long chains — [`inverter_string`]
+//! (inverters), [`one_shot_string`] (one-shot pulse buffers), and
+//! [`clocked_chain`] (the buffered clock spine) — and the flat-arena
+//! `netlist` crate rebuilds the same circuits for the million-gate
+//! runs. Each used to hand-roll its own `for` loop over
+//! `add_<gate>`; a topology described twice eventually diverges. This
+//! module instead describes a chain as data ([`ChainStage`]) and
+//! instantiates it into any engine that implements [`ChainSink`], so
+//! the legacy heap-based [`Simulator`] and the flat netlist core are
+//! guaranteed to construct identical circuits.
+//!
+//! [`inverter_string`]: crate::inverter_string
+//! [`one_shot_string`]: crate::one_shot_string
+//! [`clocked_chain`]: crate::clocked_chain
+
+use crate::engine::{NetId, Simulator};
+use crate::time::SimTime;
+
+/// One stage of a linear chain, as pure data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChainStage {
+    /// An inverting stage with separate output-rise / output-fall
+    /// delays.
+    Inverter {
+        /// Delay of an output-rising transition.
+        rise: SimTime,
+        /// Delay of an output-falling transition.
+        fall: SimTime,
+    },
+    /// A non-inverting buffer stage.
+    Buffer {
+        /// Delay of an output-rising transition.
+        rise: SimTime,
+        /// Delay of an output-falling transition.
+        fall: SimTime,
+    },
+    /// A one-shot pulse buffer: fires a fixed-width pulse on each
+    /// rising input edge.
+    OneShot {
+        /// Input-to-output propagation delay.
+        delay: SimTime,
+        /// The wired-in width of the regenerated pulse.
+        pulse_width: SimTime,
+    },
+}
+
+/// An engine that chain topologies can be instantiated into.
+///
+/// Implemented by the legacy [`Simulator`] here and by the flat-arena
+/// netlist builder in the `netlist` crate. Implementors only provide
+/// the two primitives; [`build_chain`] owns the topology.
+pub trait ChainSink {
+    /// The engine's wire/net handle.
+    type Node: Copy;
+
+    /// Allocates a fresh wire.
+    fn chain_wire(&mut self) -> Self::Node;
+
+    /// Instantiates one stage between two existing wires.
+    fn chain_stage(&mut self, stage: ChainStage, input: Self::Node, output: Self::Node);
+}
+
+/// Builds a linear chain of `stages` into `sink` and returns every
+/// wire along it: element 0 is the chain input, element `k + 1` the
+/// output of stage `k` (so the last element is the far end).
+///
+/// Wires are allocated in chain order and stages instantiated in
+/// chain order — two engines fed the same stage list construct
+/// index-identical topologies, which is what the netlist-vs-desim
+/// differential suite pins.
+pub fn build_chain<S: ChainSink>(sink: &mut S, stages: &[ChainStage]) -> Vec<S::Node> {
+    let mut nodes = Vec::with_capacity(stages.len() + 1);
+    let input = sink.chain_wire();
+    nodes.push(input);
+    let mut prev = input;
+    for &stage in stages {
+        let out = sink.chain_wire();
+        sink.chain_stage(stage, prev, out);
+        nodes.push(out);
+        prev = out;
+    }
+    nodes
+}
+
+impl ChainSink for Simulator {
+    type Node = NetId;
+
+    fn chain_wire(&mut self) -> NetId {
+        self.add_net()
+    }
+
+    fn chain_stage(&mut self, stage: ChainStage, input: NetId, output: NetId) {
+        match stage {
+            ChainStage::Inverter { rise, fall } => self.add_inverter(input, output, rise, fall),
+            ChainStage::Buffer { rise, fall } => self.add_buffer(input, output, rise, fall),
+            ChainStage::OneShot { delay, pulse_width } => {
+                self.add_one_shot(input, output, delay, pulse_width);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ps(v: u64) -> SimTime {
+        SimTime::from_ps(v)
+    }
+
+    #[test]
+    fn builds_an_inverter_chain_into_the_simulator() {
+        let mut sim = Simulator::new();
+        let stages = vec![
+            ChainStage::Inverter {
+                rise: ps(100),
+                fall: ps(100),
+            };
+            4
+        ];
+        let nodes = build_chain(&mut sim, &stages);
+        assert_eq!(nodes.len(), 5);
+        sim.watch(nodes[4]);
+        sim.schedule_input(nodes[0], ps(10), true);
+        sim.run_to_quiescence(ps(10_000)).expect("settles");
+        // Four inverters: the rising edge arrives inverted twice twice,
+        // i.e. as a rising edge, 400 ps later.
+        assert_eq!(sim.transitions(nodes[4]), &[(ps(410), true)]);
+    }
+
+    #[test]
+    fn mixed_stages_instantiate_in_order() {
+        let mut sim = Simulator::new();
+        let stages = [
+            ChainStage::Buffer {
+                rise: ps(50),
+                fall: ps(50),
+            },
+            ChainStage::OneShot {
+                delay: ps(30),
+                pulse_width: ps(200),
+            },
+        ];
+        let nodes = build_chain(&mut sim, &stages);
+        sim.watch(nodes[2]);
+        sim.schedule_input(nodes[0], ps(10), true);
+        sim.run_to_quiescence(ps(10_000)).expect("settles");
+        // Buffer then one-shot: pulse rises at 10+50+30, falls 200 later.
+        assert_eq!(
+            sim.transitions(nodes[2]),
+            &[(ps(90), true), (ps(290), false)]
+        );
+    }
+}

@@ -16,6 +16,7 @@
 //! register-detected violations and whether the data pattern came
 //! through intact.
 
+use crate::chain::{build_chain, ChainStage};
 use crate::engine::{NetId, Simulator, ViolationKind};
 use crate::time::SimTime;
 
@@ -55,6 +56,25 @@ impl ClockedChainSpec {
             clock_with_data: true,
         }
     }
+
+    /// The buffered clock spine as a [`ChainStage`] list: the first
+    /// tap has negligible delay, each subsequent tap adds one
+    /// `skew_step` segment. Shared with the netlist core so both
+    /// engines distribute the clock through an identical spine (the
+    /// differential suite's skew check).
+    #[must_use]
+    pub fn spine_stages(&self) -> Vec<ChainStage> {
+        (0..self.registers)
+            .map(|i| {
+                let d = if i == 0 {
+                    SimTime::from_ps(1)
+                } else {
+                    self.skew_step
+                };
+                ChainStage::Buffer { rise: d, fall: d }
+            })
+            .collect()
+    }
 }
 
 /// Outcome of driving the chain for a number of cycles at one period.
@@ -93,23 +113,11 @@ pub fn run_chain(spec: ClockedChainSpec, period: SimTime, cycles: usize) -> Chai
     let r = spec.registers;
     let mut sim = Simulator::new();
 
-    // Clock spine: root clock net plus one buffered tap per register.
-    let clk_root = sim.add_net();
-    let mut taps: Vec<NetId> = Vec::with_capacity(r);
-    let mut prev = clk_root;
-    for i in 0..r {
-        let tap = sim.add_net();
-        // First tap has negligible delay; subsequent taps add one
-        // spine segment each.
-        let d = if i == 0 {
-            SimTime::from_ps(1)
-        } else {
-            spec.skew_step
-        };
-        sim.add_buffer(prev, tap, d, d);
-        prev = tap;
-        taps.push(tap);
-    }
+    // Clock spine: root clock net plus one buffered tap per register,
+    // built from the shared chain description (see `spine_stages`).
+    let spine = build_chain(&mut sim, &spec.spine_stages());
+    let clk_root = spine[0];
+    let mut taps: Vec<NetId> = spine[1..].to_vec();
     if !spec.clock_with_data {
         taps.reverse();
     }

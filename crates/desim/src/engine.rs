@@ -232,6 +232,10 @@ pub struct EngineStats {
     pub dead_events: u64,
     /// High-water mark of the event queue.
     pub peak_queue_depth: u64,
+    /// Total settle iterations: component evaluations performed while
+    /// propagating applied events (the fanout work the event loop did,
+    /// as opposed to the events it merely dispatched).
+    pub settle_iterations: u64,
     /// Faults forced into the circuit (stuck-at pins and SEU upsets).
     pub faults_injected: u64,
 }
@@ -239,14 +243,19 @@ pub struct EngineStats {
 impl EngineStats {
     /// Writes the counters into `metrics` under
     /// `{prefix}.events_scheduled`, `{prefix}.events_processed`,
-    /// `{prefix}.cancellations`, `{prefix}.dead_events`, and
-    /// `{prefix}.peak_queue_depth`. Adds, so stats from several
-    /// simulators aggregate under one prefix.
+    /// `{prefix}.cancellations`, `{prefix}.dead_events`,
+    /// `{prefix}.settle_iterations`, and `{prefix}.peak_queue_depth`.
+    /// Adds, so stats from several simulators aggregate under one
+    /// prefix.
     pub fn record(&self, metrics: &mut sim_observe::Metrics, prefix: &str) {
         metrics.add(&format!("{prefix}.events_scheduled"), self.events_scheduled);
         metrics.add(&format!("{prefix}.events_processed"), self.events_processed);
         metrics.add(&format!("{prefix}.cancellations"), self.cancellations);
         metrics.add(&format!("{prefix}.dead_events"), self.dead_events);
+        metrics.add(
+            &format!("{prefix}.settle_iterations"),
+            self.settle_iterations,
+        );
         // Peak depth aggregates as a max, not a sum.
         let key = format!("{prefix}.peak_queue_depth");
         let prev = metrics.counter(&key);
@@ -779,6 +788,7 @@ impl Simulator {
             });
         }
         let sinks = std::mem::take(&mut self.nets[net.index()].sinks);
+        self.stats.settle_iterations += sinks.len() as u64;
         for &comp in &sinks {
             self.react(comp, net, now, value);
         }
@@ -998,6 +1008,7 @@ impl Simulator {
         // React sinks. Temporarily take the list to avoid aliasing
         // `self` (the sink set never changes during simulation).
         let sinks = std::mem::take(&mut self.nets[ev.net.index()].sinks);
+        self.stats.settle_iterations += sinks.len() as u64;
         for &comp in &sinks {
             self.react(comp, ev.net, ev.time, ev.value);
         }

@@ -20,6 +20,7 @@
 //! end" — narrower pulses are swallowed by the simulator's inertial
 //! delay exactly as the physical string swallows them.
 
+use crate::chain::{build_chain, ChainStage};
 use crate::engine::{NetId, Simulator};
 use crate::stats::sample_normal;
 use crate::time::SimTime;
@@ -260,17 +261,38 @@ impl InverterString {
             .collect()
     }
 
+    /// The chip as a [`ChainStage`] list — the single source of truth
+    /// both the legacy [`Simulator`] and the flat netlist core build
+    /// their circuits from (see [`crate::chain`]).
+    #[must_use]
+    pub fn chain_stages(&self) -> Vec<ChainStage> {
+        self.delays
+            .iter()
+            .map(|&(rise, fall)| ChainStage::Inverter { rise, fall })
+            .collect()
+    }
+
+    /// Sum of all per-stage delays, both edges — the analytic
+    /// equipotential cycle (`2 × Σ base` for an unbiased string, and
+    /// exactly what [`InverterString::equipotential_cycle`] measures,
+    /// since biases and discrepancies cancel pairwise over a rise +
+    /// fall round trip only in expectation, not per chip).
+    #[must_use]
+    pub fn total_delay_both_edges(&self) -> SimTime {
+        let ps: u64 = self
+            .delays
+            .iter()
+            .map(|&(r, f)| r.as_ps() + f.as_ps())
+            .sum();
+        SimTime::from_ps(ps)
+    }
+
     fn build(&self) -> (Simulator, NetId, NetId) {
         let mut sim = Simulator::new();
-        let input = sim.add_net();
-        let mut prev = input;
-        for &(rise, fall) in &self.delays {
-            let out = sim.add_net();
-            sim.add_inverter(prev, out, rise, fall);
-            prev = out;
-        }
-        sim.watch(prev);
-        (sim, input, prev)
+        let nodes = build_chain(&mut sim, &self.chain_stages());
+        let (input, far) = (nodes[0], *nodes.last().expect("non-empty chain"));
+        sim.watch(far);
+        (sim, input, far)
     }
 
     /// Measures the equipotential cycle: drive one rising edge, wait
@@ -404,15 +426,8 @@ impl InverterString {
         assert!(period.as_ps() >= 2, "period too small");
         assert!(cycles > 0, "need at least one cycle");
         let mut sim = Simulator::new();
-        let input = sim.add_net();
-        let mut nets = vec![input];
-        let mut prev = input;
-        for &(rise, fall) in &self.delays {
-            let out = sim.add_net();
-            sim.add_inverter(prev, out, rise, fall);
-            nets.push(out);
-            prev = out;
-        }
+        let nets = build_chain(&mut sim, &self.chain_stages());
+        let input = nets[0];
         let taps = taps.clamp(2, nets.len());
         let mut signals = Vec::with_capacity(taps);
         for k in 0..taps {

@@ -34,6 +34,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod chain;
 pub mod clocked_chain;
 pub mod engine;
 pub mod faults;
@@ -47,6 +48,7 @@ pub mod time;
 
 /// Convenient re-exports of the crate's primary items.
 pub mod prelude {
+    pub use crate::chain::{build_chain, ChainSink, ChainStage};
     pub use crate::clocked_chain::{analytic_min_period, run_chain, ChainOutcome, ClockedChainSpec};
     pub use crate::engine::{
         EngineStats, GateFn, Halt, NetId, RunBudget, Simulator, StillActiveError,
@@ -60,7 +62,7 @@ pub mod prelude {
     pub use crate::muller::{MullerPipeline, MullerRun};
     pub use crate::one_shot_string::{OneShotString, OneShotStringSpec};
     pub use crate::stats::{linear_fit, mean_std, sample_normal};
-    pub use crate::time::SimTime;
+    pub use crate::time::{SimTime, TimeOverflowError};
     pub use crate::stoppable_clock::{add_stoppable_clock, StoppableClock};
     pub use crate::vcd::{export_vcd, VcdWriter};
 }

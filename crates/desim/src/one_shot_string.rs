@@ -17,6 +17,7 @@
 //!
 //! [`OneShot`]: crate::engine::Simulator::add_one_shot
 
+use crate::chain::{build_chain, ChainStage};
 use crate::engine::{NetId, Simulator};
 use crate::stats::sample_normal;
 use crate::time::SimTime;
@@ -80,17 +81,25 @@ impl OneShotString {
         self.delays.len()
     }
 
+    /// The string as a [`ChainStage`] list, shared with the netlist
+    /// core (see [`crate::chain`]).
+    #[must_use]
+    pub fn chain_stages(&self) -> Vec<ChainStage> {
+        self.delays
+            .iter()
+            .map(|&delay| ChainStage::OneShot {
+                delay,
+                pulse_width: self.pulse_width,
+            })
+            .collect()
+    }
+
     fn build(&self) -> (Simulator, NetId, NetId) {
         let mut sim = Simulator::new();
-        let input = sim.add_net();
-        let mut prev = input;
-        for &d in &self.delays {
-            let out = sim.add_net();
-            sim.add_one_shot(prev, out, d, self.pulse_width);
-            prev = out;
-        }
-        sim.watch(prev);
-        (sim, input, prev)
+        let nodes = build_chain(&mut sim, &self.chain_stages());
+        let (input, far) = (nodes[0], *nodes.last().expect("non-empty chain"));
+        sim.watch(far);
+        (sim, input, far)
     }
 
     /// Returns `true` when a clock train of `cycles` rising edges at

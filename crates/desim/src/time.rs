@@ -76,6 +76,52 @@ impl SimTime {
         SimTime(self.0.saturating_sub(rhs.0))
     }
 
+    /// Saturating addition: clamps to the representable maximum
+    /// instead of panicking. Prefer [`SimTime::checked_add`] on event
+    /// paths — a saturated time silently freezes the clock at the
+    /// horizon, which is only safe for limit/budget computations.
+    #[must_use]
+    pub fn saturating_add(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0.saturating_add(rhs.0))
+    }
+
+    /// Checked addition with a structured error.
+    ///
+    /// Multi-million-event runs accumulate tick additions (`now +
+    /// delay`, `start + period * k`); this is the overflow guard the
+    /// engines' schedule paths use so a wrapped timestamp can never
+    /// silently reorder the event queue.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TimeOverflowError`] naming both operands when the sum
+    /// exceeds `u64::MAX` picoseconds.
+    pub fn checked_add(self, rhs: SimTime) -> Result<SimTime, TimeOverflowError> {
+        self.0
+            .checked_add(rhs.0)
+            .map(SimTime)
+            .ok_or(TimeOverflowError {
+                lhs_ps: self.0,
+                rhs_ps: rhs.0,
+            })
+    }
+
+    /// Checked multiplication by a scalar with a structured error.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TimeOverflowError`] when the product exceeds
+    /// `u64::MAX` picoseconds (`rhs_ps` reports the scalar).
+    pub fn checked_mul(self, rhs: u64) -> Result<SimTime, TimeOverflowError> {
+        self.0
+            .checked_mul(rhs)
+            .map(SimTime)
+            .ok_or(TimeOverflowError {
+                lhs_ps: self.0,
+                rhs_ps: rhs,
+            })
+    }
+
     /// Absolute difference between two times.
     #[must_use]
     pub fn abs_diff(self, rhs: SimTime) -> SimTime {
@@ -83,10 +129,44 @@ impl SimTime {
     }
 }
 
+/// Structured error for a tick addition or multiplication that would
+/// exceed the representable simulation horizon (~213 days at 1 ps
+/// resolution). Produced by [`SimTime::checked_add`] and
+/// [`SimTime::checked_mul`]; the panicking operator impls render it as
+/// their panic message, so an overflow on a multi-million-event run
+/// diagnoses itself instead of wrapping around.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimeOverflowError {
+    /// Left operand, in picoseconds.
+    pub lhs_ps: u64,
+    /// Right operand: picoseconds for an addition, the scalar for a
+    /// multiplication.
+    pub rhs_ps: u64,
+}
+
+impl fmt::Display for TimeOverflowError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "SimTime overflow: {} ps + {} exceeds the u64 picosecond horizon",
+            self.lhs_ps, self.rhs_ps
+        )
+    }
+}
+
+impl std::error::Error for TimeOverflowError {}
+
 impl Add for SimTime {
     type Output = SimTime;
+    /// # Panics
+    ///
+    /// Panics with the [`TimeOverflowError`] message on overflow; use
+    /// [`SimTime::checked_add`] to handle it structurally.
     fn add(self, rhs: SimTime) -> SimTime {
-        SimTime(self.0.checked_add(rhs.0).expect("SimTime overflow"))
+        match self.checked_add(rhs) {
+            Ok(t) => t,
+            Err(e) => panic!("{e}"),
+        }
     }
 }
 
@@ -109,8 +189,15 @@ impl Sub for SimTime {
 
 impl Mul<u64> for SimTime {
     type Output = SimTime;
+    /// # Panics
+    ///
+    /// Panics with the [`TimeOverflowError`] message on overflow; use
+    /// [`SimTime::checked_mul`] to handle it structurally.
     fn mul(self, rhs: u64) -> SimTime {
-        SimTime(self.0.checked_mul(rhs).expect("SimTime overflow"))
+        match self.checked_mul(rhs) {
+            Ok(t) => t,
+            Err(e) => panic!("{e}"),
+        }
     }
 }
 
@@ -157,6 +244,45 @@ mod tests {
     #[should_panic(expected = "underflow")]
     fn subtraction_underflow_panics() {
         let _ = SimTime::from_ps(1) - SimTime::from_ps(2);
+    }
+
+    #[test]
+    fn checked_add_reports_structured_overflow() {
+        let near_max = SimTime::from_ps(u64::MAX - 10);
+        assert_eq!(
+            near_max.checked_add(SimTime::from_ps(5)),
+            Ok(SimTime::from_ps(u64::MAX - 5))
+        );
+        let err = near_max
+            .checked_add(SimTime::from_ps(100))
+            .expect_err("must overflow");
+        assert_eq!(err.lhs_ps, u64::MAX - 10);
+        assert_eq!(err.rhs_ps, 100);
+        assert!(format!("{err}").contains("SimTime overflow"));
+    }
+
+    #[test]
+    fn checked_mul_reports_structured_overflow() {
+        assert_eq!(
+            SimTime::from_ps(7).checked_mul(3),
+            Ok(SimTime::from_ps(21))
+        );
+        let err = SimTime::from_ps(u64::MAX / 2)
+            .checked_mul(3)
+            .expect_err("must overflow");
+        assert_eq!(err.rhs_ps, 3);
+    }
+
+    #[test]
+    fn saturating_add_clamps() {
+        let t = SimTime::from_ps(u64::MAX - 1).saturating_add(SimTime::from_ps(100));
+        assert_eq!(t.as_ps(), u64::MAX);
+    }
+
+    #[test]
+    #[should_panic(expected = "SimTime overflow")]
+    fn addition_overflow_panics_with_structured_message() {
+        let _ = SimTime::from_ps(u64::MAX) + SimTime::from_ps(1);
     }
 
     #[test]

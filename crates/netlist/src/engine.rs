@@ -1,0 +1,660 @@
+//! The flat event engine: [`NetSim`] runs a [`SealedNetlist`].
+//!
+//! Semantics are a field-for-field mirror of the reference
+//! [`desim::Simulator`] — inertial cancellation, generation-counted
+//! dead events, fault hooks, the same [`EngineStats`] counters — so
+//! the differential suite can demand byte-identical reports from the
+//! two cores. What changes is the machinery underneath:
+//!
+//! * per-wire state lives in parallel `Vec`s indexed by the wire id,
+//!   not per-net structs behind a heap of boxed events;
+//! * the pending-event set is a calendar [`Wheel`] (O(1) amortized
+//!   push/dispatch under the bounded-delay model) plus a small sorted
+//!   *far list* for the rare event beyond the wheel's horizon
+//!   (pre-scheduled clock edges whole periods away, delay-fault
+//!   scalings past nominal);
+//! * fanout propagation runs through a dirty-flagged ring work queue
+//!   over the CSR table, so zero-redundancy settling needs no
+//!   per-event allocation.
+//!
+//! Dispatch order equals the reference engine's `(time, seq)` heap
+//! order: wheel buckets and the far list both preserve push order
+//! within a timestamp, upsets strike before events at the same
+//! instant, and far entries (always scheduled from further back in
+//! time, hence with earlier sequence numbers) precede same-time wheel
+//! entries.
+//!
+//! Observability follows the workspace's one-branch `Option`
+//! discipline: waveform watches and the [`TraceBuf`] lifecycle hooks
+//! cost a predictable untaken branch each when disabled.
+
+use crate::arena::{GateKind, SealedNetlist, WireId, NONE};
+use crate::wheel::{Ev, Wheel};
+use desim::engine::{EngineStats, StillActiveError};
+use desim::time::SimTime;
+use desim::vcd::VcdWriter;
+use sim_observe::{TraceBuf, TraceEvent};
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// Outcome of one dispatch step.
+enum Step {
+    Did,
+    Empty,
+    Beyond,
+}
+
+/// The flat-arena event-driven simulator.
+///
+/// Build a [`crate::Netlist`], [`seal`](crate::Netlist::seal) it,
+/// and hand it (in an [`Arc`], so sweeps share one arena) to
+/// [`NetSim::new`].
+#[derive(Debug)]
+pub struct NetSim {
+    nl: Arc<SealedNetlist>,
+    // ---- per-wire state, parallel to the arena ----
+    value: Vec<bool>,
+    scheduled: Vec<bool>,
+    gen: Vec<u32>,
+    last_event_ps: Vec<u64>,
+    change_ps: Vec<u64>,
+    stuck: Vec<bool>,
+    /// Delay-fault scale, percent of nominal; 100 on the hot path.
+    delay_scale: Vec<u16>,
+    /// Index into `watches`, or `NONE`.
+    watch_slot: Vec<u32>,
+    watches: Vec<Vec<(u64, bool)>>,
+    // ---- pending events ----
+    wheel: Wheel,
+    /// Events beyond the wheel horizon, sorted by fire time (stable:
+    /// same-time entries keep insertion order). `far_next` is the
+    /// dispatch cursor; entries before it are spent.
+    far: Vec<Ev>,
+    far_next: usize,
+    /// Scheduled SEU upsets, sorted by `(time, wire)`.
+    upsets: Vec<(u64, u32)>,
+    next_upset: usize,
+    /// Scratch bucket for wheel dispatch (buffers circulate).
+    drain: Vec<Ev>,
+    // ---- fanout work queue ----
+    ring: VecDeque<u32>,
+    dirty: Vec<bool>,
+    // ---- clock + bookkeeping ----
+    now_ps: u64,
+    stats: EngineStats,
+    trace: Option<Box<TraceBuf>>,
+    clock_marks: Vec<(u32, String, u8)>,
+}
+
+impl NetSim {
+    /// A simulator over the sealed arena.
+    ///
+    /// Initial state mirrors the reference engine's build-time rules:
+    /// externally driven wires start low, buffer/inverter outputs are
+    /// set consistently with their input (in gate order, so chains
+    /// alternate with no spurious start-up events), and a two-input
+    /// gate whose inputs disagree with its output resolves through a
+    /// real scheduled event.
+    #[must_use]
+    pub fn new(nl: Arc<SealedNetlist>) -> NetSim {
+        let n = nl.n_wires();
+        let n_gates = nl.n_gates();
+        let wheel = Wheel::with_horizon(nl.max_delay_ps());
+        let mut sim = NetSim {
+            value: vec![false; n],
+            scheduled: vec![false; n],
+            gen: vec![0; n],
+            last_event_ps: vec![0; n],
+            change_ps: vec![0; n],
+            stuck: vec![false; n],
+            delay_scale: vec![100; n],
+            watch_slot: vec![NONE; n],
+            watches: Vec::new(),
+            wheel,
+            far: Vec::new(),
+            far_next: 0,
+            upsets: Vec::new(),
+            next_upset: 0,
+            drain: Vec::new(),
+            ring: VecDeque::new(),
+            dirty: vec![false; n_gates],
+            now_ps: 0,
+            stats: EngineStats::default(),
+            trace: None,
+            clock_marks: Vec::new(),
+            nl,
+        };
+        let nl = Arc::clone(&sim.nl);
+        for g in 0..n_gates {
+            let a = nl.in_a[g] as usize;
+            let out = nl.outs[g] as usize;
+            match nl.kinds[g] {
+                GateKind::Buffer | GateKind::Inverter => {
+                    let v = sim.value[a] ^ (nl.kinds[g] == GateKind::Inverter);
+                    sim.value[out] = v;
+                    sim.scheduled[out] = v;
+                }
+                GateKind::Or2 | GateKind::And2 => {
+                    let b = nl.in_b[g] as usize;
+                    let v = if nl.kinds[g] == GateKind::Or2 {
+                        sim.value[a] | sim.value[b]
+                    } else {
+                        sim.value[a] & sim.value[b]
+                    };
+                    if sim.value[out] != v {
+                        let delay = if v { nl.d_rise[g] } else { nl.d_fall[g] };
+                        sim.schedule_change(out, u64::from(delay), v);
+                    }
+                }
+                GateKind::OneShot => {}
+            }
+        }
+        sim
+    }
+
+    /// Convenience: seal-and-simulate in one step.
+    #[must_use]
+    pub fn from_netlist(nl: crate::Netlist) -> NetSim {
+        NetSim::new(Arc::new(nl.seal()))
+    }
+
+    /// The shared sealed arena this simulator runs.
+    #[must_use]
+    pub fn netlist(&self) -> &Arc<SealedNetlist> {
+        &self.nl
+    }
+
+    fn check_wire(&self, w: WireId) {
+        assert!((w.index()) < self.nl.n_wires(), "unknown wire {w}");
+    }
+
+    // ---- stimulus & fault API (mirrors desim::Simulator) ----
+
+    /// Schedules an externally driven change of `wire` at absolute
+    /// time `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is in the simulated past.
+    pub fn schedule_input(&mut self, wire: WireId, t: SimTime, value: bool) {
+        self.check_wire(wire);
+        assert!(
+            t.as_ps() >= self.now_ps,
+            "cannot schedule input in the past"
+        );
+        self.schedule_change(wire.index(), t.as_ps(), value);
+    }
+
+    /// Schedules a periodic clock: rising edges at `start + k·period`,
+    /// falling edges `high` later, for `cycles` cycles. Edge times are
+    /// computed with the overflow-checked [`SimTime`] arithmetic, so a
+    /// runaway period count fails with a structured diagnostic instead
+    /// of wrapping the picosecond horizon.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < high < period`, or if an edge time
+    /// overflows.
+    pub fn schedule_clock(
+        &mut self,
+        wire: WireId,
+        start: SimTime,
+        period: SimTime,
+        high: SimTime,
+        cycles: usize,
+    ) {
+        assert!(
+            SimTime::ZERO < high && high < period,
+            "need 0 < high < period"
+        );
+        for k in 0..cycles {
+            let rise = period
+                .checked_mul(k as u64)
+                .and_then(|off| start.checked_add(off))
+                .unwrap_or_else(|e| panic!("clock edge {k}: {e}"));
+            let fall = rise
+                .checked_add(high)
+                .unwrap_or_else(|e| panic!("clock edge {k}: {e}"));
+            self.schedule_input(wire, rise, true);
+            self.schedule_input(wire, fall, false);
+        }
+    }
+
+    /// Pins `wire` to `value` for the rest of the run (stuck-at
+    /// fault): forced immediately, in-flight events cancelled, later
+    /// driver schedules ignored.
+    pub fn pin_wire(&mut self, wire: WireId, value: bool) {
+        self.check_wire(wire);
+        let kind = if value { "stuck_at_1" } else { "stuck_at_0" };
+        self.force_wire(wire.index(), self.now_ps, value, kind);
+        self.stuck[wire.index()] = true;
+    }
+
+    /// Schedules one transient (SEU-style) upset: at `t` the wire's
+    /// value flips and the circuit reacts to the corrupted value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is in the simulated past.
+    pub fn schedule_upset(&mut self, wire: WireId, t: SimTime) {
+        self.check_wire(wire);
+        let t_ps = t.as_ps();
+        assert!(t_ps >= self.now_ps, "cannot schedule an upset in the past");
+        let tail = &self.upsets[self.next_upset..];
+        let pos = tail.partition_point(|&(ut, uw)| (ut, uw) <= (t_ps, wire.0));
+        self.upsets.insert(self.next_upset + pos, (t_ps, wire.0));
+    }
+
+    /// Applies a delay fault: every change scheduled onto `wire` from
+    /// now on has its delay scaled to `percent` of nominal. Scaled
+    /// fire times may exceed the wheel horizon; those events take the
+    /// far-list path.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 <= percent <= 10_000`.
+    pub fn scale_wire_delay(&mut self, wire: WireId, percent: u32) {
+        self.check_wire(wire);
+        assert!(
+            (1..=10_000).contains(&percent),
+            "delay scale must be in 1..=10000 percent"
+        );
+        self.delay_scale[wire.index()] = percent as u16;
+        self.stats.faults_injected += 1;
+        if let Some(tr) = &mut self.trace {
+            tr.record(TraceEvent::FaultInjected {
+                t_ps: self.now_ps,
+                site: wire.to_string(),
+                kind: format!("delay_scale_{percent}"),
+            });
+        }
+    }
+
+    // ---- observability ----
+
+    /// Starts recording value transitions on `wire`.
+    pub fn watch(&mut self, wire: WireId) {
+        self.check_wire(wire);
+        if self.watch_slot[wire.index()] == NONE {
+            self.watch_slot[wire.index()] =
+                u32::try_from(self.watches.len()).expect("watch arena full");
+            self.watches.push(Vec::new());
+        }
+    }
+
+    /// Recorded transitions of a watched wire as raw
+    /// `(time_ps, new_value)` pairs (empty for unwatched wires).
+    #[must_use]
+    pub fn transitions_ps(&self, wire: WireId) -> &[(u64, bool)] {
+        match self.watch_slot[wire.index()] {
+            NONE => &[],
+            slot => &self.watches[slot as usize],
+        }
+    }
+
+    /// Recorded transitions as `(SimTime, value)` — the reference
+    /// engine's [`desim::Simulator::transitions`] shape, for
+    /// differential comparison.
+    #[must_use]
+    pub fn transitions(&self, wire: WireId) -> Vec<(SimTime, bool)> {
+        self.transitions_ps(wire)
+            .iter()
+            .map(|&(t, v)| (SimTime::from_ps(t), v))
+            .collect()
+    }
+
+    /// Enables event-lifecycle tracing into a bounded ring of
+    /// `capacity` events (one-branch `Option` hooks when off).
+    pub fn enable_trace(&mut self, capacity: usize) {
+        self.trace = Some(Box::new(TraceBuf::new(capacity)));
+    }
+
+    /// Whether event tracing is enabled.
+    #[must_use]
+    pub fn trace_enabled(&self) -> bool {
+        self.trace.is_some()
+    }
+
+    /// Marks `wire` as a clock: its transitions also record
+    /// `ClockEdge` trace events under `signal` / `phase`.
+    pub fn mark_clock(&mut self, wire: WireId, signal: &str, phase: u8) {
+        self.check_wire(wire);
+        self.clock_marks.retain(|(w, _, _)| *w != wire.0);
+        self.clock_marks.push((wire.0, signal.to_owned(), phase));
+    }
+
+    /// Takes the recorded trace, leaving tracing disabled.
+    pub fn take_trace(&mut self) -> Option<TraceBuf> {
+        self.trace.take().map(|b| *b)
+    }
+
+    /// Renders watched wires as a VCD document (1 ps timescale),
+    /// byte-compatible with [`desim::vcd::export_vcd`] for identical
+    /// waveforms: initial value inferred as the complement of the
+    /// first transition, else the wire's current value.
+    ///
+    /// # Panics
+    ///
+    /// Panics on duplicate, empty, or whitespace signal names.
+    #[must_use]
+    pub fn export_vcd(&self, wires: &[(WireId, &str)]) -> String {
+        let mut w = VcdWriter::new();
+        for &(wire, name) in wires {
+            let transitions = self.transitions_ps(wire);
+            let initial = match transitions.first() {
+                Some(&(_, first_value)) => !first_value,
+                None => self.value(wire),
+            };
+            w.add_signal(name, initial, transitions.iter().copied());
+        }
+        w.render()
+    }
+
+    // ---- queries ----
+
+    /// Current simulated time.
+    #[must_use]
+    pub fn now(&self) -> SimTime {
+        SimTime::from_ps(self.now_ps)
+    }
+
+    /// Current value of a wire.
+    #[must_use]
+    pub fn value(&self, wire: WireId) -> bool {
+        self.value[wire.index()]
+    }
+
+    /// Time of the wire's last value change, in picoseconds (0 if it
+    /// never changed) — per-wire arrival times without per-wire
+    /// transition storage, which is what million-cell wavefront
+    /// analyses read.
+    #[must_use]
+    pub fn last_change_ps(&self, wire: WireId) -> u64 {
+        self.change_ps[wire.index()]
+    }
+
+    /// Events waiting for dispatch (dead events included).
+    #[must_use]
+    pub fn pending_events(&self) -> usize {
+        self.wheel.len() + (self.far.len() - self.far_next)
+    }
+
+    /// Snapshot of the cumulative event-loop counters.
+    #[must_use]
+    pub fn stats(&self) -> EngineStats {
+        self.stats
+    }
+
+    /// Exports counters under `{prefix}.*` plus `{prefix}.sim_time_ps`
+    /// — the same keys the reference engine emits, so Report v2
+    /// metrics from either core line up.
+    pub fn record_metrics(&self, metrics: &mut sim_observe::Metrics, prefix: &str) {
+        self.stats.record(metrics, prefix);
+        metrics.add(&format!("{prefix}.sim_time_ps"), self.now_ps);
+    }
+
+    // ---- run loop ----
+
+    /// Runs until the pending set is empty or the next event lies
+    /// beyond `t`; the clock ends at exactly `t`.
+    pub fn run_until(&mut self, t: SimTime) {
+        let limit = t.as_ps();
+        while matches!(self.step_once(limit), Step::Did) {}
+        if self.now_ps < limit {
+            self.now_ps = limit;
+        }
+    }
+
+    /// Runs until no events remain, up to a safety `limit`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StillActiveError`] if events or upsets remain past
+    /// the limit.
+    pub fn run_to_quiescence(&mut self, limit: SimTime) -> Result<SimTime, StillActiveError> {
+        loop {
+            match self.step_once(limit.as_ps()) {
+                Step::Did => {}
+                Step::Empty => return Ok(self.now()),
+                Step::Beyond => return Err(StillActiveError { limit }),
+            }
+        }
+    }
+
+    /// Dispatches the earliest pending action at or before `limit`.
+    /// Tie order at one instant: upsets, then far-list entries, then
+    /// the wheel bucket (see the module docs).
+    fn step_once(&mut self, limit: u64) -> Step {
+        let next_wheel = self.wheel.peek_earliest(self.now_ps);
+        let next_far = self.far.get(self.far_next).map(|e| e.t_ps);
+        let next_ev = match (next_wheel, next_far) {
+            (Some(w), Some(f)) => Some(w.min(f)),
+            (w, f) => w.or(f),
+        };
+        let next_up = if self.next_upset < self.upsets.len() {
+            Some(self.upsets[self.next_upset].0)
+        } else {
+            None
+        };
+        match (next_ev, next_up) {
+            (None, None) => Step::Empty,
+            (ev, Some(ut)) if ut <= limit && ev.is_none_or(|et| ut <= et) => {
+                let (t, w) = self.upsets[self.next_upset];
+                self.next_upset += 1;
+                let flipped = !self.value[w as usize];
+                self.force_wire(w as usize, t, flipped, "seu_flip");
+                Step::Did
+            }
+            (Some(et), _) if et <= limit => {
+                if next_far.is_some_and(|f| f <= et) {
+                    let ev = self.far[self.far_next];
+                    self.far_next += 1;
+                    self.apply(ev);
+                } else {
+                    let mut batch = std::mem::take(&mut self.drain);
+                    self.wheel
+                        .pop_earliest_into(self.now_ps, &mut batch)
+                        .expect("peeked non-empty wheel");
+                    // Apply sequentially: a cancellation mid-batch must
+                    // kill later same-time entries, exactly as the
+                    // reference heap would.
+                    for ev in batch.drain(..) {
+                        self.apply(ev);
+                    }
+                    self.drain = batch;
+                }
+                Step::Did
+            }
+            _ => Step::Beyond,
+        }
+    }
+
+    /// Schedules a wire change with inertial-delay semantics —
+    /// line-for-line the reference engine's conflict rules.
+    fn schedule_change(&mut self, w: usize, t_ps: u64, value: bool) {
+        if self.stuck[w] {
+            return;
+        }
+        let t_ps = if self.delay_scale[w] == 100 {
+            t_ps
+        } else {
+            let delta = t_ps.saturating_sub(self.now_ps);
+            self.now_ps + (delta * u64::from(self.delay_scale[w])) / 100
+        };
+        let sep = u64::from(self.nl.min_sep[w]);
+        let last = self.last_event_ps[w];
+        let too_close = last > 0 && t_ps < last + sep;
+        let conflict = t_ps < last || value == self.scheduled[w] || too_close;
+        if conflict {
+            // Cancel everything in flight for this wire.
+            self.gen[w] = self.gen[w].wrapping_add(1);
+            self.stats.cancellations += 1;
+            if let Some(tr) = &mut self.trace {
+                tr.record(TraceEvent::EventCancelled {
+                    t_ps: self.now_ps,
+                    net: w as u32,
+                });
+            }
+            if value == self.value[w] {
+                // Settles at the current value; nothing to apply.
+                self.scheduled[w] = value;
+                self.last_event_ps[w] = t_ps;
+                return;
+            }
+        }
+        self.scheduled[w] = value;
+        self.last_event_ps[w] = t_ps;
+        let ev = Ev {
+            t_ps,
+            wire: w as u32,
+            gen: self.gen[w],
+            value,
+        };
+        if self.wheel.fits(self.now_ps, t_ps) {
+            self.wheel.push(ev);
+        } else {
+            let tail = &self.far[self.far_next..];
+            let pos = tail.partition_point(|e| e.t_ps <= t_ps);
+            self.far.insert(self.far_next + pos, ev);
+        }
+        self.stats.events_scheduled += 1;
+        if let Some(tr) = &mut self.trace {
+            tr.record(TraceEvent::EventScheduled {
+                t_ps: self.now_ps,
+                fire_ps: t_ps,
+                net: w as u32,
+                value,
+            });
+        }
+        let depth = self.pending_events() as u64;
+        if depth > self.stats.peak_queue_depth {
+            self.stats.peak_queue_depth = depth;
+        }
+    }
+
+    fn apply(&mut self, ev: Ev) {
+        debug_assert!(ev.t_ps >= self.now_ps, "event time went backwards");
+        self.now_ps = ev.t_ps;
+        let w = ev.wire as usize;
+        if ev.gen != self.gen[w] || self.value[w] == ev.value {
+            self.stats.dead_events += 1;
+            return; // cancelled or redundant
+        }
+        self.stats.events_processed += 1;
+        self.value[w] = ev.value;
+        self.change_ps[w] = ev.t_ps;
+        if self.watch_slot[w] != NONE {
+            self.watches[self.watch_slot[w] as usize].push((ev.t_ps, ev.value));
+        }
+        if let Some(tr) = &mut self.trace {
+            tr.record(TraceEvent::EventFired {
+                t_ps: ev.t_ps,
+                net: ev.wire,
+                value: ev.value,
+            });
+            if let Some((_, signal, phase)) =
+                self.clock_marks.iter().find(|(m, _, _)| *m == ev.wire)
+            {
+                tr.record(TraceEvent::ClockEdge {
+                    t_ps: ev.t_ps,
+                    signal: signal.clone(),
+                    rising: ev.value,
+                    phase: *phase,
+                });
+            }
+        }
+        self.settle_fanout(w);
+    }
+
+    /// Forces a wire outside the normal driver path (pins, upsets):
+    /// cancels in-flight events, applies the change, reacts.
+    fn force_wire(&mut self, w: usize, t_ps: u64, value: bool, kind: &str) {
+        if t_ps > self.now_ps {
+            self.now_ps = t_ps;
+        }
+        let now = self.now_ps;
+        self.stats.faults_injected += 1;
+        if let Some(tr) = &mut self.trace {
+            tr.record(TraceEvent::FaultInjected {
+                t_ps: now,
+                site: WireId(w as u32).to_string(),
+                kind: kind.to_owned(),
+            });
+        }
+        self.gen[w] = self.gen[w].wrapping_add(1); // kill in-flight events
+        self.scheduled[w] = value;
+        self.last_event_ps[w] = now;
+        if self.value[w] == value {
+            return;
+        }
+        self.value[w] = value;
+        self.change_ps[w] = now;
+        if self.watch_slot[w] != NONE {
+            self.watches[self.watch_slot[w] as usize].push((now, value));
+        }
+        if let Some(tr) = &mut self.trace {
+            tr.record(TraceEvent::EventFired {
+                t_ps: now,
+                net: w as u32,
+                value,
+            });
+        }
+        self.settle_fanout(w);
+    }
+
+    /// Propagates a wire change through its CSR fanout via the
+    /// dirty-flagged ring queue: each driven gate is enqueued once,
+    /// then the ring drains to quiescence *within this timestep* —
+    /// scheduled outputs all land at least one gate delay in the
+    /// future, so the drain is the zero-delay settling pass and every
+    /// evaluation bumps `settle_iterations`.
+    fn settle_fanout(&mut self, w: usize) {
+        let s = self.nl.fanout_offsets[w] as usize;
+        let e = self.nl.fanout_offsets[w + 1] as usize;
+        for i in s..e {
+            let g = self.nl.fanout[i];
+            if !self.dirty[g as usize] {
+                self.dirty[g as usize] = true;
+                self.ring.push_back(g);
+            }
+        }
+        while let Some(g) = self.ring.pop_front() {
+            self.dirty[g as usize] = false;
+            self.stats.settle_iterations += 1;
+            self.eval_gate(g as usize);
+        }
+    }
+
+    /// Evaluates one gate against current wire values and schedules
+    /// its output — the reference engine's `react`, arena-indexed.
+    fn eval_gate(&mut self, g: usize) {
+        let kind = self.nl.kinds[g];
+        let a = self.nl.in_a[g] as usize;
+        let out = self.nl.outs[g] as usize;
+        let (rise, fall) = (u64::from(self.nl.d_rise[g]), u64::from(self.nl.d_fall[g]));
+        match kind {
+            GateKind::Buffer | GateKind::Inverter => {
+                let out_val = self.value[a] ^ (kind == GateKind::Inverter);
+                let delay = if out_val { rise } else { fall };
+                self.schedule_change(out, self.now_ps + delay, out_val);
+            }
+            GateKind::Or2 | GateKind::And2 => {
+                let b = self.nl.in_b[g] as usize;
+                let (va, vb) = (self.value[a], self.value[b]);
+                let out_val = if kind == GateKind::Or2 { va | vb } else { va & vb };
+                if self.scheduled[out] != out_val {
+                    let delay = if out_val { rise } else { fall };
+                    self.schedule_change(out, self.now_ps + delay, out_val);
+                }
+            }
+            GateKind::OneShot => {
+                if self.value[a] {
+                    // Rising edge: fresh pulse, rise scheduled first.
+                    let t0 = self.now_ps + rise;
+                    self.schedule_change(out, t0, true);
+                    self.schedule_change(out, t0 + fall, false);
+                }
+            }
+        }
+    }
+}

@@ -29,6 +29,13 @@ run cargo clippy --offline --workspace --all-targets -- -D warnings
 # committed baselines (deterministic sections exact, run section
 # structural — wall-clock banding is opt-in via --wall-tol).
 run target/release/bench_regress --fast --out target/bench --baselines baselines
+# Netlist-core throughput smoke: the million-gate workloads (1M-stage
+# pipelined string + 1000x1000 mesh waves) must hold an events/sec
+# floor — a return to heap-scheduler complexity fails here even if the
+# counters still match — and the deterministic counter snapshot must
+# match its committed baseline byte-for-byte.
+run target/release/netlist_bench --out target/bench/BENCH_netlist.json --min-eps 1000000
+run target/release/bench_regress --compare target/bench/BENCH_netlist.json --baselines baselines
 # Trace smoke: one experiment through --trace end to end, then the
 # standalone checker over the exported Perfetto file.
 run target/release/e6_inverter_string --fast --trace target/bench/e6_trace.json

@@ -47,9 +47,29 @@ fn e5_metastability_identical_across_thread_counts() {
     assert_thread_count_invariant(&bench::experiments::E5);
 }
 
+/// E6 now carries the flat-netlist sections — the 1,000,000-stage
+/// pipelined clock train and the 1000×1000 mesh fault sweep — so this
+/// pin covers the million-gate report bytes across worker counts, not
+/// just the legacy sweeps.
 #[test]
-fn e6_fabrication_yield_identical_across_thread_counts() {
-    assert_thread_count_invariant(&bench::experiments::E6);
+fn e6_million_gate_report_identical_across_thread_counts() {
+    let exp = &bench::experiments::E6;
+    let base = report(exp, 1, 1);
+    assert!(
+        base.contains("pipelined clock train, 1000000 stages"),
+        "e6 report lost its 1M-stage netlist section"
+    );
+    assert!(
+        base.contains("wavefront mesh, 1000x1000 cells"),
+        "e6 report lost its mesh fault sweep"
+    );
+    for threads in [2, 4] {
+        assert_eq!(
+            base,
+            report(exp, threads, 1),
+            "e6: threads=1 vs threads={threads} reports diverged"
+        );
+    }
 }
 
 /// The deterministic JSON core (everything `--json` writes except the

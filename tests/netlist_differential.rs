@@ -1,0 +1,249 @@
+//! Differential suite: the flat netlist core (`crates/netlist`)
+//! against the legacy reference engine (`desim`), on the shared
+//! small-circuit suite both cores can build.
+//!
+//! Every circuit here is described once — as a
+//! [`desim::chain::ChainStage`] list or a sealed arena mirrored via
+//! [`netlist::mirror`] — and driven with identical stimuli in both
+//! engines. The pinned contract is *byte identity* of everything the
+//! reporting layer derives from a run: watched waveforms, VCD
+//! exports, the full [`desim::engine::EngineStats`] counter set, and
+//! the rendered metrics JSON (the deterministic core `--json`
+//! publishes). Any divergence is an engine-semantics bug, not noise.
+
+use desim::prelude::*;
+use netlist::prelude::*;
+use sim_faults::{FaultPlan, FaultRates, GateFault};
+use std::sync::Arc;
+
+fn ps(v: u64) -> SimTime {
+    SimTime::from_ps(v)
+}
+
+/// The metrics-JSON bytes a report would carry for these counters.
+fn metrics_bytes(stats: &desim::engine::EngineStats, sim_time: SimTime) -> String {
+    let mut m = sim_observe::Metrics::new();
+    stats.record(&mut m, "core");
+    m.add("core.sim_time_ps", sim_time.as_ps());
+    m.to_json().to_pretty()
+}
+
+/// e6-small: a 64-stage fabricated inverter string under a pipelined
+/// clock train, compared tap by tap — waveforms, VCD bytes, counters,
+/// and metrics bytes.
+#[test]
+fn e6_small_inverter_string_matches_reference_engine() {
+    let spec = InverterStringSpec {
+        stages: 64,
+        ..InverterStringSpec::paper_chip(1)
+    };
+    let chip = InverterString::fabricate(spec);
+    let stages = chip.chain_stages();
+
+    let mut slow = Simulator::new();
+    let s_nodes = build_chain(&mut slow, &stages);
+    let mut nl = Netlist::new();
+    let f_nodes = build_chain(&mut nl, &stages);
+    let mut fast = NetSim::from_netlist(nl);
+
+    let taps = [0usize, 16, 32, 48, 64];
+    let mut named_slow = Vec::new();
+    let mut named_fast = Vec::new();
+    for &k in &taps {
+        slow.watch(s_nodes[k]);
+        fast.watch(f_nodes[k]);
+        named_slow.push((s_nodes[k], format!("tap_{k}")));
+        named_fast.push((f_nodes[k], format!("tap_{k}")));
+    }
+
+    let shrink = chip.worst_prefix_shrinkage_ps().unsigned_abs();
+    let period = ps(2 * shrink + 8 * spec.base_delay.as_ps());
+    let high = ps(period.as_ps() / 2);
+    slow.schedule_clock(s_nodes[0], ps(10), period, high, 3);
+    fast.schedule_clock(f_nodes[0], ps(10), period, high, 3);
+    let limit = ps(10 + 3 * period.as_ps() + 4 * chip.total_delay_both_edges().as_ps());
+    let slow_end = slow.run_to_quiescence(limit).expect("reference settles");
+    let fast_end = fast.run_to_quiescence(limit).expect("netlist settles");
+    assert_eq!(slow_end, fast_end, "quiescence times diverged");
+
+    for (&k, (s_net, _)) in taps.iter().zip(&named_slow) {
+        assert_eq!(
+            fast.transitions(f_nodes[k]),
+            slow.transitions(*s_net).to_vec(),
+            "waveform at tap {k} diverged"
+        );
+    }
+    // Every pipelined edge reached the far end in both engines.
+    assert_eq!(fast.transitions(*f_nodes.last().unwrap()).len(), 6);
+
+    let slow_named: Vec<(NetId, &str)> =
+        named_slow.iter().map(|(n, s)| (*n, s.as_str())).collect();
+    let fast_named: Vec<(WireId, &str)> =
+        named_fast.iter().map(|(w, s)| (*w, s.as_str())).collect();
+    assert_eq!(
+        fast.export_vcd(&fast_named),
+        export_vcd(&slow, &slow_named),
+        "VCD bytes diverged"
+    );
+    assert_eq!(fast.stats(), slow.stats(), "engine counters diverged");
+    assert_eq!(
+        metrics_bytes(&fast.stats(), fast.now()),
+        metrics_bytes(&slow.stats(), slow.now()),
+        "metrics JSON bytes diverged"
+    );
+}
+
+/// e2-small: the buffered clock spine of the clocked chain — the
+/// arrival (skew) profile along the spine must match edge for edge.
+#[test]
+fn e2_small_clock_spine_skew_matches_reference_engine() {
+    let spec = ClockedChainSpec::default_chain();
+    let stages = spec.spine_stages();
+
+    let mut slow = Simulator::new();
+    let s_nodes = build_chain(&mut slow, &stages);
+    let mut nl = Netlist::new();
+    let f_nodes = build_chain(&mut nl, &stages);
+    let mut fast = NetSim::from_netlist(nl);
+    for (s, f) in s_nodes.iter().zip(&f_nodes) {
+        slow.watch(*s);
+        fast.watch(*f);
+    }
+
+    // Two full clock cycles into the spine root.
+    for &(t, v) in &[(1_000, true), (6_000, false), (11_000, true), (16_000, false)] {
+        slow.schedule_input(s_nodes[0], ps(t), v);
+        fast.schedule_input(f_nodes[0], ps(t), v);
+    }
+    slow.run_until(ps(50_000));
+    fast.run_until(ps(50_000));
+
+    let mut prev_rise = None;
+    for (k, (s, f)) in s_nodes.iter().zip(&f_nodes).enumerate() {
+        let reference = slow.transitions(*s).to_vec();
+        assert_eq!(
+            fast.transitions(*f),
+            reference,
+            "spine tap {k} skew profile diverged"
+        );
+        // And the profile is the expected one: past the 1 ps root
+        // buffer (node 0 is the raw input, node 1 the first tap),
+        // each tap's first rise arrives one skew step after its
+        // predecessor's.
+        let rise = reference.first().expect("tap saw the clock").0;
+        if let Some(prev) = prev_rise {
+            if k >= 2 {
+                assert_eq!(rise, prev + spec.skew_step, "tap {k} skew step wrong");
+            }
+        }
+        prev_rise = Some(rise);
+    }
+    assert_eq!(fast.stats(), slow.stats(), "engine counters diverged");
+}
+
+/// e5-small: a fabricated one-shot string — pulse regeneration
+/// timing, including the self-generated falling edges, must match.
+#[test]
+fn e5_small_one_shot_string_matches_reference_engine() {
+    let spec = OneShotStringSpec {
+        stages: 24,
+        base_delay: ps(1_000),
+        delay_std_ps: 60.0,
+        pulse_width: ps(400),
+        seed: 3,
+    };
+    let string = OneShotString::fabricate(spec);
+    let stages = string.chain_stages();
+
+    let mut slow = Simulator::new();
+    let s_nodes = build_chain(&mut slow, &stages);
+    let mut nl = Netlist::new();
+    let f_nodes = build_chain(&mut nl, &stages);
+    let mut fast = NetSim::from_netlist(nl);
+    let taps = [1usize, 12, 24];
+    for &k in &taps {
+        slow.watch(s_nodes[k]);
+        fast.watch(f_nodes[k]);
+    }
+
+    // A train of trigger pulses faster than the string's latency: the
+    // one-shots regenerate width 400 ps pulses at every stage.
+    for i in 0..4u64 {
+        let t = 500 + i * 3_000;
+        slow.schedule_input(s_nodes[0], ps(t), true);
+        fast.schedule_input(f_nodes[0], ps(t), true);
+        slow.schedule_input(s_nodes[0], ps(t + 150), false);
+        fast.schedule_input(f_nodes[0], ps(t + 150), false);
+    }
+    let limit = ps(200_000);
+    let slow_end = slow.run_to_quiescence(limit).expect("reference settles");
+    let fast_end = fast.run_to_quiescence(limit).expect("netlist settles");
+    assert_eq!(slow_end, fast_end);
+
+    for &k in &taps {
+        let reference = slow.transitions(s_nodes[k]).to_vec();
+        assert!(
+            reference.len() >= 8,
+            "tap {k} should see every regenerated pulse"
+        );
+        assert_eq!(
+            fast.transitions(f_nodes[k]),
+            reference,
+            "one-shot waveform at tap {k} diverged"
+        );
+    }
+    assert_eq!(fast.stats(), slow.stats(), "engine counters diverged");
+    assert_eq!(
+        metrics_bytes(&fast.stats(), fast.now()),
+        metrics_bytes(&slow.stats(), slow.now()),
+        "metrics JSON bytes diverged"
+    );
+}
+
+/// The fault path across layers: a compiled fault-word column applied
+/// to the netlist core must leave the mesh in exactly the state the
+/// reference engine reaches when the same words are replayed through
+/// its per-net fault hooks.
+#[test]
+fn mesh_fault_words_match_reference_engine() {
+    let mesh = MeshSpec::square(12, 5).build();
+    let plan = FaultPlan::new(5, 0, FaultRates::uniform(0.05));
+    let words = gate_fault_words(&plan, mesh.sealed());
+    let window = mesh.settle_limit();
+
+    let mut fast = NetSim::new(Arc::clone(mesh.sealed()));
+    let summary = inject_fault_words(&mut fast, &words, window);
+    assert!(summary.total() > 0, "the 5% plan should fault some gates");
+
+    let (mut slow, map) = mirror_into_desim(mesh.sealed());
+    for (g, word) in words.iter().enumerate() {
+        let Some(fault) = word.unpack() else { continue };
+        let out = net_of(&map, mesh.sealed().gate_output(GateId::from_index(g)));
+        match fault {
+            GateFault::StuckAt(v) => slow.pin_net(out, v),
+            GateFault::Transient { at_frac } => {
+                let t = (window.as_ps() as f64 * at_frac) as u64;
+                slow.schedule_upset(out, ps(t));
+            }
+            GateFault::Delay { scale_pct } => {
+                slow.scale_net_delay(out, scale_pct.clamp(1, 10_000));
+            }
+        }
+    }
+
+    fast.schedule_input(mesh.input(), ps(10), true);
+    slow.schedule_input(net_of(&map, mesh.input()), ps(10), true);
+    let fast_end = fast.run_to_quiescence(window).expect("netlist settles");
+    let slow_end = slow.run_to_quiescence(window).expect("reference settles");
+    assert_eq!(fast_end, slow_end);
+
+    for k in 0..mesh.sealed().n_wires() {
+        let w = WireId::from_index(k);
+        assert_eq!(
+            fast.value(w),
+            slow.value(net_of(&map, w)),
+            "wire {w} diverged under faults"
+        );
+    }
+    assert_eq!(fast.stats(), slow.stats(), "engine counters diverged");
+}
