@@ -1,0 +1,202 @@
+//! `explore` — the design-space explorer: walk the (scheme × topology
+//! × size × fault-rate) grid, prune dominated configurations, and
+//! print the Pareto frontier the paper's Sections VI–VII argue about.
+//!
+//! ```text
+//! explore [--fast] [--seed S] [--trials N] [--threads T]
+//!         [--shards N] [--checkpoint-every N]
+//!         [--json FILE] [--frontier-json FILE] [--emit-manifest FILE]
+//! ```
+//!
+//! By default the sweep runs in-process and the frontier table goes to
+//! stdout. `--json` / `--frontier-json` additionally write the merged
+//! sweep report and the frontier report. `--emit-manifest` writes the
+//! sweep manifest *instead of running anything* — the entry point of
+//! the sharded workflow (`sweep_shard --shard … && sweep_shard
+//! --merge`), which merges byte-identically to the in-process run.
+//!
+//! Exit codes: 0 success (including `--help`), 2 usage error, 1
+//! runtime failure.
+
+use bench::{f, grid, Table};
+use sim_observe::Json;
+
+const USAGE: &str = "usage: explore [--fast] [--seed S] [--trials N] [--threads T] \
+[--shards N] [--checkpoint-every N] [--json FILE] [--frontier-json FILE] [--emit-manifest FILE]";
+
+struct Opts {
+    fast: bool,
+    seed: u64,
+    trials: u64,
+    threads: usize,
+    shards: u64,
+    checkpoint_every: u64,
+    json: Option<String>,
+    frontier_json: Option<String>,
+    emit_manifest: Option<String>,
+    help: bool,
+}
+
+fn parse_opts<I: IntoIterator<Item = String>>(args: I) -> Result<Opts, String> {
+    let mut opts = Opts {
+        fast: false,
+        seed: 11,
+        trials: 60,
+        threads: std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
+        shards: 4,
+        checkpoint_every: 25,
+        json: None,
+        frontier_json: None,
+        emit_manifest: None,
+        help: false,
+    };
+    let mut it = args.into_iter();
+    let value = |name: &str, v: Option<String>| -> Result<String, String> {
+        v.ok_or_else(|| format!("{name} needs an argument\n{USAGE}"))
+    };
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--fast" => opts.fast = true,
+            "--seed" => {
+                opts.seed = value("--seed", it.next())?
+                    .parse()
+                    .map_err(|_| "--seed needs a non-negative integer".to_owned())?;
+            }
+            "--trials" => {
+                opts.trials = value("--trials", it.next())?
+                    .parse()
+                    .map_err(|_| "--trials needs a positive integer".to_owned())?;
+            }
+            "--threads" => {
+                opts.threads = value("--threads", it.next())?
+                    .parse()
+                    .map_err(|_| "--threads needs a positive integer".to_owned())?;
+            }
+            "--shards" => {
+                opts.shards = value("--shards", it.next())?
+                    .parse()
+                    .map_err(|_| "--shards needs a positive integer".to_owned())?;
+            }
+            "--checkpoint-every" => {
+                opts.checkpoint_every = value("--checkpoint-every", it.next())?
+                    .parse()
+                    .map_err(|_| "--checkpoint-every needs a positive integer".to_owned())?;
+            }
+            "--json" => opts.json = Some(value("--json", it.next())?),
+            "--frontier-json" => opts.frontier_json = Some(value("--frontier-json", it.next())?),
+            "--emit-manifest" => opts.emit_manifest = Some(value("--emit-manifest", it.next())?),
+            "--help" | "-h" => {
+                opts.help = true;
+                return Ok(opts);
+            }
+            other => return Err(format!("unknown argument `{other}`\n{USAGE}")),
+        }
+    }
+    if opts.threads == 0 {
+        return Err("--threads needs a positive integer".to_owned());
+    }
+    Ok(opts)
+}
+
+fn run(opts: &Opts) -> Result<(), String> {
+    let m = grid::default_manifest(
+        opts.seed,
+        opts.trials,
+        opts.shards,
+        opts.checkpoint_every,
+        opts.fast,
+    )?;
+
+    if let Some(path) = &opts.emit_manifest {
+        m.save(path)
+            .map_err(|e| format!("cannot write manifest `{path}`: {e}"))?;
+        println!(
+            "explore: manifest `{}` ({} points x {} trials, {} shard(s)) -> {path}",
+            m.name,
+            m.points.len(),
+            m.trials_per_point,
+            m.shards
+        );
+        return Ok(());
+    }
+
+    let results = grid::run_sweep_single(&m, opts.threads)?;
+    let report = grid::sweep_report(&m, &results);
+    let frontier = grid::sweep_frontier(&report)?;
+
+    if let Some(path) = &opts.json {
+        sim_runtime::write_with_parents(path, &report.to_pretty())
+            .map_err(|e| format!("cannot write `{path}`: {e}"))?;
+        eprintln!("sweep report: {path}");
+    }
+    if let Some(path) = &opts.frontier_json {
+        sim_runtime::write_with_parents(path, &frontier.to_pretty())
+            .map_err(|e| format!("cannot write `{path}`: {e}"))?;
+        eprintln!("frontier report: {path}");
+    }
+
+    println!(
+        "explore: {} trials over {} grid points (seed {}, {} threads)",
+        m.total_trials(),
+        m.points.len(),
+        m.seed,
+        opts.threads
+    );
+    println!();
+    let mut table = Table::new(&[
+        "point",
+        "survival",
+        "retention",
+        "cost",
+        "verdict",
+    ]);
+    let points = frontier
+        .get("points")
+        .and_then(Json::as_array)
+        .ok_or("frontier report lacks points")?;
+    let mut kept = 0usize;
+    for p in points {
+        let label = p.get("label").and_then(Json::as_str).unwrap_or("?");
+        let summary = p.get("summary").ok_or("point lacks summary")?;
+        let field = |k: &str| summary.get(k).and_then(Json::as_f64).unwrap_or(f64::NAN);
+        let verdict = match p.get("dominated_by").and_then(Json::as_str) {
+            Some(by) => format!("dominated by {by}"),
+            None => {
+                kept += 1;
+                "frontier".to_owned()
+            }
+        };
+        table.row(&[
+            label,
+            &f(field("survival")),
+            &f(field("retention")),
+            &f(field("cost")),
+            &verdict,
+        ]);
+    }
+    print!("{}", table.render());
+    println!();
+    println!(
+        "frontier: {kept} of {} configurations survive dominance pruning",
+        points.len()
+    );
+    Ok(())
+}
+
+fn main() {
+    let opts = match parse_opts(std::env::args().skip(1)) {
+        Ok(opts) => opts,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    };
+    if opts.help {
+        println!("{USAGE}");
+        return;
+    }
+    if let Err(msg) = run(&opts) {
+        eprintln!("explore: error: {msg}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,367 @@
+//! `sweep_shard` — the process-level worker of the checkpointed
+//! mega-sweep: run one shard of a manifest (resuming from its atomic
+//! checkpoint), run the whole manifest in-process as the reference, or
+//! merge completed shards into the deterministic sweep report and its
+//! Pareto frontier.
+//!
+//! ```text
+//! sweep_shard --manifest FILE --shard I --dir D [--threads T] [--stop-after K] [--throttle-ms MS]
+//! sweep_shard --manifest FILE --single --out FILE [--threads T]
+//! sweep_shard --manifest FILE --merge --dir D [--out FILE] [--frontier FILE]
+//! sweep_shard --bench [--out FILE] [--seed S] [--trials N] [--threads T]
+//! ```
+//!
+//! Exit codes: 0 success, 2 usage error, 3 shard stopped by its
+//! `--stop-after` budget (checkpointed, resumable), 1 runtime failure.
+//!
+//! `--bench` is the self-contained regression workload behind
+//! `baselines/BENCH_sweep.json`: it runs a small fixed grid
+//! single-process, re-runs it as shards with a forced mid-range stop
+//! and resume, merges, and asserts the merged report is byte-identical
+//! — emitting shard throughput and resume overhead as the volatile
+//! `run` section.
+
+use bench::grid;
+use sim_observe::{Json, SpanTimer};
+use sim_sweep::prelude::*;
+
+const USAGE: &str = "usage: sweep_shard --manifest FILE --shard I --dir D [--threads T] [--stop-after K] [--throttle-ms MS]
+       sweep_shard --manifest FILE --single --out FILE [--threads T]
+       sweep_shard --manifest FILE --merge --dir D [--out FILE] [--frontier FILE]
+       sweep_shard --bench [--out FILE] [--seed S] [--trials N] [--threads T]";
+
+#[derive(Default)]
+struct Opts {
+    manifest: Option<String>,
+    shard: Option<u64>,
+    dir: Option<String>,
+    single: bool,
+    merge: bool,
+    bench: bool,
+    out: Option<String>,
+    frontier: Option<String>,
+    threads: usize,
+    stop_after: Option<u64>,
+    throttle_ms: u64,
+    seed: u64,
+    trials: u64,
+    help: bool,
+}
+
+fn parse_opts<I: IntoIterator<Item = String>>(args: I) -> Result<Opts, String> {
+    let mut opts = Opts {
+        threads: 1,
+        seed: 11,
+        trials: 8,
+        ..Opts::default()
+    };
+    let mut it = args.into_iter();
+    let value = |name: &str, v: Option<String>| -> Result<String, String> {
+        v.ok_or_else(|| format!("{name} needs an argument\n{USAGE}"))
+    };
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--manifest" => opts.manifest = Some(value("--manifest", it.next())?),
+            "--shard" => {
+                opts.shard = Some(
+                    value("--shard", it.next())?
+                        .parse()
+                        .map_err(|_| "--shard needs a non-negative integer".to_owned())?,
+                );
+            }
+            "--dir" => opts.dir = Some(value("--dir", it.next())?),
+            "--single" => opts.single = true,
+            "--merge" => opts.merge = true,
+            "--bench" => opts.bench = true,
+            "--out" => opts.out = Some(value("--out", it.next())?),
+            "--frontier" => opts.frontier = Some(value("--frontier", it.next())?),
+            "--threads" => {
+                opts.threads = value("--threads", it.next())?
+                    .parse()
+                    .map_err(|_| "--threads needs a positive integer".to_owned())?;
+            }
+            "--stop-after" => {
+                opts.stop_after = Some(
+                    value("--stop-after", it.next())?
+                        .parse()
+                        .map_err(|_| "--stop-after needs a positive integer".to_owned())?,
+                );
+            }
+            "--throttle-ms" => {
+                opts.throttle_ms = value("--throttle-ms", it.next())?
+                    .parse()
+                    .map_err(|_| "--throttle-ms needs a non-negative integer".to_owned())?;
+            }
+            "--seed" => {
+                opts.seed = value("--seed", it.next())?
+                    .parse()
+                    .map_err(|_| "--seed needs a non-negative integer".to_owned())?;
+            }
+            "--trials" => {
+                opts.trials = value("--trials", it.next())?
+                    .parse()
+                    .map_err(|_| "--trials needs a positive integer".to_owned())?;
+            }
+            "--help" | "-h" => {
+                opts.help = true;
+                return Ok(opts);
+            }
+            other => return Err(format!("unknown argument `{other}`\n{USAGE}")),
+        }
+    }
+    if opts.threads == 0 {
+        return Err("--threads needs a positive integer".to_owned());
+    }
+    let modes =
+        usize::from(opts.shard.is_some()) + usize::from(opts.single) + usize::from(opts.merge)
+            + usize::from(opts.bench);
+    if modes != 1 {
+        return Err(format!(
+            "exactly one of --shard, --single, --merge, --bench is required\n{USAGE}"
+        ));
+    }
+    if !opts.bench && opts.manifest.is_none() {
+        return Err(format!("--manifest is required\n{USAGE}"));
+    }
+    if (opts.shard.is_some() || opts.merge) && opts.dir.is_none() {
+        return Err(format!("--dir is required for this mode\n{USAGE}"));
+    }
+    if opts.single && opts.out.is_none() {
+        return Err(format!("--single requires --out\n{USAGE}"));
+    }
+    Ok(opts)
+}
+
+fn write_json(path: &str, doc: &Json) -> Result<(), String> {
+    sim_runtime::write_with_parents(path, &doc.to_pretty())
+        .map_err(|e| format!("cannot write `{path}`: {e}"))
+}
+
+fn shard_mode(opts: &Opts) -> Result<i32, String> {
+    let m = Manifest::load(opts.manifest.as_deref().expect("validated"))?;
+    let cells = grid::build_cells(&m)?;
+    let shard = opts.shard.expect("validated");
+    let dir = opts.dir.as_deref().expect("validated");
+    let sopts = ShardOpts {
+        threads: opts.threads,
+        stop_after: opts.stop_after,
+        throttle_ms: opts.throttle_ms,
+    };
+    let st = run_shard(&m, shard, dir, &sopts, |pi, p, t, rng| {
+        grid::run_trial(&cells[pi], p, m.point_seed(pi), t, rng)
+    })?;
+    let resumed = if st.resumed_at > 0 {
+        format!(" (resumed at {})", st.resumed_at)
+    } else {
+        String::new()
+    };
+    println!(
+        "sweep_shard: shard {} trials {}..{}: {}/{} done{} in {:.0} ms, {} checkpoint(s){}",
+        st.shard,
+        st.lo,
+        st.hi,
+        st.completed,
+        st.hi - st.lo,
+        resumed,
+        st.wall_ms,
+        st.checkpoints,
+        if st.interrupted {
+            " -- stopped by budget"
+        } else {
+            ""
+        }
+    );
+    Ok(if st.interrupted { 3 } else { 0 })
+}
+
+fn single_mode(opts: &Opts) -> Result<i32, String> {
+    let m = Manifest::load(opts.manifest.as_deref().expect("validated"))?;
+    let results = grid::run_sweep_single(&m, opts.threads)?;
+    let report = grid::sweep_report(&m, &results);
+    let out = opts.out.as_deref().expect("validated");
+    write_json(out, &report)?;
+    println!(
+        "sweep_shard: {} trials over {} points -> {out}",
+        m.total_trials(),
+        m.points.len()
+    );
+    Ok(0)
+}
+
+fn merge_mode(opts: &Opts) -> Result<i32, String> {
+    let m = Manifest::load(opts.manifest.as_deref().expect("validated"))?;
+    let dir = opts.dir.as_deref().expect("validated");
+    let results = load_shards(&m, dir)?;
+    let report = grid::sweep_report(&m, &results);
+    if let Some(out) = &opts.out {
+        write_json(out, &report)?;
+        println!(
+            "sweep_shard: merged {} shard(s), {} trials -> {out}",
+            m.shards,
+            results.len()
+        );
+    }
+    if let Some(path) = &opts.frontier {
+        let frontier = grid::sweep_frontier(&report)?;
+        write_json(path, &frontier)?;
+        let size = frontier
+            .get("frontier_size")
+            .and_then(Json::as_f64)
+            .unwrap_or(0.0);
+        println!(
+            "sweep_shard: frontier keeps {size:.0} of {} points -> {path}",
+            m.points.len()
+        );
+    }
+    Ok(0)
+}
+
+/// The fixed `--bench` workload: tiny two-scheme grid, sharded with a
+/// forced mid-range stop, resume, merge, byte-compare.
+fn bench_mode(opts: &Opts) -> Result<i32, String> {
+    let points = vec![
+        GridPoint::new("global", "htree", 4, 0.0),
+        GridPoint::new("global", "htree", 4, 0.05),
+        GridPoint::new("hybrid", "mesh", 4, 0.0),
+        GridPoint::new("hybrid", "mesh", 4, 0.05),
+        GridPoint::new("selftimed", "chain", 4, 0.05),
+    ];
+    let m = Manifest::new("sweep-bench", opts.seed, opts.trials, 3, 4, points)?;
+    let cells = grid::build_cells(&m)?;
+    let trial = |pi: usize, p: &GridPoint, t: u64, rng: &mut sim_runtime::SimRng| {
+        grid::run_trial(&cells[pi], p, m.point_seed(pi), t, rng)
+    };
+
+    let timer = SpanTimer::start();
+    let single = grid::run_sweep_single(&m, opts.threads)?;
+    let single_wall_ms = timer.elapsed_ms();
+    let single_report = grid::sweep_report(&m, &single);
+
+    let dir = std::env::temp_dir().join(format!("sim_sweep_bench_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let dir = dir.to_string_lossy().into_owned();
+    let mut shard_wall_ms = Vec::new();
+    let mut resumed_trials = 0;
+    let timer = SpanTimer::start();
+    for shard in 0..m.shards {
+        // Shard 1 is stopped mid-range and resumed: the resume
+        // overhead is the price of re-reading its checkpoint.
+        if shard == 1 {
+            let stopped = run_shard(
+                &m,
+                shard,
+                &dir,
+                &ShardOpts {
+                    threads: opts.threads,
+                    stop_after: Some(3),
+                    throttle_ms: 0,
+                },
+                trial,
+            )?;
+            assert!(stopped.interrupted, "budget must interrupt the shard");
+        }
+        let st = run_shard(
+            &m,
+            shard,
+            &dir,
+            &ShardOpts {
+                threads: opts.threads,
+                stop_after: None,
+                throttle_ms: 0,
+            },
+            trial,
+        )?;
+        resumed_trials += st.resumed_at;
+        shard_wall_ms.push(Json::Float(st.wall_ms));
+    }
+    let sharded_wall_ms = timer.elapsed_ms();
+    let merged = load_shards(&m, &dir)?;
+    let merged_report = grid::sweep_report(&m, &merged);
+    let _ = std::fs::remove_dir_all(std::path::Path::new(&dir));
+
+    let matches = merged_report.to_pretty() == single_report.to_pretty();
+    if !matches {
+        return Err("merged report differs from the single-process run".to_owned());
+    }
+    let total = m.total_trials() as f64;
+    let trials_per_sec = total / (single_wall_ms / 1e3).max(1e-9);
+    let resume_overhead_pct = (sharded_wall_ms / single_wall_ms.max(1e-9) - 1.0) * 100.0;
+    let frontier = grid::sweep_frontier(&merged_report)?;
+
+    let doc = Json::obj(vec![
+        ("schema", Json::Str("vlsi-sync/sweep-bench".to_owned())),
+        ("schema_version", Json::UInt(1)),
+        ("bench", Json::Str("sweep".to_owned())),
+        (
+            "config",
+            Json::obj(vec![
+                ("seed", Json::UInt(opts.seed)),
+                ("trials_per_point", Json::UInt(opts.trials)),
+                ("shards", Json::UInt(m.shards)),
+                ("points", Json::UInt(m.points.len() as u64)),
+                ("total_trials", Json::UInt(m.total_trials() as u64)),
+            ]),
+        ),
+        ("manifest_digest", Json::Str(m.digest())),
+        ("report_digest", Json::Str(merged_report.digest())),
+        ("merge_matches_single", Json::Bool(matches)),
+        (
+            "frontier_size",
+            frontier
+                .get("frontier_size")
+                .cloned()
+                .unwrap_or(Json::Null),
+        ),
+        (
+            "run",
+            Json::obj(vec![
+                ("single_wall_ms", Json::Float(single_wall_ms)),
+                ("sharded_wall_ms", Json::Float(sharded_wall_ms)),
+                ("shard_wall_ms", Json::Array(shard_wall_ms)),
+                ("resumed_trials", Json::UInt(resumed_trials)),
+                ("trials_per_sec", Json::Float(trials_per_sec)),
+                ("resume_overhead_pct", Json::Float(resume_overhead_pct)),
+            ]),
+        ),
+    ]);
+    let out = opts
+        .out
+        .clone()
+        .unwrap_or_else(|| "target/bench/BENCH_sweep.json".to_owned());
+    write_json(&out, &doc)?;
+    println!(
+        "sweep_shard: bench {total:.0} trials, {trials_per_sec:.0} trials/sec, \
+         resume overhead {resume_overhead_pct:.1}% -> {out}"
+    );
+    Ok(0)
+}
+
+fn main() {
+    let opts = match parse_opts(std::env::args().skip(1)) {
+        Ok(opts) => opts,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    };
+    if opts.help {
+        println!("{USAGE}");
+        return;
+    }
+    let run = if opts.bench {
+        bench_mode(&opts)
+    } else if opts.single {
+        single_mode(&opts)
+    } else if opts.merge {
+        merge_mode(&opts)
+    } else {
+        shard_mode(&opts)
+    };
+    match run {
+        Ok(code) => std::process::exit(code),
+        Err(msg) => {
+            eprintln!("sweep_shard: error: {msg}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -16,36 +16,24 @@
 //! probability and throughput retention (nominal period / degraded
 //! period over surviving trials).
 
+use crate::grid::{
+    clocked_trial, link, policy, tally_results, Clocked, DELTA, EPS, M, RATES, SPACING, TOKENS,
+    WAVES,
+};
 use crate::{f, Table};
 use array_layout::prelude::*;
 use clock_tree::prelude::*;
 use desim::prelude::*;
 use selftimed::prelude::*;
-use sim_faults::{FaultPlan, FaultRates, OutcomeTally, RetryPolicy, RunOutcome};
+use sim_faults::{FaultPlan, FaultRates, RunOutcome};
 use sim_runtime::{rline, ExpConfig, Experiment, Report, SimRng};
 
 /// See the module docs.
 #[derive(Debug)]
 pub struct E12;
 
-const DELTA: f64 = 2.0;
-const M: f64 = 1.0;
-const EPS: f64 = 0.1;
-const SPACING: f64 = 1.0;
-const RATES: [f64; 3] = [0.0, 0.01, 0.05];
-const WAVES: usize = 12;
-const TOKENS: usize = 8;
-
 fn ps(v: u64) -> SimTime {
     SimTime::from_ps(v)
-}
-
-fn policy() -> RetryPolicy {
-    RetryPolicy::new(3, 5.0)
-}
-
-fn link() -> HandshakeLink {
-    HandshakeLink::new(1.0, 0.5, Protocol::TwoPhase)
 }
 
 fn halt_label(halt: Halt) -> String {
@@ -54,102 +42,6 @@ fn halt_label(halt: Halt) -> String {
         Halt::SimLimit { at } => format!("sim-limit @ {at}"),
         Halt::EventLimit { at } => format!("event-limit @ {at}"),
     }
-}
-
-/// Worst arrival-time spread over every clocked cell.
-fn global_skew(tree: &ClockTree, at: &ArrivalTimes) -> f64 {
-    let mut lo = f64::INFINITY;
-    let mut hi = f64::NEG_INFINITY;
-    for c in tree.attached_cells() {
-        let a = at.at_cell(tree, c);
-        lo = lo.min(a);
-        hi = hi.max(a);
-    }
-    if hi >= lo {
-        hi - lo
-    } else {
-        0.0
-    }
-}
-
-/// Worst skew over communicating pairs only (the pipelined discipline).
-fn local_skew(tree: &ClockTree, at: &ArrivalTimes, pairs: &[(CellId, CellId)]) -> f64 {
-    pairs
-        .iter()
-        .map(|&(a, b)| at.skew(tree, a, b))
-        .fold(0.0, f64::max)
-}
-
-/// One globally- or pipeline-clocked scheme under test.
-struct Clocked {
-    tree: ClockTree,
-    dist: Distribution,
-    /// Extra skew (beyond the same-trial nominal) the margin absorbs.
-    slack: f64,
-    /// Use communicating-pair skew instead of global spread.
-    local: bool,
-}
-
-/// A clocked trial: dead buffers silence a subtree (the array loses
-/// cells — counted as a deadlock of the global discipline), degraded
-/// buffers stretch edges. The margin test compares faulted against
-/// nominal skew *under the same sampled wire rates*, so a fault-free
-/// trial always passes and the verdict isolates fault damage.
-fn clocked_trial(
-    s: &Clocked,
-    pairs: &[(CellId, CellId)],
-    wdm: &WireDelayModel,
-    plan: &FaultPlan,
-    rng: &mut SimRng,
-) -> (RunOutcome, f64) {
-    let report = s.tree.with_buffer_faults(plan, SPACING);
-    if report.any_dead() {
-        return (RunOutcome::Deadlock, 0.0);
-    }
-    let rates = wdm.sample_rates(&s.tree, rng);
-    let nominal = ArrivalTimes::from_rates(&s.tree, &rates);
-    let faulted = ArrivalTimes::from_rates(&report.tree, &rates);
-    let (skew_n, skew_f) = if s.local {
-        (
-            local_skew(&s.tree, &nominal, pairs),
-            local_skew(&report.tree, &faulted, pairs),
-        )
-    } else {
-        (
-            global_skew(&s.tree, &nominal),
-            global_skew(&report.tree, &faulted),
-        )
-    };
-    if skew_f - skew_n > s.slack {
-        return (RunOutcome::TimingViolation, 0.0);
-    }
-    let nominal_period = clock_period(skew_n, DELTA, s.dist.tau(&s.tree));
-    let degraded_period = clock_period(skew_f, DELTA, s.dist.tau(&report.tree));
-    (RunOutcome::Ok, nominal_period / degraded_period)
-}
-
-/// Folds per-trial results (panics included) into a tally plus the
-/// mean throughput retention over the surviving trials.
-fn tally_results(results: &[Result<(RunOutcome, f64), String>]) -> (OutcomeTally, f64) {
-    let mut tally = OutcomeTally::new();
-    let mut sum = 0.0;
-    for r in results {
-        match r {
-            Ok((outcome, retention)) => {
-                tally.record(*outcome);
-                if outcome.is_ok() {
-                    sum += retention;
-                }
-            }
-            Err(_) => tally.record_panic(),
-        }
-    }
-    let retention = if tally.ok == 0 {
-        0.0
-    } else {
-        sum / tally.ok as f64
-    };
-    (tally, retention)
 }
 
 /// All four watchdog classifications on handcrafted circuits, plus one

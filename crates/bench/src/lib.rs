@@ -12,6 +12,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod experiments;
+pub mod grid;
 pub mod regress;
 pub mod timing;
 

@@ -40,6 +40,22 @@ impl RunOutcome {
     pub fn is_ok(&self) -> bool {
         matches!(self, RunOutcome::Ok)
     }
+
+    /// Parses a [`label`](RunOutcome::label) back into the outcome —
+    /// the inverse used when trial results round-trip through JSON
+    /// checkpoints. Returns `None` for unknown vocabulary (including
+    /// the sweep layer's own `"panic"` marker, which is not a
+    /// [`RunOutcome`]).
+    #[must_use]
+    pub fn from_label(label: &str) -> Option<RunOutcome> {
+        match label {
+            "ok" => Some(RunOutcome::Ok),
+            "timing" => Some(RunOutcome::TimingViolation),
+            "deadlock" => Some(RunOutcome::Deadlock),
+            "budget" => Some(RunOutcome::Budget),
+            _ => None,
+        }
+    }
 }
 
 impl fmt::Display for RunOutcome {
@@ -125,6 +141,20 @@ impl OutcomeTally {
         }
         tally
     }
+
+    /// The tally as a deterministic JSON object (fixed key order), the
+    /// form sweep reports embed per grid point.
+    #[must_use]
+    pub fn to_json(&self) -> sim_observe::Json {
+        use sim_observe::Json;
+        Json::obj(vec![
+            ("ok", Json::UInt(self.ok)),
+            ("timing", Json::UInt(self.timing)),
+            ("deadlock", Json::UInt(self.deadlock)),
+            ("budget", Json::UInt(self.budget)),
+            ("panicked", Json::UInt(self.panicked)),
+        ])
+    }
 }
 
 impl fmt::Display for OutcomeTally {
@@ -163,6 +193,32 @@ mod tests {
     #[test]
     fn empty_tally_is_vacuously_successful() {
         assert_eq!(OutcomeTally::new().success_rate(), 1.0);
+    }
+
+    #[test]
+    fn labels_round_trip_and_reject_unknowns() {
+        for o in [
+            RunOutcome::Ok,
+            RunOutcome::TimingViolation,
+            RunOutcome::Deadlock,
+            RunOutcome::Budget,
+        ] {
+            assert_eq!(RunOutcome::from_label(o.label()), Some(o));
+        }
+        assert_eq!(RunOutcome::from_label("panic"), None);
+        assert_eq!(RunOutcome::from_label(""), None);
+    }
+
+    #[test]
+    fn tally_serializes_deterministically() {
+        let mut t = OutcomeTally::new();
+        t.record(RunOutcome::Ok);
+        t.record(RunOutcome::Budget);
+        t.record_panic();
+        assert_eq!(
+            t.to_json().to_compact(),
+            r#"{"ok":1,"timing":0,"deadlock":0,"budget":1,"panicked":1}"#
+        );
     }
 
     #[test]

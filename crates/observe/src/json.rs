@@ -111,6 +111,15 @@ impl Json {
         }
     }
 
+    /// The items, if this is an array.
+    #[must_use]
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
     /// Serializes without whitespace.
     #[must_use]
     pub fn to_compact(&self) -> String {
@@ -127,6 +136,17 @@ impl Json {
         self.write(&mut out, Some(2), 0);
         out.push('\n');
         out
+    }
+
+    /// Content digest: [`fnv1a64`] over the compact serialization, as
+    /// 16 lowercase hex digits. Because serialization is deterministic
+    /// (insertion-ordered objects, shortest round-trip floats), equal
+    /// values always digest equally — the workspace uses this to pin
+    /// sweep manifests to their checkpoints and to content-address
+    /// cached reports.
+    #[must_use]
+    pub fn digest(&self) -> String {
+        format!("{:016x}", fnv1a64(self.to_compact().as_bytes()))
     }
 
     fn write(&self, out: &mut String, indent: Option<usize>, depth: usize) {
@@ -190,6 +210,18 @@ fn write_seq(
         out.push_str(&" ".repeat(step * depth));
     }
     out.push(close);
+}
+
+/// FNV-1a 64-bit: tiny, dependency-free, and plenty for content
+/// addressing when the full canonical bytes are verified on lookup.
+#[must_use]
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
 }
 
 /// Deterministic float formatting: non-finite values have no JSON

@@ -58,7 +58,7 @@ pub mod trace;
 
 pub use check::{check_trace, CheckReport, Violation};
 pub use hist::LogHistogram;
-pub use json::{fmt_f64, parse, parse_with_limits, Json, JsonError, ParseLimits};
+pub use json::{fmt_f64, fnv1a64, parse, parse_with_limits, Json, JsonError, ParseLimits};
 pub use metrics::Metrics;
 pub use timer::{duration_ns, timed, SpanTimer};
 pub use trace::{
@@ -69,7 +69,7 @@ pub use trace::{
 pub mod prelude {
     pub use crate::check::{check_trace, CheckReport, Violation};
     pub use crate::hist::LogHistogram;
-    pub use crate::json::{parse, parse_with_limits, Json, JsonError, ParseLimits};
+    pub use crate::json::{fnv1a64, parse, parse_with_limits, Json, JsonError, ParseLimits};
     pub use crate::metrics::Metrics;
     pub use crate::timer::{duration_ns, timed, SpanTimer};
     pub use crate::trace::{ps_from_units, PathStep, Trace, TraceBuf, TraceEvent, WallSpan};

@@ -210,17 +210,35 @@ thread_local! {
 
 /// Writes a user-requested artifact (a `--vcd` dump, say) from inside
 /// an experiment body, reporting the result on stderr so stdout stays
-/// byte-identical with and without the flag. On failure it prints a
-/// uniform `error: …` line and marks the run so the CLI driver exits
-/// nonzero — experiment bodies return a [`Report`], not an exit code.
+/// byte-identical with and without the flag. Missing parent
+/// directories are created first — `--json out/run7/e5.json` works on
+/// a fresh checkout instead of failing with a raw I/O error. On
+/// failure it prints a uniform `error: …` line and marks the run so
+/// the CLI driver exits nonzero — experiment bodies return a
+/// [`Report`], not an exit code.
 pub fn write_artifact(label: &str, path: &str, contents: &str) {
-    match std::fs::write(path, contents) {
+    match write_with_parents(path, contents) {
         Ok(()) => eprintln!("{label}: {path}"),
         Err(err) => {
             eprintln!("error: failed to write {label} to `{path}`: {err}");
             ARTIFACT_FAILED.with(|f| f.set(true));
         }
     }
+}
+
+/// `std::fs::write` preceded by `create_dir_all` on the parent, so a
+/// path into a not-yet-existing directory succeeds.
+///
+/// # Errors
+///
+/// Propagates the directory-creation or write failure.
+pub fn write_with_parents(path: &str, contents: &str) -> std::io::Result<()> {
+    if let Some(parent) = std::path::Path::new(path).parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    std::fs::write(path, contents)
 }
 
 /// Drains the thread's artifact-failure flag: true if any
@@ -694,8 +712,15 @@ mod tests {
     #[test]
     fn failed_artifact_write_fails_the_cli_run() {
         let exps: &[&dyn Experiment] = &[&ArtifactExp];
-        let bad = "/nonexistent-dir-sim-runtime/x.vcd".to_owned();
+        // A parent that is an existing regular file defeats both
+        // create_dir_all and the write itself, on any platform, as any
+        // user (an absolute bogus directory would be *created* by the
+        // parent-dir logic when running as root).
+        let file_parent = std::env::temp_dir().join("sim_runtime_artifact_not_a_dir");
+        std::fs::write(&file_parent, "occupied").expect("temp file");
+        let bad = file_parent.join("x.vcd").to_string_lossy().into_owned();
         let code = cli_main(exps, "artifact", ["--vcd".to_owned(), bad]);
+        let _ = std::fs::remove_file(&file_parent);
         assert_eq!(code, 1, "a lost --vcd artifact must fail the run");
         // The flag is drained: a following clean run exits 0.
         let good = std::env::temp_dir().join("sim_runtime_artifact_test.vcd");
@@ -703,6 +728,20 @@ mod tests {
         let code = cli_main(exps, "artifact", ["--vcd".to_owned(), good_s]);
         assert_eq!(code, 0);
         let _ = std::fs::remove_file(&good);
+    }
+
+    #[test]
+    fn write_artifact_creates_missing_parent_directories() {
+        let exps: &[&dyn Experiment] = &[&ArtifactExp];
+        let root = std::env::temp_dir().join("sim_runtime_artifact_nested");
+        let _ = std::fs::remove_dir_all(&root);
+        let nested = root.join("a").join("b").join("x.vcd");
+        let nested_s = nested.to_string_lossy().into_owned();
+        let code = cli_main(exps, "artifact", ["--vcd".to_owned(), nested_s]);
+        assert_eq!(code, 0, "missing parent dirs must be created, not fatal");
+        let written = std::fs::read_to_string(&nested).expect("artifact exists");
+        assert_eq!(written, "$dumpvars\n");
+        let _ = std::fs::remove_dir_all(&root);
     }
 
     #[test]

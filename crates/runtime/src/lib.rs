@@ -59,7 +59,7 @@ pub mod table;
 pub use dist::{sample_normal, Gaussian};
 pub use experiment::{
     run_cli, run_cli_args, run_cli_in, run_experiment, take_artifact_failure,
-    write_artifact, ExpConfig, Experiment, Registry,
+    write_artifact, write_with_parents, ExpConfig, Experiment, Registry,
 };
 pub use report::{
     json_core, json_full, Report, RunInfo, TableSection, REPORT_SCHEMA,

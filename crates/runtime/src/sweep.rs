@@ -82,23 +82,45 @@ impl ParallelSweep {
         T: Send,
         F: Fn(usize, &mut SimRng) -> T + Sync,
     {
-        let workers = self.threads.min(trials.max(1));
+        self.run_range(0..trials, seed, f)
+    }
+
+    /// Runs the **global** trial indices in `range` — the shard API
+    /// behind `sim-sweep`'s checkpointed mega-sweeps.
+    ///
+    /// Trial `g` (a global index) always draws from
+    /// `SimRng::for_trial(seed, g)`, exactly as [`ParallelSweep::run`]
+    /// would have within a full `0..trials` run. Disjoint ranges
+    /// covering `0..trials` therefore produce, concatenated in range
+    /// order, the *byte-identical* result vector of the single
+    /// full-range run — for any thread count, on any machine, in any
+    /// shard completion order. That property is what lets a sweep be
+    /// split across processes (or machines) and merged
+    /// deterministically.
+    pub fn run_range<T, F>(&self, range: std::ops::Range<usize>, seed: u64, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize, &mut SimRng) -> T + Sync,
+    {
+        let lo = range.start;
+        let n = range.len();
+        let workers = self.threads.min(n.max(1));
         if workers <= 1 {
-            return (0..trials)
-                .map(|i| f(i, &mut SimRng::for_trial(seed, i as u64)))
+            return range
+                .map(|g| f(g, &mut SimRng::for_trial(seed, g as u64)))
                 .collect();
         }
         let next = AtomicUsize::new(0);
-        let slots: Vec<Mutex<Option<T>>> =
-            (0..trials).map(|_| Mutex::new(None)).collect();
+        let slots: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
         std::thread::scope(|scope| {
             for _ in 0..workers {
                 scope.spawn(|| loop {
                     let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= trials {
+                    if i >= n {
                         break;
                     }
-                    let out = f(i, &mut SimRng::for_trial(seed, i as u64));
+                    let g = lo + i;
+                    let out = f(g, &mut SimRng::for_trial(seed, g as u64));
                     *slots[i].lock().expect("slot lock poisoned") = Some(out);
                 });
             }
@@ -469,6 +491,30 @@ mod tests {
             let par = ParallelSweep::new(threads).run(200, 99, trial_sum);
             assert_eq!(baseline, par, "thread count {threads} diverged");
         }
+    }
+
+    #[test]
+    fn range_shards_concatenate_to_the_full_run() {
+        let full = ParallelSweep::new(1).run(100, 17, trial_sum);
+        // Uneven contiguous shards, executed out of order and with
+        // different thread counts, still reassemble the exact vector.
+        let cuts = [0usize, 13, 13, 40, 77, 100];
+        let mut shards: Vec<(usize, Vec<u64>)> = Vec::new();
+        for (order, w) in [(3usize, 4usize), (0, 1), (2, 2), (4, 3), (1, 5)] {
+            let (lo, hi) = (cuts[order], cuts[order + 1]);
+            shards.push((lo, ParallelSweep::new(w).run_range(lo..hi, 17, trial_sum)));
+        }
+        shards.sort_by_key(|(lo, _)| *lo);
+        let stitched: Vec<u64> = shards.into_iter().flat_map(|(_, v)| v).collect();
+        assert_eq!(stitched, full, "shard concatenation diverged");
+    }
+
+    #[test]
+    fn run_range_passes_global_indices() {
+        let out = ParallelSweep::new(3).run_range(10..20, 0, |g, _rng| g);
+        assert_eq!(out, (10..20).collect::<Vec<_>>());
+        let empty: Vec<usize> = ParallelSweep::new(3).run_range(5..5, 0, |g, _| g);
+        assert!(empty.is_empty());
     }
 
     #[test]

@@ -31,7 +31,7 @@
 
 use crate::cache::{Cache, CacheStats};
 use crate::pool::{Pool, PoolStats, SubmitError};
-use crate::request::Request;
+use crate::request::{FrontierRequest, Request};
 use sim_faults::FaultRates;
 use sim_runtime::{json_core, run_experiment, Registry};
 use std::collections::HashMap;
@@ -198,11 +198,54 @@ impl Engine {
                     .to_owned(),
             ));
         }
-        let canonical = req.canonical();
-        let key = req.key();
+        let cfg = req.exp_config(self.job_threads);
+        let registry = Arc::clone(&self.registry);
+        let name = req.experiment.clone();
+        self.serve_body(&req.canonical(), req.key(), &req.experiment, move || {
+            let exp = registry.get(&name).expect("validated before submission");
+            let report = run_experiment(exp, &cfg);
+            Ok(Arc::from(json_core(exp, &cfg, &report).to_pretty()))
+        })
+    }
 
+    /// Serves a design-space frontier request: a fast-grid sweep over
+    /// the (scheme × topology × size × fault-rate) grid followed by
+    /// Pareto pruning, through the same cache / single-flight / pool
+    /// path as experiment runs — the sweep is deterministic for a
+    /// given canonical request, so the first caller pays for it and
+    /// everyone after reads cached bytes.
+    ///
+    /// # Errors
+    ///
+    /// See [`ServeError`]; `Busy` and `Timeout` are retryable.
+    pub fn frontier(self: &Arc<Self>, req: &FrontierRequest) -> Result<Outcome, ServeError> {
+        let job = req.clone();
+        let threads = self.job_threads;
+        self.serve_body(&req.canonical(), req.key(), "frontier", move || {
+            let trials = job.trials.unwrap_or(FrontierRequest::DEFAULT_TRIALS);
+            // One shard, checkpointing irrelevant in-process: neither
+            // field participates in the report's manifest digest.
+            let m = bench::grid::default_manifest(job.seed, trials, 1, trials.max(1), job.fast)?;
+            let results = bench::grid::run_sweep_single(&m, threads)?;
+            let report = bench::grid::sweep_report(&m, &results);
+            let frontier = bench::grid::sweep_frontier(&report)?;
+            Ok(Arc::from(frontier.to_pretty()))
+        })
+    }
+
+    /// The shared serving policy: cache lookup, single-flight
+    /// join-or-submit, bounded pool execution, waiter-side deadline.
+    /// `compute` produces the body on a pool thread exactly once per
+    /// cold canonical form; `label` names the job in panic messages.
+    fn serve_body(
+        self: &Arc<Self>,
+        canonical: &str,
+        key: String,
+        label: &str,
+        compute: impl FnOnce() -> Result<Arc<str>, String> + Send + 'static,
+    ) -> Result<Outcome, ServeError> {
         // 1. Cache. (Cache lock only.)
-        if let Some(body) = self.cache.lock().expect("cache mutex").get(&canonical) {
+        if let Some(body) = self.cache.lock().expect("cache mutex").get(canonical) {
             return Ok(Outcome { body, key, cached: true, coalesced: false });
         }
 
@@ -211,7 +254,7 @@ impl Engine {
         // keeps the join/retract window race-free.)
         let (flight, coalesced) = {
             let mut inflight = self.inflight.lock().expect("inflight mutex");
-            if let Some(existing) = inflight.get(&canonical) {
+            if let Some(existing) = inflight.get(canonical) {
                 self.coalesced.fetch_add(1, Ordering::Relaxed);
                 (Arc::clone(existing), true)
             } else {
@@ -219,19 +262,19 @@ impl Engine {
                     done: Mutex::new(None),
                     cv: Condvar::new(),
                 });
-                inflight.insert(canonical.clone(), Arc::clone(&flight));
+                inflight.insert(canonical.to_owned(), Arc::clone(&flight));
                 let engine = Arc::clone(self);
-                let job_req = req.clone();
-                let job_canonical = canonical.clone();
+                let job_canonical = canonical.to_owned();
+                let job_label = label.to_owned();
                 let submitted = self
                     .pool
                     .lock()
                     .expect("pool mutex")
                     .try_submit(Box::new(move || {
-                        engine.execute(&job_req, &job_canonical);
+                        engine.execute(&job_label, &job_canonical, compute);
                     }));
                 if let Err(e) = submitted {
-                    inflight.remove(&canonical);
+                    inflight.remove(canonical);
                     return Err(match e {
                         SubmitError::Busy => ServeError::Busy,
                         SubmitError::ShuttingDown => ServeError::ShuttingDown,
@@ -275,28 +318,24 @@ impl Engine {
         }
     }
 
-    /// Worker-side: run the experiment, cache the body, resolve the
-    /// flight. Runs on a pool thread.
-    fn execute(self: &Arc<Self>, req: &Request, canonical: &str) {
-        let cfg = req.exp_config(self.job_threads);
-        let registry = Arc::clone(&self.registry);
-        let name = req.experiment.clone();
-        let result = catch_unwind(AssertUnwindSafe(|| {
-            let exp = registry
-                .get(&name)
-                .expect("validated before submission");
-            let report = run_experiment(exp, &cfg);
-            let body: Arc<str> = Arc::from(json_core(exp, &cfg, &report).to_pretty());
-            body
-        }))
-        .map_err(|panic| {
-            let msg = panic
-                .downcast_ref::<&str>()
-                .map(|s| (*s).to_owned())
-                .or_else(|| panic.downcast_ref::<String>().cloned())
-                .unwrap_or_else(|| "experiment panicked".to_owned());
-            format!("panic in `{name}`: {msg}")
-        });
+    /// Worker-side: run the job, cache the body, resolve the flight.
+    /// Runs on a pool thread; panics are caught and surfaced as
+    /// [`ServeError::Failed`].
+    fn execute(
+        self: &Arc<Self>,
+        label: &str,
+        canonical: &str,
+        compute: impl FnOnce() -> Result<Arc<str>, String>,
+    ) {
+        let result = catch_unwind(AssertUnwindSafe(compute))
+            .unwrap_or_else(|panic| {
+                let msg = panic
+                    .downcast_ref::<&str>()
+                    .map(|s| (*s).to_owned())
+                    .or_else(|| panic.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "job panicked".to_owned());
+                Err(format!("panic in `{label}`: {msg}"))
+            });
 
         if let Ok(body) = &result {
             // Cache lock only.
@@ -397,6 +436,35 @@ mod tests {
             doc.get("schema").and_then(|s| s.as_str()),
             Some("vlsi-sync/experiment-report")
         );
+    }
+
+    #[test]
+    fn frontier_miss_then_hit_serves_a_frontier_report() {
+        use crate::request::FrontierRequest;
+        let eng = engine(&EngineConfig { workers: 1, ..EngineConfig::default() });
+        let req = FrontierRequest {
+            seed: 7,
+            trials: Some(2),
+            fast: true,
+        };
+        let first = eng.frontier(&req).expect("first frontier run");
+        assert!(!first.cached);
+        let second = eng.frontier(&req).expect("second frontier run");
+        assert!(second.cached, "repeat frontier request must hit the cache");
+        assert_eq!(first.body, second.body);
+        let doc = parse(&first.body).expect("frontier body is valid JSON");
+        assert_eq!(
+            doc.get("schema").and_then(|s| s.as_str()),
+            Some("vlsi-sync/frontier-report")
+        );
+        assert!(
+            doc.get("frontier_size").is_some(),
+            "frontier body carries the pruned set"
+        );
+        // Experiment runs and frontier sweeps share one cache but can
+        // never collide: the canonical forms differ structurally.
+        let run = fast_request("e2", 7);
+        assert_ne!(run.canonical(), req.canonical());
     }
 
     #[test]

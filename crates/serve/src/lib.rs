@@ -50,5 +50,5 @@ pub use engine::{Engine, EngineConfig, Outcome, ServeError};
 pub use loadgen::{LoadgenConfig, LoadResult, MixSummary};
 pub use pool::{Pool, PoolStats, SubmitError};
 pub use proto::{Header, Op};
-pub use request::Request;
+pub use request::{FrontierRequest, Request};
 pub use server::Server;

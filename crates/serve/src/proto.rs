@@ -8,6 +8,7 @@
 //! | op         | request payload                         | response |
 //! |------------|-----------------------------------------|----------|
 //! | `run`      | the [`Request`] fields (`op` optional — the default) | header + report body |
+//! | `frontier` | the [`FrontierRequest`] fields          | header + frontier body |
 //! | `ping`     | —                                       | header only |
 //! | `stats`    | —                                       | header + stats body |
 //! | `shutdown` | —                                       | header only, then drain |
@@ -26,7 +27,7 @@
 //! ```
 
 use crate::engine::Outcome;
-use crate::request::Request;
+use crate::request::{FrontierRequest, Request};
 use sim_observe::{parse_with_limits, Json, ParseLimits};
 
 /// A parsed client message.
@@ -34,6 +35,8 @@ use sim_observe::{parse_with_limits, Json, ParseLimits};
 pub enum Op {
     /// Execute (or serve from cache) an experiment request.
     Run(Request),
+    /// Serve the design-space Pareto frontier (sweep + prune).
+    Frontier(FrontierRequest),
     /// Liveness probe.
     Ping,
     /// Cache/pool/coalescing counter snapshot.
@@ -59,11 +62,12 @@ pub fn parse_line(line: &str) -> Result<Op, String> {
     };
     match op {
         "run" => Ok(Op::Run(Request::from_json(&doc)?)),
+        "frontier" => Ok(Op::Frontier(FrontierRequest::from_json(&doc)?)),
         "ping" => Ok(Op::Ping),
         "stats" => Ok(Op::Stats),
         "shutdown" => Ok(Op::Shutdown),
         other => Err(format!(
-            "unknown op `{other}` (known: run, ping, stats, shutdown)"
+            "unknown op `{other}` (known: run, frontier, ping, stats, shutdown)"
         )),
     }
 }
@@ -199,6 +203,17 @@ mod tests {
         else {
             panic!("explicit run");
         };
+        let Op::Frontier(freq) =
+            parse_line(r#"{"op":"frontier","seed":5,"fast":true}"#).unwrap()
+        else {
+            panic!("frontier op");
+        };
+        assert_eq!(freq.seed, 5);
+        assert!(freq.fast);
+        assert!(
+            parse_line(r#"{"op":"frontier","experiment":"e2"}"#).is_err(),
+            "frontier rejects run-shaped payloads"
+        );
     }
 
     #[test]

@@ -189,17 +189,114 @@ fn uint_field(name: &str, value: &Json) -> Result<u64, String> {
     }
 }
 
-/// FNV-1a 64-bit: tiny, dependency-free, and plenty for content
-/// addressing when the full key is verified on lookup.
-#[must_use]
-pub fn fnv1a64(bytes: &[u8]) -> u64 {
-    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
-    for &b in bytes {
-        hash ^= u64::from(b);
-        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    hash
+/// A validated, default-filled `frontier` request: serve the Pareto
+/// frontier of the design-space sweep (scheme × topology × size ×
+/// fault-rate) at a given seed and trial count.
+///
+/// Normalized exactly like [`Request`]: absent fields default-fill
+/// (`seed` 1, `trials` null → the server default, `fast` false),
+/// unknown fields are rejected, and the canonical form fixes the field
+/// order — so the frontier body is cached and single-flighted under
+/// the same discipline as experiment reports.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FrontierRequest {
+    /// Root RNG seed of the sweep (default 1).
+    pub seed: u64,
+    /// Trials per grid point; `None` → [`FrontierRequest::DEFAULT_TRIALS`].
+    pub trials: Option<u64>,
+    /// Use the reduced fast grid (fewer array sizes).
+    pub fast: bool,
 }
+
+impl Default for FrontierRequest {
+    fn default() -> Self {
+        FrontierRequest {
+            seed: 1,
+            trials: None,
+            fast: false,
+        }
+    }
+}
+
+impl FrontierRequest {
+    /// Trials per grid point when the request leaves `trials` null.
+    pub const DEFAULT_TRIALS: u64 = 40;
+
+    /// Parses and normalizes a `frontier` op payload. Ignores the
+    /// routing field `op`; rejects every other unknown key.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message naming the offending field on
+    /// unknown keys, wrong types, or zero `trials`.
+    pub fn from_json(doc: &Json) -> Result<Self, String> {
+        let pairs = doc
+            .as_object()
+            .ok_or_else(|| "request must be a JSON object".to_owned())?;
+        let mut req = FrontierRequest::default();
+        for (key, value) in pairs {
+            match key.as_str() {
+                "op" => {}
+                "seed" => req.seed = uint_field("seed", value)?,
+                "trials" => {
+                    req.trials = match value {
+                        Json::Null => None,
+                        _ => {
+                            let t = uint_field("trials", value)?;
+                            if t == 0 {
+                                return Err("`trials` must be at least 1".to_owned());
+                            }
+                            Some(t)
+                        }
+                    };
+                }
+                "fast" => {
+                    req.fast = match value {
+                        Json::Bool(b) => *b,
+                        _ => return Err("`fast` must be a boolean".to_owned()),
+                    };
+                }
+                other => {
+                    return Err(format!(
+                        "unknown frontier field `{other}` (known: seed, trials, fast)"
+                    ))
+                }
+            }
+        }
+        Ok(req)
+    }
+
+    /// The canonical JSON form; carries the op tag so frontier bodies
+    /// can never collide with experiment reports in a shared cache.
+    #[must_use]
+    pub fn canonical_json(&self) -> Json {
+        Json::obj(vec![
+            ("v", Json::UInt(REQUEST_SCHEMA_VERSION)),
+            ("op", Json::from("frontier")),
+            ("seed", Json::UInt(self.seed)),
+            ("trials", self.trials.map_or(Json::Null, Json::UInt)),
+            ("fast", Json::Bool(self.fast)),
+        ])
+    }
+
+    /// The canonical compact serialization — the cache's true key.
+    #[must_use]
+    pub fn canonical(&self) -> String {
+        self.canonical_json().to_compact()
+    }
+
+    /// The content address: FNV-1a 64 over the canonical bytes, as 16
+    /// hex digits.
+    #[must_use]
+    pub fn key(&self) -> String {
+        format!("{:016x}", fnv1a64(self.canonical().as_bytes()))
+    }
+}
+
+// The hash itself now lives in sim-observe (manifests and checkpoints
+// digest with the same function); re-exported here so existing callers
+// of `sim_serve::request::fnv1a64` keep compiling.
+pub use sim_observe::fnv1a64;
 
 #[cfg(test)]
 mod tests {
@@ -305,6 +402,35 @@ mod tests {
         assert_eq!(cfg.threads, 3);
         // threads is volatile: same canonical form for any value.
         assert_eq!(r.canonical(), r.clone().canonical());
+    }
+
+    #[test]
+    fn frontier_requests_normalize_and_hash_like_runs() {
+        let freq = |doc: &str| {
+            FrontierRequest::from_json(&parse(doc).expect("valid test doc"))
+        };
+        let minimal = freq(r#"{"op":"frontier"}"#).unwrap();
+        let spelled = freq(r#"{"op":"frontier","seed":1,"trials":null,"fast":false}"#).unwrap();
+        assert_eq!(minimal, spelled);
+        assert_eq!(
+            minimal.canonical(),
+            r#"{"v":1,"op":"frontier","seed":1,"trials":null,"fast":false}"#
+        );
+        assert_eq!(minimal.key(), spelled.key());
+        // Different parameters address different cache entries.
+        let other = freq(r#"{"op":"frontier","seed":2}"#).unwrap();
+        assert_ne!(minimal.canonical(), other.canonical());
+        // And a frontier request never collides with a run request.
+        assert!(!minimal.canonical().starts_with(r#"{"v":1,"experiment""#));
+        // Malformed payloads name the offending field.
+        for (doc, needle) in [
+            (r#"{"op":"frontier","trials":0}"#, "at least 1"),
+            (r#"{"op":"frontier","fast":1}"#, "`fast` must be a boolean"),
+            (r#"{"op":"frontier","experiment":"e2"}"#, "unknown frontier field"),
+        ] {
+            let err = freq(doc).expect_err(doc);
+            assert!(err.contains(needle), "{doc}: got `{err}`");
+        }
     }
 
     #[test]

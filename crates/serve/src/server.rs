@@ -219,21 +219,31 @@ fn serve_line(
             stop.store(true, Ordering::SeqCst);
             false
         }
-        Op::Run(req) => match engine.run(&req) {
-            Ok(outcome) => writer
-                .write_all(proto::run_header(&outcome).as_bytes())
-                .and_then(|()| writer.write_all(outcome.body.as_bytes()))
-                .is_ok(),
-            Err(err) => {
-                let ok = writer
-                    .write_all(
-                        proto::error_header(err.status(), &err.to_string()).as_bytes(),
-                    )
-                    .is_ok();
-                // Drain refusals also close the connection.
-                ok && err != ServeError::ShuttingDown
-            }
-        },
+        Op::Run(req) => write_outcome(engine.run(&req), writer),
+        Op::Frontier(req) => write_outcome(engine.frontier(&req), writer),
+    }
+}
+
+/// Writes a body-carrying outcome (or its error header). Returns
+/// `false` when the connection should close.
+fn write_outcome(
+    result: Result<crate::engine::Outcome, ServeError>,
+    writer: &mut TcpStream,
+) -> bool {
+    match result {
+        Ok(outcome) => writer
+            .write_all(proto::run_header(&outcome).as_bytes())
+            .and_then(|()| writer.write_all(outcome.body.as_bytes()))
+            .is_ok(),
+        Err(err) => {
+            let ok = writer
+                .write_all(
+                    proto::error_header(err.status(), &err.to_string()).as_bytes(),
+                )
+                .is_ok();
+            // Drain refusals also close the connection.
+            ok && err != ServeError::ShuttingDown
+        }
     }
 }
 
@@ -290,6 +300,33 @@ mod tests {
             TcpStream::connect(addr).is_err(),
             "listener must be closed after drain"
         );
+    }
+
+    #[test]
+    fn frontier_op_round_trips_with_cached_second_hit() {
+        let (addr, stop, handle) = start_server(&EngineConfig::default());
+        let mut client = Client::connect(addr).expect("connect");
+        let line = r#"{"op":"frontier","seed":3,"trials":2,"fast":true}"#;
+        let (h1, body1) = client.roundtrip(line).expect("frontier");
+        assert!(h1.is_ok());
+        assert!(!h1.cached);
+        assert_eq!(body1.len(), h1.bytes);
+        let doc = sim_observe::parse(&body1).expect("frontier body is JSON");
+        assert_eq!(
+            doc.get("schema").and_then(|s| s.as_str()),
+            Some("vlsi-sync/frontier-report")
+        );
+        let (h2, body2) = client.roundtrip(line).expect("frontier again");
+        assert!(h2.cached, "identical frontier request must hit the cache");
+        assert_eq!(body1, body2);
+        assert_eq!(h1.key, h2.key);
+        let (hb, _) = client
+            .roundtrip(r#"{"op":"frontier","trials":0}"#)
+            .expect("bad frontier answered");
+        assert_eq!(hb.status, "malformed");
+        stop.store(true, Ordering::SeqCst);
+        drop(client);
+        handle.join().expect("drain");
     }
 
     #[test]

@@ -1,0 +1,296 @@
+//! Pareto-frontier pruning over a merged sweep report.
+//!
+//! The design-space question the paper poses — which synchronization
+//! scheme wins at which array size under which failure assumptions —
+//! has no single answer: schemes trade survival against hardware
+//! cost. What *can* be answered mechanically is which configurations
+//! are **dominated**: no better on any objective and strictly worse
+//! on at least one than some other configuration in the *same
+//! requirement group* (same array size and fault rate — comparing a
+//! 4×4 fault-free run against a 16×16 5 %-fault run would be apples
+//! to oranges). Everything undominated is the frontier.
+
+use crate::manifest::req_str;
+use sim_observe::Json;
+
+/// Schema identifier of the frontier report.
+pub const FRONTIER_SCHEMA: &str = "vlsi-sync/frontier-report";
+/// Current frontier-report schema version.
+pub const FRONTIER_SCHEMA_VERSION: u64 = 1;
+
+/// One optimization objective: a key into each point's `summary`
+/// object and a direction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Objective {
+    /// Summary key the objective reads (e.g. `"survival"`, `"cost"`).
+    pub key: String,
+    /// True to prefer larger values, false to prefer smaller.
+    pub maximize: bool,
+}
+
+impl Objective {
+    /// A maximized objective (`survival`, `retention`, …).
+    #[must_use]
+    pub fn max(key: impl Into<String>) -> Objective {
+        Objective {
+            key: key.into(),
+            maximize: true,
+        }
+    }
+
+    /// A minimized objective (`cost`, `skew`, …).
+    #[must_use]
+    pub fn min(key: impl Into<String>) -> Objective {
+        Objective {
+            key: key.into(),
+            maximize: false,
+        }
+    }
+
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("key", Json::Str(self.key.clone())),
+            (
+                "dir",
+                Json::Str(if self.maximize { "max" } else { "min" }.to_owned()),
+            ),
+        ])
+    }
+}
+
+struct Candidate {
+    label: String,
+    point: Json,
+    group: String,
+    values: Vec<f64>,
+}
+
+/// `true` when `a` dominates `b`: at least as good on every objective
+/// and strictly better on at least one.
+fn dominates(a: &[f64], b: &[f64], objectives: &[Objective]) -> bool {
+    let mut strictly = false;
+    for (i, obj) in objectives.iter().enumerate() {
+        let (x, y) = if obj.maximize {
+            (a[i], b[i])
+        } else {
+            (b[i], a[i])
+        };
+        if x < y {
+            return false;
+        }
+        if x > y {
+            strictly = true;
+        }
+    }
+    strictly
+}
+
+/// Prunes a merged sweep report (schema `vlsi-sync/sweep-report`) to
+/// its Pareto frontier. Dominance is only tested between points whose
+/// `group_keys` fields (point-level fields such as `"size"` and
+/// `"fault_rate"` — the *requirements* a design must meet, as opposed
+/// to the choices it is free to make) all serialize identically;
+/// `objectives` index into each point's `summary`. The output lists
+/// every point with its objective values and its first dominator (in
+/// report order), plus the surviving frontier labels — deterministic
+/// given a deterministic input report.
+///
+/// # Errors
+///
+/// Returns a message when the report is not a sweep report, a point
+/// lacks a group key, or a summary lacks (or mistypes) an objective
+/// key.
+pub fn frontier_report(
+    report: &Json,
+    group_keys: &[&str],
+    objectives: &[Objective],
+) -> Result<Json, String> {
+    let schema = req_str(report, "schema")?;
+    if schema != crate::merge::SWEEP_REPORT_SCHEMA {
+        return Err(format!("not a sweep report: schema `{schema}`"));
+    }
+    let points = report
+        .get("points")
+        .ok_or("missing field `points`")?
+        .as_array()
+        .ok_or("`points` must be an array")?;
+
+    let mut candidates = Vec::with_capacity(points.len());
+    for p in points {
+        let label = req_str(p, "label")?;
+        let group = group_keys
+            .iter()
+            .map(|k| {
+                p.get(k)
+                    .map(Json::to_compact)
+                    .ok_or_else(|| format!("point `{label}` has no `{k}` field"))
+            })
+            .collect::<Result<Vec<_>, _>>()?
+            .join("|");
+        let summary = p.get("summary").ok_or("point missing `summary`")?;
+        let mut values = Vec::with_capacity(objectives.len());
+        for obj in objectives {
+            let v = summary
+                .get(&obj.key)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("summary of `{label}` lacks numeric `{}`", obj.key))?;
+            values.push(v);
+        }
+        candidates.push(Candidate {
+            label,
+            point: p.clone(),
+            group,
+            values,
+        });
+    }
+
+    let mut out_points = Vec::with_capacity(candidates.len());
+    let mut frontier = Vec::new();
+    for (i, c) in candidates.iter().enumerate() {
+        let dominator = candidates
+            .iter()
+            .enumerate()
+            .find(|(j, d)| {
+                *j != i && d.group == c.group && dominates(&d.values, &c.values, objectives)
+            })
+            .map(|(_, d)| d.label.clone());
+        if dominator.is_none() {
+            frontier.push(Json::Str(c.label.clone()));
+        }
+        let mut entry = match &c.point {
+            Json::Object(pairs) => pairs.clone(),
+            _ => Vec::new(),
+        };
+        entry.push((
+            "dominated_by".to_owned(),
+            dominator.map_or(Json::Null, Json::Str),
+        ));
+        out_points.push(Json::Object(entry));
+    }
+
+    Ok(Json::obj(vec![
+        ("schema", Json::Str(FRONTIER_SCHEMA.to_owned())),
+        ("schema_version", Json::UInt(FRONTIER_SCHEMA_VERSION)),
+        (
+            "source_digest",
+            Json::Str(req_str(report, "manifest_digest")?),
+        ),
+        (
+            "group_by",
+            Json::Array(
+                group_keys
+                    .iter()
+                    .map(|k| Json::Str((*k).to_owned()))
+                    .collect(),
+            ),
+        ),
+        (
+            "objectives",
+            Json::Array(objectives.iter().map(Objective::to_json).collect()),
+        ),
+        ("frontier_size", Json::UInt(frontier.len() as u64)),
+        ("frontier", Json::Array(frontier)),
+        ("points", Json::Array(out_points)),
+    ]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::manifest::{GridPoint, Manifest};
+    use crate::merge::merged_report;
+
+    fn report_with(summaries: &[(&str, f64, f64, f64)]) -> Json {
+        // (scheme, fault_rate, survival, cost)
+        let points = summaries
+            .iter()
+            .map(|(s, r, _, _)| GridPoint::new(*s, "t", 4, *r))
+            .collect();
+        let m = Manifest::new("ftest", 1, 1, 1, 1, points).expect("manifest");
+        let results: Vec<Json> = summaries.iter().map(|_| Json::Null).collect();
+        merged_report(&m, &results, |i, _, _| {
+            Json::obj(vec![
+                ("survival", Json::Float(summaries[i].2)),
+                ("cost", Json::Float(summaries[i].3)),
+            ])
+        })
+    }
+
+    fn objectives() -> Vec<Objective> {
+        vec![Objective::max("survival"), Objective::min("cost")]
+    }
+
+    #[test]
+    fn dominated_points_are_pruned_within_their_group() {
+        let report = report_with(&[
+            ("good", 0.0, 0.9, 10.0),
+            ("worse", 0.0, 0.8, 12.0), // dominated by `good`
+            ("pricier", 0.0, 1.0, 50.0), // better survival: survives
+        ]);
+        let f = frontier_report(&report, &["fault_rate"], &objectives()).expect("frontier");
+        let labels: Vec<&str> = f
+            .get("frontier")
+            .and_then(Json::as_array)
+            .expect("frontier array")
+            .iter()
+            .filter_map(Json::as_str)
+            .collect();
+        assert_eq!(labels, ["good/t/k=4@r=0.0", "pricier/t/k=4@r=0.0"]);
+        let points = f.get("points").and_then(Json::as_array).expect("points");
+        assert_eq!(
+            points[1].get("dominated_by").and_then(Json::as_str),
+            Some("good/t/k=4@r=0.0")
+        );
+        assert_eq!(points[0].get("dominated_by"), Some(&Json::Null));
+    }
+
+    #[test]
+    fn dominance_never_crosses_environment_groups() {
+        // The same config under faults looks strictly worse than the
+        // fault-free run — but they are different environments.
+        let report = report_with(&[("s", 0.0, 1.0, 10.0), ("s", 0.05, 0.5, 10.0)]);
+        let f = frontier_report(&report, &["fault_rate"], &objectives()).expect("frontier");
+        assert_eq!(
+            f.get("frontier_size"),
+            Some(&Json::UInt(2)),
+            "both groups keep their only member"
+        );
+    }
+
+    #[test]
+    fn multi_key_grouping_separates_sizes() {
+        // Same fault rate, different sizes: the small array is cheaper
+        // and more survivable, but size is a requirement — with
+        // ["size","fault_rate"] grouping nothing is pruned.
+        let points = vec![GridPoint::new("s", "t", 4, 0.0), GridPoint::new("s", "t", 16, 0.0)];
+        let m = Manifest::new("sizes", 1, 1, 1, 1, points).expect("manifest");
+        let vals = [(1.0, 10.0), (0.5, 100.0)];
+        let report = merged_report(&m, &[Json::Null, Json::Null], |i, _, _| {
+            Json::obj(vec![
+                ("survival", Json::Float(vals[i].0)),
+                ("cost", Json::Float(vals[i].1)),
+            ])
+        });
+        let split = frontier_report(&report, &["size", "fault_rate"], &objectives())
+            .expect("frontier");
+        assert_eq!(split.get("frontier_size"), Some(&Json::UInt(2)));
+        let pooled =
+            frontier_report(&report, &["fault_rate"], &objectives()).expect("frontier");
+        assert_eq!(pooled.get("frontier_size"), Some(&Json::UInt(1)));
+    }
+
+    #[test]
+    fn ties_survive_on_both_sides() {
+        let report = report_with(&[("a", 0.0, 0.9, 10.0), ("b", 0.0, 0.9, 10.0)]);
+        let f = frontier_report(&report, &["fault_rate"], &objectives()).expect("frontier");
+        assert_eq!(f.get("frontier_size"), Some(&Json::UInt(2)));
+    }
+
+    #[test]
+    fn missing_objective_keys_are_reported() {
+        let report = report_with(&[("a", 0.0, 0.9, 10.0)]);
+        let err = frontier_report(&report, &["fault_rate"], &[Objective::max("skew")])
+            .expect_err("missing key");
+        assert!(err.contains("skew"), "got: {err}");
+    }
+}

@@ -1,0 +1,69 @@
+//! Checkpointed mega-sweeps for the Fisher–Kung reproduction.
+//!
+//! The workspace's Monte-Carlo sweeps are loops over *independent*
+//! trials whose RNG streams derive from `(seed, global_trial_index)`
+//! alone ([`sim_runtime::ParallelSweep`]). That makes trials order-free
+//! and location-free: any process can run any contiguous slice of the
+//! global trial range and the results concatenate into exactly the
+//! vector a single process would have produced. This crate builds the
+//! machinery that exploits it:
+//!
+//! * [`manifest`] — a schema-versioned JSON **sweep manifest**
+//!   ([`Manifest`]) describing the grid ([`GridPoint`]: scheme ×
+//!   topology × size × fault-rate), trial counts, master seed, and the
+//!   shard partition, with a content [digest](Manifest::digest) that
+//!   pins checkpoints to the manifest they belong to;
+//! * [`checkpoint`] — **atomic checkpoint files** ([`Checkpoint`]):
+//!   written to a temp file and renamed into place every N trials, so
+//!   a `kill -9` mid-write can never leave a truncated checkpoint and
+//!   a killed shard resumes exactly where it stopped;
+//! * [`shard`] — the **shard runner** ([`run_shard`]): executes one
+//!   shard's disjoint trial range with auto-resume, periodic
+//!   checkpointing, and a `stop_after` budget for testing kill/resume;
+//! * [`merge`] — the **deterministic merge** ([`load_shards`],
+//!   [`merged_report`]): folds shard checkpoints — completed in any
+//!   order — into one report byte-identical to a single-process run;
+//! * [`frontier`] — **Pareto pruning** ([`frontier_report`]): drops
+//!   grid points dominated within their environment group (worse on
+//!   every objective, strictly worse on at least one) and emits the
+//!   surviving design frontier.
+//!
+//! # Examples
+//!
+//! ```
+//! use sim_observe::Json;
+//! use sim_sweep::prelude::*;
+//!
+//! let points = vec![GridPoint::new("global", "spine", 4, 0.0)];
+//! let m = Manifest::new("demo", 7, 10, 3, 4, points).unwrap();
+//! // Trials 0..10 split into contiguous shard ranges 0..4, 4..7, 7..10.
+//! assert_eq!(m.shard_range(0), 0..4);
+//! assert_eq!(m.shard_range(2), 7..10);
+//! // A shard-free single-process run of the same manifest:
+//! let all = run_single(&m, 1, |_, _, trial, _| Json::UInt(trial));
+//! assert_eq!(all.len(), 10);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod checkpoint;
+pub mod frontier;
+pub mod manifest;
+pub mod merge;
+pub mod shard;
+
+pub use checkpoint::{Checkpoint, CHECKPOINT_SCHEMA, CHECKPOINT_SCHEMA_VERSION};
+pub use frontier::{frontier_report, Objective, FRONTIER_SCHEMA, FRONTIER_SCHEMA_VERSION};
+pub use manifest::{GridPoint, Manifest, MANIFEST_SCHEMA, MANIFEST_SCHEMA_VERSION};
+pub use merge::{load_shards, merged_report, SWEEP_REPORT_SCHEMA, SWEEP_REPORT_SCHEMA_VERSION};
+pub use shard::{run_shard, run_single, shard_path, ShardOpts, ShardStatus};
+
+/// One-stop imports for sweep-driving code.
+pub mod prelude {
+    pub use crate::checkpoint::Checkpoint;
+    pub use crate::frontier::{frontier_report, Objective};
+    pub use crate::manifest::{GridPoint, Manifest};
+    pub use crate::merge::{load_shards, merged_report};
+    pub use crate::shard::{run_shard, run_single, shard_path, ShardOpts, ShardStatus};
+}

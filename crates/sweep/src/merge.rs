@@ -1,0 +1,207 @@
+//! Deterministic shard merge: fold any complete set of shard
+//! checkpoints into the one report a single-process run would emit.
+//!
+//! Shard ranges are contiguous and concatenate in shard order to the
+//! global trial range, so the merge is pure concatenation followed by
+//! a pure per-point aggregation — no floating-point reassociation, no
+//! completion-order sensitivity. `merge(shards) == aggregate(single)`
+//! holds byte-for-byte and is pinned by tests and the CI kill/resume
+//! smoke.
+
+use crate::checkpoint::Checkpoint;
+use crate::manifest::{GridPoint, Manifest};
+use crate::shard::shard_path;
+use sim_observe::Json;
+
+/// Schema identifier of the merged sweep report.
+pub const SWEEP_REPORT_SCHEMA: &str = "vlsi-sync/sweep-report";
+/// Current sweep-report schema version.
+pub const SWEEP_REPORT_SCHEMA_VERSION: u64 = 1;
+
+/// Loads every shard checkpoint of `manifest` from `dir`, validates
+/// completeness and manifest identity, and concatenates the results
+/// into global-trial order.
+///
+/// # Errors
+///
+/// Returns a message naming the first missing, unreadable, foreign,
+/// or incomplete shard.
+pub fn load_shards(manifest: &Manifest, dir: &str) -> Result<Vec<Json>, String> {
+    let digest = manifest.digest();
+    let mut results = Vec::with_capacity(manifest.total_trials());
+    for shard in 0..manifest.shards {
+        let range = manifest.shard_range(shard);
+        if range.is_empty() {
+            continue;
+        }
+        let path = shard_path(dir, shard);
+        let cp = Checkpoint::load(&path)?;
+        if cp.manifest_digest != digest {
+            return Err(format!(
+                "shard {shard} belongs to manifest {}, not {digest}",
+                cp.manifest_digest
+            ));
+        }
+        if cp.lo != range.start as u64 || cp.hi != range.end as u64 {
+            return Err(format!(
+                "shard {shard} covers {}..{}, manifest expects {}..{}",
+                cp.lo, cp.hi, range.start, range.end
+            ));
+        }
+        if !cp.is_complete() {
+            return Err(format!(
+                "shard {shard} is incomplete: {}/{} trials (resume it first)",
+                cp.completed,
+                range.len()
+            ));
+        }
+        results.extend(cp.results);
+    }
+    Ok(results)
+}
+
+/// Builds the merged sweep report from global-ordered per-trial
+/// results. `aggregate` receives `(point_index, point, trials)` — the
+/// point's contiguous slice of results — and returns the point's
+/// summary object. Being a pure function of the ordered results, the
+/// report is byte-identical whether `results` came from
+/// [`run_single`](crate::run_single) or from [`load_shards`].
+///
+/// # Panics
+///
+/// Panics if `results` does not hold exactly
+/// [`Manifest::total_trials`] entries.
+pub fn merged_report<A>(manifest: &Manifest, results: &[Json], aggregate: A) -> Json
+where
+    A: Fn(usize, &GridPoint, &[Json]) -> Json,
+{
+    assert_eq!(
+        results.len(),
+        manifest.total_trials(),
+        "merge requires exactly one result per trial"
+    );
+    let tpp = manifest.trials_per_point as usize;
+    let points: Vec<Json> = manifest
+        .points
+        .iter()
+        .enumerate()
+        .map(|(i, point)| {
+            let trials = &results[i * tpp..(i + 1) * tpp];
+            Json::obj(vec![
+                ("label", Json::Str(point.label())),
+                ("scheme", Json::Str(point.scheme.clone())),
+                ("topology", Json::Str(point.topology.clone())),
+                ("size", Json::UInt(point.size)),
+                ("fault_rate", Json::Float(point.fault_rate)),
+                ("summary", aggregate(i, point, trials)),
+            ])
+        })
+        .collect();
+    Json::obj(vec![
+        ("schema", Json::Str(SWEEP_REPORT_SCHEMA.to_owned())),
+        ("schema_version", Json::UInt(SWEEP_REPORT_SCHEMA_VERSION)),
+        ("name", Json::Str(manifest.name.clone())),
+        ("manifest_digest", Json::Str(manifest.digest())),
+        ("seed", Json::UInt(manifest.seed)),
+        ("trials_per_point", Json::UInt(manifest.trials_per_point)),
+        ("total_trials", Json::UInt(manifest.total_trials() as u64)),
+        ("points", Json::Array(points)),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::manifest::GridPoint;
+    use crate::shard::{run_shard, run_single, ShardOpts};
+    use sim_runtime::{Rng, SimRng};
+
+    fn toy_manifest(shards: u64) -> Manifest {
+        Manifest::new(
+            "merge-toy",
+            7,
+            8,
+            shards,
+            3,
+            vec![
+                GridPoint::new("a", "t", 2, 0.0),
+                GridPoint::new("b", "t", 3, 0.5),
+                GridPoint::new("c", "u", 4, 1.0),
+            ],
+        )
+        .expect("valid manifest")
+    }
+
+    fn toy_trial(_pi: usize, point: &GridPoint, t: u64, rng: &mut SimRng) -> Json {
+        Json::Float(((point.size as f64) * rng.gen_f64() + t as f64 * 1e-3 * 1e6).round() / 1e6)
+    }
+
+    fn mean_summary(_i: usize, _p: &GridPoint, trials: &[Json]) -> Json {
+        // Left-to-right fold: order-sensitive on purpose, so a merge
+        // that reorders trials cannot sneak past the byte comparison.
+        let sum: f64 = trials.iter().filter_map(Json::as_f64).sum();
+        Json::obj(vec![
+            ("n", Json::UInt(trials.len() as u64)),
+            ("mean", Json::Float(sum / trials.len() as f64)),
+        ])
+    }
+
+    fn fresh_dir(name: &str) -> String {
+        let dir = std::env::temp_dir().join(format!("sim_sweep_merge_{}_{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir.to_string_lossy().into_owned()
+    }
+
+    #[test]
+    fn any_shard_count_and_order_merges_byte_identically() {
+        // Satellite requirement in miniature: the workspace-level test
+        // (tests/sweep_determinism.rs) repeats this over the real grid.
+        let reference = {
+            let m = toy_manifest(1);
+            let results = run_single(&m, 2, toy_trial);
+            merged_report(&m, &results, mean_summary).to_pretty()
+        };
+        for (shards, order) in [(1, vec![0]), (4, vec![2, 0, 3, 1]), (7, vec![6, 1, 4, 0, 5, 2, 3])]
+        {
+            let m = toy_manifest(shards);
+            let dir = fresh_dir(&format!("order{shards}"));
+            for s in order {
+                run_shard(&m, s, &dir, &ShardOpts::default(), toy_trial).expect("shard");
+            }
+            let merged = load_shards(&m, &dir).expect("merge");
+            let report = merged_report(&m, &merged, mean_summary).to_pretty();
+            assert_eq!(report, reference, "shards={shards}");
+            let _ = std::fs::remove_dir_all(std::path::Path::new(&dir));
+        }
+    }
+
+    #[test]
+    fn incomplete_shards_refuse_to_merge() {
+        let m = toy_manifest(3);
+        let dir = fresh_dir("incomplete");
+        let opts = ShardOpts {
+            stop_after: Some(2),
+            ..ShardOpts::default()
+        };
+        for s in 0..3 {
+            let budget = if s == 1 { &opts } else { &ShardOpts::default() };
+            run_shard(&m, s, &dir, budget, toy_trial).expect("shard");
+        }
+        let err = load_shards(&m, &dir).expect_err("incomplete shard must fail the merge");
+        assert!(err.contains("incomplete"), "got: {err}");
+        // Resuming the stopped shard completes the set.
+        run_shard(&m, 1, &dir, &ShardOpts::default(), toy_trial).expect("resume");
+        let merged = load_shards(&m, &dir).expect("merge after resume");
+        assert_eq!(merged, run_single(&m, 1, toy_trial));
+        let _ = std::fs::remove_dir_all(std::path::Path::new(&dir));
+    }
+
+    #[test]
+    fn missing_shard_is_a_clear_error() {
+        let m = toy_manifest(2);
+        let dir = fresh_dir("missing");
+        run_shard(&m, 0, &dir, &ShardOpts::default(), toy_trial).expect("shard 0");
+        assert!(load_shards(&m, &dir).is_err());
+        let _ = std::fs::remove_dir_all(std::path::Path::new(&dir));
+    }
+}

@@ -49,6 +49,16 @@ run target/release/trace_check target/bench/e12_trace.json
 # (cache must hit), BENCH_serve.json vs its baseline, clean drain on
 # stdin close.
 run scripts/serve_smoke.sh target/release
+# Sweep smoke: the checkpointed mega-sweep workflow with a mid-run
+# kill -9 — shard, kill, inject a torn temp file, resume, merge — the
+# merged report must be byte-identical to the uninterrupted
+# single-process baseline; CLI contracts (--help 0, usage 2) on both
+# new binaries ride along.
+run scripts/sweep_smoke.sh target/release
+# Sweep micro-bench: digests and merge==single invariant exact, wall
+# clocks structural, vs the committed baseline.
+run target/release/sweep_shard --bench --out target/bench/BENCH_sweep.json
+run target/release/bench_regress --compare target/bench/BENCH_sweep.json --baselines baselines
 
 if [ "$HEAVY" = 1 ]; then
     run cargo test -q --offline --features heavy-tests --test props

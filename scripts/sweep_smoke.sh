@@ -1,0 +1,93 @@
+#!/usr/bin/env bash
+# Sweep smoke: the checkpointed mega-sweep workflow end to end, with a
+# mid-run kill. Emit a sharded manifest, take a single-process baseline
+# report, run two shards to completion, kill -9 the third mid-range
+# (and inject a torn temp file next to its checkpoint), resume it, and
+# verify the merged report is byte-identical to the baseline. Also
+# checks both new binaries' CLI contracts (--help exits 0, garbage
+# numerics exit 2).
+#
+# Usage: scripts/sweep_smoke.sh [BIN_DIR]
+#   BIN_DIR   directory holding explore/sweep_shard (default target/release)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BIN="${1:-target/release}"
+OUT=target/bench/sweep_smoke
+rm -rf "$OUT"
+mkdir -p "$OUT"
+
+fail() {
+    echo "sweep_smoke: $*" >&2
+    exit 1
+}
+
+# CLI contracts: --help exits 0 on both binaries, garbage numerics 2.
+"$BIN/explore" --help >/dev/null || fail "explore --help must exit 0"
+"$BIN/sweep_shard" --help >/dev/null || fail "sweep_shard --help must exit 0"
+rc=0; "$BIN/explore" --trials banana 2>/dev/null || rc=$?
+[ "$rc" -eq 2 ] || fail "explore must exit 2 on garbage --trials (got $rc)"
+rc=0; "$BIN/sweep_shard" --manifest x --shard -3 --dir y 2>/dev/null || rc=$?
+[ "$rc" -eq 2 ] || fail "sweep_shard must exit 2 on garbage --shard (got $rc)"
+echo "==> CLI contracts hold (--help 0, usage errors 2)"
+
+# The manifest: fast grid, 3 shards, checkpoint every 4 trials.
+MANIFEST="$OUT/manifest.json"
+run() {
+    echo "==> $*"
+    "$@"
+}
+run "$BIN/explore" --fast --seed 7 --trials 12 --shards 3 --checkpoint-every 4 \
+    --emit-manifest "$MANIFEST"
+
+# Uninterrupted single-process baseline.
+run "$BIN/sweep_shard" --manifest "$MANIFEST" --single --out "$OUT/single.json" \
+    --threads 4
+
+# Shards 0 and 2 run to completion; shard 1 is throttled, killed -9
+# mid-range, sabotaged with a torn temp file, and resumed.
+run "$BIN/sweep_shard" --manifest "$MANIFEST" --shard 0 --dir "$OUT/shards" --threads 2
+run "$BIN/sweep_shard" --manifest "$MANIFEST" --shard 2 --dir "$OUT/shards" --threads 2
+
+echo "==> starting throttled shard 1 and killing it mid-range"
+"$BIN/sweep_shard" --manifest "$MANIFEST" --shard 1 --dir "$OUT/shards" \
+    --throttle-ms 30 >"$OUT/shard1_first.log" 2>&1 &
+SHARD_PID=$!
+CKPT="$OUT/shards/shard-1.json"
+for _ in $(seq 1 200); do
+    [ -s "$CKPT" ] && break
+    kill -0 "$SHARD_PID" 2>/dev/null || fail "shard 1 exited before its first checkpoint"
+    sleep 0.05
+done
+[ -s "$CKPT" ] || fail "shard 1 never wrote a checkpoint"
+kill -9 "$SHARD_PID" 2>/dev/null || true
+wait "$SHARD_PID" 2>/dev/null || true
+echo "torn half-written garbage" >"$CKPT.tmp"
+
+# The merge must refuse while shard 1 is incomplete.
+if "$BIN/sweep_shard" --manifest "$MANIFEST" --merge --dir "$OUT/shards" \
+    --out "$OUT/premature.json" 2>"$OUT/premature.err"; then
+    fail "merge must refuse while a shard is incomplete"
+fi
+grep -q "incomplete" "$OUT/premature.err" || fail "premature merge must name the incomplete shard"
+echo "==> premature merge correctly refused"
+
+# Resume: picks up from the checkpoint (not trial 0), ignores the torn
+# temp file, and completes the range.
+run "$BIN/sweep_shard" --manifest "$MANIFEST" --shard 1 --dir "$OUT/shards" \
+    | tee "$OUT/shard1_resume.log"
+grep -q "resumed at" "$OUT/shard1_resume.log" \
+    || fail "resumed shard must report its checkpoint position"
+
+# Merge and compare: killed + resumed + out-of-order shards must merge
+# byte-identically to the uninterrupted single-process run.
+run "$BIN/sweep_shard" --manifest "$MANIFEST" --merge --dir "$OUT/shards" \
+    --out "$OUT/merged.json" --frontier "$OUT/frontier.json"
+cmp "$OUT/single.json" "$OUT/merged.json" \
+    || fail "merged report differs from the single-process baseline"
+echo "==> merged report is byte-identical to the single-process baseline"
+
+grep -q '"vlsi-sync/frontier-report"' "$OUT/frontier.json" \
+    || fail "frontier report missing its schema marker"
+
+echo "==> sweep smoke passed"

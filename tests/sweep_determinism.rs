@@ -1,0 +1,154 @@
+//! Sweep-determinism contract over the *real* design-space grid: any
+//! shard partition of the (scheme × topology × size × fault-rate)
+//! sweep, completed in any order, with or without a mid-range
+//! interruption and resume, merges to a report byte-identical to the
+//! uninterrupted single-process run.
+//!
+//! The sweep crate pins the same property on synthetic workloads; this
+//! suite closes the loop on the production trial function
+//! (`bench::grid::run_trial`), whose fault injection, panic isolation,
+//! and in-order retention aggregation are exactly the parts a
+//! refactor could accidentally make partition-dependent.
+
+use bench::grid;
+use sim_observe::Json;
+use sim_sweep::{load_shards, run_shard, shard_path, Manifest, ShardOpts};
+
+/// The shared workload: the fast grid (30 points), 3 trials per
+/// point, checkpointing every 2 trials. `shards` only changes the
+/// execution partition — the manifest digest and the merged bytes
+/// must not see it.
+fn manifest(shards: u64) -> Manifest {
+    grid::default_manifest(7, 3, shards, 2, true).expect("fast grid manifest")
+}
+
+/// Runs one shard to completion against the real trial function.
+fn run_grid_shard(m: &Manifest, shard: u64, dir: &str, opts: &ShardOpts) -> sim_sweep::ShardStatus {
+    let cells = grid::build_cells(m).expect("grid cells build");
+    run_shard(m, shard, dir, opts, |pi, p, t, rng| {
+        grid::run_trial(&cells[pi], p, m.point_seed(pi), t, rng)
+    })
+    .expect("shard run succeeds")
+}
+
+fn temp_dir(tag: &str) -> String {
+    let dir = std::env::temp_dir().join(format!(
+        "sim_sweep_determinism_{}_{tag}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir.to_string_lossy().into_owned()
+}
+
+/// The uninterrupted single-process reference, pretty-printed — the
+/// byte string every partition must reproduce.
+fn reference_report() -> String {
+    let m = manifest(1);
+    let results = grid::run_sweep_single(&m, 2).expect("single-process sweep");
+    grid::sweep_report(&m, &results).to_pretty()
+}
+
+#[test]
+fn any_partition_of_the_real_grid_merges_byte_identically() {
+    let reference = reference_report();
+    for (shards, order) in [
+        (1u64, vec![0u64]),
+        (4, vec![2, 0, 3, 1]),
+        (7, vec![6, 1, 4, 0, 5, 2, 3]),
+    ] {
+        let m = manifest(shards);
+        let dir = temp_dir(&format!("part{shards}"));
+        for &s in &order {
+            run_grid_shard(&m, s, &dir, &ShardOpts::default());
+        }
+        let results = load_shards(&m, &dir).expect("all shards complete");
+        let merged = grid::sweep_report(&m, &results).to_pretty();
+        assert_eq!(
+            merged, reference,
+            "{shards}-shard partition (completion order {order:?}) must merge \
+             byte-identically to the single-process run"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+#[test]
+fn killed_and_resumed_shard_is_invisible_in_the_merged_bytes() {
+    let reference = reference_report();
+    let m = manifest(3);
+    let dir = temp_dir("resume");
+
+    // Shards 0 and 2 run to completion; shard 1 is stopped mid-range
+    // by a trial budget — the on-disk state is exactly what a kill -9
+    // between checkpoints leaves behind.
+    run_grid_shard(&m, 0, &dir, &ShardOpts::default());
+    run_grid_shard(&m, 2, &dir, &ShardOpts::default());
+    let stopped = run_grid_shard(
+        &m,
+        1,
+        &dir,
+        &ShardOpts {
+            stop_after: Some(5),
+            ..ShardOpts::default()
+        },
+    );
+    assert!(stopped.interrupted, "budget must interrupt the shard");
+    assert!(stopped.completed < stopped.hi - stopped.lo);
+
+    // An incomplete shard must refuse to merge, naming the problem.
+    let err = load_shards(&m, &dir).expect_err("incomplete shard set");
+    assert!(err.contains("incomplete"), "got: {err}");
+
+    // A torn temp file from the kill must not poison the resume.
+    std::fs::write(
+        format!("{}.tmp", shard_path(&dir, 1)),
+        "torn half-written garbage",
+    )
+    .expect("inject torn temp file");
+
+    let resumed = run_grid_shard(&m, 1, &dir, &ShardOpts::default());
+    assert!(
+        resumed.resumed_at > 0,
+        "resume must start from the checkpoint, not from scratch"
+    );
+    assert!(!resumed.interrupted);
+
+    let results = load_shards(&m, &dir).expect("complete after resume");
+    let merged = grid::sweep_report(&m, &results).to_pretty();
+    assert_eq!(
+        merged, reference,
+        "kill + resume must be invisible in the merged report bytes"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn frontier_is_deterministic_and_grouped_by_requirements() {
+    let m = manifest(1);
+    let results = grid::run_sweep_single(&m, 2).expect("sweep");
+    let report = grid::sweep_report(&m, &results);
+    let f1 = grid::sweep_frontier(&report).expect("frontier");
+    let f2 = grid::sweep_frontier(&report).expect("frontier again");
+    assert_eq!(f1.to_pretty(), f2.to_pretty(), "frontier must be deterministic");
+
+    // Dominance never crosses a (size, fault_rate) requirement group:
+    // every dominator shares its victim's size and fault rate.
+    let points = f1.get("points").and_then(Json::as_array).expect("points");
+    assert!(!points.is_empty());
+    for p in points {
+        let Some(by) = p.get("dominated_by").and_then(Json::as_str) else {
+            continue;
+        };
+        let dominator = points
+            .iter()
+            .find(|q| q.get("label").and_then(Json::as_str) == Some(by))
+            .expect("dominator is in the report");
+        for key in ["size", "fault_rate"] {
+            assert_eq!(
+                p.get(key),
+                dominator.get(key),
+                "dominance crossed the `{key}` requirement boundary"
+            );
+        }
+    }
+}
