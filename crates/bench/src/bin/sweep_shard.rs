@@ -8,8 +8,16 @@
 //! sweep_shard --manifest FILE --shard I --dir D [--threads T] [--stop-after K] [--throttle-ms MS]
 //! sweep_shard --manifest FILE --single --out FILE [--threads T]
 //! sweep_shard --manifest FILE --merge --dir D [--out FILE] [--frontier FILE]
+//! sweep_shard --manifest FILE --status --dir D
 //! sweep_shard --bench [--out FILE] [--seed S] [--trials N] [--threads T]
 //! ```
+//!
+//! `--status` reads the checkpoint and heartbeat files under `--dir`
+//! and prints one line per shard: done / active / pending, with live
+//! trials/sec, ETA, and worker utilization taken from the heartbeats
+//! the shard runner writes after every checkpoint. A lingering
+//! heartbeat (state `active`) means the shard is still running or was
+//! interrupted mid-range — either way its checkpoint resumes it.
 //!
 //! Exit codes: 0 success, 2 usage error, 3 shard stopped by its
 //! `--stop-after` budget (checkpointed, resumable), 1 runtime failure.
@@ -28,6 +36,7 @@ use sim_sweep::prelude::*;
 const USAGE: &str = "usage: sweep_shard --manifest FILE --shard I --dir D [--threads T] [--stop-after K] [--throttle-ms MS]
        sweep_shard --manifest FILE --single --out FILE [--threads T]
        sweep_shard --manifest FILE --merge --dir D [--out FILE] [--frontier FILE]
+       sweep_shard --manifest FILE --status --dir D
        sweep_shard --bench [--out FILE] [--seed S] [--trials N] [--threads T]";
 
 #[derive(Default)]
@@ -37,6 +46,7 @@ struct Opts {
     dir: Option<String>,
     single: bool,
     merge: bool,
+    status: bool,
     bench: bool,
     out: Option<String>,
     frontier: Option<String>,
@@ -72,6 +82,7 @@ fn parse_opts<I: IntoIterator<Item = String>>(args: I) -> Result<Opts, String> {
             "--dir" => opts.dir = Some(value("--dir", it.next())?),
             "--single" => opts.single = true,
             "--merge" => opts.merge = true,
+            "--status" => opts.status = true,
             "--bench" => opts.bench = true,
             "--out" => opts.out = Some(value("--out", it.next())?),
             "--frontier" => opts.frontier = Some(value("--frontier", it.next())?),
@@ -114,16 +125,16 @@ fn parse_opts<I: IntoIterator<Item = String>>(args: I) -> Result<Opts, String> {
     }
     let modes =
         usize::from(opts.shard.is_some()) + usize::from(opts.single) + usize::from(opts.merge)
-            + usize::from(opts.bench);
+            + usize::from(opts.status) + usize::from(opts.bench);
     if modes != 1 {
         return Err(format!(
-            "exactly one of --shard, --single, --merge, --bench is required\n{USAGE}"
+            "exactly one of --shard, --single, --merge, --status, --bench is required\n{USAGE}"
         ));
     }
     if !opts.bench && opts.manifest.is_none() {
         return Err(format!("--manifest is required\n{USAGE}"));
     }
-    if (opts.shard.is_some() || opts.merge) && opts.dir.is_none() {
+    if (opts.shard.is_some() || opts.merge || opts.status) && opts.dir.is_none() {
         return Err(format!("--dir is required for this mode\n{USAGE}"));
     }
     if opts.single && opts.out.is_none() {
@@ -213,6 +224,86 @@ fn merge_mode(opts: &Opts) -> Result<i32, String> {
             m.points.len()
         );
     }
+    Ok(0)
+}
+
+fn status_mode(opts: &Opts) -> Result<i32, String> {
+    let m = Manifest::load(opts.manifest.as_deref().expect("validated"))?;
+    let dir = opts.dir.as_deref().expect("validated");
+    let digest = m.digest();
+    println!(
+        "sweep_shard: manifest {} — {} shard(s), {} trials",
+        digest,
+        m.shards,
+        m.total_trials()
+    );
+    println!(
+        "{:<6} {:>12} {:>10} {:>8} {:>12} {:>10} {:>6} state",
+        "shard", "range", "done", "pct", "trials/sec", "eta", "util"
+    );
+    let mut completed_total: u64 = 0;
+    for shard in 0..m.shards {
+        let range = m.shard_range(shard);
+        let (lo, hi) = (range.start as u64, range.end as u64);
+        let cp = match Checkpoint::load(&shard_path(dir, shard)) {
+            Ok(cp) if cp.manifest_digest == digest => Some(cp),
+            Ok(cp) => {
+                return Err(format!(
+                    "shard {shard} checkpoint belongs to manifest {}, not {digest}",
+                    cp.manifest_digest
+                ))
+            }
+            Err(_) => None,
+        };
+        let hb = match Heartbeat::load(&heartbeat_path(dir, shard)) {
+            Ok(hb) if hb.manifest_digest == digest => Some(hb),
+            _ => None,
+        };
+        let completed = cp.as_ref().map_or(0, |cp| cp.completed);
+        completed_total += completed;
+        let total = hi - lo;
+        let pct = if total == 0 {
+            100.0
+        } else {
+            completed as f64 / total as f64 * 100.0
+        };
+        let state = match (&cp, &hb) {
+            (Some(cp), _) if cp.is_complete() => "done",
+            (_, Some(_)) => "active",
+            (Some(_), None) => "active", // checkpointed but no heartbeat: older runner
+            (None, None) => "pending",
+        };
+        let (tps, eta, util) = hb.as_ref().map_or_else(
+            || ("-".to_owned(), "-".to_owned(), "-".to_owned()),
+            |hb| {
+                (
+                    format!("{:.0}", hb.trials_per_sec),
+                    format!("{:.1}s", hb.eta_ms / 1e3),
+                    format!("{:.0}%", hb.utilization * 100.0),
+                )
+            },
+        );
+        println!(
+            "{:<6} {:>12} {:>10} {:>7.1}% {:>12} {:>10} {:>6} {}",
+            shard,
+            format!("{lo}..{hi}"),
+            format!("{completed}/{total}"),
+            pct,
+            tps,
+            eta,
+            util,
+            state
+        );
+    }
+    let grand_total = m.total_trials() as u64;
+    println!(
+        "total: {completed_total}/{grand_total} trials ({:.1}%)",
+        if grand_total == 0 {
+            100.0
+        } else {
+            completed_total as f64 / grand_total as f64 * 100.0
+        }
+    );
     Ok(0)
 }
 
@@ -354,6 +445,8 @@ fn main() {
         single_mode(&opts)
     } else if opts.merge {
         merge_mode(&opts)
+    } else if opts.status {
+        status_mode(&opts)
     } else {
         shard_mode(&opts)
     };

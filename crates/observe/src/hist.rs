@@ -167,8 +167,18 @@ impl LogHistogram {
         self.percentile(99.0)
     }
 
+    /// 99.9th percentile — the tail statistic SLO budgets are written
+    /// against. Like every quantile here it is the lower bound of the
+    /// bucket holding that rank, so it carries the same worst-case
+    /// ≈6.25 % (1/16) relative bucket error as `p50`/`p95`/`p99`;
+    /// only `min`/`max`/`mean` are exact.
+    #[must_use]
+    pub fn p999(&self) -> Option<u64> {
+        self.percentile(99.9)
+    }
+
     /// Summary object: `count`, and when non-empty `min`/`mean`/`p50`/
-    /// `p95`/`p99`/`max`.
+    /// `p95`/`p99`/`p999`/`max`.
     #[must_use]
     pub fn to_json(&self) -> Json {
         let mut pairs = vec![("count".to_owned(), Json::UInt(self.total))];
@@ -178,7 +188,7 @@ impl LogHistogram {
                 "mean".to_owned(),
                 Json::Float(self.mean().unwrap_or(0.0)),
             ));
-            for (name, q) in [("p50", 50.0), ("p95", 95.0), ("p99", 99.0)] {
+            for (name, q) in [("p50", 50.0), ("p95", 95.0), ("p99", 99.0), ("p999", 99.9)] {
                 pairs.push((
                     name.to_owned(),
                     Json::UInt(self.percentile(q).unwrap_or(0)),
@@ -210,10 +220,29 @@ mod tests {
         let mut h = LogHistogram::new();
         h.record(42);
         assert_eq!(h.count(), 1);
-        for q in [0.0, 50.0, 95.0, 99.0, 100.0] {
+        for q in [0.0, 50.0, 95.0, 99.0, 99.9, 100.0] {
             assert_eq!(h.percentile(q), Some(42), "q={q}");
         }
+        assert_eq!(h.p999(), Some(42));
         assert_eq!(h.mean(), Some(42.0));
+    }
+
+    #[test]
+    fn json_summary_carries_the_tail_quantiles_in_order() {
+        let mut h = LogHistogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let doc = h.to_json();
+        let keys: Vec<&str> = match &doc {
+            Json::Object(pairs) => pairs.iter().map(|(k, _)| k.as_str()).collect(),
+            other => panic!("expected an object, got {other:?}"),
+        };
+        assert_eq!(
+            keys,
+            ["count", "min", "mean", "p50", "p95", "p99", "p999", "max"]
+        );
+        assert_eq!(doc.get("p999"), Some(&Json::UInt(h.p999().unwrap())));
     }
 
     #[test]
@@ -246,7 +275,12 @@ mod tests {
         for v in 1..=10_000u64 {
             h.record(v);
         }
-        for (q, expect) in [(50.0, 5_000.0), (95.0, 9_500.0), (99.0, 9_900.0)] {
+        for (q, expect) in [
+            (50.0, 5_000.0),
+            (95.0, 9_500.0),
+            (99.0, 9_900.0),
+            (99.9, 9_990.0),
+        ] {
             let got = h.percentile(q).unwrap() as f64;
             let rel = (got - expect).abs() / expect;
             assert!(rel <= 1.0 / 16.0 + 1e-9, "q={q}: got {got}, rel {rel}");

@@ -19,6 +19,11 @@
 //!   sorted-key snapshots.
 //! * [`timer`] — [`SpanTimer`] monotonic spans for the volatile
 //!   (wall-clock) side of a report.
+//! * [`timeseries`] — the *live* side: fixed-capacity [`TimeSeries`]
+//!   rings, sliding-window [`WindowedHistogram`] quantiles,
+//!   [`SloPolicy`]/[`SloTracker`] budget accounting, and the
+//!   [`Exposition`] Prometheus-text formatter the serve `metrics` op
+//!   renders through.
 //! * [`trace`] + [`check`] — `sim-trace`: typed per-event tracing into
 //!   bounded ring buffers ([`TraceBuf`] → [`Trace`]), exported as
 //!   Chrome/Perfetto trace-event JSON or a deterministic text form,
@@ -54,6 +59,7 @@ pub mod hist;
 pub mod json;
 pub mod metrics;
 pub mod timer;
+pub mod timeseries;
 pub mod trace;
 
 pub use check::{check_trace, CheckReport, Violation};
@@ -61,6 +67,7 @@ pub use hist::LogHistogram;
 pub use json::{fmt_f64, fnv1a64, parse, parse_with_limits, Json, JsonError, ParseLimits};
 pub use metrics::Metrics;
 pub use timer::{duration_ns, timed, SpanTimer};
+pub use timeseries::{Exposition, Sample, SloPolicy, SloTracker, TimeSeries, WindowedHistogram};
 pub use trace::{
     ps_from_units, PathStep, Trace, TraceBuf, TraceEvent, WallSpan, DEFAULT_TRACE_CAPACITY,
 };
@@ -72,5 +79,8 @@ pub mod prelude {
     pub use crate::json::{fnv1a64, parse, parse_with_limits, Json, JsonError, ParseLimits};
     pub use crate::metrics::Metrics;
     pub use crate::timer::{duration_ns, timed, SpanTimer};
+    pub use crate::timeseries::{
+        Exposition, SloPolicy, SloTracker, TimeSeries, WindowedHistogram,
+    };
     pub use crate::trace::{ps_from_units, PathStep, Trace, TraceBuf, TraceEvent, WallSpan};
 }

@@ -1,0 +1,739 @@
+//! Live telemetry primitives: windowed time series, sliding-window
+//! histograms, SLO accounting, and Prometheus-style text exposition.
+//!
+//! Everything in [`hist`](crate::hist)/[`metrics`](crate::metrics) is
+//! *cumulative* — counters since startup, one histogram over the whole
+//! run. That is the right shape for post-hoc reports but useless for a
+//! live view: a server that has been up for a week answers "what is
+//! p99 *now*?" from the last few seconds, not from startup. This
+//! module adds the windowed side:
+//!
+//! * [`TimeSeries`] — a fixed-capacity ring of `(tick, value)` samples
+//!   (gauges over time: queue depth, in-flight count, hit rate);
+//! * [`WindowedHistogram`] — a rotating ring of [`LogHistogram`]
+//!   buckets over a tick window, giving *sliding* p50/p95/p99/p999:
+//!   old buckets age out instead of diluting the tail forever;
+//! * [`SloPolicy`] / [`SloTracker`] — a latency budget plus an
+//!   error-rate budget, with burn-rate accounting (how fast the error
+//!   budget is being consumed relative to the policy's allowance);
+//! * [`Exposition`] — a tiny deterministic Prometheus-text formatter
+//!   (`# HELP` / `# TYPE` / `name{labels} value` lines) so the same
+//!   numbers the JSON bodies carry can be scraped as plain text.
+//!
+//! Hot-path discipline is the same as trace hooks: instrumented code
+//! holds an `Option<...>` around its telemetry and the disabled path
+//! is exactly one branch — no allocation, no atomics, no clock read
+//! (the `telemetry_overhead` bench pins this). Ticks are opaque `u64`s
+//! supplied by the caller (typically milliseconds since start), so
+//! nothing here ever reads a wall clock itself — which is what keeps
+//! telemetry *documents* deterministic when no samples arrive between
+//! two renders.
+
+use crate::hist::LogHistogram;
+use crate::json::Json;
+
+/// One `(tick, value)` observation in a [`TimeSeries`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Sample {
+    /// Caller-supplied monotonic tick (e.g. milliseconds since start).
+    pub tick: u64,
+    /// Observed value.
+    pub value: f64,
+}
+
+/// A fixed-capacity ring of `(tick, value)` samples: pushing past the
+/// capacity drops the oldest sample. Push is O(1) amortized and never
+/// allocates after construction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimeSeries {
+    buf: Vec<Sample>,
+    /// Index of the oldest sample once the ring has wrapped.
+    head: usize,
+    /// Lifetime sample count (drops included).
+    pushed: u64,
+}
+
+impl TimeSeries {
+    /// An empty series holding at most `capacity` samples (floor 1).
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        TimeSeries {
+            buf: Vec::with_capacity(capacity.max(1)),
+            head: 0,
+            pushed: 0,
+        }
+    }
+
+    /// Appends a sample, dropping the oldest when full.
+    pub fn push(&mut self, tick: u64, value: f64) {
+        let cap = self.buf.capacity();
+        if self.buf.len() < cap {
+            self.buf.push(Sample { tick, value });
+        } else {
+            self.buf[self.head] = Sample { tick, value };
+            self.head = (self.head + 1) % cap;
+        }
+        self.pushed += 1;
+    }
+
+    /// Samples currently held.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether the series holds no samples.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Lifetime number of pushes (including samples since dropped).
+    #[must_use]
+    pub fn pushed(&self) -> u64 {
+        self.pushed
+    }
+
+    /// The most recent sample.
+    #[must_use]
+    pub fn latest(&self) -> Option<Sample> {
+        if self.buf.is_empty() {
+            None
+        } else if self.buf.len() < self.buf.capacity() {
+            self.buf.last().copied()
+        } else {
+            let last = (self.head + self.buf.len() - 1) % self.buf.len();
+            Some(self.buf[last])
+        }
+    }
+
+    /// Samples oldest-first.
+    #[must_use]
+    pub fn samples(&self) -> Vec<Sample> {
+        let n = self.buf.len();
+        (0..n).map(|i| self.buf[(self.head + i) % n.max(1)]).collect()
+    }
+
+    /// `(min, mean, max)` of the windowed values (`None` when empty).
+    #[must_use]
+    pub fn window_stats(&self) -> Option<(f64, f64, f64)> {
+        if self.buf.is_empty() {
+            return None;
+        }
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        let mut sum = 0.0;
+        for s in &self.buf {
+            min = min.min(s.value);
+            max = max.max(s.value);
+            sum += s.value;
+        }
+        Some((min, sum / self.buf.len() as f64, max))
+    }
+
+    /// Deterministic JSON: fixed shape, `samples` oldest-first as
+    /// `[tick, value]` pairs.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        let samples = self
+            .samples()
+            .into_iter()
+            .map(|s| Json::Array(vec![Json::UInt(s.tick), Json::Float(s.value)]))
+            .collect();
+        let (min, mean, max) = self.window_stats().unwrap_or((0.0, 0.0, 0.0));
+        Json::obj(vec![
+            ("pushed", Json::UInt(self.pushed)),
+            ("window", Json::UInt(self.buf.len() as u64)),
+            ("min", Json::Float(min)),
+            ("mean", Json::Float(mean)),
+            ("max", Json::Float(max)),
+            ("samples", Json::Array(samples)),
+        ])
+    }
+}
+
+/// A sliding-window histogram: `buckets` rotating [`LogHistogram`]s,
+/// each covering `bucket_width` ticks. Recording into a tick beyond
+/// the current bucket's span retires the oldest bucket(s); quantile
+/// queries merge the live buckets, so `p999()` reflects roughly the
+/// last `buckets × bucket_width` ticks instead of all of history.
+#[derive(Debug, Clone)]
+pub struct WindowedHistogram {
+    buckets: Vec<LogHistogram>,
+    /// Ticks covered by one bucket.
+    bucket_width: u64,
+    /// Index of the bucket samples currently land in.
+    current: usize,
+    /// First tick of the current bucket's span.
+    epoch: u64,
+    /// Lifetime sample count (aged-out samples included).
+    recorded: u64,
+}
+
+impl WindowedHistogram {
+    /// A window of `buckets` buckets (floor 2), each `bucket_width`
+    /// ticks wide (floor 1).
+    #[must_use]
+    pub fn new(buckets: usize, bucket_width: u64) -> Self {
+        WindowedHistogram {
+            buckets: vec![LogHistogram::new(); buckets.max(2)],
+            bucket_width: bucket_width.max(1),
+            current: 0,
+            epoch: 0,
+            recorded: 0,
+        }
+    }
+
+    /// Ticks covered by the full window.
+    #[must_use]
+    pub fn window_ticks(&self) -> u64 {
+        self.bucket_width * self.buckets.len() as u64
+    }
+
+    /// Lifetime number of recorded samples.
+    #[must_use]
+    pub fn recorded(&self) -> u64 {
+        self.recorded
+    }
+
+    /// Rotates buckets so `tick` lands in the current one. Ticks are
+    /// expected to be non-decreasing; a stale tick records into the
+    /// current bucket rather than rewriting history.
+    fn rotate_to(&mut self, tick: u64) {
+        while tick >= self.epoch + self.bucket_width {
+            // Advancing by a whole window clears everything at once
+            // instead of stepping bucket by bucket through dead time.
+            if tick - self.epoch >= 2 * self.window_ticks() {
+                for b in &mut self.buckets {
+                    *b = LogHistogram::new();
+                }
+                self.epoch = tick - tick % self.bucket_width;
+                return;
+            }
+            self.current = (self.current + 1) % self.buckets.len();
+            self.buckets[self.current] = LogHistogram::new();
+            self.epoch += self.bucket_width;
+        }
+    }
+
+    /// Records `value` at `tick`, retiring aged-out buckets first.
+    pub fn record(&mut self, tick: u64, value: u64) {
+        self.rotate_to(tick);
+        self.buckets[self.current].record(value);
+        self.recorded += 1;
+    }
+
+    /// The merged histogram over the live window.
+    #[must_use]
+    pub fn merged(&self) -> LogHistogram {
+        let mut out = LogHistogram::new();
+        for b in &self.buckets {
+            out.merge(b);
+        }
+        out
+    }
+
+    /// Sliding `q`-quantile over the window (`None` when empty).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 100]`.
+    #[must_use]
+    pub fn percentile(&self, q: f64) -> Option<u64> {
+        self.merged().percentile(q)
+    }
+
+    /// Deterministic JSON: window configuration plus the merged
+    /// histogram summary (`count/min/mean/p50/p95/p99/p999/max`).
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("buckets", Json::UInt(self.buckets.len() as u64)),
+            ("bucket_width", Json::UInt(self.bucket_width)),
+            ("recorded", Json::UInt(self.recorded)),
+            ("window", self.merged().to_json()),
+        ])
+    }
+}
+
+/// An SLO: a latency budget ("`target` of requests answer within
+/// `latency_budget_ns`") plus an error budget ("at most `error_budget`
+/// of requests may fail").
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SloPolicy {
+    /// Per-request latency budget in nanoseconds.
+    pub latency_budget_ns: u64,
+    /// Required fraction of requests within the latency budget,
+    /// in `(0, 1]`.
+    pub target: f64,
+    /// Allowed fraction of failed requests, in `[0, 1]`.
+    pub error_budget: f64,
+}
+
+impl Default for SloPolicy {
+    /// 99 % of requests within 50 ms, at most 1 % errors — sized for
+    /// the fast-mode experiment mix the serve subsystem benches with.
+    fn default() -> Self {
+        SloPolicy {
+            latency_budget_ns: 50_000_000,
+            target: 0.99,
+            error_budget: 0.01,
+        }
+    }
+}
+
+impl SloPolicy {
+    /// Deterministic JSON of the policy itself (configuration, not
+    /// state — belongs in a report's exact-compared section).
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("latency_budget_ns", Json::UInt(self.latency_budget_ns)),
+            ("target", Json::Float(self.target)),
+            ("error_budget", Json::Float(self.error_budget)),
+        ])
+    }
+}
+
+/// Running SLO state under an [`SloPolicy`]: per-request accounting of
+/// latency-budget attainment and error-budget burn.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SloTracker {
+    policy: SloPolicy,
+    total: u64,
+    within_budget: u64,
+    errors: u64,
+}
+
+impl SloTracker {
+    /// An empty tracker under `policy`.
+    #[must_use]
+    pub fn new(policy: SloPolicy) -> Self {
+        SloTracker {
+            policy,
+            total: 0,
+            within_budget: 0,
+            errors: 0,
+        }
+    }
+
+    /// The policy this tracker accounts against.
+    #[must_use]
+    pub fn policy(&self) -> &SloPolicy {
+        &self.policy
+    }
+
+    /// Records one request: its latency and whether it succeeded.
+    /// Failed requests never count toward the latency attainment
+    /// (a fast error is still an error).
+    pub fn record(&mut self, latency_ns: u64, ok: bool) {
+        self.total += 1;
+        if !ok {
+            self.errors += 1;
+        } else if latency_ns <= self.policy.latency_budget_ns {
+            self.within_budget += 1;
+        }
+    }
+
+    /// Folds another tracker's counts into this one (policies must
+    /// agree for the result to mean anything; the caller owns that).
+    pub fn merge(&mut self, other: &SloTracker) {
+        self.total += other.total;
+        self.within_budget += other.within_budget;
+        self.errors += other.errors;
+    }
+
+    /// Requests recorded.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Failed requests recorded.
+    #[must_use]
+    pub fn errors(&self) -> u64 {
+        self.errors
+    }
+
+    /// Fraction of requests within the latency budget (1.0 when no
+    /// requests were recorded — an idle service is not violating).
+    #[must_use]
+    pub fn attainment(&self) -> f64 {
+        if self.total == 0 {
+            1.0
+        } else {
+            self.within_budget as f64 / self.total as f64
+        }
+    }
+
+    /// Fraction of requests that failed (0.0 when none recorded).
+    #[must_use]
+    pub fn error_rate(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.errors as f64 / self.total as f64
+        }
+    }
+
+    /// Latency-budget burn rate: observed miss fraction over the
+    /// allowed miss fraction `1 - target`. 1.0 means the budget burns
+    /// exactly as fast as the policy allows; above 1.0 the SLO is
+    /// being violated. 0.0 with no allowance configured.
+    #[must_use]
+    pub fn latency_burn_rate(&self) -> f64 {
+        let allowed = (1.0 - self.policy.target).max(0.0);
+        if allowed <= 0.0 {
+            return if self.attainment() < 1.0 { f64::INFINITY } else { 0.0 };
+        }
+        (1.0 - self.attainment()) / allowed
+    }
+
+    /// Error-budget burn rate: observed error rate over the allowed
+    /// error rate. Same reading as [`SloTracker::latency_burn_rate`].
+    #[must_use]
+    pub fn error_burn_rate(&self) -> f64 {
+        if self.policy.error_budget <= 0.0 {
+            return if self.errors > 0 { f64::INFINITY } else { 0.0 };
+        }
+        self.error_rate() / self.policy.error_budget
+    }
+
+    /// Whether both budgets currently hold.
+    #[must_use]
+    pub fn healthy(&self) -> bool {
+        self.attainment() >= self.policy.target
+            && self.error_rate() <= self.policy.error_budget
+    }
+
+    /// Deterministic-shape JSON of the tracker's state (values are
+    /// measured, so it belongs in a report's volatile section).
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("total", Json::UInt(self.total)),
+            ("within_budget", Json::UInt(self.within_budget)),
+            ("errors", Json::UInt(self.errors)),
+            ("attainment", Json::Float(self.attainment())),
+            ("error_rate", Json::Float(self.error_rate())),
+            ("latency_burn_rate", Json::Float(self.latency_burn_rate())),
+            ("error_burn_rate", Json::Float(self.error_burn_rate())),
+            ("healthy", Json::Bool(self.healthy())),
+        ])
+    }
+}
+
+/// A deterministic Prometheus-text-format builder: metrics render in
+/// insertion order as
+///
+/// ```text
+/// # HELP name help text
+/// # TYPE name counter|gauge
+/// name{label="value"} 123
+/// ```
+///
+/// Floats use the workspace's shortest-round-trip formatting
+/// ([`crate::json::fmt_f64`]), so the same numbers always produce the
+/// same bytes. Non-finite values render as `NaN`/`+Inf`/`-Inf` per the
+/// exposition format.
+#[derive(Debug, Default)]
+pub struct Exposition {
+    out: String,
+    /// Metric families already announced with HELP/TYPE lines.
+    announced: Vec<String>,
+}
+
+/// Escapes a label value per the exposition format.
+fn escape_label(v: &str) -> String {
+    v.replace('\\', "\\\\").replace('"', "\\\"").replace('\n', "\\n")
+}
+
+fn fmt_value(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".to_owned()
+    } else if v.is_infinite() {
+        (if v > 0.0 { "+Inf" } else { "-Inf" }).to_owned()
+    } else {
+        crate::json::fmt_f64(v)
+    }
+}
+
+impl Exposition {
+    /// An empty exposition document.
+    #[must_use]
+    pub fn new() -> Self {
+        Exposition::default()
+    }
+
+    fn announce(&mut self, name: &str, kind: &str, help: &str) {
+        if self.announced.iter().any(|n| n == name) {
+            return;
+        }
+        self.out.push_str("# HELP ");
+        self.out.push_str(name);
+        self.out.push(' ');
+        self.out.push_str(help);
+        self.out.push('\n');
+        self.out.push_str("# TYPE ");
+        self.out.push_str(name);
+        self.out.push(' ');
+        self.out.push_str(kind);
+        self.out.push('\n');
+        self.announced.push(name.to_owned());
+    }
+
+    fn sample(&mut self, name: &str, labels: &[(&str, &str)], value: &str) {
+        self.out.push_str(name);
+        if !labels.is_empty() {
+            self.out.push('{');
+            for (i, (k, v)) in labels.iter().enumerate() {
+                if i > 0 {
+                    self.out.push(',');
+                }
+                self.out.push_str(k);
+                self.out.push_str("=\"");
+                self.out.push_str(&escape_label(v));
+                self.out.push('"');
+            }
+            self.out.push('}');
+        }
+        self.out.push(' ');
+        self.out.push_str(value);
+        self.out.push('\n');
+    }
+
+    /// Emits a counter sample (HELP/TYPE announced once per family).
+    pub fn counter(&mut self, name: &str, help: &str, labels: &[(&str, &str)], value: u64) {
+        self.announce(name, "counter", help);
+        self.sample(name, labels, &value.to_string());
+    }
+
+    /// Emits a gauge sample (HELP/TYPE announced once per family).
+    pub fn gauge(&mut self, name: &str, help: &str, labels: &[(&str, &str)], value: f64) {
+        self.announce(name, "gauge", help);
+        self.sample(name, labels, &fmt_value(value));
+    }
+
+    /// Emits the standard quantile gauges (`p50`/`p95`/`p99`/`p999`)
+    /// plus a `_count` counter for a histogram, all sharing `labels`.
+    pub fn quantiles(
+        &mut self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        hist: &LogHistogram,
+    ) {
+        self.announce(name, "gauge", help);
+        for (q, v) in [
+            ("0.5", hist.p50()),
+            ("0.95", hist.p95()),
+            ("0.99", hist.p99()),
+            ("0.999", hist.p999()),
+        ] {
+            let mut with_q: Vec<(&str, &str)> = labels.to_vec();
+            with_q.push(("quantile", q));
+            self.sample(name, &with_q, &v.unwrap_or(0).to_string());
+        }
+        let count_name = format!("{name}_count");
+        self.counter(&count_name, help, labels, hist.count());
+    }
+
+    /// The rendered exposition text.
+    #[must_use]
+    pub fn finish(self) -> String {
+        self.out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_drops_oldest_and_tracks_latest() {
+        let mut ts = TimeSeries::new(3);
+        assert!(ts.is_empty());
+        assert_eq!(ts.latest(), None);
+        for (tick, v) in [(1u64, 10.0), (2, 20.0), (3, 30.0), (4, 40.0)] {
+            ts.push(tick, v);
+        }
+        assert_eq!(ts.len(), 3);
+        assert_eq!(ts.pushed(), 4);
+        let ticks: Vec<u64> = ts.samples().iter().map(|s| s.tick).collect();
+        assert_eq!(ticks, [2, 3, 4], "oldest sample was dropped");
+        assert_eq!(ts.latest().unwrap().value, 40.0);
+        let (min, mean, max) = ts.window_stats().unwrap();
+        assert_eq!((min, max), (20.0, 40.0));
+        assert!((mean - 30.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn series_json_shape_is_fixed() {
+        let mut ts = TimeSeries::new(2);
+        ts.push(5, 1.5);
+        let doc = ts.to_json();
+        assert_eq!(
+            doc.to_compact(),
+            r#"{"pushed":1,"window":1,"min":1.5,"mean":1.5,"max":1.5,"samples":[[5,1.5]]}"#
+        );
+    }
+
+    #[test]
+    fn windowed_histogram_ages_out_old_buckets() {
+        let mut wh = WindowedHistogram::new(4, 100);
+        // Fill the first bucket with large values.
+        for _ in 0..100 {
+            wh.record(0, 1_000_000);
+        }
+        assert_eq!(wh.percentile(50.0), Some(wh.merged().p50().unwrap()));
+        assert!(wh.percentile(99.0).unwrap() >= 900_000);
+        // Advance past the whole window recording small values: the
+        // big samples must be gone from the sliding quantiles.
+        for tick in 0..100 {
+            wh.record(1_000 + tick * 10, 10);
+        }
+        assert!(
+            wh.percentile(99.9).unwrap() <= 15,
+            "aged-out samples must not pollute the sliding tail"
+        );
+        assert_eq!(wh.recorded(), 200, "lifetime count survives aging");
+    }
+
+    #[test]
+    fn windowed_histogram_rotates_incrementally_within_the_window() {
+        let mut wh = WindowedHistogram::new(4, 10);
+        wh.record(0, 100); // bucket of ticks 0..10
+        wh.record(15, 200); // bucket of ticks 10..20
+        wh.record(25, 300); // bucket of ticks 20..30
+        // All three buckets are still live: window spans 40 ticks.
+        let merged = wh.merged();
+        assert_eq!(merged.count(), 3);
+        assert_eq!(merged.min(), Some(100));
+        assert_eq!(merged.max(), Some(300));
+        // One more rotation retires the first bucket.
+        wh.record(45, 400);
+        let merged = wh.merged();
+        assert_eq!(merged.count(), 3);
+        assert_eq!(merged.min(), Some(200), "tick-0 bucket aged out");
+    }
+
+    #[test]
+    fn stale_ticks_do_not_rewrite_history() {
+        let mut wh = WindowedHistogram::new(2, 10);
+        wh.record(25, 7);
+        wh.record(3, 9); // stale: lands in the current bucket
+        assert_eq!(wh.merged().count(), 2);
+    }
+
+    #[test]
+    fn slo_tracker_accounts_attainment_and_burn() {
+        let policy = SloPolicy {
+            latency_budget_ns: 1_000,
+            target: 0.9,
+            error_budget: 0.1,
+        };
+        let mut slo = SloTracker::new(policy);
+        assert!(slo.healthy(), "an idle service meets its SLO");
+        assert_eq!(slo.attainment(), 1.0);
+        assert_eq!(slo.latency_burn_rate(), 0.0);
+        for _ in 0..8 {
+            slo.record(500, true); // fast, ok
+        }
+        slo.record(5_000, true); // slow, ok
+        slo.record(100, false); // fast, error
+        assert_eq!(slo.total(), 10);
+        assert_eq!(slo.errors(), 1);
+        // 8 of 10 within budget (the error does not count as within).
+        assert!((slo.attainment() - 0.8).abs() < 1e-12);
+        assert!((slo.error_rate() - 0.1).abs() < 1e-12);
+        // Miss fraction 0.2 over allowance 0.1 = burning at 2x.
+        assert!((slo.latency_burn_rate() - 2.0).abs() < 1e-12);
+        assert!((slo.error_burn_rate() - 1.0).abs() < 1e-12);
+        assert!(!slo.healthy(), "attainment 0.8 < target 0.9");
+    }
+
+    #[test]
+    fn slo_merge_equals_recording_in_one() {
+        let policy = SloPolicy::default();
+        let mut a = SloTracker::new(policy);
+        let mut b = SloTracker::new(policy);
+        let mut whole = SloTracker::new(policy);
+        for i in 0..100u64 {
+            let ns = i * 1_000_000;
+            let ok = i % 7 != 0;
+            if i % 2 == 0 { &mut a } else { &mut b }.record(ns, ok);
+            whole.record(ns, ok);
+        }
+        a.merge(&b);
+        assert_eq!(a, whole);
+    }
+
+    #[test]
+    fn zero_allowance_burn_rates_saturate() {
+        let policy = SloPolicy {
+            latency_budget_ns: 10,
+            target: 1.0,
+            error_budget: 0.0,
+        };
+        let mut slo = SloTracker::new(policy);
+        assert_eq!(slo.latency_burn_rate(), 0.0);
+        assert_eq!(slo.error_burn_rate(), 0.0);
+        slo.record(100, true); // over budget
+        slo.record(5, false); // error
+        assert!(slo.latency_burn_rate().is_infinite());
+        assert!(slo.error_burn_rate().is_infinite());
+    }
+
+    #[test]
+    fn slo_json_has_a_fixed_shape() {
+        let doc = SloTracker::new(SloPolicy::default()).to_json();
+        for field in [
+            "total",
+            "within_budget",
+            "errors",
+            "attainment",
+            "error_rate",
+            "latency_burn_rate",
+            "error_burn_rate",
+            "healthy",
+        ] {
+            assert!(doc.get(field).is_some(), "missing {field}");
+        }
+        assert_eq!(
+            SloPolicy::default().to_json().to_compact(),
+            r#"{"latency_budget_ns":50000000,"target":0.99,"error_budget":0.01}"#
+        );
+    }
+
+    #[test]
+    fn exposition_renders_deterministic_prometheus_text() {
+        let mut hist = LogHistogram::new();
+        hist.record(100);
+        hist.record(200);
+        let mut exp = Exposition::new();
+        exp.counter("serve_requests_total", "Requests served.", &[("op", "run")], 7);
+        exp.counter("serve_requests_total", "Requests served.", &[("op", "frontier")], 2);
+        exp.gauge("serve_in_flight", "In-flight requests.", &[], 1.5);
+        exp.quantiles("serve_latency_ns", "Latency quantiles.", &[("op", "run")], &hist);
+        let text = exp.finish();
+        // HELP/TYPE announced once per family, samples in order.
+        assert_eq!(text.matches("# TYPE serve_requests_total").count(), 1);
+        assert!(text.contains("serve_requests_total{op=\"run\"} 7\n"));
+        assert!(text.contains("serve_requests_total{op=\"frontier\"} 2\n"));
+        assert!(text.contains("serve_in_flight 1.5\n"));
+        assert!(text.contains("serve_latency_ns{op=\"run\",quantile=\"0.999\"}"));
+        assert!(text.contains("serve_latency_ns_count{op=\"run\"} 2\n"));
+        // Every non-comment line is `name{...} value` with a numeric value.
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            let (_, value) = line.rsplit_once(' ').expect("sample line has a value");
+            assert!(
+                value.parse::<f64>().is_ok() || value == "NaN" || value.ends_with("Inf"),
+                "unparsable value in line: {line}"
+            );
+        }
+        // Label values escape quotes and newlines.
+        let mut exp = Exposition::new();
+        exp.gauge("g", "h", &[("k", "a\"b\nc")], 1.0);
+        assert!(exp.finish().contains(r#"g{k="a\"b\nc"} 1"#));
+    }
+}

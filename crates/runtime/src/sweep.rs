@@ -150,7 +150,27 @@ impl ParallelSweep {
         T: Send,
         F: Fn(usize, &mut SimRng) -> T + Sync,
     {
-        let (out, stats, _) = self.run_timed_impl(trials, seed, f, false);
+        let (out, stats, _) = self.run_timed_impl(0..trials, seed, f, false);
+        (out, stats)
+    }
+
+    /// [`ParallelSweep::run_range`] with [`SweepStats`] telemetry — the
+    /// shard heartbeat path. Results are produced exactly as
+    /// `run_range` would (same global-index RNG derivation, same
+    /// order), so shard merging stays byte-identical; the stats only
+    /// describe how fast this chunk ran (trials/sec, worker busy
+    /// time), which is what a heartbeat file reports.
+    pub fn run_range_timed<T, F>(
+        &self,
+        range: std::ops::Range<usize>,
+        seed: u64,
+        f: F,
+    ) -> (Vec<T>, SweepStats)
+    where
+        T: Send,
+        F: Fn(usize, &mut SimRng) -> T + Sync,
+    {
+        let (out, stats, _) = self.run_timed_impl(range, seed, f, false);
         (out, stats)
     }
 
@@ -174,13 +194,13 @@ impl ParallelSweep {
         T: Send,
         F: Fn(usize, &mut SimRng) -> T + Sync,
     {
-        self.run_timed_impl(trials, seed, f, true)
+        self.run_timed_impl(0..trials, seed, f, true)
     }
 
     #[allow(clippy::too_many_lines)]
     fn run_timed_impl<T, F>(
         &self,
-        trials: usize,
+        range: std::ops::Range<usize>,
         seed: u64,
         f: F,
         collect_spans: bool,
@@ -189,6 +209,8 @@ impl ParallelSweep {
         T: Send,
         F: Fn(usize, &mut SimRng) -> T + Sync,
     {
+        let lo = range.start;
+        let trials = range.len();
         let workers = self.threads.min(trials.max(1));
         let sweep_start = Instant::now();
         if workers <= 1 {
@@ -197,14 +219,15 @@ impl ParallelSweep {
             let mut spans = Vec::new();
             let out: Vec<T> = (0..trials)
                 .map(|i| {
+                    let g = lo + i;
                     let t0 = Instant::now();
-                    let v = f(i, &mut SimRng::for_trial(seed, i as u64));
+                    let v = f(g, &mut SimRng::for_trial(seed, g as u64));
                     let dt = t0.elapsed();
                     busy += dt;
                     hist.record(duration_ns(dt));
                     if collect_spans {
                         spans.push(TrialSpan {
-                            trial: i,
+                            trial: g,
                             worker: 0,
                             start_ns: duration_ns(t0.duration_since(sweep_start)),
                             dur_ns: duration_ns(dt),
@@ -258,15 +281,16 @@ impl ParallelSweep {
                         if i >= trials {
                             break;
                         }
+                        let g = lo + i;
                         let t0 = Instant::now();
-                        let out = f(i, &mut SimRng::for_trial(seed, i as u64));
+                        let out = f(g, &mut SimRng::for_trial(seed, g as u64));
                         let dt = t0.elapsed();
                         done += 1;
                         busy += dt;
                         hist.record(duration_ns(dt));
                         if collect_spans {
                             spans.push(TrialSpan {
-                                trial: i,
+                                trial: g,
                                 worker: w,
                                 start_ns: duration_ns(t0.duration_since(sweep_start)),
                                 dur_ns: duration_ns(dt),
@@ -567,6 +591,19 @@ mod tests {
             assert_eq!(stats.worker_trials.len(), threads);
             assert_eq!(stats.worker_busy.len(), threads);
             assert_eq!(stats.trial_ns.count(), 120);
+        }
+    }
+
+    #[test]
+    fn run_range_timed_matches_run_range_results() {
+        let full = ParallelSweep::new(1).run(90, 23, trial_sum);
+        for threads in [1, 4] {
+            let sweep = ParallelSweep::new(threads);
+            let (out, stats) = sweep.run_range_timed(30..90, 23, trial_sum);
+            assert_eq!(out, full[30..90], "threads {threads}");
+            assert_eq!(stats.trials, 60, "stats count the chunk, not the globals");
+            assert_eq!(stats.worker_trials.iter().sum::<usize>(), 60);
+            assert_eq!(stats.trial_ns.count(), 60);
         }
     }
 

@@ -1,0 +1,80 @@
+//! Telemetry overhead guard: the engine's request path with telemetry
+//! disabled must cost what it cost before the telemetry plane existed
+//! — the disabled path is a single branch on an `Option` (no clock
+//! read, no lock, no allocation) — and the enabled path's cost should
+//! stay within a small multiple on a cache-hit request, where the
+//! request itself does the least work and any overhead is most
+//! visible.
+
+use bench::timing::{bench, group};
+use sim_serve::{Engine, EngineConfig, Request};
+use std::sync::Arc;
+
+fn engine(telemetry: bool) -> Arc<Engine> {
+    let cfg = EngineConfig {
+        workers: 2,
+        telemetry,
+        ..EngineConfig::default()
+    };
+    Arc::new(Engine::new(Arc::new(bench::registry()), &cfg))
+}
+
+fn hot_request() -> Request {
+    let mut req = Request::new("e2");
+    req.seed = 7;
+    req.trials = Some(2);
+    req.fast = true;
+    req
+}
+
+fn main() {
+    // Primitives first: what one telemetry sample costs in isolation.
+    group("timeseries_primitives");
+    {
+        use sim_observe::timeseries::{SloTracker, TimeSeries, WindowedHistogram};
+        let mut series = TimeSeries::new(256);
+        let mut tick = 0u64;
+        bench("timeseries/push", || {
+            tick += 1;
+            series.push(tick, 1.5);
+            series.len()
+        });
+        let mut win = WindowedHistogram::new(60, 1_000);
+        let mut t = 0u64;
+        bench("windowed_histogram/record", || {
+            t += 17;
+            win.record(t, 1_000_000);
+            win.recorded()
+        });
+        let mut slo = SloTracker::new(sim_observe::SloPolicy::default());
+        bench("slo_tracker/record", || {
+            slo.record(1_000_000, true);
+            slo.total()
+        });
+    }
+
+    // The end-to-end request path on a warm cache: the experiment work
+    // is a lookup, so the telemetry delta dominates any difference.
+    group("engine_cached_run");
+    let req = hot_request();
+    for (name, telemetry) in [("disabled", false), ("enabled", true)] {
+        let eng = engine(telemetry);
+        eng.run(&req).expect("prime the cache");
+        bench(&format!("engine_cached_run/telemetry_{name}"), || {
+            let out = eng.run(&req).expect("cache hit");
+            (out.cached, out.body.len())
+        });
+    }
+
+    // Scrape cost: rendering the metrics document must be cheap enough
+    // to poll every second, and it samples nothing (read-only).
+    group("metrics_scrape");
+    let eng = engine(true);
+    eng.run(&req).expect("traffic");
+    bench("metrics_scrape/json", || {
+        eng.metrics_json().expect("enabled").to_compact().len()
+    });
+    bench("metrics_scrape/prometheus", || {
+        eng.metrics_prometheus().expect("enabled").len()
+    });
+}

@@ -150,12 +150,30 @@ fn main() {
         result.ok, result.cache_hits, result.coalesced, result.busy, result.errors
     );
     println!(
-        "  latency: p50={} p95={} p99={} max={}",
+        "  latency: p50={} p95={} p99={} p999={} max={}",
         fmt_ns(result.latency.p50()),
         fmt_ns(result.latency.p95()),
         fmt_ns(result.latency.p99()),
+        fmt_ns(result.latency.p999()),
         fmt_ns(result.latency.max()),
     );
+    println!(
+        "  slo: attainment={:.1}% p999={} latency_burn={:.2} error_burn={:.2} healthy={}",
+        result.slo.attainment() * 100.0,
+        fmt_ns(result.latency.p999()),
+        result.slo.latency_burn_rate(),
+        result.slo.error_burn_rate(),
+        result.slo.healthy(),
+    );
+    for op in &result.per_op {
+        println!(
+            "    {}: n={} attainment={:.1}% p999={}",
+            op.name,
+            op.slo.total(),
+            op.slo.attainment() * 100.0,
+            fmt_ns(op.latency.p999()),
+        );
+    }
     if let Some(path) = &opts.json {
         let doc = loadgen::bench_json(&opts.cfg, &mix, &result);
         if let Err(e) = std::fs::write(path, doc.to_pretty()) {

@@ -3,7 +3,7 @@
 //! ```text
 //! sim_serve [--addr HOST] [--port P] [--workers N] [--queue N]
 //!           [--cache-bytes N] [--job-threads N] [--job-timeout-secs N]
-//!           [--port-file PATH] [--drain-on-stdin-close]
+//!           [--port-file PATH] [--drain-on-stdin-close] [--no-telemetry]
 //! ```
 //!
 //! Binds `HOST:P` (default `127.0.0.1:7071`; `--port 0` picks an
@@ -12,6 +12,10 @@
 //! with `--drain-on-stdin-close`, until stdin reaches EOF, which is
 //! how a supervising script triggers a graceful drain without
 //! signals. Draining finishes every accepted job before exiting.
+//!
+//! `--no-telemetry` turns off the live telemetry plane (the `metrics`
+//! op answers `bad_request`, `stats` reports `"slo": null`) and
+//! reduces the request path's telemetry cost to a single branch.
 //!
 //! Exit codes follow the workspace convention: 0 on a clean drain,
 //! 1 on runtime failure (bind error), 2 on usage errors; `--help`
@@ -25,7 +29,7 @@ use std::time::Duration;
 
 const USAGE: &str = "usage: sim_serve [--addr HOST] [--port P] [--workers N] [--queue N] \
 [--cache-bytes N] [--job-threads N] [--job-timeout-secs N] [--port-file PATH] \
-[--drain-on-stdin-close]";
+[--drain-on-stdin-close] [--no-telemetry]";
 
 struct Opts {
     addr: String,
@@ -81,6 +85,7 @@ fn parse_opts<I: IntoIterator<Item = String>>(args: I) -> Result<Opts, String> {
             }
             "--port-file" => opts.port_file = Some(value("--port-file", it.next())?),
             "--drain-on-stdin-close" => opts.drain_on_stdin_close = true,
+            "--no-telemetry" => opts.engine.telemetry = false,
             "--help" | "-h" => {
                 opts.help = true;
                 return Ok(opts);
@@ -127,13 +132,14 @@ fn main() {
     }
     eprintln!(
         "sim_serve: listening on {addr} ({} workers, queue {}, cache {} bytes, \
-         job timeout {})",
+         job timeout {}, telemetry {})",
         opts.engine.workers,
         opts.engine.queue_cap,
         opts.engine.cache_bytes,
         opts.engine
             .job_timeout
             .map_or("none".to_owned(), |t| format!("{}s", t.as_secs())),
+        if opts.engine.telemetry { "on" } else { "off" },
     );
     if opts.drain_on_stdin_close {
         let stop = server.stop_flag();

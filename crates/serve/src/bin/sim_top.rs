@@ -1,0 +1,337 @@
+//! `sim_top` — live view of a running `sim_serve` instance.
+//!
+//! ```text
+//! sim_top [--addr HOST:PORT] [--interval-ms N] [--count N] [--once]
+//!         [--format table|json|prom]
+//! ```
+//!
+//! Polls the server's `metrics` op and renders a refreshing table of
+//! per-op request counts, windowed latency quantiles, SLO state, and
+//! the latest gauge samples. `--format json` / `--format prom` print
+//! the raw metrics body instead (one document per poll), which is
+//! what the smoke scripts scrape.
+//!
+//! Exits 0 on success, 1 when the server is unreachable or answers
+//! with an error (including telemetry-disabled servers), 2 on usage
+//! errors.
+
+use sim_observe::{parse_with_limits, Json, ParseLimits};
+use sim_serve::Client;
+use std::net::{SocketAddr, ToSocketAddrs};
+
+const USAGE: &str = "usage: sim_top [--addr HOST:PORT] [--interval-ms N] [--count N] \
+[--once] [--format table|json|prom]";
+
+#[derive(Clone, Copy, PartialEq)]
+enum Format {
+    Table,
+    JsonBody,
+    Prom,
+}
+
+struct Opts {
+    addr: String,
+    interval_ms: u64,
+    /// Number of polls; 0 means poll until interrupted.
+    count: u64,
+    format: Format,
+    help: bool,
+}
+
+fn parse_opts<I: IntoIterator<Item = String>>(args: I) -> Result<Opts, String> {
+    let mut opts = Opts {
+        addr: "127.0.0.1:7071".to_owned(),
+        interval_ms: 1_000,
+        count: 0,
+        format: Format::Table,
+        help: false,
+    };
+    let mut it = args.into_iter();
+    let value = |name: &str, v: Option<String>| -> Result<String, String> {
+        v.ok_or_else(|| format!("{name} needs an argument\n{USAGE}"))
+    };
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--addr" => opts.addr = value("--addr", it.next())?,
+            "--interval-ms" => {
+                let raw = value("--interval-ms", it.next())?;
+                opts.interval_ms = raw.parse().map_err(|_| {
+                    format!("--interval-ms needs a number, got `{raw}`\n{USAGE}")
+                })?;
+            }
+            "--count" => {
+                let raw = value("--count", it.next())?;
+                opts.count = raw.parse().map_err(|_| {
+                    format!("--count needs a number, got `{raw}`\n{USAGE}")
+                })?;
+            }
+            "--once" => opts.count = 1,
+            "--format" => {
+                let raw = value("--format", it.next())?;
+                opts.format = match raw.as_str() {
+                    "table" => Format::Table,
+                    "json" => Format::JsonBody,
+                    "prom" | "prometheus" => Format::Prom,
+                    other => {
+                        return Err(format!(
+                            "unknown format `{other}` (known: table, json, prom)\n{USAGE}"
+                        ))
+                    }
+                };
+            }
+            "--help" | "-h" => {
+                opts.help = true;
+                return Ok(opts);
+            }
+            other => return Err(format!("unknown argument `{other}`\n{USAGE}")),
+        }
+    }
+    Ok(opts)
+}
+
+fn resolve(addr: &str) -> Result<SocketAddr, String> {
+    addr.to_socket_addrs()
+        .map_err(|e| format!("cannot resolve `{addr}`: {e}"))?
+        .next()
+        .ok_or_else(|| format!("`{addr}` resolves to no address"))
+}
+
+/// Reads a number at a dotted path like `slo.attainment`, or NaN.
+fn num(doc: &Json, path: &[&str]) -> f64 {
+    let mut cur = doc;
+    for key in path {
+        match cur.get(key) {
+            Some(next) => cur = next,
+            None => return f64::NAN,
+        }
+    }
+    cur.as_f64().unwrap_or(f64::NAN)
+}
+
+fn fmt_ms(ns: f64) -> String {
+    if ns.is_nan() {
+        "-".to_owned()
+    } else {
+        format!("{:.2}ms", ns / 1e6)
+    }
+}
+
+fn fmt_pct(frac: f64) -> String {
+    if frac.is_nan() {
+        "-".to_owned()
+    } else {
+        format!("{:.1}%", frac * 100.0)
+    }
+}
+
+/// Renders the metrics document as the table view.
+fn render_table(doc: &Json, addr: &SocketAddr, poll: u64) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("sim_top — {addr} (poll {poll})\n\n"));
+    out.push_str(&format!(
+        "{:<10} {:>8} {:>6} {:>10} {:>10} {:>10} {:>10} {:>8} {:>10} {:>8}\n",
+        "op", "reqs", "errs", "p50", "p95", "p99", "p999", "attain", "burn l/e", "healthy"
+    ));
+    let ops: Vec<String> = doc
+        .get("ops")
+        .and_then(Json::as_array)
+        .map(|a| a.iter().filter_map(|v| v.as_str().map(str::to_owned)).collect())
+        .unwrap_or_default();
+    for op in &ops {
+        let Some(o) = doc.get("run").and_then(|r| r.get("ops")).and_then(|m| m.get(op))
+        else {
+            continue;
+        };
+        // Quantiles come from the sliding window so the table tracks
+        // *current* behaviour, not lifetime averages.
+        out.push_str(&format!(
+            "{:<10} {:>8} {:>6} {:>10} {:>10} {:>10} {:>10} {:>8} {:>10} {:>8}\n",
+            op,
+            num(o, &["requests"]),
+            num(o, &["errors"]),
+            fmt_ms(num(o, &["window", "window", "p50"])),
+            fmt_ms(num(o, &["window", "window", "p95"])),
+            fmt_ms(num(o, &["window", "window", "p99"])),
+            fmt_ms(num(o, &["window", "window", "p999"])),
+            fmt_pct(num(o, &["slo", "attainment"])),
+            format!(
+                "{:.2}/{:.2}",
+                num(o, &["slo", "latency_burn_rate"]),
+                num(o, &["slo", "error_burn_rate"])
+            ),
+            if o.get("slo").and_then(|s| s.get("healthy"))
+                == Some(&Json::Bool(true))
+            {
+                "yes"
+            } else {
+                "no"
+            },
+        ));
+    }
+    let latest = |name: &str| {
+        doc.get("run")
+            .and_then(|r| r.get("series"))
+            .and_then(|s| s.get(name))
+            .and_then(|s| s.get("samples"))
+            .and_then(Json::as_array)
+            .and_then(<[Json]>::last)
+            .and_then(Json::as_array)
+            .and_then(|pair| pair.get(1))
+            .and_then(Json::as_f64)
+            .unwrap_or(f64::NAN)
+    };
+    out.push_str(&format!(
+        "\ngauges: queue_depth={} in_flight={} cache_hit_rate={}\n",
+        latest("queue_depth"),
+        latest("in_flight"),
+        fmt_pct(latest("cache_hit_rate")),
+    ));
+    out
+}
+
+fn main() {
+    let opts = match parse_opts(std::env::args().skip(1)) {
+        Ok(opts) => opts,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    };
+    if opts.help {
+        println!("{USAGE}");
+        return;
+    }
+    let addr = match resolve(&opts.addr) {
+        Ok(addr) => addr,
+        Err(msg) => {
+            eprintln!("sim_top: {msg}");
+            std::process::exit(2);
+        }
+    };
+    let mut client = match Client::connect(addr) {
+        Ok(client) => client,
+        Err(e) => {
+            eprintln!("sim_top: cannot connect to {addr}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let line = match opts.format {
+        Format::Prom => r#"{"op":"metrics","format":"prom"}"#,
+        Format::Table | Format::JsonBody => r#"{"op":"metrics"}"#,
+    };
+    let mut poll: u64 = 0;
+    loop {
+        poll += 1;
+        let (header, body) = match client.roundtrip(line) {
+            Ok(pair) => pair,
+            Err(e) => {
+                eprintln!("sim_top: {e}");
+                std::process::exit(1);
+            }
+        };
+        if !header.is_ok() {
+            eprintln!(
+                "sim_top: server answered `{}`: {}",
+                header.status,
+                header.error.as_deref().unwrap_or("(no detail)")
+            );
+            std::process::exit(1);
+        }
+        match opts.format {
+            Format::JsonBody | Format::Prom => {
+                println!("{body}");
+            }
+            Format::Table => {
+                let doc = match parse_with_limits(&body, ParseLimits::network()) {
+                    Ok(doc) => doc,
+                    Err(e) => {
+                        eprintln!("sim_top: unparsable metrics body: {e}");
+                        std::process::exit(1);
+                    }
+                };
+                // Clear + home between polls so the table refreshes in
+                // place; a single poll just prints.
+                if opts.count != 1 && poll > 1 {
+                    print!("\x1b[2J\x1b[H");
+                }
+                print!("{}", render_table(&doc, &addr, poll));
+            }
+        }
+        if opts.count != 0 && poll >= opts.count {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(opts.interval_ms));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<Opts, String> {
+        parse_opts(args.iter().map(|s| (*s).to_owned()))
+    }
+
+    #[test]
+    fn defaults_and_flags_parse() {
+        let opts = parse(&[]).unwrap();
+        assert_eq!(opts.addr, "127.0.0.1:7071");
+        assert_eq!(opts.interval_ms, 1_000);
+        assert_eq!(opts.count, 0);
+        assert!(opts.format == Format::Table);
+
+        let opts =
+            parse(&["--addr", "h:1", "--interval-ms", "50", "--count", "3"]).unwrap();
+        assert_eq!(opts.addr, "h:1");
+        assert_eq!(opts.interval_ms, 50);
+        assert_eq!(opts.count, 3);
+
+        assert_eq!(parse(&["--once"]).unwrap().count, 1);
+        assert!(parse(&["--format", "json"]).unwrap().format == Format::JsonBody);
+        assert!(parse(&["--format", "prom"]).unwrap().format == Format::Prom);
+        assert!(parse(&["--format", "prometheus"]).unwrap().format == Format::Prom);
+    }
+
+    #[test]
+    fn bad_flags_are_usage_errors() {
+        for bad in [
+            &["--format", "xml"][..],
+            &["--interval-ms", "soon"],
+            &["--count"],
+            &["--frobnicate"],
+        ] {
+            assert!(parse(bad).is_err(), "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn table_renders_ops_and_gauges() {
+        // A miniature metrics document shaped like EngineTelemetry::to_json.
+        let body = r#"{
+            "ops": ["run"],
+            "run": {
+                "ops": {"run": {
+                    "requests": 3, "errors": 1,
+                    "window": {"window": {"p50": 1000000.0, "p95": 2000000.0,
+                                          "p99": 2000000.0, "p999": 2000000.0}},
+                    "slo": {"attainment": 0.5, "latency_burn_rate": 2.0,
+                            "error_burn_rate": 1.0, "healthy": false}
+                }},
+                "series": {
+                    "queue_depth": {"samples": [[0, 1.0], [5, 4.0]]},
+                    "in_flight": {"samples": [[5, 2.0]]},
+                    "cache_hit_rate": {"samples": [[5, 0.25]]}
+                }
+            }
+        }"#;
+        let doc = parse_with_limits(body, ParseLimits::network()).unwrap();
+        let addr: SocketAddr = "127.0.0.1:7071".parse().unwrap();
+        let table = render_table(&doc, &addr, 1);
+        assert!(table.contains("run"), "{table}");
+        assert!(table.contains("50.0%"), "attainment rendered: {table}");
+        assert!(table.contains("2.00/1.00"), "burn rates rendered: {table}");
+        assert!(table.contains("queue_depth=4"), "latest gauge sample: {table}");
+        assert!(table.contains("cache_hit_rate=25.0%"), "{table}");
+        assert!(table.contains("1.00ms"), "window p50 in ms: {table}");
+    }
+}

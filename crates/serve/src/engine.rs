@@ -32,13 +32,16 @@
 use crate::cache::{Cache, CacheStats};
 use crate::pool::{Pool, PoolStats, SubmitError};
 use crate::request::{FrontierRequest, Request};
+use crate::telemetry::{EngineTelemetry, GaugeSnapshot};
 use sim_faults::FaultRates;
+use sim_observe::timeseries::SloPolicy;
+use sim_observe::duration_ns;
 use sim_runtime::{json_core, run_experiment, Registry};
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Why a request was not served.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -120,6 +123,11 @@ pub struct EngineConfig {
     pub job_threads: usize,
     /// Waiter-side deadline per request; `None` waits indefinitely.
     pub job_timeout: Option<Duration>,
+    /// Live telemetry (`metrics` op, SLO accounting). Disabling it
+    /// reduces the request path's telemetry cost to a single branch.
+    pub telemetry: bool,
+    /// SLO budgets the telemetry accounts against.
+    pub slo: SloPolicy,
 }
 
 impl Default for EngineConfig {
@@ -130,6 +138,8 @@ impl Default for EngineConfig {
             cache_bytes: 16 * 1024 * 1024,
             job_threads: 1,
             job_timeout: Some(Duration::from_secs(60)),
+            telemetry: true,
+            slo: SloPolicy::default(),
         }
     }
 }
@@ -144,6 +154,11 @@ pub struct Engine {
     coalesced: AtomicU64,
     job_threads: usize,
     job_timeout: Option<Duration>,
+    /// `None` = telemetry disabled; the request path then pays exactly
+    /// one branch (no clock read, no lock).
+    telemetry: Option<Mutex<EngineTelemetry>>,
+    /// Telemetry tick origin (ticks are milliseconds since this).
+    started: Instant,
 }
 
 impl std::fmt::Debug for Engine {
@@ -168,6 +183,10 @@ impl Engine {
             coalesced: AtomicU64::new(0),
             job_threads: cfg.job_threads.max(1),
             job_timeout: cfg.job_timeout,
+            telemetry: cfg
+                .telemetry
+                .then(|| Mutex::new(EngineTelemetry::new(cfg.slo))),
+            started: Instant::now(),
         }
     }
 
@@ -183,6 +202,13 @@ impl Engine {
     ///
     /// See [`ServeError`]; `Busy` and `Timeout` are retryable.
     pub fn run(self: &Arc<Self>, req: &Request) -> Result<Outcome, ServeError> {
+        let t0 = self.telemetry_start();
+        let result = self.run_inner(req);
+        self.telemetry_record("run", t0, result.is_ok());
+        result
+    }
+
+    fn run_inner(self: &Arc<Self>, req: &Request) -> Result<Outcome, ServeError> {
         if self.registry.get(&req.experiment).is_none() {
             return Err(ServeError::BadRequest(format!(
                 "unknown experiment `{}` (known: {})",
@@ -219,6 +245,13 @@ impl Engine {
     ///
     /// See [`ServeError`]; `Busy` and `Timeout` are retryable.
     pub fn frontier(self: &Arc<Self>, req: &FrontierRequest) -> Result<Outcome, ServeError> {
+        let t0 = self.telemetry_start();
+        let result = self.frontier_inner(req);
+        self.telemetry_record("frontier", t0, result.is_ok());
+        result
+    }
+
+    fn frontier_inner(self: &Arc<Self>, req: &FrontierRequest) -> Result<Outcome, ServeError> {
         let job = req.clone();
         let threads = self.job_threads;
         self.serve_body(&req.canonical(), req.key(), "frontier", move || {
@@ -356,6 +389,55 @@ impl Engine {
         }
     }
 
+    /// Telemetry entry gate: the *entire* disabled path is this one
+    /// branch — no clock read, no lock, no allocation.
+    fn telemetry_start(&self) -> Option<Instant> {
+        if self.telemetry.is_some() {
+            Some(Instant::now())
+        } else {
+            None
+        }
+    }
+
+    /// Telemetry exit: records latency/outcome for `op` and samples
+    /// the queue/in-flight/cache gauges. Gauges are read *before*
+    /// taking the telemetry lock — it is never held together with the
+    /// pool, cache, or in-flight locks.
+    fn telemetry_record(&self, op: &str, t0: Option<Instant>, ok: bool) {
+        let Some(t0) = t0 else { return };
+        let latency_ns = duration_ns(t0.elapsed());
+        let tick_ms = duration_ns(self.started.elapsed()) / 1_000_000;
+        let pool = self.pool_stats();
+        let gauges = GaugeSnapshot {
+            queue_depth: pool.submitted.saturating_sub(pool.completed),
+            in_flight: self.inflight.lock().expect("inflight mutex").len() as u64,
+            cache_hit_rate: self.cache_stats().hit_rate(),
+        };
+        if let Some(tel) = &self.telemetry {
+            tel.lock()
+                .expect("telemetry mutex")
+                .record(op, tick_ms, latency_ns, ok, gauges);
+        }
+    }
+
+    /// The `metrics` op's JSON body ([`crate::telemetry`] document);
+    /// `None` when telemetry is disabled.
+    #[must_use]
+    pub fn metrics_json(&self) -> Option<sim_observe::Json> {
+        self.telemetry
+            .as_ref()
+            .map(|t| t.lock().expect("telemetry mutex").to_json())
+    }
+
+    /// The `metrics` op's Prometheus-text body; `None` when telemetry
+    /// is disabled.
+    #[must_use]
+    pub fn metrics_prometheus(&self) -> Option<String> {
+        self.telemetry
+            .as_ref()
+            .map(|t| t.lock().expect("telemetry mutex").to_prometheus())
+    }
+
     /// Cache counters.
     #[must_use]
     pub fn cache_stats(&self) -> CacheStats {
@@ -374,12 +456,17 @@ impl Engine {
         self.coalesced.load(Ordering::Relaxed)
     }
 
-    /// The `stats` op payload: cache snapshot plus pool counters, a
-    /// fixed deterministic shape with volatile values.
+    /// The `stats` op payload: cache snapshot, pool counters, and SLO
+    /// state — a fixed deterministic shape with volatile values
+    /// (`slo` is `null` when telemetry is disabled).
     #[must_use]
     pub fn stats_json(&self) -> sim_observe::Json {
         use sim_observe::Json;
         let pool = self.pool_stats();
+        let slo = self
+            .telemetry
+            .as_ref()
+            .map_or(Json::Null, |t| t.lock().expect("telemetry mutex").slo_json());
         Json::obj(vec![
             ("cache", self.cache.lock().expect("cache mutex").stats_json()),
             (
@@ -392,6 +479,7 @@ impl Engine {
                 ]),
             ),
             ("coalesced", Json::UInt(self.coalesced_count())),
+            ("slo", slo),
         ])
     }
 
@@ -563,12 +651,57 @@ mod tests {
     fn stats_json_shape_is_fixed() {
         let eng = engine(&EngineConfig::default());
         let doc = eng.stats_json();
-        for path in ["cache", "pool", "coalesced"] {
+        for path in ["cache", "pool", "coalesced", "slo"] {
             assert!(doc.get(path).is_some(), "missing {path}");
         }
         let pool = doc.get("pool").unwrap();
         for field in ["submitted", "rejected_busy", "completed", "panicked"] {
             assert!(pool.get(field).is_some(), "missing pool.{field}");
         }
+        for section in ["policy", "overall", "run", "frontier"] {
+            assert!(
+                doc.get("slo").unwrap().get(section).is_some(),
+                "missing slo.{section}"
+            );
+        }
     }
+
+    #[test]
+    fn telemetry_observes_served_and_rejected_requests() {
+        let eng = engine(&EngineConfig { workers: 1, ..EngineConfig::default() });
+        eng.run(&fast_request("e2", 3)).expect("cold run");
+        eng.run(&fast_request("e2", 3)).expect("cache hit");
+        let _ = eng.run(&Request::new("e99")).expect_err("bad request");
+        let doc = eng.metrics_json().expect("telemetry on by default");
+        assert_eq!(
+            doc.get("schema").and_then(Json::as_str),
+            Some(crate::telemetry::METRICS_SCHEMA)
+        );
+        let run_op = doc.get("run").unwrap().get("ops").unwrap().get("run").unwrap();
+        assert_eq!(run_op.get("requests"), Some(&Json::UInt(3)));
+        assert_eq!(run_op.get("errors"), Some(&Json::UInt(1)));
+        assert_eq!(
+            run_op.get("slo").unwrap().get("total"),
+            Some(&Json::UInt(3)),
+            "SLO accounting sees every request, hits and errors included"
+        );
+        let prom = eng.metrics_prometheus().expect("exposition available");
+        assert!(prom.contains("serve_requests_total{op=\"run\"} 3"), "{prom}");
+        assert!(prom.contains("serve_errors_total{op=\"run\"} 1"), "{prom}");
+    }
+
+    #[test]
+    fn disabled_telemetry_serves_but_reports_nothing() {
+        let eng = engine(&EngineConfig {
+            workers: 1,
+            telemetry: false,
+            ..EngineConfig::default()
+        });
+        eng.run(&fast_request("e2", 5)).expect("serves without telemetry");
+        assert!(eng.metrics_json().is_none());
+        assert!(eng.metrics_prometheus().is_none());
+        assert_eq!(eng.stats_json().get("slo"), Some(&Json::Null));
+    }
+
+    use sim_observe::Json;
 }

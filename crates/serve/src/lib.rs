@@ -43,6 +43,7 @@ pub mod pool;
 pub mod proto;
 pub mod request;
 pub mod server;
+pub mod telemetry;
 
 pub use cache::{Cache, CacheStats};
 pub use client::Client;
@@ -52,3 +53,4 @@ pub use pool::{Pool, PoolStats, SubmitError};
 pub use proto::{Header, Op};
 pub use request::{FrontierRequest, Request};
 pub use server::Server;
+pub use telemetry::{EngineTelemetry, GaugeSnapshot, METRICS_SCHEMA, METRICS_SCHEMA_VERSION};

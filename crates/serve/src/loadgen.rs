@@ -20,6 +20,7 @@
 
 use crate::client::Client;
 use crate::request::Request;
+use sim_observe::timeseries::{SloPolicy, SloTracker};
 use sim_observe::{Json, LogHistogram};
 use sim_runtime::{Rng, SimRng};
 use std::collections::HashSet;
@@ -28,8 +29,9 @@ use std::time::Instant;
 
 /// Schema marker for `BENCH_serve.json`.
 pub const BENCH_SCHEMA: &str = "vlsi-sync/serve-bench";
-/// Schema version for `BENCH_serve.json`.
-pub const BENCH_SCHEMA_VERSION: u64 = 1;
+/// Schema version for `BENCH_serve.json`. v2 added the SLO section
+/// (`config.slo` policy, `run.slo` attainment/p999/per-op breakdown).
+pub const BENCH_SCHEMA_VERSION: u64 = 2;
 
 /// Cold requests use seeds starting here so they can never collide
 /// with the hot pool (`1..=hot_keys`).
@@ -55,6 +57,9 @@ pub struct LoadgenConfig {
     pub trials: Option<usize>,
     /// `params.fast` sent with every request.
     pub fast: bool,
+    /// SLO budgets the run is scored against (part of the
+    /// deterministic config; the scores themselves are measured).
+    pub slo: SloPolicy,
 }
 
 impl Default for LoadgenConfig {
@@ -68,6 +73,7 @@ impl Default for LoadgenConfig {
             seed: 1,
             trials: Some(2),
             fast: true,
+            slo: SloPolicy::default(),
         }
     }
 }
@@ -131,6 +137,18 @@ pub fn summarize(plan: &[Request]) -> MixSummary {
     }
 }
 
+/// One experiment's slice of the measured results (the `run.slo.per_op`
+/// breakdown).
+#[derive(Debug, Clone)]
+pub struct PerOpResult {
+    /// Experiment name (from [`LoadgenConfig::experiments`]).
+    pub name: String,
+    /// Latency of this experiment's requests, nanoseconds.
+    pub latency: LogHistogram,
+    /// SLO accounting over this experiment's requests.
+    pub slo: SloTracker,
+}
+
 /// Everything measured while executing a plan (volatile).
 #[derive(Debug)]
 pub struct LoadResult {
@@ -148,6 +166,37 @@ pub struct LoadResult {
     pub errors: u64,
     /// Per-request latency in nanoseconds.
     pub latency: LogHistogram,
+    /// SLO accounting over every request.
+    pub slo: SloTracker,
+    /// Per-experiment breakdown, in [`LoadgenConfig::experiments`]
+    /// order (deterministic keys; measured values).
+    pub per_op: Vec<PerOpResult>,
+}
+
+impl LoadResult {
+    /// An empty result shell accounting against `cfg`'s SLO policy.
+    #[must_use]
+    pub fn new(cfg: &LoadgenConfig) -> Self {
+        LoadResult {
+            wall_ms: 0.0,
+            ok: 0,
+            cache_hits: 0,
+            coalesced: 0,
+            busy: 0,
+            errors: 0,
+            latency: LogHistogram::new(),
+            slo: SloTracker::new(cfg.slo),
+            per_op: cfg
+                .experiments
+                .iter()
+                .map(|name| PerOpResult {
+                    name: name.clone(),
+                    latency: LogHistogram::new(),
+                    slo: SloTracker::new(cfg.slo),
+                })
+                .collect(),
+        }
+    }
 }
 
 /// Executes `plan` against `addr` over `cfg.conns` connections.
@@ -161,23 +210,25 @@ pub fn run(addr: SocketAddr, cfg: &LoadgenConfig, plan: &[Request]) -> Result<Lo
     let started = Instant::now();
     let mut workers = Vec::new();
     for c in 0..conns {
-        let mine: Vec<String> = plan
+        // Each request carries its experiment's index into
+        // `cfg.experiments` so the per-op breakdown can attribute it.
+        let mine: Vec<(usize, String)> = plan
             .iter()
             .enumerate()
             .filter(|(i, _)| i % conns == c)
-            .map(|(_, req)| request_line(req))
+            .map(|(_, req)| {
+                let op = cfg
+                    .experiments
+                    .iter()
+                    .position(|e| *e == req.experiment)
+                    .expect("plan only draws from the configured experiments");
+                (op, request_line(req))
+            })
             .collect();
-        workers.push(std::thread::spawn(move || drive_connection(addr, &mine)));
+        let cfg = cfg.clone();
+        workers.push(std::thread::spawn(move || drive_connection(addr, &cfg, &mine)));
     }
-    let mut total = LoadResult {
-        wall_ms: 0.0,
-        ok: 0,
-        cache_hits: 0,
-        coalesced: 0,
-        busy: 0,
-        errors: 0,
-        latency: LogHistogram::new(),
-    };
+    let mut total = LoadResult::new(cfg);
     let mut connect_failures = Vec::new();
     for w in workers {
         match w.join().expect("loadgen connection thread must not panic") {
@@ -188,6 +239,11 @@ pub fn run(addr: SocketAddr, cfg: &LoadgenConfig, plan: &[Request]) -> Result<Lo
                 total.busy += part.busy;
                 total.errors += part.errors;
                 total.latency.merge(&part.latency);
+                total.slo.merge(&part.slo);
+                for (mine, theirs) in total.per_op.iter_mut().zip(&part.per_op) {
+                    mine.latency.merge(&theirs.latency);
+                    mine.slo.merge(&theirs.slo);
+                }
             }
             Err(e) => connect_failures.push(e),
         }
@@ -219,31 +275,37 @@ pub fn request_line(req: &Request) -> String {
     .to_compact()
 }
 
-fn drive_connection(addr: SocketAddr, lines: &[String]) -> Result<LoadResult, String> {
+fn drive_connection(
+    addr: SocketAddr,
+    cfg: &LoadgenConfig,
+    lines: &[(usize, String)],
+) -> Result<LoadResult, String> {
     let mut client =
         Client::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
-    let mut out = LoadResult {
-        wall_ms: 0.0,
-        ok: 0,
-        cache_hits: 0,
-        coalesced: 0,
-        busy: 0,
-        errors: 0,
-        latency: LogHistogram::new(),
-    };
-    for line in lines {
+    let mut out = LoadResult::new(cfg);
+    for (op, line) in lines {
         let t0 = Instant::now();
-        match client.roundtrip(line) {
+        let ok = match client.roundtrip(line) {
             Ok((header, _body)) if header.is_ok() => {
                 out.ok += 1;
                 out.cache_hits += u64::from(header.cached);
                 out.coalesced += u64::from(header.coalesced);
+                true
             }
-            Ok((header, _)) if header.status == "busy" => out.busy += 1,
-            Ok(_) | Err(_) => out.errors += 1,
-        }
+            Ok((header, _)) if header.status == "busy" => {
+                out.busy += 1;
+                false
+            }
+            Ok(_) | Err(_) => {
+                out.errors += 1;
+                false
+            }
+        };
         let ns = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
         out.latency.record(ns);
+        out.slo.record(ns, ok);
+        out.per_op[*op].latency.record(ns);
+        out.per_op[*op].slo.record(ns, ok);
     }
     Ok(out)
 }
@@ -281,6 +343,7 @@ pub fn bench_json(cfg: &LoadgenConfig, mix: &MixSummary, result: &LoadResult) ->
                     cfg.trials.map_or(Json::Null, |t| Json::UInt(t as u64)),
                 ),
                 ("fast", Json::Bool(cfg.fast)),
+                ("slo", cfg.slo.to_json()),
             ]),
         ),
         (
@@ -302,8 +365,37 @@ pub fn bench_json(cfg: &LoadgenConfig, mix: &MixSummary, result: &LoadResult) ->
                 ("busy", Json::UInt(result.busy)),
                 ("errors", Json::UInt(result.errors)),
                 ("latency_ns", result.latency.to_json()),
+                ("slo", slo_section(result)),
             ]),
         ),
+    ])
+}
+
+/// The `run.slo` section: overall attainment/burn state, the tail
+/// latency SLOs are written against, and a per-experiment breakdown.
+/// Keys are deterministic (the experiment set is configuration); every
+/// value is measured.
+fn slo_section(result: &LoadResult) -> Json {
+    let per_op = result
+        .per_op
+        .iter()
+        .map(|op| {
+            (
+                op.name.clone(),
+                Json::obj(vec![
+                    ("latency_ns", op.latency.to_json()),
+                    ("slo", op.slo.to_json()),
+                ]),
+            )
+        })
+        .collect();
+    Json::obj(vec![
+        ("overall", result.slo.to_json()),
+        (
+            "p999_ns",
+            result.latency.p999().map_or(Json::Null, Json::UInt),
+        ),
+        ("per_op", Json::Object(per_op)),
     ])
 }
 
@@ -387,30 +479,73 @@ mod tests {
     fn bench_json_has_the_report_split() {
         let cfg = LoadgenConfig::default();
         let mix = summarize(&plan(&cfg));
-        let mut result = LoadResult {
-            wall_ms: 12.5,
-            ok: 60,
-            cache_hits: 40,
-            coalesced: 3,
-            busy: 4,
-            errors: 0,
-            latency: LogHistogram::new(),
-        };
+        let mut result = LoadResult::new(&cfg);
+        result.wall_ms = 12.5;
+        result.ok = 60;
+        result.cache_hits = 40;
+        result.coalesced = 3;
+        result.busy = 4;
         result.latency.record(1_000);
         result.latency.record(2_000_000);
+        result.slo.record(1_000, true);
+        result.slo.record(2_000_000, true);
+        result.per_op[0].latency.record(1_000);
+        result.per_op[0].slo.record(1_000, true);
         let doc = bench_json(&cfg, &mix, &result);
         assert_eq!(doc.get("schema").and_then(Json::as_str), Some(BENCH_SCHEMA));
+        assert_eq!(
+            doc.get("schema_version"),
+            Some(&Json::UInt(2)),
+            "the SLO section is a schema bump"
+        );
         for section in ["config", "mix", "run"] {
             assert!(doc.get(section).is_some(), "missing {section}");
         }
+        assert!(
+            doc.get("config").unwrap().get("slo").is_some(),
+            "the SLO policy is deterministic config"
+        );
         let run = doc.get("run").unwrap();
         for field in
-            ["wall_ms", "requests_per_sec", "ok", "cache_hits", "coalesced", "busy", "errors", "latency_ns"]
+            ["wall_ms", "requests_per_sec", "ok", "cache_hits", "coalesced", "busy", "errors", "latency_ns", "slo"]
         {
             assert!(run.get(field).is_some(), "missing run.{field}");
+        }
+        let slo = run.get("slo").unwrap();
+        assert!(slo.get("overall").and_then(|o| o.get("attainment")).is_some());
+        assert_eq!(slo.get("p999_ns"), Some(&Json::UInt(2_000_000)));
+        let per_op = slo.get("per_op").unwrap();
+        for name in ["e2", "e3"] {
+            assert!(per_op.get(name).is_some(), "missing per_op.{name}");
         }
         // The deterministic prefix re-renders identically.
         let again = bench_json(&cfg, &mix, &result);
         assert_eq!(doc.to_pretty(), again.to_pretty());
+    }
+
+    #[test]
+    fn per_op_breakdown_covers_the_whole_plan() {
+        // Attribution is pure bookkeeping over the plan: every request
+        // lands in exactly one per-op bucket, so bucket totals must
+        // sum to the plan length whatever the mix.
+        let cfg = LoadgenConfig {
+            requests: 40,
+            ..LoadgenConfig::default()
+        };
+        let p = plan(&cfg);
+        let mut result = LoadResult::new(&cfg);
+        for req in &p {
+            let op = cfg
+                .experiments
+                .iter()
+                .position(|e| *e == req.experiment)
+                .expect("plan draws from configured experiments");
+            result.per_op[op].slo.record(1_000, true);
+            result.slo.record(1_000, true);
+        }
+        let total: u64 = result.per_op.iter().map(|o| o.slo.total()).sum();
+        assert_eq!(total, 40);
+        assert_eq!(result.slo.total(), 40);
+        assert!(result.slo.healthy(), "all-fast all-ok traffic meets any default SLO");
     }
 }

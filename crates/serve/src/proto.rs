@@ -11,6 +11,7 @@
 //! | `frontier` | the [`FrontierRequest`] fields          | header + frontier body |
 //! | `ping`     | —                                       | header only |
 //! | `stats`    | —                                       | header + stats body |
+//! | `metrics`  | optional `format`: `json` (default) or `prom` | header + metrics body |
 //! | `shutdown` | —                                       | header only, then drain |
 //!
 //! Every server reply starts with one compact JSON **header line**.
@@ -41,6 +42,13 @@ pub enum Op {
     Ping,
     /// Cache/pool/coalescing counter snapshot.
     Stats,
+    /// Live telemetry document: windowed latency quantiles, SLO
+    /// state, gauge series. `prom` selects Prometheus text exposition
+    /// over the default JSON body.
+    Metrics {
+        /// Serve Prometheus text instead of JSON.
+        prom: bool,
+    },
     /// Begin a graceful drain; the server stops accepting connections.
     Shutdown,
 }
@@ -65,9 +73,25 @@ pub fn parse_line(line: &str) -> Result<Op, String> {
         "frontier" => Ok(Op::Frontier(FrontierRequest::from_json(&doc)?)),
         "ping" => Ok(Op::Ping),
         "stats" => Ok(Op::Stats),
+        "metrics" => {
+            let prom = match doc.get("format") {
+                None => false,
+                Some(Json::Str(s)) => match s.as_str() {
+                    "json" => false,
+                    "prom" | "prometheus" => true,
+                    other => {
+                        return Err(format!(
+                            "unknown metrics format `{other}` (known: json, prom)"
+                        ))
+                    }
+                },
+                Some(_) => return Err("`format` must be a string".to_owned()),
+            };
+            Ok(Op::Metrics { prom })
+        }
         "shutdown" => Ok(Op::Shutdown),
         other => Err(format!(
-            "unknown op `{other}` (known: run, frontier, ping, stats, shutdown)"
+            "unknown op `{other}` (known: run, frontier, ping, stats, metrics, shutdown)"
         )),
     }
 }
@@ -193,6 +217,21 @@ mod tests {
         assert_eq!(parse_line(r#"{"op":"ping"}"#).unwrap(), Op::Ping);
         assert_eq!(parse_line(r#"{"op":"stats"}"#).unwrap(), Op::Stats);
         assert_eq!(parse_line(r#"{"op":"shutdown"}"#).unwrap(), Op::Shutdown);
+        assert_eq!(
+            parse_line(r#"{"op":"metrics"}"#).unwrap(),
+            Op::Metrics { prom: false },
+            "metrics defaults to the JSON body"
+        );
+        assert_eq!(
+            parse_line(r#"{"op":"metrics","format":"json"}"#).unwrap(),
+            Op::Metrics { prom: false }
+        );
+        for prom in [r#"{"op":"metrics","format":"prom"}"#, r#"{"op":"metrics","format":"prometheus"}"#] {
+            assert_eq!(parse_line(prom).unwrap(), Op::Metrics { prom: true });
+        }
+        for bad in [r#"{"op":"metrics","format":"xml"}"#, r#"{"op":"metrics","format":7}"#] {
+            assert!(parse_line(bad).is_err(), "{bad}");
+        }
         let Op::Run(req) = parse_line(r#"{"experiment":"e2","seed":3}"#).unwrap()
         else {
             panic!("bare object defaults to run");

@@ -208,11 +208,37 @@ fn serve_line(
     match op {
         Op::Ping => writer.write_all(proto::ok_header("ping").as_bytes()).is_ok(),
         Op::Stats => {
-            let body = engine.stats_json().to_pretty();
+            // Introspection bodies are compact: one machine-readable
+            // line, uniform with every other auxiliary op. (Report
+            // bodies from `run`/`frontier` stay pretty — their exact
+            // bytes are the cache/determinism contract.)
+            let body = engine.stats_json().to_compact();
             writer
                 .write_all(proto::payload_header("stats", body.len()).as_bytes())
                 .and_then(|()| writer.write_all(body.as_bytes()))
                 .is_ok()
+        }
+        Op::Metrics { prom } => {
+            let body = if prom {
+                engine.metrics_prometheus()
+            } else {
+                engine.metrics_json().map(|doc| doc.to_compact())
+            };
+            match body {
+                Some(body) => writer
+                    .write_all(proto::payload_header("metrics", body.len()).as_bytes())
+                    .and_then(|()| writer.write_all(body.as_bytes()))
+                    .is_ok(),
+                None => writer
+                    .write_all(
+                        proto::error_header(
+                            "bad_request",
+                            "telemetry is disabled on this server",
+                        )
+                        .as_bytes(),
+                    )
+                    .is_ok(),
+            }
         }
         Op::Shutdown => {
             let _ = writer.write_all(proto::ok_header("shutdown").as_bytes());
@@ -292,6 +318,17 @@ mod tests {
         let doc = sim_observe::parse(&stats).expect("stats body is JSON");
         let hits = doc.get("cache").and_then(|c| c.get("hits"));
         assert_eq!(hits, Some(&sim_observe::Json::UInt(1)));
+        // Auxiliary bodies are compact — uniform across ops.
+        assert_eq!(
+            stats,
+            doc.to_compact(),
+            "stats body must be the compact encoding"
+        );
+        assert!(!stats.contains('\n'));
+        assert!(
+            doc.get("slo").and_then(|s| s.get("overall")).is_some(),
+            "stats carries the SLO section"
+        );
 
         let (hd, _) = client.roundtrip(r#"{"op":"shutdown"}"#).expect("shutdown");
         assert!(hd.is_ok());
@@ -349,6 +386,54 @@ mod tests {
         let expected = sim_runtime::json_core(exp, &cfg, &report).to_pretty();
         assert_eq!(body, expected, "wire body == json_core bytes");
 
+        stop.store(true, Ordering::SeqCst);
+        drop(client);
+        handle.join().expect("drain");
+    }
+
+    #[test]
+    fn metrics_op_serves_json_and_prometheus_bodies() {
+        let (addr, stop, handle) = start_server(&EngineConfig::default());
+        let mut client = Client::connect(addr).expect("connect");
+        client.roundtrip(&fast_line("e2", 21)).expect("traffic first");
+
+        let (h, body) = client.roundtrip(r#"{"op":"metrics"}"#).expect("metrics");
+        assert!(h.is_ok());
+        assert_eq!(body.len(), h.bytes);
+        let doc = sim_observe::parse(&body).expect("metrics body is JSON");
+        assert_eq!(
+            doc.get("schema").and_then(|s| s.as_str()),
+            Some(crate::telemetry::METRICS_SCHEMA)
+        );
+        assert_eq!(body, doc.to_compact(), "metrics JSON body is compact");
+        let run_op = doc
+            .get("run")
+            .and_then(|r| r.get("ops"))
+            .and_then(|o| o.get("run"))
+            .expect("per-op section");
+        assert_eq!(run_op.get("requests"), Some(&sim_observe::Json::UInt(1)));
+
+        let (hp, text) = client
+            .roundtrip(r#"{"op":"metrics","format":"prom"}"#)
+            .expect("prometheus scrape");
+        assert!(hp.is_ok());
+        assert!(text.contains("# TYPE serve_requests_total counter"), "{text}");
+        assert!(text.contains("serve_slo_attainment{op=\"run\"}"), "{text}");
+
+        // A telemetry-free server answers with a protocol error, not
+        // a hangup.
+        stop.store(true, Ordering::SeqCst);
+        drop(client);
+        handle.join().expect("drain");
+        let (addr, stop, handle) = start_server(&EngineConfig {
+            telemetry: false,
+            ..EngineConfig::default()
+        });
+        let mut client = Client::connect(addr).expect("connect");
+        let (h, _) = client.roundtrip(r#"{"op":"metrics"}"#).expect("answered");
+        assert_eq!(h.status, "bad_request");
+        let (h, _) = client.roundtrip(r#"{"op":"ping"}"#).expect("ping");
+        assert!(h.is_ok(), "connection survives the refusal");
         stop.store(true, Ordering::SeqCst);
         drop(client);
         handle.join().expect("drain");

@@ -32,6 +32,7 @@ fn thirty_two_connections_against_four_workers() {
         seed: 1,
         trials: Some(2),
         fast: true,
+        ..LoadgenConfig::default()
     };
     let plan = loadgen::plan(&cfg);
     let mix = loadgen::summarize(&plan);
@@ -87,6 +88,7 @@ fn overload_sheds_with_structured_busy() {
         seed: 5,
         trials: Some(20), // slow enough that the pool saturates
         fast: true,
+        ..LoadgenConfig::default()
     };
     let plan = loadgen::plan(&cfg);
     let result = loadgen::run(addr, &cfg, &plan).expect("run completes");

@@ -20,6 +20,10 @@
 //! * [`shard`] — the **shard runner** ([`run_shard`]): executes one
 //!   shard's disjoint trial range with auto-resume, periodic
 //!   checkpointing, and a `stop_after` budget for testing kill/resume;
+//! * [`heartbeat`] — **live progress files** ([`Heartbeat`]): written
+//!   atomically next to each checkpoint with trials/sec, ETA, and
+//!   worker utilization, removed when the shard finishes, so
+//!   `sweep_shard --status` can watch a sweep from the outside;
 //! * [`merge`] — the **deterministic merge** ([`load_shards`],
 //!   [`merged_report`]): folds shard checkpoints — completed in any
 //!   order — into one report byte-identical to a single-process run;
@@ -49,11 +53,15 @@
 
 pub mod checkpoint;
 pub mod frontier;
+pub mod heartbeat;
 pub mod manifest;
 pub mod merge;
 pub mod shard;
 
 pub use checkpoint::{Checkpoint, CHECKPOINT_SCHEMA, CHECKPOINT_SCHEMA_VERSION};
+pub use heartbeat::{
+    heartbeat_path, remove_heartbeat, Heartbeat, HEARTBEAT_SCHEMA, HEARTBEAT_SCHEMA_VERSION,
+};
 pub use frontier::{frontier_report, Objective, FRONTIER_SCHEMA, FRONTIER_SCHEMA_VERSION};
 pub use manifest::{GridPoint, Manifest, MANIFEST_SCHEMA, MANIFEST_SCHEMA_VERSION};
 pub use merge::{load_shards, merged_report, SWEEP_REPORT_SCHEMA, SWEEP_REPORT_SCHEMA_VERSION};
@@ -63,6 +71,7 @@ pub use shard::{run_shard, run_single, shard_path, ShardOpts, ShardStatus};
 pub mod prelude {
     pub use crate::checkpoint::Checkpoint;
     pub use crate::frontier::{frontier_report, Objective};
+    pub use crate::heartbeat::{heartbeat_path, remove_heartbeat, Heartbeat};
     pub use crate::manifest::{GridPoint, Manifest};
     pub use crate::merge::{load_shards, merged_report};
     pub use crate::shard::{run_shard, run_single, shard_path, ShardOpts, ShardStatus};

@@ -8,6 +8,7 @@
 //! of how many kill/resume cycles it took.
 
 use crate::checkpoint::Checkpoint;
+use crate::heartbeat::{heartbeat_path, remove_heartbeat, Heartbeat};
 use crate::manifest::{GridPoint, Manifest};
 use sim_observe::Json;
 use sim_runtime::{ParallelSweep, SimRng};
@@ -95,6 +96,7 @@ where
     let (lo, hi) = (range.start as u64, range.end as u64);
     let digest = manifest.digest();
     let path = shard_path(dir, shard);
+    let hb_path = heartbeat_path(dir, shard);
 
     let mut results: Vec<Json> = Vec::with_capacity(range.len());
     if let Some(cp) = Checkpoint::recover(&path) {
@@ -133,13 +135,14 @@ where
             chunk = chunk.min(left);
         }
         let chunk_lo = lo as usize + results.len();
-        let out = sweep.run_range(chunk_lo..chunk_lo + chunk as usize, manifest.seed, |g, rng| {
-            if opts.throttle_ms > 0 {
-                std::thread::sleep(std::time::Duration::from_millis(opts.throttle_ms));
-            }
-            let (pi, t) = manifest.point_of(g);
-            trial(pi, &manifest.points[pi], t, rng)
-        });
+        let (out, stats) =
+            sweep.run_range_timed(chunk_lo..chunk_lo + chunk as usize, manifest.seed, |g, rng| {
+                if opts.throttle_ms > 0 {
+                    std::thread::sleep(std::time::Duration::from_millis(opts.throttle_ms));
+                }
+                let (pi, t) = manifest.point_of(g);
+                trial(pi, &manifest.points[pi], t, rng)
+            });
         results.extend(out);
         executed += chunk;
         let cp = Checkpoint {
@@ -155,6 +158,27 @@ where
             .map_err(|e| format!("cannot write checkpoint `{path}`: {e}"))?;
         results = cp.results;
         checkpoints += 1;
+        // Heartbeat rides behind the checkpoint: the durable state is
+        // already safe, so a heartbeat write failure is not fatal —
+        // progress reporting must never kill a sweep.
+        let hb = Heartbeat::from_stats(
+            &digest,
+            shard,
+            lo,
+            hi,
+            results.len() as u64,
+            started.elapsed().as_secs_f64() * 1e3,
+            &stats,
+        );
+        if let Err(e) = hb.save_atomic(&hb_path) {
+            eprintln!("warning: cannot write heartbeat `{hb_path}`: {e}");
+        }
+    }
+
+    // A finished shard needs no vital signs: the heartbeat disappears
+    // so its presence always means "running or interrupted".
+    if results.len() as u64 == total {
+        remove_heartbeat(&hb_path);
     }
 
     Ok(ShardStatus {
@@ -287,6 +311,36 @@ mod tests {
         let err = run_shard(&m, 0, &dir, &ShardOpts::default(), toy_trial)
             .expect_err("digest mismatch must be fatal");
         assert!(err.contains("belongs to manifest"), "got: {err}");
+        let _ = std::fs::remove_dir_all(std::path::Path::new(&dir));
+    }
+
+    #[test]
+    fn heartbeat_lingers_on_interrupt_and_vanishes_on_completion() {
+        let m = toy_manifest(2);
+        let dir = fresh_dir("heartbeat");
+        let opts = ShardOpts {
+            stop_after: Some(3),
+            ..ShardOpts::default()
+        };
+        let st = run_shard(&m, 0, &dir, &opts, toy_trial).expect("first leg");
+        assert!(st.interrupted);
+        let hb_path = heartbeat_path(&dir, 0);
+        let hb = Heartbeat::load(&hb_path).expect("interrupted shard leaves a heartbeat");
+        assert_eq!(hb.manifest_digest, m.digest());
+        assert_eq!((hb.shard, hb.lo, hb.hi), (st.shard, st.lo, st.hi));
+        assert_eq!(hb.completed, st.completed);
+        assert!(hb.completed < hb.hi - hb.lo, "mid-range snapshot");
+        assert!(hb.trials_per_sec > 0.0);
+        // Finish the shard: the heartbeat must disappear.
+        run_shard(&m, 0, &dir, &ShardOpts::default(), toy_trial).expect("second leg");
+        assert!(
+            !std::path::Path::new(&hb_path).exists(),
+            "completed shard removes its heartbeat"
+        );
+        assert!(
+            Checkpoint::load(&shard_path(&dir, 0)).expect("checkpoint").is_complete(),
+            "the checkpoint itself survives"
+        );
         let _ = std::fs::remove_dir_all(std::path::Path::new(&dir));
     }
 

@@ -16,4 +16,11 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cargo build --release --offline -p bench --bin bench_regress
+
+# Overhead guard first: the request path with telemetry disabled must
+# cost a single branch, and the enabled path a small multiple. The
+# bench prints ns/iter for eyeballing; it has no baseline file because
+# absolute timings are machine-bound.
+cargo bench --offline -p sim-serve --bench telemetry_overhead
+
 exec target/release/bench_regress --fast --out target/bench --baselines baselines "$@"

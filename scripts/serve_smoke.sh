@@ -4,9 +4,12 @@
 # BENCH_serve.json through the regression gate, and prove the server
 # drains cleanly when its stdin closes.
 #
+# Also scrapes the live telemetry plane through sim_top (JSON, table,
+# and Prometheus bodies) and asserts the SLO accounting is present.
+#
 # Usage: scripts/serve_smoke.sh [BIN_DIR]
-#   BIN_DIR   directory holding sim_serve/sim_loadgen/bench_regress
-#             (default target/release)
+#   BIN_DIR   directory holding sim_serve/sim_loadgen/sim_top/
+#             bench_regress (default target/release)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -64,6 +67,35 @@ HITS=$(echo "$HOT_OUT" | sed -n 's/.*cache_hits=\([0-9]*\).*/\1/p')
 [ -n "$HITS" ] || fail "could not parse cache_hits from loadgen output"
 [ "$HITS" -gt 0 ] || fail "warm pass recorded zero cache hits"
 echo "==> warm pass hit the cache $HITS times"
+
+# The load generator reports its client-side SLO accounting.
+echo "$HOT_OUT" | grep -q "slo: attainment=" \
+    || fail "loadgen output is missing the SLO summary line"
+
+# Scrape the live telemetry plane: the JSON body carries the SLO
+# state, the Prometheus body carries the exposition, and the table
+# renders. Two back-to-back quiet scrapes must be byte-identical —
+# scraping never samples.
+echo "==> sim_top metrics scrapes"
+METRICS=$("$BIN/sim_top" --addr "$ADDR" --once --format json) \
+    || fail "sim_top JSON scrape failed"
+for field in '"schema":"vlsi-sync/serve-metrics"' '"slo_policy"' \
+    '"attainment"' '"latency_burn_rate"' '"error_burn_rate"' '"healthy"'; do
+    echo "$METRICS" | grep -qF "$field" \
+        || fail "metrics JSON is missing $field"
+done
+METRICS2=$("$BIN/sim_top" --addr "$ADDR" --once --format json) \
+    || fail "second sim_top scrape failed"
+[ "$METRICS" = "$METRICS2" ] || fail "quiet metrics scrapes must be byte-identical"
+PROM=$("$BIN/sim_top" --addr "$ADDR" --once --format prom) \
+    || fail "sim_top Prometheus scrape failed"
+echo "$PROM" | grep -q '^serve_requests_total{op="run"} [0-9]' \
+    || fail "Prometheus body is missing the run request counter"
+echo "$PROM" | grep -q '^serve_slo_attainment{op="run"} ' \
+    || fail "Prometheus body is missing the SLO attainment gauge"
+"$BIN/sim_top" --addr "$ADDR" --once | grep -q "^gauges:" \
+    || fail "sim_top table render is missing its gauges line"
+echo "==> telemetry plane scrapes cleanly (SLO fields present)"
 
 # Snapshot through the same regression gate the experiments use:
 # config/mix exact, run structural.

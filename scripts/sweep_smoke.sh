@@ -54,15 +54,31 @@ echo "==> starting throttled shard 1 and killing it mid-range"
     --throttle-ms 30 >"$OUT/shard1_first.log" 2>&1 &
 SHARD_PID=$!
 CKPT="$OUT/shards/shard-1.json"
+HB="$OUT/shards/shard-1.hb.json"
+# The heartbeat lands right after each checkpoint; waiting for it
+# guarantees both files exist when the kill hits.
 for _ in $(seq 1 200); do
-    [ -s "$CKPT" ] && break
+    [ -s "$HB" ] && break
     kill -0 "$SHARD_PID" 2>/dev/null || fail "shard 1 exited before its first checkpoint"
     sleep 0.05
 done
 [ -s "$CKPT" ] || fail "shard 1 never wrote a checkpoint"
+[ -s "$HB" ] || fail "shard 1 never wrote a heartbeat"
 kill -9 "$SHARD_PID" 2>/dev/null || true
 wait "$SHARD_PID" 2>/dev/null || true
 echo "torn half-written garbage" >"$CKPT.tmp"
+
+# The killed shard leaves its heartbeat behind: live vital signs for
+# an operator, and the --status view must call the shard out.
+grep -q '"vlsi-sync/sweep-heartbeat"' "$HB" \
+    || fail "heartbeat file is missing its schema marker"
+grep -q '"trials_per_sec"' "$HB" || fail "heartbeat is missing trials_per_sec"
+grep -q '"eta_ms"' "$HB" || fail "heartbeat is missing eta_ms"
+run "$BIN/sweep_shard" --manifest "$MANIFEST" --status --dir "$OUT/shards" \
+    | tee "$OUT/status_mid.log"
+grep -Eq "^1 .* active$" "$OUT/status_mid.log" \
+    || fail "--status must show the killed shard as active"
+echo "==> killed shard left a heartbeat and --status reports it active"
 
 # The merge must refuse while shard 1 is incomplete.
 if "$BIN/sweep_shard" --manifest "$MANIFEST" --merge --dir "$OUT/shards" \
@@ -78,6 +94,17 @@ run "$BIN/sweep_shard" --manifest "$MANIFEST" --shard 1 --dir "$OUT/shards" \
     | tee "$OUT/shard1_resume.log"
 grep -q "resumed at" "$OUT/shard1_resume.log" \
     || fail "resumed shard must report its checkpoint position"
+
+# Completion removes the heartbeat — its presence always means
+# "running or interrupted" — and --status now shows everything done.
+[ ! -e "$HB" ] || fail "completed shard must remove its heartbeat"
+run "$BIN/sweep_shard" --manifest "$MANIFEST" --status --dir "$OUT/shards" \
+    | tee "$OUT/status_done.log"
+grep -q "(100.0%)" "$OUT/status_done.log" \
+    || fail "--status must report the sweep 100% complete"
+! grep -Eq " (active|pending)$" "$OUT/status_done.log" \
+    || fail "--status must show no active or pending shards after completion"
+echo "==> heartbeat removed on completion and --status reports 100%"
 
 # Merge and compare: killed + resumed + out-of-order shards must merge
 # byte-identically to the uninterrupted single-process run.

@@ -67,6 +67,80 @@ fn served_e2_seed42_fast_is_byte_identical_to_cli_json() {
 }
 
 #[test]
+fn metrics_op_round_trips_and_quiet_scrapes_are_byte_identical() {
+    use sim_observe::Json;
+
+    let engine = Arc::new(Engine::new(
+        Arc::new(bench::registry()),
+        &EngineConfig::default(),
+    ));
+    let server = Server::bind("127.0.0.1:0", Arc::clone(&engine)).expect("bind");
+    let addr = server.local_addr().expect("addr");
+    let stop = server.stop_flag();
+    let handle = std::thread::spawn(move || server.serve().expect("serve"));
+
+    let mut client = Client::connect(addr).expect("connect");
+    // Some traffic so the telemetry has something to report.
+    for seed in [1, 2, 1] {
+        let line =
+            format!(r#"{{"experiment":"e2","seed":{seed},"trials":2,"params":{{"fast":true}}}}"#);
+        let (h, _) = client.roundtrip(&line).expect("served");
+        assert!(h.is_ok());
+    }
+
+    // The JSON body parses back under the same network limits the
+    // server itself applies, and carries the schema + live counters.
+    let (h, body) = client.roundtrip(r#"{"op":"metrics"}"#).expect("metrics");
+    assert!(h.is_ok());
+    assert_eq!(h.bytes, body.len());
+    let doc = sim_observe::parse_with_limits(&body, sim_observe::ParseLimits::network())
+        .expect("metrics body parses back");
+    assert_eq!(
+        doc.get("schema").and_then(Json::as_str),
+        Some(sim_serve::METRICS_SCHEMA)
+    );
+    let run_op = doc
+        .get("run")
+        .and_then(|r| r.get("ops"))
+        .and_then(|o| o.get("run"))
+        .expect("per-op telemetry for `run`");
+    assert_eq!(run_op.get("requests"), Some(&Json::UInt(3)));
+    assert!(run_op.get("slo").and_then(|s| s.get("attainment")).is_some());
+
+    // The Prometheus exposition parses back line by line: every
+    // non-comment line is `name[{labels}] value` with a float value.
+    let (h, prom) = client
+        .roundtrip(r#"{"op":"metrics","format":"prom"}"#)
+        .expect("prom scrape");
+    assert!(h.is_ok());
+    let mut samples = 0;
+    for line in prom.lines() {
+        if line.starts_with('#') || line.is_empty() {
+            continue;
+        }
+        let (name, value) = line.rsplit_once(' ').expect("name value");
+        assert!(!name.is_empty(), "{line}");
+        assert!(value.parse::<f64>().is_ok(), "unparsable value in `{line}`");
+        samples += 1;
+    }
+    assert!(samples > 10, "a real exposition has many samples, got {samples}");
+    assert!(prom.contains(r#"serve_requests_total{op="run"} 3"#), "{prom}");
+
+    // No-scrape-sampling contract: scraping records nothing, so two
+    // quiet scrapes produce byte-identical bodies — JSON and prom.
+    let (_, body2) = client.roundtrip(r#"{"op":"metrics"}"#).expect("quiet scrape");
+    assert_eq!(body, body2, "quiet JSON scrapes must be byte-identical");
+    let (_, prom2) = client
+        .roundtrip(r#"{"op":"metrics","format":"prom"}"#)
+        .expect("quiet prom scrape");
+    assert_eq!(prom, prom2, "quiet prom scrapes must be byte-identical");
+
+    stop.store(true, Ordering::SeqCst);
+    drop(client);
+    handle.join().expect("drain");
+}
+
+#[test]
 fn every_registered_experiment_serves_cli_identical_bytes() {
     let engine = Arc::new(Engine::new(
         Arc::new(bench::registry()),

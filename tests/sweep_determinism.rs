@@ -12,7 +12,10 @@
 
 use bench::grid;
 use sim_observe::Json;
-use sim_sweep::{load_shards, run_shard, shard_path, Manifest, ShardOpts};
+use sim_sweep::{
+    heartbeat_path, load_shards, run_shard, shard_path, Heartbeat, Manifest, ShardOpts,
+    HEARTBEAT_SCHEMA, HEARTBEAT_SCHEMA_VERSION,
+};
 
 /// The shared workload: the fast grid (30 points), 3 trials per
 /// point, checkpointing every 2 trials. `shards` only changes the
@@ -119,6 +122,77 @@ fn killed_and_resumed_shard_is_invisible_in_the_merged_bytes() {
         merged, reference,
         "kill + resume must be invisible in the merged report bytes"
     );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn heartbeat_files_carry_the_pinned_schema_and_track_the_shard() {
+    let m = manifest(3);
+    let dir = temp_dir("heartbeat");
+
+    // Interrupt shard 1 mid-range: the heartbeat must linger with the
+    // checkpointed progress and live rate fields.
+    let stopped = run_grid_shard(
+        &m,
+        1,
+        &dir,
+        &ShardOpts {
+            stop_after: Some(5),
+            ..ShardOpts::default()
+        },
+    );
+    assert!(stopped.interrupted);
+
+    let hb_file = heartbeat_path(&dir, 1);
+    let text = std::fs::read_to_string(&hb_file).expect("heartbeat exists on disk");
+    let doc = sim_observe::parse(&text).expect("heartbeat is valid JSON");
+
+    // Schema pin: exactly these keys, in this order — operators and
+    // dashboards key on them.
+    let keys: Vec<&str> = doc
+        .as_object()
+        .expect("object")
+        .iter()
+        .map(|(k, _)| k.as_str())
+        .collect();
+    assert_eq!(
+        keys,
+        [
+            "schema",
+            "schema_version",
+            "manifest_digest",
+            "shard",
+            "lo",
+            "hi",
+            "completed",
+            "workers",
+            "trials_per_sec",
+            "eta_ms",
+            "utilization",
+            "wall_ms",
+        ],
+        "heartbeat document schema drifted"
+    );
+    assert_eq!(doc.get("schema").and_then(Json::as_str), Some(HEARTBEAT_SCHEMA));
+    assert_eq!(
+        doc.get("schema_version"),
+        Some(&Json::UInt(HEARTBEAT_SCHEMA_VERSION))
+    );
+
+    // The parsed heartbeat agrees with the checkpointed ground truth.
+    let hb = Heartbeat::load(&hb_file).expect("parses through the library");
+    assert_eq!(hb.manifest_digest, m.digest());
+    assert_eq!((hb.shard, hb.lo, hb.hi), (1, stopped.lo, stopped.hi));
+    assert_eq!(hb.completed, stopped.completed);
+    assert!(hb.completed < hb.hi - hb.lo, "interrupted mid-range");
+    assert!(hb.trials_per_sec > 0.0, "rate is measured, not defaulted");
+    assert!((0.0..=1.0).contains(&hb.utilization));
+
+    // Finishing the shard removes the heartbeat but keeps the
+    // checkpoint: presence of a heartbeat always means unfinished.
+    run_grid_shard(&m, 1, &dir, &ShardOpts::default());
+    assert!(!std::path::Path::new(&hb_file).exists());
+    assert!(std::path::Path::new(&shard_path(&dir, 1)).exists());
     let _ = std::fs::remove_dir_all(&dir);
 }
 
