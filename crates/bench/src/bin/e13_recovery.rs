@@ -1,0 +1,6 @@
+//! E13 binary: self-stabilizing sync under fault episodes — recovery
+//! time of TRIX/PALS vs a rigid distribution network.
+
+fn main() {
+    sim_runtime::run_cli_in(&bench::registry(), "e13");
+}

@@ -8,16 +8,21 @@
 //! sweep_shard --manifest FILE --shard I --dir D [--threads T] [--stop-after K] [--throttle-ms MS]
 //! sweep_shard --manifest FILE --single --out FILE [--threads T]
 //! sweep_shard --manifest FILE --merge --dir D [--out FILE] [--frontier FILE]
-//! sweep_shard --manifest FILE --status --dir D
+//! sweep_shard --manifest FILE --status --dir D [--probe-ms MS]
 //! sweep_shard --bench [--out FILE] [--seed S] [--trials N] [--threads T]
 //! ```
 //!
 //! `--status` reads the checkpoint and heartbeat files under `--dir`
-//! and prints one line per shard: done / active / pending, with live
-//! trials/sec, ETA, and worker utilization taken from the heartbeats
-//! the shard runner writes after every checkpoint. A lingering
-//! heartbeat (state `active`) means the shard is still running or was
-//! interrupted mid-range — either way its checkpoint resumes it.
+//! and prints one line per shard: done / active / interrupted /
+//! pending, with live trials/sec, ETA, and worker utilization taken
+//! from the heartbeats the shard runner writes after every
+//! checkpoint. A lingering heartbeat alone cannot distinguish a
+//! running shard from one that was killed mid-range, so `--status`
+//! reads each heartbeat twice, `--probe-ms` apart: a `tick` that
+//! advances means `active`, one that holds still means `interrupted`
+//! (so does a mid-range checkpoint with no heartbeat at all). Either
+//! way the checkpoint resumes the shard. Pick a probe longer than the
+//! shard's checkpoint cadence to avoid flagging a slow-but-live shard.
 //!
 //! Exit codes: 0 success, 2 usage error, 3 shard stopped by its
 //! `--stop-after` budget (checkpointed, resumable), 1 runtime failure.
@@ -36,7 +41,7 @@ use sim_sweep::prelude::*;
 const USAGE: &str = "usage: sweep_shard --manifest FILE --shard I --dir D [--threads T] [--stop-after K] [--throttle-ms MS]
        sweep_shard --manifest FILE --single --out FILE [--threads T]
        sweep_shard --manifest FILE --merge --dir D [--out FILE] [--frontier FILE]
-       sweep_shard --manifest FILE --status --dir D
+       sweep_shard --manifest FILE --status --dir D [--probe-ms MS]
        sweep_shard --bench [--out FILE] [--seed S] [--trials N] [--threads T]";
 
 #[derive(Default)]
@@ -53,6 +58,7 @@ struct Opts {
     threads: usize,
     stop_after: Option<u64>,
     throttle_ms: u64,
+    probe_ms: u64,
     seed: u64,
     trials: u64,
     help: bool,
@@ -61,6 +67,7 @@ struct Opts {
 fn parse_opts<I: IntoIterator<Item = String>>(args: I) -> Result<Opts, String> {
     let mut opts = Opts {
         threads: 1,
+        probe_ms: 150,
         seed: 11,
         trials: 8,
         ..Opts::default()
@@ -102,6 +109,11 @@ fn parse_opts<I: IntoIterator<Item = String>>(args: I) -> Result<Opts, String> {
                 opts.throttle_ms = value("--throttle-ms", it.next())?
                     .parse()
                     .map_err(|_| "--throttle-ms needs a non-negative integer".to_owned())?;
+            }
+            "--probe-ms" => {
+                opts.probe_ms = value("--probe-ms", it.next())?
+                    .parse()
+                    .map_err(|_| "--probe-ms needs a non-negative integer".to_owned())?;
             }
             "--seed" => {
                 opts.seed = value("--seed", it.next())?
@@ -237,6 +249,22 @@ fn status_mode(opts: &Opts) -> Result<i32, String> {
         m.shards,
         m.total_trials()
     );
+    let load_hb = |shard: u64| match Heartbeat::load(&heartbeat_path(dir, shard)) {
+        Ok(hb) if hb.manifest_digest == digest => Some(hb),
+        _ => None,
+    };
+    // First probe: snapshot each lingering heartbeat's tick, then wait
+    // and read again. A live shard's tick advances (the runner bumps
+    // it on every heartbeat write); a killed shard's heartbeat is
+    // frozen, so an unchanged tick downgrades `active` to
+    // `interrupted`. The delay is only paid when a heartbeat exists,
+    // and `--probe-ms 0` restores the old single-read behaviour.
+    let first_ticks: Vec<Option<u64>> =
+        (0..m.shards).map(|shard| load_hb(shard).map(|hb| hb.tick)).collect();
+    let probed = opts.probe_ms > 0 && first_ticks.iter().any(Option::is_some);
+    if probed {
+        std::thread::sleep(std::time::Duration::from_millis(opts.probe_ms));
+    }
     println!(
         "{:<6} {:>12} {:>10} {:>8} {:>12} {:>10} {:>6} state",
         "shard", "range", "done", "pct", "trials/sec", "eta", "util"
@@ -255,10 +283,7 @@ fn status_mode(opts: &Opts) -> Result<i32, String> {
             }
             Err(_) => None,
         };
-        let hb = match Heartbeat::load(&heartbeat_path(dir, shard)) {
-            Ok(hb) if hb.manifest_digest == digest => Some(hb),
-            _ => None,
-        };
+        let hb = load_hb(shard);
         let completed = cp.as_ref().map_or(0, |cp| cp.completed);
         completed_total += completed;
         let total = hi - lo;
@@ -269,8 +294,18 @@ fn status_mode(opts: &Opts) -> Result<i32, String> {
         };
         let state = match (&cp, &hb) {
             (Some(cp), _) if cp.is_complete() => "done",
-            (_, Some(_)) => "active",
-            (Some(_), None) => "active", // checkpointed but no heartbeat: older runner
+            (_, Some(hb)) => {
+                if probed && first_ticks[shard as usize] == Some(hb.tick) {
+                    "interrupted"
+                } else {
+                    "active"
+                }
+            }
+            // Mid-range checkpoint with no vital signs: the runner
+            // writes a heartbeat after every checkpoint and only
+            // removes it on completion, so whoever wrote this
+            // checkpoint is gone.
+            (Some(_), None) => "interrupted",
             (None, None) => "pending",
         };
         let (tps, eta, util) = hb.as_ref().map_or_else(

@@ -1,0 +1,325 @@
+//! E13 — self-stabilizing synchronization under fault episodes:
+//! recovery time of TRIX/PALS vs. a rigid distribution network.
+//!
+//! Theorem 6's escape hatch is to give up rigid global synchrony. This
+//! experiment quantifies what that buys under *transient* faults:
+//! seed-derived episodes (onset, duration, repair) strike nodes of a
+//! k×k array, and three schemes face the identical schedule —
+//!
+//! * `rigid-htree` — a passive distribution network. A node that loses
+//!   its clock drifts and, once repaired, keeps the displacement
+//!   forever: missed pulses are never made up, so one episode ruins
+//!   the skew invariant for the rest of the run.
+//! * `trix-grid` — pulse propagation with median voting over width-3
+//!   predecessor links; faulty nodes are voted out (fail-silent) and
+//!   re-slew after repair.
+//! * `pals-mesh` — neighbors exchange local-clock offsets and slew
+//!   toward a fault-tolerant trimmed midpoint; synchrony is relative
+//!   (internal spread).
+//!
+//! The [`measure_recovery`] harness turns each run's skew signal into
+//! violation spans and recovery latencies; the report sweeps scheme ×
+//! array size × episode rate and asserts the headline contrast: at the
+//! storm rate the rigid network **never** re-establishes the invariant
+//! while TRIX and PALS recover every violation with bounded latency.
+
+use crate::{f, Table};
+use clock_tree::prelude::{RigidGrid, TrixGrid, TrixParams};
+use selftimed::prelude::{PalsMesh, PalsParams};
+use sim_faults::{
+    measure_recovery, Episode, EpisodeConfig, EpisodePlan, RecoveryConfig, RecoveryReport,
+};
+use sim_observe::{LogHistogram, TraceBuf, TraceEvent};
+use sim_runtime::{rline, ExpConfig, Experiment, Report, SimRng};
+
+/// See the module docs.
+#[derive(Debug)]
+pub struct E13;
+
+/// Onset window of the episode process, in ticks.
+const HORIZON: u64 = 240;
+/// Shortest outage.
+const MIN_DUR: u64 = 30;
+/// Longest outage.
+const MAX_DUR: u64 = 60;
+/// Simulated ticks per trial: the whole onset window, the longest
+/// repair tail, and slack for the slowest re-lock. Under a storm the
+/// violation is one long span covering the overlapping episodes, so
+/// the tail past the last possible repair (tick 299) is generous.
+const TICKS: u64 = 600;
+/// Skew invariant: in-sync means spread <= 0.75 delay units — above
+/// any healthy scheme's steady state (TRIX ~0.1, PALS k=16 ~0.5) and
+/// below the smallest episode displacement (>= 1.1).
+const THRESHOLD: f64 = 0.75;
+/// Consecutive in-sync ticks required to close a violation.
+const HOLD: u64 = 8;
+/// In-report bound on the recovered-latency p99, in ticks. A storm's
+/// overlapping episodes merge into one violation span stretching from
+/// the first exposure to the post-repair re-lock, so the bound covers
+/// the onset window plus the repair and slew tails.
+const LATENCY_BOUND: u64 = 450;
+/// The episode-rate axis: a calm trickle and a storm.
+const EP_RATES: [(f64, &str); 2] = [(0.1, "calm"), (0.6, "storm")];
+/// The scheme axis, in report order.
+const SCHEME_NAMES: [&str; 3] = ["rigid-htree", "trix-grid", "pals-mesh"];
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Scheme {
+    Rigid,
+    Trix,
+    Pals,
+}
+
+const SCHEMES: [Scheme; 3] = [Scheme::Rigid, Scheme::Trix, Scheme::Pals];
+
+/// Free-run drift of a clockless sink in the rigid model — matches
+/// the TRIX/PALS fault physics so displacements are comparable.
+const FAULT_DRIFT: f64 = 0.05;
+
+fn episode_config(rate: f64) -> EpisodeConfig {
+    EpisodeConfig {
+        rate,
+        min_duration: MIN_DUR,
+        max_duration: MAX_DUR,
+        horizon: HORIZON,
+    }
+}
+
+/// One trial: build the scheme over a k×k array, drive it through the
+/// trial's episode schedule, and measure recovery. Deterministic in
+/// `(plan_seed, trial)` alone.
+fn recovery_trial(
+    scheme: Scheme,
+    k: usize,
+    rate: f64,
+    plan_seed: u64,
+    trial: u64,
+    trace: Option<&mut TraceBuf>,
+) -> (u64, RecoveryReport) {
+    let n = k * k;
+    let plan = EpisodePlan::new(plan_seed, trial, episode_config(rate));
+    // Precompute the per-site schedule once; the per-tick closure is
+    // then a branch and an interval test.
+    let schedule: Vec<Option<Episode>> = (0..n as u64).map(|s| plan.episode(s)).collect();
+    let episodes = schedule.iter().flatten().count() as u64;
+    let active = |s: u64, t: u64| schedule[s as usize].is_some_and(|e| e.active_at(t));
+    let sim_seed = plan_seed ^ trial.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    let rcfg = RecoveryConfig::new(THRESHOLD, HOLD, TICKS);
+    let report = match scheme {
+        Scheme::Rigid => {
+            let mut g = RigidGrid::new(sim_seed, n, FAULT_DRIFT);
+            measure_recovery(&rcfg, |t| g.step(|s| active(s, t)), trace)
+        }
+        Scheme::Trix => {
+            let mut g = TrixGrid::new(sim_seed, TrixParams::new(k, k));
+            measure_recovery(&rcfg, |t| g.step(|s| active(s, t)), trace)
+        }
+        Scheme::Pals => {
+            let mut m = PalsMesh::new(sim_seed, PalsParams::new(k));
+            measure_recovery(&rcfg, |t| m.step(|s| active(s, t)), trace)
+        }
+    };
+    (episodes, report)
+}
+
+/// A cell's aggregate over its trials (in-order fold).
+#[derive(Debug, Clone, Default)]
+struct CellStats {
+    episodes: u64,
+    spans: u64,
+    recovered: u64,
+    unrecovered: u64,
+    violated_ticks: u64,
+    ticks: u64,
+    latencies: LogHistogram,
+}
+
+impl CellStats {
+    fn absorb(&mut self, episodes: u64, rep: &RecoveryReport) {
+        self.episodes += episodes;
+        self.spans += rep.spans.len() as u64;
+        self.recovered += rep.recovered();
+        self.unrecovered += rep.unrecovered();
+        self.violated_ticks += rep.violated_ticks;
+        self.ticks += rep.ticks;
+        self.latencies.merge(&rep.latencies);
+    }
+
+    fn in_sync(&self) -> f64 {
+        if self.ticks == 0 {
+            1.0
+        } else {
+            1.0 - self.violated_ticks as f64 / self.ticks as f64
+        }
+    }
+}
+
+impl Experiment for E13 {
+    fn name(&self) -> &'static str {
+        "e13"
+    }
+    fn title(&self) -> &'static str {
+        "self-stabilizing sync under fault episodes: recovery time of TRIX/PALS vs a rigid network"
+    }
+    fn paper_ref(&self) -> &'static str {
+        "Theorem 6 + PAPERS.md (TRIX, gradient clock sync)"
+    }
+    fn approx_ms(&self) -> u64 {
+        1_500
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn run(&self, cfg: &ExpConfig, _rng: &mut SimRng) -> Report {
+        let mut r = cfg.report();
+        rline!(r, "Seed-derived fault episodes (onset, {MIN_DUR}-{MAX_DUR} tick outage, repair)");
+        rline!(r, "strike a k x k array; all three schemes face the identical schedule.");
+        rline!(r, "Invariant: skew spread <= {THRESHOLD}; a violation heals after {HOLD} clean");
+        rline!(r, "ticks. Rates: calm = {}, storm = {} episodes/site/run.", f(EP_RATES[0].0), f(EP_RATES[1].0));
+        rline!(r);
+
+        let trials = cfg.trials_or(24);
+        let sizes = cfg.size(3, 2);
+        let ks = &[4usize, 8, 16][..sizes];
+        let sweep = cfg.sweep();
+        rline!(r, "{trials} trials per cell over {TICKS} ticks; latencies in ticks.");
+
+        // stats[scheme][rate] for the k under iteration; the storm
+        // column of the largest k feeds the headline asserts.
+        let mut all: Vec<(usize, Vec<Vec<CellStats>>)> = Vec::new();
+        for &k in ks {
+            let mut per_k: Vec<Vec<CellStats>> = Vec::new();
+            let mut table = Table::new(&[
+                "scheme",
+                "rate",
+                "episodes",
+                "spans",
+                "recovered",
+                "unrecovered",
+                "p50",
+                "p99",
+                "in-sync",
+            ]);
+            for (si, &scheme) in SCHEMES.iter().enumerate() {
+                let mut per_rate: Vec<CellStats> = Vec::new();
+                for (ri, &(rate, rate_name)) in EP_RATES.iter().enumerate() {
+                    // Same plan seed for every scheme: one fault
+                    // environment, three reactions.
+                    let plan_seed = cfg.seed ^ ((k as u64) << 32) ^ ((ri as u64 + 1) << 8);
+                    let results = sweep.run_isolated(trials, plan_seed, |t, _rng| {
+                        recovery_trial(scheme, k, rate, plan_seed, t as u64, None)
+                    });
+                    let mut stats = CellStats::default();
+                    for res in &results {
+                        let (episodes, rep) = res
+                            .as_ref()
+                            .expect("recovery trials do not panic");
+                        stats.absorb(*episodes, rep);
+                    }
+                    let q = |v: Option<u64>| {
+                        v.map_or_else(|| "-".to_owned(), |x| x.to_string())
+                    };
+                    table.row(&[
+                        SCHEME_NAMES[si],
+                        rate_name,
+                        &stats.episodes.to_string(),
+                        &stats.spans.to_string(),
+                        &stats.recovered.to_string(),
+                        &stats.unrecovered.to_string(),
+                        &q(stats.latencies.p50()),
+                        &q(stats.latencies.p99()),
+                        &f(stats.in_sync()),
+                    ]);
+                    per_rate.push(stats);
+                }
+                per_k.push(per_rate);
+            }
+            r.table(&format!("recovery_k{k}"), &table);
+            all.push((k, per_k));
+        }
+
+        // In-report acceptance: the self-stabilizing schemes heal every
+        // violation with bounded latency; the rigid network, facing the
+        // very same storm, never re-establishes the invariant.
+        for (k, per_k) in &all {
+            let storm = EP_RATES.len() - 1;
+            let rigid = &per_k[0][storm];
+            assert!(
+                rigid.episodes > 0,
+                "k={k}: the storm rate must actually strike"
+            );
+            assert!(
+                rigid.unrecovered > 0,
+                "k={k}: a rigid network must never recover from a storm"
+            );
+            for (si, scheme_stats) in per_k.iter().enumerate().skip(1) {
+                for (ri, stats) in scheme_stats.iter().enumerate() {
+                    assert_eq!(
+                        stats.unrecovered, 0,
+                        "k={k} {} rate {}: every violation must heal",
+                        SCHEME_NAMES[si], EP_RATES[ri].1
+                    );
+                    if let Some(p99) = stats.latencies.p99() {
+                        assert!(
+                            p99 <= LATENCY_BOUND,
+                            "k={k} {} rate {}: p99 {p99} exceeds {LATENCY_BOUND}",
+                            SCHEME_NAMES[si],
+                            EP_RATES[ri].1
+                        );
+                    }
+                }
+                assert!(
+                    scheme_stats[storm].recovered > 0,
+                    "k={k} {}: the storm must exercise recovery",
+                    SCHEME_NAMES[si]
+                );
+            }
+        }
+        let (k_last, per_k_last) = all.last().expect("at least one size");
+        let storm = EP_RATES.len() - 1;
+        for (si, name) in SCHEME_NAMES.iter().enumerate() {
+            let stats = &per_k_last[si][storm];
+            r.metrics_mut()
+                .add(&format!("e13.{name}.unrecovered"), stats.unrecovered);
+            r.metrics_mut().add(
+                &format!("e13.{name}.latency_p99"),
+                stats.latencies.p99().unwrap_or(0),
+            );
+        }
+        let _ = k_last;
+
+        if cfg.tracing() {
+            // A traced showcase trial: the episode schedule as
+            // fault_injected markers, the violation/recovery structure
+            // as balanced skew_violation spans.
+            let plan_seed = cfg.seed ^ (4u64 << 32) ^ (2u64 << 8);
+            let plan = EpisodePlan::new(plan_seed, 0, episode_config(EP_RATES[1].0));
+            let mut episodes = TraceBuf::new(1 << 8);
+            for ep in plan.schedule(16) {
+                episodes.record(TraceEvent::FaultInjected {
+                    t_ps: ep.onset,
+                    site: format!("node{}", ep.site),
+                    kind: "episode_onset".to_owned(),
+                });
+            }
+            let mut spans = TraceBuf::new(1 << 8);
+            let (_, rep) =
+                recovery_trial(Scheme::Trix, 4, EP_RATES[1].0, plan_seed, 0, Some(&mut spans));
+            assert!(rep.all_recovered(), "the traced trial recovers");
+            r.trace_mut().add_track("episodes", episodes);
+            r.trace_mut().add_track("recovery", spans);
+        }
+
+        rline!(r);
+        rline!(r, "The rigid network has no way to make up missed pulses: every");
+        rline!(r, "storm leaves it permanently displaced -- the skew invariant is");
+        rline!(r, "never re-established (in-sync fraction collapses). TRIX votes");
+        rline!(r, "faulty predecessors out and re-slews on repair; PALS drags the");
+        rline!(r, "rejoined node back through trimmed offset exchange. Both heal");
+        rline!(r, "every violation within the latency bound: giving up rigid global");
+        rline!(r, "synchrony (Theorem 6's escape hatch) is what buys self-repair.");
+        rline!(r);
+        rline!(r, "check: storm leaves rigid-htree unrecovered at every size; TRIX and");
+        rline!(r, "PALS heal all spans with p99 <= {LATENCY_BOUND} ticks  [OK]");
+        r
+    }
+}

@@ -1,7 +1,11 @@
 //! The (scheme × topology × size × fault-rate) design-space grid.
 //!
 //! E12 established the machinery — five synchronization schemes under
-//! one seed-derived fault environment with structured [`RunOutcome`]s.
+//! one seed-derived fault environment with structured [`RunOutcome`]s —
+//! and e13 extended the scheme axis with the self-stabilizing
+//! TRIX/PALS cells, which face *episode* faults (transient outages
+//! with onset and repair) and are judged by whether every skew
+//! violation heals.
 //! This module extracts that machinery so it can serve two masters:
 //! the e12 experiment itself (tables, in-report asserts) and the
 //! `sim-sweep` mega-sweep (the `explore` / `sweep_shard` binaries and
@@ -17,9 +21,12 @@
 use array_layout::prelude::*;
 use clock_tree::prelude::*;
 use selftimed::prelude::*;
-use sim_faults::{FaultPlan, FaultRates, OutcomeTally, RetryPolicy, RunOutcome};
+use sim_faults::{
+    measure_recovery, truncate_panic_reason, Episode, EpisodeConfig, EpisodePlan, FaultPlan,
+    FaultRates, OutcomeTally, RecoveryConfig, RecoveryReport, RetryPolicy, RunOutcome,
+};
 use sim_observe::Json;
-use sim_runtime::SimRng;
+use sim_runtime::{panic_message, SimRng};
 use sim_sweep::{
     frontier_report, merged_report, run_single, GridPoint, Manifest, Objective,
 };
@@ -39,14 +46,41 @@ pub const WAVES: usize = 12;
 /// Tokens pushed through a self-timed chain per trial.
 pub const TOKENS: usize = 8;
 
-/// The five scheme/topology combinations of the grid, in report order.
-pub const SCHEMES: [(&str, &str); 5] = [
+/// The scheme/topology combinations of the grid, in report order. The
+/// last two are the self-stabilizing schemes of e13: for them the
+/// point's `fault_rate` is the *episode* rate (transient outages with
+/// onset and repair) rather than a per-element hard-fault probability,
+/// and a trial survives iff every skew violation heals.
+pub const SCHEMES: [(&str, &str); 7] = [
     ("global", "spine"),
     ("global", "htree"),
     ("pipelined", "htree"),
     ("hybrid", "mesh"),
     ("selftimed", "chain"),
+    ("trix", "grid"),
+    ("pals", "mesh"),
 ];
+
+/// Episode shape for the self-stabilizing grid cells — a compressed
+/// version of e13's storm (shorter horizon, same physics) so sweep
+/// trials stay cheap.
+#[must_use]
+pub fn episode_config(rate: f64) -> EpisodeConfig {
+    EpisodeConfig {
+        rate,
+        min_duration: 20,
+        max_duration: 40,
+        horizon: 120,
+    }
+}
+
+/// Ticks simulated per self-stabilizing trial: the episode horizon,
+/// the repair tail, and re-lock slack.
+pub const EP_TICKS: u64 = 300;
+/// Skew-invariant threshold for the self-stabilizing cells.
+pub const EP_THRESHOLD: f64 = 0.75;
+/// Clean ticks required to close a violation span.
+pub const EP_HOLD: u64 = 8;
 
 /// The shared retry policy: 3 retries, timeout 5.
 #[must_use]
@@ -151,7 +185,7 @@ pub fn tally_results(results: &[Result<(RunOutcome, f64), String>]) -> (OutcomeT
                     sum += retention;
                 }
             }
-            Err(_) => tally.record_panic(),
+            Err(msg) => tally.record_panic_reason(msg),
         }
     }
     let retention = if tally.ok == 0 {
@@ -222,6 +256,49 @@ pub enum Cell {
         /// Fault-free period, the retention baseline.
         clean_period: f64,
     },
+    /// The TRIX pulse-propagation grid under fault episodes.
+    Trix(TrixParams),
+    /// The PALS offset-exchange mesh under fault episodes.
+    Pals(PalsParams),
+}
+
+/// Maps a recovery report onto the grid's outcome vocabulary: a trial
+/// survives iff every skew violation healed, and its "retention" is
+/// the fraction of ticks the invariant held.
+fn recovery_outcome(rep: &RecoveryReport) -> (RunOutcome, f64) {
+    if rep.all_recovered() {
+        (RunOutcome::Ok, rep.in_sync_fraction())
+    } else {
+        (RunOutcome::TimingViolation, 0.0)
+    }
+}
+
+/// One self-stabilizing trial: derive the episode plan from
+/// `(point_seed, trial)`, drive the scheme through it, and classify
+/// the recovery report.
+fn episode_trial(cell: &Cell, rate: f64, point_seed: u64, trial: u64) -> (RunOutcome, f64) {
+    let n = match cell {
+        Cell::Trix(p) => p.rows * p.cols,
+        Cell::Pals(p) => p.k * p.k,
+        _ => unreachable!("episode_trial is only called for trix/pals cells"),
+    };
+    let plan = EpisodePlan::new(point_seed, trial, episode_config(rate));
+    let schedule: Vec<Option<Episode>> = (0..n as u64).map(|s| plan.episode(s)).collect();
+    let active = |s: u64, t: u64| schedule[s as usize].is_some_and(|e| e.active_at(t));
+    let sim_seed = point_seed ^ trial.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    let rcfg = RecoveryConfig::new(EP_THRESHOLD, EP_HOLD, EP_TICKS);
+    let rep = match cell {
+        Cell::Trix(p) => {
+            let mut g = TrixGrid::new(sim_seed, *p);
+            measure_recovery(&rcfg, |t| g.step(|s| active(s, t)), None)
+        }
+        Cell::Pals(p) => {
+            let mut m = PalsMesh::new(sim_seed, *p);
+            measure_recovery(&rcfg, |t| m.step(|s| active(s, t)), None)
+        }
+        _ => unreachable!("episode_trial is only called for trix/pals cells"),
+    };
+    recovery_outcome(&rep)
 }
 
 /// Builds the simulation state for one grid point.
@@ -292,6 +369,8 @@ pub fn build_cell(point: &GridPoint) -> Result<Cell, String> {
                 clean_period,
             })
         }
+        ("trix", "grid") => Ok(Cell::Trix(TrixParams::new(k, k))),
+        ("pals", "mesh") => Ok(Cell::Pals(PalsParams::new(k))),
         (s, t) => Err(format!("unknown grid combination `{s}/{t}`")),
     }
 }
@@ -338,6 +417,12 @@ pub fn point_cost(point: &GridPoint) -> Result<f64, String> {
         // Full handshake logic (request/acknowledge, C-elements) in
         // every cell plus nearest-neighbour links.
         Cell::Selftimed { .. } => Ok(2.5 * n + 0.5 * (n - 1.0)),
+        // Triple-redundant predecessor links plus a median voter in
+        // every node.
+        Cell::Trix(_) => Ok(3.0 * n + 1.5 * n),
+        // A local oscillator per node (as in the hybrid scheme) plus
+        // four-neighbour offset-exchange ports.
+        Cell::Pals(_) => Ok(1.5 * n + 2.0 * n),
     }
 }
 
@@ -348,7 +433,8 @@ pub fn point_cost(point: &GridPoint) -> Result<f64, String> {
 /// Panics are isolated and reported as the `"panic"` outcome.
 ///
 /// The returned object is the sweep's per-trial record:
-/// `{"o": outcome-label, "r": throughput-retention}`.
+/// `{"o": outcome-label, "r": throughput-retention}`, plus a
+/// `"m"` truncated-message field on panicked trials only.
 pub fn run_trial(
     cell: &Cell,
     point: &GridPoint,
@@ -357,10 +443,13 @@ pub fn run_trial(
     rng: &mut SimRng,
 ) -> Json {
     let rates = FaultRates::uniform(point.fault_rate);
-    let plan = FaultPlan::new(point_seed, trial, rates);
     let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| match cell {
-        Cell::Clocked(c) => clocked_trial(&c.scheme, &c.pairs, &c.wdm, &plan, rng),
+        Cell::Clocked(c) => {
+            let plan = FaultPlan::new(point_seed, trial, rates);
+            clocked_trial(&c.scheme, &c.pairs, &c.wdm, &plan, rng)
+        }
         Cell::Hybrid(hybrid) => {
+            let plan = FaultPlan::new(point_seed, trial, rates);
             let (outcome, period) = hybrid.simulate_period_faulty(WAVES, &plan, policy());
             let retention = if outcome.is_ok() {
                 hybrid.cycle_time() / period
@@ -373,6 +462,7 @@ pub fn run_trial(
             chain,
             clean_period,
         } => {
+            let plan = FaultPlan::new(point_seed, trial, rates);
             let run = chain.run_faulty(TOKENS, &plan, policy());
             let retention = if run.outcome.is_ok() {
                 clean_period / run.period
@@ -381,15 +471,24 @@ pub fn run_trial(
             };
             (run.outcome, retention)
         }
+        Cell::Trix(_) | Cell::Pals(_) => {
+            episode_trial(cell, point.fault_rate, point_seed, trial)
+        }
     }));
-    let (label, retention) = match result {
-        Ok((outcome, retention)) => (outcome.label(), retention),
-        Err(_) => ("panic", 0.0),
-    };
-    Json::obj(vec![
-        ("o", Json::Str(label.to_owned())),
-        ("r", Json::Float(retention)),
-    ])
+    match result {
+        Ok((outcome, retention)) => Json::obj(vec![
+            ("o", Json::Str(outcome.label().to_owned())),
+            ("r", Json::Float(retention)),
+        ]),
+        Err(payload) => Json::obj(vec![
+            ("o", Json::Str("panic".to_owned())),
+            ("r", Json::Float(0.0)),
+            (
+                "m",
+                Json::Str(truncate_panic_reason(&panic_message(payload.as_ref()))),
+            ),
+        ]),
+    }
 }
 
 /// Aggregates one grid point's ordered trial records into its summary:
@@ -414,7 +513,10 @@ pub fn aggregate(point: &GridPoint, trials: &[Json]) -> Json {
                     sum += t.get("r").and_then(Json::as_f64).unwrap_or(0.0);
                 }
             }
-            None => tally.record_panic(),
+            None => {
+                let msg = t.get("m").and_then(Json::as_str).unwrap_or("");
+                tally.record_panic_reason(msg);
+            }
         }
     }
     let retention = if tally.ok == 0 {
@@ -532,6 +634,49 @@ mod tests {
         assert_eq!(s.get("retention"), Some(&Json::Float(0.75)));
         let outcomes = s.get("outcomes").expect("tally");
         assert_eq!(outcomes.get("panicked"), Some(&Json::UInt(1)));
+        // A legacy record without "m" leaves the reason unset.
+        assert_eq!(outcomes.get("panic_reason"), None);
+    }
+
+    #[test]
+    fn aggregate_keeps_the_first_panic_reason() {
+        let p = GridPoint::new("global", "spine", 4, 0.0);
+        let boom = Json::obj(vec![
+            ("o", Json::Str("panic".to_owned())),
+            ("r", Json::Float(0.0)),
+            ("m", Json::Str("index out of bounds".to_owned())),
+        ]);
+        let later = Json::obj(vec![
+            ("o", Json::Str("panic".to_owned())),
+            ("r", Json::Float(0.0)),
+            ("m", Json::Str("second reason".to_owned())),
+        ]);
+        let s = aggregate(&p, &[boom, later]);
+        let outcomes = s.get("outcomes").expect("tally");
+        assert_eq!(outcomes.get("panicked"), Some(&Json::UInt(2)));
+        assert_eq!(
+            outcomes.get("panic_reason").and_then(Json::as_str),
+            Some("index out of bounds")
+        );
+    }
+
+    #[test]
+    fn episode_cells_survive_calm_and_classify_storms() {
+        for (scheme, topology) in [("trix", "grid"), ("pals", "mesh")] {
+            // A non-zero episode rate still survives when every
+            // violation heals — the self-stabilizing contract.
+            let p = GridPoint::new(scheme, topology, 4, 0.05);
+            let cell = build_cell(&p).expect("cell");
+            let mut rng = SimRng::for_trial(3, 0);
+            let rec = run_trial(&cell, &p, 17, 0, &mut rng);
+            let o = rec.get("o").and_then(Json::as_str).expect("outcome");
+            assert!(
+                o == "ok" || o == "timing",
+                "{scheme}/{topology} episode trial classifies, got {o}"
+            );
+            let r = rec.get("r").and_then(Json::as_f64).expect("retention");
+            assert!((0.0..=1.0).contains(&r));
+        }
     }
 
     #[test]

@@ -18,7 +18,11 @@
 //!   (A10/A11), analytic worst-case skew `m·d + ε·s`, and Monte-Carlo
 //!   measurement;
 //! * [`period`] — the clock period `σ + δ + τ` (A5) under
-//!   equipotential (A6) and pipelined (A7) distribution.
+//!   equipotential (A6) and pipelined (A7) distribution;
+//! * [`trix`] — the modern escape hatch: TRIX-style self-stabilizing
+//!   pulse propagation through a redundant grid (median voting over
+//!   width-3 predecessor links), plus the rigid no-adaptation contrast
+//!   model the recovery harness compares it against.
 //!
 //! # Quick start: Theorem 3 in five lines
 //!
@@ -45,6 +49,7 @@ pub mod jitter;
 pub mod period;
 pub mod skew;
 pub mod tree;
+pub mod trix;
 
 /// Convenient re-exports of the crate's primary items.
 pub mod prelude {
@@ -62,4 +67,5 @@ pub mod prelude {
         SummationModel,
     };
     pub use crate::tree::{BufferFaultReport, ClockTree, ClockTreeBuilder, NodeId};
+    pub use crate::trix::{RigidGrid, TrixGrid, TrixParams};
 }

@@ -1,0 +1,374 @@
+//! TRIX-style self-stabilizing pulse propagation, plus the rigid
+//! contrast model.
+//!
+//! The paper's Ω(n) lower bound (Theorem 6) applies to *static* clock
+//! distribution: once the tree is laid out, a subtree that loses
+//! pulses has no way to get them back. TRIX (PAPERS.md, arXiv
+//! 2010.01415) attacks exactly that: pulses propagate through a
+//! redundant layered grid, each node firing on the **median** of its
+//! (width-3) predecessors' pulse times, so up to one faulty
+//! in-neighbor per node is voted out and the grid re-synchronizes
+//! itself after transient faults.
+//!
+//! [`TrixGrid`] is a tick-stepped phase-domain model of that scheme.
+//! Node state is a clock *offset* (phase error against the reference,
+//! in delay units); layer 0 is slaved to the reference, every later
+//! node slews toward the median of its alive predecessors under a
+//! per-tick slew limit (PLL-style re-lock). Faulty nodes are
+//! **fail-silent**: they free-run (offset drifts) and their outputs
+//! are excluded from successors' medians and from the skew
+//! measurement — the containment a redundant grid buys. On repair a
+//! node rejoins with whatever phase it drifted to and slews back,
+//! which is where recovery latency comes from.
+//!
+//! [`RigidGrid`] models the no-adaptation alternative (an H-tree or
+//! any passive distribution network): a faulty node's phase drifts
+//! while its clock is gone and **stays displaced after repair** —
+//! missed pulses are never made up, there is no mechanism to re-slew —
+//! and nothing is contained, so the displaced node keeps counting
+//! against the array's skew. Under the recovery harness this is the
+//! scheme whose skew invariant never re-establishes.
+//!
+//! Determinism: all jitter and drift derive from `hash(seed, site)`
+//! or `hash(seed, site, tick)` via SplitMix64, so a run is a pure
+//! function of `(seed, fault schedule)` — byte-identical across
+//! threads and query orders.
+
+use sim_runtime::SplitMix64;
+
+/// Shape and physics of a [`TrixGrid`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrixParams {
+    /// Grid rows (nodes per layer).
+    pub rows: usize,
+    /// Grid columns (layers); column 0 is slaved to the reference.
+    pub cols: usize,
+    /// Per-link, per-tick jitter half-amplitude on observed offsets.
+    pub jitter: f64,
+    /// Per-tick phase drift magnitude of a free-running (faulty) node.
+    pub drift: f64,
+    /// Largest per-tick offset correction (slew limit).
+    pub max_step: f64,
+}
+
+impl TrixParams {
+    /// The default physics for a `rows × cols` grid: jitter 0.02,
+    /// free-run drift 0.05, slew limit 0.2 (all in delay units per
+    /// tick).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty grid.
+    #[must_use]
+    pub fn new(rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "trix grid must be non-empty");
+        TrixParams {
+            rows,
+            cols,
+            jitter: 0.02,
+            drift: 0.05,
+            max_step: 0.2,
+        }
+    }
+}
+
+/// Uniform value in `[-1, 1]` from a hash of the given words.
+fn signed_unit(words: [u64; 3]) -> f64 {
+    let mut h = 0u64;
+    for w in words {
+        h = SplitMix64::new(h ^ w).next_u64();
+    }
+    (h >> 11) as f64 / (1u64 << 53) as f64 * 2.0 - 1.0
+}
+
+/// Median of a small non-empty slice (sorts in place).
+fn median(vals: &mut [f64]) -> f64 {
+    vals.sort_by(f64::total_cmp);
+    vals[vals.len() / 2]
+}
+
+/// The self-stabilizing pulse-propagation grid. See the module docs.
+#[derive(Debug, Clone)]
+pub struct TrixGrid {
+    params: TrixParams,
+    stream: u64,
+    offsets: Vec<f64>,
+    tick: u64,
+}
+
+impl TrixGrid {
+    /// A grid in the synchronized state (all offsets 0), with jitter
+    /// and drift streams derived from `seed`.
+    #[must_use]
+    pub fn new(seed: u64, params: TrixParams) -> Self {
+        TrixGrid {
+            params,
+            stream: SplitMix64::new(seed).next_u64(),
+            offsets: vec![0.0; params.rows * params.cols],
+            tick: 0,
+        }
+    }
+
+    /// Node site id (the fault-plan site address) of `(row, col)`.
+    #[must_use]
+    pub fn site(&self, row: usize, col: usize) -> u64 {
+        (row * self.params.cols + col) as u64
+    }
+
+    /// Number of nodes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.offsets.len()
+    }
+
+    /// Whether the grid has no nodes (never true — the constructor
+    /// rejects empty grids).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.offsets.is_empty()
+    }
+
+    /// Current offset of node `site`.
+    #[must_use]
+    pub fn offset(&self, site: u64) -> f64 {
+        self.offsets[site as usize]
+    }
+
+    /// Free-run drift of a faulty node: deterministic per site, with
+    /// magnitude in `[drift/2, drift]` and a site-dependent sign, so
+    /// concurrent outages spread the grid apart rather than marching
+    /// it in lockstep.
+    fn free_run_drift(&self, site: u64) -> f64 {
+        let u = signed_unit([self.stream, 0x64726966, site]);
+        let mag = self.params.drift * (0.75 + 0.25 * u.abs());
+        if u >= 0.0 {
+            mag
+        } else {
+            -mag
+        }
+    }
+
+    /// Observation jitter on the link into `site` at the current tick.
+    fn link_jitter(&self, site: u64, tick: u64) -> f64 {
+        self.params.jitter * signed_unit([self.stream, site.wrapping_add(1), tick])
+    }
+
+    /// Advances one tick. `faulty(site)` answers the *current* fault
+    /// state (e.g. [`EpisodePlan::faulty_at`] partially applied at
+    /// this tick). Returns the post-step [`max_skew`](Self::max_skew).
+    ///
+    /// [`EpisodePlan::faulty_at`]: sim_faults::EpisodePlan::faulty_at
+    pub fn step(&mut self, faulty: impl Fn(u64) -> bool) -> f64 {
+        let (rows, cols) = (self.params.rows, self.params.cols);
+        let prev = self.offsets.clone();
+        let tick = self.tick;
+        for r in 0..rows {
+            for c in 0..cols {
+                let site = self.site(r, c);
+                let i = site as usize;
+                if faulty(site) {
+                    // Fail-silent: free-run; successors vote us out.
+                    self.offsets[i] = prev[i] + self.free_run_drift(site);
+                    continue;
+                }
+                let target = if c == 0 {
+                    // Layer 0 hears the reference directly.
+                    self.link_jitter(site, tick)
+                } else {
+                    // Median over the alive width-3 predecessor window
+                    // in the previous layer (clamped at the grid edge).
+                    let mut preds = [0.0f64; 3];
+                    let mut alive = 0;
+                    for dr in -1i64..=1 {
+                        let pr = (r as i64 + dr).clamp(0, rows as i64 - 1) as usize;
+                        let psite = self.site(pr, c - 1);
+                        if !faulty(psite) {
+                            preds[alive] = prev[psite as usize]
+                                + self.link_jitter(site ^ (psite << 32), tick);
+                            alive += 1;
+                        }
+                    }
+                    if alive == 0 {
+                        // Every predecessor is down: hold phase.
+                        prev[i]
+                    } else {
+                        median(&mut preds[..alive])
+                    }
+                };
+                let step = (target - prev[i]).clamp(-self.params.max_step, self.params.max_step);
+                self.offsets[i] = prev[i] + step;
+            }
+        }
+        self.tick += 1;
+        self.max_skew(faulty)
+    }
+
+    /// Largest offset spread over the reference (phase 0) and every
+    /// *alive* node — faulty nodes are contained and do not count
+    /// until they rejoin.
+    #[must_use]
+    pub fn max_skew(&self, faulty: impl Fn(u64) -> bool) -> f64 {
+        let mut lo = 0.0f64;
+        let mut hi = 0.0f64;
+        for site in 0..self.offsets.len() as u64 {
+            if !faulty(site) {
+                let v = self.offsets[site as usize];
+                lo = lo.min(v);
+                hi = hi.max(v);
+            }
+        }
+        hi - lo
+    }
+}
+
+/// The no-adaptation contrast: a rigid distribution network (H-tree
+/// style) in the same phase-domain model. See the module docs.
+#[derive(Debug, Clone)]
+pub struct RigidGrid {
+    stream: u64,
+    drift: f64,
+    offsets: Vec<f64>,
+}
+
+impl RigidGrid {
+    /// A rigid network over `nodes` sinks whose faulty sinks drift at
+    /// per-tick magnitude `drift` (same free-run physics as
+    /// [`TrixGrid`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty network.
+    #[must_use]
+    pub fn new(seed: u64, nodes: usize, drift: f64) -> Self {
+        assert!(nodes > 0, "rigid grid must be non-empty");
+        RigidGrid {
+            stream: SplitMix64::new(seed).next_u64(),
+            drift,
+            offsets: vec![0.0; nodes],
+        }
+    }
+
+    /// Number of clock sinks.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.offsets.len()
+    }
+
+    /// Whether the network has no sinks (never true — the constructor
+    /// rejects empty networks).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.offsets.is_empty()
+    }
+
+    /// Advances one tick: faulty sinks lose pulses (phase drifts),
+    /// repaired sinks keep their displacement forever — a passive
+    /// network has no re-slew path. Returns the post-step skew over
+    /// **all** sinks (no containment either).
+    pub fn step(&mut self, faulty: impl Fn(u64) -> bool) -> f64 {
+        for site in 0..self.offsets.len() as u64 {
+            if faulty(site) {
+                let u = signed_unit([self.stream, 0x64726966, site]);
+                let mag = self.drift * (0.75 + 0.25 * u.abs());
+                self.offsets[site as usize] += if u >= 0.0 { mag } else { -mag };
+            }
+        }
+        let mut lo = 0.0f64;
+        let mut hi = 0.0f64;
+        for &v in &self.offsets {
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+        hi - lo
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_faults::{EpisodeConfig, EpisodePlan};
+
+    const NONE: fn(u64) -> bool = |_| false;
+
+    #[test]
+    fn fault_free_grid_stays_locked() {
+        let mut g = TrixGrid::new(3, TrixParams::new(4, 4));
+        for _ in 0..200 {
+            let skew = g.step(NONE);
+            assert!(skew < 0.2, "nominal skew stays at jitter scale, got {skew}");
+        }
+    }
+
+    #[test]
+    fn steps_are_deterministic() {
+        let run = || {
+            let mut g = TrixGrid::new(11, TrixParams::new(4, 4));
+            (0..100).map(|_| g.step(|s| s == 5)).collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn faulty_node_is_contained_then_recovers() {
+        let params = TrixParams::new(4, 4);
+        let mut g = TrixGrid::new(7, params);
+        for _ in 0..50 {
+            g.step(NONE);
+        }
+        // A 60-tick outage on an interior node: skew stays bounded
+        // while the node is voted out...
+        let victim = g.site(1, 2);
+        for _ in 0..60 {
+            let skew = g.step(|s| s == victim);
+            assert!(skew < 0.2, "fail-silent containment, got {skew}");
+        }
+        let displaced = g.offset(victim).abs();
+        assert!(displaced > 1.0, "free-run drifted the victim, got {displaced}");
+        // ...the rejoin blows the invariant once...
+        let skew = g.step(NONE);
+        assert!(skew > 0.5, "rejoin exposes the displacement, got {skew}");
+        // ...and the slew heals it in O(displacement / max_step).
+        let budget = (displaced / params.max_step) as usize + 30;
+        let mut healed = false;
+        for _ in 0..budget {
+            if g.step(NONE) < 0.2 {
+                healed = true;
+                break;
+            }
+        }
+        assert!(healed, "victim must re-lock within {budget} ticks");
+    }
+
+    #[test]
+    fn rigid_grid_never_heals() {
+        let mut r = RigidGrid::new(7, 16, 0.05);
+        for _ in 0..40 {
+            r.step(|s| s == 3);
+        }
+        let after_outage = r.step(NONE);
+        assert!(after_outage > 1.0, "outage displaced the sink");
+        for _ in 0..500 {
+            let skew = r.step(NONE);
+            assert!(
+                (skew - after_outage).abs() < 1e-12,
+                "a rigid network never makes up missed pulses"
+            );
+        }
+    }
+
+    #[test]
+    fn episode_plan_drives_the_step_closure() {
+        let cfg = EpisodeConfig {
+            rate: 0.4,
+            min_duration: 20,
+            max_duration: 40,
+            horizon: 100,
+        };
+        let plan = EpisodePlan::new(5, 0, cfg);
+        let mut g = TrixGrid::new(5, TrixParams::new(4, 4));
+        for t in 0..160 {
+            let skew = g.step(|s| plan.faulty_at(s, t));
+            assert!(skew.is_finite());
+        }
+    }
+}

@@ -1,0 +1,312 @@
+//! Time-varying fault episodes: onset, duration, repair.
+//!
+//! A [`FaultPlan`](crate::FaultPlan) answers "is this site faulty?" —
+//! a static verdict for the whole run. Self-stabilization questions
+//! need the time axis: a node dies at tick 400, stays dead for 60
+//! ticks, is repaired, and the array must *re*-synchronize. An
+//! [`EpisodePlan`] supplies exactly that: a pure function from
+//! `(seed, trial, site)` to an optional [`Episode`] with an onset tick
+//! and a repair tick, so every core can ask "is this site faulty
+//! *now*" ([`EpisodePlan::faulty_at`]) without any shared mutable
+//! schedule.
+//!
+//! Determinism follows the same discipline as the static plan: each
+//! query seeds a fresh RNG from `hash(stream, domain, site)`, so the
+//! answer depends only on `(seed, trial, site)` — never on query
+//! order, tick order, or thread count. The full schedule over a site
+//! range ([`EpisodePlan::schedule`]) is therefore byte-identical
+//! across `--threads`, which the determinism suite pins.
+
+use sim_runtime::{Rng, SimRng, SplitMix64};
+
+/// Site-address domain for episode draws, decorrelated from the static
+/// plan's gate/buffer/handshake domains.
+const DOMAIN_EPISODE: u64 = 0x65706973; // "epis"
+
+/// Shape of the episode process: how likely a site is to suffer an
+/// episode within the horizon, and how long the outage lasts.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EpisodeConfig {
+    /// Probability, in `[0, 1]`, that a given site suffers one episode
+    /// with onset inside the horizon.
+    pub rate: f64,
+    /// Shortest outage, in ticks (inclusive, must be ≥ 1).
+    pub min_duration: u64,
+    /// Longest outage, in ticks (inclusive, must be ≥ `min_duration`).
+    pub max_duration: u64,
+    /// Onset window: onsets are drawn uniformly from `[0, horizon)`.
+    /// Repairs may land past the horizon; callers that want every
+    /// repair observed simply run longer than
+    /// `horizon + max_duration`.
+    pub horizon: u64,
+}
+
+impl EpisodeConfig {
+    /// A config with no episodes at all (rate 0) — what nominal runs
+    /// pass around.
+    #[must_use]
+    pub const fn none() -> Self {
+        EpisodeConfig {
+            rate: 0.0,
+            min_duration: 1,
+            max_duration: 1,
+            horizon: 1,
+        }
+    }
+
+    /// Checks the rate is a probability, the duration range is
+    /// ordered and positive, and the horizon is non-empty.
+    ///
+    /// # Errors
+    ///
+    /// Names the offending field and value.
+    pub fn validate(&self) -> Result<(), String> {
+        if !self.rate.is_finite() || !(0.0..=1.0).contains(&self.rate) {
+            return Err(format!("episode rate {} must be in [0, 1]", self.rate));
+        }
+        if self.min_duration == 0 {
+            return Err("episode min_duration must be >= 1".to_owned());
+        }
+        if self.max_duration < self.min_duration {
+            return Err(format!(
+                "episode max_duration {} < min_duration {}",
+                self.max_duration, self.min_duration
+            ));
+        }
+        if self.horizon == 0 {
+            return Err("episode horizon must be >= 1".to_owned());
+        }
+        Ok(())
+    }
+}
+
+/// One contiguous outage of one site: faulty on every tick `t` with
+/// `onset <= t < repair`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Episode {
+    /// The site this episode strikes.
+    pub site: u64,
+    /// First faulty tick.
+    pub onset: u64,
+    /// First tick the site works again (exclusive end).
+    pub repair: u64,
+}
+
+impl Episode {
+    /// Whether the site is faulty at `tick`.
+    #[must_use]
+    pub fn active_at(&self, tick: u64) -> bool {
+        self.onset <= tick && tick < self.repair
+    }
+
+    /// Outage length in ticks.
+    #[must_use]
+    pub fn duration(&self) -> u64 {
+        self.repair - self.onset
+    }
+}
+
+/// A deterministic episode schedule for one Monte-Carlo trial,
+/// answered by point queries — the time-varying sibling of
+/// [`FaultPlan`](crate::FaultPlan).
+///
+/// # Examples
+///
+/// ```
+/// use sim_faults::{EpisodeConfig, EpisodePlan};
+///
+/// let cfg = EpisodeConfig { rate: 0.5, min_duration: 20, max_duration: 40, horizon: 200 };
+/// let plan = EpisodePlan::new(7, 0, cfg);
+/// // Point queries are pure: repeat queries agree.
+/// assert_eq!(plan.episode(3), plan.episode(3));
+/// // And the tick query is just the episode interval test.
+/// if let Some(ep) = plan.episode(3) {
+///     assert!(plan.faulty_at(3, ep.onset));
+///     assert!(!plan.faulty_at(3, ep.repair));
+/// }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EpisodePlan {
+    stream: u64,
+    cfg: EpisodeConfig,
+}
+
+impl EpisodePlan {
+    /// The schedule for trial `trial` of a sweep rooted at `seed`,
+    /// derived with the same stream discipline as
+    /// [`FaultPlan::new`](crate::FaultPlan::new).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg` fails [`EpisodeConfig::validate`].
+    #[must_use]
+    pub fn new(seed: u64, trial: u64, cfg: EpisodeConfig) -> Self {
+        cfg.validate().expect("episode config");
+        let mut sm = SplitMix64::new(seed);
+        let base = sm.next_u64();
+        let trial_mix = SplitMix64::new(trial.wrapping_add(base)).next_u64();
+        EpisodePlan {
+            stream: base ^ trial_mix,
+            cfg,
+        }
+    }
+
+    /// A schedule with no episodes.
+    #[must_use]
+    pub fn disabled() -> Self {
+        EpisodePlan {
+            stream: 0,
+            cfg: EpisodeConfig::none(),
+        }
+    }
+
+    /// Whether any episode can occur. Hot loops branch on this once
+    /// and skip per-tick queries when it is `false`.
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.cfg.rate > 0.0
+    }
+
+    /// The config this plan draws from.
+    #[must_use]
+    pub fn config(&self) -> &EpisodeConfig {
+        &self.cfg
+    }
+
+    fn site_rng(&self, site: u64) -> SimRng {
+        let mut sm = SplitMix64::new(self.stream ^ DOMAIN_EPISODE.rotate_left(17));
+        let a = sm.next_u64();
+        let b = SplitMix64::new(site.wrapping_add(a)).next_u64();
+        SimRng::seed_from_u64(a ^ b)
+    }
+
+    /// The episode (if any) striking `site`. Pure: depends only on
+    /// `(seed, trial, site)`.
+    #[must_use]
+    pub fn episode(&self, site: u64) -> Option<Episode> {
+        if !self.is_enabled() {
+            return None;
+        }
+        let mut rng = self.site_rng(site);
+        // Fixed draw layout regardless of the hit verdict, matching
+        // the static plan's discipline.
+        let (u_hit, u_onset, u_dur) = (rng.gen_f64(), rng.gen_f64(), rng.gen_f64());
+        if u_hit >= self.cfg.rate {
+            return None;
+        }
+        let onset =
+            ((u_onset * self.cfg.horizon as f64) as u64).min(self.cfg.horizon - 1);
+        let span = self.cfg.max_duration - self.cfg.min_duration + 1;
+        let duration =
+            self.cfg.min_duration + ((u_dur * span as f64) as u64).min(span - 1);
+        Some(Episode {
+            site,
+            onset,
+            repair: onset + duration,
+        })
+    }
+
+    /// Whether `site` is faulty at `tick` — the per-core point query.
+    #[must_use]
+    pub fn faulty_at(&self, site: u64, tick: u64) -> bool {
+        self.episode(site).is_some_and(|ep| ep.active_at(tick))
+    }
+
+    /// The full schedule over sites `0..sites`, ordered by
+    /// `(onset, site)` — the canonical listing the determinism suite
+    /// byte-compares across thread counts.
+    #[must_use]
+    pub fn schedule(&self, sites: u64) -> Vec<Episode> {
+        let mut eps: Vec<Episode> = (0..sites).filter_map(|s| self.episode(s)).collect();
+        eps.sort_by_key(|e| (e.onset, e.site));
+        eps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(rate: f64) -> EpisodeConfig {
+        EpisodeConfig {
+            rate,
+            min_duration: 10,
+            max_duration: 30,
+            horizon: 100,
+        }
+    }
+
+    #[test]
+    fn queries_are_pure_and_order_independent() {
+        let plan = EpisodePlan::new(42, 3, cfg(0.5));
+        let forward: Vec<_> = (0..64).map(|s| plan.episode(s)).collect();
+        let backward: Vec<_> = (0..64).rev().map(|s| plan.episode(s)).collect();
+        for (i, e) in forward.iter().enumerate() {
+            assert_eq!(*e, backward[63 - i]);
+            assert_eq!(*e, plan.episode(i as u64));
+        }
+    }
+
+    #[test]
+    fn episodes_respect_the_config_window() {
+        let c = cfg(1.0);
+        let plan = EpisodePlan::new(9, 0, c);
+        let eps = plan.schedule(256);
+        assert_eq!(eps.len(), 256, "rate 1 strikes every site");
+        for e in &eps {
+            assert!(e.onset < c.horizon);
+            assert!((c.min_duration..=c.max_duration).contains(&e.duration()));
+            // Boundary semantics: faulty at onset, repaired at repair.
+            assert!(plan.faulty_at(e.site, e.onset));
+            assert!(plan.faulty_at(e.site, e.repair - 1));
+            assert!(!plan.faulty_at(e.site, e.repair));
+            if e.onset > 0 {
+                assert!(!plan.faulty_at(e.site, e.onset - 1));
+            }
+        }
+        // Canonical order.
+        for w in eps.windows(2) {
+            assert!((w[0].onset, w[0].site) < (w[1].onset, w[1].site));
+        }
+    }
+
+    #[test]
+    fn rate_scales_the_episode_density() {
+        let low = EpisodePlan::new(5, 0, cfg(0.05));
+        let high = EpisodePlan::new(5, 0, cfg(0.6));
+        assert!(low.schedule(512).len() < high.schedule(512).len());
+        let zero = EpisodePlan::new(5, 0, EpisodeConfig::none());
+        assert!(zero.schedule(512).is_empty());
+        assert!(!zero.is_enabled());
+        assert!(!EpisodePlan::disabled().faulty_at(0, 0));
+    }
+
+    #[test]
+    fn trials_draw_independent_streams_but_reproduce() {
+        let a = EpisodePlan::new(1, 0, cfg(0.5));
+        let b = EpisodePlan::new(1, 1, cfg(0.5));
+        assert_ne!(a.schedule(128), b.schedule(128), "trial streams must differ");
+        let a2 = EpisodePlan::new(1, 0, cfg(0.5));
+        assert_eq!(a.schedule(128), a2.schedule(128));
+    }
+
+    #[test]
+    fn validation_rejects_degenerate_configs() {
+        for bad in [
+            EpisodeConfig { rate: 1.5, ..cfg(0.0) },
+            EpisodeConfig { rate: f64::NAN, ..cfg(0.0) },
+            EpisodeConfig { min_duration: 0, ..cfg(0.1) },
+            EpisodeConfig { max_duration: 5, ..cfg(0.1) },
+            EpisodeConfig { horizon: 0, ..cfg(0.1) },
+        ] {
+            assert!(bad.validate().is_err(), "{bad:?}");
+        }
+        assert!(cfg(0.3).validate().is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "episode config")]
+    fn new_rejects_invalid_configs() {
+        let _ = EpisodePlan::new(1, 0, EpisodeConfig { rate: 2.0, ..cfg(0.0) });
+    }
+}

@@ -13,7 +13,10 @@
 //!   ([`GateFault::Delay`]);
 //! * dead or degraded clock-tree buffers ([`BufferFault`]);
 //! * dropped or delayed handshake req/ack transitions
-//!   ([`HandshakeFault`]).
+//!   ([`HandshakeFault`]);
+//! * time-varying fault *episodes* — onset tick, duration, repair —
+//!   layered on the same point-query discipline ([`EpisodePlan`]), so
+//!   a core can ask "is this site faulty *now*".
 //!
 //! Determinism is the design center: every query hashes the plan's
 //! per-trial stream with the site identity through SplitMix64, so the
@@ -26,20 +29,36 @@
 //! violation, a classified deadlock, or an exhausted budget — which
 //! [`OutcomeTally`] aggregates across a sweep. No fault ever turns
 //! into a hang or a panic.
+//!
+//! The self-stabilization question — *how fast does the array
+//! re-synchronize once an episode repairs?* — is answered by the
+//! [`measure_recovery`] harness, which watches a tick-stepped skew
+//! signal for loss and re-establishment of the invariant and reports
+//! recovery-latency distributions.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod episode;
 mod outcome;
 mod plan;
+mod recovery;
 
-pub use outcome::{OutcomeTally, RunOutcome};
+pub use episode::{Episode, EpisodeConfig, EpisodePlan};
+pub use outcome::{truncate_panic_reason, OutcomeTally, RunOutcome};
 pub use plan::{BufferFault, FaultPlan, FaultRates, GateFault, HandshakeFault, RetryPolicy};
+pub use recovery::{
+    measure_recovery, RecoveryConfig, RecoveryReport, RecoverySpan, SKEW_VIOLATION_SPAN,
+};
 
 /// Common imports: `use sim_faults::prelude::*;`.
 pub mod prelude {
-    pub use crate::outcome::{OutcomeTally, RunOutcome};
+    pub use crate::episode::{Episode, EpisodeConfig, EpisodePlan};
+    pub use crate::outcome::{truncate_panic_reason, OutcomeTally, RunOutcome};
     pub use crate::plan::{
         BufferFault, FaultPlan, FaultRates, GateFault, HandshakeFault, RetryPolicy,
+    };
+    pub use crate::recovery::{
+        measure_recovery, RecoveryConfig, RecoveryReport, RecoverySpan, SKEW_VIOLATION_SPAN,
     };
 }

@@ -64,9 +64,28 @@ impl fmt::Display for RunOutcome {
     }
 }
 
+/// Longest panic reason a tally retains, in bytes.
+const PANIC_REASON_MAX: usize = 80;
+
+/// Truncates a caught panic message to the tally's stable short form:
+/// first line only, at most 80 bytes (cut on a char boundary, `...`
+/// appended when shortened). Empty input stays empty.
+#[must_use]
+pub fn truncate_panic_reason(msg: &str) -> String {
+    let line = msg.lines().next().unwrap_or("");
+    if line.len() <= PANIC_REASON_MAX {
+        return line.to_owned();
+    }
+    let mut cut = PANIC_REASON_MAX;
+    while !line.is_char_boundary(cut) {
+        cut -= 1;
+    }
+    format!("{}...", &line[..cut])
+}
+
 /// Outcome counts across a sweep, including trials whose panic was
 /// caught by the sweep's isolation layer.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct OutcomeTally {
     /// Trials that finished [`RunOutcome::Ok`].
     pub ok: u64,
@@ -78,6 +97,9 @@ pub struct OutcomeTally {
     pub budget: u64,
     /// Trials that panicked and were isolated by `catch_unwind`.
     pub panicked: u64,
+    /// Truncated message of the first recorded panic, when one carried
+    /// a reason — so reports can say *why* trials died.
+    pub panic_reason: Option<String>,
 }
 
 impl OutcomeTally {
@@ -102,6 +124,16 @@ impl OutcomeTally {
         self.panicked += 1;
     }
 
+    /// Counts one panicked trial and keeps its (truncated) message —
+    /// first panic wins, so the retained reason is deterministic under
+    /// in-order folds.
+    pub fn record_panic_reason(&mut self, msg: &str) {
+        self.panicked += 1;
+        if self.panic_reason.is_none() && !msg.is_empty() {
+            self.panic_reason = Some(truncate_panic_reason(msg));
+        }
+    }
+
     /// Adds another tally into this one (sweep-merge).
     pub fn merge(&mut self, other: &OutcomeTally) {
         self.ok += other.ok;
@@ -109,6 +141,9 @@ impl OutcomeTally {
         self.deadlock += other.deadlock;
         self.budget += other.budget;
         self.panicked += other.panicked;
+        if self.panic_reason.is_none() {
+            self.panic_reason.clone_from(&other.panic_reason);
+        }
     }
 
     /// Total trials counted.
@@ -143,17 +178,23 @@ impl OutcomeTally {
     }
 
     /// The tally as a deterministic JSON object (fixed key order), the
-    /// form sweep reports embed per grid point.
+    /// form sweep reports embed per grid point. The `panic_reason` key
+    /// appears only when a reason was recorded, so panic-free reports
+    /// keep their historical byte shape.
     #[must_use]
     pub fn to_json(&self) -> sim_observe::Json {
         use sim_observe::Json;
-        Json::obj(vec![
+        let mut fields = vec![
             ("ok", Json::UInt(self.ok)),
             ("timing", Json::UInt(self.timing)),
             ("deadlock", Json::UInt(self.deadlock)),
             ("budget", Json::UInt(self.budget)),
             ("panicked", Json::UInt(self.panicked)),
-        ])
+        ];
+        if let Some(reason) = &self.panic_reason {
+            fields.push(("panic_reason", Json::Str(reason.clone())));
+        }
+        Json::obj(fields)
     }
 }
 
@@ -163,7 +204,11 @@ impl fmt::Display for OutcomeTally {
             f,
             "ok={} timing={} deadlock={} budget={} panicked={}",
             self.ok, self.timing, self.deadlock, self.budget, self.panicked
-        )
+        )?;
+        if let Some(reason) = &self.panic_reason {
+            write!(f, " ({reason})")?;
+        }
+        Ok(())
     }
 }
 
@@ -219,6 +264,38 @@ mod tests {
             t.to_json().to_compact(),
             r#"{"ok":1,"timing":0,"deadlock":0,"budget":1,"panicked":1}"#
         );
+    }
+
+    #[test]
+    fn panic_reasons_are_kept_truncated_and_first_wins() {
+        let mut t = OutcomeTally::new();
+        t.record_panic_reason("index out of bounds: the len is 4\nbacktrace follows");
+        t.record_panic_reason("a later, different panic");
+        assert_eq!(t.panicked, 2);
+        assert_eq!(
+            t.panic_reason.as_deref(),
+            Some("index out of bounds: the len is 4"),
+            "first line of the first panic wins"
+        );
+        assert_eq!(
+            t.to_string(),
+            "ok=0 timing=0 deadlock=0 budget=0 panicked=2 (index out of bounds: the len is 4)"
+        );
+        assert_eq!(
+            t.to_json().to_compact(),
+            r#"{"ok":0,"timing":0,"deadlock":0,"budget":0,"panicked":2,"panic_reason":"index out of bounds: the len is 4"}"#
+        );
+        // Long messages are clipped to a stable 80-byte prefix.
+        let long = "x".repeat(200);
+        assert_eq!(truncate_panic_reason(&long), format!("{}...", "x".repeat(80)));
+        assert_eq!(truncate_panic_reason(""), "");
+        // merge keeps the earliest reason.
+        let mut a = OutcomeTally::new();
+        a.record_panic();
+        assert_eq!(a.panic_reason, None, "reason-less panics stay reason-less");
+        a.merge(&t);
+        assert_eq!(a.panicked, 3);
+        assert_eq!(a.panic_reason.as_deref(), Some("index out of bounds: the len is 4"));
     }
 
     #[test]

@@ -1,0 +1,314 @@
+//! The recovery-time harness: when did the skew invariant break, and
+//! when was it re-established?
+//!
+//! Self-stabilization claims are claims about *spans of wall time*: a
+//! fault episode strikes, the array's skew invariant (`max spread <=
+//! threshold`) is lost, the scheme reacts, and after some latency the
+//! invariant holds again — or never does. [`measure_recovery`] drives
+//! any tick-stepped simulation through that lens. The caller supplies
+//! a closure producing the tick's skew; the harness tracks
+//! [`RecoverySpan`]s (violation onset, re-establishment), requiring
+//! `hold` consecutive clean ticks before declaring recovery so a
+//! single lucky sample cannot end a span, and folds the recovered
+//! latencies into a [`LogHistogram`] for p50/p99 reporting.
+//!
+//! When handed a [`TraceBuf`] the harness also records each span as a
+//! `SpanBegin`/`SpanEnd` pair named [`SKEW_VIOLATION_SPAN`], which the
+//! trace checker's `span-balance` rule validates — the violation and
+//! its recovery are well-ordered events on the sim timeline.
+
+use sim_observe::{Json, LogHistogram, TraceBuf, TraceEvent};
+
+/// Trace span name of one lost-invariant interval.
+pub const SKEW_VIOLATION_SPAN: &str = "skew_violation";
+
+/// What counts as "synchronized", and for how long the invariant must
+/// hold before a violation is considered healed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RecoveryConfig {
+    /// Skew invariant: in-sync means `skew <= threshold`.
+    pub threshold: f64,
+    /// Consecutive in-sync ticks required to close a violation span.
+    pub hold: u64,
+    /// Ticks to simulate.
+    pub ticks: u64,
+}
+
+impl RecoveryConfig {
+    /// A config with the given invariant.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a non-positive/non-finite threshold, zero hold, or
+    /// zero ticks.
+    #[must_use]
+    pub fn new(threshold: f64, hold: u64, ticks: u64) -> Self {
+        assert!(
+            threshold.is_finite() && threshold > 0.0,
+            "recovery threshold must be positive"
+        );
+        assert!(hold >= 1, "recovery hold must be >= 1");
+        assert!(ticks >= 1, "recovery run must simulate >= 1 tick");
+        RecoveryConfig {
+            threshold,
+            hold,
+            ticks,
+        }
+    }
+}
+
+/// One interval during which the skew invariant was violated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecoverySpan {
+    /// First tick with `skew > threshold`.
+    pub violated_at: u64,
+    /// First tick of the `hold`-long clean streak that healed the
+    /// violation; `None` when the run ended with the invariant still
+    /// lost.
+    pub recovered_at: Option<u64>,
+}
+
+impl RecoverySpan {
+    /// Ticks from violation to re-establishment (`None` while
+    /// unrecovered).
+    #[must_use]
+    pub fn latency(&self) -> Option<u64> {
+        self.recovered_at.map(|r| r - self.violated_at)
+    }
+}
+
+/// The harness verdict: every span, the recovered-latency
+/// distribution, and how much of the run was out of sync.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecoveryReport {
+    /// Violation spans in onset order.
+    pub spans: Vec<RecoverySpan>,
+    /// Latencies of the *recovered* spans, in ticks.
+    pub latencies: LogHistogram,
+    /// Ticks with `skew > threshold`.
+    pub violated_ticks: u64,
+    /// Total ticks simulated.
+    pub ticks: u64,
+}
+
+impl RecoveryReport {
+    /// Spans that healed within the run.
+    #[must_use]
+    pub fn recovered(&self) -> u64 {
+        self.latencies.count()
+    }
+
+    /// Spans still open when the run ended — "never recovered".
+    #[must_use]
+    pub fn unrecovered(&self) -> u64 {
+        self.spans.len() as u64 - self.recovered()
+    }
+
+    /// Whether every violation healed (vacuously true with no spans).
+    #[must_use]
+    pub fn all_recovered(&self) -> bool {
+        self.unrecovered() == 0
+    }
+
+    /// Fraction of the run spent with the invariant intact.
+    #[must_use]
+    pub fn in_sync_fraction(&self) -> f64 {
+        1.0 - self.violated_ticks as f64 / self.ticks as f64
+    }
+
+    /// Deterministic JSON summary (fixed key order): span counts, the
+    /// in-sync fraction, and the recovered-latency quantiles (0 when
+    /// nothing recovered).
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        let q = |v: Option<u64>| Json::UInt(v.unwrap_or(0));
+        Json::obj(vec![
+            ("spans", Json::UInt(self.spans.len() as u64)),
+            ("recovered", Json::UInt(self.recovered())),
+            ("unrecovered", Json::UInt(self.unrecovered())),
+            ("violated_ticks", Json::UInt(self.violated_ticks)),
+            ("ticks", Json::UInt(self.ticks)),
+            ("latency_p50", q(self.latencies.p50())),
+            ("latency_p99", q(self.latencies.p99())),
+            ("latency_max", q(self.latencies.max())),
+        ])
+    }
+}
+
+/// Runs `skew_at` for every tick in `0..cfg.ticks` and extracts the
+/// violation/recovery structure. A violation span opens at the first
+/// tick whose skew exceeds the threshold and closes at the first tick
+/// of a `hold`-long streak of in-sync ticks; a span still open at the
+/// end of the run is reported with `recovered_at: None` (its `SpanEnd`
+/// is still recorded at `cfg.ticks` so traces stay balanced).
+pub fn measure_recovery(
+    cfg: &RecoveryConfig,
+    mut skew_at: impl FnMut(u64) -> f64,
+    mut trace: Option<&mut TraceBuf>,
+) -> RecoveryReport {
+    let mut spans = Vec::new();
+    let mut latencies = LogHistogram::new();
+    let mut violated_ticks = 0u64;
+    let mut open: Option<u64> = None;
+    let mut streak = 0u64;
+    for t in 0..cfg.ticks {
+        let violated = skew_at(t) > cfg.threshold;
+        if violated {
+            violated_ticks += 1;
+        }
+        match open {
+            None => {
+                if violated {
+                    open = Some(t);
+                    streak = 0;
+                    if let Some(buf) = trace.as_deref_mut() {
+                        buf.record(TraceEvent::SpanBegin {
+                            t_ps: t,
+                            name: SKEW_VIOLATION_SPAN.to_owned(),
+                        });
+                    }
+                }
+            }
+            Some(start) => {
+                if violated {
+                    streak = 0;
+                } else {
+                    streak += 1;
+                    if streak >= cfg.hold {
+                        let recovered_at = t + 1 - streak;
+                        spans.push(RecoverySpan {
+                            violated_at: start,
+                            recovered_at: Some(recovered_at),
+                        });
+                        latencies.record(recovered_at - start);
+                        if let Some(buf) = trace.as_deref_mut() {
+                            buf.record(TraceEvent::SpanEnd {
+                                t_ps: recovered_at,
+                                name: SKEW_VIOLATION_SPAN.to_owned(),
+                            });
+                        }
+                        open = None;
+                        streak = 0;
+                    }
+                }
+            }
+        }
+    }
+    if let Some(start) = open {
+        spans.push(RecoverySpan {
+            violated_at: start,
+            recovered_at: None,
+        });
+        if let Some(buf) = trace {
+            buf.record(TraceEvent::SpanEnd {
+                t_ps: cfg.ticks,
+                name: SKEW_VIOLATION_SPAN.to_owned(),
+            });
+        }
+    }
+    RecoveryReport {
+        spans,
+        latencies,
+        violated_ticks,
+        ticks: cfg.ticks,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Skew 2.0 on ticks in the given windows, 0.0 elsewhere.
+    fn windows(spans: &'static [(u64, u64)]) -> impl FnMut(u64) -> f64 {
+        move |t| {
+            if spans.iter().any(|&(a, b)| a <= t && t < b) {
+                2.0
+            } else {
+                0.0
+            }
+        }
+    }
+
+    #[test]
+    fn clean_run_has_no_spans() {
+        let cfg = RecoveryConfig::new(1.0, 4, 100);
+        let rep = measure_recovery(&cfg, |_| 0.5, None);
+        assert!(rep.spans.is_empty());
+        assert!(rep.all_recovered());
+        assert_eq!(rep.in_sync_fraction(), 1.0);
+        assert_eq!(rep.to_json().get("latency_p99"), Some(&Json::UInt(0)));
+    }
+
+    #[test]
+    fn violation_and_recovery_are_located_exactly() {
+        let cfg = RecoveryConfig::new(1.0, 4, 100);
+        let rep = measure_recovery(&cfg, windows(&[(10, 20)]), None);
+        assert_eq!(
+            rep.spans,
+            vec![RecoverySpan {
+                violated_at: 10,
+                recovered_at: Some(20),
+            }]
+        );
+        assert_eq!(rep.spans[0].latency(), Some(10));
+        assert_eq!(rep.violated_ticks, 10);
+        assert_eq!(rep.recovered(), 1);
+        assert_eq!(rep.latencies.p50(), Some(10));
+    }
+
+    #[test]
+    fn hold_bridges_flapping_samples() {
+        // Clean gaps shorter than hold (3 < 4) must not close the span:
+        // one long violation, recovered at the final clean streak.
+        let cfg = RecoveryConfig::new(1.0, 4, 60);
+        let rep = measure_recovery(&cfg, windows(&[(5, 10), (13, 18), (21, 26)]), None);
+        assert_eq!(
+            rep.spans,
+            vec![RecoverySpan {
+                violated_at: 5,
+                recovered_at: Some(26),
+            }]
+        );
+        // With hold 1 the same signal splits into three spans.
+        let cfg1 = RecoveryConfig::new(1.0, 1, 60);
+        let rep1 = measure_recovery(&cfg1, windows(&[(5, 10), (13, 18), (21, 26)]), None);
+        assert_eq!(rep1.spans.len(), 3);
+        assert!(rep1.all_recovered());
+    }
+
+    #[test]
+    fn unrecovered_span_is_reported_open() {
+        let cfg = RecoveryConfig::new(1.0, 4, 50);
+        let rep = measure_recovery(&cfg, windows(&[(30, 200)]), None);
+        assert_eq!(rep.spans.len(), 1);
+        assert_eq!(rep.spans[0].recovered_at, None);
+        assert_eq!(rep.unrecovered(), 1);
+        assert!(!rep.all_recovered());
+        assert_eq!(rep.to_json().get("unrecovered"), Some(&Json::UInt(1)));
+    }
+
+    #[test]
+    fn trace_spans_are_balanced_and_well_ordered() {
+        let mut buf = TraceBuf::new(64);
+        let cfg = RecoveryConfig::new(1.0, 2, 80);
+        let rep = measure_recovery(&cfg, windows(&[(10, 20), (40, 90)]), Some(&mut buf));
+        assert_eq!(rep.spans.len(), 2);
+        let mut trace = sim_observe::Trace::new();
+        trace.add_track("recovery", buf);
+        let check = sim_observe::check_trace(&trace);
+        assert!(check.is_ok(), "{check:?}");
+        // Events alternate begin/end with non-decreasing timestamps.
+        let track = &trace.tracks()[0];
+        let kinds: Vec<_> = track.events.iter().map(TraceEvent::kind).collect();
+        assert_eq!(kinds, vec!["span_begin", "span_end", "span_begin", "span_end"]);
+        let times: Vec<_> = track.events.iter().map(TraceEvent::t_ps).collect();
+        assert!(times.windows(2).all(|w| w[0] <= w[1]), "{times:?}");
+        assert_eq!(times[3], 80, "open span closes at run end");
+    }
+
+    #[test]
+    #[should_panic(expected = "recovery threshold")]
+    fn config_rejects_bad_thresholds() {
+        let _ = RecoveryConfig::new(0.0, 1, 10);
+    }
+}

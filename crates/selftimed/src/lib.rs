@@ -11,7 +11,11 @@
 //!   out constant-skew global clocking;
 //! * [`metastability`] — the stoppable-clock argument: why the hybrid
 //!   scheme cannot fail on a metastable flip-flop while a conventional
-//!   synchronizer can.
+//!   synchronizer can;
+//! * [`pals`] — PALS-style offset exchange: a mesh of free-running
+//!   local clocks kept logically synchronous by trading offsets with
+//!   neighbors and slewing toward a fault-tolerant trimmed midpoint,
+//!   self-stabilizing after fault episodes.
 //!
 //! # Example
 //!
@@ -34,6 +38,7 @@ pub mod gate_element;
 pub mod handshake;
 pub mod hybrid;
 pub mod metastability;
+pub mod pals;
 
 /// Convenient re-exports of the crate's primary items.
 pub mod prelude {
@@ -44,4 +49,5 @@ pub mod prelude {
     };
     pub use crate::hybrid::{HybridArray, HybridParams};
     pub use crate::metastability::MetastabilityModel;
+    pub use crate::pals::{PalsMesh, PalsParams};
 }

@@ -16,7 +16,7 @@
 //! errors.
 
 use sim_observe::{parse_with_limits, Json, ParseLimits};
-use sim_serve::Client;
+use sim_serve::{Backoff, Client};
 use std::net::{SocketAddr, ToSocketAddrs};
 
 const USAGE: &str = "usage: sim_top [--addr HOST:PORT] [--interval-ms N] [--count N] \
@@ -208,7 +208,8 @@ fn main() {
             std::process::exit(2);
         }
     };
-    let mut client = match Client::connect(addr) {
+    let backoff = Backoff::default();
+    let mut client = match Client::connect_with_retry(addr, &backoff) {
         Ok(client) => client,
         Err(e) => {
             eprintln!("sim_top: cannot connect to {addr}: {e}");
@@ -222,7 +223,7 @@ fn main() {
     let mut poll: u64 = 0;
     loop {
         poll += 1;
-        let (header, body) = match client.roundtrip(line) {
+        let (header, body) = match client.roundtrip_with_retry(line, &backoff) {
             Ok(pair) => pair,
             Err(e) => {
                 eprintln!("sim_top: {e}");

@@ -7,20 +7,83 @@
 //! exactly `header.bytes` body bytes. Response bodies are not
 //! line-framed, so the client buffers raw bytes and slices frames out
 //! by count — the only place a newline is structural is the header.
+//!
+//! # Bounded retry
+//!
+//! Two failure classes are transient by construction and safe to
+//! retry (every serve op is idempotent — responses are content-keyed
+//! and cached):
+//!
+//! * **connect refused** — the server isn't listening *yet* (startup
+//!   races in scripts and tests);
+//! * **partial read / connection closed** — the peer died mid-frame;
+//!   the connection is useless, so the client reconnects and replays
+//!   the request;
+//! * **`busy` refusals** — the server shed load and said when to come
+//!   back (`retry_after_ms`); the connection stays healthy.
+//!
+//! [`Backoff`] makes the retry schedule bounded and *deterministic*:
+//! exponential doubling from a fixed base, capped, no jitter — two
+//! processes with the same policy wait the same schedule.
 
-use crate::proto::{parse_header, Header};
+use crate::proto::{parse_header, Header, BUSY_RETRY_AFTER_MS};
 use std::io::{ErrorKind, Read, Write};
-use std::net::{TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
 /// Default per-read timeout: generous enough for a cold experiment
 /// run, finite so a wedged server cannot hang a client forever.
 const CLIENT_READ_TIMEOUT: Duration = Duration::from_secs(120);
 
+/// A bounded, deterministic retry schedule: attempt `i` (0-based)
+/// sleeps `min(base << i, cap)` before retrying. No jitter — the
+/// schedule is a pure function of the policy, so test runs and paired
+/// processes behave identically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Backoff {
+    /// Total attempts (the first try included). 1 disables retry.
+    pub attempts: u32,
+    /// Sleep before the first retry.
+    pub base: Duration,
+    /// Upper bound on any single sleep.
+    pub cap: Duration,
+}
+
+impl Default for Backoff {
+    /// Four attempts, 10 ms doubling to a 200 ms cap — bounded well
+    /// under a second in total.
+    fn default() -> Self {
+        Backoff {
+            attempts: 4,
+            base: Duration::from_millis(10),
+            cap: Duration::from_millis(200),
+        }
+    }
+}
+
+impl Backoff {
+    /// The deterministic sleep before retry `attempt` (0-based).
+    #[must_use]
+    pub fn delay(&self, attempt: u32) -> Duration {
+        let factor = 1u32 << attempt.min(16);
+        self.base.saturating_mul(factor).min(self.cap)
+    }
+}
+
+/// Whether a roundtrip error means the *connection* failed (retryable
+/// after a reconnect) rather than the protocol (not retryable).
+fn is_connection_error(msg: &str) -> bool {
+    msg.starts_with("write failed")
+        || msg.starts_with("read failed")
+        || msg == "server closed the connection"
+}
+
 /// A blocking protocol client over one connection.
 #[derive(Debug)]
 pub struct Client {
     stream: TcpStream,
+    /// The resolved peer, kept for reconnect-and-replay.
+    addr: SocketAddr,
     /// Bytes received but not yet consumed (tail of a read that
     /// crossed a frame boundary).
     buf: Vec<u8>,
@@ -36,7 +99,84 @@ impl Client {
         let stream = TcpStream::connect(addr)?;
         stream.set_read_timeout(Some(CLIENT_READ_TIMEOUT))?;
         stream.set_nodelay(true)?;
-        Ok(Client { stream, buf: Vec::new() })
+        let addr = stream.peer_addr()?;
+        Ok(Client { stream, addr, buf: Vec::new() })
+    }
+
+    /// Connects like [`connect`](Self::connect), retrying
+    /// connection-refused (the server isn't listening yet) on the
+    /// `backoff` schedule. Other errors fail immediately.
+    ///
+    /// # Errors
+    ///
+    /// The last connect error once the attempt budget is spent.
+    pub fn connect_with_retry<A: ToSocketAddrs + Copy>(
+        addr: A,
+        backoff: &Backoff,
+    ) -> std::io::Result<Client> {
+        let mut attempt = 0;
+        loop {
+            match Client::connect(addr) {
+                Ok(c) => return Ok(c),
+                Err(e)
+                    if e.kind() == ErrorKind::ConnectionRefused
+                        && attempt + 1 < backoff.attempts =>
+                {
+                    std::thread::sleep(backoff.delay(attempt));
+                    attempt += 1;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Drops the broken connection and dials the same peer again,
+    /// discarding any partial frame.
+    fn reconnect(&mut self) -> Result<(), String> {
+        let fresh = Client::connect(self.addr)
+            .map_err(|e| format!("reconnect {}: {e}", self.addr))?;
+        self.stream = fresh.stream;
+        self.buf.clear();
+        Ok(())
+    }
+
+    /// [`roundtrip`](Self::roundtrip) with bounded retry: reconnects
+    /// and replays on connection-level failures (refused, partial
+    /// read, peer close), and honours the server's `retry_after_ms`
+    /// hint on `busy` refusals (falling back to the protocol default
+    /// when a hint is absent). Protocol errors — unparsable headers,
+    /// non-UTF-8 bodies — are not retried.
+    ///
+    /// Returns the last `busy` response when the budget runs out
+    /// while the server keeps shedding load, so callers can still
+    /// count structured refusals.
+    ///
+    /// # Errors
+    ///
+    /// The last connection error once the attempt budget is spent, or
+    /// any protocol error immediately.
+    pub fn roundtrip_with_retry(
+        &mut self,
+        line: &str,
+        backoff: &Backoff,
+    ) -> Result<(Header, String), String> {
+        let mut attempt = 0;
+        loop {
+            let last_try = attempt + 1 >= backoff.attempts;
+            match self.roundtrip(line) {
+                Ok((header, _body)) if header.status == "busy" && !last_try => {
+                    let hint = header.retry_after_ms.unwrap_or(BUSY_RETRY_AFTER_MS);
+                    std::thread::sleep(Duration::from_millis(hint));
+                }
+                Ok(response) => return Ok(response),
+                Err(msg) if is_connection_error(&msg) && !last_try => {
+                    std::thread::sleep(backoff.delay(attempt));
+                    self.reconnect()?;
+                }
+                Err(msg) => return Err(msg),
+            }
+            attempt += 1;
+        }
     }
 
     /// Sends one request line and reads the full response.
@@ -95,5 +235,114 @@ impl Client {
             self.fill()?;
         }
         Ok(self.buf.drain(..n).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{BufRead, BufReader};
+    use std::net::TcpListener;
+
+    #[test]
+    fn backoff_schedule_is_deterministic_and_capped() {
+        let b = Backoff {
+            attempts: 6,
+            base: Duration::from_millis(10),
+            cap: Duration::from_millis(60),
+        };
+        let delays: Vec<u64> = (0..5).map(|i| b.delay(i).as_millis() as u64).collect();
+        assert_eq!(delays, vec![10, 20, 40, 60, 60], "doubles, then caps");
+        // A second policy with the same fields waits the same schedule.
+        assert_eq!(b.delay(3), b.delay(3));
+        // Huge attempt indices neither overflow nor exceed the cap.
+        assert_eq!(b.delay(63), Duration::from_millis(60));
+    }
+
+    #[test]
+    fn connect_retry_gives_up_after_the_attempt_budget() {
+        // Bind then drop: the port existed but nobody is listening.
+        let addr = {
+            let l = TcpListener::bind("127.0.0.1:0").expect("bind");
+            l.local_addr().expect("addr")
+        };
+        let b = Backoff {
+            attempts: 3,
+            base: Duration::from_millis(1),
+            cap: Duration::from_millis(2),
+        };
+        let err = Client::connect_with_retry(addr, &b).expect_err("no listener");
+        assert_eq!(err.kind(), ErrorKind::ConnectionRefused);
+    }
+
+    #[test]
+    fn partial_read_reconnects_and_replays() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let server = std::thread::spawn(move || {
+            // First connection: answer with a truncated header, then
+            // slam the connection shut mid-frame.
+            {
+                let (stream, _) = listener.accept().expect("accept 1");
+                let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+                let mut line = String::new();
+                reader.read_line(&mut line).expect("request 1");
+                let mut w = stream;
+                w.write_all(b"{\"status\":\"ok\",\"op\"").expect("partial write");
+            }
+            // Second connection (the client's replay): full response.
+            let (stream, _) = listener.accept().expect("accept 2");
+            let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+            let mut line = String::new();
+            reader.read_line(&mut line).expect("request 2");
+            let mut w = stream;
+            w.write_all(b"{\"status\":\"ok\",\"op\":\"ping\"}\n")
+                .expect("full write");
+            line
+        });
+        let b = Backoff {
+            attempts: 3,
+            base: Duration::from_millis(1),
+            cap: Duration::from_millis(2),
+        };
+        let mut client = Client::connect(addr).expect("connect");
+        let (header, body) = client
+            .roundtrip_with_retry("{\"op\":\"ping\"}", &b)
+            .expect("retry succeeds after reconnect");
+        assert!(header.is_ok());
+        assert!(body.is_empty());
+        let replayed = server.join().expect("server thread");
+        assert_eq!(replayed.trim_end(), "{\"op\":\"ping\"}", "the request was replayed verbatim");
+    }
+
+    #[test]
+    fn busy_responses_honour_the_hint_then_surface() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let server = std::thread::spawn(move || {
+            let (stream, _) = listener.accept().expect("accept");
+            let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+            let mut w = stream;
+            // Shed the first request with a 1 ms hint, serve the
+            // retry on the same connection.
+            let mut line = String::new();
+            reader.read_line(&mut line).expect("request 1");
+            w.write_all(crate::proto::busy_header("full", 1).as_bytes())
+                .expect("busy");
+            line.clear();
+            reader.read_line(&mut line).expect("request 2");
+            w.write_all(b"{\"status\":\"ok\",\"op\":\"ping\"}\n").expect("ok");
+        });
+        let b = Backoff {
+            attempts: 3,
+            base: Duration::from_millis(1),
+            cap: Duration::from_millis(2),
+        };
+        let mut client = Client::connect(addr).expect("connect");
+        let (header, _) = client
+            .roundtrip_with_retry("{\"op\":\"ping\"}", &b)
+            .expect("retry after busy");
+        assert!(header.is_ok(), "the post-hint retry got the real answer");
+        server.join().expect("server thread");
     }
 }

@@ -46,7 +46,7 @@ pub mod server;
 pub mod telemetry;
 
 pub use cache::{Cache, CacheStats};
-pub use client::Client;
+pub use client::{Backoff, Client};
 pub use engine::{Engine, EngineConfig, Outcome, ServeError};
 pub use loadgen::{LoadgenConfig, LoadResult, MixSummary};
 pub use pool::{Pool, PoolStats, SubmitError};

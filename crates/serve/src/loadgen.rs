@@ -18,7 +18,7 @@
 //! responses are counted, not retried — the point of the bench is to
 //! observe the server shedding load, not to hide it.
 
-use crate::client::Client;
+use crate::client::{Backoff, Client};
 use crate::request::Request;
 use sim_observe::timeseries::{SloPolicy, SloTracker};
 use sim_observe::{Json, LogHistogram};
@@ -280,8 +280,12 @@ fn drive_connection(
     cfg: &LoadgenConfig,
     lines: &[(usize, String)],
 ) -> Result<LoadResult, String> {
-    let mut client =
-        Client::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    // Retry startup races (the server may not be listening yet) on
+    // the deterministic default schedule; once connected, requests
+    // run without retry so busy/error counts reflect the server's
+    // actual responses.
+    let mut client = Client::connect_with_retry(addr, &Backoff::default())
+        .map_err(|e| format!("connect {addr}: {e}"))?;
     let mut out = LoadResult::new(cfg);
     for (op, line) in lines {
         let t0 = Instant::now();

@@ -20,11 +20,14 @@
 //! (pretty-printed reports contain newlines), the byte count is the
 //! frame. Success headers say `"status":"ok"`; failures carry a
 //! stable machine token (`busy`, `timeout`, `bad_request`, `failed`,
-//! `shutting_down`, `malformed`) plus a human `error` string:
+//! `shutting_down`, `malformed`) plus a human `error` string. `busy`
+//! refusals additionally carry a structured `retry_after_ms` hint so
+//! well-behaved clients back off for a server-chosen interval instead
+//! of guessing:
 //!
 //! ```text
 //! {"status":"ok","key":"91b0c2…","cached":true,"coalesced":false,"bytes":1742}
-//! {"status":"busy","error":"server busy: worker pool and queue are full"}
+//! {"status":"busy","error":"server busy: worker pool and queue are full","retry_after_ms":25}
 //! ```
 
 use crate::engine::Outcome;
@@ -150,6 +153,26 @@ pub fn error_header(status: &str, error: &str) -> String {
     line
 }
 
+/// The retry-after hint a load-shedding refusal carries, in
+/// milliseconds. One constant keeps the wire bytes deterministic; it
+/// approximates the time a queue slot takes to free under the default
+/// pool sizing.
+pub const BUSY_RETRY_AFTER_MS: u64 = 25;
+
+/// Header line for a `busy` load-shedding refusal: the stable status
+/// token, the human reason, and the structured retry-after hint.
+#[must_use]
+pub fn busy_header(error: &str, retry_after_ms: u64) -> String {
+    let mut line = Json::obj(vec![
+        ("status", Json::from("busy")),
+        ("error", Json::from(error)),
+        ("retry_after_ms", Json::UInt(retry_after_ms)),
+    ])
+    .to_compact();
+    line.push('\n');
+    line
+}
+
 /// A client-side view of a response header line.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Header {
@@ -165,6 +188,8 @@ pub struct Header {
     pub bytes: usize,
     /// Failure reason, when `status != "ok"`.
     pub error: Option<String>,
+    /// Server-chosen backoff hint on `busy` refusals, in milliseconds.
+    pub retry_after_ms: Option<u64>,
 }
 
 impl Header {
@@ -197,6 +222,10 @@ pub fn parse_header(line: &str) -> Result<Header, String> {
         Some(_) => return Err("`bytes` must be a non-negative integer".to_owned()),
     };
     let flag = |name: &str| matches!(doc.get(name), Some(Json::Bool(true)));
+    let retry_after_ms = match doc.get("retry_after_ms") {
+        Some(Json::UInt(v)) => Some(*v),
+        _ => None,
+    };
     Ok(Header {
         status,
         key: doc.get("key").and_then(|k| k.as_str()).map(str::to_owned),
@@ -204,6 +233,7 @@ pub fn parse_header(line: &str) -> Result<Header, String> {
         coalesced: flag("coalesced"),
         bytes,
         error: doc.get("error").and_then(|e| e.as_str()).map(str::to_owned),
+        retry_after_ms,
     })
 }
 
@@ -291,12 +321,23 @@ mod tests {
     }
 
     #[test]
+    fn busy_header_carries_the_retry_hint() {
+        let h = parse_header(busy_header("full up", 40).trim_end()).unwrap();
+        assert!(!h.is_ok());
+        assert_eq!(h.status, "busy");
+        assert_eq!(h.error.as_deref(), Some("full up"));
+        assert_eq!(h.retry_after_ms, Some(40));
+        assert_eq!(h.bytes, 0);
+    }
+
+    #[test]
     fn error_and_bodyless_headers_round_trip() {
         let h = parse_header(error_header("busy", "full up").trim_end()).unwrap();
         assert!(!h.is_ok());
         assert_eq!(h.status, "busy");
         assert_eq!(h.error.as_deref(), Some("full up"));
         assert_eq!(h.bytes, 0);
+        assert_eq!(h.retry_after_ms, None, "plain error headers carry no hint");
 
         let h = parse_header(ok_header("ping").trim_end()).unwrap();
         assert!(h.is_ok());

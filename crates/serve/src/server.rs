@@ -262,11 +262,14 @@ fn write_outcome(
             .and_then(|()| writer.write_all(outcome.body.as_bytes()))
             .is_ok(),
         Err(err) => {
-            let ok = writer
-                .write_all(
-                    proto::error_header(err.status(), &err.to_string()).as_bytes(),
-                )
-                .is_ok();
+            // Load-shedding refusals tell the client when to come
+            // back; other failures are plain status + reason.
+            let header = if err == ServeError::Busy {
+                proto::busy_header(&err.to_string(), proto::BUSY_RETRY_AFTER_MS)
+            } else {
+                proto::error_header(err.status(), &err.to_string())
+            };
+            let ok = writer.write_all(header.as_bytes()).is_ok();
             // Drain refusals also close the connection.
             ok && err != ServeError::ShuttingDown
         }

@@ -20,8 +20,9 @@ use sim_runtime::SweepStats;
 
 /// Schema identifier of the heartbeat JSON document.
 pub const HEARTBEAT_SCHEMA: &str = "vlsi-sync/sweep-heartbeat";
-/// Current heartbeat schema version.
-pub const HEARTBEAT_SCHEMA_VERSION: u64 = 1;
+/// Current heartbeat schema version. Version 2 added the monotonic
+/// `tick`; version-1 documents still parse with `tick` 0.
+pub const HEARTBEAT_SCHEMA_VERSION: u64 = 2;
 
 /// One shard's live progress snapshot.
 #[derive(Debug, Clone, PartialEq)]
@@ -48,6 +49,12 @@ pub struct Heartbeat {
     pub utilization: f64,
     /// Wall-clock milliseconds this invocation has been running.
     pub wall_ms: f64,
+    /// Monotonic write counter. The runner increments it on every
+    /// heartbeat save and carries it across resumes (it reloads the
+    /// lingering heartbeat before overwriting), so *any* two reads of
+    /// a live shard eventually differ — a tick that holds still is how
+    /// `--status` tells an interrupted shard from a slow one.
+    pub tick: u64,
 }
 
 impl Heartbeat {
@@ -81,7 +88,15 @@ impl Heartbeat {
             eta_ms,
             utilization: stats.utilization(),
             wall_ms,
+            tick: 0,
         }
+    }
+
+    /// Sets the monotonic write counter; see [`Heartbeat::tick`].
+    #[must_use]
+    pub fn with_tick(mut self, tick: u64) -> Heartbeat {
+        self.tick = tick;
+        self
     }
 
     /// Trials still to run.
@@ -117,6 +132,7 @@ impl Heartbeat {
             ("eta_ms", Json::Float(self.eta_ms)),
             ("utilization", Json::Float(self.utilization)),
             ("wall_ms", Json::Float(self.wall_ms)),
+            ("tick", Json::UInt(self.tick)),
         ])
     }
 
@@ -132,9 +148,12 @@ impl Heartbeat {
             return Err(format!("not a sweep heartbeat: schema `{schema}`"));
         }
         let version = req_u64(value, "schema_version")?;
-        if version != HEARTBEAT_SCHEMA_VERSION {
+        if version == 0 || version > HEARTBEAT_SCHEMA_VERSION {
             return Err(format!("unsupported heartbeat schema version {version}"));
         }
+        // Version 1 predates the tick counter; a missing tick reads as
+        // 0, which `--status` treats like any other stale value.
+        let tick = if version >= 2 { req_u64(value, "tick")? } else { 0 };
         let hb = Heartbeat {
             manifest_digest: req_str(value, "manifest_digest")?,
             shard: req_u64(value, "shard")?,
@@ -146,6 +165,7 @@ impl Heartbeat {
             eta_ms: req_f64(value, "eta_ms")?,
             utilization: req_f64(value, "utilization")?,
             wall_ms: req_f64(value, "wall_ms")?,
+            tick,
         };
         if hb.lo + hb.completed > hb.hi {
             return Err(format!(
@@ -221,6 +241,7 @@ mod tests {
             eta_ms: 3.0,
             utilization: 0.75,
             wall_ms: 2.0,
+            tick: 5,
         }
     }
 
@@ -242,8 +263,9 @@ mod tests {
         let sweep = ParallelSweep::new(2);
         let (out, stats) = sweep.run_range_timed(0..8, 7, |g, _| g);
         assert_eq!(out.len(), 8);
-        let hb = Heartbeat::from_stats("d", 0, 0, 20, 8, 5.0, &stats);
+        let hb = Heartbeat::from_stats("d", 0, 0, 20, 8, 5.0, &stats).with_tick(3);
         assert_eq!(hb.completed, 8);
+        assert_eq!(hb.tick, 3);
         assert_eq!(hb.remaining(), 12);
         assert!(hb.trials_per_sec > 0.0, "8 trials ran: rate is measurable");
         let expect = 12.0 / hb.trials_per_sec * 1e3;
@@ -261,8 +283,25 @@ mod tests {
             worker_busy: vec![std::time::Duration::ZERO],
             trial_ns: sim_observe::LogHistogram::new(),
         };
-        let hb = Heartbeat::from_stats("d", 0, 0, 10, 0, 0.0, &stats);
+        let hb = Heartbeat::from_stats("d", 0, 0, 10, 0, 0.0, &stats).with_tick(1);
         assert_eq!(hb.eta_ms, 0.0);
+    }
+
+    #[test]
+    fn version_one_documents_parse_with_tick_zero() {
+        let mut v1 = demo().to_json();
+        if let Json::Object(pairs) = &mut v1 {
+            pairs.retain(|(k, _)| k != "tick");
+            pairs[1].1 = Json::UInt(1);
+        }
+        let hb = Heartbeat::from_json(&v1).expect("v1 heartbeat still parses");
+        assert_eq!(hb.tick, 0, "missing tick reads as zero");
+
+        let mut future = demo().to_json();
+        if let Json::Object(pairs) = &mut future {
+            pairs[1].1 = Json::UInt(HEARTBEAT_SCHEMA_VERSION + 1);
+        }
+        assert!(Heartbeat::from_json(&future).is_err(), "future versions rejected");
     }
 
     #[test]

@@ -122,6 +122,11 @@ where
     let mut checkpoints: u64 = 0;
     let mut interrupted = false;
     let total = hi - lo;
+    // The tick continues from any lingering heartbeat so a resumed
+    // shard never rewinds the counter — otherwise an observer probing
+    // across a kill/resume boundary could read the same tick twice
+    // from a shard that is in fact making progress.
+    let mut tick = Heartbeat::load(&hb_path).map_or(0, |hb| hb.tick);
 
     while (results.len() as u64) < total {
         let remaining = total - results.len() as u64;
@@ -161,6 +166,7 @@ where
         // Heartbeat rides behind the checkpoint: the durable state is
         // already safe, so a heartbeat write failure is not fatal —
         // progress reporting must never kill a sweep.
+        tick += 1;
         let hb = Heartbeat::from_stats(
             &digest,
             shard,
@@ -169,7 +175,8 @@ where
             results.len() as u64,
             started.elapsed().as_secs_f64() * 1e3,
             &stats,
-        );
+        )
+        .with_tick(tick);
         if let Err(e) = hb.save_atomic(&hb_path) {
             eprintln!("warning: cannot write heartbeat `{hb_path}`: {e}");
         }
@@ -341,6 +348,35 @@ mod tests {
             Checkpoint::load(&shard_path(&dir, 0)).expect("checkpoint").is_complete(),
             "the checkpoint itself survives"
         );
+        let _ = std::fs::remove_dir_all(std::path::Path::new(&dir));
+    }
+
+    #[test]
+    fn heartbeat_tick_advances_and_survives_resume() {
+        let m = toy_manifest(2);
+        let dir = fresh_dir("tick");
+        let budget = |n| ShardOpts {
+            stop_after: Some(n),
+            ..ShardOpts::default()
+        };
+        // First leg: budget 2 of the shard's 4 trials -> one chunk,
+        // one heartbeat write.
+        let st = run_shard(&m, 0, &dir, &budget(2), toy_trial).expect("first leg");
+        assert!(st.interrupted);
+        let hb = Heartbeat::load(&heartbeat_path(&dir, 0)).expect("lingers");
+        assert_eq!(hb.tick, st.checkpoints, "one tick per heartbeat write");
+        // Resume with another budget: the tick continues upward from
+        // the lingering heartbeat instead of restarting at 1.
+        let st2 = run_shard(&m, 0, &dir, &budget(1), toy_trial).expect("second leg");
+        assert!(st2.interrupted);
+        let hb2 = Heartbeat::load(&heartbeat_path(&dir, 0)).expect("still lingers");
+        assert!(
+            hb2.tick > hb.tick,
+            "resumed shard must not rewind the tick: {} -> {}",
+            hb.tick,
+            hb2.tick
+        );
+        assert_eq!(hb2.tick, hb.tick + st2.checkpoints);
         let _ = std::fs::remove_dir_all(std::path::Path::new(&dir));
     }
 

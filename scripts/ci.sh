@@ -45,6 +45,12 @@ run target/release/trace_check target/bench/e6_trace.json
 # checker (fault_injected markers must keep handshake lanes legal).
 run target/release/e12_graceful_degradation --fast --trace target/bench/e12_trace.json
 run target/release/trace_check target/bench/e12_trace.json
+# Chaos smoke: e13's fault-episode recovery asserts (rigid never
+# recovers, TRIX/PALS heal every span) with its episode trace through
+# the checker, then a sweep shard of the episode grid killed -9
+# mid-run — --status must report it interrupted off the frozen
+# heartbeat tick — resumed, and merged byte-identically.
+run scripts/chaos_smoke.sh target/release
 # Serve smoke: sim_serve on an ephemeral port, cold/hot loadgen passes
 # (cache must hit), BENCH_serve.json vs its baseline, clean drain on
 # stdin close.

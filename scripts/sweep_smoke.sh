@@ -69,16 +69,18 @@ wait "$SHARD_PID" 2>/dev/null || true
 echo "torn half-written garbage" >"$CKPT.tmp"
 
 # The killed shard leaves its heartbeat behind: live vital signs for
-# an operator, and the --status view must call the shard out.
+# an operator, and the --status view must call the shard out. Its
+# heartbeat tick is frozen, so the double-read probe downgrades it
+# from active to interrupted.
 grep -q '"vlsi-sync/sweep-heartbeat"' "$HB" \
     || fail "heartbeat file is missing its schema marker"
 grep -q '"trials_per_sec"' "$HB" || fail "heartbeat is missing trials_per_sec"
 grep -q '"eta_ms"' "$HB" || fail "heartbeat is missing eta_ms"
 run "$BIN/sweep_shard" --manifest "$MANIFEST" --status --dir "$OUT/shards" \
     | tee "$OUT/status_mid.log"
-grep -Eq "^1 .* active$" "$OUT/status_mid.log" \
-    || fail "--status must show the killed shard as active"
-echo "==> killed shard left a heartbeat and --status reports it active"
+grep -Eq "^1 .* interrupted$" "$OUT/status_mid.log" \
+    || fail "--status must show the killed shard as interrupted"
+echo "==> killed shard left a heartbeat and --status reports it interrupted"
 
 # The merge must refuse while shard 1 is incomplete.
 if "$BIN/sweep_shard" --manifest "$MANIFEST" --merge --dir "$OUT/shards" \
@@ -102,8 +104,8 @@ run "$BIN/sweep_shard" --manifest "$MANIFEST" --status --dir "$OUT/shards" \
     | tee "$OUT/status_done.log"
 grep -q "(100.0%)" "$OUT/status_done.log" \
     || fail "--status must report the sweep 100% complete"
-! grep -Eq " (active|pending)$" "$OUT/status_done.log" \
-    || fail "--status must show no active or pending shards after completion"
+! grep -Eq " (active|interrupted|pending)$" "$OUT/status_done.log" \
+    || fail "--status must show no live or interrupted shards after completion"
 echo "==> heartbeat removed on completion and --status reports 100%"
 
 # Merge and compare: killed + resumed + out-of-order shards must merge

@@ -8,10 +8,13 @@
 //! metastability events, E6 chip yield) in `--fast` mode, then extends
 //! the same guarantee to the **structured JSON reports**: the
 //! deterministic core emitted by `--json` must be byte-identical for
-//! `--threads 1/2/4` across all twelve experiments (only the `run`
+//! `--threads 1/2/4` across all thirteen experiments (only the `run`
 //! section — wall clock, worker stats — may differ). E12's
 //! fault-injected sweep gets an explicit pin: seed-derived fault
-//! draws must not depend on which worker executes a trial.
+//! draws must not depend on which worker executes a trial. E13's
+//! time-varying fault episodes get the same treatment one level
+//! deeper: the per-trial episode *schedules* themselves are
+//! byte-compared across worker counts before any simulation runs.
 
 use sim_runtime::{json_core, json_full, run_experiment, ExpConfig, Experiment, RunInfo};
 
@@ -196,6 +199,66 @@ fn e12_fault_injected_report_and_trace_identical_across_thread_counts() {
             base,
             trace_text(exp, threads, 1),
             "e12: fault-injected trace diverged at threads={threads}"
+        );
+    }
+}
+
+/// The episode schedules behind e13, serialized per trial by a
+/// [`ParallelSweep`] — the layer *below* the report. If this holds,
+/// any report divergence across thread counts would have to come from
+/// the simulation itself, never from the fault environment.
+#[test]
+fn e13_episode_schedules_identical_across_thread_counts() {
+    use sim_faults::{EpisodeConfig, EpisodePlan};
+    use sim_runtime::ParallelSweep;
+    let cfg = EpisodeConfig {
+        rate: 0.6,
+        min_duration: 30,
+        max_duration: 60,
+        horizon: 240,
+    };
+    let schedules = |threads: usize| -> Vec<String> {
+        ParallelSweep::new(threads).run_range(0..16, 7, |trial, _| {
+            EpisodePlan::new(7, trial as u64, cfg)
+                .schedule(64)
+                .iter()
+                .map(|ep| format!("{}@{}..{}", ep.site, ep.onset, ep.repair))
+                .collect::<Vec<_>>()
+                .join(";")
+        })
+    };
+    let base = schedules(1);
+    assert!(
+        base.iter().any(|s| !s.is_empty()),
+        "storm-rate config must actually schedule episodes"
+    );
+    for threads in [2, 4] {
+        assert_eq!(
+            base,
+            schedules(threads),
+            "episode schedules diverged between threads=1 and threads={threads}"
+        );
+    }
+}
+
+/// E13's recovery harness end-to-end: the stdout report (recovery
+/// tables, latency quantiles) and the trace (episode onsets plus
+/// violation/recovery spans, in sim-time order) must not depend on
+/// the worker count.
+#[test]
+fn e13_recovery_report_and_trace_identical_across_thread_counts() {
+    let exp = &bench::experiments::E13;
+    assert_thread_count_invariant(exp);
+    let base = trace_text(exp, 1, 1);
+    assert!(
+        base.contains("episode_onset"),
+        "e13 trace must carry episode markers"
+    );
+    for threads in [2, 4] {
+        assert_eq!(
+            base,
+            trace_text(exp, threads, 1),
+            "e13: episode trace diverged at threads={threads}"
         );
     }
 }

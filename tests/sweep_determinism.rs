@@ -170,6 +170,7 @@ fn heartbeat_files_carry_the_pinned_schema_and_track_the_shard() {
             "eta_ms",
             "utilization",
             "wall_ms",
+            "tick",
         ],
         "heartbeat document schema drifted"
     );
@@ -187,6 +188,7 @@ fn heartbeat_files_carry_the_pinned_schema_and_track_the_shard() {
     assert!(hb.completed < hb.hi - hb.lo, "interrupted mid-range");
     assert!(hb.trials_per_sec > 0.0, "rate is measured, not defaulted");
     assert!((0.0..=1.0).contains(&hb.utilization));
+    assert!(hb.tick >= 1, "tick advances on every heartbeat save");
 
     // Finishing the shard removes the heartbeat but keeps the
     // checkpoint: presence of a heartbeat always means unfinished.
