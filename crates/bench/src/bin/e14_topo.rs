@@ -1,0 +1,6 @@
+//! E14 binary: idealized vs realistic clock topologies — quadrant/spine
+//! trees under the paper's skew models, with SDF delay import.
+
+fn main() {
+    sim_runtime::run_cli_in(&bench::registry(), "e14");
+}

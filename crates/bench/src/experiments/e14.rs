@@ -1,0 +1,363 @@
+//! E14 — idealized vs. realistic clock topologies: the paper's skew
+//! models on quadrant/spine trees with SDF delay import.
+//!
+//! Every earlier skew experiment runs on idealized symmetric trees.
+//! Real silicon is not symmetric: a Spartan-3-class FPGA clocks from a
+//! center tile through H/V primary spines, quadrant buffers, and
+//! secondary spine tiles (`sim-topo`'s [`quadrant_spine`]). This
+//! experiment scores the paper's **difference** and **summation**
+//! models (Sections III–V) across both families at several die sizes:
+//!
+//! * Idealized baselines: the H-tree and its equalized variant, whose
+//!   leaves are (near-)equidistant — the difference metric `d`
+//!   collapses and only `ε·s` survives (Theorem 2).
+//! * Realistic topologies: two quadrant/spine configurations, whose
+//!   structural path imbalance keeps `m·d` alive — worst-pair skew
+//!   grows with the die instead of staying flat.
+//!
+//! The report quotes the analytic gradient-clock-sync local-skew bound
+//! `Θ(u · log D)` (arXiv 2301.05073) next to the tree measurements:
+//! an *active* synchronization layer would hold neighbour skew
+//! exponentially below what the passive asymmetric tree delivers.
+//!
+//! The second half exercises the SDF import pipeline end to end: every
+//! committed fixture parses, annotates the `quad8` topology, and
+//! re-emits byte-identically; every malformed fixture is rejected with
+//! a structured error; and an annotated worked example traces a
+//! worst-pair skew back to the slowed south-east quadrant through the
+//! path-length-aware attribution.
+
+use crate::{f, skew_sample_event, Table};
+use array_layout::prelude::*;
+use clock_tree::prelude::*;
+use clock_tree::skew::attribute_skew;
+use sim_observe::TraceBuf;
+use sim_runtime::{rline, ExpConfig, Experiment, Report, SimRng};
+use sim_topo::prelude::*;
+use sim_topo::quadrant::quadrant_spine;
+
+/// See the module docs.
+#[derive(Debug)]
+pub struct E14;
+
+/// Mean unit-wire delay of the `m ± ε` model.
+const M: f64 = 1.0;
+/// Wire-delay half-spread.
+const EPS: f64 = 0.1;
+/// Die sizes (array side) under test; `--fast` trims the last.
+const KS: [usize; 3] = [8, 16, 32];
+/// Topology labels, in report order: two idealized baselines, two
+/// realistic quadrant/spine configurations.
+const TOPOS: [&str; 4] = ["htree", "htree-eq", "quad s1f2", "quad s3f4"];
+
+fn build_topo(name: &str, comm: &CommGraph, layout: &Layout, k: usize) -> ClockTree {
+    match name {
+        "htree" => htree(comm, layout),
+        "htree-eq" => htree(comm, layout).equalized(),
+        "quad s1f2" => quadrant_spine(comm, layout, &QuadrantParams::new(k, 1, 2)).into_tree(),
+        "quad s3f4" => quadrant_spine(comm, layout, &QuadrantParams::new(k, 3, 4)).into_tree(),
+        other => unreachable!("unknown topology {other}"),
+    }
+}
+
+/// Per-topology analytic geometry at one size.
+struct Geometry {
+    nodes: usize,
+    wire: f64,
+    d_max: f64,
+    s_max: f64,
+    wc: f64,
+}
+
+fn geometry(tree: &ClockTree, comm: &CommGraph) -> Geometry {
+    let pairs = comm.communicating_pairs();
+    let d_max = pairs
+        .iter()
+        .map(|&(a, b)| tree.difference_distance(a, b))
+        .fold(0.0, f64::max);
+    let s_max = pairs
+        .iter()
+        .map(|&(a, b)| tree.summation_distance(a, b))
+        .fold(0.0, f64::max);
+    Geometry {
+        nodes: tree.node_count(),
+        wire: tree.total_wire_length(),
+        d_max,
+        s_max,
+        wc: max_worst_case_skew(tree, comm, WireDelayModel::new(M, EPS)),
+    }
+}
+
+impl Experiment for E14 {
+    fn name(&self) -> &'static str {
+        "e14"
+    }
+    fn title(&self) -> &'static str {
+        "idealized vs realistic clock topologies: quadrant/spine trees + SDF delay import"
+    }
+    fn paper_ref(&self) -> &'static str {
+        "Sections III-V + PAPERS.md (regional clock trees, gradient TRIX)"
+    }
+    fn approx_ms(&self) -> u64 {
+        30
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn run(&self, cfg: &ExpConfig, _rng: &mut SimRng) -> Report {
+        let mut r = cfg.report();
+        rline!(r, "Paper skew models (difference m*d, summation (m+eps)*s, worst m*d + eps*s)");
+        rline!(r, "across idealized symmetric trees (H-tree) and realistic quadrant/spine");
+        rline!(r, "topologies (center tile, H/V spines, quadrant buffers, secondary tiles),");
+        rline!(r, "m = {}, eps = {}. Skew is over mesh communicating pairs.", f(M), f(EPS));
+        rline!(r);
+
+        let samples = cfg.trials_or(40);
+        let sizes = cfg.size(3, 2);
+        let ks = &KS[..sizes];
+        let sweep = cfg.sweep();
+        let wdm = WireDelayModel::new(M, EPS);
+
+        // geo[ki][ti], in TOPOS order.
+        let mut geo: Vec<Vec<Geometry>> = Vec::new();
+        let mut gcs_lines: Vec<f64> = Vec::new();
+        for &k in ks {
+            let comm = CommGraph::mesh(k, k);
+            let layout = Layout::grid(&comm);
+            let mut per_k = Vec::new();
+            let mut table = Table::new(&[
+                "topology", "nodes", "wire", "d_max", "s_max", "diff m*d", "summ (m+e)*s",
+                "worst", "mc_max",
+            ]);
+            for &name in &TOPOS {
+                let tree = build_topo(name, &comm, &layout, k);
+                let g = geometry(&tree, &comm);
+                // Monte-Carlo sampled max over the m±eps band: must
+                // respect the analytic worst case.
+                let mc =
+                    monte_carlo_skew_par(&tree, &comm, wdm, samples, cfg.seed ^ (k as u64), &sweep);
+                assert!(
+                    mc.max_skew <= g.wc + 1e-9,
+                    "k={k} {name}: sampled max {} exceeds analytic worst {}",
+                    mc.max_skew,
+                    g.wc
+                );
+                table.row(&[
+                    name,
+                    &g.nodes.to_string(),
+                    &f(g.wire),
+                    &f(g.d_max),
+                    &f(g.s_max),
+                    &f(M * g.d_max),
+                    &f((M + EPS) * g.s_max),
+                    &f(g.wc),
+                    &f(mc.max_skew),
+                ]);
+                per_k.push(g);
+            }
+            // The analytic GCS comparison line: an active gradient
+            // clock-sync layer on a network of this diameter would hold
+            // neighbour skew to u*(1 + log2 D) with u = eps.
+            let diameter = per_k[2].s_max.max(1.0);
+            let gcs = gcs_local_skew_bound(EPS, diameter);
+            table.row(&["gcs bound", "-", "-", "-", &f(diameter), "-", "-", &f(gcs), "-"]);
+            r.table(&format!("skew_k{k}"), &table);
+            gcs_lines.push(gcs);
+            geo.push(per_k);
+        }
+
+        // In-report acceptance: the realistic topologies strictly
+        // dominate the symmetric baseline on worst-pair skew — the
+        // asymmetry is structural (m*d), not sampled.
+        for (ki, per_k) in geo.iter().enumerate() {
+            let k = ks[ki];
+            let eq = &per_k[1];
+            for (ti, name) in TOPOS.iter().enumerate().skip(2) {
+                let q = &per_k[ti];
+                assert!(
+                    q.wc > eq.wc,
+                    "k={k} {name}: quadrant worst {} must strictly exceed htree-eq {}",
+                    q.wc,
+                    eq.wc
+                );
+                assert!(
+                    M * q.d_max > M * eq.d_max,
+                    "k={k} {name}: difference-model skew must strictly dominate"
+                );
+            }
+            assert!(
+                gcs_lines[ki] < per_k[2].wc,
+                "k={k}: the GCS log-diameter bound must undercut the passive quadrant tree"
+            );
+        }
+        // Structure across sizes: every quadrant topology carries a
+        // strictly positive difference term at every size (adjacent
+        // cells on different root paths), the equalized baseline never
+        // does, and worst-pair skew grows with the die in both
+        // families — the Section V size limit.
+        for per_k in &geo {
+            assert!(per_k[1].d_max < 1e-9, "equalized htree must zero d_max");
+            assert!(per_k[2].d_max > 0.0 && per_k[3].d_max > 0.0);
+        }
+        for w in geo.windows(2) {
+            for ti in 1..TOPOS.len() {
+                assert!(
+                    w[1][ti].wc > w[0][ti].wc,
+                    "{}: worst-pair skew must grow with the die",
+                    TOPOS[ti]
+                );
+            }
+        }
+        let last = geo.last().expect("at least one size");
+        r.metrics_mut().gauge("e14.htree_eq.worst", last[1].wc);
+        r.metrics_mut().gauge("e14.quad_s1f2.worst", last[2].wc);
+        r.metrics_mut().gauge("e14.quad_s3f4.worst", last[3].wc);
+        r.metrics_mut()
+            .gauge("e14.gcs_bound", *gcs_lines.last().expect("sizes"));
+
+        // ------------------------------------------------------------------
+        // SDF corpus: every committed fixture imports and round-trips;
+        // every malformed fixture is rejected with a structured error.
+        // ------------------------------------------------------------------
+        rline!(r);
+        rline!(r, "SDF fixture corpus (quad8 = quadrant k=8, stages=1, fanout=2):");
+        let comm8 = CommGraph::mesh(8, 8);
+        let layout8 = Layout::grid(&comm8);
+        let quad8 = quadrant_spine(&comm8, &layout8, &fixtures::params());
+        let mut imported = 0u64;
+        for (fname, text) in fixtures::VALID {
+            let sdf = parse(text).unwrap_or_else(|e| panic!("{fname} must parse: {e}"));
+            let delays = annotate(&quad8, &sdf, M, EPS)
+                .unwrap_or_else(|e| panic!("{fname} must import: {e}"));
+            assert_eq!(
+                sdf.to_text(),
+                text,
+                "{fname}: re-emit must be byte-identical"
+            );
+            rline!(
+                r,
+                "  {fname}: {} cells, {} edges annotated, round-trip exact",
+                sdf.cells.len(),
+                delays.annotated_count()
+            );
+            imported += 1;
+        }
+        let mut rejected = 0u64;
+        for (fname, text) in fixtures::MALFORMED {
+            let outcome = parse(text).map_err(|e| e.to_string()).and_then(|sdf| {
+                annotate(&quad8, &sdf, M, EPS).map_err(|e| format!("SDF import error: {e}"))
+            });
+            let err = outcome
+                .err()
+                .unwrap_or_else(|| panic!("{fname} must be rejected"));
+            rline!(r, "  {fname}: rejected ({err})");
+            rejected += 1;
+        }
+        r.metrics_mut().add("e14.fixtures_imported", imported);
+        r.metrics_mut().add("e14.fixtures_rejected", rejected);
+
+        // ------------------------------------------------------------------
+        // Worked example: quad8 annotated with the typical fixture —
+        // the slowed south-east quadrant shows up as the worst pair,
+        // and the attribution names the guilty edges.
+        // ------------------------------------------------------------------
+        let sdf = parse(
+            fixtures::VALID
+                .iter()
+                .find(|(n, _)| *n == "quad8_typical.sdf")
+                .expect("typical fixture committed")
+                .1,
+        )
+        .expect("fixture parses");
+        let delays = annotate(&quad8, &sdf, M, EPS).expect("fixture imports");
+        let tree = quad8.tree();
+        let typ_rates = delays.rates(tree, Corner::Typ);
+        let arrivals = ArrivalTimes::from_rates(tree, &typ_rates);
+        let pairs = comm8.communicating_pairs();
+        let (wa, wb, wskew) = pairs
+            .iter()
+            .map(|&(a, b)| (a, b, arrivals.skew(tree, a, b)))
+            .max_by(|x, y| x.2.partial_cmp(&y.2).expect("finite skews"))
+            .expect("mesh has pairs");
+        // Nominal (unannotated) typ corner is the plain m-rate tree:
+        // the fixture's slow quadrant must make things strictly worse.
+        let nominal = ArrivalTimes::from_rates(tree, &vec![M; tree.node_count()]);
+        let nominal_worst = pairs
+            .iter()
+            .map(|&(a, b)| nominal.skew(tree, a, b))
+            .fold(0.0, f64::max);
+        assert!(
+            wskew > nominal_worst,
+            "annotated worst pair {wskew} must exceed the unannotated {nominal_worst}"
+        );
+        let bd = attribute_skew(tree, &typ_rates, wa, wb);
+        let inst = |n: NodeId| quad8.instance(n).to_owned();
+        let dom = bd.dominant_edge().expect("non-trivial path");
+        let dom_inst = inst(dom.node);
+        assert!(
+            dom_inst == "he" || dom_inst.starts_with("qse"),
+            "the dominant edge must sit in the slowed south-east path, got {dom_inst}"
+        );
+        rline!(r);
+        rline!(r, "Worked example (quad8 + quad8_typical.sdf, typ corner):");
+        rline!(
+            r,
+            "  worst pair cells({},{}) skew {} (unannotated tree: {})",
+            wa.index(),
+            wb.index(),
+            f(wskew),
+            f(nominal_worst)
+        );
+        rline!(
+            r,
+            "  fork at `{}`; path lengths {} vs {} (imbalance {})",
+            inst(bd.lca),
+            f(bd.path_len_a),
+            f(bd.path_len_b),
+            f(bd.path_imbalance())
+        );
+        rline!(
+            r,
+            "  dominant edge `{}` contributes {} of {}",
+            dom_inst,
+            f(dom.delta.abs()),
+            f(bd.magnitude())
+        );
+        r.metrics_mut().gauge("e14.annotated_worst_pair", wskew);
+
+        if cfg.tracing() {
+            // The skew-attribution tracer on a non-symmetric tree: one
+            // SkewSample per center-straddling pair plus the worst
+            // pair, all deterministic in the typ-corner rates.
+            let mut buf = TraceBuf::new(1 << 8);
+            let mut t_ps = 0u64;
+            for &(a, b) in pairs
+                .iter()
+                .filter(|&&(a, b)| {
+                    let na = tree.node_of_cell(a).expect("attached");
+                    let nb = tree.node_of_cell(b).expect("attached");
+                    tree.lca(na, nb) == tree.root()
+                })
+                .take(8)
+            {
+                buf.record(skew_sample_event(t_ps, &attribute_skew(tree, &typ_rates, a, b)));
+                t_ps += 1_000;
+            }
+            buf.record(skew_sample_event(t_ps, &bd));
+            r.trace_mut().add_track("attribution", buf);
+        }
+
+        rline!(r);
+        rline!(r, "The equalized H-tree zeroes the difference term, so its skew is");
+        rline!(r, "pure eps*s. The quadrant/spine trees put communicating neighbours");
+        rline!(r, "on different root paths, so a strictly positive m*d penalty rides");
+        rline!(r, "on top at every size -- the realistic topology is strictly worse,");
+        rline!(r, "and both families still grow with the die (Section V's size");
+        rline!(r, "limit). The GCS line shows what active gradient sync would buy");
+        rline!(r, "back: log(D) local skew instead of the passive tree's Theta(D).");
+        rline!(r);
+        rline!(r, "check: quadrant worst-pair skew strictly dominates the equalized");
+        rline!(r, "H-tree at every size ({} sizes), all {} fixtures import + round-trip,", ks.len(), imported);
+        rline!(r, "all {} malformed fixtures rejected with structured errors  [OK]", rejected);
+        r
+    }
+}

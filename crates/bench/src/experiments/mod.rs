@@ -1,4 +1,4 @@
-//! The thirteen experiments of EXPERIMENTS.md as [`Experiment`]
+//! The fourteen experiments of EXPERIMENTS.md as [`Experiment`]
 //! implementations.
 //!
 //! Each experiment used to be a standalone binary printing straight to
@@ -12,6 +12,7 @@ mod e10;
 mod e11;
 mod e12;
 mod e13;
+mod e14;
 mod e2;
 mod e3;
 mod e4;
@@ -26,6 +27,7 @@ pub use e10::E10;
 pub use e11::E11;
 pub use e12::E12;
 pub use e13::E13;
+pub use e14::E14;
 pub use e2::E2;
 pub use e3::E3;
 pub use e4::E4;
@@ -37,7 +39,7 @@ pub use e9::E9;
 
 use sim_runtime::Registry;
 
-/// All experiments, `e1`–`e13`, in paper order.
+/// All experiments, `e1`–`e14`, in paper order.
 #[must_use]
 pub fn registry() -> Registry {
     let mut r = Registry::new();
@@ -53,7 +55,8 @@ pub fn registry() -> Registry {
         .register(Box::new(E10))
         .register(Box::new(E11))
         .register(Box::new(E12))
-        .register(Box::new(E13));
+        .register(Box::new(E13))
+        .register(Box::new(E14));
     r
 }
 
@@ -62,13 +65,13 @@ mod tests {
     use super::*;
 
     #[test]
-    fn registry_has_all_thirteen_in_order() {
+    fn registry_has_all_fourteen_in_order() {
         let reg = registry();
         assert_eq!(
             reg.names(),
             vec![
                 "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12",
-                "e13"
+                "e13", "e14"
             ]
         );
     }

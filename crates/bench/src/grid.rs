@@ -46,15 +46,19 @@ pub const WAVES: usize = 12;
 /// Tokens pushed through a self-timed chain per trial.
 pub const TOKENS: usize = 8;
 
-/// The scheme/topology combinations of the grid, in report order. The
-/// last two are the self-stabilizing schemes of e13: for them the
+/// The scheme/topology combinations of the grid, in report order.
+/// `trix`/`pals` are the self-stabilizing schemes of e13: for them the
 /// point's `fault_rate` is the *episode* rate (transient outages with
 /// onset and repair) rather than a per-element hard-fault probability,
-/// and a trial survives iff every skew violation heals.
-pub const SCHEMES: [(&str, &str); 7] = [
+/// and a trial survives iff every skew violation heals. The `quadrant`
+/// rows drive the realistic Spartan-3-like quadrant/spine topology
+/// from `sim-topo` (e14) instead of an idealized symmetric tree.
+pub const SCHEMES: [(&str, &str); 9] = [
     ("global", "spine"),
     ("global", "htree"),
+    ("global", "quadrant"),
     ("pipelined", "htree"),
+    ("pipelined", "quadrant"),
     ("hybrid", "mesh"),
     ("selftimed", "chain"),
     ("trix", "grid"),
@@ -357,6 +361,49 @@ pub fn build_cell(point: &GridPoint) -> Result<Cell, String> {
                 true,
             ))
         }
+        ("global", "quadrant") | ("pipelined", "quadrant") => {
+            // The realistic quadrant/spine tree needs an even die side
+            // of at least 4 (two rows and columns per quadrant).
+            if k < 4 || !k.is_multiple_of(2) {
+                return Err(format!(
+                    "quadrant topology requires an even size >= 4, got {k}"
+                ));
+            }
+            let comm = CommGraph::mesh(k, k);
+            let layout = Layout::grid(&comm);
+            let tree = sim_topo::quadrant::quadrant_spine(
+                &comm,
+                &layout,
+                &sim_topo::quadrant::QuadrantParams::spartan3_like(k),
+            )
+            .into_tree();
+            let (dist, slack, local) = if point.scheme == "global" {
+                (Distribution::Equipotential { alpha: 1.0 }, 0.5 * DELTA, false)
+            } else {
+                (
+                    Distribution::Pipelined {
+                        buffer_delay: 1.0,
+                        spacing: SPACING,
+                        unit_wire_delay: M,
+                    },
+                    0.75 * DELTA,
+                    true,
+                )
+            };
+            // Mesh communicating pairs, not the linear chain: local
+            // skew on a quadrant tree is about physical neighbours
+            // straddling spine boundaries.
+            Ok(Cell::Clocked(Box::new(ClockedCell {
+                scheme: Clocked {
+                    tree,
+                    dist,
+                    slack,
+                    local,
+                },
+                pairs: comm.communicating_pairs(),
+                wdm: WireDelayModel::new(M, EPS),
+            })))
+        }
         ("hybrid", "mesh") => Ok(Cell::Hybrid(Box::new(HybridArray::over_mesh(
             k,
             HybridParams::new(4, DELTA, M, EPS, link()),
@@ -599,6 +646,10 @@ mod tests {
     fn unknown_combinations_are_rejected() {
         assert!(build_cell(&GridPoint::new("global", "moebius", 4, 0.0)).is_err());
         assert!(point_cost(&GridPoint::new("quantum", "spine", 4, 0.0)).is_err());
+        // The quadrant generator needs an even die side >= 4: odd or
+        // tiny sizes are a manifest error, not a trial panic.
+        assert!(build_cell(&GridPoint::new("global", "quadrant", 5, 0.0)).is_err());
+        assert!(build_cell(&GridPoint::new("pipelined", "quadrant", 2, 0.0)).is_err());
     }
 
     #[test]
@@ -685,8 +736,9 @@ mod tests {
             point_cost(&GridPoint::new(scheme, topo, 8, 0.0)).expect("cost")
         };
         // Pipelining the H-tree costs strictly more than equipotential
-        // drive of the same tree.
+        // drive of the same tree; same for the quadrant tree.
         assert!(at("pipelined", "htree") > at("global", "htree"));
+        assert!(at("pipelined", "quadrant") > at("global", "quadrant"));
         // Full self-timing is the most hardware-hungry option.
         assert!(at("selftimed", "chain") > at("hybrid", "mesh"));
     }

@@ -114,6 +114,13 @@ pub struct SkewBreakdown {
     pub b: CellId,
     /// `arrival(a) − arrival(b)` (sum of all edge contributions).
     pub signed_skew: f64,
+    /// The fork point: deepest common ancestor of the two leaves.
+    /// Everything above it cancels out of the skew.
+    pub lca: NodeId,
+    /// Wire length of `a`'s path below the LCA.
+    pub path_len_a: f64,
+    /// Wire length of `b`'s path below the LCA.
+    pub path_len_b: f64,
     /// Per-edge contributions: `a`'s path below the LCA in
     /// root-to-leaf order, then `b`'s.
     pub edges: Vec<EdgeContribution>,
@@ -124,6 +131,18 @@ impl SkewBreakdown {
     #[must_use]
     pub fn magnitude(&self) -> f64 {
         self.signed_skew.abs()
+    }
+
+    /// Structural wire-length imbalance below the fork point,
+    /// `|path_len_a − path_len_b|` — the difference-model distance `d`
+    /// restricted to this pair. Zero on an equalized symmetric tree;
+    /// on asymmetric trees (quadrant/spine) this is the part of the
+    /// skew that is *guaranteed* by geometry rather than sampled from
+    /// the delay band, so a large value tells the reader the topology,
+    /// not the fabrication, produced the skew.
+    #[must_use]
+    pub fn path_imbalance(&self) -> f64 {
+        (self.path_len_a - self.path_len_b).abs()
     }
 
     /// The single edge contributing the largest absolute delay — where
@@ -175,12 +194,22 @@ pub fn attribute_skew(tree: &ClockTree, rates: &[f64], a: CellId, b: CellId) -> 
         path
     };
     let mut edges = side(na, 1.0);
+    let below_a = edges.len();
     edges.extend(side(nb, -1.0));
     let signed_skew = edges.iter().map(|e| e.delta).sum();
+    // Path lengths below the fork, from the cached root distances: the
+    // two sides may have very different depths *and* lengths on
+    // asymmetric trees, and the attribution must say so explicitly
+    // rather than assume sibling subtrees mirror each other.
+    let path_len = |leaf: NodeId| tree.root_distance(leaf) - tree.root_distance(lca);
+    debug_assert_eq!(below_a, tree.depth(na) - tree.depth(lca));
     SkewBreakdown {
         a,
         b,
         signed_skew,
+        lca,
+        path_len_a: path_len(na),
+        path_len_b: path_len(nb),
         edges,
     }
 }
@@ -555,6 +584,52 @@ mod tests {
         // Swapping the pair negates the signed skew.
         let swapped = attribute_skew(&t, &rates, b, a);
         assert!(approx_eq(swapped.signed_skew, -2.0));
+    }
+
+    #[test]
+    fn attribution_is_path_length_aware_on_a_lopsided_tree() {
+        // Deliberately asymmetric: one leaf hangs a single 2-unit edge
+        // off the root, the other sits three edges (total length 7)
+        // deep — the quadrant/secondary-spine shape in miniature.
+        // Nothing about the attribution may assume sibling subtrees of
+        // equal depth or length.
+        let mut b = ClockTreeBuilder::new(Point::origin());
+        let shallow = b.add_child(b.root(), Point::new(2.0, 0.0), None);
+        let x = b.add_child(b.root(), Point::new(0.0, 3.0), None);
+        let y = b.add_child(x, Point::new(0.0, 6.0), None);
+        let deep = b.add_child(y, Point::new(1.0, 6.0), None);
+        b.attach_cell(shallow, CellId::new(0));
+        b.attach_cell(deep, CellId::new(1));
+        let t = b.build();
+
+        let rates = vec![0.0, 1.0, 0.5, 2.0, 1.0]; // root, shallow, x, y, deep
+        let (a, c) = (CellId::new(0), CellId::new(1));
+        let bd = attribute_skew(&t, &rates, a, c);
+
+        // The decomposition stays exact across unequal depths...
+        let arrivals = ArrivalTimes::from_rates(&t, &rates);
+        // arrival(a) = 2·1 = 2; arrival(b) = 3·0.5 + 3·2 + 1·1 = 8.5.
+        assert!(approx_eq(bd.signed_skew, -6.5));
+        assert!(approx_eq(bd.magnitude(), arrivals.skew(&t, a, c)));
+        assert_eq!(bd.edges.len(), 1 + 3, "one edge vs three below the fork");
+        assert!(approx_eq(bd.edges.iter().map(|e| e.delta).sum::<f64>(), bd.signed_skew));
+
+        // ...and the breakdown reports the structural imbalance rather
+        // than pretending the sides mirror each other.
+        assert_eq!(bd.lca, t.root());
+        assert!(approx_eq(bd.path_len_a, 2.0));
+        assert!(approx_eq(bd.path_len_b, 7.0));
+        assert!(approx_eq(bd.path_imbalance(), 5.0));
+        let dom = bd.dominant_edge().expect("non-empty path");
+        assert_eq!(dom.edge, "n2>n3", "the 3-unit edge at rate 2 dominates");
+
+        // A pair forking below the root attributes from the true LCA,
+        // not the root: compare deep vs a sibling hanging off `y`.
+        // (Single-pair sanity on the same lopsided shape.)
+        let swapped = attribute_skew(&t, &rates, c, a);
+        assert!(approx_eq(swapped.path_len_a, 7.0));
+        assert!(approx_eq(swapped.path_len_b, 2.0));
+        assert!(approx_eq(swapped.path_imbalance(), 5.0));
     }
 
     #[test]

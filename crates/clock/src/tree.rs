@@ -382,7 +382,7 @@ impl ClockTree {
         let mut dead_cells = Vec::new();
         let (mut dead_buffers, mut degraded_buffers) = (0u64, 0u64);
         if plan.is_enabled() {
-            let mut dead_roots: Vec<NodeId> = Vec::new();
+            let mut clock_dead = vec![false; self.node_count()];
             for n in self.nodes() {
                 let buffers = (self.wire_length(n) / spacing).floor() as u64;
                 let mut edge_dead = false;
@@ -402,16 +402,31 @@ impl ClockTree {
                     }
                 }
                 if edge_dead {
-                    dead_roots.push(n);
+                    clock_dead[n.index()] = true;
                 } else if stretch > 0.0 {
                     out.wire_len[n.index()] += stretch;
                 }
             }
-            for root in dead_roots {
-                dead_cells.extend(self.subtree_cells(root));
+            // A node loses its clock iff its own edge died or any
+            // ancestor edge did. The builder guarantees parents precede
+            // children in node order, so one forward pass propagates
+            // death through the *actual* subtree structure — correct on
+            // any shape (caterpillar rows, lopsided quadrants), and
+            // linear even when dead regions nest or chains are deep.
+            for i in 1..self.node_count() {
+                let p = self.parent[i].expect("non-root nodes have parents");
+                if clock_dead[p.index()] {
+                    clock_dead[i] = true;
+                }
+            }
+            for n in self.nodes() {
+                if clock_dead[n.index()] {
+                    if let Some(c) = self.cell(n) {
+                        dead_cells.push(c);
+                    }
+                }
             }
             dead_cells.sort_unstable();
-            dead_cells.dedup();
             out.recompute_caches();
         }
         BufferFaultReport {
@@ -844,6 +859,68 @@ mod tests {
         assert_eq!(r.dead_cells, t.attached_cells());
         assert!(r.is_dead(CellId::new(1)));
         assert_eq!(r.dead_buffers, t.buffer_count(1.0) as u64);
+    }
+
+    #[test]
+    fn dead_subtree_accounting_follows_structure_on_non_uniform_fanout() {
+        use sim_faults::{FaultPlan, FaultRates};
+        // A quadrant-shaped caterpillar: a long spine whose taps hang
+        // row chains of very different lengths, plus a shallow sibling
+        // branch. Depth is useless as a leaf-count proxy here — the
+        // accounting must walk the actual subtree.
+        let mut b = ClockTreeBuilder::new(Point::origin());
+        let shallow = b.add_child(b.root(), Point::new(0.0, 4.0), None);
+        b.attach_cell(shallow, CellId::new(0));
+        let mut spine = b.add_child(b.root(), Point::new(4.0, 0.0), None);
+        let mut next_cell = 1usize;
+        for tap in 0..3 {
+            let tap_node = b.add_child(spine, Point::new(4.0 + 3.0 * (tap + 1) as f64, 0.0), None);
+            b.attach_cell(tap_node, CellId::new(next_cell));
+            next_cell += 1;
+            // Row chains of length 1, 3, 5 hanging off successive taps.
+            let mut link = tap_node;
+            for i in 0..(2 * tap + 1) {
+                link = b.add_child(
+                    link,
+                    Point::new(4.0 + 3.0 * (tap + 1) as f64, 2.0 * (i + 1) as f64),
+                    None,
+                );
+                b.attach_cell(link, CellId::new(next_cell));
+                next_cell += 1;
+            }
+            spine = tap_node;
+        }
+        let t = b.build();
+
+        for seed in [3u64, 5, 11, 17] {
+            let rates = FaultRates {
+                buffer_dead: 0.2,
+                ..FaultRates::none()
+            };
+            let r = t.with_buffer_faults(&FaultPlan::new(seed, 0, rates), 1.0);
+            // Brute-force ground truth: a cell is dead iff some edge on
+            // its root path lost a buffer — recompute via subtree_cells
+            // from every edge whose own buffers died.
+            let mut expect = Vec::new();
+            for n in t.nodes() {
+                let buffers = (t.wire_length(n) / 1.0).floor() as u64;
+                let own_dead = (0..buffers).any(|k| {
+                    matches!(
+                        FaultPlan::new(seed, 0, rates).buffer_fault(((n.index() as u64) << 20) ^ k),
+                        Some(sim_faults::BufferFault::Dead)
+                    )
+                });
+                if own_dead {
+                    expect.extend(t.subtree_cells(n));
+                }
+            }
+            expect.sort_unstable();
+            expect.dedup();
+            assert_eq!(
+                r.dead_cells, expect,
+                "seed {seed}: dead set must equal subtree reachability"
+            );
+        }
     }
 
     #[test]

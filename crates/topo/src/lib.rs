@@ -1,0 +1,126 @@
+//! # sim-topo — realistic clock-topology corpus
+//!
+//! The paper's skew bounds (Fisher & Kung 1983, Sections IV–V) are
+//! about *physical* clock-distribution networks, yet the idealized
+//! trees the other experiments use — H-tree, spine, serpentine — are
+//! all symmetric. Real silicon is not: a Spartan-3-class FPGA clocks
+//! from a center tile through H/V primary spines, quadrant buffers,
+//! and secondary spine tiles. This crate supplies that missing
+//! realistic corpus, in two pieces plus a comparison line:
+//!
+//! * [`quadrant`] — the quadrant/spine topology generator, emitting
+//!   ordinary `clock_tree::ClockTree`s (plus hierarchical instance
+//!   paths) so the whole existing toolbox applies unchanged.
+//! * [`sdf`] — an SDF-subset parser and delay-annotation importer
+//!   mapping external `IOPATH`/`INTERCONNECT` `min:typ:max` triples
+//!   onto generated tree edges by instance path, hardened with
+//!   byte/depth limits and structured errors like `sim-observe`'s
+//!   JSON parser.
+//! * [`gcs_local_skew_bound`] — the analytic gradient-clock-sync
+//!   local-skew bound (arXiv 2301.05073) experiments quote next to
+//!   the paper-model measurements.
+//!
+//! Committed `.sdf` fixtures live under `fixtures/` and are exposed
+//! via [`fixtures`] so experiments and smoke scripts can import the
+//! exact bytes the round-trip tests pin.
+
+pub mod quadrant;
+pub mod sdf;
+
+/// Convenient glob import.
+pub mod prelude {
+    pub use crate::fixtures;
+    pub use crate::gcs_local_skew_bound;
+    pub use crate::quadrant::{quadrant_spine, QuadrantParams, QuadrantTopology};
+    pub use crate::sdf::{
+        annotate, parse, parse_with_limits, Corner, EdgeDelays, Sdf, SdfError, SdfLimits,
+    };
+}
+
+/// The stylized gradient-clock-synchronization local-skew bound of
+/// "Clock Distribution with Gradient TRIX" (arXiv 2301.05073): with
+/// relative drift/uncertainty `u` between neighbours, GCS algorithms
+/// hold the skew between *adjacent* nodes to `Θ(u · log D)` on a
+/// network of diameter `D` — exponentially better than the trivial
+/// `u · D`. Experiments print `u · (1 + log2(D))` as the analytic
+/// comparison line next to measured tree skews.
+///
+/// # Panics
+///
+/// Panics when `u` is negative or `diameter < 1`.
+#[must_use]
+pub fn gcs_local_skew_bound(u: f64, diameter: f64) -> f64 {
+    assert!(u >= 0.0, "uncertainty must be non-negative");
+    assert!(diameter >= 1.0, "diameter must be at least 1");
+    u * (1.0 + diameter.log2())
+}
+
+/// The committed SDF fixture corpus, embedded so binaries and tests
+/// see the exact bytes the round-trip pins cover. All fixtures target
+/// the `quad8` topology ([`fixtures::params`]).
+pub mod fixtures {
+    use crate::quadrant::QuadrantParams;
+
+    /// Generator parameters of the topology every fixture annotates:
+    /// an 8 × 8 die, one extra buffer stage per quadrant, secondary
+    /// tiles serving two rows.
+    #[must_use]
+    pub fn params() -> QuadrantParams {
+        QuadrantParams::new(8, 1, 2)
+    }
+
+    /// Well-formed fixtures: every one must parse, annotate the
+    /// `quad8` topology, and re-emit byte-identically.
+    pub const VALID: [(&str, &str); 2] = [
+        (
+            "quad8_typical.sdf",
+            include_str!("../fixtures/quad8_typical.sdf"),
+        ),
+        (
+            "quad8_corners.sdf",
+            include_str!("../fixtures/quad8_corners.sdf"),
+        ),
+    ];
+
+    /// Malformed fixtures: every one must be rejected somewhere in the
+    /// parse → annotate pipeline with a structured error (most at
+    /// parse; `unknown_instance.sdf` parses but fails import).
+    pub const MALFORMED: [(&str, &str); 9] = [
+        ("truncated.sdf", include_str!("../fixtures/bad/truncated.sdf")),
+        ("unbalanced.sdf", include_str!("../fixtures/bad/unbalanced.sdf")),
+        ("overflow.sdf", include_str!("../fixtures/bad/overflow.sdf")),
+        ("nan.sdf", include_str!("../fixtures/bad/nan.sdf")),
+        (
+            "nonmonotone.sdf",
+            include_str!("../fixtures/bad/nonmonotone.sdf"),
+        ),
+        (
+            "dup_instance.sdf",
+            include_str!("../fixtures/bad/dup_instance.sdf"),
+        ),
+        ("badport.sdf", include_str!("../fixtures/bad/badport.sdf")),
+        (
+            "deep_nesting.sdf",
+            include_str!("../fixtures/bad/deep_nesting.sdf"),
+        ),
+        (
+            "unknown_instance.sdf",
+            include_str!("../fixtures/bad/unknown_instance.sdf"),
+        ),
+    ];
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gcs_bound_grows_logarithmically() {
+        let u = 0.1;
+        let d16 = gcs_local_skew_bound(u, 16.0);
+        let d256 = gcs_local_skew_bound(u, 256.0);
+        assert!((d16 - 0.5).abs() < 1e-12);
+        // Squaring the diameter adds a constant, not a factor.
+        assert!((d256 - d16 - u * 4.0).abs() < 1e-12);
+    }
+}

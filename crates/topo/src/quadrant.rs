@@ -1,0 +1,327 @@
+//! Quadrant/spine clock topology generator.
+//!
+//! Real FPGA silicon (Spartan-3-class) does not distribute its clock
+//! on a balanced H-tree: a center tile drives horizontal/vertical
+//! primary spines, per-quadrant buffers repeat the signal, and
+//! secondary spine tiles fan out to rows of leaf loads. The result is
+//! *asymmetric* — leaves in different quadrants sit at very different
+//! tree distances — which is exactly the regime where the paper's
+//! difference model (Section IV) predicts skew growing with array
+//! size while a balanced tree would predict none.
+//!
+//! [`quadrant_spine`] reproduces that shape over any `k × k` mesh with
+//! a uniform-pitch layout, emitting an ordinary [`ClockTree`] so the
+//! whole existing toolbox — `with_buffer_faults`, `attribute_skew`,
+//! the `m ± ε` wire model, Monte-Carlo sampling — applies unchanged.
+//! Every generated node carries a hierarchical instance path
+//! (`center`, `he`, `qse`, `qse.b1`, `qse.s0`, `qse.r4`, `qse.r4.c5`,
+//! …) so external delay annotations (SDF, [`crate::sdf`]) can address
+//! individual edges.
+//!
+//! Structure, from the root outward:
+//!
+//! ```text
+//! center ─ hw ─ qnw ─ b1 … ─ s0 ─ r3 ─ r2 ─ s1 ─ r1 ─ r0      (spine)
+//!     │     └─ qsw ─ …         │    └ c2 ─ c1 ─ c0            (rows)
+//!     └─ he ─ qne ─ …          └ first row tap
+//!            └─ qse ─ …
+//! ```
+//!
+//! * `center` — the root tile at the die center.
+//! * `hw`/`he` — primary-spine hubs, one quarter pitch inside the
+//!   west/east inner columns.
+//! * `q{n,s}{w,e}` — quadrant buffers at each quadrant's row-center.
+//! * `q*.b{i}` — `stages` extra buffer stages along the vertical run
+//!   from the quadrant buffer to its first secondary tile.
+//! * `q*.s{g}` — secondary spine tiles, one per group of `fanout`
+//!   rows, half a pitch center-side of the group's first row.
+//! * `q*.r{row}` — row taps on the quadrant's inner column, chained
+//!   innermost-first; each tap drives its row's innermost cell.
+//! * `q*.r{row}.c{col}` — the outward row chain serving the remaining
+//!   cells of the row.
+//!
+//! Every node has at most two children (the `clock-tree` arity bound)
+//! and every edge has strictly positive length, so per-edge buffer
+//! fault sites and SDF rate annotations are always expressible.
+
+use array_layout::geom::Point;
+use array_layout::graph::CommGraph;
+use array_layout::layout::Layout;
+use clock_tree::tree::{ClockTree, ClockTreeBuilder, NodeId};
+
+/// Parameters of the quadrant/spine generator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QuadrantParams {
+    /// Die side: the array is `k × k`. Must be even and at least 4 so
+    /// each quadrant has at least two rows and columns.
+    pub k: usize,
+    /// Extra buffer stages on each quadrant's vertical primary run
+    /// (0 = the quadrant buffer drives the first secondary tile
+    /// directly).
+    pub stages: usize,
+    /// Rows served per secondary spine tile. Must be at least 1.
+    pub fanout: usize,
+}
+
+impl QuadrantParams {
+    /// Validated constructor.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `k` is odd or below 4, or `fanout` is 0.
+    #[must_use]
+    pub fn new(k: usize, stages: usize, fanout: usize) -> Self {
+        assert!(k >= 4 && k.is_multiple_of(2), "die side must be even and >= 4, got {k}");
+        assert!(fanout >= 1, "secondary tile fanout must be >= 1");
+        QuadrantParams { k, stages, fanout }
+    }
+
+    /// The Spartan-3-like preset used by the `bench::grid` cells: one
+    /// buffer stage per quadrant run, secondary tiles serving two rows.
+    #[must_use]
+    pub fn spartan3_like(k: usize) -> Self {
+        QuadrantParams::new(k, 1, 2)
+    }
+}
+
+/// A generated quadrant/spine tree plus the hierarchical instance path
+/// of every node, for addressing edges from external delay files.
+#[derive(Debug, Clone)]
+pub struct QuadrantTopology {
+    tree: ClockTree,
+    /// Instance path per node, indexed by `NodeId`.
+    instances: Vec<String>,
+    /// `(path, node)` sorted by path for reverse lookup.
+    by_name: Vec<(String, NodeId)>,
+    params: QuadrantParams,
+}
+
+impl QuadrantTopology {
+    /// The generated clock tree.
+    #[must_use]
+    pub fn tree(&self) -> &ClockTree {
+        &self.tree
+    }
+
+    /// Consumes the topology, keeping only the tree.
+    #[must_use]
+    pub fn into_tree(self) -> ClockTree {
+        self.tree
+    }
+
+    /// The generator parameters this topology was built from.
+    #[must_use]
+    pub fn params(&self) -> QuadrantParams {
+        self.params
+    }
+
+    /// The hierarchical instance path of `node`.
+    #[must_use]
+    pub fn instance(&self, node: NodeId) -> &str {
+        &self.instances[node.index()]
+    }
+
+    /// Looks up a node by its hierarchical instance path.
+    #[must_use]
+    pub fn node(&self, instance: &str) -> Option<NodeId> {
+        self.by_name
+            .binary_search_by(|(name, _)| name.as_str().cmp(instance))
+            .ok()
+            .map(|i| self.by_name[i].1)
+    }
+
+    /// All instance paths in node order (root first).
+    pub fn instances(&self) -> impl Iterator<Item = &str> {
+        self.instances.iter().map(String::as_str)
+    }
+}
+
+/// Builds the quadrant/spine topology over a `k × k` mesh.
+///
+/// `comm` must be a grid topology whose dimensions match `params.k`,
+/// and `layout` must place its cells on a uniform-pitch grid with rows
+/// and columns in ascending coordinate order ([`Layout::grid`] does).
+///
+/// # Panics
+///
+/// Panics when the graph is not a `k × k` grid, the layout does not
+/// match the graph, or the pitch is not positive.
+#[must_use]
+pub fn quadrant_spine(comm: &CommGraph, layout: &Layout, params: &QuadrantParams) -> QuadrantTopology {
+    let (rows, cols) = comm
+        .grid_dims()
+        .expect("quadrant spine requires a grid communication topology");
+    assert_eq!(
+        (rows, cols),
+        (params.k, params.k),
+        "graph dimensions must match QuadrantParams::k"
+    );
+    assert_eq!(
+        layout.positions().len(),
+        comm.node_count(),
+        "layout does not match communication graph"
+    );
+    let k = params.k;
+    let h = k / 2;
+    let pos = |r: usize, c: usize| layout.position(comm.grid_id(r, c).index());
+    let x_of = |c: usize| pos(0, c).x;
+    let y_of = |r: usize| pos(r, 0).y;
+    let px = x_of(1) - x_of(0);
+    let py = y_of(1) - y_of(0);
+    assert!(px > 0.0 && py > 0.0, "layout must have positive uniform pitch");
+
+    let cx = (x_of(0) + x_of(k - 1)) / 2.0;
+    let cy = (y_of(0) + y_of(k - 1)) / 2.0;
+
+    let mut builder = ClockTreeBuilder::new(Point::new(cx, cy));
+    let root = builder.root();
+    let mut instances = vec!["center".to_owned()];
+    let mut add = |b: &mut ClockTreeBuilder, parent: NodeId, p: Point, name: String| -> NodeId {
+        let n = b.add_child(parent, p, None);
+        debug_assert_eq!(n.index(), instances.len());
+        instances.push(name);
+        n
+    };
+
+    // West and east primary hubs, a quarter pitch inside the inner
+    // columns so the horizontal spine run has positive length.
+    for (side, inner_col) in [('w', h - 1), ('e', h)] {
+        let xs = if side == 'w' {
+            x_of(inner_col) + 0.25 * px
+        } else {
+            x_of(inner_col) - 0.25 * px
+        };
+        let hub = add(&mut builder, root, Point::new(xs, cy), format!("h{side}"));
+
+        for (vert, row_lo) in [('n', 0usize), ('s', h)] {
+            let qname = format!("q{vert}{side}");
+            let row_hi = row_lo + h - 1;
+            let qy = (y_of(row_lo) + y_of(row_hi)) / 2.0;
+            let qroot = add(&mut builder, hub, Point::new(xs, qy), qname.clone());
+
+            // Rows innermost-first: the spine marches outward from the
+            // die center, the way real secondary spines are driven.
+            let rows_order: Vec<usize> = if vert == 'n' {
+                (row_lo..=row_hi).rev().collect()
+            } else {
+                (row_lo..=row_hi).collect()
+            };
+            // Secondary tiles sit half a pitch *center-side* of their
+            // first row; `tilesign` points from a row toward the center.
+            let tilesign = if vert == 'n' { 0.5 * py } else { -0.5 * py };
+            let tile0_y = y_of(rows_order[0]) + tilesign;
+
+            // Extra buffer stages interpolated along the vertical run
+            // from the quadrant buffer to the first secondary tile.
+            let mut prev = qroot;
+            for i in 1..=params.stages {
+                let t = i as f64 / (params.stages + 1) as f64;
+                let sy = qy + t * (tile0_y - qy);
+                prev = add(&mut builder, prev, Point::new(xs, sy), format!("{qname}.b{i}"));
+            }
+
+            for (g, group) in rows_order.chunks(params.fanout).enumerate() {
+                let tile_y = y_of(group[0]) + tilesign;
+                prev = add(&mut builder, prev, Point::new(xs, tile_y), format!("{qname}.s{g}"));
+                for &r in group {
+                    let tap = add(&mut builder, prev, Point::new(xs, y_of(r)), format!("{qname}.r{r}"));
+                    builder.attach_cell(tap, comm.grid_id(r, inner_col));
+                    // The outward row chain for the remaining columns.
+                    let chain_cols: Vec<usize> = if side == 'w' {
+                        (0..inner_col).rev().collect()
+                    } else {
+                        (inner_col + 1..k).collect()
+                    };
+                    let mut link = tap;
+                    for c in chain_cols {
+                        link = add(&mut builder, link, pos(r, c), format!("{qname}.r{r}.c{c}"));
+                        builder.attach_cell(link, comm.grid_id(r, c));
+                    }
+                    prev = tap;
+                }
+            }
+        }
+    }
+
+    let tree = builder.build();
+    let mut by_name: Vec<(String, NodeId)> = instances
+        .iter()
+        .enumerate()
+        .map(|(i, s)| (s.clone(), NodeId::new(i)))
+        .collect();
+    by_name.sort_by(|a, b| a.0.cmp(&b.0));
+    QuadrantTopology {
+        tree,
+        instances,
+        by_name,
+        params: *params,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn topo(k: usize, stages: usize, fanout: usize) -> QuadrantTopology {
+        let comm = CommGraph::mesh(k, k);
+        let layout = Layout::grid(&comm);
+        quadrant_spine(&comm, &layout, &QuadrantParams::new(k, stages, fanout))
+    }
+
+    #[test]
+    fn covers_every_cell_exactly_once() {
+        for (k, stages, fanout) in [(4, 0, 1), (8, 1, 2), (8, 3, 4), (16, 2, 3)] {
+            let t = topo(k, stages, fanout);
+            let cells = t.tree().attached_cells();
+            assert_eq!(cells.len(), k * k, "k={k}");
+            t.tree().validate().expect("generated tree is structurally valid");
+        }
+    }
+
+    #[test]
+    fn every_edge_has_positive_length() {
+        for (k, stages, fanout) in [(4, 0, 1), (8, 1, 2), (8, 5, 3)] {
+            let t = topo(k, stages, fanout);
+            for n in t.tree().nodes().skip(1) {
+                assert!(
+                    t.tree().wire_length(n) > 0.0,
+                    "edge into `{}` (k={k}) has zero length",
+                    t.instance(n)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn instance_paths_round_trip_through_lookup() {
+        let t = topo(8, 1, 2);
+        for n in t.tree().nodes() {
+            assert_eq!(t.node(t.instance(n)), Some(n), "path `{}`", t.instance(n));
+        }
+        assert_eq!(t.node("center"), Some(t.tree().root()));
+        assert!(t.node("nonexistent").is_none());
+    }
+
+    #[test]
+    fn the_tree_is_deliberately_asymmetric() {
+        let t = topo(8, 1, 2);
+        let tree = t.tree();
+        // Corner cell vs center-adjacent cell: very different root
+        // distances — the defining feature vs an equalized H-tree.
+        let comm = CommGraph::mesh(8, 8);
+        let near = tree.node_of_cell(comm.grid_id(3, 3)).unwrap();
+        let far = tree.node_of_cell(comm.grid_id(0, 7)).unwrap();
+        assert!(
+            tree.root_distance(far) > tree.root_distance(near) + 4.0,
+            "far {} vs near {}",
+            tree.root_distance(far),
+            tree.root_distance(near)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "even")]
+    fn odd_die_side_is_rejected() {
+        let _ = QuadrantParams::new(5, 1, 2);
+    }
+}

@@ -1,0 +1,192 @@
+//! Hardening corpus for the SDF-subset parser, in the style of
+//! `sim-observe`'s `json_hardening.rs`: every malformed input must be
+//! rejected with a structured error (message + byte offset), never a
+//! panic, hang, or stack overflow — under both the default and the
+//! strict limit presets. The second half pins the round-trip contract
+//! on the committed fixture corpus: parse → annotate → re-emit is
+//! byte-identical for every well-formed fixture.
+
+use array_layout::graph::CommGraph;
+use array_layout::layout::Layout;
+use sim_topo::prelude::*;
+use sim_topo::quadrant::quadrant_spine;
+
+fn assert_rejected(input: &str, why: &str) {
+    for (preset, limits) in [("default", SdfLimits::default()), ("strict", SdfLimits::strict())] {
+        let err = parse_with_limits(input, limits)
+            .expect_err(&format!("{why} must be rejected under {preset} limits"));
+        assert!(
+            !err.message.is_empty(),
+            "{why}: error must carry a message"
+        );
+        assert!(
+            err.offset <= input.len(),
+            "{why}: offset {} is past the input ({} bytes)",
+            err.offset,
+            input.len()
+        );
+        // The Display form is the structured operator-facing contract.
+        let text = err.to_string();
+        assert!(
+            text.starts_with("SDF parse error at byte "),
+            "{why}: unexpected Display form: {text}"
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Truncated documents
+// ---------------------------------------------------------------------------
+
+#[test]
+fn truncated_documents_are_rejected() {
+    let full = fixtures::VALID[0].1;
+    // Every proper prefix of a valid fixture is invalid: cut at a few
+    // byte positions spread across the file.
+    for frac in [1, 10, 30, 50, 70, 90, 99] {
+        let cut = full.len() * frac / 100;
+        if cut == 0 || cut >= full.len() {
+            continue;
+        }
+        if !full.is_char_boundary(cut) {
+            continue;
+        }
+        assert_rejected(&full[..cut], &format!("prefix of {frac}%"));
+    }
+    assert_rejected("", "empty input");
+    assert_rejected("(", "lone open paren");
+    assert_rejected("(DELAYFILE", "header only");
+}
+
+// ---------------------------------------------------------------------------
+// Structural damage
+// ---------------------------------------------------------------------------
+
+#[test]
+fn unmatched_parens_are_rejected() {
+    assert_rejected(
+        "(DELAYFILE\n  (SDFVERSION \"3.0\")\n  (DESIGN \"d\")\n  (TIMESCALE 1ns)\n))\n",
+        "extra closing paren",
+    );
+    assert_rejected(
+        "(DELAYFILE\n  (SDFVERSION \"3.0\")\n  (DESIGN \"d\")\n  (TIMESCALE 1ns)\n",
+        "missing closing paren",
+    );
+    assert_rejected("())", "empty list with trailer");
+}
+
+#[test]
+fn wrong_keywords_and_orders_are_rejected() {
+    assert_rejected("(DELAYFILE (DESIGN \"d\"))", "DESIGN before SDFVERSION");
+    assert_rejected("(WRONGFILE)", "wrong top-level keyword");
+    assert_rejected(
+        "(DELAYFILE (SDFVERSION \"3.0\") (DESIGN \"d\") (TIMESCALE 1ns) (NOTACELL))",
+        "unknown section",
+    );
+}
+
+#[test]
+fn strings_are_validated() {
+    assert_rejected(
+        "(DELAYFILE (SDFVERSION \"3.0) (DESIGN \"d\") (TIMESCALE 1ns))",
+        "unterminated string",
+    );
+    assert_rejected(
+        "(DELAYFILE (SDFVERSION \"3.\u{1}0\") (DESIGN \"d\") (TIMESCALE 1ns))",
+        "control byte in string",
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Numeric hardening
+// ---------------------------------------------------------------------------
+
+fn one_iopath(triple: &str) -> String {
+    format!(
+        "(DELAYFILE\n  (SDFVERSION \"3.0\")\n  (DESIGN \"d\")\n  (TIMESCALE 1ns)\n  \
+         (CELL\n    (CELLTYPE \"B\")\n    (INSTANCE he)\n    (DELAY (ABSOLUTE\n      \
+         (IOPATH I O ({triple}))\n    ))\n  )\n)\n"
+    )
+}
+
+#[test]
+fn non_finite_and_overflowing_delays_are_rejected() {
+    for (triple, why) in [
+        ("1e999:1.0:1.1", "overflow to infinity"),
+        ("NaN:1.0:2.0", "NaN delay"),
+        ("inf:1.0:2.0", "explicit infinity"),
+        ("-1.0:0.0:1.0", "negative delay"),
+        ("2.0:1.0:3.0", "non-monotone triple"),
+        ("1.0:2.0", "two-field triple"),
+        ("1.0:2.0:3.0:4.0", "four-field triple"),
+        ("a:b:c", "non-numeric triple"),
+    ] {
+        assert_rejected(&one_iopath(triple), why);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Resource limits
+// ---------------------------------------------------------------------------
+
+#[test]
+fn nesting_bomb_is_a_structured_error_not_a_stack_overflow() {
+    let bomb = "(".repeat(100_000);
+    assert_rejected(&bomb, "nesting bomb");
+    let err = parse(&bomb).expect_err("rejected");
+    assert!(err.message.contains("depth"), "got: {}", err.message);
+}
+
+#[test]
+fn byte_limit_is_enforced_under_strict_limits() {
+    // A syntactically valid file padded past 64 KiB with whitespace.
+    let mut big = String::from("(DELAYFILE\n  (SDFVERSION \"3.0\")\n  (DESIGN \"d\")\n  (TIMESCALE 1ns)\n");
+    big.push_str(&" ".repeat(70 * 1024));
+    big.push_str(")\n");
+    assert!(parse(&big).is_ok(), "default limits have no byte cap");
+    let err = parse_with_limits(&big, SdfLimits::strict()).expect_err("strict cap");
+    assert!(err.message.contains("limit"), "got: {}", err.message);
+}
+
+#[test]
+fn duplicate_instances_are_rejected() {
+    let err = parse(fixtures::MALFORMED.iter().find(|(n, _)| *n == "dup_instance.sdf").unwrap().1)
+        .expect_err("duplicate instance fixture");
+    assert!(err.message.contains("duplicate"), "got: {}", err.message);
+}
+
+// ---------------------------------------------------------------------------
+// Committed corpus: every bad fixture rejected, every good fixture
+// round-trips byte-identically through parse → annotate → re-emit.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn every_malformed_fixture_is_rejected_with_a_structured_error() {
+    let comm = CommGraph::mesh(8, 8);
+    let layout = Layout::grid(&comm);
+    let topo = quadrant_spine(&comm, &layout, &fixtures::params());
+    for (name, text) in fixtures::MALFORMED {
+        let outcome = parse(text).map_err(|e| e.to_string()).and_then(|sdf| {
+            annotate(&topo, &sdf, 1.0, 0.1).map_err(|e| format!("SDF import error: {e}"))
+        });
+        let err = outcome.expect_err(&format!("{name} must be rejected"));
+        assert!(!err.is_empty(), "{name}: error must be descriptive");
+    }
+}
+
+#[test]
+fn every_valid_fixture_parses_annotates_and_reemits_byte_identically() {
+    let comm = CommGraph::mesh(8, 8);
+    let layout = Layout::grid(&comm);
+    let topo = quadrant_spine(&comm, &layout, &fixtures::params());
+    for (name, text) in fixtures::VALID {
+        let sdf = parse(text).unwrap_or_else(|e| panic!("{name}: {e}"));
+        let delays = annotate(&topo, &sdf, 1.0, 0.1)
+            .unwrap_or_else(|e| panic!("{name} must import: {e}"));
+        assert!(delays.annotated_count() > 0, "{name} annotates something");
+        assert_eq!(sdf.to_text(), text, "{name}: re-emit must be byte-identical");
+        // And the canonical form is a fixed point of another cycle.
+        let again = parse(&sdf.to_text()).expect("canonical form parses");
+        assert_eq!(again, sdf, "{name}: parse(emit(x)) == x");
+    }
+}

@@ -51,6 +51,12 @@ run target/release/trace_check target/bench/e12_trace.json
 # mid-run — --status must report it interrupted off the frozen
 # heartbeat tick — resumed, and merged byte-identically.
 run scripts/chaos_smoke.sh target/release
+# Topology smoke: e14's realistic-topology scorecard (quadrant trees
+# strictly dominate the equalized H-tree; the SDF fixture corpus
+# imports, round-trips, and rejects), its skew-attribution trace
+# through the checker, quadrant cells in the explore frontier, and
+# BENCH_e14.json against its baseline.
+run scripts/topo_smoke.sh target/release
 # Serve smoke: sim_serve on an ephemeral port, cold/hot loadgen passes
 # (cache must hit), BENCH_serve.json vs its baseline, clean drain on
 # stdin close.

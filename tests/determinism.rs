@@ -8,7 +8,7 @@
 //! metastability events, E6 chip yield) in `--fast` mode, then extends
 //! the same guarantee to the **structured JSON reports**: the
 //! deterministic core emitted by `--json` must be byte-identical for
-//! `--threads 1/2/4` across all thirteen experiments (only the `run`
+//! `--threads 1/2/4` across all fourteen experiments (only the `run`
 //! section — wall clock, worker stats — may differ). E12's
 //! fault-injected sweep gets an explicit pin: seed-derived fault
 //! draws must not depend on which worker executes a trial. E13's
@@ -259,6 +259,29 @@ fn e13_recovery_report_and_trace_identical_across_thread_counts() {
             base,
             trace_text(exp, threads, 1),
             "e13: episode trace diverged at threads={threads}"
+        );
+    }
+}
+
+/// E14's topology scorecard end-to-end: the stdout report (geometry
+/// tables, SDF corpus verdicts, attribution worked example) and the
+/// skew-attribution trace must not depend on the worker count — the
+/// Monte-Carlo band sampling inside the scorecard is the only
+/// parallel stage, and it derives every trial from `(seed, trial)`.
+#[test]
+fn e14_topology_report_and_trace_identical_across_thread_counts() {
+    let exp = &bench::experiments::E14;
+    assert_thread_count_invariant(exp);
+    let base = trace_text(exp, 1, 1);
+    assert!(
+        base.contains("skew_sample"),
+        "e14 trace must carry skew-attribution samples"
+    );
+    for threads in [2, 4] {
+        assert_eq!(
+            base,
+            trace_text(exp, threads, 1),
+            "e14: attribution trace diverged at threads={threads}"
         );
     }
 }

@@ -15,7 +15,10 @@ fn every_registered_experiment_runs_fast() {
     let registry = bench::registry();
     assert_eq!(
         registry.names(),
-        ["e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13"]
+        [
+            "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13",
+            "e14"
+        ]
     );
     for exp in registry.iter() {
         let report = run_experiment(exp, &ExpConfig::fast());

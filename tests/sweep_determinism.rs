@@ -17,10 +17,10 @@ use sim_sweep::{
     HEARTBEAT_SCHEMA, HEARTBEAT_SCHEMA_VERSION,
 };
 
-/// The shared workload: the fast grid (30 points), 3 trials per
-/// point, checkpointing every 2 trials. `shards` only changes the
-/// execution partition — the manifest digest and the merged bytes
-/// must not see it.
+/// The shared workload: the fast grid (54 points, including the
+/// quadrant/spine topology cells), 3 trials per point, checkpointing
+/// every 2 trials. `shards` only changes the execution partition —
+/// the manifest digest and the merged bytes must not see it.
 fn manifest(shards: u64) -> Manifest {
     grid::default_manifest(7, 3, shards, 2, true).expect("fast grid manifest")
 }
@@ -195,6 +195,57 @@ fn heartbeat_files_carry_the_pinned_schema_and_track_the_shard() {
     run_grid_shard(&m, 1, &dir, &ShardOpts::default());
     assert!(!std::path::Path::new(&hb_file).exists());
     assert!(std::path::Path::new(&shard_path(&dir, 1)).exists());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The realistic quadrant/spine cells (e14's topologies) ride the same
+/// grid: they must be present in the workload this suite pins, and
+/// their per-point bytes must be identical whether the point ran in a
+/// 1-shard or a 7-shard partition — the quadrant tree construction and
+/// its fault sites must not depend on execution context.
+#[test]
+fn quadrant_topology_cells_are_partition_invariant() {
+    let single = manifest(1);
+    let labels: Vec<String> = single.points.iter().map(|p| p.label()).collect();
+    let quad: Vec<usize> = labels
+        .iter()
+        .enumerate()
+        .filter(|(_, l)| l.contains("quadrant"))
+        .map(|(i, _)| i)
+        .collect();
+    assert!(
+        !quad.is_empty(),
+        "the fast grid must include quadrant topology points"
+    );
+
+    let reference = {
+        let results = grid::run_sweep_single(&single, 2).expect("single-process sweep");
+        grid::sweep_report(&single, &results)
+    };
+    let m = manifest(7);
+    let dir = temp_dir("quadrant");
+    for s in 0..7 {
+        run_grid_shard(&m, s, &dir, &ShardOpts::default());
+    }
+    let results = load_shards(&m, &dir).expect("all shards complete");
+    let sharded = grid::sweep_report(&m, &results);
+
+    let points_of = |report: &Json| -> Vec<Json> {
+        report
+            .get("points")
+            .and_then(Json::as_array)
+            .expect("points array")
+            .to_vec()
+    };
+    let (ref_points, sh_points) = (points_of(&reference), points_of(&sharded));
+    for &pi in &quad {
+        assert_eq!(
+            ref_points[pi].to_pretty(),
+            sh_points[pi].to_pretty(),
+            "quadrant point `{}` diverged between partitions",
+            labels[pi]
+        );
+    }
     let _ = std::fs::remove_dir_all(&dir);
 }
 
